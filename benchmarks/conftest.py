@@ -1,0 +1,29 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module reproduces one table or figure of the paper: it runs
+the experiment grid once (module-scoped fixtures), benchmarks the key
+extraction calls with pytest-benchmark, asserts the paper's qualitative
+claims (who wins, where crossovers fall), and writes the paper-style table
+to ``benchmarks/results/<experiment>.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_report(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered experiment table and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")

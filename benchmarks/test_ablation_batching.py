@@ -1,0 +1,121 @@
+"""Ablation: batched multi-pattern extraction.
+
+Algorithm 1's per-iteration cost includes a full vertex scan (``c·V·H``).
+Batching several patterns into one aligned BSP run shares those scans:
+the batch costs ``max_j(H_j) + 1`` supersteps instead of
+``Σ_j (H_j + 1)``.  This ablation runs all four dblp workloads
+individually and as one batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.library import path_count
+from repro.core.batch import run_batch_extraction
+from repro.core.evaluator import run_extraction
+from repro.core.planner import make_plan
+from repro.workloads.harness import Row, format_table, reference_graph
+from repro.workloads.patterns import workloads_for_dataset
+
+from benchmarks.conftest import write_report
+
+WORKERS = 10
+
+
+def build_jobs(graph):
+    jobs = []
+    for workload in workloads_for_dataset("dblp"):
+        plan = make_plan(
+            workload.pattern, strategy="hybrid", graph=graph,
+            partial_aggregation=True,
+        )
+        jobs.append((workload.pattern, plan, path_count()))
+    return jobs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return reference_graph("dblp")
+
+
+@pytest.fixture(scope="module")
+def runs(graph):
+    jobs = build_jobs(graph)
+    individual = [
+        run_extraction(graph, pattern, plan, aggregate, num_workers=WORKERS)
+        for pattern, plan, aggregate in jobs
+    ]
+    batched = run_batch_extraction(graph, jobs, num_workers=WORKERS)
+    return jobs, individual, batched
+
+
+def test_benchmark_individual(benchmark, graph):
+    jobs = build_jobs(graph)
+
+    def run_all():
+        return [
+            run_extraction(graph, pattern, plan, aggregate, num_workers=WORKERS)
+            for pattern, plan, aggregate in jobs
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=3, iterations=1)
+    assert len(results) == len(jobs)
+
+
+def test_benchmark_batched(benchmark, graph):
+    jobs = build_jobs(graph)
+    results = benchmark.pedantic(
+        run_batch_extraction,
+        args=(graph, jobs),
+        kwargs={"num_workers": WORKERS},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(results) == len(jobs)
+
+
+def test_shapes_and_report(runs, results_dir, benchmark):
+    jobs, individual, batched = runs
+    # identical outputs
+    for single, from_batch in zip(individual, batched):
+        assert from_batch.graph.equals(single.graph)
+    # superstep sharing
+    individual_steps = sum(r.metrics.num_supersteps for r in individual)
+    batch_steps = batched[0].metrics.num_supersteps
+    assert batch_steps < individual_steps
+    # fewer total vertex scans: scans = V per superstep
+    individual_scans = sum(
+        len(list(r.metrics.supersteps)) for r in individual
+    )
+    assert batch_steps < individual_scans
+
+    rows = [
+        Row(
+            "individual",
+            {
+                "total_supersteps": individual_steps,
+                "total_work": sum(r.metrics.total_work for r in individual),
+                "wall_s": sum(r.metrics.wall_time_s for r in individual),
+            },
+        ),
+        Row(
+            "batched",
+            {
+                "total_supersteps": batch_steps,
+                "total_work": batched[0].metrics.total_work,
+                "wall_s": batched[0].metrics.wall_time_s,
+            },
+        ),
+    ]
+    table = benchmark(
+        format_table,
+        rows,
+        ["total_supersteps", "total_work", "wall_s"],
+        title=(
+            "Ablation — all four dblp workloads, run individually vs as "
+            f"one aligned batch ({WORKERS} workers)"
+        ),
+        label_header="mode",
+    )
+    write_report(results_dir, "ablation_batching", table)

@@ -1,0 +1,91 @@
+"""Ablation: Giraph-style message combining on top of partial aggregation.
+
+Algorithm 3 merges partial paths at the receiving pivot; a message combiner
+additionally merges them *in flight*, shrinking inboxes (on a real cluster:
+the network).  This ablation quantifies the extra reduction on the heavy
+dblp workloads — it cannot change results or message counts, only the
+ingest work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluator import run_extraction
+from repro.aggregates.library import path_count
+from repro.workloads.harness import Row, format_table, reference_graph
+from repro.workloads.patterns import get_workload
+
+from benchmarks.conftest import write_report
+
+PATTERNS = ["dblp-SP1", "dblp-SP2", "patent-BP2"]
+WORKERS = 10
+
+
+def run(name: str, use_combiner: bool):
+    workload = get_workload(name)
+    graph = reference_graph(workload.dataset)
+    from repro.core.planner import make_plan
+
+    plan = make_plan(
+        workload.pattern, strategy="hybrid", graph=graph, partial_aggregation=True
+    )
+    return run_extraction(
+        graph,
+        workload.pattern,
+        plan,
+        path_count(),
+        num_workers=WORKERS,
+        mode="partial",
+        use_combiner=use_combiner,
+    )
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return {
+        (name, combiner): run(name, combiner)
+        for name in PATTERNS
+        for combiner in (False, True)
+    }
+
+
+@pytest.mark.parametrize("name", PATTERNS)
+@pytest.mark.parametrize("combiner", [False, True])
+def test_benchmark_combiner(benchmark, name, combiner):
+    result = benchmark.pedantic(
+        run, args=(name, combiner), rounds=3, iterations=1
+    )
+    assert result.graph.num_edges() > 0
+
+
+def test_shapes_and_report(grid, results_dir, benchmark):
+    rows = []
+    for name in PATTERNS:
+        plain = grid[(name, False)]
+        combined = grid[(name, True)]
+        assert combined.graph.equals(plain.graph), name
+        assert combined.metrics.total_messages == plain.metrics.total_messages
+        assert combined.metrics.total_work <= plain.metrics.total_work, name
+        rows.append(
+            Row(
+                name,
+                {
+                    "work_plain": plain.metrics.total_work,
+                    "work_combined": combined.metrics.total_work,
+                    "saved": plain.metrics.total_work
+                    - combined.metrics.total_work,
+                    "messages": plain.metrics.total_messages,
+                },
+            )
+        )
+    table = benchmark(
+        format_table,
+        rows,
+        ["work_plain", "work_combined", "saved", "messages"],
+        title=(
+            "Ablation — in-flight message combining on top of partial "
+            f"aggregation (hybrid plan, {WORKERS} workers)"
+        ),
+    )
+    write_report(results_dir, "ablation_combiner", table)

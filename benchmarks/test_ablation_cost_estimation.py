@@ -1,0 +1,113 @@
+"""Ablation: accuracy of the cost model's intermediate-path estimates.
+
+§5.1 justifies the uniform-distribution assumption by observing it is
+"fair enough to help us select a good plan".  This ablation measures, for
+every named workload, the uniform estimate (Eq. 7), the exact-leaf
+refinement, and the measured intermediate-path count under the hybrid
+plan — showing (a) both estimators rank plans usefully and (b) exact leaf
+degrees remove the leaf-level error entirely on length-2 patterns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.library import path_count
+from repro.core.cost import CostModel, ExactLeafCostModel
+from repro.core.evaluator import run_extraction
+from repro.core.planner import hybrid_plan
+from repro.graph.stats import GraphStatistics
+from repro.workloads.harness import Row, format_table, reference_graph
+from repro.workloads.patterns import WORKLOADS
+
+from benchmarks.conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    from repro.core.sampling import SamplingCostModel
+
+    out = {}
+    for name, workload in WORKLOADS.items():
+        graph = reference_graph(workload.dataset)
+        stats = GraphStatistics.collect(graph)
+        uniform = CostModel(workload.pattern, stats)
+        exact = ExactLeafCostModel(workload.pattern, graph, stats=stats)
+        sampling = SamplingCostModel(
+            workload.pattern, graph, stats=stats, num_samples=400, seed=13
+        )
+        plan = hybrid_plan(workload.pattern, uniform)
+        result = run_extraction(
+            graph, workload.pattern, plan, path_count(), mode="basic"
+        )
+        out[name] = {
+            "uniform_est": uniform.plan_cost(plan),
+            "exact_est": exact.plan_cost(plan),
+            "sampling_est": sampling.plan_cost(plan),
+            "measured": result.intermediate_paths,
+            "length": workload.pattern.length,
+        }
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_benchmark_estimation(benchmark, name):
+    workload = WORKLOADS[name]
+    graph = reference_graph(workload.dataset)
+
+    def estimate():
+        stats = GraphStatistics.collect(graph)
+        model = ExactLeafCostModel(workload.pattern, graph, stats=stats)
+        plan = hybrid_plan(workload.pattern, model)
+        return model.plan_cost(plan)
+
+    cost = benchmark.pedantic(estimate, rounds=3, iterations=1)
+    assert cost > 0
+
+
+def test_shapes_and_report(measurements, results_dir, benchmark):
+    rows = []
+    for name in sorted(measurements):
+        m = measurements[name]
+        uniform_err = m["uniform_est"] / m["measured"]
+        exact_err = m["exact_est"] / m["measured"]
+        sampling_err = m["sampling_est"] / m["measured"]
+        # every estimator lands within an order of magnitude — "fair enough"
+        assert 0.1 <= uniform_err <= 10, (name, uniform_err)
+        assert 0.1 <= exact_err <= 10, (name, exact_err)
+        assert 0.1 <= sampling_err <= 10, (name, sampling_err)
+        # a length-2 pattern is a single NL-NL node: exact-leaf is exact
+        if m["length"] == 2:
+            assert exact_err == pytest.approx(1.0), name
+        rows.append(
+            Row(
+                name,
+                {
+                    "measured": m["measured"],
+                    "uniform_est": m["uniform_est"],
+                    "exact_est": m["exact_est"],
+                    "sampling_est": m["sampling_est"],
+                    "uniform_ratio": uniform_err,
+                    "exact_ratio": exact_err,
+                    "sampling_ratio": sampling_err,
+                },
+            )
+        )
+    table = benchmark(
+        format_table,
+        rows,
+        [
+            "measured",
+            "uniform_est",
+            "exact_est",
+            "sampling_est",
+            "uniform_ratio",
+            "exact_ratio",
+            "sampling_ratio",
+        ],
+        title=(
+            "Ablation — cost estimates vs measured intermediate paths "
+            "(hybrid plan, basic mode; ratio = estimate / measured)"
+        ),
+    )
+    write_report(results_dir, "ablation_cost_estimation", table)

@@ -1,0 +1,90 @@
+"""Ablation: how much of PGE's win is partial aggregation vs the plan?
+
+The framework beats RPQ through two mechanisms: `⌈log2 l⌉` iterations
+(the concatenation plan) and merged intermediate paths (partial
+aggregation).  Giving the RPQ baseline partial merging — but keeping its
+linear iterations — isolates the two effects:
+
+    rpq            linear iterations, full materialisation
+    rpq-merged     linear iterations, merged partials
+    pge            log iterations,    merged partials
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.harness import Row, format_table, reference_graph, run_method
+from repro.workloads.patterns import get_workload
+
+from benchmarks.conftest import write_report
+
+PATTERNS = ["dblp-SP2", "patent-BP2"]
+METHODS = ["rpq", "rpq-merged", "pge"]
+WORKERS = 10
+
+
+@pytest.fixture(scope="module")
+def grid():
+    results = {}
+    for name in PATTERNS:
+        workload = get_workload(name)
+        graph = reference_graph(workload.dataset)
+        for method in METHODS:
+            results[(name, method)] = run_method(
+                method, graph, workload.pattern, num_workers=WORKERS
+            )
+    return results
+
+
+@pytest.mark.parametrize("name", PATTERNS)
+@pytest.mark.parametrize("method", METHODS)
+def test_benchmark_method(benchmark, name, method):
+    workload = get_workload(name)
+    graph = reference_graph(workload.dataset)
+    result = benchmark.pedantic(
+        run_method,
+        args=(method, graph, workload.pattern),
+        kwargs={"num_workers": WORKERS},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.graph.num_edges() > 0
+
+
+def test_shapes_and_report(grid, results_dir, benchmark):
+    rows = []
+    for name in PATTERNS:
+        rpq = grid[(name, "rpq")]
+        merged = grid[(name, "rpq-merged")]
+        pge = grid[(name, "pge")]
+        for other in (merged, pge):
+            assert other.graph.equals(rpq.graph), name
+        # merging alone already reduces materialisation...
+        assert merged.intermediate_paths <= rpq.intermediate_paths, name
+        # ...but only the plan reduces iterations
+        assert merged.iterations == rpq.iterations, name
+        assert pge.iterations < rpq.iterations, name
+        for method in METHODS:
+            result = grid[(name, method)]
+            rows.append(
+                Row(
+                    f"{name}/{method}",
+                    {
+                        "iterations": result.iterations,
+                        "interm_paths": result.intermediate_paths,
+                        "sim_time": result.metrics.simulated_parallel_time(),
+                    },
+                )
+            )
+    table = benchmark(
+        format_table,
+        rows,
+        ["iterations", "interm_paths", "sim_time"],
+        title=(
+            "Ablation — separating the plan effect from the "
+            f"partial-aggregation effect ({WORKERS} workers)"
+        ),
+        label_header="workload/method",
+    )
+    write_report(results_dir, "ablation_rpq_merge", table)

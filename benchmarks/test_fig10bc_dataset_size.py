@@ -1,0 +1,126 @@
+"""Figure 10(b, c): scalability with the dataset size.
+
+The paper scales dblp-2014 from 1M to 10M vertices (sampling below the
+original size, cloning fake venues above it) and observes: (b) runtime
+grows super-linearly in |V|, and (c) the normalised runtime tracks the
+normalised number of intermediate paths — i.e. intermediate paths, not raw
+size, are what the solution actually pays for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.scaling import scale_graph
+from repro.workloads.harness import Row, format_table, reference_graph, run_method
+from repro.workloads.patterns import get_workload
+
+from benchmarks.conftest import write_report
+
+FACTORS = [0.25, 0.5, 1.0, 1.5]
+WORKERS = 10
+#: ratios are normalised to the unscaled (1.0x) dataset — the smallest
+#: sample has almost no matching paths, which would make it a degenerate
+#: normalisation base
+BASE = 1.0
+
+
+@pytest.fixture(scope="module")
+def scaled_graphs():
+    base = reference_graph("dblp")
+    return {
+        factor: scale_graph(
+            base,
+            factor,
+            clone_label="Venue",
+            seed=7,
+            incident_edge_label="publishAt",
+        )
+        for factor in FACTORS
+    }
+
+
+@pytest.fixture(scope="module")
+def grid(scaled_graphs):
+    pattern = get_workload("dblp-SP2").pattern
+    return {
+        factor: run_method("pge", graph, pattern, num_workers=WORKERS)
+        for factor, graph in scaled_graphs.items()
+    }
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+def test_benchmark_scale(benchmark, scaled_graphs, factor):
+    pattern = get_workload("dblp-SP2").pattern
+    result = benchmark.pedantic(
+        run_method,
+        args=("pge", scaled_graphs[factor], pattern),
+        kwargs={"num_workers": WORKERS},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.graph.num_vertices() > 0
+
+
+def test_shapes_and_report(grid, scaled_graphs, results_dir, benchmark):
+    times = {f: grid[f].metrics.simulated_parallel_time() for f in FACTORS}
+    paths = {f: grid[f].intermediate_paths for f in FACTORS}
+
+    # (b) runtime grows with dataset size, super-linearly in |V| (venue
+    # clones multiply the same-venue author pairs)
+    for smaller, larger in zip(FACTORS, FACTORS[1:]):
+        assert times[larger] > times[smaller]
+    vertex_ratio = (
+        scaled_graphs[1.5].num_vertices() / scaled_graphs[1.0].num_vertices()
+    )
+    assert times[1.5] / times[1.0] > vertex_ratio
+
+    # (c) normalised runtime tracks normalised intermediate paths: both
+    # move together (monotone in each other), and away from the
+    # scan-dominated smallest sample they agree within a small factor
+    ordered = sorted(FACTORS)
+    for smaller, larger in zip(ordered, ordered[1:]):
+        assert (times[larger] > times[smaller]) == (
+            paths[larger] > paths[smaller]
+        )
+    for factor in (0.5, 1.5):
+        time_ratio = times[factor] / times[BASE]
+        path_ratio = paths[factor] / paths[BASE]
+        assert 0.2 <= time_ratio / path_ratio <= 5.0, factor
+
+    rows = []
+    for factor in FACTORS:
+        graph = scaled_graphs[factor]
+        rows.append(
+            Row(
+                f"{factor}x",
+                {
+                    "vertices": graph.num_vertices(),
+                    "edges": graph.num_edges(),
+                    "interm_paths": paths[factor],
+                    "sim_time": times[factor],
+                    "norm_time": times[factor] / times[BASE],
+                    "norm_paths": paths[factor] / paths[BASE],
+                    "wall_s": grid[factor].metrics.wall_time_s,
+                },
+            )
+        )
+    table = benchmark(
+        format_table,
+        rows,
+        [
+            "vertices",
+            "edges",
+            "interm_paths",
+            "sim_time",
+            "norm_time",
+            "norm_paths",
+            "wall_s",
+        ],
+        title=(
+            "Figure 10(b,c) — dblp-SP2 vs dataset scale "
+            f"(normalised to the {BASE}x dataset)"
+        ),
+        label_header="scale",
+    )
+    write_report(results_dir, "fig10bc_dataset_size", table)

@@ -1,0 +1,114 @@
+"""Figure 10(d): scalability with the length of the line pattern.
+
+The paper runs citeBy chains of increasing length on us-patent with 40
+workers: the raw path count grows exponentially with length, but thanks to
+partial aggregation the *materialised* intermediate size is polynomial —
+runtime degrades fast at small lengths and flattens once the per-iteration
+merged-path count saturates (around length nine in the paper).
+
+We run chains of length 3..13 on a moderately sized patent graph (the
+saturation effect needs the transitive closure to stop growing, which a
+small dense-ish citation graph reaches quickly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.patent import generate_patent
+from repro.graph.pattern import LinePattern
+from repro.workloads.harness import Row, format_table, run_method
+
+from benchmarks.conftest import write_report
+
+LENGTHS = [3, 5, 7, 9, 11, 13]
+WORKERS = 40
+
+
+@pytest.fixture(scope="module")
+def graph():
+    # smaller, denser citation graph: saturation kicks in within the sweep
+    return generate_patent(
+        n_inventors=200,
+        n_patents=400,
+        n_locations=12,
+        n_categories=8,
+        citations_per_patent=2.0,
+        seed=77,
+    )
+
+
+@pytest.fixture(scope="module")
+def grid(graph):
+    results = {}
+    for length in LENGTHS:
+        pattern = LinePattern.chain("Patent", "citeBy", length)
+        results[length] = run_method("pge", graph, pattern, num_workers=WORKERS)
+    return results
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_benchmark_length(benchmark, graph, length):
+    pattern = LinePattern.chain("Patent", "citeBy", length)
+    result = benchmark.pedantic(
+        run_method,
+        args=("pge", graph, pattern),
+        kwargs={"num_workers": WORKERS},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.iterations >= 2
+
+
+def test_shapes_and_report(grid, results_dir, benchmark):
+    times = {length: grid[length].metrics.simulated_parallel_time() for length in LENGTHS}
+    paths = {length: grid[length].intermediate_paths for length in LENGTHS}
+
+    # cost grows with pattern length...
+    assert times[LENGTHS[-1]] > times[LENGTHS[0]]
+    assert paths[LENGTHS[-1]] > paths[LENGTHS[0]]
+
+    # ...but the growth flattens: the late per-step growth ratio is well
+    # below the early one (the paper's "exceeds a certain threshold, the
+    # decrease of the performance becomes slight")
+    early_growth = times[5] / times[3]
+    late_growth = times[13] / times[11]
+    assert late_growth < early_growth, (early_growth, late_growth)
+
+    # with partial aggregation the materialised intermediate size stays
+    # polynomial: adding 10 edge slots multiplies it by ~120x here, far
+    # below the ~2^10x an exponential raw path count would imply — and the
+    # per-step growth itself flattens
+    assert paths[13] < 300 * paths[3]
+    early_path_growth = paths[5] / paths[3]
+    late_path_growth = paths[13] / paths[11]
+    assert late_path_growth < early_path_growth
+
+    rows = []
+    previous = None
+    for length in LENGTHS:
+        growth = times[length] / previous if previous else float("nan")
+        previous = times[length]
+        rows.append(
+            Row(
+                f"length {length}",
+                {
+                    "iterations": grid[length].iterations,
+                    "interm_paths": paths[length],
+                    "sim_time": times[length],
+                    "growth_vs_prev": growth,
+                    "wall_s": grid[length].metrics.wall_time_s,
+                },
+            )
+        )
+    table = benchmark(
+        format_table,
+        rows,
+        ["iterations", "interm_paths", "sim_time", "growth_vs_prev", "wall_s"],
+        title=(
+            "Figure 10(d) — citeBy chains on the patent graph, "
+            f"{WORKERS} workers, partial aggregation"
+        ),
+        label_header="pattern",
+    )
+    write_report(results_dir, "fig10d_pattern_length", table)

@@ -1,0 +1,108 @@
+"""Figure 8: effectiveness of the partial aggregation technique.
+
+The paper compares the basic extraction solution (Algorithm 2: enumerate
+all paths, then aggregate) with the optimized solution (Algorithm 3:
+aggregate partial paths during enumeration) on dblp-SP3, dblp-BP1,
+patent-SP3 and patent-BP2, with ten workers and the hybrid plan, reporting
+(a) runtime and (b) the number of intermediate paths.
+
+Expected shape: the optimized solution produces fewer intermediate paths
+and runs faster, with the gap widest on the heavier patterns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.harness import Row, format_table, reference_graph, run_method
+from repro.workloads.patterns import get_workload
+
+from benchmarks.conftest import write_report
+
+#: the paper's four representatives plus dblp-SP2, the workload where the
+#: duplicate-(start,end) density (many author pairs share a venue) makes
+#: partial aggregation's win largest at our scale
+PATTERNS = ["dblp-SP3", "dblp-BP1", "patent-SP3", "patent-BP2", "dblp-SP2"]
+WORKERS = 10
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """One run per (pattern, mode) with full metrics."""
+    results = {}
+    for name in PATTERNS:
+        workload = get_workload(name)
+        graph = reference_graph(workload.dataset)
+        for mode in ("pge-basic", "pge"):
+            results[(name, mode)] = run_method(
+                mode, graph, workload.pattern, num_workers=WORKERS
+            )
+    return results
+
+
+@pytest.mark.parametrize("name", PATTERNS)
+@pytest.mark.parametrize("mode", ["pge-basic", "pge"])
+def test_benchmark_extraction(benchmark, name, mode):
+    workload = get_workload(name)
+    graph = reference_graph(workload.dataset)
+    result = benchmark.pedantic(
+        run_method,
+        args=(mode, graph, workload.pattern),
+        kwargs={"num_workers": WORKERS},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.graph.num_edges() > 0
+
+
+def test_shapes_and_report(grid, results_dir, benchmark):
+    """Assert the paper's qualitative claims and write the Fig. 8 table.
+
+    Shape checks (Fig. 8(a)/(b)): the optimized solution never materialises
+    more intermediate paths, never has a longer simulated makespan, and
+    produces the identical extracted graph.
+    """
+    for name in PATTERNS:
+        basic = grid[(name, "pge-basic")]
+        optimized = grid[(name, "pge")]
+        assert optimized.intermediate_paths <= basic.intermediate_paths, name
+        assert (
+            optimized.metrics.simulated_parallel_time()
+            <= basic.metrics.simulated_parallel_time()
+        ), name
+        assert optimized.graph.equals(basic.graph), name
+
+    rows = []
+    for name in PATTERNS:
+        basic = grid[(name, "pge-basic")]
+        optimized = grid[(name, "pge")]
+        rows.append(
+            Row(
+                name,
+                {
+                    "basic_interm_paths": basic.intermediate_paths,
+                    "opt_interm_paths": optimized.intermediate_paths,
+                    "paths_ratio": basic.intermediate_paths
+                    / max(optimized.intermediate_paths, 1),
+                    "basic_sim_time": basic.metrics.simulated_parallel_time(),
+                    "opt_sim_time": optimized.metrics.simulated_parallel_time(),
+                    "basic_wall_s": basic.metrics.wall_time_s,
+                    "opt_wall_s": optimized.metrics.wall_time_s,
+                },
+            )
+        )
+    columns = [
+        "basic_interm_paths",
+        "opt_interm_paths",
+        "paths_ratio",
+        "basic_sim_time",
+        "opt_sim_time",
+        "basic_wall_s",
+        "opt_wall_s",
+    ]
+    title = (
+        "Figure 8 — basic (Alg.2) vs optimized/partial-aggregation "
+        f"(Alg.3), hybrid plan, {WORKERS} workers"
+    )
+    table = benchmark(format_table, rows, columns, title=title)
+    write_report(results_dir, "fig8_partial_aggregation", table)

@@ -1,0 +1,84 @@
+"""Table 1: the light/heavy classification of the nine named patterns.
+
+The paper divides its patterns into light and heavy "according to the size
+of results of each pattern".  This benchmark measures every pattern's
+result size (final matched paths) on the reference-scale datasets and
+asserts the classification shipped in
+:mod:`repro.workloads.patterns` matches the measurement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.harness import Row, format_table, reference_graph, run_method
+from repro.workloads.patterns import (
+    HEAVY_PATTERNS,
+    HEAVY_THRESHOLD,
+    LIGHT_PATTERNS,
+    WORKLOADS,
+)
+
+from benchmarks.conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    results = {}
+    for name, workload in WORKLOADS.items():
+        graph = reference_graph(workload.dataset)
+        results[name] = run_method("pge", graph, workload.pattern, num_workers=10)
+    return results
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_benchmark_workload(benchmark, name):
+    workload = WORKLOADS[name]
+    graph = reference_graph(workload.dataset)
+    result = benchmark.pedantic(
+        run_method,
+        args=("pge", graph, workload.pattern),
+        kwargs={"num_workers": 10},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.graph.num_vertices() > 0
+
+
+def test_shapes_and_report(catalog, results_dir, benchmark):
+    # classification matches the measured result sizes
+    for name, result in catalog.items():
+        measured_heavy = result.final_paths >= HEAVY_THRESHOLD
+        declared_heavy = name in HEAVY_PATTERNS
+        assert measured_heavy == declared_heavy, (
+            f"{name}: final_paths={result.final_paths}, "
+            f"threshold={HEAVY_THRESHOLD}"
+        )
+    assert set(LIGHT_PATTERNS) | set(HEAVY_PATTERNS) == set(WORKLOADS)
+
+    rows = []
+    for name in sorted(WORKLOADS):
+        workload = WORKLOADS[name]
+        result = catalog[name]
+        rows.append(
+            Row(
+                name,
+                {
+                    "kind": workload.kind,
+                    "length": workload.pattern.length,
+                    "final_paths": result.final_paths,
+                    "result_edges": result.graph.num_edges(),
+                    "class": "heavy" if name in HEAVY_PATTERNS else "light",
+                },
+            )
+        )
+    table = benchmark(
+        format_table,
+        rows,
+        ["kind", "length", "final_paths", "result_edges", "class"],
+        title=(
+            "Table 1 — pattern catalog with measured result sizes "
+            f"(heavy = final paths >= {HEAVY_THRESHOLD})"
+        ),
+    )
+    write_report(results_dir, "table1_pattern_catalog", table)

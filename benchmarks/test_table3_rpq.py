@@ -1,0 +1,95 @@
+"""Table 3: PGE vs the RPQ-based solution (both parallel, ten workers).
+
+Paper's shape: RPQ is competitive on light extraction workloads but
+degrades sharply as the workload grows — it pays one iteration per pattern
+edge and materialises every partial path, while PGE's plan halves the
+iterations and partial aggregation caps the materialisation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.harness import Row, format_table, reference_graph, run_method
+from repro.workloads.patterns import HEAVY_PATTERNS, LIGHT_PATTERNS, get_workload
+
+from benchmarks.conftest import write_report
+
+PATTERNS = ["dblp-BP1", "patent-SP2", "dblp-SP1", "patent-BP2", "dblp-SP2"]
+WORKERS = 10
+
+
+@pytest.fixture(scope="module")
+def grid():
+    results = {}
+    for name in PATTERNS:
+        workload = get_workload(name)
+        graph = reference_graph(workload.dataset)
+        for method in ("pge", "rpq"):
+            results[(name, method)] = run_method(
+                method, graph, workload.pattern, num_workers=WORKERS
+            )
+    return results
+
+
+@pytest.mark.parametrize("name", PATTERNS)
+@pytest.mark.parametrize("method", ["pge", "rpq"])
+def test_benchmark_method(benchmark, name, method):
+    workload = get_workload(name)
+    graph = reference_graph(workload.dataset)
+    result = benchmark.pedantic(
+        run_method,
+        args=(method, graph, workload.pattern),
+        kwargs={"num_workers": WORKERS},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.graph.num_vertices() > 0
+
+
+def test_shapes_and_report(grid, results_dir, benchmark):
+    for name in PATTERNS:
+        pge = grid[(name, "pge")]
+        rpq = grid[(name, "rpq")]
+        assert rpq.graph.equals(pge.graph), name
+        # RPQ pays one iteration per edge; PGE pays ceil(log2 l)
+        length = get_workload(name).pattern.length
+        assert rpq.iterations == length, name
+        assert pge.iterations <= rpq.iterations, name
+
+    # the materialisation gap grows with workload weight: on every heavy
+    # pattern RPQ materialises at least as many intermediate paths as PGE,
+    # and on the heaviest (dblp-SP2) strictly more
+    for name in PATTERNS:
+        if name in HEAVY_PATTERNS:
+            assert (
+                grid[(name, "rpq")].intermediate_paths
+                >= grid[(name, "pge")].intermediate_paths
+            ), name
+    heaviest = grid[("dblp-SP2", "rpq")], grid[("dblp-SP2", "pge")]
+    assert heaviest[0].intermediate_paths > heaviest[1].intermediate_paths
+
+    rows = []
+    for name in PATTERNS:
+        cls = "heavy" if name in HEAVY_PATTERNS else "light"
+        for method in ("pge", "rpq"):
+            result = grid[(name, method)]
+            rows.append(
+                Row(
+                    f"{name}({cls})/{method}",
+                    {
+                        "iterations": result.iterations,
+                        "interm_paths": result.intermediate_paths,
+                        "sim_time": result.metrics.simulated_parallel_time(),
+                        "wall_s": result.metrics.wall_time_s,
+                    },
+                )
+            )
+    table = benchmark(
+        format_table,
+        rows,
+        ["iterations", "interm_paths", "sim_time", "wall_s"],
+        title=f"Table 3 — PGE vs RPQ-based solution ({WORKERS} workers)",
+        label_header="workload/method",
+    )
+    write_report(results_dir, "table3_rpq", table)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Beyond the paper: filtered positions, wildcard labels, batching and
+two-stage extraction.
+
+This example exercises the library's extensions on a scholarly graph with
+vertex attributes:
+
+1. **attribute filters** — co-authorship restricted to recent papers;
+2. **wildcard positions** — metapath-style patterns with ``*``;
+3. **batched extraction** — several patterns in one aligned BSP run;
+4. **composition** — extract a co-author graph, then extract 2-hop
+   collaboration reach *from the extracted graph*, and PageRank it on the
+   same vertex-centric engine.
+
+Run with:  python examples/filtered_metapaths.py
+"""
+
+import numpy as np
+
+from repro import GraphExtractor, LinePattern, VertexFilter, aggregates
+from repro.analysis import pagerank_parallel
+from repro.datasets import generate_dblp
+
+
+def attach_years(graph, seed: int = 17) -> None:
+    """Give every paper a publication year attribute."""
+    rng = np.random.default_rng(seed)
+    papers = list(graph.vertices_with_label("Paper"))
+    years = rng.integers(2000, 2015, size=len(papers))
+    for paper, year in zip(papers, years):
+        graph.add_vertex(paper, "Paper", {"year": int(year)})
+
+
+def main() -> None:
+    graph = generate_dblp(n_authors=300, n_papers=500, n_venues=20, seed=4)
+    attach_years(graph)
+    extractor = GraphExtractor(graph, num_workers=6)
+    print(f"input: {graph}\n")
+
+    # ------------------------------------------------------------------
+    # 1. attribute filters: recent co-authorships only
+    # ------------------------------------------------------------------
+    coauthor = LinePattern.parse(
+        "Author -[authorBy]-> Paper <-[authorBy]- Author"
+    )
+    recent = coauthor.with_filter(1, VertexFilter("year", "ge", 2010))
+    all_time = extractor.extract(coauthor)
+    since_2010 = extractor.extract(recent)
+    print(
+        f"co-author relations: {all_time.graph.num_edges()} all-time, "
+        f"{since_2010.graph.num_edges()} through papers since 2010"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. wildcard positions: 'authors reachable in two hops of anything'
+    # ------------------------------------------------------------------
+    metapath = LinePattern.parse("Author -[authorBy]-> * <-[authorBy]- *")
+    wild = extractor.extract(metapath)
+    print(
+        f"wildcard metapath {metapath}: {wild.graph.num_edges()} relations "
+        f"(endpoints of any label)"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. batching: several patterns, one BSP run
+    # ------------------------------------------------------------------
+    batch_patterns = [
+        coauthor,
+        LinePattern.parse("Author -[authorBy]-> Paper -[publishAt]-> Venue"),
+        LinePattern.parse(
+            "Venue <-[publishAt]- Paper <-[authorBy]- Author "
+            "-[authorBy]-> Paper -[publishAt]-> Venue"
+        ),
+    ]
+    batched = extractor.extract_many(batch_patterns)
+    supersteps = batched[0].metrics.num_supersteps
+    print(
+        f"batched {len(batch_patterns)} patterns in {supersteps} supersteps "
+        f"(vs {sum(p.length.bit_length() + 1 for p in batch_patterns)}+ "
+        f"when run individually)"
+    )
+
+    # ------------------------------------------------------------------
+    # 4. composition: extracted graph -> second extraction -> PageRank
+    # ------------------------------------------------------------------
+    coauthor_het = since_2010.graph.to_hetgraph(edge_label="coauthor")
+    two_hop = LinePattern.chain("Author", "coauthor", 2)
+    reach = GraphExtractor(coauthor_het, num_workers=6).extract(
+        two_hop, aggregates.weighted_path_count()
+    )
+    ranks = pagerank_parallel(reach.graph, num_workers=6)
+    top = sorted(ranks.items(), key=lambda kv: -kv[1])[:5]
+    print("\ntwo-hop collaboration reach (recent papers), top authors by PageRank:")
+    for author, score in top:
+        print(f"  author {author:4d}: {score:.4f}")
+
+
+if __name__ == "__main__":
+    main()

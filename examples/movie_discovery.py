@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Movie-graph walkthrough: metapath discovery and live maintenance.
+
+On an IMDB-like graph (Actors, Movies, Directors, Genres) this example:
+
+1. **discovers** candidate metapaths between actors automatically and
+   ranks them by estimated result size;
+2. extracts the top candidate (the co-star network) with a bounded TOP-K
+   aggregate (strongest collaborations, with partial aggregation even
+   though TOP-K is nominally holistic);
+3. **maintains** the co-star network incrementally while new casting
+   edges stream in — no re-extraction.
+
+Run with:  python examples/movie_discovery.py
+"""
+
+from repro import GraphExtractor, LinePattern
+from repro.aggregates import bounded_top_k, path_count
+from repro.core.incremental import IncrementalExtractor
+from repro.datasets.imdb import COSTAR, generate_imdb
+from repro.workloads.discovery import discover
+
+
+def main() -> None:
+    graph = generate_imdb(
+        n_actors=300, n_movies=250, n_directors=40, n_genres=10,
+        seed=7, weight_range=(0.1, 1.0),
+    )
+    print(f"input: {graph}\n")
+
+    # ------------------------------------------------------------------
+    # 1. which actor-to-actor metapaths does this schema support?
+    # ------------------------------------------------------------------
+    candidates = discover(graph, "Actor", "Actor", max_length=4, top=5)
+    print("discovered actor-to-actor metapaths (by estimated path count):")
+    for pattern, estimate in candidates:
+        print(f"  ~{estimate:10.0f} paths  {pattern}")
+
+    # ------------------------------------------------------------------
+    # 2. extract the co-star network with bounded TOP-3
+    # ------------------------------------------------------------------
+    extractor = GraphExtractor(graph, num_workers=6)
+    top3 = extractor.extract(COSTAR, bounded_top_k(3))
+    strongest = sorted(
+        ((u, v), values)
+        for (u, v), values in top3.graph.edge_items()
+        if u < v
+    )
+    strongest.sort(key=lambda item: -item[1][0])
+    print("\nstrongest co-star pairs (top-3 collaboration weights):")
+    for (u, v), values in strongest[:5]:
+        rendered = ", ".join(f"{value:.2f}" for value in values)
+        print(f"  actor {u:3d} -- actor {v:3d}: [{rendered}]")
+
+    # ------------------------------------------------------------------
+    # 3. stream new casting decisions through incremental maintenance
+    # ------------------------------------------------------------------
+    inc = IncrementalExtractor(graph, COSTAR, path_count())
+    movie = next(iter(graph.vertices_with_label("Movie")))
+    cast = [a for a in graph.vertices_with_label("Actor")][:4]
+    print(f"\ncasting actors {cast} into movie {movie}...")
+    for actor in cast:
+        touched = inc.add_edge(actor, movie, "actsIn")
+        print(f"  + actor {actor}: {len(touched)} co-star pairs updated")
+    maintained = inc.extracted()
+    recomputed = GraphExtractor(graph, num_workers=6).extract(
+        COSTAR, path_count()
+    )
+    print(
+        f"maintained result identical to recompute: "
+        f"{maintained.equals(recomputed.graph)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

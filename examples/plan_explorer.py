@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Plan explorer: how the four strategies compile the same line pattern.
+
+Shows, for a long citation-chain pattern:
+
+* the plan tree each strategy produces (pivots, NL/QL sides, levels);
+* the cost model's intermediate-path estimate vs the measured count;
+* the iterations-vs-paths trade-off the hybrid strategy resolves (§5.2).
+
+Run with:  python examples/plan_explorer.py
+"""
+
+from repro import CostModel, GraphExtractor, GraphStatistics, LinePattern
+from repro.datasets import generate_patent
+from repro.workloads import Row, format_table
+
+
+def main() -> None:
+    graph = generate_patent(
+        n_inventors=200, n_patents=400, n_locations=12, n_categories=8, seed=5
+    )
+    pattern = LinePattern.chain("Patent", "citeBy", 6, name="citation-chain-6")
+    print(f"input:   {graph}")
+    print(f"pattern: {pattern}  (length {pattern.length})\n")
+
+    extractor = GraphExtractor(graph, num_workers=6)
+    stats = GraphStatistics.collect(graph)
+    model = CostModel(pattern, stats, partial_aggregation=True)
+
+    rows = []
+    for strategy in ("line", "iter_opt", "path_opt", "hybrid"):
+        plan = extractor.plan(pattern, strategy=strategy)
+        print(plan.describe())
+        print()
+        result = extractor.extract(pattern, plan=plan)
+        rows.append(
+            Row(
+                strategy,
+                {
+                    "height": plan.height,
+                    "iterations": result.iterations,
+                    "est_paths": model.plan_cost(plan),
+                    "measured_paths": result.intermediate_paths,
+                    "sim_time": result.metrics.simulated_parallel_time(),
+                },
+            )
+        )
+
+    print(
+        format_table(
+            rows,
+            ["height", "iterations", "est_paths", "measured_paths", "sim_time"],
+            title="strategy comparison (partial aggregation, 6 workers)",
+            label_header="strategy",
+        )
+    )
+    print(
+        "\nreading the table: 'line' pays one iteration per edge; "
+        "'path_opt' minimises estimated paths but may accept extra "
+        "iterations; 'hybrid' keeps the minimal ceil(log2(l)) iterations "
+        "and picks the cheapest pivots within that constraint — the "
+        "paper's recommended default."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Scholarly-graph analysis: extraction as preprocessing for classic
+homogeneous-graph algorithms.
+
+The paper's motivation (§1): classic algorithms — centrality, community
+detection — are defined on homogeneous graphs, so heterogeneous data must
+first be *extracted*.  This example extracts three different relations
+from a DBLP-like graph and runs downstream analyses on each:
+
+1. the co-author network (dblp-SP1)     -> influential authors (PageRank)
+2. the same-venue network (dblp-SP2)    -> research communities
+   (connected components)
+3. the author-venue network (dblp-BP1)  -> where prolific authors publish
+
+Run with:  python examples/scholarly_analysis.py
+"""
+
+from repro import GraphExtractor, aggregates
+from repro.analysis import connected_components, pagerank, top_edges
+from repro.datasets import generate_dblp
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    graph = generate_dblp(n_authors=400, n_papers=700, n_venues=25, seed=3)
+    extractor = GraphExtractor(graph, num_workers=8)
+    print(f"input: {graph}\n")
+
+    # ------------------------------------------------------------------
+    # 1. co-author network -> PageRank centrality
+    # ------------------------------------------------------------------
+    coauthor = extractor.extract(
+        get_workload("dblp-SP1").pattern, aggregates.path_count()
+    )
+    print(f"co-author network: {coauthor.graph}")
+    ranks = pagerank(coauthor.graph)
+    top_authors = sorted(ranks.items(), key=lambda kv: -kv[1])[:5]
+    print("most central authors (weighted PageRank):")
+    for author, score in top_authors:
+        print(f"  author {author:4d}: {score:.4f}")
+
+    # ------------------------------------------------------------------
+    # 2. same-venue network -> community structure
+    # ------------------------------------------------------------------
+    same_venue = extractor.extract(
+        get_workload("dblp-SP2").pattern, aggregates.path_count()
+    )
+    communities = connected_components(same_venue.graph)
+    sizes = [len(c) for c in communities[:5]]
+    print(f"\nsame-venue network: {same_venue.graph}")
+    print(
+        f"communities: {len(communities)} components, "
+        f"largest sizes {sizes}"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. author-venue network -> strongest publishing relationships
+    # ------------------------------------------------------------------
+    publish = extractor.extract(
+        get_workload("dblp-BP1").pattern, aggregates.path_count()
+    )
+    print(f"\nauthor-venue network: {publish.graph}")
+    print("strongest author-venue relations (papers published there):")
+    for author, venue, count in top_edges(publish.graph, 5):
+        print(f"  author {author:4d} -> venue {venue:4d}: {count:g} papers")
+
+    # ------------------------------------------------------------------
+    # the same extraction with a different aggregate: average instead of
+    # count (algebraic aggregation, still partial-aggregation friendly)
+    # ------------------------------------------------------------------
+    weighted = generate_dblp(
+        n_authors=400, n_papers=700, n_venues=25, seed=3, weight_range=(0.1, 1.0)
+    )
+    avg = GraphExtractor(weighted, num_workers=8).extract(
+        get_workload("dblp-BP1").pattern, aggregates.avg_path_value()
+    )
+    print(
+        f"\nwith edge weights, avg_path_value: "
+        f"{avg.graph.num_edges()} relations, "
+        f"sample values {[round(v, 3) for _, v in list(avg.graph.edge_items())[:3]]}"
+    )
+
+
+if __name__ == "__main__":
+    main()

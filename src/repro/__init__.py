@@ -1,0 +1,87 @@
+"""repro — Fast Parallel Path Concatenation for Graph Extraction.
+
+A from-scratch reproduction of Shao et al., *Fast Parallel Path
+Concatenation for Graph Extraction* (ICDE 2018): homogeneous-graph
+extraction from heterogeneous graphs via path-concatenation plans
+evaluated on a vertex-centric BSP engine, with cost-based plan selection
+and partial aggregation.
+
+Quickstart
+----------
+>>> from repro import GraphExtractor, LinePattern, aggregates
+>>> from repro.datasets import tiny_dblp
+>>> graph = tiny_dblp()
+>>> coauthor = LinePattern.parse(
+...     "Author -[authorBy]-> Paper <-[authorBy]- Author")
+>>> extractor = GraphExtractor(graph, num_workers=4)
+>>> result = extractor.extract(coauthor, aggregates.path_count())
+>>> result.graph.num_edges() >= 0
+True
+"""
+
+from repro import aggregates, baselines, datasets, workloads
+from repro.core.cost import CostModel
+from repro.core.extractor import GraphExtractor
+from repro.core.plan import PCP, PCPNode
+from repro.core.planner import (
+    STRATEGIES,
+    hybrid_plan,
+    iter_opt_plan,
+    line_plan,
+    make_plan,
+    path_opt_plan,
+)
+from repro.core.result import ExtractedGraph, ExtractionResult
+from repro.engine.bsp import BSPEngine, VertexProgram
+from repro.errors import (
+    AggregationError,
+    DatasetError,
+    EngineError,
+    PatternError,
+    PlanError,
+    ReproError,
+    SchemaError,
+)
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.filters import VertexFilter
+from repro.graph.pattern import Direction, LinePattern, PatternEdge
+from repro.graph.schema import GraphSchema
+from repro.graph.stats import GraphStatistics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationError",
+    "BSPEngine",
+    "CostModel",
+    "DatasetError",
+    "Direction",
+    "EngineError",
+    "ExtractedGraph",
+    "ExtractionResult",
+    "GraphExtractor",
+    "GraphSchema",
+    "GraphStatistics",
+    "HeterogeneousGraph",
+    "LinePattern",
+    "PCP",
+    "PCPNode",
+    "PatternEdge",
+    "PatternError",
+    "PlanError",
+    "ReproError",
+    "STRATEGIES",
+    "SchemaError",
+    "VertexFilter",
+    "VertexProgram",
+    "aggregates",
+    "baselines",
+    "datasets",
+    "hybrid_plan",
+    "iter_opt_plan",
+    "line_plan",
+    "make_plan",
+    "path_opt_plan",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,234 @@
+"""The two-level aggregate model (Definition 4) and the aggregation
+taxonomy (§4.1 of the paper).
+
+An aggregate is a pair of binary operators:
+
+* ``⊗`` (:attr:`DistributiveAggregate.combine_op`) folds the edge values of
+  one path into the *path value* — and, because it is associative, also
+  concatenates the values of two partial paths;
+* ``⊕`` (:attr:`DistributiveAggregate.merge_op`) folds the path values of
+  all paths between a vertex pair into the final edge attribute.
+
+Every aggregate exposes the same four-operation interface the evaluator
+uses, so basic and partial-aggregation execution share one code path:
+
+* ``initial_edge(weight)`` — value of a single-edge path;
+* ``concat(left, right)`` — value of the concatenation of two sub-paths;
+* ``merge(a, b)`` — ``⊕`` of two (partial) aggregate values
+  (*distributive/algebraic only*);
+* ``finalize(value)`` / ``finalize_all(values)`` — produce the final edge
+  attribute.
+
+The three taxonomy classes are:
+
+* :class:`DistributiveAggregate` — ``⊗`` distributes over ``⊕``
+  (Theorem 3), so partial aggregation applies;
+* :class:`AlgebraicAggregate` — a fixed-width tuple of distributive
+  components plus a finaliser (e.g. AVG = SUM / COUNT); partial
+  aggregation applies component-wise;
+* :class:`HolisticAggregate` — needs every path value (e.g. MEDIAN);
+  only path-by-path evaluation is possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.errors import AggregationError
+
+
+class AggregationKind(Enum):
+    """The paper's three-way aggregation taxonomy."""
+
+    DISTRIBUTIVE = "distributive"
+    ALGEBRAIC = "algebraic"
+    HOLISTIC = "holistic"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A named associative binary operator with an identity element."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+    identity: Any
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def fold(self, values: Sequence[Any]) -> Any:
+        """Fold ``values`` left-to-right, starting from the identity."""
+        acc = self.identity
+        for value in values:
+            acc = self.fn(acc, value)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BinaryOp({self.name})"
+
+
+# Common operator instances -------------------------------------------------
+OP_ADD = BinaryOp("add", lambda a, b: a + b, 0.0)
+OP_MUL = BinaryOp("mul", lambda a, b: a * b, 1.0)
+OP_MIN = BinaryOp("min", min, float("inf"))
+OP_MAX = BinaryOp("max", max, float("-inf"))
+
+
+class Aggregate:
+    """Abstract base of the three aggregate classes."""
+
+    kind: AggregationKind
+    name: str = "aggregate"
+
+    @property
+    def supports_partial_aggregation(self) -> bool:
+        """Whether Algorithm 3 (partial aggregation) may be used."""
+        return self.kind is not AggregationKind.HOLISTIC
+
+    # -- path-level (⊗) ---------------------------------------------------
+    def initial_edge(self, weight: float) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+    def concat(self, left: Any, right: Any) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- pair-level (⊕) ----------------------------------------------------
+    def merge(self, a: Any, b: Any) -> Any:
+        raise AggregationError(
+            f"{self.name} is holistic: partial values cannot be merged"
+        )
+
+    def finalize(self, value: Any) -> Any:
+        """Final edge attribute from one (fully merged) aggregate value."""
+        return value
+
+    def finalize_all(self, path_values: Sequence[Any]) -> Any:
+        """Final edge attribute from the complete list of path values.
+
+        The basic (full-enumeration) evaluator calls this; the default
+        implementation folds with :meth:`merge` and then :meth:`finalize`.
+        """
+        if not path_values:
+            raise AggregationError("finalize_all called with no path values")
+        acc = path_values[0]
+        for value in path_values[1:]:
+            acc = self.merge(acc, value)
+        return self.finalize(acc)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} ({self.kind.value})>"
+
+
+class DistributiveAggregate(Aggregate):
+    """An aggregate whose ``⊗`` distributes over ``⊕`` (Theorem 3).
+
+    Parameters
+    ----------
+    combine_op:
+        ``⊗`` — folds edge values into path values, and concatenates
+        sub-path values.
+    merge_op:
+        ``⊕`` — folds path values into the final attribute.
+    edge_value:
+        Maps an edge weight to its value under this aggregate (e.g. the
+        constant ``1`` for path counting).  Defaults to the weight itself.
+    name:
+        Display name.
+    """
+
+    kind = AggregationKind.DISTRIBUTIVE
+
+    def __init__(
+        self,
+        combine_op: BinaryOp,
+        merge_op: BinaryOp,
+        edge_value: Optional[Callable[[float], Any]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.combine_op = combine_op
+        self.merge_op = merge_op
+        self._edge_value = edge_value if edge_value is not None else lambda w: w
+        self.name = name or f"{combine_op.name}-{merge_op.name}"
+
+    def initial_edge(self, weight: float) -> Any:
+        return self._edge_value(weight)
+
+    def concat(self, left: Any, right: Any) -> Any:
+        return self.combine_op(left, right)
+
+    def merge(self, a: Any, b: Any) -> Any:
+        return self.merge_op(a, b)
+
+
+class AlgebraicAggregate(Aggregate):
+    """A tuple of distributive components with a final scalar function.
+
+    The canonical example is AVG, maintained as (SUM, COUNT) with
+    ``finalize = sum / count``.  Each component may view edge weights
+    differently (COUNT sees every edge as ``1``).
+    """
+
+    kind = AggregationKind.ALGEBRAIC
+
+    def __init__(
+        self,
+        components: Sequence[DistributiveAggregate],
+        finalizer: Callable[[Tuple[Any, ...]], Any],
+        name: str = "algebraic",
+    ) -> None:
+        if not components:
+            raise AggregationError("an algebraic aggregate needs >= 1 component")
+        self.components = tuple(components)
+        self._finalizer = finalizer
+        self.name = name
+
+    def initial_edge(self, weight: float) -> Tuple[Any, ...]:
+        return tuple(c.initial_edge(weight) for c in self.components)
+
+    def concat(self, left: Tuple[Any, ...], right: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        return tuple(
+            c.concat(lv, rv) for c, lv, rv in zip(self.components, left, right)
+        )
+
+    def merge(self, a: Tuple[Any, ...], b: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        return tuple(c.merge(av, bv) for c, av, bv in zip(self.components, a, b))
+
+    def finalize(self, value: Tuple[Any, ...]) -> Any:
+        return self._finalizer(value)
+
+
+class HolisticAggregate(Aggregate):
+    """An aggregate whose ``⊕`` needs the full multiset of path values.
+
+    ``⊗`` (``combine_op``) still folds edge values into a path value, but
+    the pair-level step is an arbitrary function of *all* path values, so
+    partial aggregation is impossible and the evaluator must enumerate
+    paths exhaustively (§4.1).
+    """
+
+    kind = AggregationKind.HOLISTIC
+
+    def __init__(
+        self,
+        combine_op: BinaryOp,
+        collect: Callable[[Sequence[Any]], Any],
+        edge_value: Optional[Callable[[float], Any]] = None,
+        name: str = "holistic",
+    ) -> None:
+        self.combine_op = combine_op
+        self._collect = collect
+        self._edge_value = edge_value if edge_value is not None else lambda w: w
+        self.name = name
+
+    def initial_edge(self, weight: float) -> Any:
+        return self._edge_value(weight)
+
+    def concat(self, left: Any, right: Any) -> Any:
+        return self.combine_op(left, right)
+
+    def finalize_all(self, path_values: Sequence[Any]) -> Any:
+        if not path_values:
+            raise AggregationError("finalize_all called with no path values")
+        return self._collect(list(path_values))

@@ -1,0 +1,92 @@
+"""Classification and verification of aggregate functions (§4.1).
+
+:func:`classify` reports the taxonomy class of an aggregate.
+:func:`check_distributive_pair` verifies Theorem 3's condition — ``⊗``
+distributes over ``⊕`` — numerically on sampled operands, which is how the
+library guards against a user declaring a :class:`DistributiveAggregate`
+with a non-distributive operator pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.aggregates.base import (
+    Aggregate,
+    AggregationKind,
+    BinaryOp,
+    DistributiveAggregate,
+)
+from repro.errors import AggregationError
+
+#: Default operand sample used by the numeric distributivity check.  It
+#: mixes signs, magnitudes and duplicates to exercise the usual failure
+#: modes (e.g. ``add`` does NOT distribute over ``add``).
+DEFAULT_SAMPLES: Sequence[float] = (-3.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 5.0)
+
+
+def classify(aggregate: Aggregate) -> AggregationKind:
+    """The taxonomy class of ``aggregate``."""
+    return aggregate.kind
+
+
+def _close(a: float, b: float, rel_tol: float) -> bool:
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if math.isinf(a) or math.isinf(b):
+            return a == b
+        return math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12)
+    return a == b
+
+
+def check_distributive_pair(
+    combine_op: BinaryOp,
+    merge_op: BinaryOp,
+    samples: Optional[Iterable[float]] = None,
+    rel_tol: float = 1e-9,
+) -> bool:
+    """Numerically test whether ``combine_op`` (⊗) distributes over
+    ``merge_op`` (⊕) on both sides:
+
+    ``a ⊗ (b ⊕ c) == (a ⊗ b) ⊕ (a ⊗ c)`` and
+    ``(b ⊕ c) ⊗ a == (b ⊗ a) ⊕ (c ⊗ a)``.
+
+    Returns ``True`` when every sampled triple satisfies both identities.
+    """
+    values = tuple(samples) if samples is not None else DEFAULT_SAMPLES
+    for a, b, c in itertools.product(values, repeat=3):
+        left = combine_op(a, merge_op(b, c))
+        right = merge_op(combine_op(a, b), combine_op(a, c))
+        if not _close(left, right, rel_tol):
+            return False
+        left = combine_op(merge_op(b, c), a)
+        right = merge_op(combine_op(b, a), combine_op(c, a))
+        if not _close(left, right, rel_tol):
+            return False
+    return True
+
+
+def validate_aggregate(
+    aggregate: Aggregate,
+    samples: Optional[Iterable[float]] = None,
+) -> None:
+    """Raise :class:`AggregationError` when a distributive (or algebraic)
+    aggregate's operator pair fails the Theorem 3 condition.
+
+    Holistic aggregates always pass (no condition applies to them).
+    """
+    if isinstance(aggregate, DistributiveAggregate):
+        if not check_distributive_pair(
+            aggregate.combine_op, aggregate.merge_op, samples
+        ):
+            raise AggregationError(
+                f"{aggregate.name}: operator {aggregate.combine_op.name} (⊗) "
+                f"does not distribute over {aggregate.merge_op.name} (⊕); "
+                f"declare this aggregate holistic instead"
+            )
+        return
+    components = getattr(aggregate, "components", None)
+    if components is not None:
+        for component in components:
+            validate_aggregate(component, samples)

@@ -1,0 +1,168 @@
+"""A library of ready-made aggregate functions.
+
+Distributive (usable with partial aggregation, §4.2):
+
+* :func:`path_count` — the paper's representative experiment aggregate;
+* :func:`weighted_path_count` — sum over paths of the product of weights;
+* :func:`max_min` / :func:`min_max` — bottleneck-style aggregates;
+* :func:`add_max` / :func:`sum_min` — longest/shortest weighted path.
+
+Algebraic:
+
+* :func:`avg_path_value` — AVG as (SUM, COUNT);
+* :func:`std_path_value` — population std-dev as (SUM, SUMSQ, COUNT).
+
+Holistic (full path enumeration required):
+
+* :func:`median_path_value`, :func:`top_k_path_values`,
+  :func:`count_distinct_path_values`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Sequence, Tuple
+
+from repro.aggregates.base import (
+    OP_ADD,
+    OP_MAX,
+    OP_MIN,
+    OP_MUL,
+    AlgebraicAggregate,
+    BinaryOp,
+    DistributiveAggregate,
+    HolisticAggregate,
+)
+
+
+# ----------------------------------------------------------------------
+# distributive aggregates
+# ----------------------------------------------------------------------
+def path_count() -> DistributiveAggregate:
+    """Number of matched paths per vertex pair (⊗ = ×, ⊕ = +, w(e) → 1).
+
+    This is the aggregate of the paper's co-author example and of all its
+    experiments.
+    """
+    return DistributiveAggregate(
+        OP_MUL, OP_ADD, edge_value=lambda w: 1.0, name="path_count"
+    )
+
+
+def weighted_path_count() -> DistributiveAggregate:
+    """Sum over paths of the product of edge weights (⊗ = ×, ⊕ = +)."""
+    return DistributiveAggregate(OP_MUL, OP_ADD, name="weighted_path_count")
+
+
+def max_min() -> DistributiveAggregate:
+    """Widest bottleneck: per path the minimum edge weight, over paths the
+    maximum (⊗ = min, ⊕ = max; min distributes over max)."""
+    return DistributiveAggregate(OP_MIN, OP_MAX, name="max_min")
+
+
+def min_max() -> DistributiveAggregate:
+    """Smallest worst edge: per path the maximum edge weight, over paths the
+    minimum (⊗ = max, ⊕ = min)."""
+    return DistributiveAggregate(OP_MAX, OP_MIN, name="min_max")
+
+
+def add_max() -> DistributiveAggregate:
+    """Longest weighted path: per path the sum of weights, over paths the
+    maximum (⊗ = +, ⊕ = max; + distributes over max)."""
+    return DistributiveAggregate(OP_ADD, OP_MAX, name="add_max")
+
+
+def sum_min() -> DistributiveAggregate:
+    """Shortest weighted path: per path the sum of weights, over paths the
+    minimum (⊗ = +, ⊕ = min)."""
+    return DistributiveAggregate(OP_ADD, OP_MIN, name="sum_min")
+
+
+#: boolean operators for reachability-style aggregates
+OP_AND = BinaryOp("and", lambda a, b: a and b, True)
+OP_OR = BinaryOp("or", lambda a, b: a or b, False)
+
+
+def exists_path() -> DistributiveAggregate:
+    """Pure reachability: ``True`` iff any matching path exists
+    (⊗ = AND over a path's edges, ⊕ = OR over paths; AND distributes over
+    OR).  Every extracted edge carries ``True`` — the cheapest possible
+    aggregate, useful when only the relation's *structure* matters."""
+    return DistributiveAggregate(
+        OP_AND, OP_OR, edge_value=lambda w: True, name="exists_path"
+    )
+
+
+# ----------------------------------------------------------------------
+# algebraic aggregates
+# ----------------------------------------------------------------------
+def avg_path_value() -> AlgebraicAggregate:
+    """Average over paths of the product of edge weights.
+
+    Maintained as the distributive pair (SUM-of-products, COUNT) with the
+    finaliser ``sum / count``.
+    """
+    total = weighted_path_count()
+    count = path_count()
+
+    def _avg(values: Tuple[Any, ...]) -> float:
+        sum_value, count_value = values
+        return sum_value / count_value
+
+    return AlgebraicAggregate([total, count], _avg, name="avg_path_value")
+
+
+def std_path_value() -> AlgebraicAggregate:
+    """Population standard deviation of per-path products of edge weights.
+
+    Maintained as (SUM, SUMSQ, COUNT); the SUMSQ component works because
+    ``(∏ w)² = ∏ (w²)`` decomposes edge-wise under ⊗ = ×.
+    """
+    total = weighted_path_count()
+    sumsq = DistributiveAggregate(
+        OP_MUL, OP_ADD, edge_value=lambda w: w * w, name="sumsq"
+    )
+    count = path_count()
+
+    def _std(values: Tuple[Any, ...]) -> float:
+        sum_value, sumsq_value, count_value = values
+        mean = sum_value / count_value
+        variance = max(sumsq_value / count_value - mean * mean, 0.0)
+        return math.sqrt(variance)
+
+    return AlgebraicAggregate([total, sumsq, count], _std, name="std_path_value")
+
+
+# ----------------------------------------------------------------------
+# holistic aggregates
+# ----------------------------------------------------------------------
+def median_path_value() -> HolisticAggregate:
+    """Median of the per-path products of edge weights."""
+
+    def _median(values: List[float]) -> float:
+        values = sorted(values)
+        n = len(values)
+        mid = n // 2
+        if n % 2:
+            return values[mid]
+        return (values[mid - 1] + values[mid]) / 2.0
+
+    return HolisticAggregate(OP_MUL, _median, name="median_path_value")
+
+
+def top_k_path_values(k: int) -> HolisticAggregate:
+    """The ``k`` largest per-path products of edge weights (descending)."""
+
+    def _topk(values: List[float]) -> Tuple[float, ...]:
+        return tuple(sorted(values, reverse=True)[:k])
+
+    return HolisticAggregate(OP_MUL, _topk, name=f"top_{k}_path_values")
+
+
+def count_distinct_path_values() -> HolisticAggregate:
+    """Number of distinct per-path products of edge weights."""
+
+    def _distinct(values: Sequence[float]) -> int:
+        return len(set(values))
+
+    return HolisticAggregate(OP_MUL, _distinct, name="count_distinct_path_values")

@@ -1,0 +1,44 @@
+"""Classic homogeneous-graph analyses over extracted graphs.
+
+The paper motivates homogeneous-graph extraction as the preprocessing step
+that lets classic single-typed-graph algorithms (centrality, community
+detection, similarity) run on heterogeneous data (§1).  This package
+provides the downstream half of that story for
+:class:`~repro.core.result.ExtractedGraph` instances.
+"""
+
+from repro.analysis.algorithms import (
+    connected_components,
+    degree_centrality,
+    pagerank,
+    top_edges,
+    weighted_degree,
+)
+from repro.analysis.similarity import (
+    clustering_coefficient,
+    global_clustering,
+    simrank,
+    triangle_count,
+)
+from repro.analysis.vertex_programs import (
+    ConnectedComponentsProgram,
+    PageRankProgram,
+    connected_components_parallel,
+    pagerank_parallel,
+)
+
+__all__ = [
+    "ConnectedComponentsProgram",
+    "PageRankProgram",
+    "clustering_coefficient",
+    "connected_components",
+    "connected_components_parallel",
+    "degree_centrality",
+    "global_clustering",
+    "pagerank",
+    "pagerank_parallel",
+    "simrank",
+    "top_edges",
+    "triangle_count",
+    "weighted_degree",
+]

@@ -1,0 +1,104 @@
+"""Analyses over extracted edge-homogeneous graphs.
+
+All functions take an :class:`~repro.core.result.ExtractedGraph` and treat
+its aggregate values as edge weights.  Only numeric-valued extractions are
+supported (which covers every distributive/algebraic aggregate in the
+library).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, List, Tuple
+
+from repro.core.result import ExtractedGraph
+from repro.graph.hetgraph import VertexId
+
+
+def top_edges(graph: ExtractedGraph, k: int = 10) -> List[Tuple[VertexId, VertexId, float]]:
+    """The ``k`` strongest extracted relations, by aggregate value."""
+    ranked = sorted(graph.edges.items(), key=lambda item: (-item[1], item[0]))
+    return [(u, v, value) for (u, v), value in ranked[:k]]
+
+
+def weighted_degree(graph: ExtractedGraph) -> Dict[VertexId, float]:
+    """Sum of outgoing aggregate values per vertex (zero for isolated
+    vertices, which Definition 3 keeps in the vertex set)."""
+    degrees: Dict[VertexId, float] = {vid: 0.0 for vid in graph.vertices}
+    for (u, _v), value in graph.edges.items():
+        degrees[u] = degrees.get(u, 0.0) + value
+    return degrees
+
+
+def degree_centrality(graph: ExtractedGraph) -> Dict[VertexId, float]:
+    """Out-degree (edge count) normalised by the number of possible
+    neighbours."""
+    counts: Dict[VertexId, int] = {vid: 0 for vid in graph.vertices}
+    for (u, _v) in graph.edges:
+        counts[u] = counts.get(u, 0) + 1
+    denom = max(len(graph.vertices) - 1, 1)
+    return {vid: count / denom for vid, count in counts.items()}
+
+
+def connected_components(graph: ExtractedGraph) -> List[List[VertexId]]:
+    """Weakly connected components (largest first, members sorted)."""
+    neighbours: Dict[VertexId, List[VertexId]] = defaultdict(list)
+    for (u, v) in graph.edges:
+        neighbours[u].append(v)
+        neighbours[v].append(u)
+    seen = set()
+    components: List[List[VertexId]] = []
+    for start in graph.vertices:
+        if start in seen:
+            continue
+        queue = deque([start])
+        seen.add(start)
+        component = []
+        while queue:
+            vid = queue.popleft()
+            component.append(vid)
+            for other in neighbours.get(vid, ()):
+                if other not in seen:
+                    seen.add(other)
+                    queue.append(other)
+        components.append(sorted(component))
+    components.sort(key=lambda c: (-len(c), c[0]))
+    return components
+
+
+def pagerank(
+    graph: ExtractedGraph,
+    damping: float = 0.85,
+    max_iterations: int = 100,
+    tolerance: float = 1e-10,
+) -> Dict[VertexId, float]:
+    """Weighted PageRank over the extracted graph (power iteration).
+
+    Edge aggregate values act as transition weights; dangling mass is
+    redistributed uniformly.  Scores sum to 1.
+    """
+    vertices = sorted(graph.vertices)
+    if not vertices:
+        return {}
+    n = len(vertices)
+    out_weight: Dict[VertexId, float] = defaultdict(float)
+    out_edges: Dict[VertexId, List[Tuple[VertexId, float]]] = defaultdict(list)
+    for (u, v), value in graph.edges.items():
+        if value <= 0:
+            continue
+        out_weight[u] += value
+        out_edges[u].append((v, value))
+
+    rank = {vid: 1.0 / n for vid in vertices}
+    for _ in range(max_iterations):
+        dangling = sum(rank[v] for v in vertices if out_weight[v] == 0.0)
+        nxt = {vid: (1.0 - damping) / n + damping * dangling / n for vid in vertices}
+        for u, edges in out_edges.items():
+            share = damping * rank[u] / out_weight[u]
+            for v, value in edges:
+                nxt[v] += share * value
+        delta = sum(abs(nxt[v] - rank[v]) for v in vertices)
+        rank = nxt
+        if delta < tolerance:
+            break
+    return rank

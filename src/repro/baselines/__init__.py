@@ -1,0 +1,21 @@
+"""Comparator implementations: brute-force oracle, graph-database-style
+traversal, matrix path algebra, and RPQ frontier expansion."""
+
+from repro.baselines.bruteforce import (
+    enumerate_paths,
+    extract_bruteforce,
+    path_value,
+)
+from repro.baselines.graphdb import extract_graphdb
+from repro.baselines.matrix import extract_matrix
+from repro.baselines.rpq import RPQProgram, extract_rpq
+
+__all__ = [
+    "RPQProgram",
+    "enumerate_paths",
+    "extract_bruteforce",
+    "extract_graphdb",
+    "extract_matrix",
+    "extract_rpq",
+    "path_value",
+]

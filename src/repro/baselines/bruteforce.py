@@ -1,0 +1,108 @@
+"""Brute-force extraction oracle.
+
+A direct depth-first enumeration of every walk matching the line pattern,
+followed by a literal application of the two-level aggregate model
+(Definition 4).  It is deliberately simple — this module is the ground
+truth the test suite compares every other implementation against, so it
+shares no code with the framework under test.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.aggregates.base import Aggregate
+from repro.core.result import ExtractedGraph, ExtractionResult
+from repro.engine.metrics import RunMetrics, SuperstepMetrics
+from repro.graph.hetgraph import HeterogeneousGraph, VertexId
+from repro.graph.pattern import (
+    LinePattern,
+    label_matches,
+    traverse_slot,
+    vertices_matching,
+)
+
+
+def enumerate_paths(
+    graph: HeterogeneousGraph, pattern: LinePattern
+) -> Iterator[Tuple[Tuple[VertexId, ...], Tuple[float, ...]]]:
+    """Yield every matching walk as ``(vertex_sequence, edge_weights)``.
+
+    Walks are non-simple: vertices and edges may repeat, exactly as the
+    extraction problem requires (§2.3).
+    """
+    length = pattern.length
+    filters = [pattern.filter_at(position) for position in range(length + 1)]
+
+    def expand(
+        position: int, trail: List[VertexId], weights: List[float]
+    ) -> Iterator[Tuple[Tuple[VertexId, ...], Tuple[float, ...]]]:
+        if position == length:
+            yield tuple(trail), tuple(weights)
+            return
+        slot = position + 1
+        edge = pattern.edge_slot(slot)
+        vid = trail[-1]
+        entries = traverse_slot(graph, edge, vid, towards_right=True)
+        next_label = pattern.label_at(slot)
+        next_filter = filters[slot]
+        for other, weight in entries:
+            if not label_matches(graph.label_of(other), next_label):
+                continue
+            if next_filter is not None and not next_filter.matches(
+                graph.vertex_attrs(other)
+            ):
+                continue
+            trail.append(other)
+            weights.append(weight)
+            yield from expand(position + 1, trail, weights)
+            trail.pop()
+            weights.pop()
+
+    start_filter = filters[0]
+    for start in vertices_matching(graph, pattern.start_label):
+        if start_filter is not None and not start_filter.matches(
+            graph.vertex_attrs(start)
+        ):
+            continue
+        yield from expand(0, [start], [])
+
+
+def path_value(aggregate: Aggregate, weights: Tuple[float, ...]) -> Any:
+    """``⊗`` fold of a path's edge weights (Definition 4, step 1)."""
+    value = aggregate.initial_edge(weights[0])
+    for weight in weights[1:]:
+        value = aggregate.concat(value, aggregate.initial_edge(weight))
+    return value
+
+
+def extract_bruteforce(
+    graph: HeterogeneousGraph,
+    pattern: LinePattern,
+    aggregate: Aggregate,
+) -> ExtractionResult:
+    """Extract by exhaustive enumeration — the test oracle."""
+    start_time = time.perf_counter()
+    per_pair: Dict[Tuple[VertexId, VertexId], List[Any]] = {}
+    total_paths = 0
+    for trail, weights in enumerate_paths(graph, pattern):
+        total_paths += 1
+        key = (trail[0], trail[-1])
+        per_pair.setdefault(key, []).append(path_value(aggregate, weights))
+    edges = {
+        key: aggregate.finalize_all(values) for key, values in per_pair.items()
+    }
+    vertices = set(vertices_matching(graph, pattern.start_label))
+    vertices.update(vertices_matching(graph, pattern.end_label))
+    metrics = RunMetrics(num_workers=1)
+    metrics.supersteps.append(
+        SuperstepMetrics(superstep=0, work_per_worker=[total_paths])
+    )
+    metrics.counters["final_paths"] = total_paths
+    metrics.counters["intermediate_paths"] = total_paths
+    metrics.wall_time_s = time.perf_counter() - start_time
+    extracted = ExtractedGraph(
+        pattern.start_label, pattern.end_label, vertices, edges
+    )
+    return ExtractionResult(graph=extracted, metrics=metrics, plan=None)

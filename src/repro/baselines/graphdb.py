@@ -1,0 +1,107 @@
+"""Graph-database-style baseline (the paper's Neo4j comparator, §6.1).
+
+The paper queries a graph database as follows: *"we first retrieve
+vertices matched by the start vertex of the input pattern; then we query
+the paths and aggregate them for each retrieved vertex."*  This module
+reproduces that execution shape: a **single-threaded, per-start-vertex
+local traversal** that fully enumerates each source's matching paths
+before aggregating them — the database's local-query optimisation applied
+to an inherently global workload, which is exactly why it loses (Table 2).
+
+Instrumentation mirrors a database profiler: ``db_hits`` counts every edge
+expansion, ``intermediate_paths`` counts every partial path the traversal
+holds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Tuple
+
+from repro.aggregates.base import Aggregate
+from repro.core.result import ExtractedGraph, ExtractionResult
+from repro.engine.metrics import RunMetrics, SuperstepMetrics
+from repro.graph.hetgraph import HeterogeneousGraph, VertexId
+from repro.graph.pattern import (
+    LinePattern,
+    label_matches,
+    traverse_slot,
+    vertices_matching,
+)
+
+
+def extract_graphdb(
+    graph: HeterogeneousGraph,
+    pattern: LinePattern,
+    aggregate: Aggregate,
+) -> ExtractionResult:
+    """Per-start-vertex path query + aggregation (Neo4j-style)."""
+    start_time = time.perf_counter()
+    length = pattern.length
+    edges: Dict[Tuple[VertexId, VertexId], Any] = {}
+    db_hits = 0
+    intermediate = 0
+    final_paths = 0
+
+    slot_edges = [pattern.edge_slot(slot) for slot in range(1, length + 1)]
+    slot_labels = [pattern.label_at(slot) for slot in range(1, length + 1)]
+    slot_filters = [pattern.filter_at(slot) for slot in range(1, length + 1)]
+    start_filter = pattern.filter_at(0)
+
+    for source in vertices_matching(graph, pattern.start_label):
+        if start_filter is not None and not start_filter.matches(
+            graph.vertex_attrs(source)
+        ):
+            continue
+        # iterative frontier of partial paths from this single source
+        frontier: List[Tuple[VertexId, Any]] = [(source, None)]
+        for position in range(length):
+            edge = slot_edges[position]
+            next_label = slot_labels[position]
+            next_frontier: List[Tuple[VertexId, Any]] = []
+            for vid, value in frontier:
+                entries = traverse_slot(graph, edge, vid, towards_right=True)
+                db_hits += len(entries)
+                next_filter = slot_filters[position]
+                for other, weight in entries:
+                    if not label_matches(graph.label_of(other), next_label):
+                        continue
+                    if next_filter is not None and not next_filter.matches(
+                        graph.vertex_attrs(other)
+                    ):
+                        continue
+                    step_value = aggregate.initial_edge(weight)
+                    new_value = (
+                        step_value
+                        if value is None
+                        else aggregate.concat(value, step_value)
+                    )
+                    next_frontier.append((other, new_value))
+            frontier = next_frontier
+            intermediate += len(frontier)
+            if not frontier:
+                break
+        if not frontier:
+            continue
+        per_end: Dict[VertexId, List[Any]] = {}
+        for end, value in frontier:
+            per_end.setdefault(end, []).append(value)
+        final_paths += len(frontier)
+        for end, values in per_end.items():
+            edges[(source, end)] = aggregate.finalize_all(values)
+
+    vertices = set(vertices_matching(graph, pattern.start_label))
+    vertices.update(vertices_matching(graph, pattern.end_label))
+    metrics = RunMetrics(num_workers=1)
+    metrics.supersteps.append(
+        SuperstepMetrics(superstep=0, work_per_worker=[db_hits + intermediate])
+    )
+    metrics.counters["db_hits"] = db_hits
+    metrics.counters["intermediate_paths"] = intermediate
+    metrics.counters["final_paths"] = final_paths
+    metrics.counters["result_edges"] = len(edges)
+    metrics.wall_time_s = time.perf_counter() - start_time
+    extracted = ExtractedGraph(
+        pattern.start_label, pattern.end_label, vertices, edges
+    )
+    return ExtractionResult(graph=extracted, metrics=metrics, plan=None)

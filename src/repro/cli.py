@@ -1,0 +1,396 @@
+"""Command-line interface.
+
+Run as ``python -m repro <command>``:
+
+* ``workloads`` — list the paper's named patterns;
+* ``generate``  — build a synthetic dataset and write it to disk;
+* ``plan``      — show the concatenation plans each strategy compiles;
+* ``extract``   — run one extraction and report metrics (optionally
+  writing the extracted edge list);
+* ``compare``   — run several methods on one workload and print a table.
+
+Examples
+--------
+.. code-block:: bash
+
+    python -m repro workloads
+    python -m repro generate --dataset dblp --scale 0.5 --out dblp.json
+    python -m repro plan --dataset patent --pattern \\
+        "Inventor -[invents]-> Patent <-[invents]- Inventor"
+    python -m repro extract --dataset dblp --workload dblp-SP1 --workers 8
+    python -m repro compare --dataset dblp --workload dblp-SP2 \\
+        --methods pge,rpq,matrix
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.aggregates import library
+from repro.core.extractor import GraphExtractor
+from repro.core.planner import STRATEGIES
+from repro.errors import ReproError
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.io import load_edgelist, load_json, save_edgelist, save_json
+from repro.graph.pattern import LinePattern
+from repro.workloads.harness import (
+    METHODS,
+    Row,
+    format_table,
+    reference_graph,
+    run_method,
+)
+from repro.workloads.patterns import WORKLOADS, get_workload
+
+#: aggregate factories addressable from the command line
+AGGREGATES = {
+    "path_count": library.path_count,
+    "weighted_path_count": library.weighted_path_count,
+    "max_min": library.max_min,
+    "min_max": library.min_max,
+    "add_max": library.add_max,
+    "sum_min": library.sum_min,
+    "avg": library.avg_path_value,
+    "std": library.std_path_value,
+    "median": library.median_path_value,
+}
+
+
+# ----------------------------------------------------------------------
+# shared argument handling
+# ----------------------------------------------------------------------
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--dataset",
+        choices=["dblp", "patent"],
+        help="synthetic reference dataset",
+    )
+    source.add_argument(
+        "--graph", metavar="FILE", help="load a graph from .json or edge-list file"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="dataset scale factor (default 1.0)"
+    )
+
+
+def _add_pattern_args(parser: argparse.ArgumentParser) -> None:
+    which = parser.add_mutually_exclusive_group(required=True)
+    which.add_argument("--workload", help="a named paper workload (see `workloads`)")
+    which.add_argument(
+        "--pattern",
+        help='a line pattern, e.g. "Author -[authorBy]-> Paper <-[authorBy]- Author"',
+    )
+
+
+def _resolve_graph(args: argparse.Namespace) -> HeterogeneousGraph:
+    if args.graph:
+        if args.graph.endswith(".json"):
+            return load_json(args.graph)
+        return load_edgelist(args.graph)
+    dataset = args.dataset
+    if dataset is None and getattr(args, "workload", None):
+        dataset = get_workload(args.workload).dataset
+    if dataset is None:
+        raise ReproError("pass --dataset, --graph, or a named --workload")
+    return reference_graph(dataset, args.scale)
+
+
+def _resolve_pattern(args: argparse.Namespace) -> LinePattern:
+    if args.workload:
+        return get_workload(args.workload).pattern
+    return LinePattern.parse(args.pattern)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [
+        Row(
+            name,
+            {
+                "dataset": w.dataset,
+                "kind": w.kind,
+                "length": w.pattern.length,
+                "pattern": str(w.pattern),
+            },
+        )
+        for name, w in sorted(WORKLOADS.items())
+    ]
+    print(format_table(rows, ["dataset", "kind", "length", "pattern"]))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    graph = reference_graph(args.dataset, args.scale)
+    if args.out.endswith(".json"):
+        save_json(graph, args.out)
+    else:
+        save_edgelist(graph, args.out)
+    print(f"wrote {graph} to {args.out}")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    graph = _resolve_graph(args)
+    pattern = _resolve_pattern(args)
+    extractor = GraphExtractor(graph, estimator=args.estimator)
+    if pattern.length == 1:
+        print("pattern has length 1: evaluated directly, no plan needed")
+        return 0
+    strategies = [args.strategy] if args.strategy else list(STRATEGIES)
+    for strategy in strategies:
+        plan = extractor.plan(pattern, strategy=strategy)
+        print(plan.describe())
+        print()
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    graph = _resolve_graph(args)
+    pattern = _resolve_pattern(args)
+    aggregate = AGGREGATES[args.aggregate]()
+    extractor = GraphExtractor(
+        graph,
+        num_workers=args.workers,
+        strategy=args.strategy or "hybrid",
+        partial_aggregation=not args.basic,
+        estimator=args.estimator,
+    )
+    result = extractor.extract(pattern, aggregate)
+    summary = result.summary()
+    rows = [Row(key, {"value": value}) for key, value in sorted(summary.items())]
+    print(format_table(rows, ["value"], title=f"extract {pattern}", label_header="metric"))
+    if args.top:
+        ranked = sorted(
+            result.graph.edge_items(), key=lambda item: -float(item[1])
+        )[: args.top]
+        print("\nstrongest extracted relations:")
+        for (u, v), value in ranked:
+            print(f"  {u} -> {v}: {value}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for u, v, value in result.graph.sorted_edges():
+                handle.write(f"{u}\t{v}\t{value}\n")
+        print(f"\nwrote {result.graph.num_edges()} edges to {args.out}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Extract, then run a downstream analysis on the extracted graph."""
+    from repro.analysis import (
+        connected_components,
+        pagerank,
+        top_edges,
+        weighted_degree,
+    )
+
+    graph = _resolve_graph(args)
+    pattern = _resolve_pattern(args)
+    extractor = GraphExtractor(graph, num_workers=args.workers)
+    result = extractor.extract(pattern, AGGREGATES[args.aggregate]())
+    extracted = result.graph
+    print(f"extracted: {extracted}")
+    if args.analysis == "pagerank":
+        scores = pagerank(extracted)
+        ranked = sorted(scores.items(), key=lambda kv: -kv[1])[: args.top]
+        print(f"\ntop {args.top} vertices by weighted PageRank:")
+        for vid, score in ranked:
+            print(f"  {vid}: {score:.6f}")
+    elif args.analysis == "components":
+        components = connected_components(extracted)
+        print(f"\n{len(components)} weakly connected components")
+        for component in components[: args.top]:
+            preview = component[:8]
+            suffix = "..." if len(component) > 8 else ""
+            print(f"  size {len(component)}: {preview}{suffix}")
+    elif args.analysis == "degree":
+        degrees = weighted_degree(extracted)
+        ranked = sorted(degrees.items(), key=lambda kv: -kv[1])[: args.top]
+        print(f"\ntop {args.top} vertices by weighted out-degree:")
+        for vid, degree in ranked:
+            print(f"  {vid}: {degree:g}")
+    else:  # strongest relations
+        print(f"\ntop {args.top} extracted relations:")
+        for u, v, value in top_edges(extracted, args.top):
+            print(f"  {u} -> {v}: {value}")
+    return 0
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    """Enumerate and rank candidate metapaths between two labels."""
+    from repro.workloads.discovery import discover
+
+    graph = _resolve_graph(args)
+    ranked = discover(
+        graph,
+        args.start,
+        args.end,
+        max_length=args.max_length,
+        top=args.top,
+        only_symmetric=args.symmetric,
+    )
+    if not ranked:
+        print(
+            f"no satisfiable patterns of length <= {args.max_length} "
+            f"between {args.start} and {args.end}"
+        )
+        return 0
+    rows = [
+        Row(str(pattern), {"length": pattern.length, "est_paths": estimate})
+        for pattern, estimate in ranked
+    ]
+    print(
+        format_table(
+            rows,
+            ["length", "est_paths"],
+            title=f"candidate metapaths {args.start} .. {args.end}",
+            label_header="pattern",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    graph = _resolve_graph(args)
+    pattern = _resolve_pattern(args)
+    aggregate_factory = AGGREGATES[args.aggregate]
+    methods = args.methods.split(",")
+    rows = []
+    reference = None
+    for method in methods:
+        result = run_method(
+            method, graph, pattern, aggregate=aggregate_factory(),
+            num_workers=args.workers,
+        )
+        if reference is None:
+            reference = result.graph
+        agree = result.graph.equals(reference)
+        rows.append(
+            Row(
+                method,
+                {
+                    "edges": result.graph.num_edges(),
+                    "iterations": result.iterations,
+                    "interm_paths": result.intermediate_paths,
+                    "work": result.metrics.total_work,
+                    "wall_s": result.metrics.wall_time_s,
+                    "agrees": agree,
+                },
+            )
+        )
+    print(
+        format_table(
+            rows,
+            ["edges", "iterations", "interm_paths", "work", "wall_s", "agrees"],
+            title=f"compare {pattern}",
+            label_header="method",
+        )
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast parallel path concatenation for graph extraction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the paper's named patterns")
+
+    generate = sub.add_parser("generate", help="write a synthetic dataset")
+    generate.add_argument("--dataset", choices=["dblp", "patent"], required=True)
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--out", required=True, help=".json or edge-list path")
+
+    estimators = ["uniform", "exact-leaf", "sampling"]
+
+    plan = sub.add_parser("plan", help="show concatenation plans")
+    _add_graph_args(plan)
+    _add_pattern_args(plan)
+    plan.add_argument("--strategy", choices=STRATEGIES)
+    plan.add_argument("--estimator", choices=estimators, default="uniform")
+
+    extract = sub.add_parser("extract", help="run one extraction")
+    _add_graph_args(extract)
+    _add_pattern_args(extract)
+    extract.add_argument("--aggregate", choices=sorted(AGGREGATES), default="path_count")
+    extract.add_argument("--strategy", choices=STRATEGIES)
+    extract.add_argument("--estimator", choices=estimators, default="uniform")
+    extract.add_argument("--workers", type=int, default=4)
+    extract.add_argument(
+        "--basic", action="store_true", help="disable partial aggregation"
+    )
+    extract.add_argument("--top", type=int, default=0, help="print the top-K edges")
+    extract.add_argument("--out", help="write extracted edges as TSV")
+
+    analyze = sub.add_parser(
+        "analyze", help="extract, then analyse the extracted graph"
+    )
+    _add_graph_args(analyze)
+    _add_pattern_args(analyze)
+    analyze.add_argument(
+        "--analysis",
+        choices=["pagerank", "components", "degree", "top-edges"],
+        default="top-edges",
+    )
+    analyze.add_argument("--aggregate", choices=sorted(AGGREGATES), default="path_count")
+    analyze.add_argument("--workers", type=int, default=4)
+    analyze.add_argument("--top", type=int, default=10)
+
+    discover = sub.add_parser(
+        "discover", help="enumerate and rank candidate metapaths"
+    )
+    _add_graph_args(discover)
+    discover.add_argument("--start", required=True, help="start vertex label")
+    discover.add_argument("--end", required=True, help="end vertex label")
+    discover.add_argument("--max-length", type=int, default=4)
+    discover.add_argument("--top", type=int, default=10)
+    discover.add_argument(
+        "--symmetric", action="store_true",
+        help="only symmetry patterns (equal to their own reverse)",
+    )
+
+    compare = sub.add_parser("compare", help="run several methods on one workload")
+    _add_graph_args(compare)
+    _add_pattern_args(compare)
+    compare.add_argument("--aggregate", choices=sorted(AGGREGATES), default="path_count")
+    compare.add_argument(
+        "--methods",
+        default="pge,graphdb,matrix,rpq",
+        help=f"comma-separated subset of {','.join(METHODS)}",
+    )
+    compare.add_argument("--workers", type=int, default=4)
+
+    return parser
+
+
+COMMANDS = {
+    "workloads": cmd_workloads,
+    "generate": cmd_generate,
+    "plan": cmd_plan,
+    "extract": cmd_extract,
+    "analyze": cmd_analyze,
+    "discover": cmd_discover,
+    "compare": cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The paper's core contribution: path-concatenation planning, cost-based
+plan selection, vertex-centric evaluation and pair-wise aggregation."""
+
+from repro.core.cost import CostModel, ExactLeafCostModel
+from repro.core.evaluator import PathConcatenationProgram, run_extraction
+from repro.core.extractor import GraphExtractor
+from repro.core.incremental import IncrementalExtractor
+from repro.core.plan import PCP, PCPNode, Placement, SideKind
+from repro.core.planner import (
+    STRATEGIES,
+    hybrid_plan,
+    iter_opt_plan,
+    line_plan,
+    make_plan,
+    path_opt_plan,
+)
+from repro.core.result import ExtractedGraph, ExtractionResult
+from repro.core.sampling import SamplingCostModel
+
+__all__ = [
+    "CostModel",
+    "ExactLeafCostModel",
+    "ExtractedGraph",
+    "ExtractionResult",
+    "GraphExtractor",
+    "IncrementalExtractor",
+    "PCP",
+    "PCPNode",
+    "PathConcatenationProgram",
+    "Placement",
+    "STRATEGIES",
+    "SamplingCostModel",
+    "SideKind",
+    "hybrid_plan",
+    "iter_opt_plan",
+    "line_plan",
+    "make_plan",
+    "path_opt_plan",
+    "run_extraction",
+]

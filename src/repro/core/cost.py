@@ -1,0 +1,215 @@
+"""The planner's cost model (§3.3 and §5.1 of the paper).
+
+The cost of evaluating one primitive pattern covering segment ``[i, j]``
+with pivot ``k`` is the number of concatenation operations it performs,
+which equals the number of paths it produces (Eq. 4):
+
+.. code-block:: text
+
+    S_pp = Σ_{v matches pivot} d_left(v) · d_right(v)
+
+Under the paper's uniform-distribution assumption (Eq. 7) this becomes
+
+.. code-block:: text
+
+    S_pp = |V_k| · (cnt[i,k] / |V_k|) · (cnt[k,j] / |V_k|)
+         = cnt[i,k] · cnt[k,j] / |V_k|
+
+where ``cnt[i,j]`` is the expected number of paths matching segment
+``[i, j]``.  The estimate unifies Eq. 7's three cases: for an NL side,
+``cnt`` of a single slot is the typed-edge count, so ``cnt/|V_k|`` is the
+average slot degree; for a QL side it is the child's expected output per
+pivot vertex.
+
+``cnt`` itself has a closed form under uniformity — the product of the
+slot edge counts divided by the product of the interior label populations —
+so a path-count estimate is independent of how the segment is split (the
+estimate of *output* size must not depend on the plan, only the
+*intermediate* totals do).
+
+A partial-aggregation-aware mode caps each side's per-pivot fan-out by the
+number of distinct endpoint vertices, modelling Algorithm 3's merging of
+intermediate paths that share (start, end).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.plan import PCP, PCPNode
+from repro.errors import PlanError
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import (
+    LinePattern,
+    label_matches,
+    traverse_slot,
+)
+from repro.graph.stats import GraphStatistics
+
+
+class CostModel:
+    """Estimates intermediate-path counts for plans over one pattern.
+
+    Parameters
+    ----------
+    pattern:
+        The line pattern being planned.
+    stats:
+        Statistics of the target graph
+        (:meth:`~repro.graph.stats.GraphStatistics.collect`).
+    partial_aggregation:
+        When ``True``, per-pivot side sizes are capped by the distinct
+        endpoint populations (the effect of Algorithm 3).
+    """
+
+    def __init__(
+        self,
+        pattern: LinePattern,
+        stats: GraphStatistics,
+        partial_aggregation: bool = False,
+    ) -> None:
+        self.pattern = pattern
+        self.stats = stats
+        self.partial_aggregation = partial_aggregation
+        self._slot_counts: Tuple[float, ...] = tuple(
+            stats.slot_edge_count(
+                pattern.label_at(slot - 1),
+                pattern.edge_slot(slot),
+                pattern.label_at(slot),
+            )
+            for slot in range(1, pattern.length + 1)
+        )
+        self._count_cache: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # cardinality estimation
+    # ------------------------------------------------------------------
+    def label_population(self, position: int) -> float:
+        """``|V(label)|`` of the pattern position (at least 1 to keep the
+        uniform-join division well defined on empty labels)."""
+        return max(self.stats.vertex_count(self.pattern.label_at(position)), 1)
+
+    def segment_count(self, i: int, j: int) -> float:
+        """Expected number of paths matching segment ``[i, j]``."""
+        if not 0 <= i < j <= self.pattern.length:
+            raise PlanError(f"invalid segment [{i},{j}]")
+        key = (i, j)
+        cached = self._count_cache.get(key)
+        if cached is not None:
+            return cached
+        count = 1.0
+        for slot in range(i + 1, j + 1):
+            count *= self._slot_counts[slot - 1]
+        for position in range(i + 1, j):
+            count /= self.label_population(position)
+        self._count_cache[key] = count
+        return count
+
+    def side_size_per_pivot(self, i: int, j: int, pivot_position: int) -> float:
+        """Expected number of partial paths for segment ``[i, j]`` stored at
+        one pivot vertex (the pivot is an endpoint of the segment).
+
+        With partial aggregation the size is additionally capped by the
+        population of the segment's far endpoint: merged partial paths are
+        keyed by their far vertex, so a pivot can hold at most
+        ``|V(far_label)|`` of them.
+        """
+        population = self.label_population(pivot_position)
+        size = self.segment_count(i, j) / population
+        if self.partial_aggregation:
+            far = j if pivot_position == i else i
+            size = min(size, self.label_population(far))
+        return size
+
+    # ------------------------------------------------------------------
+    # plan costing
+    # ------------------------------------------------------------------
+    def node_cost(self, i: int, k: int, j: int) -> float:
+        """Estimated cost ``S_pp`` (Eq. 7) of a node ``[i, k, j]``: the
+        number of concatenation operations / produced paths."""
+        left = self.side_size_per_pivot(i, k, k)
+        right = self.side_size_per_pivot(k, j, k)
+        produced = self.label_population(k) * left * right
+        if self.partial_aggregation:
+            # Merged output is keyed by (start, end) pairs.
+            produced = min(
+                produced, self.label_population(i) * self.label_population(j)
+            )
+        return produced
+
+    def plan_cost(self, plan: PCP) -> float:
+        """Estimated total intermediate paths ``S_pcp`` (Eq. 3): the sum of
+        every node's ``S_pp``."""
+        return sum(self.node_cost(n.i, n.k, n.j) for n in plan.nodes())
+
+    def node_cost_of(self, node: PCPNode) -> float:
+        return self.node_cost(node.i, node.k, node.j)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "partial" if self.partial_aggregation else "basic"
+        return f"<{type(self).__name__} pattern={self.pattern!s} mode={mode}>"
+
+
+class ExactLeafCostModel(CostModel):
+    """A refinement of the uniform model: NL-NL leaf costs are computed
+    *exactly*.
+
+    Equation 4 defines a node's cost as ``Σ_v d_left(v) · d_right(v)``
+    over the pivot's matches.  For an NL-NL node both sides are single
+    edge slots, so the per-vertex degrees are directly observable in the
+    graph — no uniformity assumption needed.  The paper (§5.1) notes that
+    a "sophisticated distribution assumption … can be used to increase the
+    accuracy of the estimation"; exact leaf degrees are the strongest such
+    refinement available without estimating QL-side result distributions,
+    which capture the degree-correlation effects (hubs!) the uniform model
+    misses.  QL sides still use the uniform recursion.
+    """
+
+    def __init__(
+        self,
+        pattern: LinePattern,
+        graph: HeterogeneousGraph,
+        stats: Optional[GraphStatistics] = None,
+        partial_aggregation: bool = False,
+    ) -> None:
+        if stats is None:
+            stats = GraphStatistics.collect(graph)
+        super().__init__(pattern, stats, partial_aggregation=partial_aggregation)
+        self.graph = graph
+        self._leaf_cache: Dict[int, float] = {}
+
+    def _pivot_slot_degree(self, vid, slot: int, pivot_is_left: bool) -> int:
+        """Number of graph edges matching ``slot`` incident to pivot
+        ``vid`` (the pivot sits at the slot's left or right position)."""
+        edge = self.pattern.edge_slot(slot)
+        if pivot_is_left:
+            far_label = self.pattern.label_at(slot)
+        else:
+            far_label = self.pattern.label_at(slot - 1)
+        entries = traverse_slot(self.graph, edge, vid, towards_right=pivot_is_left)
+        label_of = self.graph.label_of
+        return sum(
+            1 for other, _w in entries if label_matches(label_of(other), far_label)
+        )
+
+    def node_cost(self, i: int, k: int, j: int) -> float:
+        if k - i == 1 and j - k == 1:  # NL-NL leaf: Eq. 4, exactly
+            cached = self._leaf_cache.get(k)
+            if cached is None:
+                pivot_label = self.pattern.label_at(k)
+                cached = float(
+                    sum(
+                        self._pivot_slot_degree(v, k, pivot_is_left=False)
+                        * self._pivot_slot_degree(v, k + 1, pivot_is_left=True)
+                        for v in self.graph.vertices_with_label(pivot_label)
+                    )
+                )
+                self._leaf_cache[k] = cached
+            produced = cached
+            if self.partial_aggregation:
+                produced = min(
+                    produced,
+                    self.label_population(i) * self.label_population(j),
+                )
+            return produced
+        return super().node_cost(i, k, j)

@@ -1,0 +1,413 @@
+"""PCP evaluation as a vertex program (Algorithms 1-3 of the paper).
+
+One BSP superstep evaluates one level of the plan tree, deepest level
+first; the final superstep runs the pair-wise aggregation at the end
+vertices.  Two execution modes share this program:
+
+* ``mode="basic"`` — Algorithm 2: intermediate paths are materialised
+  individually as ``(far_endpoint, value)`` items; the aggregate is only
+  applied after all final paths have been enumerated.
+* ``mode="partial"`` — Algorithm 3: intermediate items sharing the same
+  (start, end) pair are merged with ``⊕`` both when received and when
+  produced, so each pivot emits at most one item per endpoint pair.
+  Requires a distributive or algebraic aggregate (Theorem 3).
+
+Message shape: ``(node_id, far_vertex, value)`` — the *other* endpoint is
+always the receiving vertex itself, because a node's paths are stored at
+their end vertex when the node is a left child (or the root) and at their
+start vertex when it is a right child (Algorithm 2, lines 15-19).  In
+trace mode messages additionally carry the full vertex trail.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.aggregates.base import Aggregate
+from repro.core.plan import PCP, PCPNode, Placement, SideKind
+from repro.core.result import ExtractedGraph, ExtractionResult
+from repro.engine.bsp import BSPEngine, ComputeContext, VertexProgram
+from repro.engine.metrics import RunMetrics
+from repro.errors import AggregationError, EngineError, PlanError
+from repro.graph.hetgraph import HeterogeneousGraph, VertexId
+from repro.graph.pattern import (
+    LinePattern,
+    label_matches,
+    traverse_slot,
+    vertices_matching,
+)
+
+#: Sentinel node id for the single-edge pseudo-plan (patterns of length 1).
+_DIRECT_ROOT = -1
+
+
+class PathConcatenationProgram(VertexProgram):
+    """Vertex program evaluating a PCP and the pair-wise aggregation.
+
+    Parameters
+    ----------
+    graph:
+        The heterogeneous graph.
+    pattern:
+        The line pattern (only needed for labels; the plan references it).
+    plan:
+        A :class:`~repro.core.plan.PCP`, or ``None`` for length-1 patterns
+        (evaluated as a direct edge scan).
+    aggregate:
+        The two-level aggregate.
+    mode:
+        ``"basic"`` (Algorithm 2) or ``"partial"`` (Algorithm 3).
+    trace:
+        When true (basic mode only) full vertex trails are carried along
+        and the per-pair path lists are returned in the result.
+    """
+
+    def __init__(
+        self,
+        graph: HeterogeneousGraph,
+        pattern: LinePattern,
+        plan: Optional[PCP],
+        aggregate: Aggregate,
+        mode: str = "partial",
+        trace: bool = False,
+        use_combiner: bool = False,
+    ) -> None:
+        if mode not in ("basic", "partial"):
+            raise PlanError(f"mode must be 'basic' or 'partial', got {mode!r}")
+        if use_combiner and mode != "partial":
+            raise PlanError("use_combiner requires mode='partial'")
+        if mode == "partial" and not aggregate.supports_partial_aggregation:
+            raise AggregationError(
+                f"aggregate {aggregate.name!r} is holistic; partial "
+                f"aggregation (Algorithm 3) does not apply — use mode='basic'"
+            )
+        if trace and mode != "basic":
+            raise PlanError("trace requires mode='basic' (full paths only)")
+        if plan is None and pattern.length != 1:
+            raise PlanError(
+                f"patterns of length {pattern.length} need a plan"
+            )
+        self.graph = graph
+        self.pattern = pattern
+        self.plan = plan
+        self.aggregate = aggregate
+        self.mode = mode
+        self.trace = trace
+        self.use_combiner = use_combiner
+        if plan is not None:
+            self._schedule: List[List[PCPNode]] = plan.evaluation_schedule()
+            self._root_id = plan.root.node_id
+            self._placements: Dict[int, Placement] = {
+                n.node_id: n.placement for n in plan.nodes()
+            }
+        else:
+            self._schedule = []
+            self._root_id = _DIRECT_ROOT
+            self._placements = {_DIRECT_ROOT: Placement.AT_END}
+        self._enumeration_steps = max(len(self._schedule), 1)
+        self._traced: Dict[Tuple[VertexId, VertexId], List[Tuple[VertexId, ...]]] = {}
+        self._pos_filters = [
+            pattern.filter_at(position) for position in range(pattern.length + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # engine protocol
+    # ------------------------------------------------------------------
+    def num_supersteps(self) -> int:
+        # one superstep per plan level (or one direct scan), plus the
+        # pair-wise aggregation superstep
+        return self._enumeration_steps + 1
+
+    def combiner(self):
+        """Giraph-style in-flight message combining: merge partial values
+        destined to the same vertex that share (node, far endpoint).
+
+        Optional because Algorithm 3 already merges on the receive side;
+        combining additionally shrinks inboxes (the network, on a real
+        cluster) — the ablation benchmark quantifies it.
+        """
+        if not self.use_combiner:
+            return None
+        merge = self.aggregate.merge
+
+        def combine(vid: VertexId, messages: List[Any]) -> List[Any]:
+            merged: Dict[Tuple[int, VertexId], Any] = {}
+            for node_id, far, value in messages:
+                key = (node_id, far)
+                if key in merged:
+                    merged[key] = merge(merged[key], value)
+                else:
+                    merged[key] = value
+            return [(nid, far, val) for (nid, far), val in merged.items()]
+
+        return combine
+
+    def compute(self, ctx: ComputeContext) -> None:
+        if ctx.messages:
+            self._ingest(ctx)
+        step = ctx.superstep
+        if step < len(self._schedule):
+            for node in self._schedule[step]:
+                self._evaluate_node(ctx, node)
+        elif self.plan is None and step == 0:
+            self._evaluate_direct(ctx)
+        if step == self._enumeration_steps:
+            self._aggregate(ctx)
+
+    def finish(self, states: Dict[VertexId, Any], metrics: RunMetrics) -> ExtractedGraph:
+        edges: Dict[Tuple[VertexId, VertexId], Any] = {}
+        for vid, state in states.items():
+            result = state.get("result")
+            if not result:
+                continue
+            for start, value in result.items():
+                edges[(start, vid)] = value
+        vertices = set(vertices_matching(self.graph, self.pattern.start_label))
+        vertices.update(vertices_matching(self.graph, self.pattern.end_label))
+        metrics.counters["result_edges"] = len(edges)
+        return ExtractedGraph(
+            self.pattern.start_label, self.pattern.end_label, vertices, edges
+        )
+
+    # ------------------------------------------------------------------
+    # message ingestion (store partial results at their home vertex)
+    # ------------------------------------------------------------------
+    def _ingest(self, ctx: ComputeContext) -> None:
+        state = ctx.state()
+        store = state.get("store")
+        if store is None:
+            store = state["store"] = {}
+        ctx.add_work(len(ctx.messages))
+        if self.mode == "basic":
+            for message in ctx.messages:
+                node_id = message[0]
+                bucket = store.get(node_id)
+                if bucket is None:
+                    bucket = store[node_id] = []
+                bucket.append(message[1:])
+        else:
+            merge = self.aggregate.merge
+            for node_id, far, value in ctx.messages:
+                bucket = store.get(node_id)
+                if bucket is None:
+                    bucket = store[node_id] = {}
+                if far in bucket:
+                    bucket[far] = merge(bucket[far], value)
+                else:
+                    bucket[far] = value
+
+    # ------------------------------------------------------------------
+    # side matching (Algorithm 2, lines 3-13)
+    # ------------------------------------------------------------------
+    def _nl_items(
+        self, vid: VertexId, slot: int, far_position: int
+    ) -> List[Tuple[VertexId, Any]]:
+        """Single-edge side: match pattern slot ``slot`` against the
+        pivot's local neighbourhood.  ``far_position`` is the pattern
+        position of the non-pivot endpoint."""
+        edge = self.pattern.edge_slot(slot)
+        pivot_is_left = far_position == slot  # pivot at slot-1, far at slot
+        entries = traverse_slot(self.graph, edge, vid, towards_right=pivot_is_left)
+        far_label = self.pattern.label_at(far_position)
+        label_of = self.graph.label_of
+        initial = self.aggregate.initial_edge
+        vertex_filter = self._pos_filters[far_position]
+        if vertex_filter is None:
+            return [
+                (other, initial(weight))
+                for other, weight in entries
+                if label_matches(label_of(other), far_label)
+            ]
+        attrs_of = self.graph.vertex_attrs
+        return [
+            (other, initial(weight))
+            for other, weight in entries
+            if label_matches(label_of(other), far_label)
+            and vertex_filter.matches(attrs_of(other))
+        ]
+
+    def _side(
+        self, ctx: ComputeContext, node: PCPNode, which: str
+    ) -> Any:
+        """The left or right side of ``node`` at the current pivot vertex:
+        a list of ``(far, value[, trail])`` items (basic) or a
+        ``{far: value}`` map (partial)."""
+        if which == "left":
+            kind, child = node.left_kind, node.left
+            slot, far_position = node.k, node.k - 1
+        else:
+            kind, child = node.right_kind, node.right
+            slot, far_position = node.k + 1, node.k + 1
+        if kind is SideKind.NL:
+            items = self._nl_items(ctx.vid, slot, far_position)
+            ctx.add_work(len(items))
+            if self.mode == "basic":
+                if self.trace:
+                    if which == "left":
+                        return [(far, val, (far, ctx.vid)) for far, val in items]
+                    return [(far, val, (ctx.vid, far)) for far, val in items]
+                return items
+            merged: Dict[VertexId, Any] = {}
+            merge = self.aggregate.merge
+            for far, value in items:
+                if far in merged:
+                    merged[far] = merge(merged[far], value)
+                else:
+                    merged[far] = value
+            return merged
+        # QL side: consume (and release) the child's stored results
+        state = ctx.state()
+        store = state.get("store")
+        if store is None:
+            return [] if self.mode == "basic" else {}
+        empty: Any = [] if self.mode == "basic" else {}
+        return store.pop(child.node_id, empty)
+
+    # ------------------------------------------------------------------
+    # node evaluation (Algorithm 2 / Algorithm 3 core)
+    # ------------------------------------------------------------------
+    def _evaluate_node(self, ctx: ComputeContext, node: PCPNode) -> None:
+        if not label_matches(
+            self.graph.label_of(ctx.vid), self.pattern.label_at(node.k)
+        ):
+            return
+        pivot_filter = self._pos_filters[node.k]
+        if pivot_filter is not None and not pivot_filter.matches(
+            self.graph.vertex_attrs(ctx.vid)
+        ):
+            return
+        left = self._side(ctx, node, "left")
+        right = self._side(ctx, node, "right")
+        if not left or not right:
+            return
+        concat = self.aggregate.concat
+        node_id = node.node_id
+        at_end = node.placement is Placement.AT_END
+        if self.mode == "basic":
+            produced = len(left) * len(right)
+            ctx.add_work(produced)
+            ctx.add_counter("intermediate_paths", produced)
+            if self.trace:
+                for l_far, l_val, l_trail in left:
+                    for r_far, r_val, r_trail in right:
+                        value = concat(l_val, r_val)
+                        trail = l_trail + r_trail[1:]
+                        target = r_far if at_end else l_far
+                        far = l_far if at_end else r_far
+                        ctx.send(target, (node_id, far, value, trail))
+            else:
+                send = ctx.send
+                for l_far, l_val in left:
+                    for r_far, r_val in right:
+                        value = concat(l_val, r_val)
+                        if at_end:
+                            send(r_far, (node_id, l_far, value))
+                        else:
+                            send(l_far, (node_id, r_far, value))
+        else:
+            produced = len(left) * len(right)
+            ctx.add_work(produced)
+            ctx.add_counter("intermediate_paths", produced)
+            send = ctx.send
+            for l_far, l_val in left.items():
+                for r_far, r_val in right.items():
+                    value = concat(l_val, r_val)
+                    if at_end:
+                        send(r_far, (node_id, l_far, value))
+                    else:
+                        send(l_far, (node_id, r_far, value))
+
+    def _evaluate_direct(self, ctx: ComputeContext) -> None:
+        """Length-1 patterns: every start-label vertex emits its matching
+        edges straight to the aggregation step."""
+        if not label_matches(self.graph.label_of(ctx.vid), self.pattern.label_at(0)):
+            return
+        start_filter = self._pos_filters[0]
+        if start_filter is not None and not start_filter.matches(
+            self.graph.vertex_attrs(ctx.vid)
+        ):
+            return
+        items = self._nl_items(ctx.vid, 1, 1)
+        ctx.add_work(len(items))
+        ctx.add_counter("intermediate_paths", len(items))
+        if self.mode == "partial":
+            merged: Dict[VertexId, Any] = {}
+            merge = self.aggregate.merge
+            for far, value in items:
+                merged[far] = merge(merged[far], value) if far in merged else value
+            for far, value in merged.items():
+                ctx.send(far, (_DIRECT_ROOT, ctx.vid, value))
+        elif self.trace:
+            for far, value in items:
+                ctx.send(far, (_DIRECT_ROOT, ctx.vid, value, (ctx.vid, far)))
+        else:
+            for far, value in items:
+                ctx.send(far, (_DIRECT_ROOT, ctx.vid, value))
+
+    # ------------------------------------------------------------------
+    # pair-wise aggregation (Algorithm 1, lines 12-23)
+    # ------------------------------------------------------------------
+    def _aggregate(self, ctx: ComputeContext) -> None:
+        state = ctx.state()
+        store = state.get("store")
+        if not store:
+            return
+        paths = store.pop(self._root_id, None)
+        if not paths:
+            return
+        result: Dict[VertexId, Any] = {}
+        if self.mode == "basic":
+            ctx.add_work(len(paths))
+            ctx.add_counter("final_paths", len(paths))
+            grouped: Dict[VertexId, List[Any]] = {}
+            for item in paths:
+                start, value = item[0], item[1]
+                grouped.setdefault(start, []).append(value)
+                if self.trace:
+                    self._traced.setdefault((start, ctx.vid), []).append(item[2])
+            for start, values in grouped.items():
+                result[start] = self.aggregate.finalize_all(values)
+        else:
+            ctx.add_work(len(paths))
+            ctx.add_counter("final_paths", len(paths))
+            for start, value in paths.items():
+                result[start] = self.aggregate.finalize(value)
+        state["result"] = result
+
+
+def run_extraction(
+    graph: HeterogeneousGraph,
+    pattern: LinePattern,
+    plan: Optional[PCP],
+    aggregate: Aggregate,
+    num_workers: int = 1,
+    mode: str = "partial",
+    trace: bool = False,
+    use_combiner: bool = False,
+    engine: Optional[BSPEngine] = None,
+) -> ExtractionResult:
+    """Execute one extraction on a fresh BSP engine and package the result.
+
+    Pass ``engine`` to run on a custom engine instance (e.g. the threaded
+    executor in :mod:`repro.engine.parallel`).
+    """
+    program = PathConcatenationProgram(
+        graph,
+        pattern,
+        plan,
+        aggregate,
+        mode=mode,
+        trace=trace,
+        use_combiner=use_combiner,
+    )
+    if engine is None:
+        engine = BSPEngine(list(graph.vertices()), num_workers=num_workers)
+    extracted = engine.run(program)
+    if not isinstance(extracted, ExtractedGraph):  # pragma: no cover
+        raise EngineError("program returned an unexpected result type")
+    return ExtractionResult(
+        graph=extracted,
+        metrics=engine.last_metrics,
+        plan=plan,
+        traced_paths=program._traced if trace else None,
+    )

@@ -1,0 +1,183 @@
+"""The public extraction façade.
+
+:class:`GraphExtractor` wires together plan selection (§5), PCP evaluation
+(§3) and aggregation (§4):
+
+>>> from repro import GraphExtractor, LinePattern, aggregates   # doctest: +SKIP
+>>> extractor = GraphExtractor(graph, num_workers=10)           # doctest: +SKIP
+>>> coauthor = LinePattern.parse(
+...     "Author -[authorBy]-> Paper <-[authorBy]- Author")      # doctest: +SKIP
+>>> result = extractor.extract(coauthor, aggregates.path_count())  # doctest: +SKIP
+>>> result.graph.num_edges()                                    # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.aggregates.base import Aggregate
+from repro.aggregates.classify import validate_aggregate
+from repro.aggregates.library import path_count
+from repro.core.evaluator import run_extraction
+from repro.core.plan import PCP
+from repro.core.planner import make_plan
+from repro.core.result import ExtractionResult
+from repro.errors import PatternMismatchError
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import LinePattern
+from repro.graph.stats import GraphStatistics
+
+
+class GraphExtractor:
+    """Extracts edge-homogeneous graphs from a heterogeneous graph.
+
+    Parameters
+    ----------
+    graph:
+        The heterogeneous graph to extract from.
+    num_workers:
+        Logical BSP workers (hash-partitioned vertices).
+    strategy:
+        Default plan-selection strategy: ``"line"``, ``"iter_opt"``,
+        ``"path_opt"`` or ``"hybrid"`` (the paper's recommendation).
+    partial_aggregation:
+        Default execution mode; automatically disabled per-call for
+        holistic aggregates.
+    validate_patterns:
+        When true, patterns are checked against the graph schema before
+        running (catches typos early instead of returning empty results).
+    """
+
+    def __init__(
+        self,
+        graph: HeterogeneousGraph,
+        num_workers: int = 1,
+        strategy: str = "hybrid",
+        partial_aggregation: bool = True,
+        validate_patterns: bool = True,
+        estimator: str = "uniform",
+    ) -> None:
+        self.graph = graph
+        self.num_workers = num_workers
+        self.strategy = strategy
+        self.partial_aggregation = partial_aggregation
+        self.validate_patterns = validate_patterns
+        self.estimator = estimator
+        self._stats: Optional[GraphStatistics] = None
+
+    @property
+    def stats(self) -> GraphStatistics:
+        """Graph statistics, collected once and cached."""
+        if self._stats is None:
+            self._stats = GraphStatistics.collect(self.graph)
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        pattern: LinePattern,
+        strategy: Optional[str] = None,
+        partial_aggregation: Optional[bool] = None,
+        rng: Optional[random.Random] = None,
+    ) -> Optional[PCP]:
+        """Compile ``pattern`` into a PCP (``None`` for length-1 patterns,
+        which need no concatenation)."""
+        if pattern.length == 1:
+            return None
+        return make_plan(
+            pattern,
+            strategy=strategy or self.strategy,
+            graph=self.graph,
+            stats=self.stats,
+            partial_aggregation=(
+                self.partial_aggregation
+                if partial_aggregation is None
+                else partial_aggregation
+            ),
+            rng=rng,
+            estimator=self.estimator,
+        )
+
+    # ------------------------------------------------------------------
+    # extraction
+    # ------------------------------------------------------------------
+    def extract(
+        self,
+        pattern: LinePattern,
+        aggregate: Optional[Aggregate] = None,
+        strategy: Optional[str] = None,
+        partial_aggregation: Optional[bool] = None,
+        plan: Optional[PCP] = None,
+        num_workers: Optional[int] = None,
+        trace: bool = False,
+    ) -> ExtractionResult:
+        """Run one extraction and return the
+        :class:`~repro.core.result.ExtractionResult`.
+
+        ``aggregate`` defaults to path counting (the paper's representative
+        aggregate).  Any argument left ``None`` falls back to the
+        extractor's defaults; an explicit ``plan`` bypasses plan selection.
+        """
+        if aggregate is None:
+            aggregate = path_count()
+        validate_aggregate(aggregate)
+        if self.validate_patterns:
+            try:
+                pattern.validate_against(self.graph.schema)
+            except PatternMismatchError:
+                raise
+        use_partial = (
+            self.partial_aggregation
+            if partial_aggregation is None
+            else partial_aggregation
+        )
+        if not aggregate.supports_partial_aggregation or trace:
+            use_partial = False
+        if plan is None:
+            plan = self.plan(
+                pattern, strategy=strategy, partial_aggregation=use_partial
+            )
+        return run_extraction(
+            self.graph,
+            pattern,
+            plan,
+            aggregate,
+            num_workers=num_workers or self.num_workers,
+            mode="partial" if use_partial else "basic",
+            trace=trace,
+        )
+
+    def extract_many(
+        self,
+        patterns,
+        aggregate: Optional[Aggregate] = None,
+        strategy: Optional[str] = None,
+        num_workers: Optional[int] = None,
+    ):
+        """Extract several patterns in one shared BSP run.
+
+        All plans are aligned so their roots complete together; the run
+        costs ``max(height) + 1`` supersteps instead of one run per
+        pattern (the per-iteration vertex-scan term is shared).  Returns
+        one :class:`~repro.core.result.ExtractionResult` per pattern, in
+        order.  Holistic aggregates are not supported in batches (they
+        force basic mode per job; run them individually).
+        """
+        from repro.core.batch import run_batch_extraction
+
+        aggregate = aggregate if aggregate is not None else path_count()
+        validate_aggregate(aggregate)
+        jobs = []
+        for pattern in patterns:
+            if self.validate_patterns:
+                pattern.validate_against(self.graph.schema)
+            jobs.append((pattern, self.plan(pattern, strategy=strategy), aggregate))
+        return run_batch_extraction(
+            self.graph,
+            jobs,
+            num_workers=num_workers or self.num_workers,
+            mode="partial" if aggregate.supports_partial_aggregation else "basic",
+        )

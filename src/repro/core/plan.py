@@ -1,0 +1,285 @@
+"""Primitive patterns and path concatenation plans (Definitions 5-6).
+
+A line pattern of length ``l`` is compiled into a **path concatenation plan
+(PCP)**: a binary tree with exactly ``l - 1`` nodes (Theorem 2).  Each node
+covers a *segment* ``[i, j]`` of the pattern (``j - i >= 2``) and carries a
+pivot position ``k`` (``i < k < j``):
+
+* the **left side** covers ``[i, k]`` — a *native-label* (NL) side when it
+  is a single edge slot (``k - i == 1``), otherwise a *query-label* (QL)
+  side produced by the left child node;
+* the **right side** covers ``[k, j]`` symmetrically.
+
+Leaves are therefore NL-NL primitive patterns, exactly as Definition 6
+requires.  Each node also records its *placement*: where its produced
+paths are stored (Algorithm 2, lines 15-19) —
+
+* a node that is its parent's **left** child stores paths at their **end**
+  vertex (which matches the parent's pivot);
+* a **right** child stores paths at their **start** vertex;
+* the **root** stores paths at their end vertex, where the pair-wise
+  aggregation then runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import PlanError
+from repro.graph.pattern import LinePattern
+
+
+class Placement(Enum):
+    """Where a node's produced paths are stored."""
+
+    AT_END = "end"      # left children and the root
+    AT_START = "start"  # right children
+
+
+class SideKind(Enum):
+    """NL sides match graph data directly; QL sides consume a child node's
+    results (the paper's native-label / query-label distinction)."""
+
+    NL = "NL"
+    QL = "QL"
+
+
+@dataclass
+class PCPNode:
+    """One primitive pattern of a plan: pivot ``k`` concatenates the left
+    side ``[i, k]`` with the right side ``[k, j]``."""
+
+    node_id: int
+    i: int
+    k: int
+    j: int
+    left: Optional["PCPNode"] = None
+    right: Optional["PCPNode"] = None
+    placement: Placement = Placement.AT_END
+    level: int = 1  # distance from the root (root = 1)
+
+    @property
+    def left_kind(self) -> SideKind:
+        return SideKind.NL if self.k - self.i == 1 else SideKind.QL
+
+    @property
+    def right_kind(self) -> SideKind:
+        return SideKind.NL if self.j - self.k == 1 else SideKind.QL
+
+    @property
+    def pattern_type(self) -> str:
+        """``"NL-NL"``, ``"NL-QL"``, ``"QL-NL"`` or ``"QL-QL"`` (Figure 4)."""
+        return f"{self.left_kind.value}-{self.right_kind.value}"
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def height(self) -> int:
+        """Height of the subtree rooted here (a single node has height 1)."""
+        left_h = self.left.height() if self.left else 0
+        right_h = self.right.height() if self.right else 0
+        return 1 + max(left_h, right_h)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PCPNode(id={self.node_id}, [{self.i},{self.k},{self.j}], "
+            f"{self.pattern_type}, level={self.level}, "
+            f"store={self.placement.value})"
+        )
+
+
+class PCP:
+    """A validated path concatenation plan for one line pattern.
+
+    Build plans through :meth:`from_pivot_chooser` (used by every planner
+    strategy) rather than assembling nodes by hand.
+    """
+
+    def __init__(self, pattern: LinePattern, root: PCPNode, strategy: str = "custom") -> None:
+        self.pattern = pattern
+        self.root = root
+        self.strategy = strategy
+        self._nodes: List[PCPNode] = []
+        self._assign_ids_and_levels()
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pivot_chooser(
+        cls,
+        pattern: LinePattern,
+        choose_pivot: Callable[[int, int], int],
+        strategy: str = "custom",
+    ) -> "PCP":
+        """Build a plan by recursively asking ``choose_pivot(i, j)`` for the
+        pivot of every segment ``[i, j]`` with ``j - i >= 2``."""
+
+        def build(i: int, j: int, placement: Placement) -> Optional[PCPNode]:
+            if j - i < 2:
+                return None  # NL side: handled inline by the parent
+            k = choose_pivot(i, j)
+            if not i < k < j:
+                raise PlanError(
+                    f"pivot {k} for segment [{i},{j}] must satisfy {i} < k < {j}"
+                )
+            node = PCPNode(node_id=-1, i=i, k=k, j=j, placement=placement)
+            node.left = build(i, k, Placement.AT_END)
+            node.right = build(k, j, Placement.AT_START)
+            return node
+
+        if pattern.length < 2:
+            raise PlanError(
+                "patterns of length 1 need no concatenation plan; "
+                "the extractor handles them directly"
+            )
+        root = build(0, pattern.length, Placement.AT_END)
+        return cls(pattern, root, strategy=strategy)
+
+    def _assign_ids_and_levels(self) -> None:
+        """Number nodes in post-order (children before parents, matching
+        evaluation order) and compute levels (root = 1)."""
+        self._nodes = []
+        counter = [0]
+
+        def visit(node: PCPNode, level: int) -> None:
+            node.level = level
+            if node.left:
+                visit(node.left, level + 1)
+            if node.right:
+                visit(node.right, level + 1)
+            node.node_id = counter[0]
+            counter[0] += 1
+            self._nodes.append(node)
+
+        visit(self.root, 1)
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def height(self) -> int:
+        """Tree height ``H`` — the number of evaluation iterations."""
+        return self.root.height()
+
+    def nodes(self) -> List[PCPNode]:
+        """All nodes in post-order (evaluation-safe order)."""
+        return list(self._nodes)
+
+    def nodes_by_level(self) -> Dict[int, List[PCPNode]]:
+        """Nodes grouped by level (1 = root ... H = deepest)."""
+        by_level: Dict[int, List[PCPNode]] = {}
+        for node in self._nodes:
+            by_level.setdefault(node.level, []).append(node)
+        return by_level
+
+    def evaluation_schedule(self) -> List[List[PCPNode]]:
+        """Iterations of Algorithm 1: deepest level first, root last.
+
+        Nodes in the same iteration are independent and evaluated in one
+        superstep.
+        """
+        by_level = self.nodes_by_level()
+        return [by_level[level] for level in sorted(by_level, reverse=True)]
+
+    def signature(self) -> Tuple:
+        """A hashable structural fingerprint (for tests and plan caching)."""
+
+        def sig(node: Optional[PCPNode]) -> Tuple:
+            if node is None:
+                return ()
+            return (node.i, node.k, node.j, sig(node.left), sig(node.right))
+
+        return sig(self.root)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the structural invariants of Definition 6 and Theorem 2."""
+        length = self.pattern.length
+        if self.root.i != 0 or self.root.j != length:
+            raise PlanError(
+                f"root must cover [0,{length}], covers "
+                f"[{self.root.i},{self.root.j}]"
+            )
+        if self.num_nodes != length - 1:
+            raise PlanError(
+                f"a pattern of length {length} needs {length - 1} plan nodes, "
+                f"found {self.num_nodes} (Theorem 2)"
+            )
+        min_height = math.ceil(math.log2(length)) if length > 1 else 1
+        if self.height < max(min_height, 1):
+            raise PlanError(
+                f"height {self.height} is below the lower bound "
+                f"{min_height} (Theorem 2)"
+            )
+        for node in self._nodes:
+            if not node.i < node.k < node.j:
+                raise PlanError(f"invalid pivot in {node!r}")
+            if (node.left is None) != (node.k - node.i == 1):
+                raise PlanError(
+                    f"{node!r}: left child must exist iff the left side has "
+                    f"length >= 2"
+                )
+            if (node.right is None) != (node.j - node.k == 1):
+                raise PlanError(
+                    f"{node!r}: right child must exist iff the right side has "
+                    f"length >= 2"
+                )
+            if node.left is not None:
+                if (node.left.i, node.left.j) != (node.i, node.k):
+                    raise PlanError(f"{node!r}: left child covers wrong segment")
+                if node.left.placement is not Placement.AT_END:
+                    raise PlanError(f"{node!r}: left child must store at end")
+            if node.right is not None:
+                if (node.right.i, node.right.j) != (node.k, node.j):
+                    raise PlanError(f"{node!r}: right child covers wrong segment")
+                if node.right.placement is not Placement.AT_START:
+                    raise PlanError(f"{node!r}: right child must store at start")
+        if self.root.placement is not Placement.AT_END:
+            raise PlanError("the root must store its paths at the end vertex")
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """A human-readable rendering of the plan tree."""
+        lines = [
+            f"PCP[{self.strategy}] for {self.pattern} "
+            f"(height={self.height}, nodes={self.num_nodes})"
+        ]
+
+        def render(node: PCPNode, indent: int) -> None:
+            pivot_label = self.pattern.label_at(node.k)
+            lines.append(
+                "  " * indent
+                + f"pp{node.node_id} [{node.i},{node.j}] pivot={node.k}"
+                f"({pivot_label}) {node.pattern_type} "
+                f"store@{node.placement.value}"
+            )
+            if node.left:
+                render(node.left, indent + 1)
+            if node.right:
+                render(node.right, indent + 1)
+
+        render(self.root, 1)
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[PCPNode]:
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PCP strategy={self.strategy} height={self.height} "
+            f"nodes={self.num_nodes} pattern={self.pattern!s}>"
+        )

@@ -1,0 +1,230 @@
+"""Plan selection strategies (§5.2 of the paper).
+
+Four strategies produce a :class:`~repro.core.plan.PCP` for a line pattern:
+
+* :func:`line_plan` — the naive baseline: expand the pattern edge by edge
+  from one end (a maximally unbalanced, "left-deep" tree); ``l - 1``
+  iterations.
+* :func:`iter_opt_plan` — *iteration optimized* (Definition 7): split every
+  segment at its middle, giving the minimal height ``⌈log2 l⌉``; the pivot
+  between the two middle candidates of an odd split is chosen blindly.
+* :func:`path_opt_plan` — *path optimized* (Definition 8, Eq. 8): an
+  ``O(l³)`` dynamic program that minimises the estimated number of
+  intermediate paths with no constraint on height.
+* :func:`hybrid_plan` — the paper's winner (Eq. 9): the same dynamic
+  program, but pivots are restricted to the choices that keep every
+  subtree at its minimal height, so the plan has ``⌈log2 l⌉`` iterations
+  *and* the fewest intermediate paths among such plans.
+
+Note on Eq. 8's base case: the paper sets ``S_pcp[i,j] = 0`` for
+``j - i <= 2``, which leaves the output of length-2 leaf nodes uncounted
+even though those outputs are intermediate paths and differ across plans.
+We count every node's output exactly once (base case ``j - i == 1``), which
+matches the framework's actual intermediate-path accounting; the DP
+structure is otherwise identical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.cost import CostModel, ExactLeafCostModel
+from repro.core.plan import PCP
+from repro.errors import PlanError
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import LinePattern
+from repro.graph.stats import GraphStatistics
+
+#: The strategy names accepted by :func:`make_plan` and the extractor.
+STRATEGIES = ("line", "iter_opt", "path_opt", "hybrid")
+
+
+def _ceil_log2(n: int) -> int:
+    """``⌈log2 n⌉`` for n >= 1."""
+    return (n - 1).bit_length()
+
+
+# ----------------------------------------------------------------------
+# line strategy
+# ----------------------------------------------------------------------
+def line_plan(pattern: LinePattern, direction: str = "left") -> PCP:
+    """Sequential expansion from one end: the degenerate plan RPQ-style
+    evaluation corresponds to.  Height is ``l - 1``.
+
+    ``direction="left"`` grows the matched prefix (left-deep tree);
+    ``"right"`` grows the suffix.
+    """
+    if direction not in ("left", "right"):
+        raise PlanError(f"direction must be 'left' or 'right', got {direction!r}")
+    if direction == "left":
+        chooser: Callable[[int, int], int] = lambda i, j: j - 1
+    else:
+        chooser = lambda i, j: i + 1
+    return PCP.from_pivot_chooser(pattern, chooser, strategy="line")
+
+
+# ----------------------------------------------------------------------
+# iteration optimized strategy
+# ----------------------------------------------------------------------
+def iter_opt_plan(
+    pattern: LinePattern, rng: Optional[random.Random] = None
+) -> PCP:
+    """Balanced binary split: minimal ``⌈log2 l⌉`` height (Definition 7).
+
+    When a segment has odd length there are two middle pivots; the paper
+    picks one at random.  Pass ``rng`` for that behaviour; by default the
+    lower middle is chosen so plans are deterministic.
+    """
+
+    def chooser(i: int, j: int) -> int:
+        lo = i + (j - i) // 2
+        hi = i + (j - i + 1) // 2
+        if lo == hi or rng is None:
+            return lo
+        return rng.choice((lo, hi))
+
+    return PCP.from_pivot_chooser(pattern, chooser, strategy="iter_opt")
+
+
+# ----------------------------------------------------------------------
+# cost-based strategies (dynamic programming)
+# ----------------------------------------------------------------------
+def _solve_dp(
+    pattern: LinePattern,
+    cost_model: CostModel,
+    pivot_range: Callable[[int, int], range],
+    strategy: str,
+) -> PCP:
+    """Shared DP: ``best[i,j] = min over allowed k of best[i,k] + best[k,j]
+    + node_cost(i,k,j)``; then materialise the argmin tree."""
+    length = pattern.length
+    best: Dict[Tuple[int, int], float] = {}
+    choice: Dict[Tuple[int, int], int] = {}
+
+    for span in range(2, length + 1):
+        for i in range(0, length - span + 1):
+            j = i + span
+            best_cost = float("inf")
+            best_pivot = -1
+            for k in pivot_range(i, j):
+                cost = (
+                    best.get((i, k), 0.0)
+                    + best.get((k, j), 0.0)
+                    + cost_model.node_cost(i, k, j)
+                )
+                if cost < best_cost:
+                    best_cost = cost
+                    best_pivot = k
+            if best_pivot < 0:
+                raise PlanError(f"no admissible pivot for segment [{i},{j}]")
+            best[(i, j)] = best_cost
+            choice[(i, j)] = best_pivot
+
+    plan = PCP.from_pivot_chooser(
+        pattern, lambda i, j: choice[(i, j)], strategy=strategy
+    )
+    plan.estimated_cost = best[(0, length)]
+    return plan
+
+
+def path_opt_plan(pattern: LinePattern, cost_model: CostModel) -> PCP:
+    """Minimise estimated intermediate paths over *all* plans
+    (Definition 8 / Eq. 8); height unconstrained."""
+    return _solve_dp(
+        pattern,
+        cost_model,
+        pivot_range=lambda i, j: range(i + 1, j),
+        strategy="path_opt",
+    )
+
+
+def hybrid_plan(pattern: LinePattern, cost_model: CostModel) -> PCP:
+    """Minimise estimated intermediate paths among minimal-height plans
+    (Eq. 9): pivots are restricted to splits whose two sides both fit in
+    one fewer level than the segment's own minimal height."""
+
+    def pivots(i: int, j: int) -> range:
+        budget = _ceil_log2(j - i) - 1
+        admissible = [
+            k
+            for k in range(i + 1, j)
+            if _ceil_log2(k - i) <= budget and _ceil_log2(j - k) <= budget
+        ]
+        # admissible pivots form a contiguous run around the middle
+        return range(admissible[0], admissible[-1] + 1)
+
+    plan = _solve_dp(pattern, cost_model, pivots, strategy="hybrid")
+    expected = _ceil_log2(pattern.length)
+    if plan.height != max(expected, 1):
+        raise PlanError(
+            f"hybrid plan height {plan.height} != minimal height {expected}"
+        )
+    return plan
+
+
+# ----------------------------------------------------------------------
+# façade
+# ----------------------------------------------------------------------
+def make_plan(
+    pattern: LinePattern,
+    strategy: str = "hybrid",
+    graph: Optional[HeterogeneousGraph] = None,
+    stats: Optional[GraphStatistics] = None,
+    partial_aggregation: bool = False,
+    rng: Optional[random.Random] = None,
+    estimator: str = "uniform",
+) -> PCP:
+    """Build a plan using the named strategy.
+
+    ``path_opt`` and ``hybrid`` need graph statistics; pass either a
+    ``graph`` (statistics are collected on the fly) or precollected
+    ``stats``.  ``partial_aggregation`` switches the cost model to its
+    Algorithm 3-aware variant so plans are chosen for the execution mode
+    that will actually run.  ``estimator`` selects the cardinality model:
+    ``"uniform"`` (the paper's Eq. 7), ``"exact-leaf"``
+    (:class:`~repro.core.cost.ExactLeafCostModel`) or ``"sampling"``
+    (:class:`~repro.core.sampling.SamplingCostModel`); the latter two
+    require ``graph``.
+    """
+    if strategy not in STRATEGIES:
+        raise PlanError(
+            f"unknown strategy {strategy!r}; choose one of {STRATEGIES}"
+        )
+    if strategy == "line":
+        return line_plan(pattern)
+    if strategy == "iter_opt":
+        return iter_opt_plan(pattern, rng=rng)
+    if estimator == "exact-leaf":
+        if graph is None:
+            raise PlanError("estimator='exact-leaf' needs graph=")
+        cost_model: CostModel = ExactLeafCostModel(
+            pattern, graph, stats=stats, partial_aggregation=partial_aggregation
+        )
+    elif estimator == "sampling":
+        if graph is None:
+            raise PlanError("estimator='sampling' needs graph=")
+        from repro.core.sampling import SamplingCostModel
+
+        cost_model = SamplingCostModel(
+            pattern, graph, stats=stats, partial_aggregation=partial_aggregation
+        )
+    elif estimator == "uniform":
+        if stats is None:
+            if graph is None:
+                raise PlanError(
+                    f"strategy {strategy!r} needs graph statistics; pass "
+                    f"graph= or stats="
+                )
+            stats = GraphStatistics.collect(graph)
+        cost_model = CostModel(
+            pattern, stats, partial_aggregation=partial_aggregation
+        )
+    else:
+        raise PlanError(
+            f"unknown estimator {estimator!r}; use 'uniform', 'exact-leaf' "
+            f"or 'sampling'"
+        )
+    if strategy == "path_opt":
+        return path_opt_plan(pattern, cost_model)
+    return hybrid_plan(pattern, cost_model)

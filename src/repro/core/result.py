@@ -1,0 +1,215 @@
+"""The extraction output: an edge-homogeneous graph (Definition 3)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.engine.metrics import RunMetrics
+from repro.graph.hetgraph import VertexId
+
+EdgeKey = Tuple[VertexId, VertexId]
+
+
+class ExtractedGraph:
+    """An edge-homogeneous graph produced by graph extraction.
+
+    Vertices are the union of all graph vertices matching the pattern's
+    start and end labels (Definition 3 — isolated vertices included);
+    each directed edge ``(u, v)`` carries the aggregate value computed
+    from all pattern-matching paths from ``u`` to ``v``.
+    """
+
+    def __init__(
+        self,
+        start_label: str,
+        end_label: str,
+        vertices: Set[VertexId],
+        edges: Dict[EdgeKey, Any],
+    ) -> None:
+        self.start_label = start_label
+        self.end_label = end_label
+        self.vertices = set(vertices)
+        self.edges = dict(edges)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def value(self, u: VertexId, v: VertexId) -> Any:
+        """Aggregate value of edge ``(u, v)``; ``KeyError`` if absent."""
+        return self.edges[(u, v)]
+
+    def has_edge(self, u: VertexId, v: VertexId) -> bool:
+        return (u, v) in self.edges
+
+    def edge_items(self) -> Iterator[Tuple[EdgeKey, Any]]:
+        return iter(self.edges.items())
+
+    def sorted_edges(self) -> List[Tuple[VertexId, VertexId, Any]]:
+        """Edges as sorted ``(u, v, value)`` triples (stable test output)."""
+        return [(u, v, self.edges[(u, v)]) for u, v in sorted(self.edges)]
+
+    def as_undirected(self, merge=None) -> "ExtractedGraph":
+        """Collapse ``(u, v)`` / ``(v, u)`` pairs into a canonical direction.
+
+        Symmetric patterns enumerate each unordered pair in both directions
+        with equal values; ``merge`` (default: keep either, asserting
+        equality is the caller's business) combines the two values.
+        """
+        merged: Dict[EdgeKey, Any] = {}
+        for (u, v), value in self.edges.items():
+            key = (u, v) if u <= v else (v, u)
+            if key in merged and merge is not None:
+                merged[key] = merge(merged[key], value)
+            else:
+                merged.setdefault(key, value)
+        return ExtractedGraph(self.start_label, self.end_label, self.vertices, merged)
+
+    # ------------------------------------------------------------------
+    # comparison (for oracle tests / baseline equivalence)
+    # ------------------------------------------------------------------
+    def equals(self, other: "ExtractedGraph", rel_tol: float = 1e-9) -> bool:
+        """Structural equality with numeric tolerance on edge values."""
+        if set(self.edges) != set(other.edges):
+            return False
+        for key, value in self.edges.items():
+            other_value = other.edges[key]
+            if isinstance(value, (int, float)) and isinstance(other_value, (int, float)):
+                if math.isinf(value) or math.isinf(other_value):
+                    if value != other_value:
+                        return False
+                elif not math.isclose(value, other_value, rel_tol=rel_tol, abs_tol=1e-9):
+                    return False
+            elif value != other_value:
+                return False
+        return True
+
+    def diff(self, other: "ExtractedGraph", rel_tol: float = 1e-9) -> List[str]:
+        """Human-readable differences vs ``other`` (empty when equal)."""
+        problems: List[str] = []
+        for key in sorted(set(self.edges) - set(other.edges)):
+            problems.append(f"edge {key} only in left ({self.edges[key]!r})")
+        for key in sorted(set(other.edges) - set(self.edges)):
+            problems.append(f"edge {key} only in right ({other.edges[key]!r})")
+        for key in sorted(set(self.edges) & set(other.edges)):
+            a, b = self.edges[key], other.edges[key]
+            same = (
+                math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-9)
+                if isinstance(a, (int, float)) and isinstance(b, (int, float))
+                and not (math.isinf(a) or math.isinf(b))
+                else a == b
+            )
+            if not same:
+                problems.append(f"edge {key}: left={a!r} right={b!r}")
+        return problems
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    def to_hetgraph(
+        self,
+        vertex_label: Optional[str] = None,
+        edge_label: str = "rel",
+        graph: Optional[Any] = None,
+    ):
+        """Re-wrap the extracted graph as a (single-edge-label)
+        heterogeneous graph so it can feed a *second* extraction.
+
+        Extraction composes: e.g. extract the co-author graph, then run a
+        chain pattern over ``coauthor`` edges to find collaboration paths.
+        Numeric aggregate values become edge weights.  When the pattern's
+        start and end labels differ (bipartite extraction), both original
+        labels are preserved — pass ``graph`` (the source heterogeneous
+        graph) so vertex labels can be recovered; for same-label
+        extractions ``vertex_label`` defaults to the start label.
+        """
+        from repro.graph.hetgraph import HeterogeneousGraph
+
+        result = HeterogeneousGraph()
+        if self.start_label == self.end_label:
+            label = vertex_label or self.start_label
+            for vid in self.vertices:
+                result.add_vertex(vid, label)
+        else:
+            if graph is None and vertex_label is not None:
+                for vid in self.vertices:
+                    result.add_vertex(vid, vertex_label)
+            elif graph is not None:
+                for vid in self.vertices:
+                    result.add_vertex(vid, graph.label_of(vid))
+            else:
+                raise ValueError(
+                    "bipartite extraction: pass graph= (to recover labels) "
+                    "or vertex_label= (to force one)"
+                )
+        for (u, v), value in self.edges.items():
+            weight = float(value) if isinstance(value, (int, float)) else 1.0
+            result.add_edge(u, v, edge_label, weight)
+        return result
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (aggregate values become the
+        ``weight`` edge attribute).  Requires networkx to be installed."""
+        try:
+            import networkx as nx
+        except ImportError:  # pragma: no cover - optional dependency
+            raise ImportError(
+                "to_networkx requires the optional 'networkx' dependency"
+            ) from None
+        digraph = nx.DiGraph()
+        digraph.add_nodes_from(self.vertices)
+        for (u, v), value in self.edges.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                digraph.add_edge(u, v, weight=value)
+            else:
+                digraph.add_edge(u, v, value=value)
+        return digraph
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExtractedGraph({self.start_label}->{self.end_label}, "
+            f"|V|={len(self.vertices)}, |E|={len(self.edges)})"
+        )
+
+
+@dataclass
+class ExtractionResult:
+    """Everything one extraction run produced: the extracted graph, the
+    plan that was executed, and the engine's cost accounting."""
+
+    graph: ExtractedGraph
+    metrics: RunMetrics
+    plan: Optional[Any] = None  # PCP, or None for length-1 patterns
+    traced_paths: Optional[Dict[EdgeKey, List[Tuple[VertexId, ...]]]] = None
+
+    @property
+    def iterations(self) -> int:
+        """Path-enumeration iterations (excludes the aggregation step)."""
+        return max(self.metrics.num_supersteps - 1, 0)
+
+    @property
+    def intermediate_paths(self) -> int:
+        return self.metrics.counters.get("intermediate_paths", 0)
+
+    @property
+    def final_paths(self) -> int:
+        return self.metrics.counters.get("final_paths", 0)
+
+    def summary(self) -> Dict[str, Any]:
+        out = self.metrics.summary()
+        out["iterations"] = self.iterations
+        out["result_edges"] = self.graph.num_edges()
+        if self.plan is not None:
+            out["plan_strategy"] = self.plan.strategy
+            out["plan_height"] = self.plan.height
+        return out

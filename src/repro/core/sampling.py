@@ -1,0 +1,141 @@
+"""Sampling-based cardinality estimation for plan selection.
+
+§5.1 of the paper uses a uniform-distribution assumption (Eq. 7) and notes
+that "a sophisticated distribution assumption … can be used to increase
+the accuracy of the estimation".  This module provides the
+assumption-free alternative: estimate a segment's matching-path count by
+**weighted random walks** (the classical Chen-Yu / Horvitz-Thompson
+estimator for path counting):
+
+* start from a uniformly random vertex of the segment's start label;
+* at each slot, count the matching edges ``d``, step to one uniformly at
+  random and multiply the walk's weight by ``d`` (a dead end contributes
+  weight 0);
+* the expected final weight equals the average number of matching paths
+  per start vertex, so ``count ≈ |V(start)| · mean(weight)``.
+
+The estimator is unbiased for any degree distribution — skew, hubs and
+degree correlations are captured automatically — at the cost of running
+``num_samples`` short walks per distinct segment (cached).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.graph.hetgraph import HeterogeneousGraph, VertexId
+from repro.graph.pattern import (
+    LinePattern,
+    label_matches,
+    traverse_slot,
+    vertices_matching,
+)
+from repro.graph.stats import GraphStatistics
+
+
+def _slot_neighbors(
+    graph: HeterogeneousGraph,
+    pattern: LinePattern,
+    slot: int,
+    vid: VertexId,
+) -> List[VertexId]:
+    """Vertices reachable from ``vid`` (at position ``slot - 1``) through
+    pattern slot ``slot`` — label, direction and filter respected."""
+    edge = pattern.edge_slot(slot)
+    entries = traverse_slot(graph, edge, vid, towards_right=True)
+    target_label = pattern.label_at(slot)
+    target_filter = pattern.filter_at(slot)
+    neighbors = []
+    for other, _weight in entries:
+        if not label_matches(graph.label_of(other), target_label):
+            continue
+        if target_filter is not None and not target_filter.matches(
+            graph.vertex_attrs(other)
+        ):
+            continue
+        neighbors.append(other)
+    return neighbors
+
+
+class SamplingCostModel(CostModel):
+    """A :class:`~repro.core.cost.CostModel` whose segment cardinalities
+    come from random-walk sampling instead of the uniform closed form.
+
+    Parameters
+    ----------
+    num_samples:
+        Walks per distinct segment.  More walks, tighter estimates; 200 is
+        plenty for plan *ranking* (the absolute value matters less than
+        the ordering of candidate pivots).
+    seed:
+        RNG seed — estimates (hence chosen plans) are deterministic.
+    """
+
+    def __init__(
+        self,
+        pattern: LinePattern,
+        graph: HeterogeneousGraph,
+        stats: Optional[GraphStatistics] = None,
+        partial_aggregation: bool = False,
+        num_samples: int = 200,
+        seed: int = 0,
+    ) -> None:
+        if stats is None:
+            stats = GraphStatistics.collect(graph)
+        super().__init__(pattern, stats, partial_aggregation=partial_aggregation)
+        self.graph = graph
+        self.num_samples = num_samples
+        self._rng = np.random.default_rng(seed)
+        self._sampled: Dict[Tuple[int, int], float] = {}
+
+    def segment_count(self, i: int, j: int) -> float:
+        key = (i, j)
+        cached = self._sampled.get(key)
+        if cached is not None:
+            return cached
+        estimate = self._estimate_walks(i, j)
+        self._sampled[key] = estimate
+        return estimate
+
+    def node_cost(self, i: int, k: int, j: int) -> float:
+        """A node's output is the paths matching its whole segment —
+        sample that directly instead of uniform-joining the sampled sides
+        (the join would reintroduce the independence assumption sampling
+        exists to avoid)."""
+        produced = self.segment_count(i, j)
+        if self.partial_aggregation:
+            produced = min(
+                produced, self.label_population(i) * self.label_population(j)
+            )
+        return produced
+
+    def _estimate_walks(self, i: int, j: int) -> float:
+        starts = vertices_matching(self.graph, self.pattern.label_at(i))
+        start_filter = self.pattern.filter_at(i)
+        if start_filter is not None:
+            starts = [
+                v
+                for v in starts
+                if start_filter.matches(self.graph.vertex_attrs(v))
+            ]
+        population = len(starts)
+        if population == 0:
+            return 0.0
+        picks = self._rng.integers(0, population, size=self.num_samples)
+        total_weight = 0.0
+        for pick in picks:
+            vid = starts[int(pick)]
+            weight = 1.0
+            for slot in range(i + 1, j + 1):
+                neighbors = _slot_neighbors(self.graph, self.pattern, slot, vid)
+                degree = len(neighbors)
+                if degree == 0:
+                    weight = 0.0
+                    break
+                weight *= degree
+                vid = neighbors[int(self._rng.integers(0, degree))]
+            total_weight += weight
+        return population * total_weight / self.num_samples

@@ -1,0 +1,25 @@
+"""Synthetic dataset generators standing in for dblp-2014 and us-patent."""
+
+from repro.datasets.dblp import dblp_schema, generate_dblp, tiny_dblp
+from repro.datasets.imdb import generate_imdb, imdb_schema, tiny_imdb
+from repro.datasets.patent import generate_patent, patent_schema, tiny_patent
+from repro.datasets.scaling import (
+    augment_with_clones,
+    sample_induced,
+    scale_graph,
+)
+
+__all__ = [
+    "augment_with_clones",
+    "dblp_schema",
+    "generate_dblp",
+    "generate_imdb",
+    "generate_patent",
+    "imdb_schema",
+    "patent_schema",
+    "sample_induced",
+    "scale_graph",
+    "tiny_dblp",
+    "tiny_imdb",
+    "tiny_patent",
+]

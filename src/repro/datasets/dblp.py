@@ -1,0 +1,112 @@
+"""Synthetic DBLP-like scholarly graph (the paper's dblp-2014 stand-in).
+
+Schema (Figure 6(a) of the paper):
+
+.. code-block:: text
+
+    Author  -[authorBy]->  Paper
+    Paper   -[publishAt]-> Venue
+    Paper   -[citeBy]->    Paper
+
+Sizes default to a laptop-scale graph with the same shape as dblp-2014:
+many more authors/papers than venues, heavy-tailed venue popularity and
+citation in-degrees, every paper published at exactly one venue.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.generators import add_label_block, attach_edges, zipf_weights
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.schema import GraphSchema
+
+
+def dblp_schema() -> GraphSchema:
+    """The scholarly-graph schema."""
+    return GraphSchema(
+        vertex_labels=["Author", "Paper", "Venue"],
+        edge_types=[
+            ("authorBy", "Author", "Paper"),
+            ("publishAt", "Paper", "Venue"),
+            ("citeBy", "Paper", "Paper"),
+        ],
+    )
+
+
+def generate_dblp(
+    n_authors: int = 1200,
+    n_papers: int = 2000,
+    n_venues: int = 60,
+    papers_per_author: float = 2.5,
+    citations_per_paper: float = 2.0,
+    venue_skew: float = 0.9,
+    paper_skew: float = 0.7,
+    seed: int = 42,
+    weight_range: Optional[tuple] = None,
+) -> HeterogeneousGraph:
+    """Generate a DBLP-like heterogeneous graph.
+
+    Parameters
+    ----------
+    papers_per_author:
+        Mean ``authorBy`` out-degree (Poisson).
+    citations_per_paper:
+        Mean ``citeBy`` out-degree (Poisson).
+    venue_skew / paper_skew:
+        Zipf exponents of venue popularity and paper citation popularity.
+    weight_range:
+        When given, edge weights are uniform in the range (for weighted
+        aggregates); defaults to unit weights, as the paper's path-count
+        experiments use.
+    """
+    if min(n_authors, n_papers, n_venues) < 1:
+        raise DatasetError("all vertex counts must be >= 1")
+    rng = np.random.default_rng(seed)
+    graph = HeterogeneousGraph(dblp_schema())
+
+    authors = add_label_block(graph, "Author", n_authors, 0)
+    papers = add_label_block(graph, "Paper", n_papers, n_authors)
+    venues = add_label_block(graph, "Venue", n_venues, n_authors + n_papers)
+
+    attach_edges(
+        graph,
+        authors,
+        papers,
+        "authorBy",
+        papers_per_author,
+        rng,
+        target_skew=paper_skew,
+        weight_range=weight_range,
+    )
+    # every paper is published at exactly one venue, venue choice Zipf-skewed
+    venue_popularity = zipf_weights(len(venues), venue_skew, rng)
+    venue_picks = rng.choice(len(venues), size=len(papers), p=venue_popularity)
+    if weight_range is not None:
+        publish_weights = rng.uniform(*weight_range, size=len(papers))
+    else:
+        publish_weights = None
+    for row, paper in enumerate(papers):
+        weight = float(publish_weights[row]) if publish_weights is not None else 1.0
+        graph.add_edge(paper, venues[int(venue_picks[row])], "publishAt", weight)
+    attach_edges(
+        graph,
+        papers,
+        papers,
+        "citeBy",
+        citations_per_paper,
+        rng,
+        target_skew=paper_skew,
+        weight_range=weight_range,
+    )
+    return graph
+
+
+def tiny_dblp(seed: int = 7) -> HeterogeneousGraph:
+    """A small graph for examples and quick tests (hundreds of vertices)."""
+    return generate_dblp(
+        n_authors=120, n_papers=200, n_venues=12, seed=seed
+    )

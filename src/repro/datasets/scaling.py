@@ -1,0 +1,104 @@
+"""Dataset scaling for the size-scalability experiment (Fig. 10(b-c)).
+
+The paper scales dblp-2014 both ways:
+
+* **below 1×** — "randomly sampling vertices from the original dblp-2014":
+  we take an induced subgraph on a per-label uniform vertex sample;
+* **above 1×** — "adding new fake venues, which are randomly sampled from
+  the existing venues": we clone venue vertices together with their
+  incident ``publishAt`` edges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.hetgraph import HeterogeneousGraph
+
+
+def sample_induced(
+    graph: HeterogeneousGraph, fraction: float, seed: int = 0
+) -> HeterogeneousGraph:
+    """Induced subgraph on a uniform per-label sample of ``fraction`` of the
+    vertices (every label is downsampled by the same fraction)."""
+    if not 0.0 < fraction <= 1.0:
+        raise DatasetError(f"fraction must be in (0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    keep = set()
+    for label in graph.vertex_labels():
+        vids = list(graph.vertices_with_label(label))
+        count = max(1, int(round(len(vids) * fraction)))
+        picks = rng.choice(len(vids), size=count, replace=False)
+        keep.update(vids[i] for i in picks)
+    sampled = HeterogeneousGraph()
+    for vid in graph.vertices():
+        if vid in keep:
+            sampled.add_vertex(vid, graph.label_of(vid), graph.vertex_attrs(vid))
+    for edge in graph.edges():
+        if edge.src in keep and edge.dst in keep:
+            sampled.add_edge(edge.src, edge.dst, edge.label, edge.weight)
+    return sampled
+
+
+def augment_with_clones(
+    graph: HeterogeneousGraph,
+    label: str,
+    extra: int,
+    seed: int = 0,
+    incident_edge_label: Optional[str] = None,
+) -> HeterogeneousGraph:
+    """Add ``extra`` clones of randomly chosen ``label`` vertices, each
+    duplicating the template's incoming edges (optionally restricted to one
+    edge label).  This is the paper's fake-venue augmentation."""
+    if extra < 0:
+        raise DatasetError(f"extra must be >= 0, got {extra}")
+    templates = list(graph.vertices_with_label(label))
+    if not templates:
+        raise DatasetError(f"graph has no {label!r} vertices to clone")
+    rng = np.random.default_rng(seed)
+    augmented = HeterogeneousGraph()
+    for vid in graph.vertices():
+        augmented.add_vertex(vid, graph.label_of(vid), graph.vertex_attrs(vid))
+    for edge in graph.edges():
+        augmented.add_edge(edge.src, edge.dst, edge.label, edge.weight)
+
+    next_id = max(graph.vertices(), default=-1) + 1
+    picks = rng.choice(len(templates), size=extra)
+    # incoming edges per template, collected once
+    incoming = {}
+    for edge in graph.edges():
+        if graph.label_of(edge.dst) == label:
+            if incident_edge_label is None or edge.label == incident_edge_label:
+                incoming.setdefault(edge.dst, []).append(edge)
+    for offset in range(extra):
+        template = templates[int(picks[offset])]
+        clone = next_id
+        next_id += 1
+        augmented.add_vertex(clone, label)
+        for edge in incoming.get(template, ()):
+            augmented.add_edge(edge.src, clone, edge.label, edge.weight)
+    return augmented
+
+
+def scale_graph(
+    graph: HeterogeneousGraph,
+    factor: float,
+    clone_label: str,
+    seed: int = 0,
+    incident_edge_label: Optional[str] = None,
+) -> HeterogeneousGraph:
+    """Scale ``graph`` to roughly ``factor`` times its vertex count using
+    the paper's methodology (sample below 1×, clone above 1×)."""
+    if factor <= 0:
+        raise DatasetError(f"factor must be > 0, got {factor}")
+    if factor <= 1.0:
+        if factor == 1.0:
+            return graph
+        return sample_induced(graph, factor, seed=seed)
+    extra = int(round(graph.num_vertices() * (factor - 1.0)))
+    return augment_with_clones(
+        graph, clone_label, extra, seed=seed, incident_edge_label=incident_edge_label
+    )

@@ -1,0 +1,25 @@
+"""Vertex-centric BSP engine: the Pregel/Giraph-style substrate the
+extraction framework (and the RPQ baseline) run on."""
+
+from repro.engine.bsp import BSPEngine, ComputeContext, VertexProgram
+from repro.engine.checkpoint import (
+    FileCheckpointStore,
+    InMemoryCheckpointStore,
+    RecoverableBSPEngine,
+)
+from repro.engine.messages import Mailbox
+from repro.engine.metrics import RunMetrics, SuperstepMetrics
+from repro.engine.parallel import ThreadedBSPEngine
+
+__all__ = [
+    "BSPEngine",
+    "ComputeContext",
+    "FileCheckpointStore",
+    "InMemoryCheckpointStore",
+    "Mailbox",
+    "RecoverableBSPEngine",
+    "RunMetrics",
+    "SuperstepMetrics",
+    "ThreadedBSPEngine",
+    "VertexProgram",
+]

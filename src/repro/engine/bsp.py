@@ -1,0 +1,238 @@
+"""A vertex-centric BSP engine (the paper's Giraph substrate, from scratch).
+
+The engine executes a :class:`VertexProgram` over a fixed vertex universe in
+synchronous supersteps:
+
+1. every superstep, each worker scans the vertices it owns and calls
+   ``program.compute(ctx)`` for each (this mirrors Algorithm 1's
+   ``foreach vertex v in G_he`` loop and its ``c·V·H`` scan cost);
+2. messages sent via ``ctx.send`` are delivered — grouped per destination —
+   at the start of the next superstep;
+3. the run stops after ``program.num_supersteps()`` supersteps, or, when
+   that returns ``None``, as soon as a superstep sends no messages.
+
+Workers are *logical*: vertices are hash-partitioned into ``num_workers``
+slices and per-worker work is accounted exactly, but compute runs in one
+process.  See :mod:`repro.engine.metrics` for why (GIL) and how the
+parallel makespan is derived.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.engine.messages import Combiner, Mailbox
+from repro.engine.metrics import RunMetrics, SuperstepMetrics
+from repro.errors import EngineError
+from repro.graph.hetgraph import VertexId
+from repro.graph.partition import HashPartitioner
+
+_NO_MESSAGES: List[Any] = []
+
+
+class ComputeContext:
+    """Per-vertex view handed to ``VertexProgram.compute``.
+
+    Exposes the current vertex id, superstep number, incoming messages,
+    message sending, persistent per-vertex state, and work accounting.
+    """
+
+    __slots__ = (
+        "vid",
+        "superstep",
+        "messages",
+        "globals",
+        "_mailbox",
+        "_states",
+        "_work",
+        "_worker",
+        "_metrics",
+        "_global_reducers",
+        "_pending_globals",
+    )
+
+    def __init__(self, states: Dict[VertexId, Any], metrics: RunMetrics) -> None:
+        self.vid: VertexId = -1
+        self.superstep: int = 0
+        self.messages: List[Any] = _NO_MESSAGES
+        #: global aggregator values reduced during the *previous* superstep
+        self.globals: Dict[str, Any] = {}
+        self._mailbox: Optional[Mailbox] = None
+        self._states = states
+        self._work: List[int] = []
+        self._worker: int = 0
+        self._metrics = metrics
+        self._global_reducers: Dict[str, Any] = {}
+        self._pending_globals: Dict[str, Any] = {}
+
+    # -- messaging ------------------------------------------------------
+    def send(self, target: VertexId, payload: Any) -> None:
+        """Send ``payload`` to ``target``; delivered next superstep."""
+        self._mailbox.send(target, payload)
+
+    def send_many(self, target: VertexId, payloads: List[Any]) -> None:
+        """Send several payloads to one target."""
+        self._mailbox.send_many(target, payloads)
+
+    # -- persistent vertex state -----------------------------------------
+    def state(self, default_factory=dict) -> Any:
+        """Persistent state of the current vertex (created on first use)."""
+        st = self._states.get(self.vid)
+        if st is None:
+            st = default_factory()
+            self._states[self.vid] = st
+        return st
+
+    def peek_state(self, vid: VertexId) -> Any:
+        """Read-only access to another vertex's state.
+
+        Only for post-run result collection; vertex programs must not use
+        this during compute (it would break the message-passing model).
+        """
+        return self._states.get(vid)
+
+    # -- global aggregators (Pregel "aggregators") --------------------------
+    def reduce_global(self, name: str, value: Any) -> None:
+        """Contribute ``value`` to the named global aggregator; the reduced
+        result is visible to every vertex *next* superstep via
+        ``ctx.globals[name]``.  The reducer must be declared by the
+        program's :meth:`VertexProgram.global_reducers`."""
+        reducer = self._global_reducers[name]
+        pending = self._pending_globals
+        if name in pending:
+            pending[name] = reducer(pending[name], value)
+        else:
+            pending[name] = value
+
+    # -- accounting -------------------------------------------------------
+    def add_work(self, units: int) -> None:
+        """Charge ``units`` of computational work to the current worker."""
+        self._work[self._worker] += units
+
+    def add_counter(self, name: str, amount: int = 1) -> None:
+        """Bump a free-form run counter (e.g. ``intermediate_paths``)."""
+        self._metrics.add_counter(name, amount)
+
+
+class VertexProgram:
+    """Base class for vertex-centric programs.
+
+    Subclasses override :meth:`compute`; optionally :meth:`num_supersteps`
+    (fixed-length runs, as PCP evaluation uses), :meth:`combiner` and
+    :meth:`finish`.
+    """
+
+    def num_supersteps(self) -> Optional[int]:
+        """Total supersteps to run, or ``None`` to run until quiescence."""
+        return None
+
+    def combiner(self) -> Optional[Combiner]:
+        """Optional message combiner applied per destination vertex."""
+        return None
+
+    def global_reducers(self) -> Dict[str, Any]:
+        """Named global aggregators: ``{name: BinaryOp-like}``.  Vertices
+        contribute with ``ctx.reduce_global(name, value)``; the reduced
+        value of superstep ``s`` is readable in ``ctx.globals`` during
+        superstep ``s + 1``."""
+        return {}
+
+    def compute(self, ctx: ComputeContext) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def finish(self, states: Dict[VertexId, Any], metrics: RunMetrics) -> Any:
+        """Produce the run's result from the final vertex states."""
+        return states
+
+
+class BSPEngine:
+    """Synchronous vertex-centric engine over a fixed vertex universe.
+
+    Parameters
+    ----------
+    vertices:
+        The vertex ids the engine iterates every superstep.
+    num_workers:
+        Number of logical workers (hash partitioning, as in the paper).
+    max_supersteps:
+        Safety bound for quiescence-terminated programs.
+    """
+
+    def __init__(
+        self,
+        vertices: Sequence[VertexId],
+        num_workers: int = 1,
+        max_supersteps: int = 10_000,
+    ) -> None:
+        if max_supersteps < 1:
+            raise EngineError(f"max_supersteps must be >= 1, got {max_supersteps}")
+        self._partitioner = HashPartitioner(num_workers)
+        self._partitions = self._partitioner.split(vertices)
+        self.num_workers = num_workers
+        self.max_supersteps = max_supersteps
+
+    @property
+    def partitions(self) -> List[List[VertexId]]:
+        """The per-worker vertex slices."""
+        return self._partitions
+
+    def run(self, program: VertexProgram) -> Any:
+        """Execute ``program`` to completion and return ``program.finish``'s
+        result.  The :class:`RunMetrics` are attached as
+        ``engine.last_metrics``."""
+        metrics = RunMetrics(num_workers=self.num_workers)
+        states: Dict[VertexId, Any] = {}
+        ctx = ComputeContext(states, metrics)
+        mailbox = Mailbox()
+        ctx._mailbox = mailbox
+        ctx._global_reducers = program.global_reducers()
+        combiner = program.combiner()
+        inbox: Dict[VertexId, List[Any]] = {}
+        planned = program.num_supersteps()
+        if planned is not None and planned > self.max_supersteps:
+            raise EngineError(
+                f"program plans {planned} supersteps, exceeding the engine "
+                f"bound of {self.max_supersteps}"
+            )
+
+        start = time.perf_counter()
+        superstep = 0
+        while True:
+            if planned is not None:
+                if superstep >= planned:
+                    break
+            else:
+                if superstep > 0 and not inbox:
+                    break
+                if superstep >= self.max_supersteps:
+                    raise EngineError(
+                        f"program did not quiesce within {self.max_supersteps} "
+                        f"supersteps"
+                    )
+            work = [0] * self.num_workers
+            ctx.superstep = superstep
+            ctx._work = work
+            for worker, owned in enumerate(self._partitions):
+                ctx._worker = worker
+                for vid in owned:
+                    work[worker] += 1  # the per-iteration vertex scan
+                    ctx.vid = vid
+                    ctx.messages = inbox.get(vid, _NO_MESSAGES)
+                    program.compute(ctx)
+            metrics.supersteps.append(
+                SuperstepMetrics(
+                    superstep=superstep,
+                    work_per_worker=work,
+                    messages_sent=mailbox.sent_count,
+                )
+            )
+            inbox = mailbox.deliver(combiner)
+            ctx.globals = ctx._pending_globals
+            ctx._pending_globals = {}
+            superstep += 1
+
+        metrics.wall_time_s = time.perf_counter() - start
+        self.last_metrics = metrics
+        self.last_globals = ctx.globals
+        return program.finish(states, metrics)

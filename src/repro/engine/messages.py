@@ -1,0 +1,61 @@
+"""Message routing for the BSP engine.
+
+Messages sent during superstep ``s`` are delivered at the start of superstep
+``s + 1``, grouped per destination vertex — the classic Pregel contract.  A
+:class:`Mailbox` buffers one superstep's outgoing messages and materialises
+the next superstep's inboxes, optionally running a *combiner* over each
+destination's messages (Giraph-style message combining).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.graph.hetgraph import VertexId
+
+#: A combiner folds the message list of one destination vertex into a
+#: (usually shorter) list.  It must be order-insensitive.
+Combiner = Callable[[VertexId, List[Any]], List[Any]]
+
+
+class Mailbox:
+    """Buffers outgoing messages of the current superstep."""
+
+    __slots__ = ("_outbox", "sent_count")
+
+    def __init__(self) -> None:
+        self._outbox: Dict[VertexId, List[Any]] = {}
+        self.sent_count = 0
+
+    def send(self, target: VertexId, payload: Any) -> None:
+        """Queue ``payload`` for delivery to ``target`` next superstep."""
+        bucket = self._outbox.get(target)
+        if bucket is None:
+            self._outbox[target] = [payload]
+        else:
+            bucket.append(payload)
+        self.sent_count += 1
+
+    def send_many(self, target: VertexId, payloads: List[Any]) -> None:
+        """Queue several payloads for one target (single dict lookup)."""
+        if not payloads:
+            return
+        bucket = self._outbox.get(target)
+        if bucket is None:
+            self._outbox[target] = list(payloads)
+        else:
+            bucket.extend(payloads)
+        self.sent_count += len(payloads)
+
+    def is_empty(self) -> bool:
+        return not self._outbox
+
+    def deliver(self, combiner: Optional[Combiner] = None) -> Dict[VertexId, List[Any]]:
+        """Return the inbox mapping for the next superstep and reset the
+        mailbox.  When ``combiner`` is given it is applied per destination."""
+        outbox = self._outbox
+        self._outbox = {}
+        self.sent_count = 0
+        if combiner is None:
+            return outbox
+        return {vid: combiner(vid, msgs) for vid, msgs in outbox.items()}

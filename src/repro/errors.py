@@ -1,0 +1,40 @@
+"""Exception hierarchy for the graph extraction framework.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A vertex/edge violates the declared graph schema."""
+
+
+class PatternError(ReproError):
+    """A line pattern is malformed or cannot be parsed."""
+
+
+class PatternMismatchError(PatternError):
+    """A line pattern references labels absent from the target graph/schema."""
+
+
+class PlanError(ReproError):
+    """A path concatenation plan is structurally invalid."""
+
+
+class AggregationError(ReproError):
+    """An aggregate function is misused (e.g. partial aggregation requested
+    for a holistic aggregate)."""
+
+
+class EngineError(ReproError):
+    """The BSP engine reached an inconsistent state."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator received invalid parameters."""

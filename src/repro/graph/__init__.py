@@ -1,0 +1,34 @@
+"""Heterogeneous graph data model: storage, schema, line patterns,
+partitioning, statistics and serialisation."""
+
+from repro.graph.filters import VertexFilter
+from repro.graph.hetgraph import Edge, HeterogeneousGraph, VertexId
+from repro.graph.partition import HashPartitioner, RoundRobinPartitioner
+from repro.graph.pattern import (
+    ANY_LABEL,
+    Direction,
+    LinePattern,
+    PatternEdge,
+    label_matches,
+    vertices_matching,
+)
+from repro.graph.schema import EdgeType, GraphSchema
+from repro.graph.stats import GraphStatistics
+
+__all__ = [
+    "ANY_LABEL",
+    "Edge",
+    "EdgeType",
+    "Direction",
+    "GraphSchema",
+    "GraphStatistics",
+    "HashPartitioner",
+    "HeterogeneousGraph",
+    "LinePattern",
+    "PatternEdge",
+    "RoundRobinPartitioner",
+    "VertexFilter",
+    "VertexId",
+    "label_matches",
+    "vertices_matching",
+]

@@ -1,0 +1,86 @@
+"""Declarative vertex predicates for line patterns.
+
+Graph-OLAP-style extraction (the paper's §7 related work) filters the
+vertices that may participate in a relation by their attributes — e.g.
+*"co-authors, but only through papers published after 2010"*.  A
+:class:`VertexFilter` is a declarative, hashable predicate over a
+vertex's attribute dict, attachable to any pattern position via
+:meth:`repro.graph.pattern.LinePattern.with_filter`.
+
+Filters are declarative (attribute, operator, constant) rather than
+callables so patterns stay hashable, comparable and serialisable.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Mapping, Tuple
+
+from repro.errors import PatternError
+
+_OPS = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+    "in": lambda value, allowed: value in allowed,
+}
+
+
+@dataclass(frozen=True)
+class VertexFilter:
+    """``<attr> <op> <value>`` over a vertex's attributes.
+
+    A vertex with the attribute missing never matches (predicates are
+    three-valued in spirit: unknown is not true).
+
+    >>> recent = VertexFilter("year", "ge", 2010)
+    >>> recent.matches({"year": 2014})
+    True
+    >>> recent.matches({})
+    False
+    """
+
+    attr: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise PatternError(
+                f"unknown filter operator {self.op!r}; use one of {sorted(_OPS)}"
+            )
+
+    def matches(self, attrs: Mapping[str, Any]) -> bool:
+        if self.attr not in attrs:
+            return False
+        try:
+            return bool(_OPS[self.op](attrs[self.attr], self.value))
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.attr} {self.op} {self.value!r}"
+
+
+#: position -> filter mapping as stored on a pattern (sorted, hashable)
+FilterMap = Tuple[Tuple[int, VertexFilter], ...]
+
+
+def normalize_filters(filters: Mapping[int, VertexFilter], length: int) -> FilterMap:
+    """Validate and canonicalise a ``{position: filter}`` mapping."""
+    items = []
+    for position, vertex_filter in sorted(filters.items()):
+        if not 0 <= position <= length:
+            raise PatternError(
+                f"filter position {position} outside pattern positions 0..{length}"
+            )
+        if not isinstance(vertex_filter, VertexFilter):
+            raise PatternError(
+                f"filters must be VertexFilter instances, got {vertex_filter!r}"
+            )
+        items.append((position, vertex_filter))
+    return tuple(items)

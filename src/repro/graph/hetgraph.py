@@ -1,0 +1,267 @@
+"""In-memory heterogeneous graph (Definition 1 of the paper).
+
+A :class:`HeterogeneousGraph` is a directed, vertex- and edge-labeled,
+attributed multigraph.  Both the out-adjacency and the in-adjacency are
+materialised per edge label — this is exactly the paper's preprocessing
+phase (Algorithm 1, lines 1-3): every vertex can explore its in- *and*
+out-neighbours locally, which the pivot vertex of a primitive pattern
+requires.
+
+The adjacency is stored per ``(vertex, edge_label)`` as a list of
+``(other_vertex, weight)`` pairs, which keeps the hot path of the
+vertex-centric evaluator allocation-free.
+
+Example
+-------
+>>> g = HeterogeneousGraph()
+>>> g.add_vertex(1, "Author")
+>>> g.add_vertex(2, "Paper")
+>>> g.add_edge(1, 2, "authorBy")
+>>> g.out_edges(1, "authorBy")
+[(2, 1.0)]
+>>> g.in_edges(2, "authorBy")
+[(1, 1.0)]
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import SchemaError
+from repro.graph.schema import GraphSchema
+
+VertexId = int
+#: ``(neighbor, weight)`` adjacency entry.
+AdjEntry = Tuple[VertexId, float]
+
+_EMPTY: Tuple[AdjEntry, ...] = ()
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A materialised edge, returned by :meth:`HeterogeneousGraph.edges`."""
+
+    src: VertexId
+    dst: VertexId
+    label: str
+    weight: float = 1.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.src} -[{self.label}:{self.weight}]-> {self.dst}"
+
+
+class HeterogeneousGraph:
+    """A directed, labeled, weighted heterogeneous multigraph.
+
+    Parameters
+    ----------
+    schema:
+        Optional :class:`~repro.graph.schema.GraphSchema`.  When given,
+        vertex and edge inserts are validated against it; when omitted, a
+        schema is inferred incrementally from the inserted data.
+    """
+
+    def __init__(self, schema: Optional[GraphSchema] = None) -> None:
+        self._schema = schema
+        self._inferred_schema = GraphSchema() if schema is None else None
+        self._labels: Dict[VertexId, str] = {}
+        self._vertex_attrs: Dict[VertexId, Dict[str, Any]] = {}
+        # adjacency: vertex -> edge label -> list of (other, weight)
+        self._out: Dict[VertexId, Dict[str, List[AdjEntry]]] = {}
+        self._in: Dict[VertexId, Dict[str, List[AdjEntry]]] = {}
+        self._by_label: Dict[str, List[VertexId]] = {}
+        self._edge_count = 0
+        self._edge_label_counts: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(
+        self,
+        vid: VertexId,
+        label: str,
+        attrs: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Add a vertex.  Re-adding an existing vertex with the same label is
+        a no-op; re-adding with a different label raises."""
+        existing = self._labels.get(vid)
+        if existing is not None:
+            if existing != label:
+                raise SchemaError(
+                    f"vertex {vid} already exists with label {existing!r}; "
+                    f"cannot relabel to {label!r}"
+                )
+            if attrs:
+                self._vertex_attrs.setdefault(vid, {}).update(attrs)
+            return
+        if self._schema is not None:
+            self._schema.validate_vertex(label)
+        else:
+            self._inferred_schema.add_vertex_label(label)
+        self._labels[vid] = label
+        self._by_label.setdefault(label, []).append(vid)
+        if attrs:
+            self._vertex_attrs[vid] = dict(attrs)
+
+    def add_edge(
+        self,
+        src: VertexId,
+        dst: VertexId,
+        label: str,
+        weight: float = 1.0,
+    ) -> None:
+        """Add a directed edge ``src -[label]-> dst``.
+
+        Both endpoints must already exist.  Parallel edges are permitted
+        (they are distinct paths for the extraction semantics).
+        """
+        src_label = self._labels.get(src)
+        dst_label = self._labels.get(dst)
+        if src_label is None:
+            raise SchemaError(f"edge source vertex {src} does not exist")
+        if dst_label is None:
+            raise SchemaError(f"edge destination vertex {dst} does not exist")
+        if self._schema is not None:
+            self._schema.validate_edge(label, src_label, dst_label)
+        else:
+            self._inferred_schema.add_edge_type(label, src_label, dst_label)
+        self._out.setdefault(src, {}).setdefault(label, []).append((dst, weight))
+        self._in.setdefault(dst, {}).setdefault(label, []).append((src, weight))
+        self._edge_count += 1
+        self._edge_label_counts[label] += 1
+
+    def remove_edge(
+        self,
+        src: VertexId,
+        dst: VertexId,
+        label: str,
+        weight: float = 1.0,
+    ) -> None:
+        """Remove one ``src -[label]-> dst`` edge with the given weight.
+
+        With parallel edges, exactly one matching instance is removed.
+        Raises :class:`SchemaError` if no such edge exists.
+        """
+        try:
+            self._out[src][label].remove((dst, weight))
+        except (KeyError, ValueError):
+            raise SchemaError(
+                f"no edge {src} -[{label}:{weight}]-> {dst} to remove"
+            ) from None
+        self._in[dst][label].remove((src, weight))
+        self._edge_count -= 1
+        self._edge_label_counts[label] -= 1
+
+    # ------------------------------------------------------------------
+    # vertex queries
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> GraphSchema:
+        """The declared schema, or the schema inferred from inserts."""
+        return self._schema if self._schema is not None else self._inferred_schema
+
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    def has_vertex(self, vid: VertexId) -> bool:
+        return vid in self._labels
+
+    def label_of(self, vid: VertexId) -> str:
+        """The label of ``vid``; raises ``KeyError`` for unknown vertices."""
+        return self._labels[vid]
+
+    def vertex_attrs(self, vid: VertexId) -> Mapping[str, Any]:
+        return self._vertex_attrs.get(vid, {})
+
+    def vertices(self) -> Iterator[VertexId]:
+        """All vertex ids, in insertion order."""
+        return iter(self._labels)
+
+    def vertices_with_label(self, label: str) -> Sequence[VertexId]:
+        """All vertices carrying ``label`` (insertion order)."""
+        return self._by_label.get(label, [])
+
+    def count_label(self, label: str) -> int:
+        """Number of vertices with ``label``."""
+        return len(self._by_label.get(label, ()))
+
+    def vertex_labels(self) -> Iterable[str]:
+        return self._by_label.keys()
+
+    # ------------------------------------------------------------------
+    # edge queries
+    # ------------------------------------------------------------------
+    def out_edges(self, vid: VertexId, label: str) -> Sequence[AdjEntry]:
+        """``(dst, weight)`` pairs for edges ``vid -[label]-> dst``."""
+        adj = self._out.get(vid)
+        if adj is None:
+            return _EMPTY
+        return adj.get(label, _EMPTY)
+
+    def in_edges(self, vid: VertexId, label: str) -> Sequence[AdjEntry]:
+        """``(src, weight)`` pairs for edges ``src -[label]-> vid``."""
+        adj = self._in.get(vid)
+        if adj is None:
+            return _EMPTY
+        return adj.get(label, _EMPTY)
+
+    def out_degree(self, vid: VertexId, label: Optional[str] = None) -> int:
+        adj = self._out.get(vid)
+        if adj is None:
+            return 0
+        if label is not None:
+            return len(adj.get(label, _EMPTY))
+        return sum(len(entries) for entries in adj.values())
+
+    def in_degree(self, vid: VertexId, label: Optional[str] = None) -> int:
+        adj = self._in.get(vid)
+        if adj is None:
+            return 0
+        if label is not None:
+            return len(adj.get(label, _EMPTY))
+        return sum(len(entries) for entries in adj.values())
+
+    def count_edge_label(self, label: str) -> int:
+        """Total number of edges carrying ``label``."""
+        return self._edge_label_counts.get(label, 0)
+
+    def edge_labels(self) -> Iterable[str]:
+        return self._edge_label_counts.keys()
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate every edge as an :class:`Edge` record."""
+        for src, adj in self._out.items():
+            for label, entries in adj.items():
+                for dst, weight in entries:
+                    yield Edge(src, dst, label, weight)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, vid: VertexId) -> bool:
+        return vid in self._labels
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HeterogeneousGraph(|V|={self.num_vertices()}, |E|={self.num_edges()}, "
+            f"vertex_labels={sorted(self._by_label)}, "
+            f"edge_labels={sorted(self._edge_label_counts)})"
+        )

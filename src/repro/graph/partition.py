@@ -1,0 +1,74 @@
+"""Vertex partitioning for the BSP engine.
+
+The paper (§5.2.3) assumes the hash partition schema: vertices are spread
+evenly over the workers, so the per-superstep cost of scanning vertices is
+balanced and adding iterations always hurts.  We implement the same hash
+partitioner plus a round-robin variant (useful in tests for a perfectly
+balanced baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import EngineError
+from repro.graph.hetgraph import VertexId
+
+
+class HashPartitioner:
+    """Assign vertex ``v`` to worker ``hash(v) % num_workers``.
+
+    For integer vertex ids CPython's ``hash`` is the identity, which matches
+    the modulo-partitioning used by Giraph-style systems.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise EngineError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+
+    def worker_of(self, vid: VertexId) -> int:
+        """The worker index owning ``vid``."""
+        return hash(vid) % self.num_workers
+
+    def split(self, vertices: Iterable[VertexId]) -> List[List[VertexId]]:
+        """Partition ``vertices`` into ``num_workers`` lists (stable order)."""
+        parts: List[List[VertexId]] = [[] for _ in range(self.num_workers)]
+        for vid in vertices:
+            parts[hash(vid) % self.num_workers].append(vid)
+        return parts
+
+
+class RoundRobinPartitioner:
+    """Assign vertices to workers in arrival order, cycling through workers.
+
+    Unlike :class:`HashPartitioner` the assignment depends on insertion
+    order, so it is only suitable when the vertex set is fixed up front.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise EngineError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        self._assignment: Dict[VertexId, int] = {}
+
+    def fit(self, vertices: Sequence[VertexId]) -> "RoundRobinPartitioner":
+        """Fix the assignment for ``vertices``; returns ``self``."""
+        self._assignment = {
+            vid: i % self.num_workers for i, vid in enumerate(vertices)
+        }
+        return self
+
+    def worker_of(self, vid: VertexId) -> int:
+        try:
+            return self._assignment[vid]
+        except KeyError:
+            raise EngineError(
+                f"vertex {vid} was not part of the fitted vertex set"
+            ) from None
+
+    def split(self, vertices: Iterable[VertexId]) -> List[List[VertexId]]:
+        parts: List[List[VertexId]] = [[] for _ in range(self.num_workers)]
+        for vid in vertices:
+            parts[self.worker_of(vid)].append(vid)
+        return parts

@@ -1,0 +1,491 @@
+"""Line patterns (Definition 2 of the paper) and their text DSL.
+
+A line pattern of length ``l`` is a label path
+
+.. code-block:: text
+
+    L0  -e1-  L1  -e2-  ...  -el-  Ll
+
+with ``l + 1`` *vertex positions* ``0..l`` and ``l`` *edge slots* ``1..l``
+(slot ``i`` sits between positions ``i-1`` and ``i``).  Every edge slot has
+an edge label and a direction, which is expressed relative to the
+left-to-right orientation of the pattern:
+
+* ``FORWARD`` — the graph edge points from position ``i-1`` to ``i``;
+* ``BACKWARD`` — the graph edge points from position ``i`` to ``i-1``.
+
+Patterns are written in a small arrow DSL:
+
+>>> p = LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+>>> p.length
+2
+>>> p.vertex_labels
+('Author', 'Paper', 'Author')
+>>> p.edges[1].direction is Direction.BACKWARD
+True
+
+A *segment* ``[i, j]`` of a pattern is the sub-pattern between positions
+``i`` and ``j``; segments are the unit the path-concatenation planner works
+with.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.errors import PatternError, PatternMismatchError
+from repro.graph.filters import VertexFilter, normalize_filters
+from repro.graph.schema import GraphSchema
+
+
+def label_matches(actual: str, expected: str) -> bool:
+    """Whether a vertex of label ``actual`` satisfies a pattern position
+    labelled ``expected`` (which may be the :data:`ANY_LABEL` wildcard)."""
+    return expected == ANY_LABEL or actual == expected
+
+
+def vertices_matching(graph, label: str):
+    """The graph vertices a pattern position with ``label`` can match."""
+    if label == ANY_LABEL:
+        return list(graph.vertices())
+    return graph.vertices_with_label(label)
+
+
+def traverse_slot(graph, edge: "PatternEdge", vid, towards_right: bool):
+    """``(other, weight)`` pairs traversing a pattern edge slot from
+    ``vid``.
+
+    ``towards_right=True`` means ``vid`` occupies the slot's *left*
+    position (stepping to the right position); ``False`` the converse.
+    Undirected slots traverse both edge orientations — each orientation
+    is a distinct match (a self-loop is walkable twice).
+    """
+    if edge.direction is Direction.ANY:
+        entries = list(graph.out_edges(vid, edge.label))
+        entries.extend(graph.in_edges(vid, edge.label))
+        return entries
+    if towards_right:
+        if edge.direction is Direction.FORWARD:
+            return graph.out_edges(vid, edge.label)
+        return graph.in_edges(vid, edge.label)
+    if edge.direction is Direction.FORWARD:
+        return graph.in_edges(vid, edge.label)
+    return graph.out_edges(vid, edge.label)
+
+
+class Direction(Enum):
+    """Orientation of a pattern edge relative to the pattern's left-to-right
+    reading order.
+
+    ``ANY`` is the paper's *undirected* option (Definition 5 allows
+    incoming, outgoing or undirected edges): the slot matches a graph edge
+    in either orientation.  Convention: each traversable orientation is a
+    distinct match, so a self-loop can be walked twice from its vertex.
+    """
+
+    FORWARD = ">"
+    BACKWARD = "<"
+    ANY = "-"
+
+    def flip(self) -> "Direction":
+        """The opposite direction (used when reversing a pattern)."""
+        if self is Direction.FORWARD:
+            return Direction.BACKWARD
+        if self is Direction.BACKWARD:
+            return Direction.FORWARD
+        return Direction.ANY
+
+
+@dataclass(frozen=True)
+class PatternEdge:
+    """One edge slot of a line pattern: an edge label plus a direction."""
+
+    label: str
+    direction: Direction = Direction.FORWARD
+
+    def flip(self) -> "PatternEdge":
+        return PatternEdge(self.label, self.direction.flip())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.direction is Direction.FORWARD:
+            return f"-[{self.label}]->"
+        if self.direction is Direction.BACKWARD:
+            return f"<-[{self.label}]-"
+        return f"-[{self.label}]-"
+
+
+#: Wildcard vertex label: matches a vertex of any label.  Generalises the
+#: paper's extended-label machinery (Definition 5 already treats vertex
+#: labels as an open set) to user-facing patterns, as metapath tools
+#: commonly allow.
+ANY_LABEL = "*"
+
+# DSL tokens:  Label  -[edge]->  Label  <-[edge]-  Label  -[edge]-  Label
+# (the last form is undirected; a label may be * and may carry an
+# attribute predicate:  Paper{year >= 2010})
+_ARROW_RE = re.compile(
+    r"\s*(?:(?P<fwd>-\[\s*(?P<flabel>[A-Za-z_][\w.]*)\s*\]->)"
+    r"|(?P<bwd><-\[\s*(?P<blabel>[A-Za-z_][\w.]*)\s*\]-)"
+    r"|(?P<und>-\[\s*(?P<ulabel>[A-Za-z_][\w.]*)\s*\]-))\s*"
+)
+_LABEL_RE = re.compile(
+    r"\s*(?P<label>[A-Za-z_][\w.]*|\*)"
+    r"(?:\{\s*(?P<fattr>[A-Za-z_]\w*)\s*(?P<fop>==|!=|<=|>=|<|>)\s*"
+    r"(?P<fval>-?\d+(?:\.\d+)?|'[^']*'|\"[^\"]*\")\s*\})?"
+)
+_DSL_OPS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+_OPS_DSL = {v: k for k, v in _DSL_OPS.items()}
+
+
+def _parse_filter_value(token: str):
+    if token.startswith(("'", '"')):
+        return token[1:-1]
+    if "." in token:
+        return float(token)
+    return int(token)
+
+
+def _render_filter_value(value) -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    return repr(value)
+
+
+class LinePattern:
+    """An immutable line pattern.
+
+    Parameters
+    ----------
+    vertex_labels:
+        ``l + 1`` vertex labels for positions ``0..l``.
+    edges:
+        ``l`` :class:`PatternEdge` instances for slots ``1..l``.
+    name:
+        Optional human-readable name (e.g. ``"dblp-SP2"``), used in reports.
+    filters:
+        Optional ``{position: VertexFilter}`` attribute predicates; a
+        vertex can only match a filtered position if its attributes
+        satisfy the filter (see :mod:`repro.graph.filters`).
+    """
+
+    __slots__ = ("_vertex_labels", "_edges", "_name", "_filters")
+
+    def __init__(
+        self,
+        vertex_labels: Sequence[str],
+        edges: Sequence[PatternEdge],
+        name: Optional[str] = None,
+        filters: Optional[dict] = None,
+    ) -> None:
+        vertex_labels = tuple(vertex_labels)
+        edges = tuple(edges)
+        if len(vertex_labels) < 2:
+            raise PatternError("a line pattern needs at least two vertex positions")
+        if len(edges) != len(vertex_labels) - 1:
+            raise PatternError(
+                f"pattern with {len(vertex_labels)} vertex positions needs "
+                f"{len(vertex_labels) - 1} edges, got {len(edges)}"
+            )
+        for label in vertex_labels:
+            if not label or not isinstance(label, str):
+                raise PatternError(f"invalid vertex label {label!r}")
+        for edge in edges:
+            if not isinstance(edge, PatternEdge):
+                raise PatternError(f"invalid pattern edge {edge!r}")
+        self._vertex_labels = vertex_labels
+        self._edges = edges
+        self._name = name
+        self._filters = normalize_filters(filters or {}, len(edges))
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str, name: Optional[str] = None) -> "LinePattern":
+        """Parse the arrow DSL, e.g.
+        ``"Author -[authorBy]-> Paper <-[authorBy]- Author"``.
+
+        A position may carry an attribute predicate in braces:
+        ``"Author -[authorBy]-> Paper{year >= 2010} <-[authorBy]- Author"``
+        (operators ``== != < <= > >=``; values are numbers or quoted
+        strings).
+        """
+        from repro.graph.filters import VertexFilter
+
+        def read_label(position: int, offset: int) -> int:
+            match = _LABEL_RE.match(text, offset)
+            if match is None:
+                raise PatternError(
+                    f"expected a vertex label at offset {offset} of {text!r}"
+                )
+            labels.append(match.group("label"))
+            if match.group("fattr"):
+                filters[position] = VertexFilter(
+                    match.group("fattr"),
+                    _DSL_OPS[match.group("fop")],
+                    _parse_filter_value(match.group("fval")),
+                )
+            return match.end()
+
+        labels: list = []
+        edges: list = []
+        filters: dict = {}
+        pos = read_label(0, 0)
+        while pos < len(text) and text[pos:].strip():
+            arrow = _ARROW_RE.match(text, pos)
+            if arrow is None:
+                raise PatternError(
+                    f"expected '-[label]->' or '<-[label]-' at offset {pos} of {text!r}"
+                )
+            if arrow.group("fwd"):
+                edges.append(PatternEdge(arrow.group("flabel"), Direction.FORWARD))
+            elif arrow.group("bwd"):
+                edges.append(PatternEdge(arrow.group("blabel"), Direction.BACKWARD))
+            else:
+                edges.append(PatternEdge(arrow.group("ulabel"), Direction.ANY))
+            pos = read_label(len(edges), arrow.end())
+        if not edges:
+            raise PatternError(f"pattern {text!r} has no edges")
+        return cls(labels, edges, name=name, filters=filters)
+
+    @classmethod
+    def chain(
+        cls,
+        vertex_label: str,
+        edge_label: str,
+        length: int,
+        direction: Direction = Direction.FORWARD,
+        name: Optional[str] = None,
+    ) -> "LinePattern":
+        """A homogeneous chain pattern of the given length, e.g. the
+        ``citeBy``-chains used for Fig. 10(d)."""
+        if length < 1:
+            raise PatternError(f"chain length must be >= 1, got {length}")
+        labels = [vertex_label] * (length + 1)
+        edges = [PatternEdge(edge_label, direction)] * length
+        return cls(labels, edges, name=name)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> Optional[str]:
+        return self._name
+
+    @property
+    def vertex_labels(self) -> Tuple[str, ...]:
+        """Labels of positions ``0..l``."""
+        return self._vertex_labels
+
+    @property
+    def edges(self) -> Tuple[PatternEdge, ...]:
+        """Edge slots; ``edges[i]`` is slot ``i + 1`` of the pattern."""
+        return self._edges
+
+    @property
+    def length(self) -> int:
+        """Pattern length ``l`` — the number of edge slots."""
+        return len(self._edges)
+
+    @property
+    def start_label(self) -> str:
+        return self._vertex_labels[0]
+
+    @property
+    def end_label(self) -> str:
+        return self._vertex_labels[-1]
+
+    def label_at(self, position: int) -> str:
+        """Vertex label at ``position`` (0-based, supports negatives)."""
+        return self._vertex_labels[position]
+
+    def edge_slot(self, slot: int) -> PatternEdge:
+        """Edge in slot ``slot`` (1-based, between positions slot-1 and slot)."""
+        if not 1 <= slot <= self.length:
+            raise PatternError(f"edge slot {slot} out of range 1..{self.length}")
+        return self._edges[slot - 1]
+
+    # ------------------------------------------------------------------
+    # vertex filters
+    # ------------------------------------------------------------------
+    @property
+    def filters(self) -> dict:
+        """``{position: VertexFilter}`` attribute predicates."""
+        return dict(self._filters)
+
+    @property
+    def has_filters(self) -> bool:
+        return bool(self._filters)
+
+    def filter_at(self, position: int) -> Optional[VertexFilter]:
+        """The filter at ``position``, or ``None``."""
+        for pos, vertex_filter in self._filters:
+            if pos == position:
+                return vertex_filter
+        return None
+
+    def with_filter(self, position: int, vertex_filter: VertexFilter) -> "LinePattern":
+        """A copy of this pattern with ``vertex_filter`` attached at
+        ``position`` (replacing any existing filter there)."""
+        filters = {pos: f for pos, f in self._filters if pos != position}
+        filters[position] = vertex_filter
+        return LinePattern(
+            self._vertex_labels, self._edges, name=self._name, filters=filters
+        )
+
+    # ------------------------------------------------------------------
+    # derived patterns
+    # ------------------------------------------------------------------
+    def segment(self, i: int, j: int) -> "LinePattern":
+        """The sub-pattern between positions ``i`` and ``j`` (``i < j``),
+        keeping any filters that fall inside the segment."""
+        if not 0 <= i < j <= self.length:
+            raise PatternError(
+                f"invalid segment [{i}, {j}] for pattern of length {self.length}"
+            )
+        filters = {
+            pos - i: f for pos, f in self._filters if i <= pos <= j
+        }
+        return LinePattern(
+            self._vertex_labels[i : j + 1], self._edges[i:j], filters=filters
+        )
+
+    def reversed(self) -> "LinePattern":
+        """The pattern read right-to-left (labels reversed, directions
+        flipped, filters mirrored).  Matches exactly the reversed paths of
+        ``self``."""
+        labels = tuple(reversed(self._vertex_labels))
+        edges = tuple(e.flip() for e in reversed(self._edges))
+        filters = {self.length - pos: f for pos, f in self._filters}
+        suffix = f"{self._name}-rev" if self._name else None
+        return LinePattern(labels, edges, name=suffix, filters=filters)
+
+    def is_symmetric(self) -> bool:
+        """True when the pattern equals its own reverse (the paper's
+        *symmetry patterns* SP are of this form)."""
+        return self == self.reversed()
+
+    def concat(self, other: "LinePattern") -> "LinePattern":
+        """Join two patterns at a shared junction label: ``self``'s end
+        position and ``other``'s start position must agree (label and
+        filter); the junction keeps its filter."""
+        if self.end_label != other.start_label:
+            raise PatternError(
+                f"cannot concatenate: end label {self.end_label!r} != "
+                f"start label {other.start_label!r}"
+            )
+        junction_left = self.filter_at(self.length)
+        junction_right = other.filter_at(0)
+        if (
+            junction_left is not None
+            and junction_right is not None
+            and junction_left != junction_right
+        ):
+            raise PatternError(
+                "cannot concatenate: the junction position carries two "
+                "different filters"
+            )
+        filters = dict(self._filters)
+        for position, vertex_filter in other._filters:
+            filters[position + self.length] = vertex_filter
+        if junction_left is not None:
+            filters[self.length] = junction_left
+        return LinePattern(
+            self._vertex_labels + other._vertex_labels[1:],
+            self._edges + other._edges,
+            filters=filters,
+        )
+
+    def repeat(self, times: int) -> "LinePattern":
+        """``self`` concatenated with itself ``times`` times (requires
+        matching endpoint labels for ``times > 1``)."""
+        if times < 1:
+            raise PatternError(f"times must be >= 1, got {times}")
+        result = self
+        for _ in range(times - 1):
+            result = result.concat(self)
+        return result
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate_against(self, schema: GraphSchema) -> None:
+        """Check every position and slot is satisfiable under ``schema``.
+
+        Raises :class:`PatternMismatchError` on the first violation.
+        """
+        for label in self._vertex_labels:
+            if label != ANY_LABEL and not schema.has_vertex_label(label):
+                raise PatternMismatchError(
+                    f"pattern vertex label {label!r} is absent from the schema"
+                )
+        for slot in range(1, self.length + 1):
+            edge = self._edges[slot - 1]
+            left = self._vertex_labels[slot - 1]
+            right = self._vertex_labels[slot]
+            if edge.direction is Direction.FORWARD:
+                orientations = [(left, right)]
+            elif edge.direction is Direction.BACKWARD:
+                orientations = [(right, left)]
+            else:  # undirected: satisfiable in either orientation
+                orientations = [(left, right), (right, left)]
+            satisfied = False
+            for src, dst in orientations:
+                src_query = None if src == ANY_LABEL else src
+                dst_query = None if dst == ANY_LABEL else dst
+                if schema.has_edge_type(edge.label, src_query, dst_query):
+                    satisfied = True
+                    break
+            if not satisfied:
+                src, dst = orientations[0]
+                raise PatternMismatchError(
+                    f"pattern slot {slot} requires edge type "
+                    f"{src} -[{edge.label}]-> {dst}"
+                    f"{' (either orientation)' if len(orientations) > 1 else ''}"
+                    f", absent from the schema"
+                )
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinePattern):
+            return NotImplemented
+        return (
+            self._vertex_labels == other._vertex_labels
+            and self._edges == other._edges
+            and self._filters == other._filters
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._vertex_labels, self._edges, self._filters))
+
+    def __iter__(self) -> Iterator[PatternEdge]:
+        return iter(self._edges)
+
+    def _label_token(self, position: int) -> str:
+        token = self._vertex_labels[position]
+        vertex_filter = self.filter_at(position)
+        if vertex_filter is not None:
+            op = _OPS_DSL.get(vertex_filter.op)
+            if op is not None:
+                token += (
+                    f"{{{vertex_filter.attr} {op} "
+                    f"{_render_filter_value(vertex_filter.value)}}}"
+                )
+            else:  # e.g. 'in' — not expressible in the DSL
+                token += f"{{{vertex_filter.attr} {vertex_filter.op} ...}}"
+        return token
+
+    def __str__(self) -> str:
+        parts = [self._label_token(0)]
+        for position, edge in enumerate(self._edges, start=1):
+            parts.append(f" {edge} {self._label_token(position)}")
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = f" name={self._name!r}" if self._name else ""
+        return f"<LinePattern{name} {self}>"

@@ -1,0 +1,156 @@
+"""Graph schemas for heterogeneous graphs.
+
+A :class:`GraphSchema` declares the vertex labels and the typed edge
+relations (``src_label -edge_label-> dst_label``) a heterogeneous graph may
+contain.  Schemas are optional when building a
+:class:`~repro.graph.hetgraph.HeterogeneousGraph` but strongly recommended:
+with a schema attached, inserts are validated eagerly and the cost model can
+reason about which label combinations are possible at all.
+
+Example
+-------
+>>> schema = GraphSchema()
+>>> schema.add_vertex_label("Author")
+>>> schema.add_vertex_label("Paper")
+>>> authored = schema.add_edge_type("authorBy", "Author", "Paper")
+>>> schema.has_edge_type("authorBy")
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class EdgeType:
+    """A typed relation: edges labelled ``label`` go from a ``src`` vertex to
+    a ``dst`` vertex.
+
+    The same edge label may connect several (src, dst) label pairs; each pair
+    is a distinct :class:`EdgeType`.
+    """
+
+    label: str
+    src: str
+    dst: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.src} -[{self.label}]-> {self.dst}"
+
+
+class GraphSchema:
+    """Declares the permitted vertex labels and edge types of a graph.
+
+    Parameters
+    ----------
+    vertex_labels:
+        Initial set of vertex labels.
+    edge_types:
+        Initial edge types, as ``(label, src, dst)`` triples or
+        :class:`EdgeType` instances.
+    """
+
+    def __init__(
+        self,
+        vertex_labels: Optional[Iterable[str]] = None,
+        edge_types: Optional[Iterable[Tuple[str, str, str]]] = None,
+    ) -> None:
+        self._vertex_labels: Set[str] = set()
+        self._edge_types: Set[EdgeType] = set()
+        self._by_label: Dict[str, Set[EdgeType]] = {}
+        for label in vertex_labels or ():
+            self.add_vertex_label(label)
+        for et in edge_types or ():
+            if isinstance(et, EdgeType):
+                self.add_edge_type(et.label, et.src, et.dst)
+            else:
+                self.add_edge_type(*et)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex_label(self, label: str) -> None:
+        """Register a vertex label. Idempotent."""
+        if not label or not isinstance(label, str):
+            raise SchemaError(f"vertex label must be a non-empty string, got {label!r}")
+        self._vertex_labels.add(label)
+
+    def add_edge_type(self, label: str, src: str, dst: str) -> EdgeType:
+        """Register an edge type ``src -[label]-> dst``.
+
+        The endpoint vertex labels are registered automatically.
+        """
+        if not label or not isinstance(label, str):
+            raise SchemaError(f"edge label must be a non-empty string, got {label!r}")
+        self.add_vertex_label(src)
+        self.add_vertex_label(dst)
+        et = EdgeType(label, src, dst)
+        self._edge_types.add(et)
+        self._by_label.setdefault(label, set()).add(et)
+        return et
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def vertex_labels(self) -> FrozenSet[str]:
+        """The registered vertex labels."""
+        return frozenset(self._vertex_labels)
+
+    @property
+    def edge_types(self) -> FrozenSet[EdgeType]:
+        """The registered edge types."""
+        return frozenset(self._edge_types)
+
+    def has_vertex_label(self, label: str) -> bool:
+        return label in self._vertex_labels
+
+    def has_edge_type(self, label: str, src: Optional[str] = None, dst: Optional[str] = None) -> bool:
+        """Whether an edge type with ``label`` (and optionally the given
+        endpoints) is declared."""
+        types = self._by_label.get(label)
+        if not types:
+            return False
+        if src is None and dst is None:
+            return True
+        return any(
+            (src is None or et.src == src) and (dst is None or et.dst == dst)
+            for et in types
+        )
+
+    def edge_types_for_label(self, label: str) -> FrozenSet[EdgeType]:
+        """All edge types carrying ``label``."""
+        return frozenset(self._by_label.get(label, set()))
+
+    def validate_vertex(self, label: str) -> None:
+        """Raise :class:`SchemaError` if ``label`` is not declared."""
+        if label not in self._vertex_labels:
+            raise SchemaError(
+                f"vertex label {label!r} is not declared; known labels: "
+                f"{sorted(self._vertex_labels)}"
+            )
+
+    def validate_edge(self, label: str, src_label: str, dst_label: str) -> None:
+        """Raise :class:`SchemaError` if ``src -[label]-> dst`` is not declared."""
+        if not self.has_edge_type(label, src_label, dst_label):
+            raise SchemaError(
+                f"edge type {src_label} -[{label}]-> {dst_label} is not declared; "
+                f"known types for {label!r}: "
+                f"{sorted(map(str, self._by_label.get(label, set())))}"
+            )
+
+    def __iter__(self) -> Iterator[EdgeType]:
+        return iter(sorted(self._edge_types, key=lambda e: (e.label, e.src, e.dst)))
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._vertex_labels
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphSchema(vertex_labels={sorted(self._vertex_labels)}, "
+            f"edge_types={[str(e) for e in self]})"
+        )

@@ -1,0 +1,134 @@
+"""Graph statistics feeding the planner's cost model (§5.1 of the paper).
+
+The cost model estimates intermediate-path counts under the assumption that
+edges are uniformly distributed over the vertices of each label.  The only
+statistics that assumption requires are
+
+* ``|V(L)|`` — the number of vertices per label, and
+* ``|E(A, e, B)|`` — the number of edges per typed triple
+  ``A -[e]-> B``.
+
+Both are collected in a single pass over the graph and cached on the
+:class:`GraphStatistics` instance.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Tuple
+
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import ANY_LABEL, Direction, PatternEdge
+
+#: key: (src_label, edge_label, dst_label)
+TypedTriple = Tuple[str, str, str]
+
+
+class GraphStatistics:
+    """Label and typed-edge counts of a heterogeneous graph.
+
+    Example
+    -------
+    >>> stats = GraphStatistics.collect(graph)          # doctest: +SKIP
+    >>> stats.vertex_count("Author")                    # doctest: +SKIP
+    120
+    >>> stats.slot_edge_count("Author", PatternEdge("authorBy"), "Paper") \
+            # doctest: +SKIP
+    431
+    """
+
+    def __init__(
+        self,
+        vertex_counts: Dict[str, int],
+        triple_counts: Dict[TypedTriple, int],
+        total_vertices: int,
+        total_edges: int,
+    ) -> None:
+        self._vertex_counts = dict(vertex_counts)
+        self._triple_counts = dict(triple_counts)
+        self.total_vertices = total_vertices
+        self.total_edges = total_edges
+
+    @classmethod
+    def collect(cls, graph: HeterogeneousGraph) -> "GraphStatistics":
+        """Scan ``graph`` once and collect all statistics."""
+        vertex_counts = {
+            label: graph.count_label(label) for label in graph.vertex_labels()
+        }
+        triples: Counter = Counter()
+        for edge in graph.edges():
+            key = (graph.label_of(edge.src), edge.label, graph.label_of(edge.dst))
+            triples[key] += 1
+        return cls(
+            vertex_counts=vertex_counts,
+            triple_counts=dict(triples),
+            total_vertices=graph.num_vertices(),
+            total_edges=graph.num_edges(),
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def vertex_count(self, label: str) -> int:
+        """``|V(label)|``; zero for unknown labels.  The ``*`` wildcard
+        counts every vertex."""
+        if label == ANY_LABEL:
+            return self.total_vertices
+        return self._vertex_counts.get(label, 0)
+
+    def triple_count(self, src_label: str, edge_label: str, dst_label: str) -> int:
+        """Number of edges ``src_label -[edge_label]-> dst_label``; either
+        endpoint may be the ``*`` wildcard."""
+        if src_label == ANY_LABEL or dst_label == ANY_LABEL:
+            return sum(
+                count
+                for (src, edge, dst), count in self._triple_counts.items()
+                if edge == edge_label
+                and (src_label == ANY_LABEL or src == src_label)
+                and (dst_label == ANY_LABEL or dst == dst_label)
+            )
+        return self._triple_counts.get((src_label, edge_label, dst_label), 0)
+
+    def slot_edge_count(
+        self, left_label: str, edge: PatternEdge, right_label: str
+    ) -> int:
+        """Number of slot matches for a pattern edge whose left position
+        has ``left_label`` and right position ``right_label``.
+
+        A FORWARD slot matches ``left -[e]-> right`` edges, a BACKWARD slot
+        matches ``right -[e]-> left`` edges; an undirected (ANY) slot
+        matches both orientations (each orientation is a distinct match).
+        """
+        if edge.direction is Direction.FORWARD:
+            return self.triple_count(left_label, edge.label, right_label)
+        if edge.direction is Direction.BACKWARD:
+            return self.triple_count(right_label, edge.label, left_label)
+        return self.triple_count(
+            left_label, edge.label, right_label
+        ) + self.triple_count(right_label, edge.label, left_label)
+
+    def avg_slot_degree_left(
+        self, left_label: str, edge: PatternEdge, right_label: str
+    ) -> float:
+        """Expected number of slot-matching edges incident to one *left*
+        vertex (i.e. the per-vertex fan-out when expanding left-to-right)."""
+        denom = self.vertex_count(left_label)
+        if denom == 0:
+            return 0.0
+        return self.slot_edge_count(left_label, edge, right_label) / denom
+
+    def avg_slot_degree_right(
+        self, left_label: str, edge: PatternEdge, right_label: str
+    ) -> float:
+        """Expected number of slot-matching edges incident to one *right*
+        vertex (the fan-out when expanding right-to-left)."""
+        denom = self.vertex_count(right_label)
+        if denom == 0:
+            return 0.0
+        return self.slot_edge_count(left_label, edge, right_label) / denom
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphStatistics(|V|={self.total_vertices}, |E|={self.total_edges}, "
+            f"labels={sorted(self._vertex_counts)})"
+        )

@@ -1,0 +1,118 @@
+"""Public verification helpers for downstream users.
+
+Anyone extending the library — a custom aggregate, a new baseline, a
+modified planner — needs the same correctness scaffolding our test suite
+uses.  This module exposes it as API:
+
+* :func:`assert_methods_agree` — run any set of extraction methods against
+  the brute-force oracle on a given graph/pattern and raise with a precise
+  diff on the first disagreement;
+* :func:`assert_aggregate_consistent` — check a (claimed) distributive or
+  algebraic aggregate end to end: Theorem 3's operator condition, plus
+  partial-vs-basic execution equivalence on the given graph;
+* :func:`crosscheck_plans` — extract under every strategy and assert all
+  plans agree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.aggregates.base import Aggregate
+from repro.aggregates.classify import validate_aggregate
+from repro.aggregates.library import path_count
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.core.extractor import GraphExtractor
+from repro.core.planner import STRATEGIES
+from repro.errors import ReproError
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import LinePattern
+from repro.workloads.harness import run_method
+
+
+class VerificationError(ReproError, AssertionError):
+    """An equivalence check failed; the message carries the value diff."""
+
+
+def assert_methods_agree(
+    graph: HeterogeneousGraph,
+    pattern: LinePattern,
+    aggregate: Optional[Aggregate] = None,
+    methods: Sequence[str] = ("pge", "pge-basic", "graphdb", "matrix", "rpq"),
+    num_workers: int = 2,
+    rel_tol: float = 1e-9,
+) -> None:
+    """Every named method must match the brute-force oracle exactly."""
+    aggregate = aggregate if aggregate is not None else path_count()
+    oracle = extract_bruteforce(graph, pattern, aggregate)
+    for method in methods:
+        result = run_method(
+            method, graph, pattern, aggregate=aggregate, num_workers=num_workers
+        )
+        if not result.graph.equals(oracle.graph, rel_tol=rel_tol):
+            diff = result.graph.diff(oracle.graph, rel_tol=rel_tol)
+            raise VerificationError(
+                f"method {method!r} disagrees with the oracle on "
+                f"{pattern}: " + "; ".join(diff[:5])
+            )
+
+
+def assert_aggregate_consistent(
+    graph: HeterogeneousGraph,
+    pattern: LinePattern,
+    aggregate: Aggregate,
+    rel_tol: float = 1e-7,
+) -> None:
+    """Validate a custom aggregate end to end.
+
+    Checks, in order: the taxonomy declaration (Theorem 3's condition for
+    distributive/algebraic aggregates), oracle agreement in basic mode,
+    and — when partial aggregation is claimed — partial-vs-basic
+    equivalence.
+    """
+    validate_aggregate(aggregate)
+    extractor = GraphExtractor(graph, num_workers=2)
+    oracle = extract_bruteforce(graph, pattern, aggregate)
+    basic = extractor.extract(pattern, aggregate, partial_aggregation=False)
+    if not basic.graph.equals(oracle.graph, rel_tol=rel_tol):
+        raise VerificationError(
+            f"aggregate {aggregate.name!r}: basic-mode extraction disagrees "
+            f"with literal two-level evaluation: "
+            + "; ".join(basic.graph.diff(oracle.graph, rel_tol=rel_tol)[:5])
+        )
+    if aggregate.supports_partial_aggregation:
+        partial = extractor.extract(pattern, aggregate, partial_aggregation=True)
+        if not partial.graph.equals(oracle.graph, rel_tol=rel_tol):
+            raise VerificationError(
+                f"aggregate {aggregate.name!r}: partial aggregation changes "
+                f"the result — its ⊗ likely does not distribute over its ⊕ "
+                f"on this data: "
+                + "; ".join(partial.graph.diff(oracle.graph, rel_tol=rel_tol)[:5])
+            )
+
+
+def crosscheck_plans(
+    graph: HeterogeneousGraph,
+    pattern: LinePattern,
+    aggregate: Optional[Aggregate] = None,
+    strategies: Iterable[str] = STRATEGIES,
+    num_workers: int = 2,
+    rel_tol: float = 1e-9,
+) -> None:
+    """Every plan strategy must produce the identical extracted graph."""
+    aggregate = aggregate if aggregate is not None else path_count()
+    reference = None
+    reference_strategy = None
+    for strategy in strategies:
+        extractor = GraphExtractor(
+            graph, num_workers=num_workers, strategy=strategy
+        )
+        result = extractor.extract(pattern, aggregate)
+        if reference is None:
+            reference, reference_strategy = result.graph, strategy
+        elif not result.graph.equals(reference, rel_tol=rel_tol):
+            raise VerificationError(
+                f"strategies {reference_strategy!r} and {strategy!r} "
+                f"disagree on {pattern}: "
+                + "; ".join(result.graph.diff(reference, rel_tol=rel_tol)[:5])
+            )

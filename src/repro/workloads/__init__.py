@@ -1,0 +1,45 @@
+"""Named paper workloads and the experiment harness."""
+
+from repro.workloads.discovery import (
+    discover,
+    enumerate_patterns,
+    rank_patterns,
+    symmetric_patterns,
+)
+from repro.workloads.harness import (
+    METHODS,
+    Row,
+    format_table,
+    reference_graph,
+    run_method,
+    run_workload,
+    summarize,
+)
+from repro.workloads.patterns import (
+    HEAVY_PATTERNS,
+    LIGHT_PATTERNS,
+    WORKLOADS,
+    Workload,
+    get_workload,
+    workloads_for_dataset,
+)
+
+__all__ = [
+    "HEAVY_PATTERNS",
+    "LIGHT_PATTERNS",
+    "METHODS",
+    "Row",
+    "WORKLOADS",
+    "Workload",
+    "discover",
+    "enumerate_patterns",
+    "format_table",
+    "get_workload",
+    "rank_patterns",
+    "symmetric_patterns",
+    "reference_graph",
+    "run_method",
+    "run_workload",
+    "summarize",
+    "workloads_for_dataset",
+]

@@ -1,0 +1,125 @@
+"""Metapath discovery: enumerate and rank candidate line patterns.
+
+Designing a line pattern "requires domain knowledge" (§6.1) — but the
+*candidate space* is mechanical: every walk through the schema's type
+graph between the two endpoint labels is a well-formed line pattern.
+This module enumerates that space and ranks candidates by their estimated
+result size, so an analyst can shortlist metapaths before paying for an
+extraction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.cost import CostModel
+from repro.errors import PatternError
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import Direction, LinePattern, PatternEdge
+from repro.graph.schema import GraphSchema
+from repro.graph.stats import GraphStatistics
+
+
+def enumerate_patterns(
+    schema: GraphSchema,
+    start_label: str,
+    end_label: str,
+    max_length: int,
+    min_length: int = 1,
+    allow_backward: bool = True,
+    max_patterns: int = 10_000,
+) -> List[LinePattern]:
+    """All line patterns of length ``min_length..max_length`` between the
+    two labels that are satisfiable under ``schema``.
+
+    ``allow_backward=False`` restricts to patterns whose every slot
+    follows edge direction (pure forward metapaths).  Enumeration is
+    capped at ``max_patterns`` candidates (raises
+    :class:`~repro.errors.PatternError` when exceeded, so an explosive
+    schema fails loudly instead of silently truncating).
+    """
+    if not 1 <= min_length <= max_length:
+        raise PatternError(
+            f"need 1 <= min_length <= max_length, got {min_length}, {max_length}"
+        )
+    schema.validate_vertex(start_label)
+    schema.validate_vertex(end_label)
+
+    moves: dict = {}
+    for edge_type in schema.edge_types:
+        moves.setdefault(edge_type.src, []).append(
+            (edge_type.label, Direction.FORWARD, edge_type.dst)
+        )
+        if allow_backward:
+            moves.setdefault(edge_type.dst, []).append(
+                (edge_type.label, Direction.BACKWARD, edge_type.src)
+            )
+
+    results: List[LinePattern] = []
+
+    def walk(labels: List[str], edges: List[PatternEdge]) -> None:
+        if len(results) > max_patterns:
+            raise PatternError(
+                f"more than {max_patterns} candidate patterns between "
+                f"{start_label!r} and {end_label!r}; raise max_patterns or "
+                f"lower max_length"
+            )
+        length = len(edges)
+        if length >= min_length and labels[-1] == end_label:
+            results.append(LinePattern(labels, edges))
+        if length == max_length:
+            return
+        for edge_label, direction, nxt in sorted(
+            moves.get(labels[-1], ()), key=lambda m: (m[0], m[1].value, m[2])
+        ):
+            walk(labels + [nxt], edges + [PatternEdge(edge_label, direction)])
+
+    walk([start_label], [])
+    return results
+
+
+def symmetric_patterns(patterns: List[LinePattern]) -> List[LinePattern]:
+    """The subset equal to their own reverse (the paper's SP class)."""
+    return [p for p in patterns if p.is_symmetric()]
+
+
+def rank_patterns(
+    graph: HeterogeneousGraph,
+    patterns: List[LinePattern],
+    stats: Optional[GraphStatistics] = None,
+    drop_empty: bool = True,
+) -> List[Tuple[LinePattern, float]]:
+    """Rank candidate patterns by their estimated number of matching paths
+    (uniform estimator), largest first.
+
+    ``drop_empty`` removes candidates whose estimate is zero (some slot
+    has no matching edges in this particular graph).
+    """
+    if stats is None:
+        stats = GraphStatistics.collect(graph)
+    ranked = []
+    for pattern in patterns:
+        estimate = CostModel(pattern, stats).segment_count(0, pattern.length)
+        if drop_empty and estimate == 0:
+            continue
+        ranked.append((pattern, estimate))
+    ranked.sort(key=lambda item: (-item[1], str(item[0])))
+    return ranked
+
+
+def discover(
+    graph: HeterogeneousGraph,
+    start_label: str,
+    end_label: str,
+    max_length: int,
+    top: int = 10,
+    only_symmetric: bool = False,
+) -> List[Tuple[LinePattern, float]]:
+    """One-call discovery: enumerate, optionally keep symmetric patterns,
+    rank by estimated result size, return the top candidates."""
+    candidates = enumerate_patterns(
+        graph.schema, start_label, end_label, max_length
+    )
+    if only_symmetric:
+        candidates = symmetric_patterns(candidates)
+    return rank_patterns(graph, candidates)[:top]

@@ -1,0 +1,169 @@
+"""Experiment harness: runs method × pattern × configuration grids and
+formats paper-style tables.
+
+Every benchmark in ``benchmarks/`` is a thin wrapper around this module,
+so the table/figure reproductions stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Dict, Optional, Sequence
+
+from repro.aggregates.base import Aggregate
+from repro.aggregates.library import path_count
+from repro.baselines.graphdb import extract_graphdb
+from repro.baselines.matrix import extract_matrix
+from repro.baselines.rpq import extract_rpq
+from repro.core.extractor import GraphExtractor
+from repro.core.result import ExtractionResult
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.patent import generate_patent
+from repro.errors import DatasetError
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import LinePattern
+from repro.workloads.patterns import get_workload
+
+#: Methods the harness can dispatch to.
+METHODS = ("pge", "pge-basic", "graphdb", "matrix", "rpq", "rpq-merged")
+
+
+@lru_cache(maxsize=8)
+def reference_graph(dataset: str, scale: float = 1.0, seed: int = 0) -> HeterogeneousGraph:
+    """The benchmark-scale synthetic dataset, cached per (dataset, scale).
+
+    ``scale`` multiplies every vertex-count parameter, so experiments can
+    shrink the workload without changing its shape.
+    """
+    if dataset == "dblp":
+        return generate_dblp(
+            n_authors=max(int(1200 * scale), 10),
+            n_papers=max(int(2000 * scale), 10),
+            n_venues=max(int(60 * scale), 4),
+            seed=42 + seed,
+        )
+    if dataset == "patent":
+        return generate_patent(
+            n_inventors=max(int(1000 * scale), 10),
+            n_patents=max(int(1800 * scale), 10),
+            n_locations=max(int(50 * scale), 4),
+            n_categories=max(int(36 * scale), 4),
+            seed=2018 + seed,
+        )
+    raise DatasetError(f"unknown dataset {dataset!r}; use 'dblp' or 'patent'")
+
+
+def run_method(
+    method: str,
+    graph: HeterogeneousGraph,
+    pattern: LinePattern,
+    aggregate: Optional[Aggregate] = None,
+    num_workers: int = 10,
+    strategy: str = "hybrid",
+) -> ExtractionResult:
+    """Run one extraction with the named method.
+
+    * ``pge`` — the framework with partial aggregation (Algorithm 3);
+    * ``pge-basic`` — the framework, full path materialisation (Alg. 2);
+    * ``graphdb`` / ``matrix`` — the standalone baselines (§6.4);
+    * ``rpq`` — the RPQ frontier baseline (§6.5); ``rpq-merged`` is its
+      partial-merging ablation.
+    """
+    aggregate = aggregate or path_count()
+    if method in ("pge", "pge-basic"):
+        extractor = GraphExtractor(
+            graph,
+            num_workers=num_workers,
+            strategy=strategy,
+            partial_aggregation=(method == "pge"),
+        )
+        return extractor.extract(pattern, aggregate)
+    if method == "graphdb":
+        return extract_graphdb(graph, pattern, aggregate)
+    if method == "matrix":
+        return extract_matrix(graph, pattern, aggregate)
+    if method in ("rpq", "rpq-merged"):
+        return extract_rpq(
+            graph,
+            pattern,
+            aggregate,
+            num_workers=num_workers,
+            merge_partials=(method == "rpq-merged"),
+        )
+    raise DatasetError(f"unknown method {method!r}; available: {METHODS}")
+
+
+def run_workload(
+    name: str,
+    method: str = "pge",
+    scale: float = 1.0,
+    num_workers: int = 10,
+    strategy: str = "hybrid",
+    aggregate: Optional[Aggregate] = None,
+) -> ExtractionResult:
+    """Run a named paper workload end to end."""
+    workload = get_workload(name)
+    graph = reference_graph(workload.dataset, scale)
+    return run_method(
+        method,
+        graph,
+        workload.pattern,
+        aggregate=aggregate,
+        num_workers=num_workers,
+        strategy=strategy,
+    )
+
+
+# ----------------------------------------------------------------------
+# tabular reporting
+# ----------------------------------------------------------------------
+@dataclass
+class Row:
+    """One row of an experiment table."""
+
+    label: str
+    values: Dict[str, Any] = field(default_factory=dict)
+
+
+def format_table(
+    rows: Sequence[Row],
+    columns: Sequence[str],
+    title: Optional[str] = None,
+    label_header: str = "workload",
+) -> str:
+    """Render rows as an aligned plain-text table (the benchmark output
+    format, mirroring the paper's tables)."""
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.01:
+                return f"{value:.3g}"
+            return f"{value:.3f}"
+        return str(value)
+
+    headers = [label_header] + list(columns)
+    body = [
+        [row.label] + [fmt(row.values.get(col, "-")) for col in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in body)) if body else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def summarize(result: ExtractionResult, keys: Sequence[str]) -> Dict[str, Any]:
+    """Pick the requested summary keys from a result."""
+    summary = result.summary()
+    return {key: summary.get(key) for key in keys}

@@ -1,0 +1,137 @@
+"""The paper's nine named line patterns (§6.1, Figures 6-7, Table 1).
+
+Each pattern is registered with the dataset it runs on.  The light/heavy
+split follows Table 1's criterion — the size of each pattern's result —
+measured on our synthetic datasets (the catalog benchmark regenerates the
+classification from data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import PatternError
+from repro.graph.pattern import LinePattern
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named pattern bound to its dataset."""
+
+    name: str
+    dataset: str  # "dblp" or "patent"
+    pattern: LinePattern
+    kind: str  # "BP" (bipartite) or "SP" (symmetry)
+    description: str
+
+
+def _w(name: str, dataset: str, text: str, description: str) -> Workload:
+    kind = "BP" if "BP" in name else "SP"
+    return Workload(
+        name=name,
+        dataset=dataset,
+        pattern=LinePattern.parse(text, name=name),
+        kind=kind,
+        description=description,
+    )
+
+
+#: All nine named workloads of the paper's experimental study.
+WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in [
+        _w(
+            "dblp-BP1",
+            "dblp",
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue",
+            "publish relation between authors and venues",
+        ),
+        _w(
+            "dblp-SP1",
+            "dblp",
+            "Author -[authorBy]-> Paper <-[authorBy]- Author",
+            "co-authorship among authors",
+        ),
+        _w(
+            "dblp-SP2",
+            "dblp",
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author",
+            "authors who publish papers at the same venue",
+        ),
+        _w(
+            "dblp-SP3",
+            "dblp",
+            "Venue <-[publishAt]- Paper <-[authorBy]- Author "
+            "-[authorBy]-> Paper -[publishAt]-> Venue",
+            "venues where papers of the same author are published",
+        ),
+        _w(
+            "patent-BP1",
+            "patent",
+            "Location <-[locatedAt]- Patent -[belongTo]-> Category",
+            "relation between locations and categories of patents",
+        ),
+        _w(
+            "patent-BP2",
+            "patent",
+            "Inventor -[invents]-> Patent -[citeBy]-> Patent -[citeBy]-> Patent",
+            "two-hop citation relation between inventors and patents",
+        ),
+        _w(
+            "patent-SP1",
+            "patent",
+            "Inventor -[invents]-> Patent <-[invents]- Inventor",
+            "co-inventor relation among inventors",
+        ),
+        _w(
+            "patent-SP2",
+            "patent",
+            "Location <-[locatedAt]- Patent -[citeBy]-> Patent -[locatedAt]-> Location",
+            "citation relation among locations",
+        ),
+        _w(
+            "patent-SP3",
+            "patent",
+            "Inventor -[invents]-> Patent -[citeBy]-> Patent <-[invents]- Inventor",
+            "citation relation among inventors",
+        ),
+    ]
+}
+
+#: Table 1's light/heavy split, determined by each pattern's result size
+#: (final matched paths) on the reference-scale synthetic datasets; the
+#: threshold is :data:`HEAVY_THRESHOLD` final paths.  The catalog benchmark
+#: (``benchmarks/test_table1_pattern_catalog.py``) re-measures and asserts
+#: this classification.
+HEAVY_THRESHOLD = 12_000
+
+LIGHT_PATTERNS: List[str] = [
+    "dblp-BP1",
+    "dblp-SP3",
+    "patent-BP1",
+    "patent-SP2",
+    "patent-SP3",
+]
+HEAVY_PATTERNS: List[str] = [
+    "dblp-SP1",
+    "dblp-SP2",
+    "patent-BP2",
+    "patent-SP1",
+]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a named workload; raises with the available names."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise PatternError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+
+
+def workloads_for_dataset(dataset: str) -> List[Workload]:
+    """All workloads defined on ``dataset`` ('dblp' or 'patent')."""
+    return [w for w in WORKLOADS.values() if w.dataset == dataset]

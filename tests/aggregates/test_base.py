@@ -1,0 +1,116 @@
+"""Unit tests for repro.aggregates.base."""
+
+import pytest
+
+from repro.aggregates.base import (
+    OP_ADD,
+    OP_MAX,
+    OP_MIN,
+    OP_MUL,
+    AggregationKind,
+    AlgebraicAggregate,
+    BinaryOp,
+    DistributiveAggregate,
+    HolisticAggregate,
+)
+from repro.errors import AggregationError
+
+
+class TestBinaryOp:
+    def test_call(self):
+        assert OP_ADD(2, 3) == 5
+        assert OP_MUL(2, 3) == 6
+        assert OP_MIN(2, 3) == 2
+        assert OP_MAX(2, 3) == 3
+
+    def test_fold_from_identity(self):
+        assert OP_ADD.fold([1, 2, 3]) == 6
+        assert OP_MUL.fold([2, 3]) == 6
+        assert OP_MIN.fold([5, 2, 9]) == 2
+        assert OP_MAX.fold([]) == float("-inf")
+
+    def test_custom_op(self):
+        concat = BinaryOp("concat", lambda a, b: a + b, "")
+        assert concat.fold(["a", "b"]) == "ab"
+
+
+class TestDistributiveAggregate:
+    def test_interface(self):
+        agg = DistributiveAggregate(OP_MUL, OP_ADD, edge_value=lambda w: 1.0)
+        assert agg.kind is AggregationKind.DISTRIBUTIVE
+        assert agg.supports_partial_aggregation
+        assert agg.initial_edge(7.0) == 1.0
+        assert agg.concat(2.0, 3.0) == 6.0
+        assert agg.merge(2.0, 3.0) == 5.0
+        assert agg.finalize(4.0) == 4.0
+
+    def test_default_edge_value_is_weight(self):
+        agg = DistributiveAggregate(OP_ADD, OP_MIN)
+        assert agg.initial_edge(0.7) == 0.7
+
+    def test_finalize_all_folds_merge(self):
+        agg = DistributiveAggregate(OP_MUL, OP_ADD)
+        assert agg.finalize_all([1.0, 2.0, 3.0]) == 6.0
+
+    def test_finalize_all_empty_raises(self):
+        agg = DistributiveAggregate(OP_MUL, OP_ADD)
+        with pytest.raises(AggregationError):
+            agg.finalize_all([])
+
+    def test_auto_name(self):
+        assert DistributiveAggregate(OP_MUL, OP_ADD).name == "mul-add"
+
+
+class TestAlgebraicAggregate:
+    @pytest.fixture
+    def avg(self):
+        total = DistributiveAggregate(OP_MUL, OP_ADD)
+        count = DistributiveAggregate(OP_MUL, OP_ADD, edge_value=lambda w: 1.0)
+        return AlgebraicAggregate([total, count], lambda v: v[0] / v[1], name="avg")
+
+    def test_componentwise_operations(self, avg):
+        a = avg.initial_edge(2.0)
+        b = avg.initial_edge(4.0)
+        assert a == (2.0, 1.0)
+        assert avg.concat(a, b) == (8.0, 1.0)
+        assert avg.merge(a, b) == (6.0, 2.0)
+
+    def test_finalize(self, avg):
+        assert avg.finalize((6.0, 2.0)) == 3.0
+
+    def test_finalize_all(self, avg):
+        values = [avg.initial_edge(w) for w in (2.0, 4.0, 6.0)]
+        assert avg.finalize_all(values) == 4.0
+
+    def test_supports_partial(self, avg):
+        assert avg.supports_partial_aggregation
+        assert avg.kind is AggregationKind.ALGEBRAIC
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(AggregationError):
+            AlgebraicAggregate([], lambda v: v)
+
+
+class TestHolisticAggregate:
+    @pytest.fixture
+    def median(self):
+        return HolisticAggregate(
+            OP_MUL, lambda values: sorted(values)[len(values) // 2], name="median"
+        )
+
+    def test_no_partial_aggregation(self, median):
+        assert median.kind is AggregationKind.HOLISTIC
+        assert not median.supports_partial_aggregation
+        with pytest.raises(AggregationError, match="holistic"):
+            median.merge(1.0, 2.0)
+
+    def test_path_level_still_works(self, median):
+        assert median.concat(2.0, 3.0) == 6.0
+        assert median.initial_edge(5.0) == 5.0
+
+    def test_finalize_all_collects(self, median):
+        assert median.finalize_all([3.0, 1.0, 2.0]) == 2.0
+
+    def test_finalize_all_empty_raises(self, median):
+        with pytest.raises(AggregationError):
+            median.finalize_all([])

@@ -1,0 +1,114 @@
+"""Tests for bounded holistic aggregations (partial-aggregation TOP-K)."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.aggregates.bounded import bounded_k_shortest, bounded_top_k
+from repro.baselines.bruteforce import enumerate_paths, extract_bruteforce
+from repro.core.evaluator import run_extraction
+from repro.core.planner import iter_opt_plan
+from repro.errors import AggregationError
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import build_scholarly
+
+
+class TestBoundedTopKUnit:
+    def test_single_edge(self):
+        agg = bounded_top_k(3)
+        assert agg.initial_edge(2.0) == (2.0,)
+
+    def test_concat_keeps_largest_products(self):
+        agg = bounded_top_k(2)
+        assert agg.concat((3.0, 1.0), (2.0, 1.0)) == (6.0, 3.0)
+
+    def test_merge_truncates(self):
+        agg = bounded_top_k(2)
+        assert agg.merge((5.0, 1.0), (4.0, 3.0)) == (5.0, 4.0)
+
+    def test_supports_partial_aggregation(self):
+        assert bounded_top_k(2).supports_partial_aggregation
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(AggregationError, match="non-negative"):
+            bounded_top_k(2).initial_edge(-1.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(AggregationError):
+            bounded_top_k(0)
+
+
+class TestBoundedKShortestUnit:
+    def test_concat_keeps_smallest_sums(self):
+        agg = bounded_k_shortest(2)
+        assert agg.concat((1.0, 4.0), (2.0, 3.0)) == (3.0, 4.0)
+
+    def test_merge(self):
+        agg = bounded_k_shortest(3)
+        assert agg.merge((1.0, 5.0), (2.0,)) == (1.0, 2.0, 5.0)
+
+
+class TestEquivalenceWithExactHolistic:
+    """The bounded version under partial aggregation must match the exact
+    holistic TOP-K computed by full enumeration."""
+
+    @pytest.fixture
+    def weighted_graph(self):
+        graph = build_scholarly()
+        # replace some unit weights with varied positive weights
+        graph.add_edge(1, 12, "authorBy", weight=0.5)
+        graph.add_edge(2, 13, "authorBy", weight=2.5)
+        graph.add_edge(1, 11, "authorBy", weight=3.0)  # parallel edge
+        return graph
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Author -[authorBy]-> Paper <-[authorBy]- Author",
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author",
+        ],
+    )
+    def test_matches_exact_topk(self, weighted_graph, k, text):
+        pattern = LinePattern.parse(text)
+        exact = extract_bruteforce(
+            weighted_graph, pattern, library.top_k_path_values(k)
+        )
+        plan = iter_opt_plan(pattern)
+        bounded = run_extraction(
+            weighted_graph, pattern, plan, bounded_top_k(k), mode="partial"
+        )
+        assert set(bounded.graph.edges) == set(exact.graph.edges)
+        for key, exact_values in exact.graph.edges.items():
+            assert bounded.graph.edges[key] == pytest.approx(exact_values)
+
+    def test_k_shortest_matches_enumeration(self, weighted_graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        plan = iter_opt_plan(pattern)
+        result = run_extraction(
+            weighted_graph, pattern, plan, bounded_k_shortest(2), mode="partial"
+        )
+        sums = {}
+        for trail, weights in enumerate_paths(weighted_graph, pattern):
+            sums.setdefault((trail[0], trail[-1]), []).append(sum(weights))
+        for key, all_sums in sums.items():
+            expected = tuple(sorted(all_sums)[:2])
+            assert result.graph.edges[key] == pytest.approx(expected)
+
+    def test_bounded_materialises_fewer_paths_than_holistic(self, weighted_graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        plan = iter_opt_plan(pattern)
+        holistic = run_extraction(
+            weighted_graph, pattern, plan, library.top_k_path_values(2),
+            mode="basic",
+        )
+        bounded = run_extraction(
+            weighted_graph, pattern, plan, bounded_top_k(2), mode="partial"
+        )
+        assert bounded.intermediate_paths <= holistic.intermediate_paths

@@ -1,0 +1,84 @@
+"""Property tests for the bounded TOP-K / k-shortest aggregate domains."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.bounded import bounded_k_shortest, bounded_top_k
+
+positive_values = st.lists(
+    st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestBoundedTopKProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(left=positive_values, right=positive_values, k=st.integers(1, 5))
+    def test_concat_equals_exact_topk_of_products(self, left, right, k):
+        """Concatenating truncated sides loses nothing: for non-negative
+        values, top-k of the full cross product equals concat of the
+        per-side top-k truncations."""
+        agg = bounded_top_k(k)
+        left_trunc = tuple(sorted(left, reverse=True)[:k])
+        right_trunc = tuple(sorted(right, reverse=True)[:k])
+        via_bounded = agg.concat(left_trunc, right_trunc)
+        exact = sorted(
+            (l * r for l, r in itertools.product(left, right)), reverse=True
+        )[:k]
+        assert list(via_bounded) == pytest.approx(exact)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=positive_values, b=positive_values, k=st.integers(1, 5))
+    def test_merge_commutative_and_idempotent_shape(self, a, b, k):
+        agg = bounded_top_k(k)
+        ta = tuple(sorted(a, reverse=True)[:k])
+        tb = tuple(sorted(b, reverse=True)[:k])
+        assert agg.merge(ta, tb) == agg.merge(tb, ta)
+        assert len(agg.merge(ta, tb)) <= k
+        assert agg.merge(ta, ta)[0] == ta[0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=positive_values, b=positive_values, c=positive_values,
+        k=st.integers(1, 4),
+    )
+    def test_distributivity_on_bounded_domain(self, a, b, c, k):
+        """⊗ distributes over ⊕ on truncated lists — the Theorem 3
+        condition that justifies running TOP-K with partial aggregation."""
+        agg = bounded_top_k(k)
+        ta = tuple(sorted(a, reverse=True)[:k])
+        tb = tuple(sorted(b, reverse=True)[:k])
+        tc = tuple(sorted(c, reverse=True)[:k])
+        lhs = agg.concat(ta, agg.merge(tb, tc))
+        rhs = agg.merge(agg.concat(ta, tb), agg.concat(ta, tc))
+        assert list(lhs) == pytest.approx(list(rhs))
+
+
+class TestBoundedKShortestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(left=positive_values, right=positive_values, k=st.integers(1, 5))
+    def test_concat_equals_exact_k_smallest_sums(self, left, right, k):
+        agg = bounded_k_shortest(k)
+        left_trunc = tuple(sorted(left)[:k])
+        right_trunc = tuple(sorted(right)[:k])
+        via_bounded = agg.concat(left_trunc, right_trunc)
+        exact = sorted(l + r for l, r in itertools.product(left, right))[:k]
+        assert list(via_bounded) == pytest.approx(exact)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=positive_values, b=positive_values, c=positive_values,
+        k=st.integers(1, 4),
+    )
+    def test_distributivity_on_bounded_domain(self, a, b, c, k):
+        agg = bounded_k_shortest(k)
+        ta = tuple(sorted(a)[:k])
+        tb = tuple(sorted(b)[:k])
+        tc = tuple(sorted(c)[:k])
+        lhs = agg.concat(ta, agg.merge(tb, tc))
+        rhs = agg.merge(agg.concat(ta, tb), agg.concat(ta, tc))
+        assert list(lhs) == pytest.approx(list(rhs))

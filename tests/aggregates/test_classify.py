@@ -1,0 +1,87 @@
+"""Unit tests for repro.aggregates.classify (Theorem 3 verification)."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.aggregates.base import (
+    OP_ADD,
+    OP_MAX,
+    OP_MIN,
+    OP_MUL,
+    AggregationKind,
+    DistributiveAggregate,
+)
+from repro.aggregates.classify import (
+    check_distributive_pair,
+    classify,
+    validate_aggregate,
+)
+from repro.errors import AggregationError
+
+
+class TestCheckDistributivePair:
+    @pytest.mark.parametrize(
+        "combine,merge",
+        [
+            (OP_MUL, OP_ADD),  # count / weighted count
+            (OP_MIN, OP_MAX),  # max-min
+            (OP_MAX, OP_MIN),  # min-max
+            (OP_ADD, OP_MAX),  # longest path
+            (OP_ADD, OP_MIN),  # shortest path
+            (OP_MIN, OP_MIN),  # min is idempotent: distributes over itself
+            (OP_MAX, OP_MAX),
+        ],
+    )
+    def test_known_distributive_pairs(self, combine, merge):
+        assert check_distributive_pair(combine, merge)
+
+    @pytest.mark.parametrize(
+        "combine,merge",
+        [
+            (OP_ADD, OP_ADD),  # a+(b+c) != (a+b)+(a+c)
+            (OP_MUL, OP_MUL),
+            (OP_ADD, OP_MUL),
+            (OP_MUL, OP_MIN),  # fails for negative multipliers
+            (OP_MUL, OP_MAX),
+        ],
+    )
+    def test_known_non_distributive_pairs(self, combine, merge):
+        assert not check_distributive_pair(combine, merge)
+
+    def test_restricted_domain_can_pass(self):
+        # mul distributes over min on a nonnegative domain
+        assert check_distributive_pair(
+            OP_MUL, OP_MIN, samples=(0.0, 0.5, 1.0, 2.0)
+        )
+
+
+class TestClassify:
+    def test_kinds(self):
+        assert classify(library.path_count()) is AggregationKind.DISTRIBUTIVE
+        assert classify(library.avg_path_value()) is AggregationKind.ALGEBRAIC
+        assert classify(library.median_path_value()) is AggregationKind.HOLISTIC
+
+
+class TestValidateAggregate:
+    def test_library_distributives_pass(self):
+        for factory in (
+            library.path_count,
+            library.weighted_path_count,
+            library.max_min,
+            library.min_max,
+            library.add_max,
+            library.sum_min,
+        ):
+            validate_aggregate(factory())
+
+    def test_library_algebraics_pass(self):
+        validate_aggregate(library.avg_path_value())
+        validate_aggregate(library.std_path_value())
+
+    def test_holistic_always_passes(self):
+        validate_aggregate(library.median_path_value())
+
+    def test_bogus_distributive_rejected(self):
+        bogus = DistributiveAggregate(OP_ADD, OP_ADD, name="bogus")
+        with pytest.raises(AggregationError, match="does not distribute"):
+            validate_aggregate(bogus)

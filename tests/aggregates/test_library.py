@@ -1,0 +1,108 @@
+"""Unit tests for repro.aggregates.library: each aggregate computed by hand
+on a small set of paths."""
+
+import math
+
+import pytest
+
+from repro.aggregates import library
+
+#: Three paths given as edge-weight lists.
+PATHS = [[2.0, 3.0], [1.0, 5.0], [4.0]]
+
+
+def evaluate(aggregate, paths=PATHS):
+    """Apply the two-level model literally: ⊗ within, ⊕/collect across."""
+    values = []
+    for weights in paths:
+        value = aggregate.initial_edge(weights[0])
+        for w in weights[1:]:
+            value = aggregate.concat(value, aggregate.initial_edge(w))
+        values.append(value)
+    return aggregate.finalize_all(values)
+
+
+class TestDistributive:
+    def test_path_count(self):
+        assert evaluate(library.path_count()) == 3.0
+
+    def test_weighted_path_count(self):
+        # products: 6, 5, 4 -> sum 15
+        assert evaluate(library.weighted_path_count()) == 15.0
+
+    def test_max_min(self):
+        # per-path minima: 2, 1, 4 -> max 4
+        assert evaluate(library.max_min()) == 4.0
+
+    def test_min_max(self):
+        # per-path maxima: 3, 5, 4 -> min 3
+        assert evaluate(library.min_max()) == 3.0
+
+    def test_add_max(self):
+        # per-path sums: 5, 6, 4 -> max 6
+        assert evaluate(library.add_max()) == 6.0
+
+    def test_sum_min(self):
+        # per-path sums: 5, 6, 4 -> min 4
+        assert evaluate(library.sum_min()) == 4.0
+
+
+class TestAlgebraic:
+    def test_avg_path_value(self):
+        # products: 6, 5, 4 -> mean 5
+        assert evaluate(library.avg_path_value()) == 5.0
+
+    def test_std_path_value(self):
+        products = [6.0, 5.0, 4.0]
+        mean = sum(products) / 3
+        expected = math.sqrt(sum((p - mean) ** 2 for p in products) / 3)
+        assert abs(evaluate(library.std_path_value()) - expected) < 1e-12
+
+    def test_std_single_path_is_zero(self):
+        assert evaluate(library.std_path_value(), paths=[[2.0, 2.0]]) == 0.0
+
+
+class TestHolistic:
+    def test_median_odd(self):
+        # products: 6, 5, 4 -> median 5
+        assert evaluate(library.median_path_value()) == 5.0
+
+    def test_median_even(self):
+        paths = [[2.0], [4.0], [6.0], [8.0]]
+        assert evaluate(library.median_path_value(), paths) == 5.0
+
+    def test_top_k(self):
+        assert evaluate(library.top_k_path_values(2)) == (6.0, 5.0)
+
+    def test_top_k_larger_than_n(self):
+        assert evaluate(library.top_k_path_values(10)) == (6.0, 5.0, 4.0)
+
+    def test_count_distinct(self):
+        paths = [[2.0, 3.0], [6.0], [1.0, 5.0]]  # products 6, 6, 5
+        assert evaluate(library.count_distinct_path_values(), paths) == 2
+
+
+class TestMergeConsistency:
+    """⊕-merging partial groups must equal aggregating the whole list —
+    the property partial aggregation relies on."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            library.path_count,
+            library.weighted_path_count,
+            library.max_min,
+            library.min_max,
+            library.add_max,
+            library.sum_min,
+            library.avg_path_value,
+        ],
+    )
+    def test_split_merge_equals_whole(self, factory):
+        aggregate = factory()
+        values = [aggregate.initial_edge(w) for w in (2.0, 3.0, 5.0, 7.0)]
+        whole = aggregate.finalize_all(values)
+        left = aggregate.merge(values[0], values[1])
+        right = aggregate.merge(values[2], values[3])
+        split = aggregate.finalize(aggregate.merge(left, right))
+        assert split == pytest.approx(whole)

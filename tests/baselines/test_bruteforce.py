@@ -1,0 +1,99 @@
+"""Unit tests for the brute-force oracle itself (hand-computed answers)."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.baselines.bruteforce import (
+    enumerate_paths,
+    extract_bruteforce,
+    path_value,
+)
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import (
+    A1,
+    A2,
+    A3,
+    A4,
+    COAUTHOR_EXPECTED,
+    P1,
+    P2,
+    P3,
+    V1,
+    V2,
+    build_scholarly,
+)
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+class TestEnumeratePaths:
+    def test_coauthor_paths(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        paths = sorted(trail for trail, _ in enumerate_paths(graph, pattern))
+        assert (A1, P1, A2) in paths
+        assert (A1, P1, A1) in paths  # non-simple walks are included
+        assert len(paths) == 12  # 4 authors x their papers' author sets
+
+    def test_direction_respected(self, graph):
+        forward = LinePattern.parse("Paper -[citeBy]-> Paper")
+        assert sorted(t for t, _ in enumerate_paths(graph, forward)) == [
+            (P2, P1),
+            (P3, P2),
+        ]
+        backward = LinePattern.parse("Paper <-[citeBy]- Paper")
+        assert sorted(t for t, _ in enumerate_paths(graph, backward)) == [
+            (P1, P2),
+            (P2, P3),
+        ]
+
+    def test_weights_follow_trail(self, graph):
+        graph.add_edge(A1, P2, "authorBy", weight=0.5)
+        pattern = LinePattern.parse("Author -[authorBy]-> Paper -[publishAt]-> Venue")
+        weights = {
+            trail: ws for trail, ws in enumerate_paths(graph, pattern)
+        }
+        assert weights[(A1, P2, V1)] == (0.5, 1.0)
+
+    def test_label_filtering(self, graph):
+        # citeBy only connects Papers; an Author-labeled position can't match
+        pattern = LinePattern.parse("Author -[citeBy]-> Paper")
+        assert list(enumerate_paths(graph, pattern)) == []
+
+
+class TestPathValue:
+    def test_product(self):
+        assert path_value(library.weighted_path_count(), (2.0, 3.0)) == 6.0
+
+    def test_count_ignores_weights(self):
+        assert path_value(library.path_count(), (2.0, 3.0)) == 1.0
+
+    def test_single_edge(self):
+        assert path_value(library.sum_min(), (4.0,)) == 4.0
+
+
+class TestExtract:
+    def test_coauthor_counts(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        result = extract_bruteforce(graph, pattern, library.path_count())
+        assert dict(result.graph.edges) == COAUTHOR_EXPECTED
+        assert result.final_paths == 12
+
+    def test_metrics_populated(self, graph):
+        pattern = LinePattern.parse("Paper -[citeBy]-> Paper")
+        result = extract_bruteforce(graph, pattern, library.path_count())
+        assert result.metrics.wall_time_s >= 0
+        assert result.metrics.counters["final_paths"] == 2
+
+    def test_empty_result(self, graph):
+        pattern = LinePattern.chain("Venue", "citeBy", 2)
+        result = extract_bruteforce(graph, pattern, library.path_count())
+        assert result.graph.num_edges() == 0
+        assert result.graph.num_vertices() == 2  # the venues still appear

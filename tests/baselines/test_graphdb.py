@@ -1,0 +1,73 @@
+"""Unit tests for the graph-database-style baseline."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.baselines.graphdb import extract_graphdb
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import COAUTHOR_EXPECTED, build_scholarly
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+class TestCorrectness:
+    def test_coauthor_counts(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        result = extract_graphdb(graph, pattern, library.path_count())
+        assert dict(result.graph.edges) == COAUTHOR_EXPECTED
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue",
+            "Venue <-[publishAt]- Paper <-[authorBy]- Author "
+            "-[authorBy]-> Paper -[publishAt]-> Venue",
+            "Paper -[citeBy]-> Paper -[citeBy]-> Paper",
+        ],
+    )
+    def test_matches_oracle(self, graph, text):
+        pattern = LinePattern.parse(text)
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        result = extract_graphdb(graph, pattern, library.path_count())
+        assert result.graph.equals(oracle.graph), result.graph.diff(oracle.graph)
+
+    def test_weighted_aggregate(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue"
+        )
+        aggregate = library.sum_min()
+        oracle = extract_bruteforce(graph, pattern, aggregate)
+        result = extract_graphdb(graph, pattern, aggregate)
+        assert result.graph.equals(oracle.graph)
+
+    def test_holistic_supported(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        result = extract_graphdb(graph, pattern, library.median_path_value())
+        assert all(v == 1.0 for v in result.graph.edges.values())
+
+
+class TestInstrumentation:
+    def test_db_hits_counted(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        result = extract_graphdb(graph, pattern, library.path_count())
+        assert result.metrics.counters["db_hits"] > 0
+        assert result.metrics.counters["final_paths"] == 12
+        assert result.metrics.num_workers == 1
+
+    def test_dead_end_sources_cheap(self, graph):
+        # Venue vertices have no citeBy edges: traversal stops immediately
+        pattern = LinePattern.chain("Venue", "citeBy", 3)
+        result = extract_graphdb(graph, pattern, library.path_count())
+        assert result.graph.num_edges() == 0
+        assert result.metrics.counters["db_hits"] == 0

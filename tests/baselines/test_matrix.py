@@ -1,0 +1,90 @@
+"""Unit tests for the matrix path-algebra baseline."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.baselines.matrix import extract_matrix
+from repro.errors import AggregationError
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import COAUTHOR_EXPECTED, build_scholarly
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+@pytest.fixture
+def coauthor():
+    return LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+
+
+class TestScipyFastPath:
+    def test_coauthor_counts(self, graph, coauthor):
+        result = extract_matrix(graph, coauthor, library.path_count())
+        assert dict(result.graph.edges) == COAUTHOR_EXPECTED
+        assert result.metrics.counters["matrix_backend_scipy"] == 1
+
+    def test_matches_oracle_on_length4(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        result = extract_matrix(graph, pattern, library.path_count())
+        assert result.graph.equals(oracle.graph)
+
+    def test_nnz_counters(self, graph, coauthor):
+        result = extract_matrix(graph, coauthor, library.path_count())
+        assert result.metrics.counters["matrix_nnz_final"] == len(COAUTHOR_EXPECTED)
+        assert result.metrics.counters["matrix_nnz_intermediate"] > 0
+
+    def test_parallel_edges_summed(self, graph, coauthor):
+        graph.add_edge(1, 11, "authorBy")  # a1 authored p1 "twice"
+        result = extract_matrix(graph, coauthor, library.path_count())
+        assert result.graph.value(1, 2) == 2.0
+        assert result.graph.value(1, 1) == 4.0  # 2x2 walks a1-p1-a1
+
+
+class TestSemiringPath:
+    def test_min_plus_shortest_path(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue"
+        )
+        aggregate = library.sum_min()
+        oracle = extract_bruteforce(graph, pattern, aggregate)
+        result = extract_matrix(graph, pattern, aggregate)
+        assert result.graph.equals(oracle.graph)
+        assert result.metrics.counters["matrix_backend_scipy"] == 0
+
+    def test_max_min_bottleneck(self, graph, coauthor):
+        aggregate = library.max_min()
+        oracle = extract_bruteforce(graph, coauthor, aggregate)
+        result = extract_matrix(graph, coauthor, aggregate)
+        assert result.graph.equals(oracle.graph)
+
+    def test_algebraic_avg(self, graph, coauthor):
+        aggregate = library.avg_path_value()
+        oracle = extract_bruteforce(graph, coauthor, aggregate)
+        result = extract_matrix(graph, coauthor, aggregate)
+        assert result.graph.equals(oracle.graph)
+
+    def test_zero_weight_falls_back_and_keeps_edge(self, graph, coauthor):
+        """A zero-valued path must still produce an extracted edge."""
+        zero_weight = LinePattern.parse("Author -[authorBy]-> Paper")
+        graph.add_vertex(99, "Author")
+        graph.add_edge(99, 11, "authorBy", weight=0.0)
+        aggregate = library.weighted_path_count()
+        oracle = extract_bruteforce(graph, zero_weight, aggregate)
+        result = extract_matrix(graph, zero_weight, aggregate)
+        assert result.metrics.counters["matrix_backend_scipy"] == 0
+        assert result.graph.equals(oracle.graph)
+        assert result.graph.value(99, 11) == 0.0
+
+
+class TestUnsupported:
+    def test_holistic_rejected(self, graph, coauthor):
+        with pytest.raises(AggregationError, match="matrix"):
+            extract_matrix(graph, coauthor, library.median_path_value())

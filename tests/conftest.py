@@ -1,0 +1,86 @@
+"""Shared fixtures: small hand-built graphs with known path counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import LinePattern
+from repro.graph.schema import GraphSchema
+
+# Vertex ids of the hand-built scholarly graph (Figure 1 style).
+A1, A2, A3, A4 = 1, 2, 3, 4
+P1, P2, P3 = 11, 12, 13
+V1, V2 = 21, 22
+
+
+def build_scholarly() -> HeterogeneousGraph:
+    """A tiny scholarly graph with hand-checkable path counts.
+
+    - a1, a2 co-author p1 (published at v1)
+    - a3, a4 co-author p2 and p3 (published at v1 and v2)
+    - citations: p2 -> p1, p3 -> p2
+    """
+    schema = GraphSchema(
+        vertex_labels=["Author", "Paper", "Venue"],
+        edge_types=[
+            ("authorBy", "Author", "Paper"),
+            ("publishAt", "Paper", "Venue"),
+            ("citeBy", "Paper", "Paper"),
+        ],
+    )
+    g = HeterogeneousGraph(schema)
+    for author in (A1, A2, A3, A4):
+        g.add_vertex(author, "Author")
+    for paper in (P1, P2, P3):
+        g.add_vertex(paper, "Paper")
+    for venue in (V1, V2):
+        g.add_vertex(venue, "Venue")
+    g.add_edge(A1, P1, "authorBy")
+    g.add_edge(A2, P1, "authorBy")
+    g.add_edge(A3, P2, "authorBy")
+    g.add_edge(A4, P2, "authorBy")
+    g.add_edge(A3, P3, "authorBy")
+    g.add_edge(A4, P3, "authorBy")
+    g.add_edge(P1, V1, "publishAt")
+    g.add_edge(P2, V1, "publishAt")
+    g.add_edge(P3, V2, "publishAt")
+    g.add_edge(P2, P1, "citeBy")
+    g.add_edge(P3, P2, "citeBy")
+    return g
+
+
+@pytest.fixture
+def scholarly() -> HeterogeneousGraph:
+    return build_scholarly()
+
+
+@pytest.fixture
+def coauthor_pattern() -> LinePattern:
+    return LinePattern.parse(
+        "Author -[authorBy]-> Paper <-[authorBy]- Author", name="coauthor"
+    )
+
+
+@pytest.fixture
+def same_venue_pattern() -> LinePattern:
+    """dblp-SP2 shape: authors publishing at the same venue (length 4)."""
+    return LinePattern.parse(
+        "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+        "<-[publishAt]- Paper <-[authorBy]- Author",
+        name="same-venue",
+    )
+
+
+#: Expected co-author path counts on the scholarly graph (walks, so the
+#: diagonal pairs through a shared paper are included).
+COAUTHOR_EXPECTED = {
+    (A1, A1): 1.0,
+    (A1, A2): 1.0,
+    (A2, A1): 1.0,
+    (A2, A2): 1.0,
+    (A3, A3): 2.0,
+    (A3, A4): 2.0,
+    (A4, A3): 2.0,
+    (A4, A4): 2.0,
+}

@@ -1,0 +1,144 @@
+"""Tests for batched (multi-pattern) extraction."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.batch import BatchedExtractionProgram, run_batch_extraction
+from repro.core.evaluator import PathConcatenationProgram, run_extraction
+from repro.core.extractor import GraphExtractor
+from repro.core.planner import iter_opt_plan
+from repro.errors import PlanError
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import build_scholarly
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+PATTERN_TEXTS = [
+    "Author -[authorBy]-> Paper <-[authorBy]- Author",                 # h=1
+    "Author -[authorBy]-> Paper -[publishAt]-> Venue",                 # h=1
+    "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+    "<-[publishAt]- Paper <-[authorBy]- Author",                       # h=2
+    "Paper -[publishAt]-> Venue",                                      # length 1
+]
+
+
+def make_jobs(graph, texts=PATTERN_TEXTS):
+    jobs = []
+    for text in texts:
+        pattern = LinePattern.parse(text)
+        plan = iter_opt_plan(pattern) if pattern.length > 1 else None
+        jobs.append((pattern, plan, library.path_count()))
+    return jobs
+
+
+class TestBatchedExtraction:
+    def test_matches_individual_runs(self, graph):
+        jobs = make_jobs(graph)
+        batched = run_batch_extraction(graph, jobs, num_workers=3)
+        for (pattern, plan, aggregate), result in zip(jobs, batched):
+            individual = run_extraction(graph, pattern, plan, aggregate)
+            assert result.graph.equals(individual.graph), pattern
+
+    def test_supersteps_are_max_not_sum(self, graph):
+        jobs = make_jobs(graph)
+        batched = run_batch_extraction(graph, jobs, num_workers=2)
+        # the deepest plan has height 2 -> 3 supersteps for everything
+        assert batched[0].metrics.num_supersteps == 3
+        individual_total = 0
+        for pattern, plan, aggregate in jobs:
+            individual_total += run_extraction(
+                graph, pattern, plan, aggregate
+            ).metrics.num_supersteps
+        assert batched[0].metrics.num_supersteps < individual_total
+
+    def test_per_job_counters_namespaced(self, graph):
+        jobs = make_jobs(graph)
+        batched = run_batch_extraction(graph, jobs, num_workers=2)
+        counters = batched[0].metrics.counters
+        assert counters["job0.intermediate_paths"] > 0
+        assert counters["job2.intermediate_paths"] > 0
+
+    def test_basic_mode_batches(self, graph):
+        jobs = make_jobs(graph, PATTERN_TEXTS[:2])
+        batched = run_batch_extraction(graph, jobs, mode="basic")
+        for (pattern, plan, aggregate), result in zip(jobs, batched):
+            individual = run_extraction(graph, pattern, plan, aggregate)
+            assert result.graph.equals(individual.graph)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(PlanError, match="at least one"):
+            BatchedExtractionProgram([])
+
+    def test_trace_rejected(self, graph):
+        pattern = LinePattern.parse(PATTERN_TEXTS[0])
+        program = PathConcatenationProgram(
+            graph, pattern, iter_opt_plan(pattern), library.path_count(),
+            mode="basic", trace=True,
+        )
+        with pytest.raises(PlanError, match="trace"):
+            BatchedExtractionProgram([program])
+
+
+class TestExtractorFacade:
+    def test_extract_many(self, graph):
+        extractor = GraphExtractor(graph, num_workers=2)
+        patterns = [LinePattern.parse(t) for t in PATTERN_TEXTS]
+        results = extractor.extract_many(patterns)
+        assert len(results) == len(patterns)
+        for pattern, result in zip(patterns, results):
+            individual = extractor.extract(pattern)
+            assert result.graph.equals(individual.graph)
+
+    def test_extract_many_validates_patterns(self, graph):
+        from repro.errors import PatternMismatchError
+
+        extractor = GraphExtractor(graph)
+        with pytest.raises(PatternMismatchError):
+            extractor.extract_many([LinePattern.parse("Ghost -[authorBy]-> Paper")])
+
+
+class TestBatchModes:
+    def test_holistic_aggregate_forces_basic(self, graph):
+        extractor = GraphExtractor(graph, num_workers=2)
+        patterns = [LinePattern.parse(t) for t in PATTERN_TEXTS[:2]]
+        results = extractor.extract_many(
+            patterns, aggregate=library.median_path_value()
+        )
+        for pattern, result in zip(patterns, results):
+            individual = extractor.extract(pattern, library.median_path_value())
+            assert result.graph.equals(individual.graph)
+
+    def test_weighted_aggregate_in_batch(self, graph):
+        graph.add_edge(1, 12, "authorBy", weight=0.5)
+        extractor = GraphExtractor(graph, num_workers=2)
+        patterns = [LinePattern.parse(t) for t in PATTERN_TEXTS]
+        results = extractor.extract_many(
+            patterns, aggregate=library.weighted_path_count()
+        )
+        for pattern, result in zip(patterns, results):
+            individual = extractor.extract(
+                pattern, library.weighted_path_count()
+            )
+            assert result.graph.equals(individual.graph)
+
+    def test_batch_with_filters_and_wildcards(self, graph):
+        graph.add_vertex(11, "Paper", {"year": 2008})
+        graph.add_vertex(12, "Paper", {"year": 2012})
+        graph.add_vertex(13, "Paper", {"year": 2015})
+        extractor = GraphExtractor(graph, num_workers=2)
+        patterns = [
+            LinePattern.parse(
+                "Author -[authorBy]-> Paper{year >= 2010} <-[authorBy]- Author"
+            ),
+            LinePattern.parse("Author -[authorBy]-> * <-[authorBy]- *"),
+            LinePattern.parse("Paper -[citeBy]- Paper"),
+        ]
+        results = extractor.extract_many(patterns)
+        for pattern, result in zip(patterns, results):
+            individual = extractor.extract(pattern)
+            assert result.graph.equals(individual.graph), pattern

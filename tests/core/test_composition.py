@@ -1,0 +1,84 @@
+"""Tests for composing extractions (ExtractedGraph.to_hetgraph)."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.extractor import GraphExtractor
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import A1, A2, A3, A4, build_scholarly
+
+
+@pytest.fixture
+def coauthor_result():
+    graph = build_scholarly()
+    extractor = GraphExtractor(graph)
+    pattern = LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+    return graph, extractor.extract(pattern, library.path_count())
+
+
+class TestToHetgraph:
+    def test_symmetric_extraction_rewraps(self, coauthor_result):
+        _, result = coauthor_result
+        rewrapped = result.graph.to_hetgraph(edge_label="coauthor")
+        assert rewrapped.count_label("Author") == 4
+        assert rewrapped.num_edges() == result.graph.num_edges()
+        # aggregate values became weights
+        assert rewrapped.out_edges(A3, "coauthor")
+        weights = dict(rewrapped.out_edges(A3, "coauthor"))
+        assert weights[A4] == 2.0
+
+    def test_bipartite_needs_labels(self):
+        graph = build_scholarly()
+        extractor = GraphExtractor(graph)
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue"
+        )
+        result = extractor.extract(pattern)
+        with pytest.raises(ValueError, match="bipartite"):
+            result.graph.to_hetgraph()
+        recovered = result.graph.to_hetgraph(graph=graph, edge_label="publishes")
+        assert recovered.count_label("Author") == 4
+        assert recovered.count_label("Venue") == 2
+
+    def test_two_stage_extraction(self, coauthor_result):
+        """Extract co-authors, then find authors two co-author hops apart
+        by extracting over the extracted graph."""
+        _, result = coauthor_result
+        stage_one = result.graph.to_hetgraph(edge_label="coauthor")
+        two_hops = LinePattern.chain("Author", "coauthor", 2)
+        second = GraphExtractor(stage_one).extract(
+            two_hops, library.path_count()
+        )
+        # a1's coauthor neighbourhood is {a1, a2}; two hops stays inside it
+        assert second.graph.has_edge(A1, A2)
+        assert second.graph.has_edge(A1, A1)
+        assert not second.graph.has_edge(A1, A3)
+        # weighted second stage: counts multiply along paths
+        weighted = GraphExtractor(stage_one).extract(
+            two_hops, library.weighted_path_count()
+        )
+        # a3 -> a4 -> a3 (weight 2 each) plus a3 -> a3 -> a3 (self loops, 2 each)
+        assert weighted.graph.value(A3, A3) > weighted.graph.value(A1, A1)
+
+    def test_forced_vertex_label(self, coauthor_result):
+        _, result = coauthor_result
+        rewrapped = result.graph.to_hetgraph(
+            vertex_label="Person", edge_label="knows"
+        )
+        assert rewrapped.count_label("Person") == 4
+
+
+class TestWildcardComposition:
+    def test_wildcard_endpoints_need_labels(self):
+        graph = build_scholarly()
+        extractor = GraphExtractor(graph, validate_patterns=False)
+        pattern = LinePattern.parse("* -[citeBy]-> *")
+        result = extractor.extract(pattern)
+        # same start/end label ('*') -> rewrapping uses it directly unless
+        # overridden; force a concrete label instead
+        rewrapped = result.graph.to_hetgraph(
+            vertex_label="Node", edge_label="cites"
+        )
+        assert rewrapped.count_label("Node") == result.graph.num_vertices()
+        assert rewrapped.num_edges() == result.graph.num_edges()

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.cost (Eq. 3, 4, 7)."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.plan import PCP
+from repro.errors import PlanError
+from repro.graph.pattern import LinePattern
+from repro.graph.stats import GraphStatistics
+
+from tests.conftest import build_scholarly
+
+
+@pytest.fixture
+def stats():
+    return GraphStatistics.collect(build_scholarly())
+
+
+@pytest.fixture
+def sp2():
+    """Author-Paper-Venue-Paper-Author (length 4)."""
+    return LinePattern.parse(
+        "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+        "<-[publishAt]- Paper <-[authorBy]- Author"
+    )
+
+
+class TestSegmentCount:
+    def test_single_slot_is_edge_count(self, stats, sp2):
+        model = CostModel(sp2, stats)
+        assert model.segment_count(0, 1) == 6.0  # authorBy edges
+        assert model.segment_count(1, 2) == 3.0  # publishAt edges
+
+    def test_uniform_join(self, stats, sp2):
+        model = CostModel(sp2, stats)
+        # author-paper-venue: 6 * 3 / |Paper| = 6
+        assert model.segment_count(0, 2) == pytest.approx(6.0)
+        # full pattern: 6*3*3*6 / (3*2*3) = 18
+        assert model.segment_count(0, 4) == pytest.approx(18.0)
+
+    def test_split_independence(self, stats, sp2):
+        """The closed form means the estimate is split-invariant."""
+        model = CostModel(sp2, stats)
+        full = model.segment_count(0, 4)
+        for k in (1, 2, 3):
+            joined = (
+                model.segment_count(0, k)
+                * model.segment_count(k, 4)
+                / model.label_population(k)
+            )
+            assert joined == pytest.approx(full)
+
+    def test_invalid_segment(self, stats, sp2):
+        model = CostModel(sp2, stats)
+        with pytest.raises(PlanError):
+            model.segment_count(2, 2)
+        with pytest.raises(PlanError):
+            model.segment_count(0, 9)
+
+    def test_empty_label_population_floor(self, stats):
+        pattern = LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+        model = CostModel(pattern, stats)
+        assert model.label_population(0) == 4
+        # unknown labels floor at 1, keeping divisions well defined
+        ghost = LinePattern.parse("Ghost -[authorBy]-> Paper <-[authorBy]- Ghost")
+        ghost_model = CostModel(ghost, stats)
+        assert ghost_model.label_population(0) == 1
+
+
+class TestNodeCost:
+    def test_node_cost_equals_expected_output(self, stats, sp2):
+        model = CostModel(sp2, stats)
+        # node output estimate == segment count of what it produces
+        assert model.node_cost(0, 2, 4) == pytest.approx(model.segment_count(0, 4))
+        assert model.node_cost(0, 1, 2) == pytest.approx(model.segment_count(0, 2))
+
+    def test_plan_cost_sums_nodes(self, stats, sp2):
+        model = CostModel(sp2, stats)
+        plan = PCP.from_pivot_chooser(sp2, lambda i, j: i + (j - i) // 2)
+        total = sum(model.node_cost_of(node) for node in plan.nodes())
+        assert model.plan_cost(plan) == pytest.approx(total)
+
+    def test_left_deep_costlier_than_balanced_on_sp2(self, stats, sp2):
+        model = CostModel(sp2, stats)
+        balanced = PCP.from_pivot_chooser(sp2, lambda i, j: i + (j - i) // 2)
+        left_deep = PCP.from_pivot_chooser(sp2, lambda i, j: j - 1)
+        assert model.plan_cost(balanced) <= model.plan_cost(left_deep)
+
+
+class TestPartialAggregationCosts:
+    def test_partial_costs_never_exceed_basic(self, stats, sp2):
+        basic = CostModel(sp2, stats, partial_aggregation=False)
+        partial = CostModel(sp2, stats, partial_aggregation=True)
+        plan = PCP.from_pivot_chooser(sp2, lambda i, j: i + (j - i) // 2)
+        for node in plan.nodes():
+            assert partial.node_cost_of(node) <= basic.node_cost_of(node)
+
+    def test_partial_output_capped_by_pair_population(self, stats, sp2):
+        partial = CostModel(sp2, stats, partial_aggregation=True)
+        cap = partial.label_population(0) * partial.label_population(4)
+        assert partial.node_cost(0, 2, 4) <= cap

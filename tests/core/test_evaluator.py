@@ -1,0 +1,203 @@
+"""Unit tests for repro.core.evaluator (Algorithms 1-3)."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.evaluator import PathConcatenationProgram, run_extraction
+from repro.core.planner import iter_opt_plan, line_plan
+from repro.errors import AggregationError, PlanError
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import (
+    A1,
+    A2,
+    A3,
+    A4,
+    COAUTHOR_EXPECTED,
+    P1,
+    P2,
+    P3,
+    V1,
+    V2,
+    build_scholarly,
+)
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+@pytest.fixture
+def coauthor():
+    return LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+
+
+class TestBasicMode:
+    def test_coauthor_counts(self, graph, coauthor):
+        plan = iter_opt_plan(coauthor)
+        result = run_extraction(
+            graph, coauthor, plan, library.path_count(), mode="basic"
+        )
+        assert dict(result.graph.edges) == COAUTHOR_EXPECTED
+
+    def test_final_paths_counted(self, graph, coauthor):
+        plan = iter_opt_plan(coauthor)
+        result = run_extraction(
+            graph, coauthor, plan, library.path_count(), mode="basic"
+        )
+        assert result.final_paths == sum(COAUTHOR_EXPECTED.values())
+
+    def test_iterations_equal_plan_height(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        plan = iter_opt_plan(pattern)
+        result = run_extraction(
+            graph, pattern, plan, library.path_count(), mode="basic"
+        )
+        assert result.iterations == plan.height + 0  # H enumeration steps
+        assert result.metrics.num_supersteps == plan.height + 1
+
+
+class TestPartialMode:
+    def test_same_result_as_basic(self, graph, coauthor):
+        plan = iter_opt_plan(coauthor)
+        basic = run_extraction(
+            graph, coauthor, plan, library.path_count(), mode="basic"
+        )
+        partial = run_extraction(
+            graph, coauthor, plan, library.path_count(), mode="partial"
+        )
+        assert partial.graph.equals(basic.graph)
+
+    def test_fewer_or_equal_intermediate_paths(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        plan = iter_opt_plan(pattern)
+        basic = run_extraction(
+            graph, pattern, plan, library.path_count(), mode="basic"
+        )
+        partial = run_extraction(
+            graph, pattern, plan, library.path_count(), mode="partial"
+        )
+        assert partial.intermediate_paths <= basic.intermediate_paths
+
+    def test_holistic_rejected(self, graph, coauthor):
+        plan = iter_opt_plan(coauthor)
+        with pytest.raises(AggregationError, match="holistic"):
+            PathConcatenationProgram(
+                graph, coauthor, plan, library.median_path_value(), mode="partial"
+            )
+
+    def test_algebraic_supported(self, graph, coauthor):
+        plan = iter_opt_plan(coauthor)
+        result = run_extraction(
+            graph, coauthor, plan, library.avg_path_value(), mode="partial"
+        )
+        # all edges have weight 1, so every average is 1.0
+        assert all(v == 1.0 for v in result.graph.edges.values())
+
+
+class TestDirectionHandling:
+    def test_backward_heavy_pattern(self, graph):
+        """dblp-SP3 shape: venues of the same author."""
+        pattern = LinePattern.parse(
+            "Venue <-[publishAt]- Paper <-[authorBy]- Author "
+            "-[authorBy]-> Paper -[publishAt]-> Venue"
+        )
+        plan = iter_opt_plan(pattern)
+        result = run_extraction(graph, pattern, plan, library.path_count())
+        # a3/a4 each connect v1<->v2 via (p2, p3): so (V1,V2) has 2 paths
+        assert result.graph.value(V1, V2) == 2.0
+        assert result.graph.value(V2, V1) == 2.0
+        # v1 to itself: a1 via p1-p1, a2 via p1-p1, a3 via p2-p2, a4 via p2-p2
+        assert result.graph.value(V1, V1) == 4.0
+
+    def test_citation_chain(self, graph):
+        pattern = LinePattern.chain("Paper", "citeBy", 2)
+        plan = iter_opt_plan(pattern)
+        result = run_extraction(graph, pattern, plan, library.path_count())
+        # p3 -> p2 -> p1 is the only citeBy chain of length 2
+        assert dict(result.graph.edges) == {(P3, P1): 1.0}
+
+
+class TestSingleEdgePatterns:
+    def test_direct_evaluation(self, graph):
+        pattern = LinePattern.parse("Paper -[publishAt]-> Venue")
+        result = run_extraction(graph, pattern, None, library.path_count())
+        assert dict(result.graph.edges) == {
+            (P1, V1): 1.0,
+            (P2, V1): 1.0,
+            (P3, V2): 1.0,
+        }
+        assert result.metrics.num_supersteps == 2
+
+    def test_direct_partial_merges_parallel_edges(self, graph):
+        graph.add_edge(P1, V1, "publishAt")  # parallel edge
+        pattern = LinePattern.parse("Paper -[publishAt]-> Venue")
+        result = run_extraction(
+            graph, pattern, None, library.path_count(), mode="partial"
+        )
+        assert result.graph.value(P1, V1) == 2.0
+
+    def test_plan_required_for_longer_patterns(self, graph, coauthor):
+        with pytest.raises(PlanError, match="need a plan"):
+            PathConcatenationProgram(
+                graph, coauthor, None, library.path_count()
+            )
+
+
+class TestTraceMode:
+    def test_traced_paths_are_real_walks(self, graph, coauthor):
+        plan = iter_opt_plan(coauthor)
+        result = run_extraction(
+            graph, coauthor, plan, library.path_count(), mode="basic", trace=True
+        )
+        traced = result.traced_paths
+        assert set(traced) == set(COAUTHOR_EXPECTED)
+        assert sorted(traced[(A3, A4)]) == [(A3, P2, A4), (A3, P3, A4)]
+        assert traced[(A1, A2)] == [(A1, P1, A2)]
+
+    def test_trace_requires_basic(self, graph, coauthor):
+        plan = iter_opt_plan(coauthor)
+        with pytest.raises(PlanError, match="trace"):
+            PathConcatenationProgram(
+                graph, coauthor, plan, library.path_count(),
+                mode="partial", trace=True,
+            )
+
+    def test_trace_with_line_plan_length4(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        plan = line_plan(pattern)
+        result = run_extraction(
+            graph, pattern, plan, library.path_count(), mode="basic", trace=True
+        )
+        for (start, end), trails in result.traced_paths.items():
+            for trail in trails:
+                assert trail[0] == start
+                assert trail[-1] == end
+                assert len(trail) == 5
+
+
+class TestWorkers:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 7])
+    def test_result_independent_of_worker_count(self, graph, coauthor, workers):
+        plan = iter_opt_plan(coauthor)
+        result = run_extraction(
+            graph, coauthor, plan, library.path_count(), num_workers=workers
+        )
+        assert dict(result.graph.edges) == COAUTHOR_EXPECTED
+
+    def test_invalid_mode(self, graph, coauthor):
+        plan = iter_opt_plan(coauthor)
+        with pytest.raises(PlanError, match="mode"):
+            PathConcatenationProgram(
+                graph, coauthor, plan, library.path_count(), mode="turbo"
+            )

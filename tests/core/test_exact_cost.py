@@ -1,0 +1,113 @@
+"""Tests for the exact-leaf cost model refinement."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.cost import CostModel, ExactLeafCostModel
+from repro.core.evaluator import run_extraction
+from repro.core.planner import hybrid_plan, iter_opt_plan, make_plan
+from repro.errors import PlanError
+from repro.graph.pattern import LinePattern
+from repro.graph.stats import GraphStatistics
+
+from tests.conftest import build_scholarly
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+@pytest.fixture
+def coauthor():
+    return LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+
+
+class TestExactLeafCosts:
+    def test_leaf_cost_is_exact(self, graph, coauthor):
+        """The NL-NL leaf estimate equals the measured produced paths."""
+        model = ExactLeafCostModel(coauthor, graph)
+        plan = iter_opt_plan(coauthor)
+        result = run_extraction(
+            graph, coauthor, plan, library.path_count(), mode="basic"
+        )
+        # single-node plan: its output count is the intermediate total
+        assert model.plan_cost(plan) == result.intermediate_paths
+
+    def test_uniform_model_differs_under_skew(self, graph, coauthor):
+        """On the hand-built graph papers have 2 authors each, so uniform
+        and exact agree; adding a hub paper splits them apart."""
+        uniform = CostModel(coauthor, GraphStatistics.collect(graph))
+        exact = ExactLeafCostModel(coauthor, graph)
+        assert exact.node_cost(0, 1, 2) == pytest.approx(
+            uniform.node_cost(0, 1, 2)
+        )
+        # hub: one paper with 4 extra authors
+        for author in (101, 102, 103, 104):
+            graph.add_vertex(author, "Author")
+            graph.add_edge(author, 11, "authorBy")
+        hub_uniform = CostModel(coauthor, GraphStatistics.collect(graph))
+        hub_exact = ExactLeafCostModel(coauthor, graph)
+        assert hub_exact.node_cost(0, 1, 2) > hub_uniform.node_cost(0, 1, 2)
+
+    def test_exact_still_exact_with_hub(self, graph, coauthor):
+        for author in (101, 102, 103):
+            graph.add_vertex(author, "Author")
+            graph.add_edge(author, 11, "authorBy")
+        model = ExactLeafCostModel(coauthor, graph)
+        plan = iter_opt_plan(coauthor)
+        result = run_extraction(
+            graph, coauthor, plan, library.path_count(), mode="basic"
+        )
+        assert model.plan_cost(plan) == result.intermediate_paths
+
+    def test_ql_nodes_fall_back_to_uniform(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        uniform = CostModel(pattern, GraphStatistics.collect(graph))
+        exact = ExactLeafCostModel(pattern, graph)
+        # the root node [0,2,4] has two QL sides: same estimate
+        assert exact.node_cost(0, 2, 4) == pytest.approx(
+            uniform.node_cost(0, 2, 4)
+        )
+
+    def test_partial_aggregation_cap_applies(self, graph, coauthor):
+        model = ExactLeafCostModel(coauthor, graph, partial_aggregation=True)
+        cap = model.label_population(0) * model.label_population(2)
+        assert model.node_cost(0, 1, 2) <= cap
+
+
+class TestPlannerIntegration:
+    def test_make_plan_with_exact_estimator(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        plan = make_plan(
+            pattern, strategy="hybrid", graph=graph, estimator="exact-leaf"
+        )
+        assert plan.strategy == "hybrid"
+        assert plan.height == 2
+
+    def test_exact_estimator_requires_graph(self, coauthor):
+        with pytest.raises(PlanError, match="graph"):
+            make_plan(coauthor, strategy="path_opt", estimator="exact-leaf")
+
+    def test_unknown_estimator(self, graph, coauthor):
+        with pytest.raises(PlanError, match="estimator"):
+            make_plan(
+                coauthor, strategy="path_opt", graph=graph, estimator="magic"
+            )
+
+    def test_plans_agree_on_results(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        uniform_plan = make_plan(pattern, graph=graph, estimator="uniform")
+        exact_plan = make_plan(pattern, graph=graph, estimator="exact-leaf")
+        a = run_extraction(graph, pattern, uniform_plan, library.path_count())
+        b = run_extraction(graph, pattern, exact_plan, library.path_count())
+        assert a.graph.equals(b.graph)

@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.extractor (the public façade)."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.extractor import GraphExtractor
+from repro.errors import AggregationError, PatternMismatchError
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import COAUTHOR_EXPECTED, build_scholarly
+
+
+@pytest.fixture
+def extractor():
+    return GraphExtractor(build_scholarly(), num_workers=2)
+
+
+@pytest.fixture
+def coauthor():
+    return LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+
+
+class TestExtract:
+    def test_default_aggregate_is_path_count(self, extractor, coauthor):
+        result = extractor.extract(coauthor)
+        assert dict(result.graph.edges) == COAUTHOR_EXPECTED
+
+    def test_result_carries_plan_and_metrics(self, extractor, coauthor):
+        result = extractor.extract(coauthor)
+        assert result.plan is not None
+        assert result.plan.strategy == "hybrid"
+        assert result.metrics.num_supersteps >= 2
+        summary = result.summary()
+        assert summary["result_edges"] == len(COAUTHOR_EXPECTED)
+        assert summary["plan_strategy"] == "hybrid"
+
+    def test_strategy_override(self, extractor):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        result = extractor.extract(pattern, strategy="line")
+        assert result.plan.strategy == "line"
+        assert result.iterations == 3
+
+    def test_explicit_plan_bypasses_selection(self, extractor, coauthor):
+        plan = extractor.plan(coauthor, strategy="iter_opt")
+        result = extractor.extract(coauthor, plan=plan)
+        assert result.plan is plan
+
+    def test_holistic_falls_back_to_basic(self, extractor, coauthor):
+        result = extractor.extract(coauthor, library.median_path_value())
+        # every path has value 1 -> median 1
+        assert all(v == 1.0 for v in result.graph.edges.values())
+
+    def test_invalid_distributive_declaration_rejected(self, extractor, coauthor):
+        from repro.aggregates.base import OP_ADD, DistributiveAggregate
+
+        bogus = DistributiveAggregate(OP_ADD, OP_ADD, name="bogus")
+        with pytest.raises(AggregationError):
+            extractor.extract(coauthor, bogus)
+
+    def test_pattern_validation(self, extractor):
+        bad = LinePattern.parse("Editor -[authorBy]-> Paper")
+        with pytest.raises(PatternMismatchError):
+            extractor.extract(bad)
+
+    def test_validation_can_be_disabled(self):
+        extractor = GraphExtractor(build_scholarly(), validate_patterns=False)
+        bad = LinePattern.parse("Editor -[authorBy]-> Paper")
+        result = extractor.extract(bad)
+        assert result.graph.num_edges() == 0
+
+    def test_single_edge_pattern(self, extractor):
+        result = extractor.extract(LinePattern.parse("Paper -[publishAt]-> Venue"))
+        assert result.plan is None
+        assert result.graph.num_edges() == 3
+
+    def test_vertices_include_isolated_label_members(self, extractor, coauthor):
+        result = extractor.extract(coauthor)
+        # all four authors belong to V' even if some had no co-author edges
+        assert result.graph.vertices == {1, 2, 3, 4}
+
+
+class TestPlanning:
+    def test_stats_cached(self, extractor, coauthor):
+        first = extractor.stats
+        assert extractor.stats is first
+
+    def test_plan_for_single_edge_is_none(self, extractor):
+        assert extractor.plan(LinePattern.parse("Paper -[publishAt]-> Venue")) is None
+
+    def test_trace_forces_basic_mode(self, extractor, coauthor):
+        result = extractor.extract(coauthor, trace=True)
+        assert result.traced_paths is not None
+        assert set(result.traced_paths) == set(COAUTHOR_EXPECTED)

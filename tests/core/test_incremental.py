@@ -1,0 +1,180 @@
+"""Tests for incremental extraction maintenance."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.core.incremental import IncrementalExtractor
+from repro.errors import AggregationError, SchemaError
+from repro.graph.filters import VertexFilter
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import A1, A2, A3, A4, P1, P2, P3, V1, V2, build_scholarly
+
+
+def assert_consistent(incremental, pattern, aggregate_factory):
+    """The maintained result equals a from-scratch extraction."""
+    oracle = extract_bruteforce(
+        incremental.graph, pattern, aggregate_factory()
+    )
+    maintained = incremental.extracted()
+    assert maintained.equals(oracle.graph, rel_tol=1e-7), maintained.diff(
+        oracle.graph
+    )
+
+
+@pytest.fixture
+def coauthor():
+    return LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+
+
+class TestGraphRemoveEdge:
+    def test_remove_existing(self):
+        graph = build_scholarly()
+        graph.remove_edge(P2, P1, "citeBy")
+        assert graph.count_edge_label("citeBy") == 1
+        assert graph.out_edges(P2, "citeBy") == []
+
+    def test_remove_one_parallel_instance(self):
+        graph = build_scholarly()
+        graph.add_edge(A1, P1, "authorBy")
+        graph.remove_edge(A1, P1, "authorBy")
+        assert len(graph.out_edges(A1, "authorBy")) == 1
+
+    def test_remove_missing_raises(self):
+        graph = build_scholarly()
+        with pytest.raises(SchemaError, match="no edge"):
+            graph.remove_edge(A1, P2, "authorBy")
+
+
+class TestInsertion:
+    def test_single_insert_matches_recompute(self, coauthor):
+        graph = build_scholarly()
+        inc = IncrementalExtractor(graph, coauthor)
+        touched = inc.add_edge(A1, P2, "authorBy")
+        assert (A1, A3) in touched
+        assert_consistent(inc, coauthor, library.path_count)
+
+    def test_insert_sequence(self, coauthor):
+        graph = build_scholarly()
+        inc = IncrementalExtractor(graph, coauthor)
+        for src, dst in [(A1, P2), (A2, P3), (A2, P2), (A1, P1)]:
+            inc.add_edge(src, dst, "authorBy")
+            assert_consistent(inc, coauthor, library.path_count)
+
+    def test_insert_on_longer_pattern(self):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        graph = build_scholarly()
+        inc = IncrementalExtractor(graph, pattern)
+        inc.add_edge(P1, V2, "publishAt")
+        assert_consistent(inc, pattern, library.path_count)
+        inc.add_edge(A1, P3, "authorBy")
+        assert_consistent(inc, pattern, library.path_count)
+
+    def test_insert_same_label_chain(self):
+        """citeBy chains: the new edge can match several slots at once."""
+        pattern = LinePattern.chain("Paper", "citeBy", 2)
+        graph = build_scholarly()
+        inc = IncrementalExtractor(graph, pattern)
+        inc.add_edge(P1, P3, "citeBy")  # creates a cycle p1->p3->p2->p1
+        assert_consistent(inc, pattern, library.path_count)
+        inc.add_edge(P1, P1, "citeBy")  # self-loop: matches both slots
+        assert_consistent(inc, pattern, library.path_count)
+
+    def test_irrelevant_edge_changes_nothing(self, coauthor):
+        graph = build_scholarly()
+        inc = IncrementalExtractor(graph, coauthor)
+        before = dict(inc.extracted().edges)
+        touched = inc.add_edge(P3, P1, "citeBy")  # citeBy not in pattern
+        assert touched == {}
+        assert dict(inc.extracted().edges) == before
+
+    def test_weighted_aggregate(self, coauthor):
+        graph = build_scholarly()
+        inc = IncrementalExtractor(
+            graph, coauthor, library.weighted_path_count()
+        )
+        inc.add_edge(A1, P2, "authorBy", weight=0.5)
+        assert_consistent(inc, coauthor, library.weighted_path_count)
+
+    def test_algebraic_aggregate(self, coauthor):
+        graph = build_scholarly()
+        inc = IncrementalExtractor(graph, coauthor, library.avg_path_value())
+        inc.add_edge(A1, P2, "authorBy", weight=2.0)
+        assert_consistent(inc, coauthor, library.avg_path_value)
+
+    def test_filters_respected(self):
+        graph = build_scholarly()
+        graph.add_vertex(P1, "Paper", {"year": 2008})
+        graph.add_vertex(P2, "Paper", {"year": 2012})
+        graph.add_vertex(P3, "Paper", {"year": 2015})
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        ).with_filter(1, VertexFilter("year", "ge", 2010))
+        inc = IncrementalExtractor(graph, pattern)
+        inc.add_edge(A1, P1, "authorBy")  # filtered paper: no new paths
+        assert_consistent(inc, pattern, library.path_count)
+        inc.add_edge(A1, P2, "authorBy")  # passes the filter
+        assert_consistent(inc, pattern, library.path_count)
+
+    def test_holistic_rejected(self, coauthor):
+        with pytest.raises(AggregationError, match="holistic"):
+            IncrementalExtractor(
+                build_scholarly(), coauthor, library.median_path_value()
+            )
+
+
+class TestDeletion:
+    def test_delete_matches_recompute(self, coauthor):
+        graph = build_scholarly()
+        inc = IncrementalExtractor(graph, coauthor)
+        touched = inc.remove_edge(A3, P2, "authorBy")
+        assert_consistent(inc, coauthor, library.path_count)
+        # (a3, a4) dropped from 2 shared papers to 1
+        assert touched[(A3, A4)] == 1.0
+
+    def test_pair_disappears_when_last_path_dies(self, coauthor):
+        graph = build_scholarly()
+        inc = IncrementalExtractor(graph, coauthor)
+        inc.remove_edge(A1, P1, "authorBy")
+        assert not inc.extracted().has_edge(A1, A2)
+        assert_consistent(inc, coauthor, library.path_count)
+
+    def test_insert_then_delete_roundtrip(self, coauthor):
+        graph = build_scholarly()
+        inc = IncrementalExtractor(graph, coauthor)
+        before = dict(inc.extracted().edges)
+        inc.add_edge(A1, P2, "authorBy")
+        inc.remove_edge(A1, P2, "authorBy")
+        assert dict(inc.extracted().edges) == pytest.approx(before)
+
+    def test_delete_on_longer_pattern(self):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        graph = build_scholarly()
+        inc = IncrementalExtractor(graph, pattern)
+        inc.remove_edge(P2, V1, "publishAt")
+        assert_consistent(inc, pattern, library.path_count)
+
+    def test_non_invertible_merge_rejected(self, coauthor):
+        graph = build_scholarly()
+        inc = IncrementalExtractor(graph, coauthor, library.max_min())
+        with pytest.raises(AggregationError, match="invertible"):
+            inc.remove_edge(A1, P1, "authorBy")
+
+    def test_chain_deletion_with_reuse(self):
+        """Deleting an edge that remaining paths could reuse elsewhere."""
+        pattern = LinePattern.chain("Paper", "citeBy", 2)
+        graph = build_scholarly()
+        inc = IncrementalExtractor(graph, pattern)
+        inc.add_edge(P1, P3, "citeBy")
+        inc.add_edge(P1, P1, "citeBy")
+        inc.remove_edge(P1, P3, "citeBy")
+        assert_consistent(inc, pattern, library.path_count)
+        inc.remove_edge(P1, P1, "citeBy")
+        assert_consistent(inc, pattern, library.path_count)

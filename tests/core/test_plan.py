@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.plan (Definitions 5-6, Theorem 2)."""
+
+import pytest
+
+from repro.core.plan import PCP, PCPNode, Placement, SideKind
+from repro.errors import PlanError
+from repro.graph.pattern import LinePattern
+
+
+def chain(length):
+    return LinePattern.chain("Patent", "citeBy", length)
+
+
+def mid_chooser(i, j):
+    return i + (j - i) // 2
+
+
+class TestConstruction:
+    def test_balanced_plan_length4(self):
+        plan = PCP.from_pivot_chooser(chain(4), mid_chooser)
+        assert plan.num_nodes == 3
+        assert plan.height == 2
+        root = plan.root
+        assert (root.i, root.k, root.j) == (0, 2, 4)
+        assert root.pattern_type == "QL-QL"
+        assert root.left.pattern_type == "NL-NL"
+        assert root.right.pattern_type == "NL-NL"
+
+    def test_left_deep_plan(self):
+        plan = PCP.from_pivot_chooser(chain(5), lambda i, j: j - 1)
+        assert plan.num_nodes == 4
+        assert plan.height == 4
+        # every node has an NL right side
+        assert all(node.right_kind is SideKind.NL for node in plan.nodes())
+
+    def test_node_count_matches_theorem_2(self):
+        for length in range(2, 12):
+            plan = PCP.from_pivot_chooser(chain(length), mid_chooser)
+            assert plan.num_nodes == length - 1
+
+    def test_length_one_rejected(self):
+        with pytest.raises(PlanError, match="length 1"):
+            PCP.from_pivot_chooser(chain(1), mid_chooser)
+
+    def test_bad_pivot_rejected(self):
+        with pytest.raises(PlanError, match="pivot"):
+            PCP.from_pivot_chooser(chain(4), lambda i, j: i)
+
+
+class TestPlacements:
+    def test_root_and_children_placements(self):
+        plan = PCP.from_pivot_chooser(chain(4), mid_chooser)
+        assert plan.root.placement is Placement.AT_END
+        assert plan.root.left.placement is Placement.AT_END
+        assert plan.root.right.placement is Placement.AT_START
+
+
+class TestLevels:
+    def test_levels_root_is_one(self):
+        plan = PCP.from_pivot_chooser(chain(8), mid_chooser)
+        by_level = plan.nodes_by_level()
+        assert [node.level for node in by_level[1]] == [1]
+        assert max(by_level) == plan.height
+
+    def test_schedule_children_before_parents(self):
+        plan = PCP.from_pivot_chooser(chain(7), mid_chooser)
+        seen = set()
+        for step in plan.evaluation_schedule():
+            for node in step:
+                if node.left:
+                    assert node.left.node_id in seen
+                if node.right:
+                    assert node.right.node_id in seen
+                seen.add(node.node_id)
+        assert len(seen) == plan.num_nodes
+
+    def test_same_level_nodes_share_iteration(self):
+        plan = PCP.from_pivot_chooser(chain(4), mid_chooser)
+        schedule = plan.evaluation_schedule()
+        assert len(schedule) == 2
+        assert {n.pattern_type for n in schedule[0]} == {"NL-NL"}
+        assert schedule[1][0] is plan.root
+
+
+class TestNodeProperties:
+    def test_side_kinds_length3(self):
+        plan = PCP.from_pivot_chooser(chain(3), lambda i, j: i + 1)
+        root = plan.root
+        assert root.left_kind is SideKind.NL
+        assert root.right_kind is SideKind.QL
+        assert root.pattern_type == "NL-QL"
+
+    def test_post_order_ids(self):
+        plan = PCP.from_pivot_chooser(chain(4), mid_chooser)
+        ids = [node.node_id for node in plan.nodes()]
+        assert ids == sorted(ids)
+        assert plan.root.node_id == plan.num_nodes - 1
+
+    def test_leaf_detection(self):
+        plan = PCP.from_pivot_chooser(chain(4), mid_chooser)
+        leaves = [n for n in plan.nodes() if n.is_leaf]
+        assert len(leaves) == 2
+        assert all(n.pattern_type == "NL-NL" for n in leaves)
+
+
+class TestValidation:
+    def test_signature_is_structural(self):
+        a = PCP.from_pivot_chooser(chain(4), mid_chooser)
+        b = PCP.from_pivot_chooser(chain(4), mid_chooser, strategy="other")
+        assert a.signature() == b.signature()
+        c = PCP.from_pivot_chooser(chain(4), lambda i, j: j - 1)
+        assert a.signature() != c.signature()
+
+    def test_describe_contains_nodes(self):
+        plan = PCP.from_pivot_chooser(chain(4), mid_chooser)
+        text = plan.describe()
+        assert "pp" in text
+        assert "NL-NL" in text
+
+    def test_validate_rejects_mangled_tree(self):
+        plan = PCP.from_pivot_chooser(chain(4), mid_chooser)
+        plan.root.k = plan.root.j  # corrupt
+        with pytest.raises(PlanError):
+            plan.validate()

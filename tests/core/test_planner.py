@@ -1,0 +1,166 @@
+"""Unit tests for repro.core.planner (§5.2: the four strategies)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.planner import (
+    STRATEGIES,
+    hybrid_plan,
+    iter_opt_plan,
+    line_plan,
+    make_plan,
+    path_opt_plan,
+)
+from repro.errors import PlanError
+from repro.graph.pattern import LinePattern
+from repro.graph.stats import GraphStatistics
+
+from tests.conftest import build_scholarly
+
+
+def chain(length):
+    return LinePattern.chain("Paper", "citeBy", length)
+
+
+@pytest.fixture
+def stats():
+    return GraphStatistics.collect(build_scholarly())
+
+
+class TestLineStrategy:
+    def test_height_is_linear(self):
+        for length in range(2, 10):
+            assert line_plan(chain(length)).height == length - 1
+
+    def test_direction_right(self):
+        plan = line_plan(chain(4), direction="right")
+        assert plan.root.k == 1
+
+    def test_invalid_direction(self):
+        with pytest.raises(PlanError):
+            line_plan(chain(3), direction="up")
+
+
+class TestIterOptStrategy:
+    def test_height_is_log(self):
+        for length in range(2, 33):
+            plan = iter_opt_plan(chain(length))
+            assert plan.height == max(math.ceil(math.log2(length)), 1)
+
+    def test_random_tiebreak_still_minimal_height(self):
+        rng = random.Random(3)
+        for length in (3, 5, 7, 9, 11, 13):
+            plan = iter_opt_plan(chain(length), rng=rng)
+            assert plan.height == math.ceil(math.log2(length))
+
+    def test_deterministic_without_rng(self):
+        a = iter_opt_plan(chain(9))
+        b = iter_opt_plan(chain(9))
+        assert a.signature() == b.signature()
+
+
+class TestPathOptStrategy:
+    def test_minimises_over_all_plans_small(self, stats):
+        """Exhaustive check: path_opt's cost equals the true minimum over
+        every possible plan for a short pattern."""
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        model = CostModel(pattern, stats)
+
+        def all_costs(i, j):
+            if j - i < 2:
+                return [0.0]
+            costs = []
+            for k in range(i + 1, j):
+                for lc in all_costs(i, k):
+                    for rc in all_costs(k, j):
+                        costs.append(lc + rc + model.node_cost(i, k, j))
+            return costs
+
+        best = min(all_costs(0, pattern.length))
+        plan = path_opt_plan(pattern, model)
+        assert model.plan_cost(plan) == pytest.approx(best)
+        assert plan.estimated_cost == pytest.approx(best)
+
+    def test_cost_never_above_other_strategies(self, stats):
+        pattern = LinePattern.chain("Paper", "citeBy", 6)
+        model = CostModel(pattern, stats)
+        path_cost = model.plan_cost(path_opt_plan(pattern, model))
+        assert path_cost <= model.plan_cost(line_plan(pattern)) + 1e-9
+        assert path_cost <= model.plan_cost(iter_opt_plan(pattern)) + 1e-9
+        assert path_cost <= model.plan_cost(hybrid_plan(pattern, model)) + 1e-9
+
+
+class TestHybridStrategy:
+    def test_minimal_height_always(self, stats):
+        for length in range(2, 17):
+            pattern = LinePattern.chain("Paper", "citeBy", length)
+            model = CostModel(pattern, stats)
+            plan = hybrid_plan(pattern, model)
+            assert plan.height == max(math.ceil(math.log2(length)), 1)
+
+    def test_cost_between_path_opt_and_iter_opt(self, stats):
+        for length in (4, 5, 6, 7, 8):
+            pattern = LinePattern.chain("Paper", "citeBy", length)
+            model = CostModel(pattern, stats)
+            hybrid_cost = model.plan_cost(hybrid_plan(pattern, model))
+            assert (
+                model.plan_cost(path_opt_plan(pattern, model))
+                <= hybrid_cost + 1e-9
+            )
+            assert hybrid_cost <= model.plan_cost(iter_opt_plan(pattern)) + 1e-9
+
+    def test_hybrid_optimal_among_min_height_plans(self, stats):
+        """Exhaustive check on length 5: hybrid's cost is the minimum over
+        all plans of minimal height."""
+        pattern = LinePattern.chain("Paper", "citeBy", 5)
+        model = CostModel(pattern, stats)
+        min_height = math.ceil(math.log2(5))
+
+        def enumerate_plans(i, j):
+            """(cost, height) pairs for all subtrees over [i, j]."""
+            if j - i < 2:
+                return [(0.0, 0)]
+            options = []
+            for k in range(i + 1, j):
+                for lc, lh in enumerate_plans(i, k):
+                    for rc, rh in enumerate_plans(k, j):
+                        options.append(
+                            (lc + rc + model.node_cost(i, k, j), 1 + max(lh, rh))
+                        )
+            return options
+
+        candidates = [
+            cost
+            for cost, height in enumerate_plans(0, 5)
+            if height == min_height
+        ]
+        plan = hybrid_plan(pattern, model)
+        assert model.plan_cost(plan) == pytest.approx(min(candidates))
+
+
+class TestMakePlan:
+    def test_dispatch(self, stats):
+        pattern = chain(4)
+        graph = build_scholarly()
+        for strategy in STRATEGIES:
+            plan = make_plan(pattern, strategy=strategy, graph=graph)
+            assert plan.strategy == strategy
+            assert plan.num_nodes == 3
+
+    def test_stats_shortcut(self, stats):
+        plan = make_plan(chain(4), strategy="hybrid", stats=stats)
+        assert plan.strategy == "hybrid"
+
+    def test_missing_stats_for_cost_strategies(self):
+        with pytest.raises(PlanError, match="statistics"):
+            make_plan(chain(4), strategy="path_opt")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(PlanError, match="unknown strategy"):
+            make_plan(chain(4), strategy="greedy")

@@ -1,0 +1,84 @@
+"""Unit tests for repro.core.result."""
+
+import pytest
+
+from repro.core.result import ExtractedGraph, ExtractionResult
+from repro.engine.metrics import RunMetrics, SuperstepMetrics
+
+
+def make(edges, start="A", end="B", vertices=None):
+    return ExtractedGraph(start, end, vertices or {1, 2, 3}, edges)
+
+
+class TestExtractedGraph:
+    def test_queries(self):
+        g = make({(1, 2): 3.0, (2, 1): 3.0})
+        assert g.num_edges() == 2
+        assert g.num_vertices() == 3
+        assert g.value(1, 2) == 3.0
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(1, 3)
+        with pytest.raises(KeyError):
+            g.value(1, 3)
+
+    def test_sorted_edges(self):
+        g = make({(2, 1): 1.0, (1, 2): 2.0})
+        assert g.sorted_edges() == [(1, 2, 2.0), (2, 1, 1.0)]
+
+    def test_as_undirected_collapses_pairs(self):
+        g = make({(1, 2): 3.0, (2, 1): 3.0, (2, 2): 1.0})
+        und = g.as_undirected()
+        assert dict(und.edges) == {(1, 2): 3.0, (2, 2): 1.0}
+
+    def test_as_undirected_with_merge(self):
+        g = make({(1, 2): 3.0, (2, 1): 4.0})
+        und = g.as_undirected(merge=max)
+        assert dict(und.edges) == {(1, 2): 4.0}
+
+
+class TestEquality:
+    def test_equal_within_tolerance(self):
+        a = make({(1, 2): 1.0})
+        b = make({(1, 2): 1.0 + 1e-12})
+        assert a.equals(b)
+        assert a.diff(b) == []
+
+    def test_differing_values(self):
+        a = make({(1, 2): 1.0})
+        b = make({(1, 2): 2.0})
+        assert not a.equals(b)
+        assert "left=1.0 right=2.0" in a.diff(b)[0]
+
+    def test_differing_structure(self):
+        a = make({(1, 2): 1.0})
+        b = make({(1, 3): 1.0})
+        assert not a.equals(b)
+        assert len(a.diff(b)) == 2
+
+    def test_infinite_values_compare_exactly(self):
+        inf = float("inf")
+        assert make({(1, 2): inf}).equals(make({(1, 2): inf}))
+        assert not make({(1, 2): inf}).equals(make({(1, 2): 1.0}))
+
+    def test_non_numeric_values(self):
+        a = make({(1, 2): (1.0, 2.0)})
+        assert a.equals(make({(1, 2): (1.0, 2.0)}))
+        assert not a.equals(make({(1, 2): (1.0, 3.0)}))
+
+
+class TestExtractionResult:
+    def test_derived_properties(self):
+        metrics = RunMetrics(num_workers=2)
+        for step in range(3):
+            metrics.supersteps.append(
+                SuperstepMetrics(superstep=step, work_per_worker=[1, 1])
+            )
+        metrics.counters["intermediate_paths"] = 42
+        metrics.counters["final_paths"] = 7
+        result = ExtractionResult(graph=make({(1, 2): 1.0}), metrics=metrics)
+        assert result.iterations == 2
+        assert result.intermediate_paths == 42
+        assert result.final_paths == 7
+        summary = result.summary()
+        assert summary["result_edges"] == 1
+        assert "plan_strategy" not in summary

@@ -1,0 +1,99 @@
+"""Tests for the sampling-based cost model."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.cost import CostModel
+from repro.core.evaluator import run_extraction
+from repro.core.planner import hybrid_plan, path_opt_plan
+from repro.core.sampling import SamplingCostModel, _slot_neighbors
+from repro.graph.filters import VertexFilter
+from repro.graph.pattern import LinePattern
+from repro.graph.stats import GraphStatistics
+
+from tests.conftest import A1, A2, P1, V1, build_scholarly
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+@pytest.fixture
+def coauthor():
+    return LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+
+
+class TestSlotNeighbors:
+    def test_forward_slot(self, graph, coauthor):
+        assert _slot_neighbors(graph, coauthor, 1, A1) == [P1]
+
+    def test_backward_slot(self, graph, coauthor):
+        assert sorted(_slot_neighbors(graph, coauthor, 2, P1)) == [A1, A2]
+
+    def test_filters_respected(self, graph):
+        graph.add_vertex(P1, "Paper", {"year": 2008})
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper"
+        ).with_filter(1, VertexFilter("year", "ge", 2010))
+        assert _slot_neighbors(graph, pattern, 1, A1) == []
+
+
+class TestEstimates:
+    def test_exact_on_single_slot(self, graph, coauthor):
+        """A single edge slot: the walk's weight is exactly the degree, so
+        with enough samples the estimate converges near the true count."""
+        model = SamplingCostModel(coauthor, graph, num_samples=2000, seed=1)
+        assert model.segment_count(0, 1) == pytest.approx(6.0, rel=0.2)
+
+    def test_full_pattern_close_to_truth(self, graph, coauthor):
+        model = SamplingCostModel(coauthor, graph, num_samples=4000, seed=2)
+        # true number of co-author walks is 12 (tests/conftest)
+        assert model.segment_count(0, 2) == pytest.approx(12.0, rel=0.25)
+
+    def test_deterministic_under_seed(self, graph, coauthor):
+        a = SamplingCostModel(coauthor, graph, num_samples=100, seed=5)
+        b = SamplingCostModel(coauthor, graph, num_samples=100, seed=5)
+        assert a.segment_count(0, 2) == b.segment_count(0, 2)
+
+    def test_cached(self, graph, coauthor):
+        model = SamplingCostModel(coauthor, graph, num_samples=50, seed=3)
+        first = model.segment_count(0, 2)
+        assert model.segment_count(0, 2) == first
+
+    def test_empty_label_returns_zero(self, graph):
+        pattern = LinePattern.parse("Ghost -[authorBy]-> Paper")
+        model = SamplingCostModel(pattern, graph, num_samples=10)
+        assert model.segment_count(0, 1) == 0.0
+
+    def test_captures_skew_uniform_misses(self, graph, coauthor):
+        """Attach a hub paper: sampling sees the degree correlation that
+        the uniform model averages away."""
+        for author in range(200, 215):
+            graph.add_vertex(author, "Author")
+            graph.add_edge(author, P1, "authorBy")
+        uniform = CostModel(coauthor, GraphStatistics.collect(graph))
+        sampled = SamplingCostModel(coauthor, graph, num_samples=4000, seed=7)
+        # true count: sum over papers of (#authors)^2 = 17^2 + 2^2 + 2^2
+        true = 17 * 17 + 4 + 4
+        uniform_error = abs(uniform.segment_count(0, 2) - true)
+        sampled_error = abs(sampled.segment_count(0, 2) - true)
+        assert sampled_error < uniform_error
+
+
+class TestPlannerIntegration:
+    def test_planner_accepts_sampling_model(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        model = SamplingCostModel(pattern, graph, num_samples=100, seed=11)
+        for planner in (hybrid_plan, path_opt_plan):
+            plan = planner(pattern, model)
+            result = run_extraction(graph, pattern, plan, library.path_count())
+            oracle = run_extraction(
+                graph, pattern, hybrid_plan(
+                    pattern, CostModel(pattern, GraphStatistics.collect(graph))
+                ), library.path_count(),
+            )
+            assert result.graph.equals(oracle.graph)

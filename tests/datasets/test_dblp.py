@@ -1,0 +1,70 @@
+"""Unit tests for the DBLP-like generator."""
+
+import pytest
+
+from repro.datasets.dblp import dblp_schema, generate_dblp, tiny_dblp
+from repro.errors import DatasetError
+
+
+class TestSchema:
+    def test_labels_and_types(self):
+        schema = dblp_schema()
+        assert schema.vertex_labels == frozenset({"Author", "Paper", "Venue"})
+        assert schema.has_edge_type("authorBy", "Author", "Paper")
+        assert schema.has_edge_type("publishAt", "Paper", "Venue")
+        assert schema.has_edge_type("citeBy", "Paper", "Paper")
+
+
+class TestGenerate:
+    def test_vertex_counts(self):
+        g = generate_dblp(n_authors=100, n_papers=150, n_venues=10, seed=1)
+        assert g.count_label("Author") == 100
+        assert g.count_label("Paper") == 150
+        assert g.count_label("Venue") == 10
+
+    def test_every_paper_has_one_venue(self):
+        g = generate_dblp(n_authors=50, n_papers=80, n_venues=8, seed=2)
+        for paper in g.vertices_with_label("Paper"):
+            assert g.out_degree(paper, "publishAt") == 1
+
+    def test_mean_degrees_reasonable(self):
+        g = generate_dblp(
+            n_authors=500, n_papers=800, n_venues=20,
+            papers_per_author=3.0, citations_per_paper=2.0, seed=3,
+        )
+        author_by = g.count_edge_label("authorBy") / 500
+        cite_by = g.count_edge_label("citeBy") / 800
+        assert 2.5 < author_by < 3.5
+        assert 1.6 < cite_by < 2.4
+
+    def test_deterministic(self):
+        a = generate_dblp(n_authors=40, n_papers=60, n_venues=5, seed=9)
+        b = generate_dblp(n_authors=40, n_papers=60, n_venues=5, seed=9)
+        assert sorted((e.src, e.dst, e.label) for e in a.edges()) == sorted(
+            (e.src, e.dst, e.label) for e in b.edges()
+        )
+
+    def test_weight_range(self):
+        g = generate_dblp(
+            n_authors=30, n_papers=40, n_venues=4, seed=5, weight_range=(0.2, 0.8)
+        )
+        weights = [e.weight for e in g.edges()]
+        assert all(0.2 <= w <= 0.8 for w in weights)
+
+    def test_venue_popularity_skewed(self):
+        g = generate_dblp(n_authors=200, n_papers=2000, n_venues=20, seed=6)
+        in_degrees = sorted(
+            (g.in_degree(v, "publishAt") for v in g.vertices_with_label("Venue")),
+            reverse=True,
+        )
+        assert in_degrees[0] > 3 * in_degrees[-1]
+
+    def test_invalid_counts(self):
+        with pytest.raises(DatasetError):
+            generate_dblp(n_authors=0)
+
+
+def test_tiny_dblp_is_small():
+    g = tiny_dblp()
+    assert g.num_vertices() < 500
+    assert g.schema.has_edge_type("authorBy")

@@ -1,0 +1,90 @@
+"""Unit + integration tests for the IMDB-like generator."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.core.extractor import GraphExtractor
+from repro.datasets.imdb import (
+    COSTAR,
+    DIRECTOR_ACTOR,
+    SAME_GENRE_ACTORS,
+    generate_imdb,
+    imdb_schema,
+    tiny_imdb,
+)
+from repro.errors import DatasetError
+
+
+class TestSchema:
+    def test_labels_and_types(self):
+        schema = imdb_schema()
+        assert schema.vertex_labels == frozenset(
+            {"Actor", "Movie", "Director", "Genre"}
+        )
+        assert schema.has_edge_type("actsIn", "Actor", "Movie")
+        assert schema.has_edge_type("directs", "Director", "Movie")
+        assert schema.has_edge_type("hasGenre", "Movie", "Genre")
+
+    def test_builtin_patterns_validate(self):
+        schema = imdb_schema()
+        for pattern in (COSTAR, DIRECTOR_ACTOR, SAME_GENRE_ACTORS):
+            pattern.validate_against(schema)
+        assert COSTAR.is_symmetric()
+        assert SAME_GENRE_ACTORS.is_symmetric()
+
+
+class TestGenerate:
+    def test_vertex_counts(self):
+        g = generate_imdb(
+            n_actors=50, n_movies=40, n_directors=8, n_genres=5, seed=1
+        )
+        assert g.count_label("Actor") == 50
+        assert g.count_label("Movie") == 40
+        assert g.count_label("Director") == 8
+        assert g.count_label("Genre") == 5
+
+    def test_every_movie_has_one_director(self):
+        g = tiny_imdb()
+        for movie in g.vertices_with_label("Movie"):
+            assert g.in_degree(movie, "directs") == 1
+
+    def test_genre_cap(self):
+        g = tiny_imdb()
+        assert all(
+            g.out_degree(m, "hasGenre") <= 3
+            for m in g.vertices_with_label("Movie")
+        )
+
+    def test_deterministic(self):
+        a = generate_imdb(n_actors=30, n_movies=25, n_directors=5, n_genres=4, seed=9)
+        b = generate_imdb(n_actors=30, n_movies=25, n_directors=5, n_genres=4, seed=9)
+        assert sorted((e.src, e.dst, e.label) for e in a.edges()) == sorted(
+            (e.src, e.dst, e.label) for e in b.edges()
+        )
+
+    def test_invalid_counts(self):
+        with pytest.raises(DatasetError):
+            generate_imdb(n_genres=0)
+
+
+class TestExtractionOnImdb:
+    @pytest.mark.parametrize(
+        "pattern", [COSTAR, DIRECTOR_ACTOR, SAME_GENRE_ACTORS]
+    )
+    def test_matches_oracle(self, pattern):
+        graph = tiny_imdb()
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        result = GraphExtractor(graph, num_workers=3).extract(pattern)
+        assert result.graph.equals(oracle.graph)
+
+    def test_costar_self_loops_exist(self):
+        """Non-simple semantics: every actor with a movie co-stars with
+        themselves."""
+        graph = tiny_imdb()
+        result = GraphExtractor(graph).extract(COSTAR)
+        actors_with_movies = [
+            a for a in graph.vertices_with_label("Actor")
+            if graph.out_degree(a, "actsIn") > 0
+        ]
+        assert all(result.graph.has_edge(a, a) for a in actors_with_movies)

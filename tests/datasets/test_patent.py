@@ -1,0 +1,57 @@
+"""Unit tests for the patent-like generator."""
+
+import pytest
+
+from repro.datasets.patent import generate_patent, patent_schema, tiny_patent
+from repro.errors import DatasetError
+
+
+class TestSchema:
+    def test_labels_and_types(self):
+        schema = patent_schema()
+        assert schema.vertex_labels == frozenset(
+            {"Inventor", "Patent", "Location", "Category"}
+        )
+        assert schema.has_edge_type("invents", "Inventor", "Patent")
+        assert schema.has_edge_type("citeBy", "Patent", "Patent")
+        assert schema.has_edge_type("locatedAt", "Patent", "Location")
+        assert schema.has_edge_type("belongTo", "Patent", "Category")
+
+
+class TestGenerate:
+    def test_vertex_counts(self):
+        g = generate_patent(
+            n_inventors=60, n_patents=100, n_locations=8, n_categories=5, seed=1
+        )
+        assert g.count_label("Inventor") == 60
+        assert g.count_label("Patent") == 100
+        assert g.count_label("Location") == 8
+        assert g.count_label("Category") == 5
+
+    def test_every_patent_located_and_categorised(self):
+        g = generate_patent(
+            n_inventors=40, n_patents=70, n_locations=6, n_categories=4, seed=2
+        )
+        for patent in g.vertices_with_label("Patent"):
+            assert g.out_degree(patent, "locatedAt") == 1
+            assert g.out_degree(patent, "belongTo") == 1
+
+    def test_deterministic(self):
+        kwargs = dict(
+            n_inventors=30, n_patents=50, n_locations=5, n_categories=3, seed=4
+        )
+        a = generate_patent(**kwargs)
+        b = generate_patent(**kwargs)
+        assert sorted((e.src, e.dst, e.label) for e in a.edges()) == sorted(
+            (e.src, e.dst, e.label) for e in b.edges()
+        )
+
+    def test_invalid_counts(self):
+        with pytest.raises(DatasetError):
+            generate_patent(n_locations=0)
+
+
+def test_tiny_patent_is_small():
+    g = tiny_patent()
+    assert g.num_vertices() < 400
+    assert g.schema.has_edge_type("invents")

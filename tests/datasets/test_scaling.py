@@ -1,0 +1,90 @@
+"""Unit tests for the dataset scaling (Fig. 10(b) methodology)."""
+
+import pytest
+
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.scaling import (
+    augment_with_clones,
+    sample_induced,
+    scale_graph,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_dblp(n_authors=200, n_papers=300, n_venues=20, seed=13)
+
+
+class TestSampleInduced:
+    def test_per_label_fraction(self, base):
+        sampled = sample_induced(base, 0.5, seed=1)
+        assert sampled.count_label("Author") == 100
+        assert sampled.count_label("Paper") == 150
+        assert sampled.count_label("Venue") == 10
+
+    def test_edges_are_induced(self, base):
+        sampled = sample_induced(base, 0.4, seed=2)
+        for edge in sampled.edges():
+            assert sampled.has_vertex(edge.src)
+            assert sampled.has_vertex(edge.dst)
+        assert sampled.num_edges() <= base.num_edges()
+
+    def test_full_fraction_keeps_everything(self, base):
+        sampled = sample_induced(base, 1.0, seed=3)
+        assert sampled.num_vertices() == base.num_vertices()
+        assert sampled.num_edges() == base.num_edges()
+
+    def test_invalid_fraction(self, base):
+        with pytest.raises(DatasetError):
+            sample_induced(base, 0.0)
+        with pytest.raises(DatasetError):
+            sample_induced(base, 1.5)
+
+
+class TestAugmentWithClones:
+    def test_adds_requested_clones(self, base):
+        grown = augment_with_clones(base, "Venue", 15, seed=4)
+        assert grown.count_label("Venue") == base.count_label("Venue") + 15
+        assert grown.count_label("Author") == base.count_label("Author")
+
+    def test_clones_copy_incident_edges(self, base):
+        grown = augment_with_clones(
+            base, "Venue", 10, seed=5, incident_edge_label="publishAt"
+        )
+        new_venues = set(grown.vertices_with_label("Venue")) - set(
+            base.vertices_with_label("Venue")
+        )
+        # at least one clone of a non-empty venue must carry edges
+        assert any(grown.in_degree(v, "publishAt") > 0 for v in new_venues)
+
+    def test_zero_extra_is_copy(self, base):
+        same = augment_with_clones(base, "Venue", 0, seed=6)
+        assert same.num_vertices() == base.num_vertices()
+        assert same.num_edges() == base.num_edges()
+
+    def test_unknown_label_rejected(self, base):
+        with pytest.raises(DatasetError):
+            augment_with_clones(base, "Ghost", 5)
+
+
+class TestScaleGraph:
+    def test_downscale_uses_sampling(self, base):
+        small = scale_graph(base, 0.5, clone_label="Venue", seed=7)
+        assert small.num_vertices() == pytest.approx(
+            base.num_vertices() * 0.5, rel=0.05
+        )
+
+    def test_upscale_uses_cloning(self, base):
+        big = scale_graph(base, 1.5, clone_label="Venue", seed=8)
+        assert big.num_vertices() == pytest.approx(
+            base.num_vertices() * 1.5, rel=0.05
+        )
+        assert big.count_label("Author") == base.count_label("Author")
+
+    def test_factor_one_is_identity(self, base):
+        assert scale_graph(base, 1.0, clone_label="Venue") is base
+
+    def test_invalid_factor(self, base):
+        with pytest.raises(DatasetError):
+            scale_graph(base, -1.0, clone_label="Venue")

@@ -1,0 +1,198 @@
+"""Unit tests for repro.engine.bsp: superstep semantics, halting, metrics."""
+
+import pytest
+
+from repro.engine.bsp import BSPEngine, ComputeContext, VertexProgram
+from repro.errors import EngineError
+
+
+class EchoChain(VertexProgram):
+    """Each vertex i forwards a token to vertex i+1 for a fixed number of
+    hops; verifies message delivery order and superstep alignment."""
+
+    def __init__(self, hops, n):
+        self.hops = hops
+        self.n = n
+        self.seen = {}
+
+    def num_supersteps(self):
+        return self.hops + 1
+
+    def compute(self, ctx):
+        if ctx.superstep == 0 and ctx.vid == 0:
+            ctx.send(1, ("token", 1))
+            return
+        for token, hop in ctx.messages:
+            self.seen.setdefault(ctx.vid, []).append((ctx.superstep, hop))
+            if hop < self.hops:
+                ctx.send((ctx.vid + 1) % self.n, (token, hop + 1))
+
+    def finish(self, states, metrics):
+        return self.seen
+
+
+class TestMessageDelivery:
+    def test_one_superstep_per_hop(self):
+        engine = BSPEngine(list(range(5)), num_workers=2)
+        seen = engine.run(EchoChain(hops=3, n=5))
+        # vertex k receives the token at superstep k with hop count k
+        assert seen == {1: [(1, 1)], 2: [(2, 2)], 3: [(3, 3)]}
+
+    def test_messages_not_delivered_same_superstep(self):
+        class SameStep(VertexProgram):
+            def __init__(self):
+                self.got_early = False
+
+            def num_supersteps(self):
+                return 1
+
+            def compute(self, ctx):
+                if ctx.messages:
+                    self.got_early = True
+                ctx.send(ctx.vid, "x")
+
+        program = SameStep()
+        BSPEngine([1, 2], num_workers=1).run(program)
+        assert not program.got_early
+
+
+class TestQuiescence:
+    def test_stops_when_no_messages(self):
+        class Quiet(VertexProgram):
+            def compute(self, ctx):
+                if ctx.superstep == 0 and ctx.vid == 0:
+                    ctx.send(1, "ping")
+
+        engine = BSPEngine([0, 1], num_workers=1)
+        engine.run(Quiet())
+        # superstep 0 sends, superstep 1 consumes, superstep 2 sees nothing
+        assert engine.last_metrics.num_supersteps == 2
+
+    def test_runaway_program_raises(self):
+        class Chatty(VertexProgram):
+            def compute(self, ctx):
+                ctx.send(ctx.vid, "again")
+
+        engine = BSPEngine([0], num_workers=1, max_supersteps=10)
+        with pytest.raises(EngineError, match="quiesce"):
+            engine.run(Chatty())
+
+    def test_planned_run_exceeding_bound_raises(self):
+        class Long(VertexProgram):
+            def num_supersteps(self):
+                return 100
+
+            def compute(self, ctx):
+                pass
+
+        engine = BSPEngine([0], num_workers=1, max_supersteps=10)
+        with pytest.raises(EngineError, match="exceeding"):
+            engine.run(Long())
+
+
+class TestState:
+    def test_state_persists_across_supersteps(self):
+        class Counter(VertexProgram):
+            def num_supersteps(self):
+                return 3
+
+            def compute(self, ctx):
+                state = ctx.state()
+                state["count"] = state.get("count", 0) + 1
+
+            def finish(self, states, metrics):
+                return {vid: s["count"] for vid, s in states.items()}
+
+        result = BSPEngine([1, 2], num_workers=2).run(Counter())
+        assert result == {1: 3, 2: 3}
+
+
+class TestAccounting:
+    def test_vertex_scans_counted(self):
+        class Noop(VertexProgram):
+            def num_supersteps(self):
+                return 2
+
+            def compute(self, ctx):
+                pass
+
+        engine = BSPEngine(list(range(10)), num_workers=2)
+        engine.run(Noop())
+        metrics = engine.last_metrics
+        assert metrics.num_supersteps == 2
+        assert metrics.total_work == 20  # one scan per vertex per superstep
+
+    def test_explicit_work_charged_to_owner(self):
+        class Worker0Heavy(VertexProgram):
+            def num_supersteps(self):
+                return 1
+
+            def compute(self, ctx):
+                if ctx.vid == 0:
+                    ctx.add_work(100)
+
+        engine = BSPEngine([0, 1], num_workers=2)
+        engine.run(Worker0Heavy())
+        work = engine.last_metrics.supersteps[0].work_per_worker
+        assert work[0] == 101  # scan + explicit
+        assert work[1] == 1
+
+    def test_message_counts(self):
+        class Sender(VertexProgram):
+            def num_supersteps(self):
+                return 1
+
+            def compute(self, ctx):
+                ctx.send(0, "m")
+                ctx.send(1, "m")
+
+        engine = BSPEngine([0, 1, 2], num_workers=1)
+        engine.run(Sender())
+        assert engine.last_metrics.total_messages == 6
+
+    def test_counters_via_context(self):
+        class Counting(VertexProgram):
+            def num_supersteps(self):
+                return 1
+
+            def compute(self, ctx):
+                ctx.add_counter("things", 2)
+
+        engine = BSPEngine([0, 1], num_workers=1)
+        engine.run(Counting())
+        assert engine.last_metrics.counters["things"] == 4
+
+
+class TestCombiner:
+    def test_combiner_merges_per_destination(self):
+        class SumCombine(VertexProgram):
+            def __init__(self):
+                self.received = {}
+
+            def num_supersteps(self):
+                return 2
+
+            def combiner(self):
+                return lambda vid, msgs: [sum(msgs)]
+
+            def compute(self, ctx):
+                if ctx.superstep == 0:
+                    ctx.send(0, 1)
+                    ctx.send(0, 2)
+                else:
+                    if ctx.messages:
+                        self.received[ctx.vid] = list(ctx.messages)
+
+        program = SumCombine()
+        BSPEngine([0, 1], num_workers=1).run(program)
+        assert program.received == {0: [6]}  # (1+2) from each of two vertices
+
+
+class TestConfiguration:
+    def test_invalid_max_supersteps(self):
+        with pytest.raises(EngineError):
+            BSPEngine([1], num_workers=1, max_supersteps=0)
+
+    def test_partitions_exposed(self):
+        engine = BSPEngine(list(range(6)), num_workers=3)
+        assert sorted(v for part in engine.partitions for v in part) == list(range(6))

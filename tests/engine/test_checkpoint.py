@@ -1,0 +1,169 @@
+"""Tests for checkpoint/recovery (Pregel-style fault tolerance)."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.evaluator import run_extraction
+from repro.core.planner import iter_opt_plan
+from repro.engine.bsp import BSPEngine, VertexProgram
+from repro.engine.checkpoint import (
+    FileCheckpointStore,
+    InMemoryCheckpointStore,
+    RecoverableBSPEngine,
+)
+from repro.errors import EngineError
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import COAUTHOR_EXPECTED, build_scholarly
+
+
+class Accumulator(VertexProgram):
+    """Each vertex accumulates its messages; vertex 0 seeds a wave.  An
+    optional crash is armed for one specific (attempt, superstep)."""
+
+    def __init__(self, steps=4, crash_at=None):
+        self.steps = steps
+        self.crash_at = crash_at
+        self.attempt = 0
+
+    def num_supersteps(self):
+        return self.steps
+
+    def compute(self, ctx):
+        if self.crash_at is not None and ctx.superstep == self.crash_at:
+            self.crash_at = None  # only crash once
+            raise RuntimeError("injected failure")
+        state = ctx.state()
+        state["total"] = state.get("total", 0) + sum(ctx.messages)
+        ctx.send((ctx.vid + 1) % 4, 1)
+
+    def finish(self, states, metrics):
+        return {vid: s.get("total", 0) for vid, s in states.items()}
+
+
+class TestStores:
+    def test_in_memory_roundtrip(self):
+        store = InMemoryCheckpointStore()
+        assert store.latest() is None
+        from repro.engine.metrics import RunMetrics
+
+        store.save(2, {1: {"x": 1}}, {1: [5]}, RunMetrics(num_workers=1))
+        assert store.latest() == 2
+        states, inbox, metrics, globals_ = store.load(2)
+        assert globals_ == {}
+        assert states == {1: {"x": 1}}
+        assert inbox == {1: [5]}
+
+    def test_in_memory_snapshots_are_isolated(self):
+        from repro.engine.metrics import RunMetrics
+
+        store = InMemoryCheckpointStore()
+        states = {1: {"x": 1}}
+        store.save(0, states, {}, RunMetrics(num_workers=1))
+        states[1]["x"] = 99  # mutate after saving
+        loaded, _, _, _ = store.load(0)
+        assert loaded[1]["x"] == 1
+
+    def test_missing_checkpoint_raises(self):
+        with pytest.raises(EngineError):
+            InMemoryCheckpointStore().load(7)
+
+    def test_file_store_roundtrip(self, tmp_path):
+        from repro.engine.metrics import RunMetrics
+
+        store = FileCheckpointStore(tmp_path / "ckpt")
+        store.save(
+            0,
+            {1: {"a": (1, 2)}},
+            {2: [(0, 1, 2.0)]},
+            RunMetrics(num_workers=2),
+            {"delta": 0.5},
+        )
+        store.save(3, {}, {}, RunMetrics(num_workers=2))
+        assert store.latest() == 3
+        states, inbox, _, globals_ = store.load(0)
+        assert globals_ == {"delta": 0.5}
+        assert states == {1: {"a": (1, 2)}}
+        assert inbox == {2: [(0, 1, 2.0)]}
+        store.clear()
+        assert store.latest() is None
+
+
+class TestRecovery:
+    def test_result_identical_to_plain_engine(self):
+        plain = BSPEngine(list(range(4)), num_workers=2).run(Accumulator())
+        recoverable = RecoverableBSPEngine(list(range(4)), num_workers=2).run(
+            Accumulator()
+        )
+        assert recoverable == plain
+
+    def test_crash_then_resume_gives_same_result(self):
+        expected = BSPEngine(list(range(4)), num_workers=2).run(Accumulator())
+        engine = RecoverableBSPEngine(list(range(4)), num_workers=2)
+        program = Accumulator(crash_at=2)
+        with pytest.raises(RuntimeError, match="injected"):
+            engine.run(program)
+        result = engine.run(program, resume=True)
+        assert result == expected
+
+    def test_no_metric_double_counting_after_resume(self):
+        engine = RecoverableBSPEngine(list(range(4)), num_workers=2)
+        program = Accumulator(crash_at=2)
+        with pytest.raises(RuntimeError):
+            engine.run(program)
+        engine.run(program, resume=True)
+        # 4 planned supersteps; superstep 2 was replayed once, counted once
+        assert engine.last_metrics.num_supersteps == 4
+        assert [s.superstep for s in engine.last_metrics.supersteps] == [0, 1, 2, 3]
+
+    def test_checkpoint_every_respected(self):
+        store = InMemoryCheckpointStore()
+        engine = RecoverableBSPEngine(
+            list(range(4)), num_workers=1, checkpoint_every=2, store=store
+        )
+        engine.run(Accumulator(steps=5))
+        assert sorted(store._snapshots) == [0, 2, 4]
+
+    def test_resume_without_checkpoint_raises(self):
+        engine = RecoverableBSPEngine([0], num_workers=1)
+        with pytest.raises(EngineError, match="no checkpoint"):
+            engine.run(Accumulator(), resume=True)
+
+    def test_invalid_checkpoint_every(self):
+        with pytest.raises(EngineError):
+            RecoverableBSPEngine([0], checkpoint_every=0)
+
+
+class TestExtractionRecovery:
+    def test_extraction_survives_midrun_crash(self, tmp_path):
+        """An extraction interrupted mid-plan resumes from the file store
+        and produces the exact expected co-author graph."""
+        graph = build_scholarly()
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        plan = iter_opt_plan(pattern)
+        expected = run_extraction(graph, pattern, plan, library.path_count())
+
+        from repro.core.evaluator import PathConcatenationProgram
+
+        class CrashyProgram(PathConcatenationProgram):
+            crashed = False
+
+            def compute(self, ctx):
+                if not CrashyProgram.crashed and ctx.superstep == 1:
+                    CrashyProgram.crashed = True
+                    raise RuntimeError("node died")
+                super().compute(ctx)
+
+        program = CrashyProgram(graph, pattern, plan, library.path_count())
+        engine = RecoverableBSPEngine(
+            list(graph.vertices()),
+            num_workers=3,
+            store=FileCheckpointStore(tmp_path / "ckpt"),
+        )
+        with pytest.raises(RuntimeError, match="node died"):
+            engine.run(program)
+        extracted = engine.run(program, resume=True)
+        assert extracted.equals(expected.graph)

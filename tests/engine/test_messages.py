@@ -1,0 +1,44 @@
+"""Unit tests for repro.engine.messages."""
+
+from repro.engine.messages import Mailbox
+
+
+class TestMailbox:
+    def test_send_and_deliver(self):
+        box = Mailbox()
+        box.send(1, "a")
+        box.send(1, "b")
+        box.send(2, "c")
+        assert box.sent_count == 3
+        inbox = box.deliver()
+        assert inbox == {1: ["a", "b"], 2: ["c"]}
+
+    def test_deliver_resets(self):
+        box = Mailbox()
+        box.send(1, "a")
+        box.deliver()
+        assert box.is_empty()
+        assert box.sent_count == 0
+        assert box.deliver() == {}
+
+    def test_send_many(self):
+        box = Mailbox()
+        box.send_many(1, ["a", "b"])
+        box.send(1, "c")
+        box.send_many(1, [])
+        assert box.sent_count == 3
+        assert box.deliver() == {1: ["a", "b", "c"]}
+
+    def test_combiner_applied_per_destination(self):
+        box = Mailbox()
+        box.send(1, 2)
+        box.send(1, 3)
+        box.send(2, 5)
+        inbox = box.deliver(combiner=lambda vid, msgs: [sum(msgs)])
+        assert inbox == {1: [5], 2: [5]}
+
+    def test_is_empty(self):
+        box = Mailbox()
+        assert box.is_empty()
+        box.send(1, "x")
+        assert not box.is_empty()

@@ -1,0 +1,66 @@
+"""Unit tests for repro.engine.metrics."""
+
+from repro.engine.metrics import RunMetrics, SuperstepMetrics
+
+
+def make_run():
+    metrics = RunMetrics(num_workers=2)
+    metrics.supersteps.append(
+        SuperstepMetrics(superstep=0, work_per_worker=[10, 30], messages_sent=5)
+    )
+    metrics.supersteps.append(
+        SuperstepMetrics(superstep=1, work_per_worker=[20, 20], messages_sent=7)
+    )
+    return metrics
+
+
+class TestSuperstepMetrics:
+    def test_totals(self):
+        step = SuperstepMetrics(superstep=0, work_per_worker=[3, 7])
+        assert step.total_work == 10
+        assert step.makespan == 7
+
+    def test_empty_workers(self):
+        step = SuperstepMetrics(superstep=0, work_per_worker=[])
+        assert step.makespan == 0
+
+
+class TestRunMetrics:
+    def test_aggregates(self):
+        metrics = make_run()
+        assert metrics.num_supersteps == 2
+        assert metrics.total_work == 80
+        assert metrics.total_messages == 12
+
+    def test_simulated_parallel_time(self):
+        metrics = make_run()
+        # makespans 30 + 20, plus overhead per superstep
+        assert metrics.simulated_parallel_time() == 50
+        assert metrics.simulated_parallel_time(superstep_overhead=5) == 60
+
+    def test_counters(self):
+        metrics = make_run()
+        metrics.add_counter("paths", 3)
+        metrics.add_counter("paths", 4)
+        assert metrics.counters["paths"] == 7
+
+    def test_worker_imbalance(self):
+        metrics = make_run()
+        # step 0: max 30 / avg 20 = 1.5; step 1: 20/20 = 1.0
+        assert abs(metrics.worker_imbalance() - 1.25) < 1e-9
+
+    def test_imbalance_skips_empty_steps(self):
+        metrics = RunMetrics(num_workers=2)
+        metrics.supersteps.append(
+            SuperstepMetrics(superstep=0, work_per_worker=[0, 0])
+        )
+        assert metrics.worker_imbalance() == 1.0
+
+    def test_summary_keys(self):
+        metrics = make_run()
+        metrics.add_counter("intermediate_paths", 11)
+        summary = metrics.summary()
+        assert summary["workers"] == 2
+        assert summary["supersteps"] == 2
+        assert summary["total_work"] == 80
+        assert summary["intermediate_paths"] == 11

@@ -1,0 +1,109 @@
+"""Unit tests for the threaded BSP executor."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.evaluator import run_extraction
+from repro.core.planner import iter_opt_plan
+from repro.engine.bsp import BSPEngine, VertexProgram
+from repro.engine.parallel import ThreadedBSPEngine
+from repro.errors import EngineError
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import COAUTHOR_EXPECTED, build_scholarly
+
+
+class AddCounter(VertexProgram):
+    def num_supersteps(self):
+        return 2
+
+    def compute(self, ctx):
+        ctx.add_counter("ticks")
+        ctx.add_work(1)
+        if ctx.superstep == 0:
+            ctx.send(ctx.vid, ctx.vid)
+
+    def finish(self, states, metrics):
+        return metrics
+
+
+class TestThreadedEngine:
+    def test_counters_and_work_merged(self):
+        engine = ThreadedBSPEngine(list(range(10)), num_workers=3)
+        metrics = engine.run(AddCounter())
+        assert metrics.counters["ticks"] == 20
+        assert metrics.total_work == 40  # scan + explicit per vertex per step
+        assert metrics.total_messages == 10
+
+    def test_matches_serial_engine(self):
+        serial = BSPEngine(list(range(10)), num_workers=3).run(AddCounter())
+        threaded = ThreadedBSPEngine(list(range(10)), num_workers=3).run(
+            AddCounter()
+        )
+        assert threaded.counters == serial.counters
+        assert threaded.total_messages == serial.total_messages
+        assert threaded.total_work == serial.total_work
+
+    def test_worker_exception_propagates(self):
+        class Boom(VertexProgram):
+            def num_supersteps(self):
+                return 1
+
+            def compute(self, ctx):
+                raise ValueError("worker crash")
+
+        engine = ThreadedBSPEngine([1, 2], num_workers=2)
+        with pytest.raises(ValueError, match="worker crash"):
+            engine.run(Boom())
+
+    def test_quiescence_halting(self):
+        class Quiet(VertexProgram):
+            def compute(self, ctx):
+                if ctx.superstep == 0 and ctx.vid == 0:
+                    ctx.send(1, "ping")
+
+        engine = ThreadedBSPEngine([0, 1], num_workers=2)
+        engine.run(Quiet())
+        assert engine.last_metrics.num_supersteps == 2
+
+    def test_runaway_raises(self):
+        class Chatty(VertexProgram):
+            def compute(self, ctx):
+                ctx.send(ctx.vid, "again")
+
+        engine = ThreadedBSPEngine([0], num_workers=1, max_supersteps=5)
+        with pytest.raises(EngineError, match="quiesce"):
+            engine.run(Chatty())
+
+
+class TestThreadedExtraction:
+    def test_extraction_matches_serial(self):
+        graph = build_scholarly()
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        plan = iter_opt_plan(pattern)
+        engine = ThreadedBSPEngine(list(graph.vertices()), num_workers=4)
+        result = run_extraction(
+            graph, pattern, plan, library.path_count(), engine=engine
+        )
+        assert dict(result.graph.edges) == COAUTHOR_EXPECTED
+
+    def test_length4_pattern_with_combiner(self):
+        graph = build_scholarly()
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        plan = iter_opt_plan(pattern)
+        serial = run_extraction(graph, pattern, plan, library.path_count())
+        engine = ThreadedBSPEngine(list(graph.vertices()), num_workers=3)
+        threaded = run_extraction(
+            graph,
+            pattern,
+            plan,
+            library.path_count(),
+            use_combiner=True,
+            engine=engine,
+        )
+        assert threaded.graph.equals(serial.graph)

@@ -1,0 +1,94 @@
+"""Unit tests for vertex filters (attribute predicates on patterns)."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.graph.filters import VertexFilter, normalize_filters
+from repro.graph.pattern import LinePattern
+
+
+class TestVertexFilter:
+    @pytest.mark.parametrize(
+        "op,value,attrs,expected",
+        [
+            ("eq", 5, {"x": 5}, True),
+            ("eq", 5, {"x": 6}, False),
+            ("ne", 5, {"x": 6}, True),
+            ("lt", 5, {"x": 4}, True),
+            ("le", 5, {"x": 5}, True),
+            ("gt", 5, {"x": 5}, False),
+            ("ge", 5, {"x": 5}, True),
+            ("in", (1, 2, 3), {"x": 2}, True),
+            ("in", (1, 2, 3), {"x": 9}, False),
+        ],
+    )
+    def test_operators(self, op, value, attrs, expected):
+        assert VertexFilter("x", op, value).matches(attrs) is expected
+
+    def test_missing_attribute_never_matches(self):
+        assert not VertexFilter("x", "eq", 1).matches({})
+        assert not VertexFilter("x", "ne", 1).matches({})
+
+    def test_type_error_means_no_match(self):
+        assert not VertexFilter("x", "lt", 5).matches({"x": "not-a-number"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PatternError, match="operator"):
+            VertexFilter("x", "like", "%a%")
+
+
+class TestNormalizeFilters:
+    def test_sorted_tuple(self):
+        f1, f2 = VertexFilter("a", "eq", 1), VertexFilter("b", "eq", 2)
+        normalized = normalize_filters({2: f2, 0: f1}, length=2)
+        assert normalized == ((0, f1), (2, f2))
+
+    def test_out_of_range_position(self):
+        with pytest.raises(PatternError, match="position"):
+            normalize_filters({3: VertexFilter("a", "eq", 1)}, length=2)
+
+    def test_non_filter_rejected(self):
+        with pytest.raises(PatternError, match="VertexFilter"):
+            normalize_filters({0: lambda a: True}, length=2)
+
+
+class TestPatternIntegration:
+    @pytest.fixture
+    def pattern(self):
+        return LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+
+    def test_with_filter(self, pattern):
+        recent = VertexFilter("year", "ge", 2010)
+        filtered = pattern.with_filter(1, recent)
+        assert filtered.has_filters
+        assert filtered.filter_at(1) == recent
+        assert filtered.filter_at(0) is None
+        assert not pattern.has_filters  # original untouched
+
+    def test_filters_part_of_identity(self, pattern):
+        filtered = pattern.with_filter(1, VertexFilter("year", "ge", 2010))
+        assert filtered != pattern
+        assert hash(filtered) != hash(pattern)
+        again = pattern.with_filter(1, VertexFilter("year", "ge", 2010))
+        assert filtered == again
+
+    def test_with_filter_replaces(self, pattern):
+        a = pattern.with_filter(1, VertexFilter("year", "ge", 2010))
+        b = a.with_filter(1, VertexFilter("year", "ge", 2015))
+        assert b.filter_at(1) == VertexFilter("year", "ge", 2015)
+        assert len(b.filters) == 1
+
+    def test_reversed_mirrors_positions(self, pattern):
+        filtered = pattern.with_filter(0, VertexFilter("h", "gt", 10))
+        mirrored = filtered.reversed()
+        assert mirrored.filter_at(2) == VertexFilter("h", "gt", 10)
+        assert mirrored.filter_at(0) is None
+
+    def test_segment_keeps_inner_filters(self):
+        pattern = LinePattern.parse(
+            "A -[x]-> B <-[y]- C -[z]-> D"
+        ).with_filter(2, VertexFilter("k", "eq", 1))
+        seg = pattern.segment(1, 3)
+        assert seg.filter_at(1) == VertexFilter("k", "eq", 1)
+        outside = pattern.segment(0, 1)
+        assert not outside.has_filters

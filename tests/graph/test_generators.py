@@ -1,0 +1,119 @@
+"""Unit tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.generators import (
+    add_label_block,
+    attach_edges,
+    random_hetgraph,
+    zipf_weights,
+)
+from repro.graph.hetgraph import HeterogeneousGraph
+
+
+class TestZipfWeights:
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        w = zipf_weights(100, 0.8, rng)
+        assert w.shape == (100,)
+        assert abs(w.sum() - 1.0) < 1e-9
+
+    def test_zero_skew_uniform(self):
+        rng = np.random.default_rng(0)
+        w = zipf_weights(10, 0.0, rng)
+        assert np.allclose(w, 0.1)
+
+    def test_higher_skew_more_concentrated(self):
+        rng = np.random.default_rng(0)
+        flat = np.sort(zipf_weights(50, 0.2, rng))[::-1]
+        steep = np.sort(zipf_weights(50, 1.5, rng))[::-1]
+        assert steep[0] > flat[0]
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            zipf_weights(0, 0.5, rng)
+        with pytest.raises(DatasetError):
+            zipf_weights(10, -1.0, rng)
+
+
+class TestAddLabelBlock:
+    def test_ids_are_consecutive(self):
+        g = HeterogeneousGraph()
+        ids = add_label_block(g, "A", 5, 10)
+        assert ids == [10, 11, 12, 13, 14]
+        assert g.count_label("A") == 5
+
+    def test_negative_count(self):
+        with pytest.raises(DatasetError):
+            add_label_block(HeterogeneousGraph(), "A", -1, 0)
+
+
+class TestAttachEdges:
+    def test_mean_degree_respected(self):
+        g = HeterogeneousGraph()
+        src = add_label_block(g, "A", 500, 0)
+        dst = add_label_block(g, "B", 100, 500)
+        rng = np.random.default_rng(1)
+        added = attach_edges(g, src, dst, "rel", 3.0, rng)
+        assert added == g.num_edges()
+        assert 2.5 < added / len(src) < 3.5  # Poisson(3) mean
+
+    def test_max_out_degree_cap(self):
+        g = HeterogeneousGraph()
+        src = add_label_block(g, "A", 200, 0)
+        dst = add_label_block(g, "B", 50, 200)
+        rng = np.random.default_rng(2)
+        attach_edges(g, src, dst, "rel", 5.0, rng, max_out_degree=2)
+        assert all(g.out_degree(v, "rel") <= 2 for v in src)
+
+    def test_weight_range(self):
+        g = HeterogeneousGraph()
+        src = add_label_block(g, "A", 50, 0)
+        dst = add_label_block(g, "B", 10, 50)
+        rng = np.random.default_rng(3)
+        attach_edges(g, src, dst, "rel", 2.0, rng, weight_range=(0.1, 0.9))
+        weights = [e.weight for e in g.edges()]
+        assert weights and all(0.1 <= w <= 0.9 for w in weights)
+
+    def test_empty_endpoints_noop(self):
+        g = HeterogeneousGraph()
+        rng = np.random.default_rng(0)
+        assert attach_edges(g, [], [], "rel", 2.0, rng) == 0
+
+    def test_negative_mean_rejected(self):
+        g = HeterogeneousGraph()
+        src = add_label_block(g, "A", 1, 0)
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            attach_edges(g, src, src, "rel", -1.0, rng)
+
+
+class TestRandomHetgraph:
+    def test_declarative_build(self):
+        g = random_hetgraph({"A": 20, "B": 10}, [("A", "likes", "B", 2.0)], seed=7)
+        assert g.count_label("A") == 20
+        assert g.count_label("B") == 10
+        assert g.count_edge_label("likes") == g.num_edges()
+
+    def test_deterministic_under_seed(self):
+        spec = ({"A": 30, "B": 15}, [("A", "e", "B", 1.5)])
+        a = random_hetgraph(*spec, seed=5)
+        b = random_hetgraph(*spec, seed=5)
+        assert sorted((e.src, e.dst) for e in a.edges()) == sorted(
+            (e.src, e.dst) for e in b.edges()
+        )
+
+    def test_different_seed_differs(self):
+        spec = ({"A": 30, "B": 15}, [("A", "e", "B", 1.5)])
+        a = random_hetgraph(*spec, seed=5)
+        b = random_hetgraph(*spec, seed=6)
+        assert sorted((e.src, e.dst) for e in a.edges()) != sorted(
+            (e.src, e.dst) for e in b.edges()
+        )
+
+    def test_undeclared_label_rejected(self):
+        with pytest.raises(DatasetError):
+            random_hetgraph({"A": 5}, [("A", "e", "Z", 1.0)])

@@ -1,0 +1,119 @@
+"""Unit tests for repro.graph.hetgraph."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.graph.hetgraph import Edge, HeterogeneousGraph
+from repro.graph.schema import GraphSchema
+
+
+@pytest.fixture
+def simple():
+    g = HeterogeneousGraph()
+    g.add_vertex(1, "A")
+    g.add_vertex(2, "B")
+    g.add_vertex(3, "B")
+    g.add_edge(1, 2, "rel", weight=0.5)
+    g.add_edge(1, 3, "rel")
+    return g
+
+
+class TestVertices:
+    def test_counts(self, simple):
+        assert simple.num_vertices() == 3
+        assert len(simple) == 3
+        assert simple.count_label("A") == 1
+        assert simple.count_label("B") == 2
+        assert simple.count_label("missing") == 0
+
+    def test_membership_and_labels(self, simple):
+        assert simple.has_vertex(1)
+        assert 1 in simple
+        assert 99 not in simple
+        assert simple.label_of(2) == "B"
+        with pytest.raises(KeyError):
+            simple.label_of(99)
+
+    def test_vertices_with_label(self, simple):
+        assert list(simple.vertices_with_label("B")) == [2, 3]
+        assert list(simple.vertices_with_label("nope")) == []
+
+    def test_readd_same_label_is_noop(self, simple):
+        simple.add_vertex(1, "A")
+        assert simple.num_vertices() == 3
+
+    def test_readd_merges_attrs(self):
+        g = HeterogeneousGraph()
+        g.add_vertex(1, "A", {"x": 1})
+        g.add_vertex(1, "A", {"y": 2})
+        assert g.vertex_attrs(1) == {"x": 1, "y": 2}
+
+    def test_relabel_rejected(self, simple):
+        with pytest.raises(SchemaError, match="relabel"):
+            simple.add_vertex(1, "B")
+
+    def test_attrs_default_empty(self, simple):
+        assert simple.vertex_attrs(1) == {}
+
+
+class TestEdges:
+    def test_adjacency_both_directions(self, simple):
+        assert simple.out_edges(1, "rel") == [(2, 0.5), (3, 1.0)]
+        assert simple.in_edges(2, "rel") == [(1, 0.5)]
+        assert simple.out_edges(2, "rel") == ()
+        assert simple.in_edges(1, "rel") == ()
+
+    def test_unknown_label_adjacency_empty(self, simple):
+        assert simple.out_edges(1, "nope") == ()
+        assert simple.in_edges(1, "nope") == ()
+
+    def test_degrees(self, simple):
+        assert simple.out_degree(1) == 2
+        assert simple.out_degree(1, "rel") == 2
+        assert simple.in_degree(3, "rel") == 1
+        assert simple.out_degree(3) == 0
+
+    def test_parallel_edges_kept(self):
+        g = HeterogeneousGraph()
+        g.add_vertex(1, "A")
+        g.add_vertex(2, "B")
+        g.add_edge(1, 2, "rel")
+        g.add_edge(1, 2, "rel")
+        assert g.num_edges() == 2
+        assert len(g.out_edges(1, "rel")) == 2
+
+    def test_missing_endpoint_rejected(self, simple):
+        with pytest.raises(SchemaError, match="source"):
+            simple.add_edge(99, 1, "rel")
+        with pytest.raises(SchemaError, match="destination"):
+            simple.add_edge(1, 99, "rel")
+
+    def test_edge_iteration(self, simple):
+        edges = sorted(simple.edges(), key=lambda e: (e.src, e.dst))
+        assert edges == [Edge(1, 2, "rel", 0.5), Edge(1, 3, "rel", 1.0)]
+
+    def test_edge_label_counts(self, simple):
+        assert simple.count_edge_label("rel") == 2
+        assert simple.count_edge_label("nope") == 0
+        assert set(simple.edge_labels()) == {"rel"}
+
+
+class TestSchemaEnforcement:
+    def test_declared_schema_validates_vertices(self):
+        g = HeterogeneousGraph(GraphSchema(vertex_labels=["A"]))
+        g.add_vertex(1, "A")
+        with pytest.raises(SchemaError):
+            g.add_vertex(2, "B")
+
+    def test_declared_schema_validates_edges(self):
+        schema = GraphSchema(edge_types=[("e", "A", "B")])
+        g = HeterogeneousGraph(schema)
+        g.add_vertex(1, "A")
+        g.add_vertex(2, "B")
+        g.add_edge(1, 2, "e")
+        with pytest.raises(SchemaError):
+            g.add_edge(2, 1, "e")  # wrong direction
+
+    def test_inferred_schema_tracks_inserts(self, simple):
+        assert simple.schema.has_vertex_label("A")
+        assert simple.schema.has_edge_type("rel", "A", "B")

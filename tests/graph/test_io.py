@@ -1,0 +1,74 @@
+"""Unit tests for repro.graph.io."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.io import load_edgelist, load_json, save_edgelist, save_json
+
+from tests.conftest import build_scholarly
+
+
+def graphs_equal(a, b):
+    if sorted(a.vertices()) != sorted(b.vertices()):
+        return False
+    for vid in a.vertices():
+        if a.label_of(vid) != b.label_of(vid):
+            return False
+    edges_a = sorted((e.src, e.dst, e.label, e.weight) for e in a.edges())
+    edges_b = sorted((e.src, e.dst, e.label, e.weight) for e in b.edges())
+    return edges_a == edges_b
+
+
+class TestEdgelist:
+    def test_roundtrip(self, tmp_path):
+        g = build_scholarly()
+        path = tmp_path / "g.txt"
+        save_edgelist(g, path)
+        assert graphs_equal(g, load_edgelist(path))
+
+    def test_weights_preserved(self, tmp_path):
+        g = build_scholarly()
+        g.add_edge(1, 11, "authorBy", weight=0.25)
+        path = tmp_path / "g.txt"
+        save_edgelist(g, path)
+        loaded = load_edgelist(path)
+        weights = [w for _, w in loaded.out_edges(1, "authorBy")]
+        assert 0.25 in weights
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\nV 1 A\nV 2 B\nE 1 2 rel\n")
+        g = load_edgelist(path)
+        assert g.num_vertices() == 2
+        assert g.num_edges() == 1
+
+    @pytest.mark.parametrize(
+        "line",
+        ["X 1 A", "V 1", "E 1 2", "E 1 2 rel 1.0 extra", "V one A"],
+    )
+    def test_malformed_line_raises(self, tmp_path, line):
+        path = tmp_path / "bad.txt"
+        path.write_text(line + "\n")
+        with pytest.raises(DatasetError):
+            load_edgelist(path)
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        g = build_scholarly()
+        path = tmp_path / "g.json"
+        save_json(g, path)
+        assert graphs_equal(g, load_json(path))
+
+    def test_attrs_roundtrip(self, tmp_path):
+        g = build_scholarly()
+        g.add_vertex(99, "Author", {"name": "knuth"})
+        path = tmp_path / "g.json"
+        save_json(g, path)
+        assert load_json(path).vertex_attrs(99) == {"name": "knuth"}
+
+    def test_malformed_document(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"vertices": [{"id": 1}]}')
+        with pytest.raises(DatasetError):
+            load_json(path)

@@ -1,0 +1,59 @@
+"""Unit tests for repro.graph.partition."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.graph.partition import HashPartitioner, RoundRobinPartitioner
+
+
+class TestHashPartitioner:
+    def test_worker_of_matches_split(self):
+        part = HashPartitioner(4)
+        vertices = list(range(100))
+        slices = part.split(vertices)
+        for worker, owned in enumerate(slices):
+            for vid in owned:
+                assert part.worker_of(vid) == worker
+
+    def test_split_covers_all_vertices(self):
+        part = HashPartitioner(3)
+        vertices = list(range(50))
+        slices = part.split(vertices)
+        assert sorted(v for s in slices for v in s) == vertices
+
+    def test_integer_ids_balanced(self):
+        """Consecutive integer ids hash to an even modulo spread."""
+        part = HashPartitioner(5)
+        slices = part.split(range(1000))
+        sizes = [len(s) for s in slices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_worker(self):
+        part = HashPartitioner(1)
+        assert part.split([1, 2, 3]) == [[1, 2, 3]]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(EngineError):
+            HashPartitioner(0)
+
+
+class TestRoundRobinPartitioner:
+    def test_fit_and_lookup(self):
+        part = RoundRobinPartitioner(3).fit([10, 20, 30, 40])
+        assert part.worker_of(10) == 0
+        assert part.worker_of(20) == 1
+        assert part.worker_of(30) == 2
+        assert part.worker_of(40) == 0
+
+    def test_unfitted_vertex_raises(self):
+        part = RoundRobinPartitioner(2).fit([1])
+        with pytest.raises(EngineError):
+            part.worker_of(2)
+
+    def test_split(self):
+        part = RoundRobinPartitioner(2).fit([1, 2, 3])
+        assert part.split([1, 2, 3]) == [[1, 3], [2]]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(EngineError):
+            RoundRobinPartitioner(-1)

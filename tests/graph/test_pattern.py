@@ -1,0 +1,150 @@
+"""Unit tests for repro.graph.pattern."""
+
+import pytest
+
+from repro.errors import PatternError, PatternMismatchError
+from repro.graph.pattern import Direction, LinePattern, PatternEdge
+from repro.graph.schema import GraphSchema
+
+
+class TestParsing:
+    def test_forward_and_backward(self):
+        p = LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+        assert p.vertex_labels == ("Author", "Paper", "Author")
+        assert p.edges[0] == PatternEdge("authorBy", Direction.FORWARD)
+        assert p.edges[1] == PatternEdge("authorBy", Direction.BACKWARD)
+        assert p.length == 2
+
+    def test_whitespace_tolerant(self):
+        p = LinePattern.parse("A   -[ e ]->   B")
+        assert p.vertex_labels == ("A", "B")
+        assert p.edges[0].label == "e"
+
+    def test_roundtrip_through_str(self):
+        text = "Venue <-[publishAt]- Paper <-[authorBy]- Author"
+        p = LinePattern.parse(text)
+        assert LinePattern.parse(str(p)) == p
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "Author",
+            "Author -[e]->",
+            "-[e]-> Paper",
+            "Author -e- Paper",
+            "Author -[e]-> -[f]-> Paper",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(PatternError):
+            LinePattern.parse(bad)
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PatternError):
+            LinePattern(["A", "B", "C"], [PatternEdge("e")])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(PatternError):
+            LinePattern(["A"], [])
+
+    def test_invalid_edge_rejected(self):
+        with pytest.raises(PatternError):
+            LinePattern(["A", "B"], ["not-an-edge"])
+
+    def test_chain(self):
+        p = LinePattern.chain("Patent", "citeBy", 5)
+        assert p.length == 5
+        assert set(p.vertex_labels) == {"Patent"}
+        assert all(e.label == "citeBy" for e in p.edges)
+
+    def test_chain_invalid_length(self):
+        with pytest.raises(PatternError):
+            LinePattern.chain("A", "e", 0)
+
+
+class TestAccessors:
+    def test_positions_and_slots(self):
+        p = LinePattern.parse("A -[x]-> B <-[y]- C")
+        assert p.start_label == "A"
+        assert p.end_label == "C"
+        assert p.label_at(1) == "B"
+        assert p.edge_slot(1).label == "x"
+        assert p.edge_slot(2).label == "y"
+        with pytest.raises(PatternError):
+            p.edge_slot(0)
+        with pytest.raises(PatternError):
+            p.edge_slot(3)
+
+    def test_segment(self):
+        p = LinePattern.parse("A -[x]-> B <-[y]- C -[z]-> D")
+        seg = p.segment(1, 3)
+        assert seg.vertex_labels == ("B", "C", "D")
+        assert [e.label for e in seg.edges] == ["y", "z"]
+
+    def test_segment_bounds(self):
+        p = LinePattern.parse("A -[x]-> B")
+        with pytest.raises(PatternError):
+            p.segment(0, 2)
+        with pytest.raises(PatternError):
+            p.segment(1, 1)
+
+
+class TestDerived:
+    def test_reversed_flips_labels_and_directions(self):
+        p = LinePattern.parse("A -[x]-> B <-[y]- C")
+        r = p.reversed()
+        assert r.vertex_labels == ("C", "B", "A")
+        assert r.edges[0] == PatternEdge("y", Direction.FORWARD)
+        assert r.edges[1] == PatternEdge("x", Direction.BACKWARD)
+
+    def test_reversed_involution(self):
+        p = LinePattern.parse("A -[x]-> B <-[y]- C -[z]-> D")
+        assert p.reversed().reversed() == p
+
+    def test_symmetry(self):
+        sym = LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+        assert sym.is_symmetric()
+        asym = LinePattern.parse("Author -[authorBy]-> Paper -[publishAt]-> Venue")
+        assert not asym.is_symmetric()
+
+    def test_equality_and_hash(self):
+        a = LinePattern.parse("A -[x]-> B")
+        b = LinePattern.parse("A -[x]-> B", name="other-name")
+        assert a == b  # name is not part of identity
+        assert hash(a) == hash(b)
+        assert a != LinePattern.parse("A <-[x]- B")
+
+
+class TestValidateAgainst:
+    @pytest.fixture
+    def schema(self):
+        return GraphSchema(
+            edge_types=[("authorBy", "Author", "Paper"), ("publishAt", "Paper", "Venue")]
+        )
+
+    def test_valid_pattern(self, schema):
+        LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue"
+        ).validate_against(schema)
+
+    def test_backward_slot_checks_real_direction(self, schema):
+        LinePattern.parse(
+            "Venue <-[publishAt]- Paper <-[authorBy]- Author"
+        ).validate_against(schema)
+
+    def test_unknown_vertex_label(self, schema):
+        with pytest.raises(PatternMismatchError, match="vertex label"):
+            LinePattern.parse("Editor -[authorBy]-> Paper").validate_against(schema)
+
+    def test_wrong_edge_direction(self, schema):
+        with pytest.raises(PatternMismatchError, match="slot 1"):
+            LinePattern.parse("Author <-[authorBy]- Paper").validate_against(schema)
+
+
+def test_direction_flip():
+    assert Direction.FORWARD.flip() is Direction.BACKWARD
+    assert Direction.BACKWARD.flip() is Direction.FORWARD
+    assert PatternEdge("e").flip() == PatternEdge("e", Direction.BACKWARD)

@@ -1,0 +1,85 @@
+"""Tests for LinePattern.concat / repeat."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.graph.filters import VertexFilter
+from repro.graph.pattern import LinePattern
+
+
+class TestConcat:
+    def test_basic_join(self):
+        left = LinePattern.parse("Author -[authorBy]-> Paper")
+        right = LinePattern.parse("Paper -[publishAt]-> Venue")
+        joined = left.concat(right)
+        assert joined == LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue"
+        )
+
+    def test_label_mismatch_rejected(self):
+        left = LinePattern.parse("Author -[authorBy]-> Paper")
+        right = LinePattern.parse("Venue <-[publishAt]- Paper")
+        with pytest.raises(PatternError, match="cannot concatenate"):
+            left.concat(right)
+
+    def test_filters_carry_over_with_offset(self):
+        left = LinePattern.parse("Author{h >= 10} -[authorBy]-> Paper")
+        right = LinePattern.parse("Paper -[publishAt]-> Venue{rank <= 3}")
+        joined = left.concat(right)
+        assert joined.filter_at(0) == VertexFilter("h", "ge", 10)
+        assert joined.filter_at(2) == VertexFilter("rank", "le", 3)
+
+    def test_junction_filter_kept(self):
+        left = LinePattern.parse("Author -[authorBy]-> Paper{year >= 2010}")
+        right = LinePattern.parse("Paper -[publishAt]-> Venue")
+        joined = left.concat(right)
+        assert joined.filter_at(1) == VertexFilter("year", "ge", 2010)
+
+    def test_conflicting_junction_filters_rejected(self):
+        left = LinePattern.parse("Author -[authorBy]-> Paper{year >= 2010}")
+        right = LinePattern.parse("Paper{year <= 2000} -[publishAt]-> Venue")
+        with pytest.raises(PatternError, match="junction"):
+            left.concat(right)
+
+    def test_agreeing_junction_filters_ok(self):
+        left = LinePattern.parse("Author -[authorBy]-> Paper{year >= 2010}")
+        right = LinePattern.parse("Paper{year >= 2010} -[publishAt]-> Venue")
+        joined = left.concat(right)
+        assert joined.filter_at(1) == VertexFilter("year", "ge", 2010)
+
+    def test_semantics_match_manual_pattern(self):
+        """Extraction through a concatenated pattern equals the hand-built
+        equivalent."""
+        from repro.aggregates import library
+        from repro.baselines.bruteforce import extract_bruteforce
+        from tests.conftest import build_scholarly
+
+        graph = build_scholarly()
+        joined = LinePattern.parse("Author -[authorBy]-> Paper").concat(
+            LinePattern.parse("Paper <-[authorBy]- Author")
+        )
+        manual = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        a = extract_bruteforce(graph, joined, library.path_count())
+        b = extract_bruteforce(graph, manual, library.path_count())
+        assert a.graph.equals(b.graph)
+
+
+class TestRepeat:
+    def test_repeat_builds_chain(self):
+        hop = LinePattern.parse("Paper -[citeBy]-> Paper")
+        assert hop.repeat(3) == LinePattern.chain("Paper", "citeBy", 3)
+
+    def test_repeat_once_is_self(self):
+        hop = LinePattern.parse("Paper -[citeBy]-> Paper")
+        assert hop.repeat(1) == hop
+
+    def test_repeat_requires_matching_endpoints(self):
+        pattern = LinePattern.parse("Author -[authorBy]-> Paper")
+        with pytest.raises(PatternError):
+            pattern.repeat(2)
+
+    def test_invalid_times(self):
+        with pytest.raises(PatternError):
+            LinePattern.parse("Paper -[citeBy]-> Paper").repeat(0)

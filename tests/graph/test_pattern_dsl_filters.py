@@ -1,0 +1,99 @@
+"""Tests for attribute predicates in the pattern DSL."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.graph.filters import VertexFilter
+from repro.graph.pattern import LinePattern
+
+
+class TestFilterParsing:
+    def test_numeric_predicate(self):
+        p = LinePattern.parse(
+            "Author -[authorBy]-> Paper{year >= 2010} <-[authorBy]- Author"
+        )
+        assert p.filter_at(1) == VertexFilter("year", "ge", 2010)
+        assert p.filter_at(0) is None
+
+    def test_float_value(self):
+        p = LinePattern.parse("A{score > 0.5} -[x]-> B")
+        assert p.filter_at(0) == VertexFilter("score", "gt", 0.5)
+
+    def test_negative_value(self):
+        p = LinePattern.parse("A{delta <= -3} -[x]-> B")
+        assert p.filter_at(0) == VertexFilter("delta", "le", -3)
+
+    def test_string_value(self):
+        p = LinePattern.parse("A -[x]-> B{country == 'US'}")
+        assert p.filter_at(1) == VertexFilter("country", "eq", "US")
+        q = LinePattern.parse('A -[x]-> B{country != "DE"}')
+        assert q.filter_at(1) == VertexFilter("country", "ne", "DE")
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("==", "eq"), ("!=", "ne"), ("<", "lt"), ("<=", "le"), (">", "gt"), (">=", "ge")],
+    )
+    def test_all_operators(self, op, expected):
+        p = LinePattern.parse(f"A{{v {op} 7}} -[x]-> B")
+        assert p.filter_at(0).op == expected
+
+    def test_multiple_positions(self):
+        p = LinePattern.parse(
+            "A{h > 1} -[x]-> B{y < 2} <-[y]- C{z == 3}"
+        )
+        assert len(p.filters) == 3
+
+    def test_whitespace_tolerant(self):
+        p = LinePattern.parse("A{ h  >=  10 } -[x]-> B")
+        assert p.filter_at(0) == VertexFilter("h", "ge", 10)
+
+    def test_wildcard_with_filter(self):
+        p = LinePattern.parse("Author -[authorBy]-> *{year > 2000} <-[authorBy]- Author")
+        assert p.label_at(1) == "*"
+        assert p.filter_at(1) == VertexFilter("year", "gt", 2000)
+
+    def test_malformed_predicate_rejected(self):
+        with pytest.raises(PatternError):
+            LinePattern.parse("A{h ~ 3} -[x]-> B")
+
+
+class TestFilterRendering:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A{h >= 10} -[x]-> B",
+            "A -[x]-> B{country == 'US'} <-[y]- C",
+            "A{score > 0.5} -[x]-> B{n != -2}",
+        ],
+    )
+    def test_str_parse_roundtrip(self, text):
+        pattern = LinePattern.parse(text)
+        assert LinePattern.parse(str(pattern)) == pattern
+
+    def test_in_filter_renders_placeholder(self):
+        pattern = LinePattern.parse("A -[x]-> B").with_filter(
+            0, VertexFilter("k", "in", (1, 2))
+        )
+        assert "in ..." in str(pattern)
+
+
+class TestDslFilterSemantics:
+    def test_parsed_filter_behaves_like_programmatic(self):
+        from repro.aggregates import library
+        from repro.baselines.bruteforce import extract_bruteforce
+        from tests.conftest import P1, P2, P3, build_scholarly
+
+        graph = build_scholarly()
+        graph.add_vertex(P1, "Paper", {"year": 2008})
+        graph.add_vertex(P2, "Paper", {"year": 2012})
+        graph.add_vertex(P3, "Paper", {"year": 2015})
+        parsed = LinePattern.parse(
+            "Author -[authorBy]-> Paper{year >= 2010} <-[authorBy]- Author"
+        )
+        programmatic = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        ).with_filter(1, VertexFilter("year", "ge", 2010))
+        assert parsed == programmatic
+        a = extract_bruteforce(graph, parsed, library.path_count())
+        b = extract_bruteforce(graph, programmatic, library.path_count())
+        assert a.graph.equals(b.graph)

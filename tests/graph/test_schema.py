@@ -1,0 +1,96 @@
+"""Unit tests for repro.graph.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.graph.schema import EdgeType, GraphSchema
+
+
+class TestVertexLabels:
+    def test_add_and_query(self):
+        schema = GraphSchema()
+        schema.add_vertex_label("Author")
+        assert schema.has_vertex_label("Author")
+        assert not schema.has_vertex_label("Paper")
+        assert "Author" in schema
+
+    def test_add_is_idempotent(self):
+        schema = GraphSchema()
+        schema.add_vertex_label("A")
+        schema.add_vertex_label("A")
+        assert schema.vertex_labels == frozenset({"A"})
+
+    def test_empty_label_rejected(self):
+        schema = GraphSchema()
+        with pytest.raises(SchemaError):
+            schema.add_vertex_label("")
+
+    def test_non_string_label_rejected(self):
+        with pytest.raises(SchemaError):
+            GraphSchema().add_vertex_label(42)
+
+    def test_constructor_labels(self):
+        schema = GraphSchema(vertex_labels=["A", "B"])
+        assert schema.vertex_labels == frozenset({"A", "B"})
+
+
+class TestEdgeTypes:
+    def test_add_registers_endpoints(self):
+        schema = GraphSchema()
+        schema.add_edge_type("authorBy", "Author", "Paper")
+        assert schema.has_vertex_label("Author")
+        assert schema.has_vertex_label("Paper")
+        assert schema.has_edge_type("authorBy")
+        assert schema.has_edge_type("authorBy", "Author", "Paper")
+
+    def test_endpoint_filters(self):
+        schema = GraphSchema()
+        schema.add_edge_type("rel", "A", "B")
+        schema.add_edge_type("rel", "A", "C")
+        assert schema.has_edge_type("rel", src="A")
+        assert schema.has_edge_type("rel", dst="C")
+        assert not schema.has_edge_type("rel", src="B")
+        assert not schema.has_edge_type("rel", "A", "D")
+
+    def test_same_label_multiple_types(self):
+        schema = GraphSchema()
+        schema.add_edge_type("rel", "A", "B")
+        schema.add_edge_type("rel", "B", "C")
+        assert len(schema.edge_types_for_label("rel")) == 2
+
+    def test_empty_edge_label_rejected(self):
+        with pytest.raises(SchemaError):
+            GraphSchema().add_edge_type("", "A", "B")
+
+    def test_constructor_edge_types(self):
+        schema = GraphSchema(edge_types=[("e", "A", "B")])
+        assert schema.has_edge_type("e", "A", "B")
+
+    def test_iteration_is_sorted(self):
+        schema = GraphSchema(edge_types=[("z", "A", "B"), ("a", "A", "B")])
+        labels = [et.label for et in schema]
+        assert labels == sorted(labels)
+
+
+class TestValidation:
+    def test_validate_vertex_ok(self):
+        schema = GraphSchema(vertex_labels=["A"])
+        schema.validate_vertex("A")  # no raise
+
+    def test_validate_vertex_unknown(self):
+        schema = GraphSchema(vertex_labels=["A"])
+        with pytest.raises(SchemaError, match="not declared"):
+            schema.validate_vertex("B")
+
+    def test_validate_edge_ok(self):
+        schema = GraphSchema(edge_types=[("e", "A", "B")])
+        schema.validate_edge("e", "A", "B")
+
+    def test_validate_edge_wrong_direction(self):
+        schema = GraphSchema(edge_types=[("e", "A", "B")])
+        with pytest.raises(SchemaError):
+            schema.validate_edge("e", "B", "A")
+
+
+def test_edge_type_str():
+    assert str(EdgeType("e", "A", "B")) == "A -[e]-> B"

@@ -1,0 +1,78 @@
+"""Unit tests for repro.graph.stats."""
+
+import pytest
+
+from repro.graph.pattern import Direction, PatternEdge
+from repro.graph.stats import GraphStatistics
+
+from tests.conftest import build_scholarly
+
+
+@pytest.fixture
+def stats():
+    return GraphStatistics.collect(build_scholarly())
+
+
+class TestCollect:
+    def test_vertex_counts(self, stats):
+        assert stats.vertex_count("Author") == 4
+        assert stats.vertex_count("Paper") == 3
+        assert stats.vertex_count("Venue") == 2
+        assert stats.vertex_count("missing") == 0
+        assert stats.total_vertices == 9
+
+    def test_triple_counts(self, stats):
+        assert stats.triple_count("Author", "authorBy", "Paper") == 6
+        assert stats.triple_count("Paper", "publishAt", "Venue") == 3
+        assert stats.triple_count("Paper", "citeBy", "Paper") == 2
+        assert stats.triple_count("Paper", "authorBy", "Author") == 0
+        assert stats.total_edges == 11
+
+
+class TestSlotCounts:
+    def test_forward_slot(self, stats):
+        edge = PatternEdge("authorBy", Direction.FORWARD)
+        assert stats.slot_edge_count("Author", edge, "Paper") == 6
+
+    def test_backward_slot(self, stats):
+        # Paper <-authorBy- ... read as left=Paper, right=Author:
+        # a BACKWARD slot matches right -[e]-> left edges
+        edge = PatternEdge("authorBy", Direction.BACKWARD)
+        assert stats.slot_edge_count("Paper", edge, "Author") == 6
+
+    def test_mismatched_labels_zero(self, stats):
+        edge = PatternEdge("authorBy", Direction.FORWARD)
+        assert stats.slot_edge_count("Venue", edge, "Paper") == 0
+
+
+class TestDegrees:
+    def test_left_degree(self, stats):
+        edge = PatternEdge("authorBy", Direction.FORWARD)
+        assert stats.avg_slot_degree_left("Author", edge, "Paper") == 6 / 4
+
+    def test_right_degree(self, stats):
+        edge = PatternEdge("authorBy", Direction.FORWARD)
+        assert stats.avg_slot_degree_right("Author", edge, "Paper") == 6 / 3
+
+    def test_zero_population_degree(self, stats):
+        edge = PatternEdge("authorBy", Direction.FORWARD)
+        assert stats.avg_slot_degree_left("missing", edge, "Paper") == 0.0
+
+
+class TestWildcardAndUndirectedSlots:
+    def test_any_direction_with_wildcard_endpoints(self, stats):
+        from repro.graph.pattern import ANY_LABEL
+
+        edge = PatternEdge("authorBy", Direction.ANY)
+        # undirected + both-wildcard: every authorBy edge in both orientations
+        assert stats.slot_edge_count(ANY_LABEL, edge, ANY_LABEL) == 12
+
+    def test_any_direction_same_labels(self, stats):
+        edge = PatternEdge("citeBy", Direction.ANY)
+        assert stats.slot_edge_count("Paper", edge, "Paper") == 4
+
+    def test_any_direction_mismatched_labels(self, stats):
+        edge = PatternEdge("publishAt", Direction.ANY)
+        # Paper->Venue exists; either orientation of (Paper, Venue) finds it
+        assert stats.slot_edge_count("Paper", edge, "Venue") == 3
+        assert stats.slot_edge_count("Venue", edge, "Paper") == 3

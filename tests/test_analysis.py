@@ -1,0 +1,82 @@
+"""Unit tests for repro.analysis."""
+
+import pytest
+
+from repro.analysis import (
+    connected_components,
+    degree_centrality,
+    pagerank,
+    top_edges,
+    weighted_degree,
+)
+from repro.core.result import ExtractedGraph
+
+
+@pytest.fixture
+def diamond():
+    """1 -> 2 -> 4, 1 -> 3 -> 4, isolated vertex 5."""
+    return ExtractedGraph(
+        "A",
+        "A",
+        {1, 2, 3, 4, 5},
+        {(1, 2): 2.0, (1, 3): 1.0, (2, 4): 1.0, (3, 4): 1.0},
+    )
+
+
+class TestTopEdges:
+    def test_ranked_by_value_then_key(self, diamond):
+        assert top_edges(diamond, 2) == [(1, 2, 2.0), (1, 3, 1.0)]
+
+    def test_k_larger_than_edges(self, diamond):
+        assert len(top_edges(diamond, 100)) == 4
+
+
+class TestDegrees:
+    def test_weighted_degree(self, diamond):
+        degrees = weighted_degree(diamond)
+        assert degrees[1] == 3.0
+        assert degrees[2] == 1.0
+        assert degrees[4] == 0.0
+        assert degrees[5] == 0.0
+
+    def test_degree_centrality(self, diamond):
+        centrality = degree_centrality(diamond)
+        assert centrality[1] == 2 / 4
+        assert centrality[5] == 0.0
+
+
+class TestConnectedComponents:
+    def test_components(self, diamond):
+        components = connected_components(diamond)
+        assert components == [[1, 2, 3, 4], [5]]
+
+    def test_empty_graph(self):
+        g = ExtractedGraph("A", "A", set(), {})
+        assert connected_components(g) == []
+
+
+class TestPagerank:
+    def test_sums_to_one(self, diamond):
+        ranks = pagerank(diamond)
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_sink_accumulates_rank(self, diamond):
+        ranks = pagerank(diamond)
+        assert ranks[4] > ranks[2]
+        assert ranks[4] > ranks[1]
+
+    def test_weights_matter(self, diamond):
+        ranks = pagerank(diamond)
+        # vertex 2 receives twice vertex 3's inbound weight from vertex 1
+        assert ranks[2] > ranks[3]
+
+    def test_empty_graph(self):
+        assert pagerank(ExtractedGraph("A", "A", set(), {})) == {}
+
+    def test_uniform_on_symmetric_cycle(self):
+        g = ExtractedGraph(
+            "A", "A", {1, 2, 3}, {(1, 2): 1.0, (2, 3): 1.0, (3, 1): 1.0}
+        )
+        ranks = pagerank(g)
+        assert ranks[1] == pytest.approx(ranks[2])
+        assert ranks[2] == pytest.approx(ranks[3])

@@ -1,0 +1,277 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestWorkloads:
+    def test_lists_all_nine(self, capsys):
+        code, out, _ = run_cli(capsys, "workloads")
+        assert code == 0
+        for name in ("dblp-BP1", "dblp-SP2", "patent-SP3"):
+            assert name in out
+
+
+class TestGenerate:
+    def test_json_roundtrip(self, capsys, tmp_path):
+        out_file = tmp_path / "g.json"
+        code, out, _ = run_cli(
+            capsys,
+            "generate", "--dataset", "dblp", "--scale", "0.05",
+            "--out", str(out_file),
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert "wrote" in out
+
+    def test_edgelist(self, capsys, tmp_path):
+        out_file = tmp_path / "g.txt"
+        code, _, _ = run_cli(
+            capsys,
+            "generate", "--dataset", "patent", "--scale", "0.05",
+            "--out", str(out_file),
+        )
+        assert code == 0
+        assert out_file.read_text().startswith("V ")
+
+
+class TestPlan:
+    def test_all_strategies_shown(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "plan", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP2",
+        )
+        assert code == 0
+        for strategy in ("line", "iter_opt", "path_opt", "hybrid"):
+            assert f"PCP[{strategy}]" in out
+
+    def test_single_strategy(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "plan", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP2", "--strategy", "hybrid",
+        )
+        assert code == 0
+        assert "PCP[hybrid]" in out
+        assert "PCP[line]" not in out
+
+    def test_custom_pattern(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "plan", "--dataset", "patent", "--scale", "0.05",
+            "--pattern", "Patent -[citeBy]-> Patent -[citeBy]-> Patent",
+        )
+        assert code == 0
+        assert "pivot" in out
+
+    def test_length_one_pattern(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "plan", "--dataset", "dblp", "--scale", "0.05",
+            "--pattern", "Paper -[publishAt]-> Venue",
+        )
+        assert code == 0
+        assert "no plan needed" in out
+
+
+class TestExtract:
+    def test_summary_printed(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "extract", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP1", "--workers", "2",
+        )
+        assert code == 0
+        assert "result_edges" in out
+        assert "iterations" in out
+
+    def test_top_and_out(self, capsys, tmp_path):
+        out_file = tmp_path / "edges.tsv"
+        code, out, _ = run_cli(
+            capsys,
+            "extract", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP1", "--top", "3", "--out", str(out_file),
+        )
+        assert code == 0
+        assert "strongest extracted relations" in out
+        lines = out_file.read_text().strip().splitlines()
+        assert lines and all(len(line.split("\t")) == 3 for line in lines)
+
+    def test_dataset_inferred_from_workload(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "extract", "--workload", "patent-SP2", "--scale", "0.05",
+        )
+        assert code == 0
+        assert "result_edges" in out
+
+    def test_graph_file_input(self, capsys, tmp_path):
+        out_file = tmp_path / "g.json"
+        run_cli(
+            capsys,
+            "generate", "--dataset", "dblp", "--scale", "0.05",
+            "--out", str(out_file),
+        )
+        code, out, _ = run_cli(
+            capsys,
+            "extract", "--graph", str(out_file), "--workload", "dblp-SP1",
+        )
+        assert code == 0
+        assert "result_edges" in out
+
+    def test_holistic_aggregate(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "extract", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP1", "--aggregate", "median",
+        )
+        assert code == 0
+
+
+class TestCompare:
+    def test_all_methods_agree(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "compare", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP1", "--methods", "pge,graphdb,matrix,rpq",
+        )
+        assert code == 0
+        assert out.count("True") >= 4  # every method agrees with pge
+
+    def test_missing_dataset_is_error(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "compare", "--pattern", "Paper -[citeBy]-> Paper",
+        )
+        assert code == 2
+        assert "error" in err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_pattern_and_workload_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "extract", "--dataset", "dblp",
+                    "--workload", "dblp-SP1", "--pattern", "A -[x]-> B",
+                ]
+            )
+
+
+class TestAnalyze:
+    def test_pagerank(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "analyze", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP1", "--analysis", "pagerank", "--top", "3",
+        )
+        assert code == 0
+        assert "PageRank" in out
+
+    def test_components(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "analyze", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP1", "--analysis", "components",
+        )
+        assert code == 0
+        assert "components" in out
+
+    def test_degree(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "analyze", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP1", "--analysis", "degree", "--top", "2",
+        )
+        assert code == 0
+        assert "out-degree" in out
+
+    def test_default_top_edges(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "analyze", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-BP1",
+        )
+        assert code == 0
+        assert "extracted relations" in out
+
+
+class TestEstimatorFlag:
+    @pytest.mark.parametrize("estimator", ["uniform", "exact-leaf", "sampling"])
+    def test_plan_with_estimator(self, capsys, estimator):
+        code, out, _ = run_cli(
+            capsys,
+            "plan", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP2", "--strategy", "hybrid",
+            "--estimator", estimator,
+        )
+        assert code == 0
+        assert "PCP[hybrid]" in out
+
+    def test_extract_with_sampling_estimator(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "extract", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP2", "--estimator", "sampling",
+        )
+        assert code == 0
+        assert "result_edges" in out
+
+
+class TestDiscover:
+    def test_ranked_candidates(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "discover", "--dataset", "dblp", "--scale", "0.05",
+            "--start", "Author", "--end", "Author", "--max-length", "4",
+            "--top", "5",
+        )
+        assert code == 0
+        assert "candidate metapaths" in out
+        assert "authorBy" in out
+
+    def test_symmetric_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "discover", "--dataset", "dblp", "--scale", "0.05",
+            "--start", "Venue", "--end", "Venue", "--max-length", "4",
+            "--symmetric",
+        )
+        assert code == 0
+
+    def test_no_candidates(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "discover", "--dataset", "dblp", "--scale", "0.05",
+            "--start", "Venue", "--end", "Author", "--max-length", "1",
+        )
+        assert code == 0
+        assert "no satisfiable patterns" in out
+
+
+class TestAggregateDispatch:
+    @pytest.mark.parametrize(
+        "aggregate",
+        ["path_count", "weighted_path_count", "max_min", "min_max",
+         "add_max", "sum_min", "avg", "std", "median"],
+    )
+    def test_every_cli_aggregate_runs(self, capsys, aggregate):
+        code, out, _ = run_cli(
+            capsys,
+            "extract", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP1", "--aggregate", aggregate,
+        )
+        assert code == 0
+        assert "result_edges" in out

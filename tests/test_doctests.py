@@ -1,0 +1,31 @@
+"""Run the library's executable docstring examples."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.graph.filters
+import repro.graph.generators
+import repro.graph.hetgraph
+import repro.graph.pattern
+import repro.graph.schema
+
+MODULES = [
+    repro.graph.filters,
+    repro.graph.generators,
+    repro.graph.hetgraph,
+    repro.graph.pattern,
+    repro.graph.schema,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False, raise_on_error=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+
+
+def test_package_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,157 @@
+"""Hardening tests: degenerate graphs, unmatchable patterns, deep plans."""
+
+import math
+
+import pytest
+
+from repro.aggregates import library
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.core.extractor import GraphExtractor
+from repro.engine.bsp import BSPEngine, VertexProgram
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import build_scholarly
+
+
+class TestDegenerateGraphs:
+    def test_empty_graph(self):
+        graph = HeterogeneousGraph()
+        graph.add_vertex(1, "Author")  # schema needs the labels to exist
+        graph.add_vertex(2, "Paper")
+        graph.add_edge(1, 2, "authorBy")
+        graph.remove_edge(1, 2, "authorBy")
+        pattern = LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+        result = GraphExtractor(graph).extract(pattern)
+        assert result.graph.num_edges() == 0
+        assert result.graph.vertices == {1}
+
+    def test_single_vertex_self_loop(self):
+        graph = HeterogeneousGraph()
+        graph.add_vertex(0, "Paper")
+        graph.add_edge(0, 0, "citeBy")
+        pattern = LinePattern.chain("Paper", "citeBy", 3)
+        result = GraphExtractor(graph).extract(pattern)
+        assert result.graph.value(0, 0) == 1.0  # exactly one walk of length 3
+
+    def test_self_loop_path_explosion_counts_correctly(self):
+        graph = HeterogeneousGraph()
+        graph.add_vertex(0, "Paper")
+        graph.add_edge(0, 0, "citeBy")
+        graph.add_edge(0, 0, "citeBy")  # two parallel self-loops
+        pattern = LinePattern.chain("Paper", "citeBy", 4)
+        result = GraphExtractor(graph).extract(pattern)
+        assert result.graph.value(0, 0) == 16.0  # 2^4 walks
+
+    def test_isolated_vertices_only(self):
+        graph = HeterogeneousGraph()
+        for vid in range(5):
+            graph.add_vertex(vid, "Paper")
+        graph.add_edge(0, 1, "citeBy")
+        graph.remove_edge(0, 1, "citeBy")
+        pattern = LinePattern.parse("Paper -[citeBy]-> Paper")
+        result = GraphExtractor(graph).extract(pattern)
+        assert result.graph.num_edges() == 0
+        assert result.graph.num_vertices() == 5
+
+
+class TestUnmatchablePatterns:
+    def test_label_never_adjacent(self):
+        graph = build_scholarly()
+        # publishAt never leaves an Author
+        pattern = LinePattern.parse("Author -[publishAt]-> Venue")
+        result = GraphExtractor(graph, validate_patterns=False).extract(pattern)
+        assert result.graph.num_edges() == 0
+
+    def test_pattern_longer_than_any_walk(self):
+        graph = build_scholarly()
+        # citeBy chains top out at length 2 (p3 -> p2 -> p1)
+        pattern = LinePattern.chain("Paper", "citeBy", 5)
+        result = GraphExtractor(graph).extract(pattern)
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        assert result.graph.num_edges() == 0
+        assert result.graph.equals(oracle.graph)
+
+    def test_filter_matching_nothing(self):
+        from repro.graph.filters import VertexFilter
+
+        graph = build_scholarly()
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        ).with_filter(0, VertexFilter("nonexistent", "eq", 1))
+        result = GraphExtractor(graph).extract(pattern)
+        assert result.graph.num_edges() == 0
+
+
+class TestDeepPlans:
+    def test_length16_chain_hybrid(self):
+        """A deep pattern on a small cyclic graph: hybrid stays at
+        ceil(log2 16) = 4 iterations and matches the oracle."""
+        graph = HeterogeneousGraph()
+        for vid in range(6):
+            graph.add_vertex(vid, "Paper")
+        for vid in range(6):
+            graph.add_edge(vid, (vid + 1) % 6, "citeBy")
+        pattern = LinePattern.chain("Paper", "citeBy", 16)
+        result = GraphExtractor(graph, num_workers=2).extract(pattern)
+        assert result.iterations == math.ceil(math.log2(16))
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        assert result.graph.equals(oracle.graph)
+        # on a 6-cycle, a length-16 walk lands 16 mod 6 = 4 ahead
+        assert result.graph.value(0, 4) == 1.0
+
+    def test_line_strategy_on_same_chain(self):
+        graph = HeterogeneousGraph()
+        for vid in range(4):
+            graph.add_vertex(vid, "Paper")
+        for vid in range(4):
+            graph.add_edge(vid, (vid + 1) % 4, "citeBy")
+        pattern = LinePattern.chain("Paper", "citeBy", 12)
+        result = GraphExtractor(graph, strategy="line").extract(pattern)
+        assert result.iterations == 11
+        assert result.graph.value(0, 0) == 1.0  # 12 mod 4 == 0
+
+
+class TestEngineEdgeCases:
+    def test_zero_vertices(self):
+        class Noop(VertexProgram):
+            def num_supersteps(self):
+                return 1
+
+            def compute(self, ctx):
+                pass
+
+            def finish(self, states, metrics):
+                return "done"
+
+        engine = BSPEngine([], num_workers=2)
+        assert engine.run(Noop()) == "done"
+        assert engine.last_metrics.total_work == 0
+
+    def test_more_workers_than_vertices(self):
+        graph = build_scholarly()
+        pattern = LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+        result = GraphExtractor(graph, num_workers=1000).extract(pattern)
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        assert result.graph.equals(oracle.graph)
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical_metrics(self):
+        graph = build_scholarly()
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        runs = [
+            GraphExtractor(graph, num_workers=4).extract(pattern)
+            for _ in range(3)
+        ]
+        first = runs[0]
+        for other in runs[1:]:
+            assert other.graph.equals(first.graph)
+            assert other.intermediate_paths == first.intermediate_paths
+            assert other.metrics.total_messages == first.metrics.total_messages
+            assert [s.work_per_worker for s in other.metrics.supersteps] == [
+                s.work_per_worker for s in first.metrics.supersteps
+            ]

@@ -1,0 +1,87 @@
+"""Tests for the exists_path aggregate and the networkx export."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.aggregates.classify import validate_aggregate
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.baselines.matrix import extract_matrix
+from repro.core.extractor import GraphExtractor
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import COAUTHOR_EXPECTED, build_scholarly
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+@pytest.fixture
+def coauthor():
+    return LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+
+
+class TestExistsPath:
+    def test_declared_distributivity_verified(self):
+        validate_aggregate(library.exists_path())
+
+    def test_reachability_semantics(self, graph, coauthor):
+        result = GraphExtractor(graph, num_workers=2).extract(
+            coauthor, library.exists_path()
+        )
+        assert set(result.graph.edges) == set(COAUTHOR_EXPECTED)
+        assert all(value is True for value in result.graph.edges.values())
+
+    def test_partial_equals_basic(self, graph, coauthor):
+        partial = GraphExtractor(graph).extract(coauthor, library.exists_path())
+        basic = GraphExtractor(graph).extract(
+            coauthor, library.exists_path(), partial_aggregation=False
+        )
+        assert partial.graph.equals(basic.graph)
+
+    def test_matrix_baseline_supports_it(self, graph, coauthor):
+        oracle = extract_bruteforce(graph, coauthor, library.exists_path())
+        result = extract_matrix(graph, coauthor, library.exists_path())
+        assert result.graph.equals(oracle.graph)
+        assert result.metrics.counters["matrix_backend_scipy"] == 0
+
+    def test_exists_is_cheapest_intermediate_state(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        exists = GraphExtractor(graph).extract(pattern, library.exists_path())
+        count = GraphExtractor(graph).extract(pattern, library.path_count())
+        assert set(exists.graph.edges) == set(count.graph.edges)
+
+
+class TestNetworkxExport:
+    def test_roundtrip_structure(self, graph, coauthor):
+        nx = pytest.importorskip("networkx")
+        result = GraphExtractor(graph).extract(coauthor)
+        digraph = result.graph.to_networkx()
+        assert isinstance(digraph, nx.DiGraph)
+        assert digraph.number_of_nodes() == result.graph.num_vertices()
+        assert digraph.number_of_edges() == result.graph.num_edges()
+        assert digraph[3][4]["weight"] == 2.0
+
+    def test_pagerank_agrees_with_networkx(self, graph, coauthor):
+        nx = pytest.importorskip("networkx")
+        from repro.analysis import pagerank
+
+        result = GraphExtractor(graph).extract(coauthor)
+        ours = pagerank(result.graph, tolerance=1e-12)
+        theirs = nx.pagerank(
+            result.graph.to_networkx(), alpha=0.85, tol=1e-12, max_iter=200
+        )
+        for vid, score in ours.items():
+            assert theirs[vid] == pytest.approx(score, rel=1e-4)
+
+    def test_non_numeric_values_exported_as_value(self, graph, coauthor):
+        pytest.importorskip("networkx")
+        result = GraphExtractor(graph).extract(
+            coauthor, library.exists_path()
+        )
+        digraph = result.graph.to_networkx()
+        assert digraph[3][4]["value"] is True

@@ -1,0 +1,131 @@
+"""Integration tests: filtered extraction across every method.
+
+A filtered pattern restricts which vertices may occupy a position by
+their attributes; every implementation (framework, all baselines) must
+agree with the brute-force oracle under filters.
+"""
+
+import pytest
+
+from repro.aggregates import library
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.baselines.graphdb import extract_graphdb
+from repro.baselines.matrix import extract_matrix
+from repro.baselines.rpq import extract_rpq
+from repro.core.extractor import GraphExtractor
+from repro.graph.filters import VertexFilter
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import A1, A2, A3, A4, P1, P2, P3, build_scholarly
+
+
+@pytest.fixture
+def graph():
+    g = build_scholarly()
+    # paper years: p1=2008, p2=2012, p3=2015; author h-index attributes
+    g.add_vertex(P1, "Paper", {"year": 2008})
+    g.add_vertex(P2, "Paper", {"year": 2012})
+    g.add_vertex(P3, "Paper", {"year": 2015})
+    g.add_vertex(A1, "Author", {"hindex": 30})
+    g.add_vertex(A2, "Author", {"hindex": 5})
+    g.add_vertex(A3, "Author", {"hindex": 12})
+    g.add_vertex(A4, "Author", {"hindex": 8})
+    return g
+
+
+@pytest.fixture
+def recent_coauthor():
+    """Co-authors through papers from 2010 on."""
+    return LinePattern.parse(
+        "Author -[authorBy]-> Paper <-[authorBy]- Author"
+    ).with_filter(1, VertexFilter("year", "ge", 2010))
+
+
+class TestFilteredSemantics:
+    def test_pivot_filter_drops_old_papers(self, graph, recent_coauthor):
+        result = GraphExtractor(graph, num_workers=2).extract(recent_coauthor)
+        # p1 (2008) is filtered out: a1/a2 lose their co-authorship
+        assert not result.graph.has_edge(A1, A2)
+        assert result.graph.value(A3, A4) == 2.0
+
+    def test_endpoint_filter(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        ).with_filter(0, VertexFilter("hindex", "ge", 10))
+        result = GraphExtractor(graph, num_workers=2).extract(pattern)
+        starts = {u for (u, _v) in result.graph.edges}
+        assert starts <= {A1, A3}  # only high h-index authors start paths
+
+    def test_both_endpoints_filtered(self, graph):
+        pattern = (
+            LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+            .with_filter(0, VertexFilter("hindex", "ge", 10))
+            .with_filter(2, VertexFilter("hindex", "ge", 10))
+        )
+        result = GraphExtractor(graph, num_workers=2).extract(pattern)
+        assert set(result.graph.edges) == {(A3, A3), (A1, A1)}
+
+    def test_filter_making_result_empty(self, graph, recent_coauthor):
+        impossible = recent_coauthor.with_filter(
+            1, VertexFilter("year", "ge", 3000)
+        )
+        result = GraphExtractor(graph, num_workers=2).extract(impossible)
+        assert result.graph.num_edges() == 0
+
+
+class TestAllMethodsAgreeUnderFilters:
+    @pytest.mark.parametrize(
+        "filtered_position,vertex_filter",
+        [
+            (1, VertexFilter("year", "ge", 2010)),
+            (0, VertexFilter("hindex", "gt", 6)),
+            (2, VertexFilter("hindex", "in", (5, 8))),
+        ],
+    )
+    def test_length2(self, graph, filtered_position, vertex_filter):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        ).with_filter(filtered_position, vertex_filter)
+        aggregate = library.path_count()
+        oracle = extract_bruteforce(graph, pattern, aggregate)
+        pge = GraphExtractor(graph, num_workers=3).extract(pattern)
+        assert pge.graph.equals(oracle.graph)
+        assert extract_graphdb(graph, pattern, aggregate).graph.equals(oracle.graph)
+        assert extract_matrix(graph, pattern, aggregate).graph.equals(oracle.graph)
+        assert extract_rpq(graph, pattern, aggregate).graph.equals(oracle.graph)
+
+    def test_length4_interior_filters(self, graph):
+        pattern = (
+            LinePattern.parse(
+                "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+                "<-[publishAt]- Paper <-[authorBy]- Author"
+            )
+            .with_filter(1, VertexFilter("year", "ge", 2010))
+            .with_filter(3, VertexFilter("year", "le", 2012))
+        )
+        aggregate = library.path_count()
+        oracle = extract_bruteforce(graph, pattern, aggregate)
+        for strategy in ("line", "iter_opt", "path_opt", "hybrid"):
+            pge = GraphExtractor(graph, num_workers=2, strategy=strategy).extract(
+                pattern
+            )
+            assert pge.graph.equals(oracle.graph), strategy
+        assert extract_graphdb(graph, pattern, aggregate).graph.equals(oracle.graph)
+        assert extract_matrix(graph, pattern, aggregate).graph.equals(oracle.graph)
+        assert extract_rpq(graph, pattern, aggregate).graph.equals(oracle.graph)
+
+    def test_basic_mode_honours_filters(self, graph, recent_coauthor):
+        oracle = extract_bruteforce(graph, recent_coauthor, library.path_count())
+        basic = GraphExtractor(graph, num_workers=2).extract(
+            recent_coauthor, partial_aggregation=False
+        )
+        assert basic.graph.equals(oracle.graph)
+
+    def test_single_edge_pattern_filters(self, graph):
+        pattern = LinePattern.parse(
+            "Paper -[publishAt]-> Venue"
+        ).with_filter(0, VertexFilter("year", "ge", 2012))
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        pge = GraphExtractor(graph, num_workers=2).extract(pattern)
+        assert pge.graph.equals(oracle.graph)
+        assert set(pge.graph.edges) == {(P2, 21), (P3, 22)}

@@ -1,0 +1,76 @@
+"""Property test: incremental maintenance tracks from-scratch extraction
+under random update sequences."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import library
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.core.incremental import IncrementalExtractor
+
+from tests.test_properties import SCHEMA_TYPES, VERTICES, graphs, patterns
+
+
+@st.composite
+def update_sequences(draw, max_updates: int = 6):
+    """A sequence of (src, dst, edge_label, weight) insertions."""
+    count = draw(st.integers(min_value=1, max_value=max_updates))
+    updates = []
+    for _ in range(count):
+        edge_label, src_label, dst_label = draw(st.sampled_from(SCHEMA_TYPES))
+        src = draw(st.sampled_from(VERTICES[src_label]))
+        dst = draw(st.sampled_from(VERTICES[dst_label]))
+        weight = round(
+            draw(st.floats(min_value=0.25, max_value=4.0, allow_nan=False)), 3
+        )
+        updates.append((src, dst, edge_label, weight))
+    return updates
+
+
+class TestIncrementalProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        graph=graphs(max_edges=8),
+        pattern=patterns(max_length=3),
+        updates=update_sequences(),
+    )
+    def test_insertions_match_recompute(self, graph, pattern, updates):
+        inc = IncrementalExtractor(graph, pattern, library.path_count())
+        for src, dst, label, weight in updates:
+            inc.add_edge(src, dst, label, weight)
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        assert inc.extracted().equals(oracle.graph, rel_tol=1e-7)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        graph=graphs(max_edges=8),
+        pattern=patterns(max_length=3),
+        updates=update_sequences(max_updates=4),
+    )
+    def test_insert_then_delete_everything_restores(self, graph, pattern, updates):
+        inc = IncrementalExtractor(graph, pattern, library.weighted_path_count())
+        before = extract_bruteforce(
+            graph, pattern, library.weighted_path_count()
+        )
+        for src, dst, label, weight in updates:
+            inc.add_edge(src, dst, label, weight)
+        for src, dst, label, weight in reversed(updates):
+            inc.remove_edge(src, dst, label, weight)
+        assert inc.extracted().equals(before.graph, rel_tol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        graph=graphs(max_edges=8),
+        pattern=patterns(max_length=3),
+        updates=update_sequences(max_updates=4),
+    )
+    def test_mixed_updates_match_recompute(self, graph, pattern, updates):
+        inc = IncrementalExtractor(graph, pattern, library.path_count())
+        for index, (src, dst, label, weight) in enumerate(updates):
+            inc.add_edge(src, dst, label, weight)
+            if index % 2 == 1:  # remove every second inserted edge again
+                inc.remove_edge(src, dst, label, weight)
+            oracle = extract_bruteforce(graph, pattern, library.path_count())
+            assert inc.extracted().equals(oracle.graph, rel_tol=1e-7)

@@ -1,0 +1,151 @@
+"""Integration tests: the full pipeline on the paper's named workloads."""
+
+import math
+
+import pytest
+
+from repro.aggregates import library
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.core.extractor import GraphExtractor
+from repro.datasets.dblp import tiny_dblp
+from repro.datasets.patent import tiny_patent
+from repro.workloads.harness import run_method
+from repro.workloads.patterns import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {"dblp": tiny_dblp(), "patent": tiny_patent()}
+
+
+@pytest.fixture(scope="module")
+def oracles(graphs):
+    return {
+        name: extract_bruteforce(
+            graphs[w.dataset], w.pattern, library.path_count()
+        )
+        for name, w in WORKLOADS.items()
+    }
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("method", ["pge", "pge-basic", "graphdb", "matrix", "rpq"])
+    def test_method_matches_oracle(self, graphs, oracles, name, method):
+        workload = WORKLOADS[name]
+        result = run_method(
+            method, graphs[workload.dataset], workload.pattern, num_workers=3
+        )
+        assert result.graph.equals(oracles[name].graph), result.graph.diff(
+            oracles[name].graph
+        )
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("strategy", ["line", "iter_opt", "path_opt", "hybrid"])
+    def test_every_strategy_matches_oracle(self, graphs, oracles, name, strategy):
+        workload = WORKLOADS[name]
+        extractor = GraphExtractor(
+            graphs[workload.dataset], num_workers=3, strategy=strategy
+        )
+        result = extractor.extract(workload.pattern)
+        assert result.graph.equals(oracles[name].graph)
+
+
+class TestPaperClaims:
+    def test_hybrid_iterations_are_logarithmic(self, graphs):
+        """Hybrid plans run in ceil(log2(l)) iterations on every workload."""
+        for name, workload in WORKLOADS.items():
+            extractor = GraphExtractor(graphs[workload.dataset], num_workers=3)
+            result = extractor.extract(workload.pattern)
+            length = workload.pattern.length
+            if length > 1:
+                assert result.iterations == math.ceil(math.log2(length)), name
+
+    def test_line_strategy_iterations_are_linear(self, graphs):
+        for name in ("dblp-SP2", "dblp-SP3"):
+            workload = WORKLOADS[name]
+            extractor = GraphExtractor(
+                graphs[workload.dataset], num_workers=3, strategy="line"
+            )
+            result = extractor.extract(workload.pattern)
+            assert result.iterations == workload.pattern.length - 1
+
+    def test_partial_aggregation_reduces_paths_on_heavy_patterns(self, graphs):
+        """Fig. 8's claim on its four representative patterns."""
+        for name in ("dblp-SP3", "dblp-BP1", "patent-SP3", "patent-BP2"):
+            workload = WORKLOADS[name]
+            graph = graphs[workload.dataset]
+            basic = run_method("pge-basic", graph, workload.pattern, num_workers=3)
+            optimized = run_method("pge", graph, workload.pattern, num_workers=3)
+            assert optimized.intermediate_paths <= basic.intermediate_paths, name
+
+    def test_rpq_needs_linear_iterations(self, graphs):
+        for name in ("dblp-SP2", "patent-BP2"):
+            workload = WORKLOADS[name]
+            result = run_method(
+                "rpq", graphs[workload.dataset], workload.pattern, num_workers=3
+            )
+            assert result.iterations == workload.pattern.length, name
+
+    def test_symmetric_workloads_give_symmetric_graphs(self, graphs, oracles):
+        for name in ("dblp-SP1", "dblp-SP2", "patent-SP1"):
+            edges = oracles[name].graph.edges
+            for (u, v), value in edges.items():
+                assert edges[(v, u)] == value, name
+
+
+class TestAggregateMatrix:
+    """A grid of aggregates × a representative workload per dataset."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            library.path_count,
+            library.weighted_path_count,
+            library.max_min,
+            library.min_max,
+            library.add_max,
+            library.sum_min,
+            library.avg_path_value,
+            library.std_path_value,
+        ],
+    )
+    @pytest.mark.parametrize("name", ["dblp-SP1", "patent-SP3"])
+    def test_pge_matches_oracle(self, graphs, factory, name):
+        workload = WORKLOADS[name]
+        graph = graphs[workload.dataset]
+        aggregate = factory()
+        oracle = extract_bruteforce(graph, workload.pattern, aggregate)
+        extractor = GraphExtractor(graph, num_workers=3)
+        result = extractor.extract(workload.pattern, factory())
+        assert result.graph.equals(oracle.graph, rel_tol=1e-7)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [library.median_path_value, lambda: library.top_k_path_values(3)],
+    )
+    def test_holistic_pge_matches_oracle(self, graphs, factory):
+        workload = WORKLOADS["dblp-SP1"]
+        graph = graphs["dblp"]
+        oracle = extract_bruteforce(graph, workload.pattern, factory())
+        extractor = GraphExtractor(graph, num_workers=3)
+        result = extractor.extract(workload.pattern, factory())
+        assert result.graph.equals(oracle.graph, rel_tol=1e-7)
+
+
+class TestWorkerInvariance:
+    @pytest.mark.parametrize("workers", [1, 2, 5, 10])
+    def test_worker_count_does_not_change_results(self, graphs, oracles, workers):
+        workload = WORKLOADS["dblp-SP2"]
+        extractor = GraphExtractor(graphs["dblp"], num_workers=workers)
+        result = extractor.extract(workload.pattern)
+        assert result.graph.equals(oracles["dblp-SP2"].graph)
+
+    def test_more_workers_reduce_simulated_time(self, graphs):
+        workload = WORKLOADS["dblp-SP2"]
+        times = []
+        for workers in (1, 4, 16):
+            extractor = GraphExtractor(graphs["dblp"], num_workers=workers)
+            result = extractor.extract(workload.pattern)
+            times.append(result.metrics.simulated_parallel_time())
+        assert times[0] > times[1] > times[2]

@@ -1,0 +1,270 @@
+"""Property-based tests (hypothesis): oracle equivalence on random graphs,
+plan invariants, and aggregate laws."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import library
+from repro.aggregates.base import DistributiveAggregate
+from repro.aggregates.classify import check_distributive_pair
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.baselines.graphdb import extract_graphdb
+from repro.baselines.matrix import extract_matrix
+from repro.baselines.rpq import extract_rpq
+from repro.core.cost import CostModel
+from repro.core.evaluator import run_extraction
+from repro.core.planner import (
+    hybrid_plan,
+    iter_opt_plan,
+    line_plan,
+    path_opt_plan,
+)
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import Direction, LinePattern, PatternEdge
+from repro.graph.schema import GraphSchema
+from repro.graph.stats import GraphStatistics
+
+# ----------------------------------------------------------------------
+# random graph + pattern strategies
+# ----------------------------------------------------------------------
+#: (edge_label, src_label, dst_label) — a small but connected schema that
+#: exercises forward/backward slots and same-label loops.
+SCHEMA_TYPES = [
+    ("x", "A", "B"),
+    ("y", "B", "C"),
+    ("z", "B", "B"),
+    ("r", "C", "A"),
+]
+SCHEMA = GraphSchema(edge_types=SCHEMA_TYPES)
+LABEL_SIZES = {"A": 3, "B": 4, "C": 3}
+VERTICES = {}
+_next = 0
+for _label, _count in LABEL_SIZES.items():
+    VERTICES[_label] = list(range(_next, _next + _count))
+    _next += _count
+
+
+@st.composite
+def graphs(draw, max_edges: int = 14):
+    """A random small heterogeneous graph over the fixed schema, with
+    random positive edge weights (parallel edges allowed)."""
+    g = HeterogeneousGraph(SCHEMA)
+    for label, vids in VERTICES.items():
+        for vid in vids:
+            g.add_vertex(vid, label)
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    for _ in range(n_edges):
+        edge_label, src_label, dst_label = draw(st.sampled_from(SCHEMA_TYPES))
+        src = draw(st.sampled_from(VERTICES[src_label]))
+        dst = draw(st.sampled_from(VERTICES[dst_label]))
+        weight = draw(
+            st.floats(min_value=0.25, max_value=4.0, allow_nan=False)
+        )
+        g.add_edge(src, dst, edge_label, round(weight, 3))
+    return g
+
+
+@st.composite
+def patterns(draw, min_length: int = 2, max_length: int = 4):
+    """A random line pattern that is satisfiable under the schema: a walk
+    over the schema's type graph, traversing each edge type in either
+    direction."""
+    length = draw(st.integers(min_value=min_length, max_value=max_length))
+    start = draw(st.sampled_from(sorted(SCHEMA.vertex_labels)))
+    labels = [start]
+    edges = []
+    for _ in range(length):
+        current = labels[-1]
+        moves = []
+        for edge_label, src, dst in SCHEMA_TYPES:
+            if src == current:
+                moves.append((edge_label, Direction.FORWARD, dst))
+                moves.append((edge_label, Direction.ANY, dst))
+            if dst == current:
+                moves.append((edge_label, Direction.BACKWARD, src))
+        edge_label, direction, nxt = draw(st.sampled_from(moves))
+        edges.append(PatternEdge(edge_label, direction))
+        labels.append(nxt)
+    return LinePattern(labels, edges)
+
+
+DISTRIBUTIVE_FACTORIES = [
+    library.path_count,
+    library.weighted_path_count,
+    library.max_min,
+    library.min_max,
+    library.add_max,
+    library.sum_min,
+]
+
+
+# ----------------------------------------------------------------------
+# oracle equivalence
+# ----------------------------------------------------------------------
+class TestOracleEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=graphs(), pattern=patterns())
+    def test_pge_partial_matches_bruteforce(self, graph, pattern):
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        plan = hybrid_plan(
+            pattern, CostModel(pattern, GraphStatistics.collect(graph))
+        )
+        result = run_extraction(
+            graph, pattern, plan, library.path_count(), num_workers=3
+        )
+        assert result.graph.equals(oracle.graph), result.graph.diff(oracle.graph)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=graphs(), pattern=patterns())
+    def test_all_strategies_agree(self, graph, pattern):
+        model = CostModel(pattern, GraphStatistics.collect(graph))
+        plans = [
+            line_plan(pattern),
+            iter_opt_plan(pattern),
+            path_opt_plan(pattern, model),
+            hybrid_plan(pattern, model),
+        ]
+        results = [
+            run_extraction(graph, pattern, plan, library.path_count())
+            for plan in plans
+        ]
+        for other in results[1:]:
+            assert other.graph.equals(results[0].graph)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=graphs(), pattern=patterns())
+    def test_baselines_match_bruteforce(self, graph, pattern):
+        aggregate = library.path_count()
+        oracle = extract_bruteforce(graph, pattern, aggregate)
+        assert extract_graphdb(graph, pattern, aggregate).graph.equals(oracle.graph)
+        assert extract_matrix(graph, pattern, aggregate).graph.equals(oracle.graph)
+        assert extract_rpq(graph, pattern, aggregate, num_workers=2).graph.equals(
+            oracle.graph
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        graph=graphs(),
+        pattern=patterns(max_length=3),
+        factory_index=st.integers(min_value=0, max_value=len(DISTRIBUTIVE_FACTORIES) - 1),
+    )
+    def test_partial_equals_basic_for_distributives(
+        self, graph, pattern, factory_index
+    ):
+        """Theorem 3 in action: partial aggregation must not change any
+        distributive aggregate's result."""
+        aggregate = DISTRIBUTIVE_FACTORIES[factory_index]()
+        plan = iter_opt_plan(pattern)
+        basic = run_extraction(graph, pattern, plan, aggregate, mode="basic")
+        partial = run_extraction(graph, pattern, plan, aggregate, mode="partial")
+        assert partial.graph.equals(basic.graph, rel_tol=1e-7)
+
+    @settings(max_examples=15, deadline=None)
+    @given(graph=graphs(), pattern=patterns(max_length=3))
+    def test_algebraic_partial_equals_bruteforce(self, graph, pattern):
+        aggregate = library.avg_path_value()
+        oracle = extract_bruteforce(graph, pattern, aggregate)
+        plan = iter_opt_plan(pattern)
+        partial = run_extraction(graph, pattern, plan, aggregate, mode="partial")
+        assert partial.graph.equals(oracle.graph, rel_tol=1e-7)
+
+    @settings(max_examples=15, deadline=None)
+    @given(graph=graphs(), pattern=patterns(max_length=3))
+    def test_holistic_basic_equals_bruteforce(self, graph, pattern):
+        aggregate = library.median_path_value()
+        oracle = extract_bruteforce(graph, pattern, aggregate)
+        plan = iter_opt_plan(pattern)
+        result = run_extraction(graph, pattern, plan, aggregate, mode="basic")
+        assert result.graph.equals(oracle.graph, rel_tol=1e-7)
+
+
+# ----------------------------------------------------------------------
+# structural invariants
+# ----------------------------------------------------------------------
+class TestPlanInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(pattern=patterns(max_length=10), graph=graphs(max_edges=10))
+    def test_strategy_invariants(self, pattern, graph):
+        length = pattern.length
+        model = CostModel(pattern, GraphStatistics.collect(graph))
+        min_height = max(math.ceil(math.log2(length)), 1)
+
+        line = line_plan(pattern)
+        iter_opt = iter_opt_plan(pattern)
+        path_opt = path_opt_plan(pattern, model)
+        hybrid = hybrid_plan(pattern, model)
+
+        for plan in (line, iter_opt, path_opt, hybrid):
+            assert plan.num_nodes == length - 1  # Theorem 2
+        assert line.height == length - 1
+        assert iter_opt.height == min_height
+        assert hybrid.height == min_height
+        # cost ordering under the same model
+        assert model.plan_cost(path_opt) <= model.plan_cost(hybrid) + 1e-6
+        assert model.plan_cost(hybrid) <= model.plan_cost(iter_opt) + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=graphs(), pattern=patterns())
+    def test_symmetric_results_for_symmetric_patterns(self, graph, pattern):
+        """Running a pattern backwards transposes the extracted graph."""
+        forward = extract_bruteforce(graph, pattern, library.path_count())
+        backward = extract_bruteforce(
+            graph, pattern.reversed(), library.path_count()
+        )
+        transposed = {(v, u): val for (u, v), val in backward.graph.edges.items()}
+        assert transposed == dict(forward.graph.edges)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=graphs(), pattern=patterns(max_length=3))
+    def test_intermediate_paths_partial_never_worse(self, graph, pattern):
+        plan = iter_opt_plan(pattern)
+        basic = run_extraction(
+            graph, pattern, plan, library.path_count(), mode="basic"
+        )
+        partial = run_extraction(
+            graph, pattern, plan, library.path_count(), mode="partial"
+        )
+        assert partial.intermediate_paths <= basic.intermediate_paths
+
+
+# ----------------------------------------------------------------------
+# aggregate laws
+# ----------------------------------------------------------------------
+class TestAggregateLaws:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=2,
+            max_size=8,
+        ),
+        factory_index=st.integers(
+            min_value=0, max_value=len(DISTRIBUTIVE_FACTORIES) - 1
+        ),
+    )
+    def test_merge_is_order_insensitive(self, values, factory_index):
+        aggregate = DISTRIBUTIVE_FACTORIES[factory_index]()
+        items = [aggregate.initial_edge(v) for v in values]
+        forward = aggregate.finalize_all(items)
+        backward = aggregate.finalize_all(list(reversed(items)))
+        assert forward == pytest.approx(backward)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=3,
+            max_size=6,
+        )
+    )
+    def test_declared_distributivity_holds_on_random_samples(self, samples):
+        for factory in DISTRIBUTIVE_FACTORIES:
+            aggregate = factory()
+            assert check_distributive_pair(
+                aggregate.combine_op, aggregate.merge_op, samples=samples
+            ), aggregate.name

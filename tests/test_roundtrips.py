@@ -1,0 +1,131 @@
+"""Hypothesis round-trip properties: serialisation, the pattern DSL, and
+plan construction under arbitrary pivot choices."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import PCP
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.io import load_edgelist, load_json, save_edgelist, save_json
+from repro.graph.pattern import Direction, LinePattern, PatternEdge
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+label = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,8}", fullmatch=True)
+
+
+@st.composite
+def random_patterns(draw, max_length=8):
+    length = draw(st.integers(min_value=1, max_value=max_length))
+    labels = [draw(label) for _ in range(length + 1)]
+    edges = [
+        PatternEdge(
+            draw(label),
+            draw(st.sampled_from([Direction.FORWARD, Direction.BACKWARD])),
+        )
+        for _ in range(length)
+    ]
+    return LinePattern(labels, edges)
+
+
+@st.composite
+def random_graphs(draw):
+    g = HeterogeneousGraph()
+    n = draw(st.integers(min_value=1, max_value=12))
+    labels = ["A", "B", "C"]
+    for vid in range(n):
+        g.add_vertex(vid, draw(st.sampled_from(labels)))
+    n_edges = draw(st.integers(min_value=0, max_value=20))
+    for _ in range(n_edges):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        edge_label = draw(st.sampled_from(["x", "y", "z"]))
+        weight = draw(
+            st.floats(
+                min_value=-100, max_value=100,
+                allow_nan=False, allow_infinity=False,
+            )
+        )
+        g.add_edge(src, dst, edge_label, weight)
+    return g
+
+
+def graph_fingerprint(g: HeterogeneousGraph):
+    return (
+        sorted((vid, g.label_of(vid)) for vid in g.vertices()),
+        sorted((e.src, e.dst, e.label, e.weight) for e in g.edges()),
+    )
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+class TestSerializationRoundtrips:
+    @settings(max_examples=30, deadline=None)
+    @given(graph=random_graphs())
+    def test_json_roundtrip(self, graph, tmp_path_factory):
+        path = tmp_path_factory.mktemp("json") / "g.json"
+        save_json(graph, path)
+        assert graph_fingerprint(load_json(path)) == graph_fingerprint(graph)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=random_graphs())
+    def test_edgelist_roundtrip(self, graph, tmp_path_factory):
+        path = tmp_path_factory.mktemp("el") / "g.txt"
+        save_edgelist(graph, path)
+        assert graph_fingerprint(load_edgelist(path)) == graph_fingerprint(graph)
+
+
+class TestPatternDslRoundtrips:
+    @settings(max_examples=100, deadline=None)
+    @given(pattern=random_patterns())
+    def test_str_parse_roundtrip(self, pattern):
+        assert LinePattern.parse(str(pattern)) == pattern
+
+    @settings(max_examples=100, deadline=None)
+    @given(pattern=random_patterns())
+    def test_double_reverse_is_identity(self, pattern):
+        assert pattern.reversed().reversed() == pattern
+
+    @settings(max_examples=50, deadline=None)
+    @given(pattern=random_patterns(max_length=6))
+    def test_segments_tile_the_pattern(self, pattern):
+        if pattern.length < 2:
+            return
+        mid = pattern.length // 2 or 1
+        left = pattern.segment(0, mid)
+        right = pattern.segment(mid, pattern.length)
+        assert left.vertex_labels[-1] == right.vertex_labels[0]
+        assert left.length + right.length == pattern.length
+        assert left.edges + right.edges == pattern.edges
+
+
+class TestPlanConstruction:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        pattern=random_patterns(max_length=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_any_valid_pivot_chooser_yields_valid_plan(self, pattern, seed):
+        """Whatever (deterministic, in-range) pivots are chosen, the plan
+        passes validation with l-1 nodes and consistent levels."""
+        if pattern.length < 2:
+            return
+
+        def chooser(i, j):
+            return i + 1 + (seed + i * 31 + j * 7) % (j - i - 1)
+
+        plan = PCP.from_pivot_chooser(pattern, chooser)
+        assert plan.num_nodes == pattern.length - 1
+        assert plan.height >= math.ceil(math.log2(pattern.length))
+        schedule = plan.evaluation_schedule()
+        assert sum(len(level) for level in schedule) == plan.num_nodes
+        # rebuild from the recorded pivots: identical structure
+        pivots = {(n.i, n.j): n.k for n in plan.nodes()}
+        rebuilt = PCP.from_pivot_chooser(pattern, lambda i, j: pivots[(i, j)])
+        assert rebuilt.signature() == plan.signature()

@@ -1,0 +1,109 @@
+"""Tests for SimRank and local-structure analyses."""
+
+import pytest
+
+from repro.analysis import (
+    clustering_coefficient,
+    global_clustering,
+    simrank,
+    triangle_count,
+)
+from repro.core.extractor import GraphExtractor
+from repro.core.result import ExtractedGraph
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import A1, A2, A3, A4, build_scholarly
+
+
+def make(edges, vertices):
+    return ExtractedGraph("A", "A", set(vertices), edges)
+
+
+@pytest.fixture
+def two_fans():
+    """u1, u2 both point at a and at b: the classic SimRank example where
+    a and b become similar through their common in-neighbours."""
+    return make(
+        {(1, 3): 1.0, (1, 4): 1.0, (2, 3): 1.0, (2, 4): 1.0},
+        vertices=[1, 2, 3, 4],
+    )
+
+
+class TestSimrank:
+    def test_self_similarity_is_one(self, two_fans):
+        scores = simrank(two_fans)
+        for vid in (1, 2, 3, 4):
+            assert scores[(vid, vid)] == 1.0
+
+    def test_symmetric(self, two_fans):
+        scores = simrank(two_fans)
+        assert scores[(3, 4)] == scores[(4, 3)]
+
+    def test_common_parents_make_similar(self, two_fans):
+        scores = simrank(two_fans, decay=0.8, max_iterations=50)
+        # I(3) = I(4) = {1, 2}; parents are sources (s(1,2) = 0), so
+        # s(3,4) = 0.8/4 · (s(1,1) + 2·s(1,2) + s(2,2)) = 0.8·2/4 = 0.4
+        assert scores[(3, 4)] == pytest.approx(0.4, rel=1e-6)
+
+    def test_no_in_neighbours_means_zero(self, two_fans):
+        scores = simrank(two_fans)
+        assert scores.get((1, 2), 0.0) == 0.0
+
+    def test_scores_bounded(self, two_fans):
+        scores = simrank(two_fans)
+        assert all(0.0 <= value <= 1.0 + 1e-12 for value in scores.values())
+
+    def test_on_extracted_coauthor_graph(self):
+        graph = build_scholarly()
+        result = GraphExtractor(graph).extract(
+            LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+        )
+        scores = simrank(result.graph, max_iterations=30)
+        # a3 and a4 have identical co-author in-neighbourhoods {a3, a4}
+        assert scores[(A3, A4)] > scores.get((A1, A3), 0.0)
+
+
+class TestTriangles:
+    @pytest.fixture
+    def triangle_plus_tail(self):
+        return make(
+            {(1, 2): 1.0, (2, 3): 1.0, (3, 1): 1.0, (3, 4): 1.0},
+            vertices=[1, 2, 3, 4],
+        )
+
+    def test_triangle_counts(self, triangle_plus_tail):
+        counts = triangle_count(triangle_plus_tail)
+        assert counts[1] == counts[2] == counts[3] == 1
+        assert counts[4] == 0
+
+    def test_self_loops_ignored(self):
+        g = make({(1, 1): 1.0, (1, 2): 1.0}, vertices=[1, 2])
+        assert triangle_count(g) == {1: 0, 2: 0}
+
+    def test_clustering_coefficient(self, triangle_plus_tail):
+        coefficients = clustering_coefficient(triangle_plus_tail)
+        assert coefficients[1] == 1.0  # both neighbours connected
+        assert coefficients[3] == pytest.approx(1 / 3)  # 1 of 3 pairs
+        assert coefficients[4] == 0.0
+
+    def test_global_clustering(self, triangle_plus_tail):
+        # 1 triangle, triples: deg 2,2,3,1 -> 1+1+3+0 = 5
+        assert global_clustering(triangle_plus_tail) == pytest.approx(3 / 5)
+
+    def test_empty_graph(self):
+        g = make({}, vertices=[1, 2])
+        assert global_clustering(g) == 0.0
+        assert clustering_coefficient(g) == {1: 0.0, 2: 0.0}
+
+    def test_coauthor_cliques_fully_clustered(self):
+        """Co-author graphs of single-paper groups are cliques: clustering
+        coefficient 1 for authors with >= 2 co-authors."""
+        graph = build_scholarly()
+        graph.add_vertex(5, "Author")
+        graph.add_edge(5, 12, "authorBy")  # a5 joins paper p2 with a3, a4
+        result = GraphExtractor(graph).extract(
+            LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+        )
+        coefficients = clustering_coefficient(result.graph)
+        assert coefficients[A3] == 1.0
+        assert coefficients[5] == 1.0

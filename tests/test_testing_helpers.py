@@ -1,0 +1,90 @@
+"""Tests for the public verification helpers (repro.testing)."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.aggregates.base import OP_ADD, OP_MUL, DistributiveAggregate
+from repro.graph.pattern import LinePattern
+from repro.testing import (
+    VerificationError,
+    assert_aggregate_consistent,
+    assert_methods_agree,
+    crosscheck_plans,
+)
+
+from tests.conftest import build_scholarly
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+@pytest.fixture
+def coauthor():
+    return LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+
+
+class TestAssertMethodsAgree:
+    def test_passes_on_correct_methods(self, graph, coauthor):
+        assert_methods_agree(graph, coauthor)
+
+    def test_subset_of_methods(self, graph, coauthor):
+        assert_methods_agree(graph, coauthor, methods=("pge", "matrix"))
+
+    def test_longer_pattern(self, graph):
+        pattern = LinePattern.parse(
+            "Venue <-[publishAt]- Paper <-[authorBy]- Author "
+            "-[authorBy]-> Paper -[publishAt]-> Venue"
+        )
+        assert_methods_agree(graph, pattern, aggregate=library.sum_min())
+
+
+class TestAssertAggregateConsistent:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            library.path_count,
+            library.max_min,
+            library.avg_path_value,
+            library.exists_path,
+            library.median_path_value,  # holistic: basic-mode check only
+        ],
+    )
+    def test_library_aggregates_pass(self, graph, coauthor, factory):
+        assert_aggregate_consistent(graph, coauthor, factory())
+
+    def test_bogus_declaration_caught_structurally(self, graph, coauthor):
+        bogus = DistributiveAggregate(OP_ADD, OP_ADD, name="bogus")
+        with pytest.raises(Exception):  # AggregationError from Theorem 3 check
+            assert_aggregate_consistent(graph, coauthor, bogus)
+
+    def test_lying_aggregate_caught_at_runtime(self, graph):
+        """An aggregate whose declared ops pass the numeric check but whose
+        concat implementation does NOT distribute over ⊕ is caught by the
+        partial-vs-oracle comparison (on a pattern long enough that
+        merging happens before concatenation)."""
+
+        class Lying(DistributiveAggregate):
+            def concat(self, left, right):
+                return left * right + 0.5  # not the declared ⊗
+
+        lying = Lying(OP_MUL, OP_ADD, edge_value=lambda w: 1.0, name="lying")
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        with pytest.raises(VerificationError):
+            assert_aggregate_consistent(graph, pattern, lying)
+
+
+class TestCrosscheckPlans:
+    def test_passes_on_all_strategies(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        crosscheck_plans(graph, pattern)
+
+    def test_strategy_subset(self, graph, coauthor):
+        crosscheck_plans(graph, coauthor, strategies=("line", "hybrid"))

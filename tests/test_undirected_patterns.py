@@ -1,0 +1,134 @@
+"""Integration tests for undirected (ANY) pattern edges — Definition 5's
+third direction option."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.baselines.graphdb import extract_graphdb
+from repro.baselines.matrix import extract_matrix
+from repro.baselines.rpq import extract_rpq
+from repro.core.extractor import GraphExtractor
+from repro.core.incremental import IncrementalExtractor
+from repro.graph.pattern import Direction, LinePattern, PatternEdge
+from repro.graph.stats import GraphStatistics
+
+from tests.conftest import A1, P1, P2, P3, build_scholarly
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+class TestParsing:
+    def test_undirected_dsl(self):
+        pattern = LinePattern.parse("Paper -[citeBy]- Paper")
+        assert pattern.edges[0].direction is Direction.ANY
+
+    def test_mixed_directions(self):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[citeBy]- Paper"
+        )
+        assert pattern.edges[0].direction is Direction.FORWARD
+        assert pattern.edges[1].direction is Direction.ANY
+
+    def test_str_roundtrip(self):
+        text = "Paper -[citeBy]- Paper -[publishAt]-> Venue"
+        pattern = LinePattern.parse(text)
+        assert LinePattern.parse(str(pattern)) == pattern
+
+    def test_flip_is_identity(self):
+        assert Direction.ANY.flip() is Direction.ANY
+        edge = PatternEdge("e", Direction.ANY)
+        assert edge.flip() == edge
+
+    def test_undirected_symmetric_pattern(self):
+        pattern = LinePattern.parse("Paper -[citeBy]- Paper")
+        assert pattern.is_symmetric()
+
+    def test_validation_either_orientation(self, graph):
+        LinePattern.parse("Paper -[publishAt]- Venue").validate_against(
+            graph.schema
+        )
+        LinePattern.parse("Venue -[publishAt]- Paper").validate_against(
+            graph.schema
+        )
+        from repro.errors import PatternMismatchError
+
+        with pytest.raises(PatternMismatchError):
+            LinePattern.parse("Author -[publishAt]- Venue").validate_against(
+                graph.schema
+            )
+
+
+class TestSemantics:
+    def test_undirected_single_edge(self, graph):
+        """citeBy undirected: each directed edge matched in both
+        orientations."""
+        pattern = LinePattern.parse("Paper -[citeBy]- Paper")
+        result = GraphExtractor(graph).extract(pattern)
+        assert dict(result.graph.edges) == {
+            (P2, P1): 1.0,
+            (P1, P2): 1.0,
+            (P3, P2): 1.0,
+            (P2, P3): 1.0,
+        }
+
+    def test_stats_count_both_orientations(self, graph):
+        stats = GraphStatistics.collect(graph)
+        edge = PatternEdge("citeBy", Direction.ANY)
+        assert stats.slot_edge_count("Paper", edge, "Paper") == 4
+
+    def test_undirected_citation_neighbourhood(self, graph):
+        """Papers within two undirected citation hops."""
+        pattern = LinePattern.chain(
+            "Paper", "citeBy", 2, direction=Direction.ANY
+        )
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        result = GraphExtractor(graph, num_workers=2).extract(pattern)
+        assert result.graph.equals(oracle.graph)
+        # p1 -(undirected)- p2 -(undirected)- p3 exists
+        assert oracle.graph.has_edge(P1, P3)
+
+
+class TestAllMethodsAgree:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Paper -[citeBy]- Paper",
+            "Paper -[citeBy]- Paper -[citeBy]- Paper",
+            "Author -[authorBy]-> Paper -[citeBy]- Paper <-[authorBy]- Author",
+            "* -[citeBy]- *",
+        ],
+    )
+    def test_undirected_matches_oracle_everywhere(self, graph, text):
+        pattern = LinePattern.parse(text)
+        aggregate = library.path_count()
+        oracle = extract_bruteforce(graph, pattern, aggregate)
+        for strategy in ("line", "hybrid"):
+            pge = GraphExtractor(graph, num_workers=3, strategy=strategy).extract(
+                pattern
+            )
+            assert pge.graph.equals(oracle.graph), (text, strategy)
+        assert extract_graphdb(graph, pattern, aggregate).graph.equals(oracle.graph)
+        assert extract_matrix(graph, pattern, aggregate).graph.equals(oracle.graph)
+        assert extract_rpq(graph, pattern, aggregate).graph.equals(oracle.graph)
+
+
+class TestIncrementalWithUndirected:
+    def test_insert_into_undirected_chain(self, graph):
+        pattern = LinePattern.chain("Paper", "citeBy", 2, direction=Direction.ANY)
+        inc = IncrementalExtractor(graph, pattern)
+        inc.add_edge(P1, P3, "citeBy")
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        assert inc.extracted().equals(oracle.graph), inc.extracted().diff(
+            oracle.graph
+        )
+
+    def test_remove_from_undirected_chain(self, graph):
+        pattern = LinePattern.chain("Paper", "citeBy", 2, direction=Direction.ANY)
+        inc = IncrementalExtractor(graph, pattern)
+        inc.remove_edge(P2, P1, "citeBy")
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        assert inc.extracted().equals(oracle.graph)

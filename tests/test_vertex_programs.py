@@ -1,0 +1,143 @@
+"""Tests for the BSP-based analysis programs and global aggregators."""
+
+import pytest
+
+from repro.aggregates.base import OP_ADD, OP_MAX
+from repro.analysis import (
+    connected_components,
+    connected_components_parallel,
+    pagerank,
+    pagerank_parallel,
+)
+from repro.core.extractor import GraphExtractor
+from repro.core.result import ExtractedGraph
+from repro.engine.bsp import BSPEngine, VertexProgram
+from repro.engine.parallel import ThreadedBSPEngine
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import build_scholarly
+
+
+@pytest.fixture
+def diamond():
+    return ExtractedGraph(
+        "A",
+        "A",
+        {1, 2, 3, 4, 5},
+        {(1, 2): 2.0, (1, 3): 1.0, (2, 4): 1.0, (3, 4): 1.0},
+    )
+
+
+class TestGlobalAggregators:
+    def test_reduce_visible_next_superstep(self):
+        observations = {}
+
+        class Summer(VertexProgram):
+            def num_supersteps(self):
+                return 3
+
+            def global_reducers(self):
+                return {"total": OP_ADD, "peak": OP_MAX}
+
+            def compute(self, ctx):
+                observations.setdefault(ctx.superstep, dict(ctx.globals))
+                ctx.reduce_global("total", 1.0)
+                ctx.reduce_global("peak", float(ctx.vid))
+
+        BSPEngine([0, 1, 2], num_workers=2).run(Summer())
+        assert observations[0] == {}
+        assert observations[1] == {"total": 3.0, "peak": 2.0}
+        assert observations[2] == {"total": 3.0, "peak": 2.0}
+
+    def test_last_globals_exposed(self):
+        class Summer(VertexProgram):
+            def num_supersteps(self):
+                return 1
+
+            def global_reducers(self):
+                return {"total": OP_ADD}
+
+            def compute(self, ctx):
+                ctx.reduce_global("total", 2.0)
+
+        engine = BSPEngine([0, 1], num_workers=1)
+        engine.run(Summer())
+        assert engine.last_globals == {"total": 4.0}
+
+    def test_undeclared_aggregator_raises(self):
+        class Bad(VertexProgram):
+            def num_supersteps(self):
+                return 1
+
+            def compute(self, ctx):
+                ctx.reduce_global("nope", 1.0)
+
+        with pytest.raises(KeyError):
+            BSPEngine([0], num_workers=1).run(Bad())
+
+    def test_threaded_engine_merges_globals(self):
+        class Summer(VertexProgram):
+            def num_supersteps(self):
+                return 2
+
+            def global_reducers(self):
+                return {"total": OP_ADD}
+
+            def compute(self, ctx):
+                if ctx.superstep == 0:
+                    ctx.reduce_global("total", 1.0)
+                else:
+                    ctx.state()["seen"] = ctx.globals["total"]
+
+            def finish(self, states, metrics):
+                return {vid: s["seen"] for vid, s in states.items()}
+
+        result = ThreadedBSPEngine(list(range(6)), num_workers=3).run(Summer())
+        assert all(value == 6.0 for value in result.values())
+
+
+class TestParallelPagerank:
+    def test_matches_serial(self, diamond):
+        serial = pagerank(diamond, tolerance=1e-12)
+        parallel = pagerank_parallel(diamond, num_workers=3, tolerance=1e-12)
+        assert set(parallel) == set(serial)
+        for vid in serial:
+            assert parallel[vid] == pytest.approx(serial[vid], rel=1e-6)
+
+    def test_sums_to_one(self, diamond):
+        ranks = pagerank_parallel(diamond, num_workers=2)
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_on_extracted_coauthor_graph(self):
+        graph = build_scholarly()
+        result = GraphExtractor(graph).extract(
+            LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+        )
+        serial = pagerank(result.graph, tolerance=1e-12)
+        parallel = pagerank_parallel(result.graph, num_workers=4, tolerance=1e-12)
+        for vid in serial:
+            assert parallel[vid] == pytest.approx(serial[vid], rel=1e-6)
+
+    def test_converges_before_max_iterations(self, diamond):
+        engine = BSPEngine(sorted(diamond.vertices), num_workers=1)
+        pagerank_parallel(diamond, engine=engine, tolerance=1e-8)
+        assert engine.last_metrics.num_supersteps < 100
+
+
+class TestParallelComponents:
+    def test_matches_serial(self, diamond):
+        serial = connected_components(diamond)
+        labels = connected_components_parallel(diamond, num_workers=2)
+        grouped = {}
+        for vid, comp in labels.items():
+            grouped.setdefault(comp, []).append(vid)
+        parallel_components = sorted(
+            (sorted(members) for members in grouped.values()),
+            key=lambda c: (-len(c), c[0]),
+        )
+        assert parallel_components == serial
+
+    def test_component_label_is_min_member(self, diamond):
+        labels = connected_components_parallel(diamond, num_workers=2)
+        assert labels[1] == labels[4] == 1
+        assert labels[5] == 5

@@ -1,0 +1,121 @@
+"""Integration tests for wildcard (*) vertex positions."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.baselines.graphdb import extract_graphdb
+from repro.baselines.matrix import extract_matrix
+from repro.baselines.rpq import extract_rpq
+from repro.core.extractor import GraphExtractor
+from repro.graph.pattern import ANY_LABEL, LinePattern, label_matches
+from repro.graph.stats import GraphStatistics
+
+from tests.conftest import A1, A2, P1, P2, P3, V1, build_scholarly
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+class TestParsing:
+    def test_wildcard_in_dsl(self):
+        pattern = LinePattern.parse("* -[authorBy]-> Paper")
+        assert pattern.start_label == ANY_LABEL
+        assert pattern.label_at(1) == "Paper"
+
+    def test_label_matches_helper(self):
+        assert label_matches("Author", ANY_LABEL)
+        assert label_matches("Author", "Author")
+        assert not label_matches("Author", "Paper")
+
+    def test_validation_accepts_wildcards(self, graph):
+        pattern = LinePattern.parse("* -[authorBy]-> * <-[authorBy]- *")
+        pattern.validate_against(graph.schema)
+
+    def test_validation_still_checks_edge_labels(self, graph):
+        from repro.errors import PatternMismatchError
+
+        pattern = LinePattern.parse("* -[nonexistent]-> *")
+        with pytest.raises(PatternMismatchError):
+            pattern.validate_against(graph.schema)
+
+
+class TestStatistics:
+    def test_wildcard_vertex_count(self, graph):
+        stats = GraphStatistics.collect(graph)
+        assert stats.vertex_count(ANY_LABEL) == graph.num_vertices()
+
+    def test_wildcard_triple_counts(self, graph):
+        stats = GraphStatistics.collect(graph)
+        assert stats.triple_count(ANY_LABEL, "authorBy", "Paper") == 6
+        assert stats.triple_count("Author", "authorBy", ANY_LABEL) == 6
+        assert stats.triple_count(ANY_LABEL, "publishAt", ANY_LABEL) == 3
+
+
+class TestExtractionSemantics:
+    def test_wildcard_interior_equals_concrete(self, graph):
+        """On this schema authorBy only reaches Papers, so a wildcard
+        middle position gives exactly the co-author graph."""
+        concrete = GraphExtractor(graph).extract(
+            LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+        )
+        wildcard = GraphExtractor(graph).extract(
+            LinePattern.parse("Author -[authorBy]-> * <-[authorBy]- Author")
+        )
+        assert wildcard.graph.equals(concrete.graph)
+
+    def test_wildcard_endpoint(self, graph):
+        """citeBy chains with a wildcard end match papers only (citeBy
+        always lands on Paper) — and the vertex set covers everything."""
+        pattern = LinePattern.parse("Paper -[citeBy]-> *")
+        result = GraphExtractor(graph).extract(pattern)
+        assert dict(result.graph.edges) == {(P2, P1): 1.0, (P3, P2): 1.0}
+        assert result.graph.num_vertices() == graph.num_vertices()
+
+    def test_all_wildcards(self, graph):
+        """A fully wildcarded length-2 pattern counts all 2-edge walks."""
+        pattern = LinePattern.parse("* -[authorBy]-> * -[publishAt]-> *")
+        result = GraphExtractor(graph).extract(pattern)
+        # every author->paper edge extends to that paper's venue
+        assert result.graph.value(A1, V1) == 1.0
+        assert result.graph.num_edges() == 6
+
+
+class TestAllMethodsAgree:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "* -[authorBy]-> Paper <-[authorBy]- *",
+            "Author -[authorBy]-> * -[publishAt]-> Venue",
+            "* -[citeBy]-> *",
+            "* -[authorBy]-> * -[publishAt]-> * <-[publishAt]- * <-[authorBy]- *",
+        ],
+    )
+    def test_wildcards_match_oracle_everywhere(self, graph, text):
+        pattern = LinePattern.parse(text)
+        aggregate = library.path_count()
+        oracle = extract_bruteforce(graph, pattern, aggregate)
+        for strategy in ("line", "hybrid"):
+            pge = GraphExtractor(graph, num_workers=3, strategy=strategy).extract(
+                pattern
+            )
+            assert pge.graph.equals(oracle.graph), (text, strategy)
+        assert extract_graphdb(graph, pattern, aggregate).graph.equals(oracle.graph)
+        assert extract_matrix(graph, pattern, aggregate).graph.equals(oracle.graph)
+        assert extract_rpq(graph, pattern, aggregate).graph.equals(oracle.graph)
+
+    def test_wildcard_with_filter(self, graph):
+        from repro.graph.filters import VertexFilter
+
+        graph.add_vertex(P1, "Paper", {"year": 2008})
+        graph.add_vertex(P2, "Paper", {"year": 2012})
+        graph.add_vertex(P3, "Paper", {"year": 2015})
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> * <-[authorBy]- Author"
+        ).with_filter(1, VertexFilter("year", "ge", 2010))
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        pge = GraphExtractor(graph, num_workers=2).extract(pattern)
+        assert pge.graph.equals(oracle.graph)
+        assert not pge.graph.has_edge(A1, A2)  # p1 is pre-2010

@@ -1,0 +1,88 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.workloads.harness import (
+    METHODS,
+    Row,
+    format_table,
+    reference_graph,
+    run_method,
+    run_workload,
+    summarize,
+)
+
+
+class TestReferenceGraph:
+    def test_cached(self):
+        a = reference_graph("dblp", scale=0.05)
+        b = reference_graph("dblp", scale=0.05)
+        assert a is b
+
+    def test_scale_shrinks(self):
+        small = reference_graph("dblp", scale=0.05)
+        smaller = reference_graph("dblp", scale=0.02)
+        assert smaller.num_vertices() < small.num_vertices()
+
+    def test_patent_dataset(self):
+        g = reference_graph("patent", scale=0.05)
+        assert g.count_label("Patent") > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            reference_graph("imdb")
+
+
+class TestRunMethod:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return reference_graph("dblp", scale=0.05)
+
+    def test_all_methods_agree(self, graph):
+        from repro.workloads.patterns import get_workload
+
+        pattern = get_workload("dblp-SP1").pattern
+        results = {
+            method: run_method(method, graph, pattern, num_workers=2)
+            for method in METHODS
+        }
+        reference = results["pge"].graph
+        for method, result in results.items():
+            assert result.graph.equals(reference), method
+
+    def test_unknown_method(self, graph):
+        from repro.workloads.patterns import get_workload
+
+        with pytest.raises(DatasetError, match="unknown method"):
+            run_method("magic", graph, get_workload("dblp-SP1").pattern)
+
+
+class TestRunWorkload:
+    def test_named_workload_runs(self):
+        result = run_workload("dblp-SP1", scale=0.05, num_workers=2)
+        assert result.graph.num_edges() > 0
+        assert result.plan is not None
+
+
+class TestFormatting:
+    def test_format_table(self):
+        rows = [
+            Row("dblp-SP1", {"runtime": 1.2345, "paths": 100}),
+            Row("dblp-SP2", {"runtime": 0.001234, "paths": 2000000}),
+        ]
+        text = format_table(rows, ["runtime", "paths"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "workload" in lines[1]
+        assert "dblp-SP1" in text
+        assert "2e+06" in text or "2000000" in text
+
+    def test_missing_column_dash(self):
+        text = format_table([Row("x", {})], ["absent"])
+        assert "-" in text.splitlines()[-1]
+
+    def test_summarize_picks_keys(self):
+        result = run_workload("dblp-SP1", scale=0.05, num_workers=2)
+        summary = summarize(result, ["iterations", "intermediate_paths"])
+        assert set(summary) == {"iterations", "intermediate_paths"}

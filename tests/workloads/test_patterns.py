@@ -1,0 +1,56 @@
+"""Unit tests for the named paper workloads."""
+
+import pytest
+
+from repro.datasets.dblp import dblp_schema
+from repro.datasets.patent import patent_schema
+from repro.errors import PatternError
+from repro.workloads.patterns import (
+    HEAVY_PATTERNS,
+    LIGHT_PATTERNS,
+    WORKLOADS,
+    get_workload,
+    workloads_for_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_nine_workloads_present(self):
+        assert len(WORKLOADS) == 9
+        assert set(WORKLOADS) == {
+            "dblp-BP1", "dblp-SP1", "dblp-SP2", "dblp-SP3",
+            "patent-BP1", "patent-BP2", "patent-SP1", "patent-SP2", "patent-SP3",
+        }
+
+    def test_kind_classification(self):
+        assert get_workload("dblp-BP1").kind == "BP"
+        assert get_workload("dblp-SP1").kind == "SP"
+
+    def test_patterns_validate_against_their_schemas(self):
+        schemas = {"dblp": dblp_schema(), "patent": patent_schema()}
+        for workload in WORKLOADS.values():
+            workload.pattern.validate_against(schemas[workload.dataset])
+
+    def test_symmetry_patterns_are_symmetric(self):
+        for name in ("dblp-SP1", "dblp-SP2", "dblp-SP3", "patent-SP1"):
+            assert get_workload(name).pattern.is_symmetric(), name
+
+    def test_bipartite_patterns_connect_distinct_labels(self):
+        for name, workload in WORKLOADS.items():
+            if workload.kind == "BP":
+                pattern = workload.pattern
+                assert pattern.start_label != pattern.end_label, name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(PatternError, match="available"):
+            get_workload("dblp-SP9")
+
+    def test_workloads_for_dataset(self):
+        assert len(workloads_for_dataset("dblp")) == 4
+        assert len(workloads_for_dataset("patent")) == 5
+
+
+class TestLightHeavySplit:
+    def test_partition_is_complete_and_disjoint(self):
+        assert set(LIGHT_PATTERNS) | set(HEAVY_PATTERNS) == set(WORKLOADS)
+        assert not set(LIGHT_PATTERNS) & set(HEAVY_PATTERNS)
