@@ -19,6 +19,8 @@ Quickstart
 True
 """
 
+from __future__ import annotations
+
 from repro import aggregates, baselines, datasets, workloads
 from repro.core.cost import CostModel
 from repro.core.extractor import GraphExtractor

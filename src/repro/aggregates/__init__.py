@@ -1,5 +1,7 @@
 """Two-level aggregates: model, taxonomy and a function library."""
 
+from __future__ import annotations
+
 from repro.aggregates.base import (
     OP_ADD,
     OP_MAX,

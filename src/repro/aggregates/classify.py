@@ -32,12 +32,40 @@ def classify(aggregate: Aggregate) -> AggregationKind:
     return aggregate.kind
 
 
-def _close(a: float, b: float, rel_tol: float) -> bool:
+def values_close(
+    a: object, b: object, rel_tol: float = 1e-9, abs_tol: float = 1e-12
+) -> bool:
+    """Tolerant equality across the value domains aggregates produce.
+
+    * floats/ints compare with :func:`math.isclose`;
+    * two NaNs compare **equal** (an identity whose both sides collapse
+      to NaN — e.g. ``inf + (-inf)`` — is satisfied, not violated);
+    * infinities compare exactly (same sign required; an infinity never
+      equals a finite value);
+    * booleans compare exactly (reachability aggregates);
+    * tuples/lists compare element-wise (algebraic and bounded
+      aggregates carry tuple values);
+    * everything else falls back to ``==``.
+    """
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        return len(a) == len(b) and all(
+            values_close(x, y, rel_tol, abs_tol) for x, y in zip(a, b)
+        )
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a == b
     if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        a, b = float(a), float(b)
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
         if math.isinf(a) or math.isinf(b):
             return a == b
-        return math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12)
+        return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
     return a == b
+
+
+def _close(a: float, b: float, rel_tol: float) -> bool:
+    """Backward-compatible alias for :func:`values_close`."""
+    return values_close(a, b, rel_tol=rel_tol)
 
 
 def check_distributive_pair(
@@ -58,11 +86,11 @@ def check_distributive_pair(
     for a, b, c in itertools.product(values, repeat=3):
         left = combine_op(a, merge_op(b, c))
         right = merge_op(combine_op(a, b), combine_op(a, c))
-        if not _close(left, right, rel_tol):
+        if not values_close(left, right, rel_tol=rel_tol):
             return False
         left = combine_op(merge_op(b, c), a)
         right = merge_op(combine_op(b, a), combine_op(c, a))
-        if not _close(left, right, rel_tol):
+        if not values_close(left, right, rel_tol=rel_tol):
             return False
     return True
 

@@ -7,6 +7,8 @@ provides the downstream half of that story for
 :class:`~repro.core.result.ExtractedGraph` instances.
 """
 
+from __future__ import annotations
+
 from repro.analysis.algorithms import (
     connected_components,
     degree_centrality,

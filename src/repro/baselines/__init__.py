@@ -1,6 +1,8 @@
 """Comparator implementations: brute-force oracle, graph-database-style
 traversal, matrix path algebra, and RPQ frontier expansion."""
 
+from __future__ import annotations
+
 from repro.baselines.bruteforce import (
     enumerate_paths,
     extract_bruteforce,

@@ -7,7 +7,9 @@ Run as ``python -m repro <command>``:
 * ``plan``      — show the concatenation plans each strategy compiles;
 * ``extract``   — run one extraction and report metrics (optionally
   writing the extracted edge list);
-* ``compare``   — run several methods on one workload and print a table.
+* ``compare``   — run several methods on one workload and print a table;
+* ``lint``      — run the first-party static-analysis rules over source
+  files (exit 1 on findings; the permanent CI gate).
 
 Examples
 --------
@@ -20,6 +22,7 @@ Examples
     python -m repro extract --dataset dblp --workload dblp-SP1 --workers 8
     python -m repro compare --dataset dblp --workload dblp-SP2 \\
         --methods pge,rpq,matrix
+    python -m repro.cli lint --format json src/repro
 """
 
 from __future__ import annotations
@@ -254,6 +257,26 @@ def cmd_discover(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the AST lint rules; exit 0 when clean, 1 on any finding."""
+    from repro.lint import REPORTERS, get_rules, load_config, run_lint
+    from repro.lint.rules import RULES_BY_NAME
+
+    config = load_config(args.config)
+    if args.rules:
+        rules = get_rules(args.rules.split(","))
+    else:
+        rules = get_rules(config.rule_names(list(RULES_BY_NAME)))
+    paths = args.paths
+    if not paths:
+        from pathlib import Path
+
+        paths = [str(Path(__file__).resolve().parent)]
+    report = run_lint(paths, rules=rules, config=config)
+    print(REPORTERS[args.format](report))
+    return 0 if report.ok else 1
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     graph = _resolve_graph(args)
     pattern = _resolve_pattern(args)
@@ -369,6 +392,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--workers", type=int, default=4)
 
+    lint = sub.add_parser(
+        "lint", help="run the first-party static-analysis rules"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--rules",
+        help="comma-separated rule names to run (default: configured set)",
+    )
+    lint.add_argument(
+        "--config", metavar="FILE",
+        help="explicit pyproject.toml with a [tool.repro.lint] section",
+    )
+
     return parser
 
 
@@ -380,6 +424,7 @@ COMMANDS = {
     "analyze": cmd_analyze,
     "discover": cmd_discover,
     "compare": cmd_compare,
+    "lint": cmd_lint,
 }
 
 
@@ -390,6 +435,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    """Console entry point: ``repro-lint`` == ``python -m repro.cli lint``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return main(["lint"] + argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

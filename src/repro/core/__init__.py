@@ -1,6 +1,8 @@
 """The paper's core contribution: path-concatenation planning, cost-based
 plan selection, vertex-centric evaluation and pair-wise aggregation."""
 
+from __future__ import annotations
+
 from repro.core.cost import CostModel, ExactLeafCostModel
 from repro.core.evaluator import PathConcatenationProgram, run_extraction
 from repro.core.extractor import GraphExtractor

@@ -157,6 +157,10 @@ class PathConcatenationProgram(VertexProgram):
     def finish(self, states: Dict[VertexId, Any], metrics: RunMetrics) -> ExtractedGraph:
         edges: Dict[Tuple[VertexId, VertexId], Any] = {}
         for vid, state in states.items():
+            # fold per-vertex trace trails into the shared map here, after
+            # the parallel phase: compute must not touch instance state
+            for key, trails in state.get("traced", {}).items():
+                self._traced.setdefault(key, []).extend(trails)
             result = state.get("result")
             if not result:
                 continue
@@ -360,11 +364,12 @@ class PathConcatenationProgram(VertexProgram):
             ctx.add_work(len(paths))
             ctx.add_counter("final_paths", len(paths))
             grouped: Dict[VertexId, List[Any]] = {}
+            traced = state.setdefault("traced", {}) if self.trace else None
             for item in paths:
                 start, value = item[0], item[1]
                 grouped.setdefault(start, []).append(value)
-                if self.trace:
-                    self._traced.setdefault((start, ctx.vid), []).append(item[2])
+                if traced is not None:
+                    traced.setdefault((start, ctx.vid), []).append(item[2])
             for start, values in grouped.items():
                 result[start] = self.aggregate.finalize_all(values)
         else:

@@ -47,6 +47,15 @@ class GraphExtractor:
     validate_patterns:
         When true, patterns are checked against the graph schema before
         running (catches typos early instead of returning empty results).
+    verify:
+        When true (the default), every run passes through the static
+        contract verifiers in :mod:`repro.lint.contracts`: the selected
+        plan is checked against the Theorem 2 invariants
+        (:class:`~repro.lint.contracts.PlanVerifier`) and the aggregate's
+        declared kind against sampled algebraic laws
+        (:class:`~repro.lint.contracts.AggregateContractChecker`).
+        Violations raise :class:`~repro.errors.PlanError` /
+        :class:`~repro.errors.AggregationError` before any superstep runs.
     """
 
     def __init__(
@@ -57,6 +66,7 @@ class GraphExtractor:
         partial_aggregation: bool = True,
         validate_patterns: bool = True,
         estimator: str = "uniform",
+        verify: bool = True,
     ) -> None:
         self.graph = graph
         self.num_workers = num_workers
@@ -64,7 +74,15 @@ class GraphExtractor:
         self.partial_aggregation = partial_aggregation
         self.validate_patterns = validate_patterns
         self.estimator = estimator
+        self.verify = verify
         self._stats: Optional[GraphStatistics] = None
+
+    def _verify_inputs(self, aggregate: Aggregate, plan: Optional[PCP]) -> None:
+        from repro.lint.contracts import AggregateContractChecker, PlanVerifier
+
+        AggregateContractChecker().verify(aggregate)
+        if plan is not None:
+            PlanVerifier().verify_plan(plan)
 
     @property
     def stats(self) -> GraphStatistics:
@@ -113,6 +131,7 @@ class GraphExtractor:
         plan: Optional[PCP] = None,
         num_workers: Optional[int] = None,
         trace: bool = False,
+        verify: Optional[bool] = None,
     ) -> ExtractionResult:
         """Run one extraction and return the
         :class:`~repro.core.result.ExtractionResult`.
@@ -120,9 +139,12 @@ class GraphExtractor:
         ``aggregate`` defaults to path counting (the paper's representative
         aggregate).  Any argument left ``None`` falls back to the
         extractor's defaults; an explicit ``plan`` bypasses plan selection.
+        ``verify`` overrides the extractor-level contract-verification
+        flag for this call.
         """
         if aggregate is None:
             aggregate = path_count()
+        use_verify = self.verify if verify is None else verify
         validate_aggregate(aggregate)
         if self.validate_patterns:
             try:
@@ -140,6 +162,8 @@ class GraphExtractor:
             plan = self.plan(
                 pattern, strategy=strategy, partial_aggregation=use_partial
             )
+        if use_verify:
+            self._verify_inputs(aggregate, plan)
         return run_extraction(
             self.graph,
             pattern,
@@ -156,6 +180,7 @@ class GraphExtractor:
         aggregate: Optional[Aggregate] = None,
         strategy: Optional[str] = None,
         num_workers: Optional[int] = None,
+        verify: Optional[bool] = None,
     ):
         """Extract several patterns in one shared BSP run.
 
@@ -169,12 +194,16 @@ class GraphExtractor:
         from repro.core.batch import run_batch_extraction
 
         aggregate = aggregate if aggregate is not None else path_count()
+        use_verify = self.verify if verify is None else verify
         validate_aggregate(aggregate)
         jobs = []
         for pattern in patterns:
             if self.validate_patterns:
                 pattern.validate_against(self.graph.schema)
             jobs.append((pattern, self.plan(pattern, strategy=strategy), aggregate))
+        if use_verify:
+            for _, job_plan, job_aggregate in jobs:
+                self._verify_inputs(job_aggregate, job_plan)
         return run_batch_extraction(
             self.graph,
             jobs,

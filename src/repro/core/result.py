@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.engine.metrics import RunMetrics
+from repro.errors import ResultError
 from repro.graph.hetgraph import VertexId
 
 EdgeKey = Tuple[VertexId, VertexId]
@@ -145,7 +146,7 @@ class ExtractedGraph:
                 for vid in self.vertices:
                     result.add_vertex(vid, graph.label_of(vid))
             else:
-                raise ValueError(
+                raise ResultError(
                     "bipartite extraction: pass graph= (to recover labels) "
                     "or vertex_label= (to force one)"
                 )

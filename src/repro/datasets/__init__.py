@@ -1,5 +1,7 @@
 """Synthetic dataset generators standing in for dblp-2014 and us-patent."""
 
+from __future__ import annotations
+
 from repro.datasets.dblp import dblp_schema, generate_dblp, tiny_dblp
 from repro.datasets.imdb import generate_imdb, imdb_schema, tiny_imdb
 from repro.datasets.patent import generate_patent, patent_schema, tiny_patent

@@ -1,6 +1,8 @@
 """Vertex-centric BSP engine: the Pregel/Giraph-style substrate the
 extraction framework (and the RPQ baseline) run on."""
 
+from __future__ import annotations
+
 from repro.engine.bsp import BSPEngine, ComputeContext, VertexProgram
 from repro.engine.checkpoint import (
     FileCheckpointStore,

@@ -177,10 +177,20 @@ class BSPEngine:
         """The per-worker vertex slices."""
         return self._partitions
 
-    def run(self, program: VertexProgram) -> Any:
+    def run(self, program: VertexProgram, verify: bool = False) -> Any:
         """Execute ``program`` to completion and return ``program.finish``'s
         result.  The :class:`RunMetrics` are attached as
-        ``engine.last_metrics``."""
+        ``engine.last_metrics``.
+
+        With ``verify=True`` the program's source is first checked against
+        the vertex-centric isolation contract (no mutation of shared state
+        from the compute path); a violation raises
+        :class:`~repro.errors.EngineError` before any superstep runs.
+        """
+        if verify:
+            from repro.lint.contracts import verify_vertex_program
+
+            verify_vertex_program(program)
         metrics = RunMetrics(num_workers=self.num_workers)
         states: Dict[VertexId, Any] = {}
         ctx = ComputeContext(states, metrics)

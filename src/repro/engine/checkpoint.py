@@ -125,9 +125,15 @@ class RecoverableBSPEngine(BSPEngine):
         self.checkpoint_every = checkpoint_every
         self.store = store if store is not None else InMemoryCheckpointStore()
 
-    def run(self, program: VertexProgram, resume: bool = False) -> Any:
+    def run(
+        self, program: VertexProgram, resume: bool = False, verify: bool = False
+    ) -> Any:
         """Execute ``program``; with ``resume=True`` continue from the
         latest checkpoint instead of superstep 0."""
+        if verify:
+            from repro.lint.contracts import verify_vertex_program
+
+            verify_vertex_program(program)
         if resume:
             latest = self.store.latest()
             if latest is None:

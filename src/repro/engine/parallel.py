@@ -36,7 +36,11 @@ class ThreadedBSPEngine(BSPEngine):
     ``⊕`` must be commutative/associative, which the two-level model
     already requires)."""
 
-    def run(self, program: VertexProgram) -> Any:
+    def run(self, program: VertexProgram, verify: bool = False) -> Any:
+        if verify:
+            from repro.lint.contracts import verify_vertex_program
+
+            verify_vertex_program(program)
         metrics = RunMetrics(num_workers=self.num_workers)
         states: Dict[VertexId, Any] = {}
         combiner = program.combiner()

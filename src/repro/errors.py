@@ -38,3 +38,11 @@ class EngineError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset generator received invalid parameters."""
+
+
+class ResultError(ReproError, ValueError):
+    """An extraction result cannot be exported as requested.
+
+    Also a :class:`ValueError` for backward compatibility with callers
+    that predate the unified hierarchy.
+    """

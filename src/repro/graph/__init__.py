@@ -1,6 +1,8 @@
 """Heterogeneous graph data model: storage, schema, line patterns,
 partitioning, statistics and serialisation."""
 
+from __future__ import annotations
+
 from repro.graph.filters import VertexFilter
 from repro.graph.hetgraph import Edge, HeterogeneousGraph, VertexId
 from repro.graph.partition import HashPartitioner, RoundRobinPartitioner

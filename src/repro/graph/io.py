@@ -69,10 +69,16 @@ def load_edgelist(path: PathLike) -> HeterogeneousGraph:
                         _, src, dst, label, weight_str = fields
                         weight = float(weight_str)
                     else:
-                        raise ValueError("wrong number of fields")
+                        raise DatasetError(
+                            f"{path}:{lineno}: malformed line {line!r} "
+                            f"(wrong number of fields)"
+                        )
                     graph.add_edge(int(src), int(dst), label, weight)
                 else:
-                    raise ValueError(f"unknown record kind {kind!r}")
+                    raise DatasetError(
+                        f"{path}:{lineno}: malformed line {line!r} "
+                        f"(unknown record kind {kind!r})"
+                    )
             except (ValueError, IndexError) as exc:
                 raise DatasetError(
                     f"{path}:{lineno}: malformed line {line!r} ({exc})"

@@ -1,0 +1,68 @@
+"""First-party static analysis for the reproduction codebase.
+
+Two layers:
+
+* **Contract verifiers** (:mod:`repro.lint.contracts`) run on live
+  objects — :class:`PlanVerifier` checks PCP node trees against
+  Theorem 2, :class:`AggregateContractChecker` checks declared
+  aggregation kinds against sampled algebraic laws, and
+  :func:`verify_vertex_program` checks the lock-free compute contract.
+  They are wired into :class:`~repro.core.extractor.GraphExtractor` and
+  the BSP engines behind ``verify`` flags.
+* **AST lint rules** (:mod:`repro.lint.rules`) run on source files via
+  :func:`run_lint` / ``python -m repro.cli lint`` and gate the whole
+  repository through a tier-1 meta-test.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.contracts import (
+    AggregateContractChecker,
+    PlanVerifier,
+    check_vertex_program,
+    verify_vertex_program,
+)
+from repro.lint.engine import iter_python_files, lint_module, run_lint
+from repro.lint.findings import Finding, LintReport, Severity
+from repro.lint.reporters import REPORTERS, render_json, render_text
+from repro.lint.rules import (
+    ALL_RULES,
+    RULES_BY_NAME,
+    BareExceptRule,
+    ForeignRaiseRule,
+    FrozenMutationRule,
+    FutureAnnotationsRule,
+    ModuleSource,
+    Rule,
+    SharedStateRule,
+    get_rules,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "AggregateContractChecker",
+    "BareExceptRule",
+    "Finding",
+    "ForeignRaiseRule",
+    "FrozenMutationRule",
+    "FutureAnnotationsRule",
+    "LintConfig",
+    "LintReport",
+    "ModuleSource",
+    "PlanVerifier",
+    "REPORTERS",
+    "RULES_BY_NAME",
+    "Rule",
+    "Severity",
+    "SharedStateRule",
+    "check_vertex_program",
+    "get_rules",
+    "iter_python_files",
+    "lint_module",
+    "load_config",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "verify_vertex_program",
+]

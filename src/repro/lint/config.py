@@ -1,0 +1,119 @@
+"""Lint configuration from ``[tool.repro.lint]`` in pyproject.toml.
+
+Recognised keys::
+
+    [tool.repro.lint]
+    enable = ["all"]              # or an explicit rule list
+    disable = ["future-annotations"]
+
+    [tool.repro.lint.per-path-ignores]
+    "src/repro/baselines/*.py" = ["shared-state"]
+
+``enable`` selects the rule set (``"all"`` means every registered rule),
+``disable`` subtracts from it, and ``per-path-ignores`` maps fnmatch
+globs (matched against the finding's POSIX-style path, both absolute and
+relative) to rules suppressed under those paths.  Inline suppression is
+also supported: a ``# lint: disable=<rule>`` comment on the offending
+line silences that single finding.
+
+The parser uses :mod:`tomllib` (stdlib since 3.11); on older interpreters
+without it the loader degrades to the default configuration rather than
+adding a dependency.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+try:  # stdlib on >= 3.11; config is optional elsewhere
+    import tomllib
+except ImportError:  # pragma: no cover - version-dependent
+    tomllib = None
+
+
+@dataclass
+class LintConfig:
+    """Resolved lint settings."""
+
+    enable: List[str] = field(default_factory=lambda: ["all"])
+    disable: List[str] = field(default_factory=list)
+    per_path_ignores: Dict[str, List[str]] = field(default_factory=dict)
+    source: Optional[str] = None  # where the config was read from
+
+    def rule_names(self, known: Sequence[str]) -> List[str]:
+        """The enabled rule names, in registry order."""
+        if "all" in self.enable:
+            selected = list(known)
+        else:
+            selected = [name for name in known if name in set(self.enable)]
+        disabled = set(self.disable)
+        return [name for name in selected if name not in disabled]
+
+    def ignored_at(self, path: str, rule: str) -> bool:
+        """Whether ``rule`` is suppressed for ``path`` by a glob entry."""
+        posix = Path(path).as_posix()
+        for pattern, rules in self.per_path_ignores.items():
+            if rule not in rules and "all" not in rules:
+                continue
+            if fnmatch.fnmatch(posix, pattern) or fnmatch.fnmatch(
+                posix, f"*/{pattern}"
+            ):
+                return True
+        return False
+
+
+def _as_str_list(value: object, key: str) -> List[str]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ReproError(f"[tool.repro.lint] {key} must be a list of strings")
+    return list(value)
+
+
+def load_config(pyproject: Optional[str] = None) -> LintConfig:
+    """Load lint configuration.
+
+    ``pyproject`` names an explicit file; otherwise the loader walks up
+    from the current directory looking for a ``pyproject.toml``.  Missing
+    file, missing section or missing toml parser all yield the defaults.
+    """
+    path: Optional[Path]
+    if pyproject is not None:
+        path = Path(pyproject)
+        if not path.is_file():
+            raise ReproError(f"lint config file not found: {pyproject}")
+    else:
+        path = None
+        for candidate in [Path.cwd()] + list(Path.cwd().parents):
+            probe = candidate / "pyproject.toml"
+            if probe.is_file():
+                path = probe
+                break
+    if path is None or tomllib is None:
+        return LintConfig()
+    with open(path, "rb") as handle:
+        try:
+            data = tomllib.load(handle)
+        except tomllib.TOMLDecodeError as exc:
+            raise ReproError(f"{path}: invalid TOML ({exc})") from exc
+    section = data.get("tool", {}).get("repro", {}).get("lint")
+    if not isinstance(section, dict):
+        return LintConfig(source=str(path))
+    config = LintConfig(source=str(path))
+    if "enable" in section:
+        config.enable = _as_str_list(section["enable"], "enable")
+    if "disable" in section:
+        config.disable = _as_str_list(section["disable"], "disable")
+    ignores = section.get("per-path-ignores", {})
+    if not isinstance(ignores, dict):
+        raise ReproError("[tool.repro.lint] per-path-ignores must be a table")
+    for pattern, rules in ignores.items():
+        config.per_path_ignores[str(pattern)] = _as_str_list(
+            rules, f"per-path-ignores[{pattern!r}]"
+        )
+    return config

@@ -1,0 +1,407 @@
+"""Layer 1 — contract verifiers that run on *objects* before execution.
+
+Three verifiers guard the structural invariants the paper's correctness
+rests on:
+
+* :class:`PlanVerifier` — any :class:`~repro.core.plan.PCPNode` tree is
+  checked against Theorem 2 / Definition 6: exactly ``l - 1`` nodes,
+  pivot bounds ``i < k < j``, exact segment coverage (no gaps, no
+  overlaps), NL/QL side consistency (a child exists iff its side has
+  length >= 2), the placement rules of Algorithm 2, and the
+  ``⌈log2 l⌉`` height lower bound.  Unlike ``PCP.validate`` (which runs
+  in the constructor) this works on raw, possibly hand-built or mutated
+  node trees and reports *every* violation, not just the first.
+* :class:`AggregateContractChecker` — a declared
+  :class:`~repro.aggregates.base.AggregationKind` is verified against
+  sampled algebraic laws on the aggregate's *own value domain* (edge
+  values closed once under ``⊗``): Theorem 3's distributivity, plus the
+  associativity/commutativity of ``⊕`` that the two-level model and the
+  engine's merge order silently rely on.
+* :func:`verify_vertex_program` — the AST ``shared-state`` rule applied
+  to one program class: ``compute`` (and every helper it reaches through
+  ``self``) must not mutate instance/module/closure state, which is what
+  makes :class:`~repro.engine.parallel.ThreadedBSPEngine` lock-free.
+
+All three raise the existing library exception types (``PlanError``,
+``AggregationError``, ``EngineError``) so callers need no new handling.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import itertools
+import textwrap
+from functools import lru_cache
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.aggregates.base import (
+    Aggregate,
+    AggregationKind,
+    AlgebraicAggregate,
+    DistributiveAggregate,
+    HolisticAggregate,
+)
+from repro.aggregates.classify import (
+    DEFAULT_SAMPLES,
+    check_distributive_pair,
+    values_close,
+)
+from repro.core.plan import PCP, PCPNode, Placement
+from repro.errors import AggregationError, EngineError, PlanError, ReproError
+from repro.lint.findings import Finding
+from repro.lint.rules import ModuleSource, SharedStateRule
+
+
+# ======================================================================
+# PlanVerifier
+# ======================================================================
+class PlanVerifier:
+    """Static validation of PCP node trees against Theorem 2.
+
+    :meth:`check` returns every violation as a message list;
+    :meth:`verify` raises :class:`~repro.errors.PlanError` carrying all
+    of them.  Both accept a raw root node plus the pattern length, so
+    hand-built and deserialised trees can be vetted without constructing
+    a :class:`~repro.core.plan.PCP` (whose constructor would fail fast on
+    the first problem only).
+    """
+
+    def check(self, root: Optional[PCPNode], length: int) -> List[str]:
+        if length < 2:
+            return [
+                f"patterns of length {length} need no concatenation plan"
+            ]
+        if root is None:
+            return ["plan has no root node"]
+        problems: List[str] = []
+        nodes: List[PCPNode] = []
+        seen_objects = set()
+        cyclic = False
+
+        def describe(node: PCPNode) -> str:
+            return f"node [{node.i},{node.k},{node.j}] (id={node.node_id})"
+
+        def walk(node: PCPNode, lo: int, hi: int, role: str) -> None:
+            nonlocal cyclic
+            if id(node) in seen_objects:
+                problems.append(
+                    f"{describe(node)} appears more than once — the plan "
+                    f"is not a tree"
+                )
+                cyclic = True
+                return
+            seen_objects.add(id(node))
+            nodes.append(node)
+            if (node.i, node.j) != (lo, hi):
+                problems.append(
+                    f"{describe(node)} must cover segment [{lo},{hi}] as the "
+                    f"{role}, covers [{node.i},{node.j}] (gap or overlap)"
+                )
+            if not node.i < node.k < node.j:
+                problems.append(
+                    f"{describe(node)}: pivot {node.k} out of range — must "
+                    f"satisfy {node.i} < k < {node.j}"
+                )
+            left_len = node.k - node.i
+            right_len = node.j - node.k
+            if (node.left is None) != (left_len <= 1):
+                problems.append(
+                    f"{describe(node)}: left side [{node.i},{node.k}] has "
+                    f"length {left_len} but "
+                    + (
+                        "a QL child is missing"
+                        if node.left is None
+                        else "carries a child for an NL side"
+                    )
+                    + " — a child must exist iff the side has length >= 2"
+                )
+            if (node.right is None) != (right_len <= 1):
+                problems.append(
+                    f"{describe(node)}: right side [{node.k},{node.j}] has "
+                    f"length {right_len} but "
+                    + (
+                        "a QL child is missing"
+                        if node.right is None
+                        else "carries a child for an NL side"
+                    )
+                    + " — a child must exist iff the side has length >= 2"
+                )
+            if node.left is not None:
+                if node.left.placement is not Placement.AT_END:
+                    problems.append(
+                        f"{describe(node.left)}: a left child must store "
+                        f"its paths at the end vertex (Algorithm 2)"
+                    )
+                walk(node.left, node.i, node.k, "left child")
+            if node.right is not None:
+                if node.right.placement is not Placement.AT_START:
+                    problems.append(
+                        f"{describe(node.right)}: a right child must store "
+                        f"its paths at the start vertex (Algorithm 2)"
+                    )
+                walk(node.right, node.k, node.j, "right child")
+
+        if root.placement is not Placement.AT_END:
+            problems.append(
+                "the root must store its paths at the end vertex"
+            )
+        walk(root, 0, length, "root")
+        if not cyclic:
+            if len(nodes) != length - 1:
+                problems.append(
+                    f"a pattern of length {length} needs exactly "
+                    f"{length - 1} plan nodes, found {len(nodes)} (Theorem 2)"
+                )
+            min_height = max((length - 1).bit_length(), 1)
+            height = root.height()
+            if height < min_height:
+                problems.append(
+                    f"height {height} is below the Theorem 2 lower bound "
+                    f"⌈log2 {length}⌉ = {min_height}"
+                )
+            ids = [node.node_id for node in nodes]
+            if len(set(ids)) != len(ids):
+                problems.append(
+                    f"node ids are not unique: {sorted(ids)}"
+                )
+        return problems
+
+    def verify(self, root: Optional[PCPNode], length: int) -> None:
+        """Raise :class:`PlanError` listing every violation, if any."""
+        problems = self.check(root, length)
+        if problems:
+            raise PlanError(
+                "invalid path concatenation plan:\n  - "
+                + "\n  - ".join(problems)
+            )
+
+    def verify_plan(self, plan: PCP) -> None:
+        """Verify a built :class:`PCP` (catches post-construction
+        mutation of the node tree)."""
+        self.verify(plan.root, plan.pattern.length)
+
+
+# ======================================================================
+# AggregateContractChecker
+# ======================================================================
+class AggregateContractChecker:
+    """Verify a declared :class:`AggregationKind` against sampled laws.
+
+    The checks run on the aggregate's own value domain — every weight
+    sample mapped through ``initial_edge`` and closed once under ``⊗`` —
+    so domain-restricted aggregates (e.g. the bounded top-k family,
+    which rejects negative weights) and non-numeric domains (booleans,
+    tuples) are exercised with the values they actually see.
+
+    Verified laws for partial-aggregation-capable aggregates:
+
+    * ``⊗`` distributes over ``⊕`` on both sides (Theorem 3);
+    * ``⊕`` is associative and commutative (the engine merges partial
+      values in arrival order, across workers);
+    * for :class:`DistributiveAggregate`, the raw operator pair is also
+      checked (the historical ``validate_aggregate`` behaviour) and
+      ``⊕``'s declared identity must actually be neutral.
+    """
+
+    def __init__(
+        self,
+        weight_samples: Optional[Sequence[float]] = None,
+        rel_tol: float = 1e-9,
+        max_domain: int = 8,
+    ) -> None:
+        self.weight_samples: Tuple[float, ...] = (
+            tuple(weight_samples)
+            if weight_samples is not None
+            else tuple(DEFAULT_SAMPLES)
+        )
+        self.rel_tol = rel_tol
+        self.max_domain = max_domain
+
+    # ------------------------------------------------------------------
+    def _value_domain(self, aggregate: Aggregate) -> List[Any]:
+        values: List[Any] = []
+        for weight in self.weight_samples:
+            try:
+                value = aggregate.initial_edge(weight)
+            except ReproError:
+                continue  # the aggregate restricts its weight domain
+            if not any(values_close(value, known) for known in values):
+                values.append(value)
+            if len(values) >= self.max_domain:
+                return values
+        for left, right in itertools.product(tuple(values), repeat=2):
+            if len(values) >= self.max_domain:
+                break
+            try:
+                value = aggregate.concat(left, right)
+            except ReproError:
+                continue
+            if not any(values_close(value, known) for known in values):
+                values.append(value)
+        return values
+
+    def _law_failures(self, aggregate: Aggregate, values: List[Any]) -> List[str]:
+        problems: List[str] = []
+        close = lambda a, b: values_close(a, b, rel_tol=self.rel_tol)
+        concat, merge = aggregate.concat, aggregate.merge
+        for a, b in itertools.product(values, repeat=2):
+            if not close(merge(a, b), merge(b, a)):
+                problems.append(
+                    f"⊕ is not commutative: merge({a!r}, {b!r}) != "
+                    f"merge({b!r}, {a!r}) — engine merge order would "
+                    f"change results"
+                )
+                break
+        for a, b, c in itertools.product(values, repeat=3):
+            if not close(merge(merge(a, b), c), merge(a, merge(b, c))):
+                problems.append(
+                    f"⊕ is not associative on ({a!r}, {b!r}, {c!r}) — "
+                    f"partial merge trees would disagree"
+                )
+                break
+        for a, b, c in itertools.product(values, repeat=3):
+            left_ok = close(
+                concat(a, merge(b, c)), merge(concat(a, b), concat(a, c))
+            )
+            right_ok = close(
+                concat(merge(b, c), a), merge(concat(b, a), concat(c, a))
+            )
+            if not (left_ok and right_ok):
+                problems.append(
+                    f"⊗ does not distribute over ⊕ on ({a!r}, {b!r}, {c!r}) "
+                    f"— Theorem 3 fails; partial aggregation would corrupt "
+                    f"results"
+                )
+                break
+        return problems
+
+    # ------------------------------------------------------------------
+    def check(self, aggregate: Aggregate) -> List[str]:
+        """Every detected contract violation, as messages."""
+        problems: List[str] = []
+        name = aggregate.name
+        if not isinstance(aggregate.kind, AggregationKind):
+            return [
+                f"{name}: kind must be an AggregationKind, got "
+                f"{aggregate.kind!r}"
+            ]
+        expected = {
+            DistributiveAggregate: AggregationKind.DISTRIBUTIVE,
+            AlgebraicAggregate: AggregationKind.ALGEBRAIC,
+            HolisticAggregate: AggregationKind.HOLISTIC,
+        }
+        for base, kind in expected.items():
+            if isinstance(aggregate, base) and aggregate.kind is not kind:
+                problems.append(
+                    f"{name}: a {base.__name__} must declare kind "
+                    f"{kind.value!r}, declares {aggregate.kind.value!r}"
+                )
+        if isinstance(aggregate, DistributiveAggregate):
+            if not check_distributive_pair(
+                aggregate.combine_op,
+                aggregate.merge_op,
+                self.weight_samples,
+                rel_tol=self.rel_tol,
+            ):
+                problems.append(
+                    f"{name}: operator {aggregate.combine_op.name} (⊗) does "
+                    f"not distribute over {aggregate.merge_op.name} (⊕); "
+                    f"declare this aggregate holistic instead"
+                )
+        components = getattr(aggregate, "components", None)
+        if components is not None:
+            for index, component in enumerate(components):
+                for problem in self.check(component):
+                    problems.append(f"{name}[component {index}]: {problem}")
+        if problems:
+            return problems
+        if aggregate.kind is AggregationKind.HOLISTIC:
+            return problems  # no pair-level law applies
+        values = self._value_domain(aggregate)
+        if not values:
+            return [
+                f"{name}: no weight sample is admissible — cannot verify "
+                f"the declared kind"
+            ]
+        problems.extend(
+            f"{name}: {problem}"
+            for problem in self._law_failures(aggregate, values)
+        )
+        if isinstance(aggregate, DistributiveAggregate):
+            identity = aggregate.merge_op.identity
+            for value in values:
+                if not (
+                    values_close(
+                        aggregate.merge(identity, value), value, self.rel_tol
+                    )
+                    and values_close(
+                        aggregate.merge(value, identity), value, self.rel_tol
+                    )
+                ):
+                    problems.append(
+                        f"{name}: {aggregate.merge_op.name}'s declared "
+                        f"identity {identity!r} is not neutral for {value!r}"
+                    )
+                    break
+        return problems
+
+    def verify(self, aggregate: Aggregate) -> None:
+        """Raise :class:`AggregationError` on any violated contract."""
+        if getattr(aggregate, "_contract_verified", False):
+            return
+        problems = self.check(aggregate)
+        if problems:
+            raise AggregationError(
+                "aggregate contract violation:\n  - " + "\n  - ".join(problems)
+            )
+        try:
+            aggregate._contract_verified = True  # memo: instances are cheap to re-verify but extract_many loops
+        except AttributeError:  # __slots__ or frozen aggregate: skip memo
+            pass
+
+
+# ======================================================================
+# Vertex-program isolation contract
+# ======================================================================
+@lru_cache(maxsize=256)
+def _check_program_class(cls: type) -> Tuple[Finding, ...]:
+    try:
+        source = textwrap.dedent(inspect.getsource(cls))
+    except (OSError, TypeError):
+        return ()  # source unavailable (REPL, C extension): nothing to check
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:  # pragma: no cover - getsource returned a fragment
+        return ()
+    module = ModuleSource(
+        path=f"<{cls.__module__}.{cls.__qualname__}>",
+        text=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    rule = SharedStateRule()
+    findings: List[Finding] = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            findings.extend(rule._check_class(module, node, set()))
+    return tuple(findings)
+
+
+def check_vertex_program(program: Any) -> List[Finding]:
+    """Findings of the ``shared-state`` rule for one program (or class)."""
+    cls = program if isinstance(program, type) else type(program)
+    return list(_check_program_class(cls))
+
+
+def verify_vertex_program(program: Any) -> None:
+    """Raise :class:`EngineError` when a vertex program's compute path
+    mutates state shared across workers (the lock-free contract)."""
+    findings = check_vertex_program(program)
+    if findings:
+        cls = program if isinstance(program, type) else type(program)
+        raise EngineError(
+            f"vertex program {cls.__name__} violates the vertex-centric "
+            f"isolation contract:\n  - "
+            + "\n  - ".join(finding.message for finding in findings)
+        )

@@ -1,0 +1,113 @@
+"""The lint runner: walk paths, parse modules, apply rules.
+
+:func:`run_lint` is the single entry point used by the CLI, the meta-test
+gate and any programmatic caller.  It is deterministic (files and
+findings are sorted) and purely read-only.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, LintReport, Severity
+from repro.lint.rules import ALL_RULES, ModuleSource, Rule
+
+#: directory names never descended into
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "results"}
+
+#: the inline suppression marker: ``# lint: disable=rule-a,rule-b``
+_SUPPRESS_MARKER = "# lint: disable="
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not _SKIP_DIRS & set(part for part in candidate.parts)
+                and "egg-info" not in str(candidate)
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise ReproError(f"lint target not found: {raw}")
+    # de-duplicate while keeping order
+    seen = set()
+    unique = []
+    for path in files:
+        key = str(path.resolve())
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def _suppressed(module: ModuleSource, finding: Finding) -> bool:
+    """Inline suppression: the marker on the finding's own line."""
+    line = module.line_text(finding.line)
+    marker = line.find(_SUPPRESS_MARKER)
+    if marker < 0:
+        return False
+    listed = line[marker + len(_SUPPRESS_MARKER):].split("#")[0]
+    rules = {entry.strip() for entry in listed.split(",")}
+    return finding.rule in rules or "all" in rules
+
+
+def lint_module(
+    module: ModuleSource,
+    rules: Optional[Sequence[Rule]] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Apply ``rules`` to one parsed module, honouring suppressions."""
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    config = config if config is not None else LintConfig()
+    findings: List[Finding] = []
+    for rule in active:
+        if config.ignored_at(module.path, rule.name):
+            continue
+        for finding in rule.check(module):
+            if not _suppressed(module, finding):
+                findings.append(finding)
+    return findings
+
+
+def run_lint(
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Lint every ``.py`` file reachable from ``paths``."""
+    config = config if config is not None else LintConfig()
+    if rules is None:
+        from repro.lint.rules import RULES_BY_NAME, get_rules
+
+        rules = get_rules(config.rule_names(list(RULES_BY_NAME)))
+    report = LintReport()
+    for path in iter_python_files(paths):
+        try:
+            module = ModuleSource.from_path(str(path))
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    rule="syntax-error",
+                    message=f"cannot parse module: {exc.msg}",
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    severity=Severity.ERROR,
+                    hint="fix the syntax error before linting",
+                )
+            )
+            report.files_scanned += 1
+            continue
+        report.files_scanned += 1
+        report.findings.extend(lint_module(module, rules, config))
+    report.findings = report.sorted_findings()
+    return report

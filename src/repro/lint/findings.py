@@ -1,0 +1,89 @@
+"""Finding and severity primitives shared by every lint layer.
+
+A :class:`Finding` is one concrete violation: a rule name, a location
+(``path:line:col``), a severity, the human-readable message and an
+optional fix hint.  Contract verifiers (:mod:`repro.lint.contracts`) and
+AST rules (:mod:`repro.lint.rules`) both report through this type so the
+reporters (:mod:`repro.lint.reporters`) need a single code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict
+
+
+class Severity(Enum):
+    """How bad a finding is; errors gate CI, warnings merely nag."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    severity: Severity = Severity.ERROR
+    hint: str = ""
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` — clickable in most terminals/editors."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable representation (used by the JSON reporter)."""
+        payload: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+    def render(self) -> str:
+        """The one-line text rendering used by the text reporter."""
+        text = f"{self.location}: [{self.severity}] {self.rule}: {self.message}"
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run: every finding plus scan statistics."""
+
+    findings: list = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run produced no findings at all."""
+        return not self.findings
+
+    def sorted_findings(self) -> list:
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )

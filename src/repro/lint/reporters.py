@@ -1,0 +1,37 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """One line per finding plus a summary line."""
+    lines = [finding.render() for finding in report.sorted_findings()]
+    summary = (
+        f"{len(report.findings)} finding(s) "
+        f"({report.errors} error(s), {report.warnings} warning(s)) "
+        f"in {report.files_scanned} file(s)"
+    )
+    if report.ok:
+        summary = f"clean: 0 findings in {report.files_scanned} file(s)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Stable JSON document (findings sorted by location)."""
+    payload = {
+        "files_scanned": report.files_scanned,
+        "errors": report.errors,
+        "warnings": report.warnings,
+        "findings": [
+            finding.to_dict() for finding in report.sorted_findings()
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+REPORTERS = {"text": render_text, "json": render_json}

@@ -1,0 +1,590 @@
+"""The AST rule catalogue (Layer 2 of the static-analysis subsystem).
+
+Every rule implements the :class:`Rule` protocol: a ``name``, a
+``description``, a default ``severity``, a fix ``hint`` and a
+``check(module)`` method yielding :class:`~repro.lint.findings.Finding`
+objects.  Rules are pure functions of one parsed module
+(:class:`ModuleSource`) — no project-wide state — which keeps them fast,
+order-independent and trivially testable on inline source snippets.
+
+The concrete rules guard repo-specific hazards:
+
+* ``shared-state`` — vertex-program ``compute`` bodies (and the helper
+  methods they reach through ``self``) must not mutate state shared
+  across workers: instance attributes, module globals, or closure cells.
+  :class:`~repro.engine.parallel.ThreadedBSPEngine` relies on this for
+  lock-free execution; a violation is a silent-corruption bug under
+  threads.  ``ctx.peek_state`` during compute is flagged for the same
+  reason (documented contract in :mod:`repro.engine.bsp`).
+* ``foreign-raise`` — library code must raise the :class:`ReproError`
+  family (callers catch exactly that); raising bare builtins leaks
+  implementation details across the API boundary.
+* ``bare-except`` — ``except:`` swallows ``KeyboardInterrupt`` and hides
+  engine bugs.
+* ``frozen-mutation`` — values documented immutable (``LinePattern``,
+  frozen dataclasses like ``PatternEdge``/``EdgeType``/``BinaryOp``)
+  must not be mutated through their attributes; plans and caches alias
+  them freely.
+* ``future-annotations`` — every module opts into postponed annotation
+  evaluation so annotations stay cheap and forward references work.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.findings import Finding, Severity
+
+#: method names that mutate their receiver in place
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "sort",
+        "reverse",
+    }
+)
+
+#: builtin exceptions that are legitimate to raise from library code:
+#: abstract-method guards, optional-dependency reporting and interpreter
+#: control flow.  Everything else must be a ReproError.
+ALLOWED_BUILTIN_RAISES = frozenset(
+    {
+        "NotImplementedError",
+        "ImportError",
+        "ModuleNotFoundError",
+        "KeyboardInterrupt",
+        "SystemExit",
+        "StopIteration",
+        "GeneratorExit",
+    }
+)
+
+#: types documented as immutable: the hand-rolled immutable pattern class
+#: plus every ``@dataclass(frozen=True)`` in the package and the schema
+#: (whose accessors hand out frozensets for the same reason).
+FROZEN_TYPES = frozenset(
+    {
+        "LinePattern",
+        "PatternEdge",
+        "GraphSchema",
+        "EdgeType",
+        "Workload",
+        "BinaryOp",
+        "VertexFilter",
+        "Edge",
+    }
+)
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module: path, raw text, AST and split lines."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    lines: List[str]
+
+    @classmethod
+    def from_source(cls, text: str, path: str = "<string>") -> "ModuleSource":
+        return cls(
+            path=path,
+            text=text,
+            tree=ast.parse(text, filename=path),
+            lines=text.splitlines(),
+        )
+
+    @classmethod
+    def from_path(cls, path: str) -> "ModuleSource":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_source(handle.read(), path=path)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class (and de-facto protocol) for AST lint rules."""
+
+    name: str = "rule"
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    hint: str = ""
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            message=message,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            severity=self.severity,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+def receiver_root(node: ast.AST) -> Optional[ast.AST]:
+    """The root of an attribute/subscript chain: for ``a.b[0].c`` return
+    the ``a`` Name node; ``None`` when the chain roots in a call result
+    or literal (which cannot alias a tracked object by name)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+def module_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module scope (assignments, imports, defs)."""
+    names: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if target is None:
+                    continue
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        names.add(node.id)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def annotation_type_name(annotation: Optional[ast.AST]) -> Optional[str]:
+    """The plain type name of an annotation: handles ``T``, ``"T"`` and
+    ``Optional[T]`` — enough for this package's annotation style."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.strip("'\"").split("[")[-1].rstrip("]").split(".")[-1]
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Subscript):
+        base = annotation.value
+        if isinstance(base, ast.Name) and base.id == "Optional":
+            return annotation_type_name(annotation.slice)
+    return None
+
+
+# ----------------------------------------------------------------------
+# future-annotations
+# ----------------------------------------------------------------------
+class FutureAnnotationsRule(Rule):
+    """Every non-empty module must start with the postponed-annotations
+    future import."""
+
+    name = "future-annotations"
+    description = (
+        "module is missing `from __future__ import annotations`"
+    )
+    severity = Severity.WARNING
+    hint = "add `from __future__ import annotations` below the docstring"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.tree.body:
+            return
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.ImportFrom) and stmt.module == "__future__":
+                if any(alias.name == "annotations" for alias in stmt.names):
+                    return
+        yield self.finding(
+            module,
+            module.tree.body[0],
+            "module does not import `annotations` from __future__",
+        )
+
+
+# ----------------------------------------------------------------------
+# bare-except
+# ----------------------------------------------------------------------
+class BareExceptRule(Rule):
+    """``except:`` catches SystemExit/KeyboardInterrupt and masks engine
+    bugs; name the exception family instead."""
+
+    name = "bare-except"
+    description = "bare `except:` clause"
+    severity = Severity.ERROR
+    hint = "catch `ReproError` (or the narrowest builtin) instead"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module, node, "bare `except:` swallows every exception"
+                )
+
+
+# ----------------------------------------------------------------------
+# foreign-raise
+# ----------------------------------------------------------------------
+class ForeignRaiseRule(Rule):
+    """Library modules must raise the ReproError family so `except
+    ReproError` at the API boundary (e.g. the CLI) stays exhaustive."""
+
+    name = "foreign-raise"
+    description = "raise of an exception type outside the ReproError family"
+    severity = Severity.ERROR
+    hint = (
+        "raise a ReproError subclass from repro.errors (or derive one "
+        "locally) so callers can catch the library family"
+    )
+
+    def _allowed_names(self, tree: ast.Module) -> Set[str]:
+        allowed: Set[str] = set(ALLOWED_BUILTIN_RAISES)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "repro.errors":
+                for alias in node.names:
+                    allowed.add(alias.asname or alias.name)
+        # locally declared subclasses of an already-allowed error type
+        # (fixed point over the module's class definitions)
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.ClassDef) or node.name in allowed:
+                    continue
+                base_names = {
+                    base.id if isinstance(base, ast.Name) else base.attr
+                    for base in node.bases
+                    if isinstance(base, (ast.Name, ast.Attribute))
+                }
+                if base_names & allowed:
+                    allowed.add(node.name)
+                    changed = True
+        return allowed
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        allowed = self._allowed_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if not isinstance(exc, ast.Name):
+                continue  # re-raised variables, attribute paths: not checked
+            name = exc.id
+            # lowercase names are re-raised exception instances, not types
+            if not name[:1].isupper() or name in allowed:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"raises {name}, which is not a ReproError "
+                f"(callers catching the library family will miss it)",
+            )
+
+
+# ----------------------------------------------------------------------
+# shared-state (vertex-program isolation contract)
+# ----------------------------------------------------------------------
+def _is_vertex_program_class(node: ast.ClassDef) -> bool:
+    names = [node.name]
+    for base in node.bases:
+        names.append(
+            base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else ""
+            )
+        )
+    return any(name.endswith("Program") for name in names)
+
+
+class SharedStateRule(Rule):
+    """Vertex-program ``compute`` bodies must be lock-free: all mutable
+    state lives in ``ctx.state()`` (owned by exactly one worker), never
+    on the program instance, the module, or a closure cell."""
+
+    name = "shared-state"
+    description = (
+        "vertex-program compute path mutates state shared across workers"
+    )
+    severity = Severity.ERROR
+    hint = (
+        "keep per-vertex mutable state in ctx.state(); the program "
+        "instance and module globals are shared by every worker thread"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        globals_ = module_level_names(module.tree)
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and _is_vertex_program_class(node):
+                yield from self._check_class(module, node, globals_)
+        # also handle program classes nested in functions (test helpers)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in node.body:
+                    if isinstance(inner, ast.ClassDef) and _is_vertex_program_class(
+                        inner
+                    ):
+                        yield from self._check_class(module, inner, globals_)
+
+    # -- class-level analysis -------------------------------------------
+    def _check_class(
+        self, module: ModuleSource, cls: ast.ClassDef, globals_: Set[str]
+    ) -> Iterator[Finding]:
+        methods: Dict[str, ast.FunctionDef] = {
+            item.name: item
+            for item in cls.body
+            if isinstance(item, ast.FunctionDef)
+        }
+        compute = methods.get("compute")
+        if compute is None:
+            return
+        reachable = self._reachable_methods(methods, "compute")
+        for name in sorted(reachable):
+            yield from self._check_method(module, cls, methods[name], globals_)
+
+    def _reachable_methods(
+        self, methods: Dict[str, ast.FunctionDef], start: str
+    ) -> Set[str]:
+        """Methods reachable from ``start`` via ``self.<m>(...)`` calls."""
+        seen: Set[str] = set()
+        frontier = [start]
+        while frontier:
+            name = frontier.pop()
+            if name in seen or name not in methods:
+                continue
+            seen.add(name)
+            for node in ast.walk(methods[name]):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in methods
+                ):
+                    frontier.append(node.func.attr)
+        return seen
+
+    def _check_method(
+        self,
+        module: ModuleSource,
+        cls: ast.ClassDef,
+        fn: ast.FunctionDef,
+        globals_: Set[str],
+    ) -> Iterator[Finding]:
+        where = f"{cls.name}.{fn.name}"
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{where} declares `global {', '.join(node.names)}` — "
+                    f"module state is shared across workers",
+                )
+            elif isinstance(node, ast.Nonlocal):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{where} declares `nonlocal {', '.join(node.names)}` — "
+                    f"closure state is shared across workers",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    yield from self._check_target(
+                        module, where, target, globals_, node
+                    )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr == "peek_state":
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{where} calls peek_state() during compute — "
+                        f"cross-vertex reads break the message-passing model",
+                        hint="communicate through ctx.send instead",
+                    )
+                elif node.func.attr in MUTATING_METHODS:
+                    root = receiver_root(node.func.value)
+                    shared = self._shared_root(root, globals_)
+                    if shared:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{where} calls .{node.func.attr}() on {shared} "
+                            f"state — shared across workers",
+                        )
+
+    def _check_target(
+        self,
+        module: ModuleSource,
+        where: str,
+        target: ast.AST,
+        globals_: Set[str],
+        stmt: ast.AST,
+    ) -> Iterator[Finding]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_target(
+                    module, where, element, globals_, stmt
+                )
+            return
+        if isinstance(target, ast.Name):
+            # rebinding a local is fine; rebinding a module global inside
+            # a method requires `global`, which is flagged separately
+            return
+        root = self._shared_root(receiver_root(target), globals_)
+        if root:
+            rendered = ast.unparse(target) if hasattr(ast, "unparse") else "?"
+            yield self.finding(
+                module,
+                stmt,
+                f"{where} writes {rendered} — {root} state is shared "
+                f"across workers",
+            )
+
+    @staticmethod
+    def _shared_root(root: Optional[ast.AST], globals_: Set[str]) -> str:
+        """Classify a chain root: 'instance' / 'module-global' / '' (local)."""
+        if not isinstance(root, ast.Name):
+            return ""
+        if root.id == "self":
+            return "instance"
+        if root.id in globals_:
+            return "module-global"
+        return ""
+
+
+# ----------------------------------------------------------------------
+# frozen-mutation
+# ----------------------------------------------------------------------
+class FrozenMutationRule(Rule):
+    """Objects documented immutable are aliased freely (plans, caches,
+    workload tables); mutating one corrupts every alias."""
+
+    name = "frozen-mutation"
+    description = "mutation of a structure documented as frozen"
+    severity = Severity.ERROR
+    hint = "build a new instance instead of mutating the frozen one"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _frozen_vars(self, fn: ast.FunctionDef) -> Dict[str, str]:
+        frozen: Dict[str, str] = {}
+        args = list(fn.args.posonlyargs) + list(fn.args.args) + list(
+            fn.args.kwonlyargs
+        )
+        for arg in args:
+            type_name = annotation_type_name(arg.annotation)
+            if type_name in FROZEN_TYPES:
+                frozen[arg.arg] = type_name
+        for node in ast.walk(fn):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                type_name = annotation_type_name(node.annotation)
+                if type_name in FROZEN_TYPES:
+                    frozen[node.target.id] = type_name
+        return frozen
+
+    def _check_function(
+        self, module: ModuleSource, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        frozen = self._frozen_vars(fn)
+        if not frozen:
+            return
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        continue  # rebinding the variable is fine
+                    root = receiver_root(target)
+                    if isinstance(root, ast.Name) and root.id in frozen:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"writes into {frozen[root.id]} value "
+                            f"{root.id!r}, which is documented frozen",
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATING_METHODS
+                and not isinstance(node.func.value, ast.Name)
+            ):
+                root = receiver_root(node.func.value)
+                if isinstance(root, ast.Name) and root.id in frozen:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"calls .{node.func.attr}() inside {frozen[root.id]} "
+                        f"value {root.id!r}, which is documented frozen",
+                    )
+
+
+#: every concrete rule, in reporting order
+ALL_RULES: Sequence[Rule] = (
+    SharedStateRule(),
+    ForeignRaiseRule(),
+    BareExceptRule(),
+    FrozenMutationRule(),
+    FutureAnnotationsRule(),
+)
+
+RULES_BY_NAME: Dict[str, Rule] = {rule.name: rule for rule in ALL_RULES}
+
+
+def get_rules(names: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Resolve rule names to instances; ``None`` means every rule."""
+    if names is None:
+        return list(ALL_RULES)
+    rules = []
+    for name in names:
+        if name == "all":
+            return list(ALL_RULES)
+        if name not in RULES_BY_NAME:
+            from repro.errors import ReproError
+
+            raise ReproError(
+                f"unknown lint rule {name!r}; known rules: "
+                f"{', '.join(sorted(RULES_BY_NAME))}"
+            )
+        rules.append(RULES_BY_NAME[name])
+    return rules

@@ -66,12 +66,22 @@ def assert_aggregate_consistent(
     """Validate a custom aggregate end to end.
 
     Checks, in order: the taxonomy declaration (Theorem 3's condition for
-    distributive/algebraic aggregates), oracle agreement in basic mode,
-    and — when partial aggregation is claimed — partial-vs-basic
-    equivalence.
+    distributive/algebraic aggregates, on both the declared operators and
+    the actual ``concat``/``merge`` implementation), oracle agreement in
+    basic mode, and — when partial aggregation is claimed —
+    partial-vs-basic equivalence.  Every failure raises
+    :class:`VerificationError`.
     """
+    from repro.aggregates.base import AggregationError
+    from repro.lint.contracts import AggregateContractChecker
+
     validate_aggregate(aggregate)
-    extractor = GraphExtractor(graph, num_workers=2)
+    try:
+        AggregateContractChecker().verify(aggregate)
+    except AggregationError as exc:
+        raise VerificationError(str(exc)) from exc
+    # contracts are vetted above; skip the extractor's own verify pass
+    extractor = GraphExtractor(graph, num_workers=2, verify=False)
     oracle = extract_bruteforce(graph, pattern, aggregate)
     basic = extractor.extract(pattern, aggregate, partial_aggregation=False)
     if not basic.graph.equals(oracle.graph, rel_tol=rel_tol):

@@ -1,5 +1,7 @@
 """Named paper workloads and the experiment harness."""
 
+from __future__ import annotations
+
 from repro.workloads.discovery import (
     discover,
     enumerate_patterns,

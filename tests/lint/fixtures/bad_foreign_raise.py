@@ -1,0 +1,9 @@
+"""Fixture: raises a builtin outside the ReproError family."""
+
+from __future__ import annotations
+
+
+def convert(value):
+    if value < 0:
+        raise ValueError("negative values are not allowed")
+    return value

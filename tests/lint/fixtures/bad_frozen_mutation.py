@@ -1,0 +1,9 @@
+"""Fixture: mutates values documented as frozen."""
+
+from __future__ import annotations
+
+
+def retarget(pattern: "LinePattern", edges):
+    pattern.edges = edges
+    pattern.filters.update({})
+    return pattern

@@ -1,0 +1,5 @@
+"""Fixture: module missing ``from __future__ import annotations``."""
+
+
+def identity(value):
+    return value

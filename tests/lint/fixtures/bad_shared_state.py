@@ -1,0 +1,22 @@
+"""Fixture: a vertex program whose compute path mutates shared state.
+
+Seeded violations (all ``shared-state``):
+
+* instance-attribute write in ``compute``;
+* mutating method call on a module-global in ``compute``;
+* ``peek_state`` call in a helper reachable from ``compute``.
+"""
+
+from __future__ import annotations
+
+CACHE = {}
+
+
+class LeakyVertexProgram:
+    def compute(self, ctx):
+        self.seen = True
+        CACHE.update({ctx.vid: 1})
+        self._helper(ctx)
+
+    def _helper(self, ctx):
+        ctx.peek_state(0)

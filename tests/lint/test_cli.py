@@ -1,0 +1,90 @@
+"""End-to-end tests of ``python -m repro.cli lint`` (the acceptance
+criterion: exit 0 on the shipped tree, exit 1 with file:line findings on
+the fixture tree)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        timeout=120,
+    )
+
+
+def test_shipped_tree_is_clean():
+    proc = run_cli("src/repro")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_fixture_tree_fails_with_locations():
+    proc = run_cli(str(FIXTURES))
+    assert proc.returncode == 1
+    out = proc.stdout
+    # one seeded violation class per fixture file, each with file:line
+    assert "bad_shared_state.py:17" in out       # self.seen write
+    assert "bad_foreign_raise.py:8" in out       # raise ValueError
+    assert "bad_bare_except.py:9" in out         # bare except
+    assert "bad_frozen_mutation.py:7" in out     # frozen attribute write
+    assert "bad_future_annotations.py:1" in out  # missing future import
+    for rule in (
+        "shared-state",
+        "foreign-raise",
+        "bare-except",
+        "frozen-mutation",
+        "future-annotations",
+    ):
+        assert rule in out
+
+
+def test_json_format():
+    proc = run_cli("--format", "json", str(FIXTURES))
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["files_scanned"] == 5
+    assert payload["errors"] >= 4
+    assert all("path" in f and "line" in f for f in payload["findings"])
+
+
+def test_rule_selection():
+    proc = run_cli("--rules", "bare-except", str(FIXTURES))
+    assert proc.returncode == 1
+    assert "bare-except" in proc.stdout
+    assert "foreign-raise" not in proc.stdout
+
+
+def test_unknown_rule_is_an_error():
+    proc = run_cli("--rules", "no-such-rule", str(FIXTURES))
+    assert proc.returncode == 2
+    assert "unknown lint rule" in proc.stderr
+
+
+def test_default_paths_lint_the_package():
+    proc = run_cli()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_lint_main_entry_point():
+    """The ``repro-lint`` console script wraps the same command."""
+    from repro.cli import lint_main
+
+    assert lint_main(["src/repro"]) == 0

@@ -1,0 +1,288 @@
+"""AggregateContractChecker, the values_close comparator, the runtime
+vertex-program verifier and the verify-flag wiring through
+GraphExtractor and the BSP engines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.aggregates import library
+from repro.aggregates.base import (
+    OP_ADD,
+    OP_MAX,
+    OP_MIN,
+    OP_MUL,
+    AggregationKind,
+    DistributiveAggregate,
+)
+from repro.aggregates.bounded import BoundedKShortest, BoundedTopK
+from repro.aggregates.classify import check_distributive_pair, values_close
+from repro.core.extractor import GraphExtractor
+from repro.engine.bsp import BSPEngine
+from repro.engine.parallel import ThreadedBSPEngine
+from repro.errors import AggregationError, EngineError, PlanError
+from repro.graph.pattern import LinePattern
+from repro.lint import AggregateContractChecker, verify_vertex_program
+
+from tests.conftest import build_scholarly
+from tests.lint.fixtures.bad_shared_state import LeakyVertexProgram
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+@pytest.fixture
+def coauthor():
+    return LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+
+
+@pytest.fixture
+def checker():
+    return AggregateContractChecker()
+
+
+# ----------------------------------------------------------------------
+# values_close (satellite: unified tolerant comparator)
+# ----------------------------------------------------------------------
+class TestValuesClose:
+    def test_floats_tolerant(self):
+        assert values_close(0.1 + 0.2, 0.3)
+        assert not values_close(0.3, 0.31)
+
+    def test_nans_compare_equal(self):
+        assert values_close(float("nan"), float("nan"))
+        assert not values_close(float("nan"), 0.0)
+        assert not values_close(0.0, float("nan"))
+
+    def test_infinities_exact(self):
+        inf = float("inf")
+        assert values_close(inf, inf)
+        assert values_close(-inf, -inf)
+        assert not values_close(inf, -inf)
+        assert not values_close(inf, 1e308)
+
+    def test_bools_exact(self):
+        assert values_close(True, True)
+        assert not values_close(True, False)
+        # bool is not "close to" a float of the same magnitude
+        assert not values_close(True, 0.9999999999)
+
+    def test_tuples_elementwise(self):
+        assert values_close((1.0, float("nan")), (1.0 + 1e-15, float("nan")))
+        assert not values_close((1.0, 2.0), (1.0, 3.0))
+        assert not values_close((1.0,), (1.0, 2.0))
+        assert values_close([1.0, 2.0], (1.0, 2.0))  # list vs tuple
+
+    def test_fallback_equality(self):
+        assert values_close("a", "a")
+        assert not values_close("a", "b")
+
+    def test_regression_min_plus_inf_identity(self):
+        """add over min with the inf identity: inf + w == inf must hold
+        under the comparator (exact-infinity semantics, no isclose blowup)."""
+        assert check_distributive_pair(OP_ADD, OP_MIN)
+        assert values_close(OP_ADD(float("inf"), 5.0), float("inf"))
+
+    def test_regression_both_sides_nan_is_satisfied(self):
+        """When both sides of the law collapse to nan, the identity holds;
+        the old isclose-based comparator reported nan != nan and failed."""
+        from repro.aggregates.base import BinaryOp
+
+        nan_op = BinaryOp("nan", lambda a, b: float("nan"), 0.0)
+        assert check_distributive_pair(nan_op, OP_ADD)
+
+
+# ----------------------------------------------------------------------
+# AggregateContractChecker
+# ----------------------------------------------------------------------
+class TestAggregateContracts:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            library.path_count,
+            library.weighted_path_count,
+            library.exists_path,
+            library.max_min,
+            library.min_max,
+            library.add_max,
+            library.sum_min,
+            library.avg_path_value,
+            library.std_path_value,
+            library.median_path_value,
+            library.count_distinct_path_values,
+            lambda: library.top_k_path_values(3),
+            lambda: BoundedTopK(3),
+            lambda: BoundedKShortest(3),
+        ],
+    )
+    def test_library_aggregates_pass(self, checker, factory):
+        assert checker.check(factory()) == []
+
+    def test_add_over_add_rejected(self, checker):
+        bogus = DistributiveAggregate(OP_ADD, OP_ADD, name="bogus")
+        problems = checker.check(bogus)
+        assert any("does not distribute" in p for p in problems)
+        with pytest.raises(AggregationError, match="contract violation"):
+            checker.verify(bogus)
+
+    def test_lying_concat_caught_on_value_domain(self, checker):
+        """Declared ops pass, but the actual concat implementation lies —
+        the law check runs on concat/merge, not just the declared pair."""
+
+        class Lying(DistributiveAggregate):
+            def concat(self, left, right):
+                return left * right + 0.5
+
+        lying = Lying(OP_MUL, OP_ADD, edge_value=lambda w: 1.0, name="lying")
+        problems = checker.check(lying)
+        assert any("Theorem 3" in p for p in problems)
+
+    def test_wrong_kind_declaration_rejected(self, checker):
+        class MisKinded(DistributiveAggregate):
+            kind = AggregationKind.HOLISTIC
+
+        problems = checker.check(MisKinded(OP_MUL, OP_ADD, name="bad-kind"))
+        assert any("must declare kind" in p for p in problems)
+
+    def test_non_commutative_merge_rejected(self, checker):
+        from repro.aggregates.base import BinaryOp
+
+        first = BinaryOp("first", lambda a, b: a, 0.0)
+        sneaky = DistributiveAggregate(OP_MUL, first, name="sneaky")
+        problems = checker.check(sneaky)
+        assert problems  # either identity or commutativity fails
+
+    def test_algebraic_components_checked_recursively(self, checker):
+        bad_component = DistributiveAggregate(OP_ADD, OP_ADD, name="inner")
+        from repro.aggregates.base import AlgebraicAggregate
+
+        bad = AlgebraicAggregate(
+            [bad_component], finalizer=lambda t: t[0], name="outer"
+        )
+        problems = checker.check(bad)
+        assert any("component 0" in p for p in problems)
+
+    def test_domain_restricted_aggregate_skips_bad_weights(self):
+        """BoundedTopK rejects negative weights via AggregationError; the
+        checker must skip those samples, not crash or fail the aggregate."""
+        checker = AggregateContractChecker(
+            weight_samples=(-5.0, -1.0, 1.0, 2.0, 3.0)
+        )
+        assert checker.check(BoundedTopK(2)) == []
+
+    def test_exists_path_law_runs_on_booleans(self, checker):
+        """exists_path's OP_OR is only commutative on booleans — the value
+        domain must be built through initial_edge, not raw floats."""
+        assert checker.check(library.exists_path()) == []
+
+    def test_verify_memoizes_instances(self, checker):
+        aggregate = library.path_count()
+        checker.verify(aggregate)
+        assert getattr(aggregate, "_contract_verified") is True
+        checker.verify(aggregate)  # second call is a no-op
+
+    def test_empty_domain_reported(self, checker):
+        class Rejecting(DistributiveAggregate):
+            def initial_edge(self, weight):
+                raise AggregationError("never admissible")
+
+        problems = checker.check(Rejecting(OP_MUL, OP_ADD, name="never"))
+        assert any("no weight sample is admissible" in p for p in problems)
+
+
+# ----------------------------------------------------------------------
+# verify_vertex_program + engine wiring
+# ----------------------------------------------------------------------
+class TestVertexProgramVerification:
+    def test_leaky_program_rejected(self):
+        with pytest.raises(EngineError, match="isolation contract"):
+            verify_vertex_program(LeakyVertexProgram())
+
+    def test_accepts_instance_or_class(self):
+        with pytest.raises(EngineError):
+            verify_vertex_program(LeakyVertexProgram)
+
+    def test_real_programs_pass(self, graph, coauthor):
+        from repro.core.evaluator import PathConcatenationProgram
+        from repro.core.planner import make_plan
+
+        plan = make_plan(coauthor, strategy="line")
+        program = PathConcatenationProgram(
+            graph, coauthor, plan, library.path_count()
+        )
+        verify_vertex_program(program)
+
+    def test_engine_verify_flag(self, graph):
+        for engine_cls in (BSPEngine, ThreadedBSPEngine):
+            engine = engine_cls(list(graph.vertices()), num_workers=2)
+            with pytest.raises(EngineError, match="isolation contract"):
+                engine.run(LeakyVertexProgram(), verify=True)
+
+    def test_engine_without_verify_does_not_parse_source(self, graph):
+        """verify=False (the default) must not reject; the program then
+        fails at its own runtime pace — engines stay permissive by default."""
+        engine = BSPEngine(list(graph.vertices()), num_workers=1)
+        program = LeakyVertexProgram()
+        # LeakyVertexProgram has no num_supersteps: it is not runnable, but
+        # the verify gate must not be what stops it
+        with pytest.raises(Exception) as excinfo:
+            engine.run(program)
+        assert "isolation contract" not in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# GraphExtractor verify wiring
+# ----------------------------------------------------------------------
+class TestExtractorVerifyWiring:
+    def test_default_verifies_and_passes(self, graph, coauthor):
+        result = GraphExtractor(graph).extract(coauthor, library.path_count())
+        assert result.graph.num_edges() > 0
+
+    def test_bogus_aggregate_rejected_before_running(self, graph, coauthor):
+        bogus = DistributiveAggregate(OP_ADD, OP_ADD, name="bogus")
+        with pytest.raises(AggregationError):
+            GraphExtractor(graph).extract(coauthor, bogus)
+
+    def test_tampered_plan_rejected(self, graph, coauthor):
+        extractor = GraphExtractor(graph)
+        plan = extractor.plan(coauthor)
+        plan.root.k = plan.root.j
+        with pytest.raises(PlanError, match="pivot"):
+            extractor.extract(coauthor, library.path_count(), plan=plan)
+
+    def test_verify_false_skips_plan_check(self, graph, coauthor):
+        """With verify off, the tampered plan reaches the engine and the
+        corruption is silent — which is exactly why verify defaults on."""
+        extractor = GraphExtractor(graph, verify=False)
+        plan = extractor.plan(coauthor)
+        plan.root.k = plan.root.j
+        try:
+            extractor.extract(coauthor, library.path_count(), plan=plan)
+        except PlanError:
+            pytest.fail("plan verification ran despite verify=False")
+        except Exception:
+            pass  # downstream failures are fine; the verifier must not run
+
+    def test_per_call_override(self, graph, coauthor):
+        extractor = GraphExtractor(graph, verify=False)
+        plan = extractor.plan(coauthor)
+        plan.root.k = plan.root.j
+        with pytest.raises(PlanError):
+            extractor.extract(
+                coauthor, library.path_count(), plan=plan, verify=True
+            )
+
+    def test_extract_many_verifies(self, graph, coauthor):
+        bogus = DistributiveAggregate(OP_ADD, OP_ADD, name="bogus")
+        with pytest.raises(AggregationError):
+            GraphExtractor(graph).extract_many([coauthor], bogus)
+
+    def test_extract_many_clean(self, graph, coauthor):
+        results = GraphExtractor(graph).extract_many(
+            [coauthor], library.path_count()
+        )
+        assert len(results) == 1

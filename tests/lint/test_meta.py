@@ -1,0 +1,33 @@
+"""The permanent CI gate: linting ``src/repro`` must produce zero
+findings.  Any rule violation introduced anywhere in the library fails
+this test with the exact file:line locations."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import render_text, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE = REPO_ROOT / "src" / "repro"
+
+
+def test_package_is_lint_clean():
+    report = run_lint([str(PACKAGE)])
+    assert report.files_scanned > 50  # the walk actually found the tree
+    assert report.ok, (
+        "static-analysis findings in src/repro:\n" + render_text(report)
+    )
+
+
+def test_gate_actually_detects_violations(tmp_path):
+    """Guard the gate itself: a seeded violation must be reported, so a
+    silently broken rule set cannot fake a clean run."""
+    bad = tmp_path / "seeded.py"
+    bad.write_text(
+        "from __future__ import annotations\n"
+        "def f():\n    raise RuntimeError('x')\n"
+    )
+    report = run_lint([str(bad)])
+    assert not report.ok
+    assert report.findings[0].rule == "foreign-raise"

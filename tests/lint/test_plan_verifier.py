@@ -1,0 +1,201 @@
+"""PlanVerifier: adversarial hand-built plans must be rejected with
+precise messages; every planner strategy's plans must verify clean
+(property-tested over random schema walks)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import PCP, PCPNode, Placement
+from repro.core.planner import STRATEGIES, make_plan
+from repro.errors import PlanError
+from repro.graph.pattern import LinePattern
+from repro.lint import PlanVerifier
+
+from tests.conftest import build_scholarly
+
+
+@pytest.fixture
+def verifier():
+    return PlanVerifier()
+
+
+def node(i, k, j, left=None, right=None, placement=Placement.AT_END, nid=0):
+    return PCPNode(
+        node_id=nid, i=i, k=k, j=j, left=left, right=right, placement=placement
+    )
+
+
+# ----------------------------------------------------------------------
+# adversarial fixtures
+# ----------------------------------------------------------------------
+class TestAdversarialPlans:
+    def test_missing_root(self, verifier):
+        with pytest.raises(PlanError, match="no root node"):
+            verifier.verify(None, 3)
+
+    def test_wrong_node_count(self, verifier):
+        # length 4 needs 3 nodes; a lone root with NL-NL sides of length 2
+        lone = node(0, 2, 4)
+        problems = verifier.check(lone, 4)
+        assert any("needs exactly 3 plan nodes, found 1" in p for p in problems)
+        with pytest.raises(PlanError, match="Theorem 2"):
+            verifier.verify(lone, 4)
+
+    def test_pivot_out_of_range(self, verifier):
+        problems = verifier.check(node(0, 0, 2), 2)
+        assert any("pivot 0 out of range" in p for p in problems)
+        problems = verifier.check(node(0, 2, 2), 2)
+        assert any("pivot 2 out of range" in p for p in problems)
+
+    def test_overlapping_segments(self, verifier):
+        # left child covers [0,3] under a pivot at 2: overlaps the right side
+        bad = node(
+            0, 2, 4,
+            left=node(0, 1, 3, nid=1),
+            right=node(2, 3, 4, placement=Placement.AT_START, nid=2),
+        )
+        problems = verifier.check(bad, 4)
+        assert any("gap or overlap" in p and "[0,2]" in p for p in problems)
+
+    def test_segment_gap(self, verifier):
+        # length 6: left child covers [0,2] but the pivot is 3 -> gap [2,3]
+        bad = node(
+            0, 3, 6,
+            left=node(0, 1, 2, nid=1),
+            right=node(3, 4, 6, placement=Placement.AT_START, nid=2,
+                       right=node(4, 5, 6, placement=Placement.AT_START, nid=3)),
+        )
+        problems = verifier.check(bad, 6)
+        assert any("must cover segment [0,3]" in p for p in problems)
+
+    def test_wrong_placement(self, verifier):
+        bad = node(
+            0, 2, 4,
+            left=node(0, 1, 2, placement=Placement.AT_START, nid=1),
+            right=node(2, 3, 4, placement=Placement.AT_START, nid=2),
+        )
+        problems = verifier.check(bad, 4)
+        assert any("left child must store its paths at the end" in p for p in problems)
+
+        bad_root = node(
+            0, 2, 4,
+            left=node(0, 1, 2, nid=1),
+            right=node(2, 3, 4, placement=Placement.AT_START, nid=2),
+            placement=Placement.AT_START,
+        )
+        problems = verifier.check(bad_root, 4)
+        assert any("root must store its paths at the end" in p for p in problems)
+
+    def test_nl_side_with_spurious_child(self, verifier):
+        # left side [0,1] has length 1 (NL) but carries a child
+        bad = node(
+            0, 1, 3,
+            left=node(0, 1, 1, nid=1),
+            right=node(1, 2, 3, placement=Placement.AT_START, nid=2),
+        )
+        problems = verifier.check(bad, 3)
+        assert any("carries a child for an NL side" in p for p in problems)
+
+    def test_shared_node_detected(self, verifier):
+        # the same object wired as both children: not a tree
+        shared = node(2, 3, 4, placement=Placement.AT_START, nid=1)
+        bad = node(0, 2, 4, left=shared, right=shared)
+        problems = verifier.check(bad, 4)
+        assert any("not a tree" in p for p in problems)
+
+    def test_all_problems_reported_at_once(self, verifier):
+        """The verifier collects every violation, not just the first."""
+        lone = node(0, 0, 4, placement=Placement.AT_START)
+        problems = verifier.check(lone, 4)
+        assert len(problems) >= 3  # placement + pivot + children/count
+
+    def test_short_patterns_rejected(self, verifier):
+        with pytest.raises(PlanError, match="need no concatenation plan"):
+            verifier.verify(node(0, 1, 2), 1)
+
+
+class TestTamperedPlans:
+    """verify_plan catches post-construction mutation of a valid PCP."""
+
+    def test_accepts_fresh_plan(self, verifier):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        plan = make_plan(pattern, strategy="line")
+        verifier.verify_plan(plan)
+
+    def test_rejects_mutated_pivot(self, verifier):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        plan = make_plan(pattern, strategy="line")
+        plan.root.k = plan.root.j
+        with pytest.raises(PlanError, match="pivot"):
+            verifier.verify_plan(plan)
+
+    def test_rejects_detached_child(self, verifier):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+            "<-[publishAt]- Paper <-[authorBy]- Author"
+        )
+        plan = make_plan(pattern, strategy="line")
+        assert plan.root.left or plan.root.right
+        if plan.root.left is not None:
+            plan.root.left = None
+        else:
+            plan.root.right = None
+        with pytest.raises(PlanError):
+            verifier.verify_plan(plan)
+
+
+# ----------------------------------------------------------------------
+# property: every strategy emits verifier-clean plans
+# ----------------------------------------------------------------------
+_GRAPH = build_scholarly()
+
+#: label -> [(edge label, arrow, next label)] walk steps in both directions
+_STEPS = {
+    "Author": [("authorBy", "->", "Paper")],
+    "Venue": [("publishAt", "<-", "Paper")],
+    "Paper": [
+        ("authorBy", "<-", "Author"),
+        ("publishAt", "->", "Venue"),
+        ("citeBy", "->", "Paper"),
+        ("citeBy", "<-", "Paper"),
+    ],
+}
+
+
+@st.composite
+def schema_walk_patterns(draw):
+    """A random valid line pattern of length 2-8 over the scholarly schema."""
+    length = draw(st.integers(min_value=2, max_value=8))
+    label = draw(st.sampled_from(sorted(_STEPS)))
+    parts = [label]
+    for _ in range(length):
+        edge, arrow, nxt = draw(st.sampled_from(_STEPS[label]))
+        parts.append(
+            f"-[{edge}]-> {nxt}" if arrow == "->" else f"<-[{edge}]- {nxt}"
+        )
+        label = nxt
+    return LinePattern.parse(" ".join(parts))
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=schema_walk_patterns(), strategy=st.sampled_from(STRATEGIES))
+def test_every_strategy_emits_verifier_clean_plans(pattern, strategy):
+    plan = make_plan(pattern, strategy=strategy, graph=_GRAPH)
+    assert PlanVerifier().check(plan.root, pattern.length) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(pattern=schema_walk_patterns())
+def test_partial_aggregation_plans_also_verify(pattern):
+    plan = make_plan(
+        pattern, strategy="hybrid", graph=_GRAPH, partial_aggregation=True
+    )
+    assert PlanVerifier().check(plan.root, pattern.length) == []

@@ -1,0 +1,378 @@
+"""Unit tests for the AST rule catalogue, the runner, config handling
+and the reporters — all on inline sources and the fixture tree."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lint import (
+    ALL_RULES,
+    BareExceptRule,
+    ForeignRaiseRule,
+    FrozenMutationRule,
+    FutureAnnotationsRule,
+    LintConfig,
+    ModuleSource,
+    SharedStateRule,
+    get_rules,
+    iter_python_files,
+    lint_module,
+    load_config,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def check(rule, source: str):
+    module = ModuleSource.from_source(source, path="snippet.py")
+    return list(rule.check(module))
+
+
+# ----------------------------------------------------------------------
+# shared-state
+# ----------------------------------------------------------------------
+class TestSharedStateRule:
+    def test_instance_write_in_compute(self):
+        findings = check(
+            SharedStateRule(),
+            "class P(VertexProgram):\n"
+            "    def compute(self, ctx):\n"
+            "        self.total = 1\n",
+        )
+        assert len(findings) == 1
+        assert "self.total" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_mutation_via_reachable_helper(self):
+        findings = check(
+            SharedStateRule(),
+            "class P(VertexProgram):\n"
+            "    def compute(self, ctx):\n"
+            "        self.helper(ctx)\n"
+            "    def helper(self, ctx):\n"
+            "        self.cache.update({1: 2})\n"
+            "    def unreachable(self):\n"
+            "        self.cache.clear()\n",
+        )
+        assert len(findings) == 1  # the unreachable method is not flagged
+        assert "helper" in findings[0].message
+
+    def test_module_global_mutation(self):
+        findings = check(
+            SharedStateRule(),
+            "CACHE = {}\n"
+            "class P(VertexProgram):\n"
+            "    def compute(self, ctx):\n"
+            "        CACHE[ctx.vid] = 1\n",
+        )
+        assert len(findings) == 1
+        assert "module-global" in findings[0].message
+
+    def test_peek_state_flagged(self):
+        findings = check(
+            SharedStateRule(),
+            "class P(VertexProgram):\n"
+            "    def compute(self, ctx):\n"
+            "        ctx.peek_state(0)\n",
+        )
+        assert len(findings) == 1
+        assert "peek_state" in findings[0].message
+
+    def test_ctx_state_mutation_is_fine(self):
+        findings = check(
+            SharedStateRule(),
+            "class P(VertexProgram):\n"
+            "    def compute(self, ctx):\n"
+            "        state = ctx.state()\n"
+            "        state['paths'] = []\n"
+            "        state['paths'].append(1)\n"
+            "        local = {}\n"
+            "        local.update({1: 2})\n",
+        )
+        assert findings == []
+
+    def test_non_program_class_ignored(self):
+        findings = check(
+            SharedStateRule(),
+            "class Planner:\n"
+            "    def compute(self, ctx):\n"
+            "        self.total = 1\n",
+        )
+        assert findings == []
+
+    def test_global_statement_flagged(self):
+        findings = check(
+            SharedStateRule(),
+            "class P(VertexProgram):\n"
+            "    def compute(self, ctx):\n"
+            "        global counter\n"
+            "        counter = 1\n",
+        )
+        assert any("global" in f.message for f in findings)
+
+
+# ----------------------------------------------------------------------
+# foreign-raise
+# ----------------------------------------------------------------------
+class TestForeignRaiseRule:
+    def test_builtin_raise_flagged(self):
+        findings = check(
+            ForeignRaiseRule(), "def f():\n    raise ValueError('x')\n"
+        )
+        assert len(findings) == 1
+        assert "ValueError" in findings[0].message
+
+    def test_repro_errors_allowed(self):
+        findings = check(
+            ForeignRaiseRule(),
+            "from repro.errors import PlanError\n"
+            "def f():\n    raise PlanError('x')\n",
+        )
+        assert findings == []
+
+    def test_local_subclass_allowed(self):
+        findings = check(
+            ForeignRaiseRule(),
+            "from repro.errors import ReproError\n"
+            "class LocalError(ReproError):\n    pass\n"
+            "class DeeperError(LocalError):\n    pass\n"
+            "def f():\n    raise DeeperError('x')\n",
+        )
+        assert findings == []
+
+    def test_allowed_builtins(self):
+        findings = check(
+            ForeignRaiseRule(),
+            "def f():\n    raise NotImplementedError\n"
+            "def g():\n    raise ImportError('optional')\n",
+        )
+        assert findings == []
+
+    def test_reraise_of_variable_ignored(self):
+        findings = check(
+            ForeignRaiseRule(),
+            "def f(exc):\n    raise exc\n",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# bare-except
+# ----------------------------------------------------------------------
+class TestBareExceptRule:
+    def test_bare_flagged(self):
+        findings = check(
+            BareExceptRule(),
+            "try:\n    pass\nexcept:\n    pass\n",
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+    def test_typed_not_flagged(self):
+        findings = check(
+            BareExceptRule(),
+            "try:\n    pass\nexcept Exception:\n    pass\n",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# frozen-mutation
+# ----------------------------------------------------------------------
+class TestFrozenMutationRule:
+    def test_attribute_write_on_frozen_arg(self):
+        findings = check(
+            FrozenMutationRule(),
+            "def f(pattern: LinePattern):\n    pattern.length = 0\n",
+        )
+        assert len(findings) == 1
+        assert "LinePattern" in findings[0].message
+
+    def test_string_annotation_and_optional(self):
+        findings = check(
+            FrozenMutationRule(),
+            "def f(edge: 'PatternEdge', op: Optional[BinaryOp]):\n"
+            "    edge.direction = None\n"
+            "    op.fn = None\n",
+        )
+        assert len(findings) == 2
+
+    def test_mutating_call_through_frozen_value(self):
+        findings = check(
+            FrozenMutationRule(),
+            "def f(pattern: LinePattern):\n"
+            "    pattern.filters.update({})\n",
+        )
+        assert len(findings) == 1
+
+    def test_rebinding_is_fine(self):
+        findings = check(
+            FrozenMutationRule(),
+            "def f(pattern: LinePattern):\n"
+            "    pattern = pattern.reversed()\n"
+            "    items = list(pattern.edges)\n"
+            "    items.append(None)\n",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# future-annotations
+# ----------------------------------------------------------------------
+class TestFutureAnnotationsRule:
+    def test_missing_flagged(self):
+        findings = check(FutureAnnotationsRule(), "x = 1\n")
+        assert len(findings) == 1
+        assert findings[0].severity.value == "warning"
+
+    def test_present_ok(self):
+        findings = check(
+            FutureAnnotationsRule(),
+            '"""doc"""\nfrom __future__ import annotations\nx = 1\n',
+        )
+        assert findings == []
+
+    def test_empty_module_ok(self):
+        findings = check(FutureAnnotationsRule(), "")
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# runner, suppression, config
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_fixture_tree_has_all_violation_classes(self):
+        report = run_lint([str(FIXTURES)])
+        rules_found = {f.rule for f in report.findings}
+        assert rules_found == {
+            "shared-state",
+            "foreign-raise",
+            "bare-except",
+            "frozen-mutation",
+            "future-annotations",
+        }
+        assert not report.ok
+        # every finding carries a real location
+        for finding in report.findings:
+            assert finding.path.endswith(".py")
+            assert finding.line >= 1
+
+    def test_inline_suppression(self):
+        module = ModuleSource.from_source(
+            "def f():\n"
+            "    raise ValueError('x')  # lint: disable=foreign-raise\n",
+            path="s.py",
+        )
+        assert lint_module(module, [ForeignRaiseRule()]) == []
+
+    def test_per_path_ignores(self):
+        config = LintConfig(per_path_ignores={"legacy/*.py": ["bare-except"]})
+        module = ModuleSource.from_source(
+            "try:\n    pass\nexcept:\n    pass\n", path="legacy/old.py"
+        )
+        assert lint_module(module, [BareExceptRule()], config) == []
+        other = ModuleSource.from_source(
+            "try:\n    pass\nexcept:\n    pass\n", path="src/new.py"
+        )
+        assert len(lint_module(other, [BareExceptRule()], config)) == 1
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ReproError, match="unknown lint rule"):
+            get_rules(["no-such-rule"])
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ReproError, match="not found"):
+            run_lint(["does/not/exist"])
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.py").write_text("x = 1\n")
+        files = iter_python_files([str(tmp_path)])
+        assert [f.name for f in files] == ["a.py"]
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = run_lint([str(bad)])
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == "syntax-error"
+
+
+class TestConfig:
+    def test_load_from_explicit_file(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro.lint]\n"
+            'enable = ["bare-except", "foreign-raise"]\n'
+            'disable = ["foreign-raise"]\n'
+            "[tool.repro.lint.per-path-ignores]\n"
+            '"vendored/*.py" = ["all"]\n'
+        )
+        config = load_config(str(pyproject))
+        names = config.rule_names(
+            ["shared-state", "foreign-raise", "bare-except"]
+        )
+        assert names == ["bare-except"]
+        assert config.ignored_at("vendored/x.py", "bare-except")
+        assert not config.ignored_at("src/x.py", "bare-except")
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(ReproError, match="not found"):
+            load_config("no/such/pyproject.toml")
+
+    def test_bad_types_rejected(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro.lint]\nenable = 'all'\n")
+        with pytest.raises(ReproError, match="list of strings"):
+            load_config(str(pyproject))
+
+
+class TestReporters:
+    def test_text_shows_location_and_summary(self):
+        report = run_lint([str(FIXTURES / "bad_bare_except.py")])
+        text = render_text(report)
+        assert "bad_bare_except.py:9" in text
+        assert "bare-except" in text
+        assert "finding(s)" in text
+
+    def test_json_is_machine_readable(self):
+        report = run_lint([str(FIXTURES / "bad_foreign_raise.py")])
+        payload = json.loads(render_json(report))
+        assert payload["files_scanned"] == 1
+        assert payload["errors"] >= 1
+        rules = {f["rule"] for f in payload["findings"]}
+        assert "foreign-raise" in rules
+        finding = payload["findings"][0]
+        assert {"rule", "message", "path", "line", "col", "severity", "hint"} <= set(
+            finding
+        )
+
+    def test_clean_report(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text(
+            '"""ok"""\nfrom __future__ import annotations\nx = 1\n'
+        )
+        report = run_lint([str(good)])
+        assert report.ok
+        assert "clean" in render_text(report)
+
+
+class TestRuleRegistry:
+    def test_all_rules_have_identity(self):
+        for rule in ALL_RULES:
+            assert rule.name
+            assert rule.description
+            assert rule.hint
+
+    def test_names_unique(self):
+        names = [rule.name for rule in ALL_RULES]
+        assert len(names) == len(set(names))

@@ -85,3 +85,49 @@ class TestNetworkxExport:
         )
         digraph = result.graph.to_networkx()
         assert digraph[3][4]["value"] is True
+
+class TestLintExports:
+    """The repro.lint package must export its public surface via __all__."""
+
+    def test_all_names_resolve(self):
+        import repro.lint as lint
+
+        for name in lint.__all__:
+            assert hasattr(lint, name), f"repro.lint.__all__ lists missing {name!r}"
+
+    def test_key_names_present(self):
+        import repro.lint as lint
+
+        expected = {
+            "PlanVerifier",
+            "AggregateContractChecker",
+            "verify_vertex_program",
+            "run_lint",
+            "Finding",
+            "LintReport",
+            "Severity",
+            "Rule",
+            "ALL_RULES",
+            "get_rules",
+            "load_config",
+            "render_text",
+            "render_json",
+        }
+        assert expected <= set(lint.__all__)
+
+    def test_all_is_sorted_and_unique(self):
+        import repro.lint as lint
+
+        assert len(lint.__all__) == len(set(lint.__all__))
+        assert list(lint.__all__) == sorted(lint.__all__)
+
+    def test_rule_names_match_docs_catalogue(self):
+        from repro.lint import RULES_BY_NAME
+
+        assert set(RULES_BY_NAME) == {
+            "shared-state",
+            "foreign-raise",
+            "bare-except",
+            "frozen-mutation",
+            "future-annotations",
+        }
