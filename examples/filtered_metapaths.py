@@ -15,6 +15,8 @@ vertex attributes:
 Run with:  python examples/filtered_metapaths.py
 """
 
+from __future__ import annotations
+
 import numpy as np
 
 from repro import GraphExtractor, LinePattern, VertexFilter, aggregates

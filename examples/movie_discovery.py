@@ -14,6 +14,8 @@ On an IMDB-like graph (Actors, Movies, Directors, Genres) this example:
 Run with:  python examples/movie_discovery.py
 """
 
+from __future__ import annotations
+
 from repro import GraphExtractor, LinePattern
 from repro.aggregates import bounded_top_k, path_count
 from repro.core.incremental import IncrementalExtractor

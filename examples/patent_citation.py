@@ -12,6 +12,8 @@ Reproduces the paper's us-patent workloads at example scale:
 Run with:  python examples/patent_citation.py
 """
 
+from __future__ import annotations
+
 from repro import aggregates
 from repro.datasets import generate_patent
 from repro.workloads import format_table, get_workload, run_method, Row

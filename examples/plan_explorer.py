@@ -10,6 +10,8 @@ Shows, for a long citation-chain pattern:
 Run with:  python examples/plan_explorer.py
 """
 
+from __future__ import annotations
+
 from repro import CostModel, GraphExtractor, GraphStatistics, LinePattern
 from repro.datasets import generate_patent
 from repro.workloads import Row, format_table

@@ -9,6 +9,8 @@ papers.
 Run with:  python examples/quickstart.py
 """
 
+from __future__ import annotations
+
 from repro import GraphExtractor, LinePattern, aggregates
 from repro.datasets import tiny_dblp
 

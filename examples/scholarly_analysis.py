@@ -15,6 +15,8 @@ from a DBLP-like graph and runs downstream analyses on each:
 Run with:  python examples/scholarly_analysis.py
 """
 
+from __future__ import annotations
+
 from repro import GraphExtractor, aggregates
 from repro.analysis import connected_components, pagerank, top_edges
 from repro.datasets import generate_dblp

@@ -134,9 +134,12 @@ def pagerank_parallel(
     tolerance: float = 1e-10,
     max_iterations: int = 100,
     engine: Optional[BSPEngine] = None,
+    sanitize: bool = False,
 ) -> Dict[VertexId, float]:
     """Weighted PageRank on the BSP engine; matches
-    :func:`repro.analysis.pagerank` up to convergence tolerance."""
+    :func:`repro.analysis.pagerank` up to convergence tolerance.  With
+    ``sanitize=True`` the run is checked by the race/determinism
+    sanitizer (:class:`~repro.engine.sanitizer.SanitizerBSPEngine`)."""
     program = PageRankProgram(
         graph, damping=damping, tolerance=tolerance, max_iterations=max_iterations
     )
@@ -144,6 +147,8 @@ def pagerank_parallel(
         engine = BSPEngine(
             sorted(graph.vertices), num_workers=num_workers, max_supersteps=10_000
         )
+    if sanitize:
+        return engine.run(program, sanitize=True)
     return engine.run(program)
 
 
@@ -151,9 +156,12 @@ def connected_components_parallel(
     graph: ExtractedGraph,
     num_workers: int = 4,
     engine: Optional[BSPEngine] = None,
+    sanitize: bool = False,
 ) -> Dict[VertexId, VertexId]:
     """Component id (minimum member id) per vertex, on the BSP engine."""
     program = ConnectedComponentsProgram(graph)
     if engine is None:
         engine = BSPEngine(sorted(graph.vertices), num_workers=num_workers)
+    if sanitize:
+        return engine.run(program, sanitize=True)
     return engine.run(program)

@@ -9,7 +9,10 @@ Run as ``python -m repro <command>``:
   writing the extracted edge list);
 * ``compare``   — run several methods on one workload and print a table;
 * ``lint``      — run the first-party static-analysis rules over source
-  files (exit 1 on findings; the permanent CI gate).
+  files (exit gated by ``--fail-on``; the permanent CI gate);
+* ``sanitize``  — run one extraction on the BSP race/determinism
+  sanitizer engine and report runtime findings through the lint
+  reporters (text/json/sarif/github).
 
 Examples
 --------
@@ -257,9 +260,33 @@ def cmd_discover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_report(report, args: argparse.Namespace) -> None:
+    """Render ``report`` in the requested format, to stdout or ``--output``."""
+    from repro.lint import REPORTERS
+
+    rendered = REPORTERS[args.format](report)
+    if getattr(args, "output", None):
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.format} report to {args.output}")
+    else:
+        print(rendered)
+
+
+def _report_exit_code(report, fail_on: str) -> int:
+    """0/1 depending on the findings at or above the ``fail_on`` threshold."""
+    from repro.lint.findings import Severity
+
+    if fail_on == "never":
+        return 0
+    threshold = Severity.from_string(fail_on)
+    return 0 if report.count_at_least(threshold) == 0 else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Run the AST lint rules; exit 0 when clean, 1 on any finding."""
-    from repro.lint import REPORTERS, get_rules, load_config, run_lint
+    """Run the AST lint rules; the exit code is gated by ``--fail-on``
+    (default: non-zero on any finding)."""
+    from repro.lint import get_rules, load_config, run_lint
     from repro.lint.rules import RULES_BY_NAME
 
     config = load_config(args.config)
@@ -273,8 +300,35 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
         paths = [str(Path(__file__).resolve().parent)]
     report = run_lint(paths, rules=rules, config=config)
-    print(REPORTERS[args.format](report))
-    return 0 if report.ok else 1
+    _emit_report(report, args)
+    return _report_exit_code(report, args.fail_on or config.fail_on)
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Run one extraction under the BSP race/determinism sanitizer and
+    report the runtime findings through the lint reporters."""
+    from repro.engine.sanitizer import SanitizerError
+    from repro.lint.findings import LintReport
+
+    graph = _resolve_graph(args)
+    pattern = _resolve_pattern(args)
+    aggregate = AGGREGATES[args.aggregate]()
+    extractor = GraphExtractor(
+        graph, num_workers=args.workers, sanitize=True
+    )
+    try:
+        result = extractor.extract(pattern, aggregate)
+    except SanitizerError:
+        result = None
+    report = LintReport(findings=list(extractor.last_sanitizer_findings))
+    _emit_report(report, args)
+    if result is not None:
+        print(
+            f"sanitized extraction: {result.graph.num_edges()} edges, "
+            f"{result.metrics.num_supersteps} supersteps",
+            file=sys.stderr,
+        )
+    return _report_exit_code(report, args.fail_on)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -392,6 +446,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--workers", type=int, default=4)
 
+    from repro.lint.reporters import REPORTERS
+
+    formats = sorted(REPORTERS)
+
     lint = sub.add_parser(
         "lint", help="run the first-party static-analysis rules"
     )
@@ -401,8 +459,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: the repro package)",
     )
     lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=formats, default="text",
         help="report format (default text)",
+    )
+    lint.add_argument(
+        "--output", metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    lint.add_argument(
+        "--fail-on", choices=["error", "warning", "never"], default=None,
+        help="severity threshold for a non-zero exit "
+        "(default: configured fail-on, else warning)",
     )
     lint.add_argument(
         "--rules",
@@ -411,6 +478,29 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--config", metavar="FILE",
         help="explicit pyproject.toml with a [tool.repro.lint] section",
+    )
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run one extraction under the BSP race/determinism sanitizer",
+    )
+    _add_graph_args(sanitize)
+    _add_pattern_args(sanitize)
+    sanitize.add_argument(
+        "--aggregate", choices=sorted(AGGREGATES), default="path_count"
+    )
+    sanitize.add_argument("--workers", type=int, default=4)
+    sanitize.add_argument(
+        "--format", choices=formats, default="text",
+        help="findings report format (default text)",
+    )
+    sanitize.add_argument(
+        "--output", metavar="FILE",
+        help="write the findings report to FILE instead of stdout",
+    )
+    sanitize.add_argument(
+        "--fail-on", choices=["error", "warning", "never"], default="warning",
+        help="severity threshold for a non-zero exit (default warning)",
     )
 
     return parser
@@ -425,6 +515,7 @@ COMMANDS = {
     "discover": cmd_discover,
     "compare": cmd_compare,
     "lint": cmd_lint,
+    "sanitize": cmd_sanitize,
 }
 
 

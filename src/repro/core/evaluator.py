@@ -390,11 +390,16 @@ def run_extraction(
     trace: bool = False,
     use_combiner: bool = False,
     engine: Optional[BSPEngine] = None,
+    sanitize: bool = False,
 ) -> ExtractionResult:
     """Execute one extraction on a fresh BSP engine and package the result.
 
     Pass ``engine`` to run on a custom engine instance (e.g. the threaded
-    executor in :mod:`repro.engine.parallel`).
+    executor in :mod:`repro.engine.parallel`).  With ``sanitize=True`` the
+    run executes on the race/determinism sanitizer
+    (:class:`~repro.engine.sanitizer.SanitizerBSPEngine`): contract
+    violations raise :class:`~repro.engine.sanitizer.SanitizerError` and
+    the findings are available as ``engine.last_findings``.
     """
     program = PathConcatenationProgram(
         graph,
@@ -407,7 +412,10 @@ def run_extraction(
     )
     if engine is None:
         engine = BSPEngine(list(graph.vertices()), num_workers=num_workers)
-    extracted = engine.run(program)
+    if sanitize:
+        extracted = engine.run(program, sanitize=True)
+    else:
+        extracted = engine.run(program)
     if not isinstance(extracted, ExtractedGraph):  # pragma: no cover
         raise EngineError("program returned an unexpected result type")
     return ExtractionResult(

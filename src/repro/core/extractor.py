@@ -56,6 +56,15 @@ class GraphExtractor:
         (:class:`~repro.lint.contracts.AggregateContractChecker`).
         Violations raise :class:`~repro.errors.PlanError` /
         :class:`~repro.errors.AggregationError` before any superstep runs.
+    sanitize:
+        When true, extractions run on the race/determinism sanitizer
+        engine (:class:`~repro.engine.sanitizer.SanitizerBSPEngine`):
+        message payloads and vertex state are fingerprinted at runtime,
+        and ownership/aliasing/order violations raise
+        :class:`~repro.engine.sanitizer.SanitizerError`.  The findings of
+        the most recent sanitized run (empty on a clean run) are kept on
+        ``extractor.last_sanitizer_findings``.  Several times slower —
+        a debugging/CI mode, not a production one (see ``EXPERIMENTS.md``).
     """
 
     def __init__(
@@ -67,6 +76,7 @@ class GraphExtractor:
         validate_patterns: bool = True,
         estimator: str = "uniform",
         verify: bool = True,
+        sanitize: bool = False,
     ) -> None:
         self.graph = graph
         self.num_workers = num_workers
@@ -75,6 +85,9 @@ class GraphExtractor:
         self.validate_patterns = validate_patterns
         self.estimator = estimator
         self.verify = verify
+        self.sanitize = sanitize
+        #: findings of the most recent sanitized extraction ([] when clean)
+        self.last_sanitizer_findings: list = []
         self._stats: Optional[GraphStatistics] = None
 
     def _verify_inputs(self, aggregate: Aggregate, plan: Optional[PCP]) -> None:
@@ -132,6 +145,7 @@ class GraphExtractor:
         num_workers: Optional[int] = None,
         trace: bool = False,
         verify: Optional[bool] = None,
+        sanitize: Optional[bool] = None,
     ) -> ExtractionResult:
         """Run one extraction and return the
         :class:`~repro.core.result.ExtractionResult`.
@@ -139,8 +153,8 @@ class GraphExtractor:
         ``aggregate`` defaults to path counting (the paper's representative
         aggregate).  Any argument left ``None`` falls back to the
         extractor's defaults; an explicit ``plan`` bypasses plan selection.
-        ``verify`` overrides the extractor-level contract-verification
-        flag for this call.
+        ``verify`` and ``sanitize`` override the extractor-level flags for
+        this call.
         """
         if aggregate is None:
             aggregate = path_count()
@@ -164,6 +178,16 @@ class GraphExtractor:
             )
         if use_verify:
             self._verify_inputs(aggregate, plan)
+        use_sanitize = self.sanitize if sanitize is None else sanitize
+        if use_sanitize:
+            return self._extract_sanitized(
+                pattern,
+                plan,
+                aggregate,
+                num_workers=num_workers or self.num_workers,
+                mode="partial" if use_partial else "basic",
+                trace=trace,
+            )
         return run_extraction(
             self.graph,
             pattern,
@@ -173,6 +197,32 @@ class GraphExtractor:
             mode="partial" if use_partial else "basic",
             trace=trace,
         )
+
+    def _extract_sanitized(
+        self, pattern, plan, aggregate, num_workers, mode, trace
+    ) -> ExtractionResult:
+        """Run one extraction on the sanitizer engine, keeping its
+        findings on ``last_sanitizer_findings`` even when the strict run
+        raises :class:`~repro.engine.sanitizer.SanitizerError`."""
+        from repro.engine.sanitizer import SanitizerBSPEngine
+
+        engine = SanitizerBSPEngine(
+            list(self.graph.vertices()), num_workers=num_workers
+        )
+        try:
+            return run_extraction(
+                self.graph,
+                pattern,
+                plan,
+                aggregate,
+                num_workers=num_workers,
+                mode=mode,
+                trace=trace,
+                engine=engine,
+                sanitize=True,
+            )
+        finally:
+            self.last_sanitizer_findings = engine.last_findings
 
     def extract_many(
         self,

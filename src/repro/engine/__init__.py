@@ -9,9 +9,10 @@ from repro.engine.checkpoint import (
     InMemoryCheckpointStore,
     RecoverableBSPEngine,
 )
-from repro.engine.messages import Mailbox
+from repro.engine.messages import Mailbox, shuffle_inbox, stable_vertex_seed
 from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.engine.parallel import ThreadedBSPEngine
+from repro.engine.sanitizer import SanitizerBSPEngine, SanitizerError
 
 __all__ = [
     "BSPEngine",
@@ -21,7 +22,11 @@ __all__ = [
     "Mailbox",
     "RecoverableBSPEngine",
     "RunMetrics",
+    "SanitizerBSPEngine",
+    "SanitizerError",
     "SuperstepMetrics",
     "ThreadedBSPEngine",
     "VertexProgram",
+    "shuffle_inbox",
+    "stable_vertex_seed",
 ]

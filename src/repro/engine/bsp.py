@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.engine.messages import Combiner, Mailbox
+from repro.engine.messages import Combiner, Mailbox, shuffle_inbox
 from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.errors import EngineError
 from repro.graph.hetgraph import VertexId
@@ -157,27 +157,45 @@ class BSPEngine:
         Number of logical workers (hash partitioning, as in the paper).
     max_supersteps:
         Safety bound for quiescence-terminated programs.
+    shuffle_seed:
+        When not ``None``, every delivered inbox is deterministically
+        permuted under this seed (see
+        :func:`~repro.engine.messages.shuffle_inbox`) — a determinism
+        fuzzer for order-sensitive aggregates.  ``None`` (the default)
+        preserves arrival order.
     """
+
+    #: overridden by the sanitizer subclass so ``run(sanitize=True)``
+    #: knows when it is already inside the instrumented engine
+    _is_sanitizer = False
 
     def __init__(
         self,
         vertices: Sequence[VertexId],
         num_workers: int = 1,
         max_supersteps: int = 10_000,
+        shuffle_seed: Optional[int] = None,
     ) -> None:
         if max_supersteps < 1:
             raise EngineError(f"max_supersteps must be >= 1, got {max_supersteps}")
+        self._vertices = list(vertices)
         self._partitioner = HashPartitioner(num_workers)
         self._partitions = self._partitioner.split(vertices)
         self.num_workers = num_workers
         self.max_supersteps = max_supersteps
+        self.shuffle_seed = shuffle_seed
 
     @property
     def partitions(self) -> List[List[VertexId]]:
         """The per-worker vertex slices."""
         return self._partitions
 
-    def run(self, program: VertexProgram, verify: bool = False) -> Any:
+    def run(
+        self,
+        program: VertexProgram,
+        verify: bool = False,
+        sanitize: bool = False,
+    ) -> Any:
         """Execute ``program`` to completion and return ``program.finish``'s
         result.  The :class:`RunMetrics` are attached as
         ``engine.last_metrics``.
@@ -186,7 +204,15 @@ class BSPEngine:
         the vertex-centric isolation contract (no mutation of shared state
         from the compute path); a violation raises
         :class:`~repro.errors.EngineError` before any superstep runs.
+
+        With ``sanitize=True`` the run is delegated to
+        :class:`~repro.engine.sanitizer.SanitizerBSPEngine`, which
+        fingerprints message payloads and vertex state to detect aliasing
+        and ownership violations at runtime (at a significant wall-time
+        cost; see ``EXPERIMENTS.md``).
         """
+        if sanitize and not self._is_sanitizer:
+            return self._run_sanitized(program, verify)
         if verify:
             from repro.lint.contracts import verify_vertex_program
 
@@ -238,6 +264,8 @@ class BSPEngine:
                 )
             )
             inbox = mailbox.deliver(combiner)
+            if self.shuffle_seed is not None:
+                shuffle_inbox(inbox, superstep, self.shuffle_seed)
             ctx.globals = ctx._pending_globals
             ctx._pending_globals = {}
             superstep += 1
@@ -246,3 +274,20 @@ class BSPEngine:
         self.last_metrics = metrics
         self.last_globals = ctx.globals
         return program.finish(states, metrics)
+
+    def _run_sanitized(self, program: VertexProgram, verify: bool) -> Any:
+        """Run ``program`` on a sanitizer engine mirroring this engine's
+        configuration, then mirror its run artefacts back onto ``self``."""
+        from repro.engine.sanitizer import SanitizerBSPEngine
+
+        sanitizer = SanitizerBSPEngine(
+            self._vertices,
+            num_workers=self.num_workers,
+            max_supersteps=self.max_supersteps,
+            shuffle_seed=self.shuffle_seed,
+        )
+        result = sanitizer.run(program, verify=verify)
+        self.last_metrics = sanitizer.last_metrics
+        self.last_globals = sanitizer.last_globals
+        self.last_findings = sanitizer.last_findings
+        return result

@@ -25,7 +25,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.engine.bsp import _NO_MESSAGES, BSPEngine, ComputeContext, VertexProgram
-from repro.engine.messages import Mailbox
+from repro.engine.messages import Mailbox, shuffle_inbox
 from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.errors import EngineError
 from repro.graph.hetgraph import VertexId
@@ -116,8 +116,11 @@ class RecoverableBSPEngine(BSPEngine):
         max_supersteps: int = 10_000,
         checkpoint_every: int = 1,
         store=None,
+        shuffle_seed: Optional[int] = None,
     ) -> None:
-        super().__init__(vertices, num_workers, max_supersteps)
+        super().__init__(
+            vertices, num_workers, max_supersteps, shuffle_seed=shuffle_seed
+        )
         if checkpoint_every < 1:
             raise EngineError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
@@ -126,10 +129,22 @@ class RecoverableBSPEngine(BSPEngine):
         self.store = store if store is not None else InMemoryCheckpointStore()
 
     def run(
-        self, program: VertexProgram, resume: bool = False, verify: bool = False
+        self,
+        program: VertexProgram,
+        resume: bool = False,
+        verify: bool = False,
+        sanitize: bool = False,
     ) -> Any:
         """Execute ``program``; with ``resume=True`` continue from the
         latest checkpoint instead of superstep 0."""
+        if sanitize:
+            if resume:
+                raise EngineError(
+                    "sanitize=True cannot resume from a checkpoint: the "
+                    "sanitizer must observe the run from superstep 0 to "
+                    "fingerprint every send"
+                )
+            return self._run_sanitized(program, verify)
         if verify:
             from repro.lint.contracts import verify_vertex_program
 
@@ -193,6 +208,8 @@ class RecoverableBSPEngine(BSPEngine):
                 )
             )
             inbox = mailbox.deliver(combiner)
+            if self.shuffle_seed is not None:
+                shuffle_inbox(inbox, superstep, self.shuffle_seed)
             ctx.globals = ctx._pending_globals
             ctx._pending_globals = {}
             superstep += 1

@@ -9,6 +9,8 @@ destination's messages (Giraph-style message combining).
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.graph.hetgraph import VertexId
@@ -16,6 +18,34 @@ from repro.graph.hetgraph import VertexId
 #: A combiner folds the message list of one destination vertex into a
 #: (usually shorter) list.  It must be order-insensitive.
 Combiner = Callable[[VertexId, List[Any]], List[Any]]
+
+
+def stable_vertex_seed(vid: VertexId) -> int:
+    """A process-independent integer derived from a vertex id.  ``hash()``
+    is salted per process for strings, so seeding with it would make
+    shuffled runs irreproducible across processes; CRC32 of the repr is
+    stable everywhere."""
+    return zlib.crc32(repr(vid).encode("utf-8"))
+
+
+def shuffle_inbox(
+    inbox: Dict[VertexId, List[Any]], superstep: int, seed: int
+) -> None:
+    """Deterministically permute each vertex's inbox in place.
+
+    The BSP contract promises nothing about intra-inbox message order, so
+    a correct program (order-insensitive ``⊕``) is invariant under this
+    permutation — which makes seeded shuffling a determinism fuzzer: runs
+    with different seeds must agree, and disagreement pinpoints an
+    order-sensitive aggregate or compute.  The permutation depends on
+    (seed, superstep, vertex) only, never on wall-clock or process state.
+    """
+    for vid, messages in inbox.items():
+        if len(messages) > 1:
+            rng = random.Random(
+                (seed * 1_000_003 + superstep) ^ stable_vertex_seed(vid)
+            )
+            rng.shuffle(messages)
 
 
 class Mailbox:

@@ -24,7 +24,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List
 
 from repro.engine.bsp import _NO_MESSAGES, BSPEngine, ComputeContext, VertexProgram
-from repro.engine.messages import Mailbox
+from repro.engine.messages import Mailbox, shuffle_inbox
 from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.errors import EngineError
 from repro.graph.hetgraph import VertexId
@@ -36,7 +36,18 @@ class ThreadedBSPEngine(BSPEngine):
     ``⊕`` must be commutative/associative, which the two-level model
     already requires)."""
 
-    def run(self, program: VertexProgram, verify: bool = False) -> Any:
+    def run(
+        self,
+        program: VertexProgram,
+        verify: bool = False,
+        sanitize: bool = False,
+    ) -> Any:
+        if sanitize:
+            # instrumentation needs deterministic single-threaded hooks:
+            # delegate to the serial sanitizer engine (the threaded path
+            # itself is regression-tested by the cross-engine determinism
+            # property test)
+            return self._run_sanitized(program, verify)
         if verify:
             from repro.lint.contracts import verify_vertex_program
 
@@ -116,6 +127,8 @@ class ThreadedBSPEngine(BSPEngine):
                     merged = {
                         vid: combiner(vid, msgs) for vid, msgs in merged.items()
                     }
+                if self.shuffle_seed is not None:
+                    shuffle_inbox(merged, superstep, self.shuffle_seed)
                 inbox = merged
                 # merge per-worker global-aggregator contributions
                 reduced: Dict[str, Any] = {}

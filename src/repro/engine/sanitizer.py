@@ -1,0 +1,504 @@
+"""A BSP race/determinism sanitizer engine (the dynamic half of Layer 3).
+
+:class:`SanitizerBSPEngine` executes a vertex program with the same
+synchronous semantics as :class:`~repro.engine.bsp.BSPEngine` while
+checking, at runtime, the ownership contract the static analyses in
+:mod:`repro.lint.dataflow` prove where they can:
+
+* **payload aliasing** — every mutable object reachable from a sent
+  payload is registered by identity at send time; a second send of the
+  same object within a superstep is an aliasing violation (two receivers
+  would share it);
+* **payload mutation after send** — payloads are structurally
+  fingerprinted at send time and re-fingerprinted at the superstep
+  barrier; a changed fingerprint means the sender kept mutating an
+  object it had already shipped;
+* **foreign state mutation** — each vertex's persistent state is
+  fingerprinted after its own ``compute`` and re-checked both at the
+  barrier and immediately before its next ``compute``; a change at
+  either point was made by code that does not own the state (the
+  two-point check catches the foreign writer whether it runs before or
+  after the owner within a superstep);
+* **order-sensitive ``⊕``** — after the instrumented run, the program is
+  re-run on plain engines under different inbox-shuffle seeds
+  (:func:`~repro.engine.messages.shuffle_inbox`); result divergence
+  means the outcome depends on message delivery order, which the BSP
+  model does not define.
+
+Violations are reported as :class:`~repro.lint.findings.Finding` objects
+(rule names matching the static Layer-3 rules, plus
+``order-sensitivity``), so the lint reporters — text, JSON, SARIF,
+GitHub annotations — render static and dynamic detections through one
+pipeline.  With ``strict=True`` (default) the run raises
+:class:`SanitizerError` carrying the findings; with ``strict=False`` the
+findings are only collected on ``engine.last_findings``.
+
+The sanitizer runs single-threaded regardless of ``num_workers`` (the
+hooks must observe a deterministic interleaving); partitioning and work
+accounting still follow the configured worker count, so metrics remain
+comparable.  Overhead is roughly 2-4x plus one full re-run per order
+seed — see ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+import time
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.engine.bsp import (
+    _NO_MESSAGES,
+    BSPEngine,
+    ComputeContext,
+    VertexProgram,
+)
+from repro.engine.messages import Mailbox, shuffle_inbox
+from repro.engine.metrics import RunMetrics, SuperstepMetrics
+from repro.errors import EngineError
+from repro.graph.hetgraph import VertexId
+from repro.lint.findings import Finding, Severity
+
+#: value types that cannot be mutated and need no identity tracking
+_PRIMITIVES = (int, float, complex, bool, str, bytes, type(None))
+
+
+class SanitizerError(EngineError):
+    """A sanitized run observed contract violations.
+
+    The structured reports are available as ``exc.findings``.
+    """
+
+    def __init__(self, message: str, findings: Sequence[Finding] = ()) -> None:
+        super().__init__(message)
+        self.findings: List[Finding] = list(findings)
+
+
+# ----------------------------------------------------------------------
+# structural fingerprinting
+# ----------------------------------------------------------------------
+def fingerprint(obj: Any, depth: int = 12) -> Hashable:
+    """A canonical, order-normalised, hashable form of ``obj``.
+
+    Two objects have equal fingerprints iff they are structurally equal:
+    containers are recursed, sets and dict items are sorted so that the
+    fingerprint is independent of insertion order (insertion order is a
+    delivery-order artefact the sanitizer must not confuse with a real
+    difference).  Unknown objects fall back to their ``__dict__`` (so
+    mutation of attributes is visible) and finally to ``repr``.
+    """
+    if depth <= 0:
+        return ("depth-limit",)
+    if isinstance(obj, _PRIMITIVES):
+        return (type(obj).__name__, obj)
+    if isinstance(obj, (tuple, list)):
+        return (
+            type(obj).__name__,
+            tuple(fingerprint(item, depth - 1) for item in obj),
+        )
+    if isinstance(obj, (set, frozenset)):
+        return (
+            type(obj).__name__,
+            tuple(sorted((fingerprint(item, depth - 1) for item in obj), key=repr)),
+        )
+    if isinstance(obj, dict):
+        items = [
+            (fingerprint(key, depth - 1), fingerprint(value, depth - 1))
+            for key, value in obj.items()
+        ]
+        return ("dict", tuple(sorted(items, key=repr)))
+    if isinstance(obj, bytearray):
+        return ("bytearray", bytes(obj))
+    attrs = getattr(obj, "__dict__", None)
+    if isinstance(attrs, dict):
+        return (type(obj).__name__, fingerprint(attrs, depth - 1))
+    return ("repr", type(obj).__name__, repr(obj))
+
+
+def _approx_equal(a: Any, b: Any, rel_tol: float = 1e-9, depth: int = 24) -> bool:
+    """Structural equality with numeric tolerance on float leaves.
+
+    Message reordering legally perturbs floating-point accumulation at the
+    ULP level (``+`` on floats is commutative but not associative), so the
+    order-sensitivity replay must not flag that — only genuinely
+    order-dependent results.
+    """
+    if depth <= 0:
+        return True
+    if isinstance(a, float) or isinstance(b, float):
+        if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+            return False
+        if math.isinf(a) or math.isinf(b) or math.isnan(a) or math.isnan(b):
+            return repr(a) == repr(b)
+        return math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12)
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (tuple, list)):
+        return len(a) == len(b) and all(
+            _approx_equal(x, y, rel_tol, depth - 1) for x, y in zip(a, b)
+        )
+    if isinstance(a, dict):
+        if set(a) != set(b):
+            return False
+        return all(_approx_equal(v, b[k], rel_tol, depth - 1) for k, v in a.items())
+    if isinstance(a, (set, frozenset)):
+        return a == b
+    return fingerprint(a) == fingerprint(b)
+
+
+def mutable_parts(obj: Any, depth: int = 8) -> List[Any]:
+    """Every mutable object reachable from ``obj`` through containers —
+    the identities a send call hands to the receiver."""
+    found: List[Any] = []
+    _collect_mutable(obj, found, depth)
+    return found
+
+
+def _collect_mutable(obj: Any, found: List[Any], depth: int) -> None:
+    if depth <= 0 or isinstance(obj, _PRIMITIVES):
+        return
+    if isinstance(obj, (list, set, bytearray)):
+        found.append(obj)
+        if isinstance(obj, (list, set)):
+            for item in obj:
+                _collect_mutable(item, found, depth - 1)
+        return
+    if isinstance(obj, dict):
+        found.append(obj)
+        for key, value in obj.items():
+            _collect_mutable(key, found, depth - 1)
+            _collect_mutable(value, found, depth - 1)
+        return
+    if isinstance(obj, (tuple, frozenset)):
+        for item in obj:
+            _collect_mutable(item, found, depth - 1)
+        return
+    if hasattr(obj, "__dict__"):
+        found.append(obj)
+
+
+# ----------------------------------------------------------------------
+# instrumentation
+# ----------------------------------------------------------------------
+class _SanitizerMailbox(Mailbox):
+    """A mailbox that notifies the engine's monitor on every send."""
+
+    __slots__ = ("_monitor",)
+
+    def __init__(self, monitor: "_SendMonitor") -> None:
+        super().__init__()
+        self._monitor = monitor
+
+    def send(self, target: VertexId, payload: Any) -> None:
+        self._monitor.on_send(target, payload)
+        super().send(target, payload)
+
+    def send_many(self, target: VertexId, payloads: List[Any]) -> None:
+        for payload in payloads:
+            self._monitor.on_send(target, payload)
+        super().send_many(target, payloads)
+
+
+class _SendMonitor:
+    """Tracks payload identities and fingerprints within one superstep."""
+
+    def __init__(self, engine: "SanitizerBSPEngine") -> None:
+        self._engine = engine
+        self.vid: VertexId = -1
+        self.superstep: int = 0
+        # id -> (object kept alive, first target): keeping the reference
+        # pins the id, so identity collisions cannot come from GC reuse
+        self._seen: Dict[int, Tuple[Any, VertexId]] = {}
+        self._sent: List[Tuple[Any, VertexId, Hashable]] = []
+
+    def on_send(self, target: VertexId, payload: Any) -> None:
+        parts = mutable_parts(payload)
+        for part in parts:
+            part_id = id(part)
+            if part_id in self._seen:
+                _, first_target = self._seen[part_id]
+                self._engine._record(
+                    rule="message-aliasing",
+                    message=(
+                        f"superstep {self.superstep}: vertex {self.vid!r} "
+                        f"sent the same mutable {type(part).__name__} to "
+                        f"vertex {target!r} after already shipping it to "
+                        f"vertex {first_target!r}; every receiver aliases "
+                        f"one object"
+                    ),
+                )
+            else:
+                self._seen[part_id] = (part, target)
+        if parts:
+            self._sent.append((payload, target, fingerprint(payload)))
+
+    def check_barrier(self) -> None:
+        """Re-fingerprint every mutable payload sent this superstep."""
+        for payload, target, sent_fp in self._sent:
+            if fingerprint(payload) != sent_fp:
+                self._engine._record(
+                    rule="message-aliasing",
+                    message=(
+                        f"superstep {self.superstep}: a payload sent to "
+                        f"vertex {target!r} was mutated between send and "
+                        f"the superstep barrier; the receiver would "
+                        f"observe the mutated object"
+                    ),
+                )
+        self._sent.clear()
+        self._seen.clear()
+
+
+class SanitizerBSPEngine(BSPEngine):
+    """A serial BSP engine with runtime ownership/determinism checks.
+
+    Parameters beyond :class:`~repro.engine.bsp.BSPEngine`:
+
+    order_check_seeds:
+        After the instrumented run, re-run the program on plain engines
+        with these inbox-shuffle seeds and compare results; pass ``()``
+        to skip (saves the extra runs).  Programs must therefore be
+        re-runnable — true of every program whose per-run state lives in
+        vertex state, which is exactly what the contract requires.
+    check_payloads / check_state:
+        Enable the send-time/barrier payload checks and the two-point
+        state ownership checks respectively.
+    strict:
+        Raise :class:`SanitizerError` at the end of the run when any
+        finding was recorded.  With ``False``, findings are only
+        collected on ``last_findings``.
+    """
+
+    _is_sanitizer = True
+
+    def __init__(
+        self,
+        vertices: Sequence[VertexId],
+        num_workers: int = 1,
+        max_supersteps: int = 10_000,
+        shuffle_seed: Optional[int] = 0,
+        order_check_seeds: Sequence[int] = (1, 2),
+        check_payloads: bool = True,
+        check_state: bool = True,
+        strict: bool = True,
+    ) -> None:
+        super().__init__(
+            vertices, num_workers, max_supersteps, shuffle_seed=shuffle_seed
+        )
+        self.order_check_seeds = tuple(order_check_seeds)
+        self.check_payloads = check_payloads
+        self.check_state = check_state
+        self.strict = strict
+        self.last_findings: List[Finding] = []
+        self._program_location: Tuple[str, int] = ("<runtime>", 1)
+
+    # ------------------------------------------------------------------
+    def _record(self, rule: str, message: str, hint: str = "") -> None:
+        path, line = self._program_location
+        self.last_findings.append(
+            Finding(
+                rule=rule,
+                message=message,
+                path=path,
+                line=line,
+                col=0,
+                severity=Severity.ERROR,
+                hint=hint,
+            )
+        )
+
+    def _locate(self, program: VertexProgram) -> Tuple[str, int]:
+        cls = type(program)
+        try:
+            path = inspect.getsourcefile(cls) or "<runtime>"
+        except (OSError, TypeError):  # builtins, interactive definitions
+            path = "<runtime>"
+        try:
+            _, line = inspect.getsourcelines(cls)
+        except (OSError, TypeError):
+            line = 1
+        return path, line
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: VertexProgram,
+        verify: bool = False,
+        sanitize: bool = True,
+    ) -> Any:
+        """Execute ``program`` with full instrumentation (the ``sanitize``
+        flag is accepted for signature compatibility and ignored: this
+        engine always sanitizes)."""
+        if verify:
+            from repro.lint.contracts import verify_vertex_program
+
+            verify_vertex_program(program)
+        self.last_findings = []
+        self._program_location = self._locate(program)
+
+        metrics = RunMetrics(num_workers=self.num_workers)
+        states: Dict[VertexId, Any] = {}
+        ctx = ComputeContext(states, metrics)
+        monitor = _SendMonitor(self)
+        mailbox: Mailbox = (
+            _SanitizerMailbox(monitor) if self.check_payloads else Mailbox()
+        )
+        ctx._mailbox = mailbox
+        ctx._global_reducers = program.global_reducers()
+        combiner = program.combiner()
+        inbox: Dict[VertexId, List[Any]] = {}
+        state_fps: Dict[VertexId, Hashable] = {}
+        planned = program.num_supersteps()
+        if planned is not None and planned > self.max_supersteps:
+            raise EngineError(
+                f"program plans {planned} supersteps, exceeding the engine "
+                f"bound of {self.max_supersteps}"
+            )
+
+        start = time.perf_counter()
+        superstep = 0
+        while True:
+            if planned is not None:
+                if superstep >= planned:
+                    break
+            else:
+                if superstep > 0 and not inbox:
+                    break
+                if superstep >= self.max_supersteps:
+                    raise EngineError(
+                        f"program did not quiesce within "
+                        f"{self.max_supersteps} supersteps"
+                    )
+            work = [0] * self.num_workers
+            ctx.superstep = superstep
+            ctx._work = work
+            monitor.superstep = superstep
+            for worker, owned in enumerate(self._partitions):
+                ctx._worker = worker
+                for vid in owned:
+                    work[worker] += 1
+                    if self.check_state:
+                        self._check_owner_entry(states, state_fps, vid, superstep)
+                    ctx.vid = vid
+                    monitor.vid = vid
+                    ctx.messages = inbox.get(vid, _NO_MESSAGES)
+                    program.compute(ctx)
+                    if self.check_state and vid in states:
+                        state_fps[vid] = fingerprint(states[vid])
+            if self.check_payloads:
+                monitor.check_barrier()
+            if self.check_state:
+                self._check_barrier_states(states, state_fps, superstep)
+            metrics.supersteps.append(
+                SuperstepMetrics(
+                    superstep=superstep,
+                    work_per_worker=work,
+                    messages_sent=mailbox.sent_count,
+                )
+            )
+            inbox = mailbox.deliver(combiner)
+            if self.shuffle_seed is not None:
+                shuffle_inbox(inbox, superstep, self.shuffle_seed)
+            ctx.globals = ctx._pending_globals
+            ctx._pending_globals = {}
+            superstep += 1
+
+        metrics.wall_time_s = time.perf_counter() - start
+        self.last_metrics = metrics
+        self.last_globals = ctx.globals
+        result = program.finish(states, metrics)
+
+        if self.order_check_seeds:
+            self._check_order_sensitivity(program, result)
+
+        if self.strict and self.last_findings:
+            raise SanitizerError(
+                f"sanitized run reported {len(self.last_findings)} "
+                f"violation(s); first: {self.last_findings[0].message}",
+                findings=self.last_findings,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # state ownership (two-point fingerprint protocol)
+    # ------------------------------------------------------------------
+    def _check_owner_entry(
+        self,
+        states: Dict[VertexId, Any],
+        state_fps: Dict[VertexId, Hashable],
+        vid: VertexId,
+        superstep: int,
+    ) -> None:
+        if vid in state_fps and vid in states:
+            if fingerprint(states[vid]) != state_fps[vid]:
+                self._record(
+                    rule="state-escape",
+                    message=(
+                        f"superstep {superstep}: state of vertex {vid!r} "
+                        f"changed since its last own compute — some other "
+                        f"vertex's compute mutated state it does not own"
+                    ),
+                )
+                # re-baseline so one foreign write yields one finding
+                state_fps[vid] = fingerprint(states[vid])
+
+    def _check_barrier_states(
+        self,
+        states: Dict[VertexId, Any],
+        state_fps: Dict[VertexId, Hashable],
+        superstep: int,
+    ) -> None:
+        for vid, recorded in list(state_fps.items()):
+            if vid not in states:
+                del state_fps[vid]
+                continue
+            current = fingerprint(states[vid])
+            if current != recorded:
+                self._record(
+                    rule="state-escape",
+                    message=(
+                        f"superstep {superstep}: state of vertex {vid!r} "
+                        f"changed between its own compute and the barrier "
+                        f"— a later vertex's compute mutated it"
+                    ),
+                )
+                state_fps[vid] = current
+
+    # ------------------------------------------------------------------
+    # order sensitivity (cross-seed replay)
+    # ------------------------------------------------------------------
+    def _check_order_sensitivity(
+        self, program: VertexProgram, baseline: Any
+    ) -> None:
+        for seed in self.order_check_seeds:
+            replay = BSPEngine(
+                self._vertices,
+                num_workers=self.num_workers,
+                max_supersteps=self.max_supersteps,
+                shuffle_seed=seed,
+            )
+            other = replay.run(program)
+            if not self._results_agree(baseline, other):
+                self._record(
+                    rule="order-sensitivity",
+                    message=(
+                        f"re-running under inbox-shuffle seed {seed} "
+                        f"produced a different result: the program (or its "
+                        f"aggregate ⊕) is sensitive to message delivery "
+                        f"order, which BSP leaves undefined"
+                    ),
+                    hint=(
+                        "make ⊕ commutative/associative, or sort messages "
+                        "before folding"
+                    ),
+                )
+
+    @staticmethod
+    def _results_agree(baseline: Any, other: Any) -> bool:
+        equals = getattr(baseline, "equals", None)
+        if callable(equals):
+            try:
+                return bool(equals(other))
+            except Exception:  # pragma: no cover - exotic result types
+                pass
+        return _approx_equal(baseline, other)

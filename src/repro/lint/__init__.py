@@ -1,6 +1,6 @@
 """First-party static analysis for the reproduction codebase.
 
-Two layers:
+Three layers:
 
 * **Contract verifiers** (:mod:`repro.lint.contracts`) run on live
   objects — :class:`PlanVerifier` checks PCP node trees against
@@ -12,6 +12,11 @@ Two layers:
 * **AST lint rules** (:mod:`repro.lint.rules`) run on source files via
   :func:`run_lint` / ``python -m repro.cli lint`` and gate the whole
   repository through a tier-1 meta-test.
+* **Dataflow analyses** (:mod:`repro.lint.dataflow`) build CFGs and
+  reaching definitions per method and prove ownership/purity properties
+  the syntactic rules cannot: state escape, message aliasing and
+  aggregate impurity.  The same findings pipeline carries the runtime
+  reports of :class:`repro.engine.sanitizer.SanitizerBSPEngine`.
 """
 
 from __future__ import annotations
@@ -23,9 +28,25 @@ from repro.lint.contracts import (
     check_vertex_program,
     verify_vertex_program,
 )
+from repro.lint.dataflow import (
+    CFG,
+    DATAFLOW_RULES,
+    AggregatePurityRule,
+    MessageAliasingRule,
+    MethodModel,
+    Origin,
+    ReachingDefinitions,
+    StateEscapeRule,
+)
 from repro.lint.engine import iter_python_files, lint_module, run_lint
 from repro.lint.findings import Finding, LintReport, Severity
-from repro.lint.reporters import REPORTERS, render_json, render_text
+from repro.lint.reporters import (
+    REPORTERS,
+    render_github,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.lint.rules import (
     ALL_RULES,
     RULES_BY_NAME,
@@ -42,26 +63,36 @@ from repro.lint.rules import (
 __all__ = [
     "ALL_RULES",
     "AggregateContractChecker",
+    "AggregatePurityRule",
     "BareExceptRule",
+    "CFG",
+    "DATAFLOW_RULES",
     "Finding",
     "ForeignRaiseRule",
     "FrozenMutationRule",
     "FutureAnnotationsRule",
     "LintConfig",
     "LintReport",
+    "MessageAliasingRule",
+    "MethodModel",
     "ModuleSource",
+    "Origin",
     "PlanVerifier",
     "REPORTERS",
     "RULES_BY_NAME",
+    "ReachingDefinitions",
     "Rule",
     "Severity",
     "SharedStateRule",
+    "StateEscapeRule",
     "check_vertex_program",
     "get_rules",
     "iter_python_files",
     "lint_module",
     "load_config",
+    "render_github",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
     "verify_vertex_program",

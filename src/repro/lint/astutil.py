@@ -1,0 +1,219 @@
+"""Shared AST infrastructure for every lint layer.
+
+:class:`ModuleSource` (one parsed module) and :class:`Rule` (the lint
+rule protocol) live here, together with the small AST helpers the rule
+catalogue (:mod:`repro.lint.rules`) and the dataflow analyses
+(:mod:`repro.lint.dataflow`) both need.  Keeping them in a leaf module
+lets the dataflow package import the base layer without a circular
+import through the rule registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.findings import Finding, Severity
+
+#: method names that mutate their receiver in place
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "sort",
+        "reverse",
+    }
+)
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module: path, raw text, AST and split lines."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    lines: List[str]
+
+    @classmethod
+    def from_source(cls, text: str, path: str = "<string>") -> "ModuleSource":
+        return cls(
+            path=path,
+            text=text,
+            tree=ast.parse(text, filename=path),
+            lines=text.splitlines(),
+        )
+
+    @classmethod
+    def from_path(cls, path: str) -> "ModuleSource":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_source(handle.read(), path=path)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class (and de-facto protocol) for AST lint rules."""
+
+    name: str = "rule"
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    hint: str = ""
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            message=message,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            severity=self.severity,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+def receiver_root(node: ast.AST) -> Optional[ast.AST]:
+    """The root of an attribute/subscript chain: for ``a.b[0].c`` return
+    the ``a`` Name node; ``None`` when the chain roots in a call result
+    or literal (which cannot alias a tracked object by name)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+def module_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module scope (assignments, imports, defs)."""
+    names: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if target is None:
+                    continue
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        names.add(node.id)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def annotation_type_name(annotation: Optional[ast.AST]) -> Optional[str]:
+    """The plain type name of an annotation: handles ``T``, ``"T"`` and
+    ``Optional[T]`` — enough for this package's annotation style."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.strip("'\"").split("[")[-1].rstrip("]").split(".")[-1]
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Subscript):
+        base = annotation.value
+        if isinstance(base, ast.Name) and base.id == "Optional":
+            return annotation_type_name(annotation.slice)
+    return None
+
+
+def is_vertex_program_class(node: ast.ClassDef) -> bool:
+    """Whether a class (by its own name or a base name) is a vertex
+    program — the unit both the shared-state rule and the dataflow
+    analyses operate on."""
+    names = [node.name]
+    for base in node.bases:
+        names.append(
+            base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else ""
+            )
+        )
+    return any(name.endswith("Program") for name in names)
+
+
+def is_aggregate_class(node: ast.ClassDef) -> bool:
+    """Whether a class looks like a two-level aggregate (its own name or
+    a base name ends in ``Aggregate``)."""
+    names = [node.name]
+    for base in node.bases:
+        names.append(
+            base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else ""
+            )
+        )
+    return any(name.endswith("Aggregate") for name in names)
+
+
+def class_methods(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    """The class's directly defined methods, by name."""
+    return {
+        item.name: item
+        for item in cls.body
+        if isinstance(item, ast.FunctionDef)
+    }
+
+
+def reachable_methods(
+    methods: Dict[str, ast.FunctionDef], start: str
+) -> Set[str]:
+    """Methods reachable from ``start`` via ``self.<m>(...)`` calls."""
+    seen: Set[str] = set()
+    frontier = [start]
+    while frontier:
+        name = frontier.pop()
+        if name in seen or name not in methods:
+            continue
+        seen.add(name)
+        for node in ast.walk(methods[name]):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and node.func.attr in methods
+            ):
+                frontier.append(node.func.attr)
+    return seen
+
+
+def iter_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    """Every class in the module, including classes nested in functions
+    (test helpers define programs inline)."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            yield node
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in node.body:
+                if isinstance(inner, ast.ClassDef):
+                    yield inner

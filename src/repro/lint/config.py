@@ -5,14 +5,17 @@ Recognised keys::
     [tool.repro.lint]
     enable = ["all"]              # or an explicit rule list
     disable = ["future-annotations"]
+    fail-on = "warning"           # "error", "warning" or "never"
 
     [tool.repro.lint.per-path-ignores]
     "src/repro/baselines/*.py" = ["shared-state"]
 
 ``enable`` selects the rule set (``"all"`` means every registered rule),
-``disable`` subtracts from it, and ``per-path-ignores`` maps fnmatch
-globs (matched against the finding's POSIX-style path, both absolute and
-relative) to rules suppressed under those paths.  Inline suppression is
+``disable`` subtracts from it, ``fail-on`` sets the severity threshold at
+which the CLI exits non-zero (``"warning"``, the default, fails on any
+finding; ``"never"`` always exits 0), and ``per-path-ignores`` maps
+fnmatch globs (matched against the finding's POSIX-style path, both
+absolute and relative) to rules suppressed under those paths.  Inline suppression is
 also supported: a ``# lint: disable=<rule>`` comment on the offending
 line silences that single finding.
 
@@ -43,6 +46,7 @@ class LintConfig:
     enable: List[str] = field(default_factory=lambda: ["all"])
     disable: List[str] = field(default_factory=list)
     per_path_ignores: Dict[str, List[str]] = field(default_factory=dict)
+    fail_on: str = "warning"  # severity threshold gating the exit code
     source: Optional[str] = None  # where the config was read from
 
     def rule_names(self, known: Sequence[str]) -> List[str]:
@@ -109,6 +113,14 @@ def load_config(pyproject: Optional[str] = None) -> LintConfig:
         config.enable = _as_str_list(section["enable"], "enable")
     if "disable" in section:
         config.disable = _as_str_list(section["disable"], "disable")
+    if "fail-on" in section:
+        fail_on = section["fail-on"]
+        if fail_on not in ("error", "warning", "never"):
+            raise ReproError(
+                f"[tool.repro.lint] fail-on must be 'error', 'warning' or "
+                f"'never', got {fail_on!r}"
+            )
+        config.fail_on = fail_on
     ignores = section.get("per-path-ignores", {})
     if not isinstance(ignores, dict):
         raise ReproError("[tool.repro.lint] per-path-ignores must be a table")

@@ -1,0 +1,60 @@
+"""Layer 3: intraprocedural dataflow analyses for vertex programs.
+
+Infrastructure — :mod:`~repro.lint.dataflow.cfg` (basic blocks),
+:mod:`~repro.lint.dataflow.reaching` (reaching definitions / def-use
+chains), :mod:`~repro.lint.dataflow.model` (abstract object origins) —
+and the three analyses built on it:
+
+* :class:`StateEscapeRule` — vertex/program state escaping into
+  messages, messages retained across the ownership boundary;
+* :class:`MessageAliasingRule` — one mutable payload reaching multiple
+  receivers, mutation after send, zero-copy forwarding;
+* :class:`AggregatePurityRule` — impure ``⊗``/``⊕`` implementations.
+
+The same rules run statically (through ``repro-lint``) and label the
+runtime findings of :class:`repro.engine.sanitizer.SanitizerBSPEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.lint.astutil import Rule
+from repro.lint.dataflow.aliasing import MessageAliasingRule
+from repro.lint.dataflow.cfg import CFG, BasicBlock
+from repro.lint.dataflow.escape import StateEscapeRule
+from repro.lint.dataflow.model import (
+    MethodModel,
+    Origin,
+    SendCall,
+    find_ctx_param,
+    known_mutable_attrs,
+    payload_elements,
+)
+from repro.lint.dataflow.purity import AGGREGATE_OPERATIONS, AggregatePurityRule
+from repro.lint.dataflow.reaching import Definition, ReachingDefinitions
+
+#: the Layer-3 rules, in the order they join the global registry
+DATAFLOW_RULES: Tuple[Rule, ...] = (
+    StateEscapeRule(),
+    MessageAliasingRule(),
+    AggregatePurityRule(),
+)
+
+__all__ = [
+    "AGGREGATE_OPERATIONS",
+    "AggregatePurityRule",
+    "BasicBlock",
+    "CFG",
+    "DATAFLOW_RULES",
+    "Definition",
+    "MessageAliasingRule",
+    "MethodModel",
+    "Origin",
+    "ReachingDefinitions",
+    "SendCall",
+    "StateEscapeRule",
+    "find_ctx_param",
+    "known_mutable_attrs",
+    "payload_elements",
+]

@@ -1,0 +1,212 @@
+"""Message-aliasing detection on vertex programs (Layer 3).
+
+A message becomes the receiver's property at the barrier; the BSP model
+silently breaks when two receivers get the *same* mutable object, or when
+the sender keeps mutating an object it already sent (under the threaded
+engine the receiver may observe the mutation mid-superstep; under any
+engine a later ``⊕`` over the shared object double-counts updates).
+
+Definition-site reasoning distinguishes "same object" from "same code":
+a payload built *inside* the loop that sends it is fresh per iteration
+(its defining statement re-executes between sends), while one built
+before the loop is a single object shipped repeatedly.  Formally, for
+send sites s1 → s2 (s2 reachable from s1, possibly s1 = s1 via a back
+edge), a definition d of the payload name that reaches both and whose
+defining statement is *not* re-executed between them denotes one object —
+flagged iff its origin is provably mutable.
+
+The same reaching-definition match powers the mutated-after-send check,
+and a payload whose origin is a whole received message is flagged as a
+zero-copy forward (the original sender and the new receiver would share
+it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.astutil import (
+    ModuleSource,
+    Rule,
+    class_methods,
+    is_vertex_program_class,
+    iter_classes,
+)
+from repro.lint.dataflow.model import (
+    MethodModel,
+    Origin,
+    SendCall,
+    known_mutable_attrs,
+    mutation_roots,
+    payload_elements,
+)
+from repro.lint.findings import Finding, Severity
+
+#: origins that prove the payload is a mutable object some party retains
+_ALIASABLE = frozenset({Origin.NEW_MUTABLE, Origin.STATE, Origin.SELF_ATTR})
+
+
+class MessageAliasingRule(Rule):
+    """The same mutable object sent to multiple vertices, mutated after
+    send, or forwarded without a copy."""
+
+    name = "message-aliasing"
+    description = (
+        "each sent message must be a private object: no multi-send of one "
+        "mutable payload, no mutation after send, no zero-copy forwarding"
+    )
+    severity = Severity.ERROR
+    hint = (
+        "build a fresh payload per send (move the constructor inside the "
+        "loop) or send an immutable value (tuple) instead"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for cls in iter_classes(module.tree):
+            if not is_vertex_program_class(cls):
+                continue
+            mutable_attrs = known_mutable_attrs(cls)
+            for method in class_methods(cls).values():
+                model = MethodModel(method, known_mutable_attrs=mutable_attrs)
+                if model.ctx_name is None:
+                    continue
+                sends = model.send_calls()
+                if not sends:
+                    continue
+                yield from self._check_multi_send(module, model, sends)
+                yield from self._check_mutate_after_send(module, model, sends)
+                yield from self._check_forwarding(module, model, sends)
+
+    # ------------------------------------------------------------------
+    def _check_multi_send(
+        self, module: ModuleSource, model: MethodModel, sends: List[SendCall]
+    ) -> Iterator[Finding]:
+        reported = set()
+        for first in sends:
+            after_first = model.cfg.reachable_from(first.stmt)
+            for second in sends:
+                if second.stmt is not first.stmt and second.stmt not in after_first:
+                    continue
+                for name in self._payload_names(first):
+                    if second.stmt is first.stmt:
+                        # one send site reached twice needs a loop back edge
+                        if first.stmt not in after_first:
+                            continue
+                    if name.id not in {
+                        n.id for n in self._payload_names(second)
+                    }:
+                        continue
+                    shared = self._shared_stable_defs(
+                        model, first, second, name.id
+                    )
+                    for definition in shared:
+                        key = (name.id, id(definition), id(first.call))
+                        if key in reported:
+                            continue
+                        reported.add(key)
+                        where = (
+                            "re-sent every loop iteration"
+                            if second.stmt is first.stmt
+                            else "sent again by a later send"
+                        )
+                        yield self.finding(
+                            module,
+                            first.call,
+                            f"mutable payload {name.id!r} is defined once "
+                            f"but {where}; every receiver aliases the same "
+                            f"object",
+                        )
+
+    def _shared_stable_defs(
+        self,
+        model: MethodModel,
+        first: SendCall,
+        second: SendCall,
+        name: str,
+    ):
+        """Definitions of ``name`` reaching both sends whose defining
+        statement does not re-execute between them (⇒ one object), with a
+        provably mutable origin."""
+        defs_first = model.rd.reaching_at(first.stmt, name)
+        defs_second = {
+            id(d) for d in model.rd.reaching_at(second.stmt, name)
+        }
+        between = model.cfg.reachable_from(first.stmt)
+        result = []
+        for definition in defs_first:
+            if id(definition) not in defs_second:
+                continue
+            if definition.stmt is not None and definition.stmt in between:
+                continue  # rebuilt between the sends: fresh object each time
+            origins = model._definition_origins(definition, depth=6)
+            if origins & _ALIASABLE:
+                result.append(definition)
+        return result
+
+    def _payload_names(self, send: SendCall) -> List[ast.Name]:
+        if send.payload is None:
+            return []
+        return [
+            element
+            for element in payload_elements(send.payload)
+            if isinstance(element, ast.Name)
+        ]
+
+    # ------------------------------------------------------------------
+    def _check_mutate_after_send(
+        self, module: ModuleSource, model: MethodModel, sends: List[SendCall]
+    ) -> Iterator[Finding]:
+        reported = set()
+        for send in sends:
+            names = self._payload_names(send)
+            if not names:
+                continue
+            after = model.cfg.reachable_from(send.stmt)
+            for stmt in after:
+                for root in mutation_roots(stmt):
+                    for name in names:
+                        if root.id != name.id:
+                            continue
+                        sent_defs = {
+                            id(d)
+                            for d in model.rd.reaching_at(send.stmt, name.id)
+                            if model._definition_origins(d, depth=6)
+                            & _ALIASABLE
+                        }
+                        if not sent_defs:
+                            continue
+                        mut_defs = {
+                            id(d)
+                            for d in model.rd.reaching_at(stmt, name.id)
+                        }
+                        if sent_defs & mut_defs:
+                            key = (name.id, id(send.call), id(stmt))
+                            if key in reported:
+                                continue
+                            reported.add(key)
+                            yield self.finding(
+                                module,
+                                stmt,
+                                f"payload {name.id!r} is mutated after being "
+                                f"sent; the receiver observes the mutation "
+                                f"(or a torn value under a threaded engine)",
+                            )
+
+    # ------------------------------------------------------------------
+    def _check_forwarding(
+        self, module: ModuleSource, model: MethodModel, sends: List[SendCall]
+    ) -> Iterator[Finding]:
+        for send in sends:
+            if send.payload is None:
+                continue
+            for element in payload_elements(send.payload):
+                origins = model.origins(element, send.stmt)
+                if Origin.MESSAGE in origins:
+                    yield self.finding(
+                        module,
+                        send.call,
+                        "whole received message object is forwarded in a "
+                        "send; the upstream sender and the new receiver "
+                        "would share one object — copy or rebuild it",
+                    )

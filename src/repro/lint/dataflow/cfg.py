@@ -1,0 +1,255 @@
+"""Intraprocedural control-flow graphs over function ASTs.
+
+A :class:`CFG` partitions one function body into basic blocks of
+straight-line statements connected by directed edges.  The builder
+handles the control constructs the codebase uses — ``if``/``elif``/
+``else``, ``while``/``for`` (with ``else`` clauses, ``break`` and
+``continue``), ``try``/``except``/``else``/``finally``, ``with``,
+``return``/``raise`` and ``match`` — conservatively: where the exact
+successor set is ambiguous (e.g. which statement of a ``try`` body
+raises) extra edges are added rather than dropped, which keeps every
+forward dataflow analysis built on top of it sound (may-analyses
+over-approximate, they never miss a path).
+
+Statements that appear in the AST but never fall through (``return``,
+``raise``, ``break``, ``continue``) terminate their block; unreachable
+trailing code still gets blocks (with no predecessors), so analyses see
+every statement exactly once.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass
+class BasicBlock:
+    """A maximal run of statements with one entry and one exit point."""
+
+    block_id: int
+    statements: List[ast.stmt] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+
+    def add_successor(self, block_id: int) -> None:
+        if block_id not in self.successors:
+            self.successors.append(block_id)
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, fn: ast.FunctionDef) -> None:
+        self.fn = fn
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.entry = self._new_block().block_id
+        self.exit = self._new_block().block_id
+        #: statement -> id of the block holding it
+        self.block_of: Dict[ast.stmt, int] = {}
+        #: loop stack: (continue target, break target)
+        self._loops: List[Tuple[int, int]] = []
+        last = self._build_body(fn.body, self.entry)
+        if last is not None:
+            self.blocks[last].add_successor(self.exit)
+        self._predecessors: Optional[Dict[int, List[int]]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _new_block(self) -> BasicBlock:
+        block = BasicBlock(block_id=len(self.blocks))
+        self.blocks[block.block_id] = block
+        return block
+
+    def _append(self, block_id: int, stmt: ast.stmt) -> None:
+        self.blocks[block_id].statements.append(stmt)
+        self.block_of[stmt] = block_id
+
+    def _build_body(
+        self, body: List[ast.stmt], current: Optional[int]
+    ) -> Optional[int]:
+        """Thread ``body`` starting at block ``current``; return the open
+        block after the last statement, or ``None`` when control never
+        falls through (return/raise/break/continue on every path)."""
+        for stmt in body:
+            if current is None:
+                # unreachable code still gets a (predecessor-less) block
+                current = self._new_block().block_id
+            current = self._build_stmt(stmt, current)
+        return current
+
+    def _build_stmt(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._append(current, stmt)
+            return self._build_body(stmt.body, current)
+        if isinstance(stmt, ast.Match):
+            return self._build_match(stmt, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._append(current, stmt)
+            self.blocks[current].add_successor(self.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            self._append(current, stmt)
+            if self._loops:
+                self.blocks[current].add_successor(self._loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            self._append(current, stmt)
+            if self._loops:
+                self.blocks[current].add_successor(self._loops[-1][0])
+            return None
+        # plain statement (assignments, expressions, defs, imports, ...)
+        self._append(current, stmt)
+        return current
+
+    def _build_if(self, stmt: ast.If, current: int) -> Optional[int]:
+        self._append(current, stmt)  # the test expression lives here
+        join = self._new_block().block_id
+        then_entry = self._new_block().block_id
+        self.blocks[current].add_successor(then_entry)
+        then_exit = self._build_body(stmt.body, then_entry)
+        if then_exit is not None:
+            self.blocks[then_exit].add_successor(join)
+        if stmt.orelse:
+            else_entry = self._new_block().block_id
+            self.blocks[current].add_successor(else_entry)
+            else_exit = self._build_body(stmt.orelse, else_entry)
+            if else_exit is not None:
+                self.blocks[else_exit].add_successor(join)
+        else:
+            self.blocks[current].add_successor(join)
+        return join
+
+    def _build_loop(self, stmt: ast.stmt, current: int) -> int:
+        # the header holds the loop statement itself (the test / the
+        # iterable + target binding)
+        header = self._new_block().block_id
+        self.blocks[current].add_successor(header)
+        self._append(header, stmt)
+        after = self._new_block().block_id
+        body_entry = self._new_block().block_id
+        self.blocks[header].add_successor(body_entry)
+        self._loops.append((header, after))
+        body_exit = self._build_body(stmt.body, body_entry)
+        self._loops.pop()
+        if body_exit is not None:
+            self.blocks[body_exit].add_successor(header)  # back edge
+        orelse = getattr(stmt, "orelse", None)
+        if orelse:
+            else_entry = self._new_block().block_id
+            self.blocks[header].add_successor(else_entry)
+            else_exit = self._build_body(orelse, else_entry)
+            if else_exit is not None:
+                self.blocks[else_exit].add_successor(after)
+        else:
+            self.blocks[header].add_successor(after)
+        return after
+
+    def _build_try(self, stmt: ast.Try, current: int) -> Optional[int]:
+        join = self._new_block().block_id
+        body_entry = self._new_block().block_id
+        self.blocks[current].add_successor(body_entry)
+        # any statement of the try body may raise into any handler, so
+        # every handler is an alternative successor of the entry *and*
+        # of the body exit (a sound over-approximation: handlers see the
+        # definitions from a partially executed body)
+        handler_entries: List[int] = []
+        for handler in stmt.handlers:
+            handler_entry = self._new_block().block_id
+            handler_entries.append(handler_entry)
+            self.blocks[body_entry].add_successor(handler_entry)
+        body_exit = self._build_body(stmt.body, body_entry)
+        exits: List[Optional[int]] = []
+        if body_exit is not None:
+            for handler_entry in handler_entries:
+                self.blocks[body_exit].add_successor(handler_entry)
+            if stmt.orelse:
+                else_entry = self._new_block().block_id
+                self.blocks[body_exit].add_successor(else_entry)
+                exits.append(self._build_body(stmt.orelse, else_entry))
+            else:
+                exits.append(body_exit)
+        for handler, handler_entry in zip(stmt.handlers, handler_entries):
+            exits.append(self._build_body(handler.body, handler_entry))
+        live = [e for e in exits if e is not None]
+        if stmt.finalbody:
+            final_entry = self._new_block().block_id
+            for exit_block in live:
+                self.blocks[exit_block].add_successor(final_entry)
+            if not live:
+                # finally still runs when every path raised/returned
+                self.blocks[body_entry].add_successor(final_entry)
+            final_exit = self._build_body(stmt.finalbody, final_entry)
+            if final_exit is None:
+                return None
+            self.blocks[final_exit].add_successor(join)
+            return join
+        if not live:
+            return None
+        for exit_block in live:
+            self.blocks[exit_block].add_successor(join)
+        return join
+
+    def _build_match(self, stmt: ast.Match, current: int) -> int:
+        self._append(current, stmt)
+        join = self._new_block().block_id
+        for case in stmt.cases:
+            case_entry = self._new_block().block_id
+            self.blocks[current].add_successor(case_entry)
+            case_exit = self._build_body(case.body, case_entry)
+            if case_exit is not None:
+                self.blocks[case_exit].add_successor(join)
+        # no case may match
+        self.blocks[current].add_successor(join)
+        return join
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def predecessors(self) -> Dict[int, List[int]]:
+        """Block id -> predecessor block ids (computed once, cached)."""
+        if self._predecessors is None:
+            preds: Dict[int, List[int]] = {bid: [] for bid in self.blocks}
+            for block in self.blocks.values():
+                for succ in block.successors:
+                    preds[succ].append(block.block_id)
+            self._predecessors = preds
+        return self._predecessors
+
+    def statements(self) -> Iterator[ast.stmt]:
+        """Every statement, in block order."""
+        for block_id in sorted(self.blocks):
+            yield from self.blocks[block_id].statements
+
+    def reachable_from(self, stmt: ast.stmt) -> Set[ast.stmt]:
+        """Statements that may execute strictly *after* ``stmt``: the rest
+        of its block plus everything in blocks reachable from it.  Used
+        for "mutated after send" style checks."""
+        block_id = self.block_of.get(stmt)
+        if block_id is None:
+            return set()
+        result: Set[ast.stmt] = set()
+        block = self.blocks[block_id]
+        index = block.statements.index(stmt)
+        result.update(block.statements[index + 1:])
+        seen: Set[int] = set()
+        frontier = list(block.successors)
+        while frontier:
+            bid = frontier.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            result.update(self.blocks[bid].statements)
+            frontier.extend(self.blocks[bid].successors)
+        # a statement inside a loop is reachable from itself via the
+        # back edge
+        if block_id in seen:
+            result.update(block.statements[: index + 1])
+        return result

@@ -1,0 +1,178 @@
+"""Escape analysis on vertex programs (Layer 3).
+
+The vertex-centric contract (paper §5, Theorem 2) makes compute lock-free
+because every object is owned by exactly one party: a vertex owns its
+persistent state, a message is owned by its receiver once delivered, and
+the program instance is shared read-only across all vertices.  This rule
+flags the flows that break that ownership:
+
+* the vertex's persistent state root (``ctx.state()``) or a provably
+  mutable instance attribute escaping into a sent message — the receiver
+  then holds a live reference into another vertex's (or the shared
+  program's) mutable state;
+* a *whole* received message object stored onto ``self`` or mutated in
+  place — the message's creator may still hold it;
+* a closure (lambda) escaping into a message — closures capture
+  ``self``/locals by reference.
+
+Derived values (tuple elements, slices, arithmetic, ``.copy()``) do not
+escape: the analysis tracks whole objects only, which is what keeps it
+finding-free on the shipped evaluator (see ``docs/static_analysis.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.astutil import (
+    ModuleSource,
+    Rule,
+    class_methods,
+    is_vertex_program_class,
+    iter_classes,
+    receiver_root,
+)
+from repro.lint.dataflow.model import (
+    MethodModel,
+    Origin,
+    known_mutable_attrs,
+    mutation_roots,
+    payload_elements,
+    walk_expressions,
+)
+from repro.lint.findings import Finding, Severity
+
+
+class StateEscapeRule(Rule):
+    """Vertex/program state escaping into messages, and received messages
+    escaping into per-instance state."""
+
+    name = "state-escape"
+    description = (
+        "vertex state, mutable program attributes and received message "
+        "objects must not cross the ownership boundary"
+    )
+    severity = Severity.ERROR
+    hint = (
+        "send derived values (tuples, copies) instead of the state object "
+        "itself; copy a message before retaining it"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for cls in iter_classes(module.tree):
+            if not is_vertex_program_class(cls):
+                continue
+            mutable_attrs = known_mutable_attrs(cls)
+            for method in class_methods(cls).values():
+                model = MethodModel(method, known_mutable_attrs=mutable_attrs)
+                if model.ctx_name is None:
+                    continue
+                yield from self._check_sends(module, model)
+                yield from self._check_retention(module, model)
+
+    # ------------------------------------------------------------------
+    def _check_sends(
+        self, module: ModuleSource, model: MethodModel
+    ) -> Iterator[Finding]:
+        for send in model.send_calls():
+            if send.payload is None:
+                continue
+            for element in payload_elements(send.payload):
+                if isinstance(element, ast.Lambda):
+                    yield self.finding(
+                        module,
+                        element,
+                        "closure escapes into a message payload; lambdas "
+                        "capture self/locals by reference",
+                    )
+                    continue
+                origins = model.origins(element, send.stmt)
+                if Origin.STATE in origins:
+                    yield self.finding(
+                        module,
+                        element,
+                        "persistent vertex state (ctx.state()) escapes into "
+                        "a message payload; the receiver would alias this "
+                        "vertex's state across the superstep barrier",
+                    )
+                elif Origin.SELF_ATTR in origins:
+                    yield self.finding(
+                        module,
+                        element,
+                        "mutable program attribute escapes into a message "
+                        "payload; program instances are shared read-only "
+                        "across all vertices and workers",
+                    )
+
+    def _check_retention(
+        self, module: ModuleSource, model: MethodModel
+    ) -> Iterator[Finding]:
+        for stmt in model.statements():
+            target_value = self._self_store(stmt)
+            if target_value is not None:
+                if Origin.MESSAGE in model.origins(target_value, stmt):
+                    yield self.finding(
+                        module,
+                        stmt,
+                        "received message object is stored on self; the "
+                        "sender may retain a reference, so the object is "
+                        "shared across vertices and supersteps",
+                    )
+            # a whole message appended/stored into another container that
+            # roots in state, or mutated in place
+            for call in self._retaining_calls(stmt):
+                for arg in call.args:
+                    if not isinstance(arg, ast.Name):
+                        continue
+                    if Origin.MESSAGE in model.origins(arg, stmt):
+                        root = receiver_root(call.func.value)
+                        rooted = root is not None and (
+                            root.id == "self"
+                            or Origin.STATE in model.origins(root, stmt)
+                        )
+                        if rooted:
+                            yield self.finding(
+                                module,
+                                call,
+                                "whole received message object is retained "
+                                "in persistent state; copy it first — the "
+                                "sender may still mutate it",
+                            )
+            for root in mutation_roots(stmt):
+                if Origin.MESSAGE in model.origins(root, stmt):
+                    yield self.finding(
+                        module,
+                        stmt,
+                        "received message object is mutated in place; "
+                        "messages are owned by their sender's send-time "
+                        "snapshot and must be treated as frozen",
+                    )
+
+    @staticmethod
+    def _self_store(stmt: ast.stmt) -> Optional[ast.expr]:
+        """The assigned value when ``stmt`` is ``self.<attr> = value``."""
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    return stmt.value
+        return None
+
+    @staticmethod
+    def _retaining_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+        from repro.lint.astutil import MUTATING_METHODS
+
+        for node in walk_expressions(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATING_METHODS
+            ):
+                yield node

@@ -1,0 +1,400 @@
+"""Abstract object origins for vertex-program dataflow analyses.
+
+Every expression in a vertex-program method is abstracted to a set of
+:class:`Origin` values — where the object it evaluates to may have come
+from.  The lattice is the powerset of origins; joins are set unions (a
+name bound on two paths carries both origins).  Name lookups resolve
+through the reaching definitions of the enclosing statement, so the
+abstraction follows local aliases (``send = ctx.send``, ``msgs =
+ctx.messages``) without any interprocedural machinery.
+
+The deliberate precision choices (documented in
+``docs/static_analysis.md``):
+
+* only *whole* objects are tracked.  ``message[1:]`` or ``far, value =
+  message`` produce fresh/unknown objects, not MESSAGE-origin ones — a
+  tuple element does not alias the tuple, and slicing copies.
+* unknown stays unknown.  Call results (except a small builtin table),
+  foreign attributes and subscripts are ``UNKNOWN``; rules fire only on
+  *known-hazardous* origins, never on unknowns, so the analyses are
+  precise-by-construction on the shipped tree (no-finding means "no
+  provable hazard", not "no hazard").
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.lint.astutil import annotation_type_name, receiver_root
+from repro.lint.dataflow.cfg import CFG
+from repro.lint.dataflow.reaching import Definition, ReachingDefinitions
+
+
+class Origin(enum.Enum):
+    """Where an object may come from (the abstract domain)."""
+
+    NEW_MUTABLE = "new-mutable"  # list/dict/set display, comprehension, list()
+    IMMUTABLE = "immutable"  # constants, tuples, arithmetic, str/int/... calls
+    MESSAGE = "message"  # a whole received message object (ctx.messages[i])
+    STATE = "state"  # the persistent vertex state root (ctx.state())
+    SELF_ATTR = "self-attr"  # a known-mutable instance attribute (or self)
+    PARAM = "param"  # a function parameter (purity: caller-owned)
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: origins that denote an object some other party keeps a reference to —
+#: sending one aliases it across the ownership boundary
+SHARED_MUTABLE_ORIGINS = frozenset(
+    {Origin.NEW_MUTABLE, Origin.MESSAGE, Origin.STATE, Origin.SELF_ATTR}
+)
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "sorted", "defaultdict", "Counter",
+     "deque", "OrderedDict"}
+)
+_IMMUTABLE_CALLS = frozenset(
+    {"tuple", "frozenset", "int", "float", "str", "bool", "bytes", "complex",
+     "len", "min", "max", "sum", "abs", "round", "hash", "repr", "format",
+     "ord", "chr", "divmod", "pow", "isinstance", "getattr"}
+)
+_IMMUTABLE_EXPRS = (
+    ast.Constant,
+    ast.JoinedStr,
+    ast.FormattedValue,
+    ast.Compare,
+    ast.BoolOp,
+    ast.UnaryOp,
+    ast.BinOp,
+    ast.Tuple,  # frozen container; element hazards are checked element-wise
+)
+_NEW_MUTABLE_EXPRS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def find_ctx_param(fn: ast.FunctionDef) -> Optional[str]:
+    """The name of the compute-context parameter, if the method has one:
+    either annotated with a ``*Context`` type or simply named ``ctx``."""
+    for arg in list(fn.args.posonlyargs) + list(fn.args.args):
+        if arg.arg == "self":
+            continue
+        type_name = annotation_type_name(arg.annotation)
+        if type_name is not None and type_name.endswith("Context"):
+            return arg.arg
+        if arg.arg == "ctx":
+            return arg.arg
+    return None
+
+
+def _is_ctx_attr(node: ast.AST, ctx_name: Optional[str], attr: str) -> bool:
+    return (
+        ctx_name is not None
+        and isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == ctx_name
+    )
+
+
+@dataclass
+class SendCall:
+    """One ``ctx.send``/``ctx.send_many`` call site (possibly through a
+    local alias like ``send = ctx.send``)."""
+
+    stmt: ast.stmt
+    call: ast.Call
+    payload: Optional[ast.expr]
+    is_many: bool
+
+
+def stmt_expressions(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """The expressions evaluated *by this statement itself* (not by the
+    statements of its nested bodies, which own their expressions)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield stmt.test
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.target
+        yield stmt.iter
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield item.context_expr
+    elif isinstance(stmt, ast.Match):
+        yield stmt.subject
+    elif isinstance(stmt, ast.Try):
+        return
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return  # nested scopes are out of this intraprocedural analysis
+    else:
+        yield stmt
+
+
+def walk_expressions(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Every expression node evaluated by this statement (header only for
+    compound statements), skipping nested function/class bodies."""
+    for root in stmt_expressions(stmt):
+        stack: List[ast.AST] = [root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+class MethodModel:
+    """CFG + reaching definitions + origin abstraction for one method."""
+
+    def __init__(
+        self,
+        fn: ast.FunctionDef,
+        ctx_name: Optional[str] = None,
+        known_mutable_attrs: Optional[Set[str]] = None,
+    ) -> None:
+        self.fn = fn
+        self.ctx_name = ctx_name if ctx_name is not None else find_ctx_param(fn)
+        self.known_mutable_attrs = known_mutable_attrs or set()
+        self.cfg = CFG(fn)
+        self.rd = ReachingDefinitions(fn, self.cfg)
+
+    # ------------------------------------------------------------------
+    def statements(self) -> Iterator[ast.stmt]:
+        return self.cfg.statements()
+
+    def send_calls(self) -> List[SendCall]:
+        """All message-send call sites, resolving local ``send = ctx.send``
+        aliases through reaching definitions."""
+        sends: List[SendCall] = []
+        for stmt in self.cfg.statements():
+            for node in walk_expressions(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                kind = self._send_kind(node.func, stmt)
+                if kind is None:
+                    continue
+                payload = node.args[1] if len(node.args) >= 2 else None
+                sends.append(
+                    SendCall(
+                        stmt=stmt,
+                        call=node,
+                        payload=payload,
+                        is_many=(kind == "send_many"),
+                    )
+                )
+        return sends
+
+    def _send_kind(self, func: ast.AST, stmt: ast.stmt) -> Optional[str]:
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("send", "send_many")
+            and isinstance(func.value, ast.Name)
+            and func.value.id == self.ctx_name
+        ):
+            return func.attr
+        if isinstance(func, ast.Name):
+            for definition in self.rd.reaching_at(stmt, func.id):
+                value = definition.value
+                if (
+                    value is not None
+                    and isinstance(value, ast.Attribute)
+                    and value.attr in ("send", "send_many")
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id == self.ctx_name
+                ):
+                    return value.attr
+        return None
+
+    # ------------------------------------------------------------------
+    # origin inference
+    # ------------------------------------------------------------------
+    def origins(
+        self, expr: ast.AST, stmt: ast.stmt, depth: int = 6
+    ) -> Set[Origin]:
+        """The abstract origins of ``expr`` as evaluated inside ``stmt``."""
+        if depth <= 0:
+            return {Origin.UNKNOWN}
+        if isinstance(expr, _NEW_MUTABLE_EXPRS):
+            return {Origin.NEW_MUTABLE}
+        if isinstance(expr, _IMMUTABLE_EXPRS):
+            return {Origin.IMMUTABLE}
+        if isinstance(expr, ast.IfExp):
+            return self.origins(expr.body, stmt, depth - 1) | self.origins(
+                expr.orelse, stmt, depth - 1
+            )
+        if isinstance(expr, ast.NamedExpr):
+            return self.origins(expr.value, stmt, depth - 1)
+        if isinstance(expr, ast.Starred):
+            return self.origins(expr.value, stmt, depth - 1)
+        if isinstance(expr, ast.Await):
+            return self.origins(expr.value, stmt, depth - 1)
+        if isinstance(expr, ast.Call):
+            return self._call_origins(expr)
+        if isinstance(expr, ast.Attribute):
+            return self._attribute_origins(expr)
+        if isinstance(expr, ast.Subscript):
+            if _is_ctx_attr(expr.value, self.ctx_name, "messages"):
+                return {Origin.MESSAGE}
+            return {Origin.UNKNOWN}
+        if isinstance(expr, ast.Name):
+            return self._name_origins(expr, stmt, depth)
+        return {Origin.UNKNOWN}
+
+    def _call_origins(self, call: ast.Call) -> Set[Origin]:
+        func = call.func
+        if _is_ctx_attr(func, self.ctx_name, "state"):
+            return {Origin.STATE}
+        if isinstance(func, ast.Name):
+            if func.id in _MUTABLE_CONSTRUCTORS:
+                return {Origin.NEW_MUTABLE}
+            if func.id in _IMMUTABLE_CALLS:
+                return {Origin.IMMUTABLE}
+            if func.id == "deepcopy":
+                return {Origin.NEW_MUTABLE}
+        if isinstance(func, ast.Attribute) and func.attr in ("copy", "deepcopy"):
+            # x.copy() / copy.deepcopy(x): a fresh object whoever x was
+            return {Origin.NEW_MUTABLE}
+        return {Origin.UNKNOWN}
+
+    def _attribute_origins(self, attr: ast.Attribute) -> Set[Origin]:
+        if _is_ctx_attr(attr, self.ctx_name, "messages"):
+            return {Origin.MESSAGE}
+        if isinstance(attr.value, ast.Name) and attr.value.id == "self":
+            if attr.attr in self.known_mutable_attrs:
+                return {Origin.SELF_ATTR}
+        return {Origin.UNKNOWN}
+
+    def _name_origins(
+        self, name: ast.Name, stmt: ast.stmt, depth: int
+    ) -> Set[Origin]:
+        if name.id == "self":
+            return {Origin.SELF_ATTR}
+        definitions = self.rd.reaching_at(stmt, name.id)
+        if not definitions:
+            return {Origin.UNKNOWN}
+        result: Set[Origin] = set()
+        for definition in definitions:
+            result.update(self._definition_origins(definition, depth))
+        return result or {Origin.UNKNOWN}
+
+    def _definition_origins(
+        self, definition: Definition, depth: int
+    ) -> Set[Origin]:
+        if definition.kind == "param":
+            return {Origin.PARAM}
+        value = definition.value
+        at = definition.stmt
+        if definition.kind == "for":
+            if value is None or at is None:
+                return {Origin.UNKNOWN}
+            # iterating the inbox binds whole message objects
+            if _is_ctx_attr(value, self.ctx_name, "messages"):
+                return {Origin.MESSAGE}
+            if isinstance(value, ast.Name):
+                if Origin.MESSAGE in self.origins(value, at, depth - 1):
+                    return {Origin.MESSAGE}
+            # elements of anything else (state parts, locals) are unknown
+            return {Origin.UNKNOWN}
+        if value is not None and at is not None:
+            return self.origins(value, at, depth - 1)
+        return {Origin.UNKNOWN}
+
+
+def payload_elements(payload: ast.expr) -> List[ast.expr]:
+    """The whole payload plus, for a top-level tuple/list display, its
+    elements — sending ``(a, b)`` ships ``a`` and ``b`` too."""
+    elements = [payload]
+    if isinstance(payload, (ast.Tuple, ast.List)):
+        elements.extend(payload.elts)
+    return elements
+
+
+def known_mutable_attrs(
+    cls: ast.ClassDef, init: Optional[ast.FunctionDef] = None
+) -> Set[str]:
+    """Instance attributes provably bound to mutable containers: class
+    body defaults plus ``self.x = <mutable>`` in ``__init__`` (resolved
+    through ``__init__``'s own dataflow, so ``tmp = {}; self.x = tmp``
+    counts)."""
+    attrs: Set[str] = set()
+    for item in cls.body:
+        if isinstance(item, (ast.Assign, ast.AnnAssign)):
+            targets = item.targets if isinstance(item, ast.Assign) else [item.target]
+            if item.value is not None and isinstance(item.value, _NEW_MUTABLE_EXPRS):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        attrs.add(target.id)
+    if init is None:
+        for item in cls.body:
+            if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+                init = item
+                break
+    if init is None:
+        return attrs
+    model = MethodModel(init, ctx_name=None, known_mutable_attrs=set())
+    for stmt in model.statements():
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = stmt.value
+        if value is None:
+            continue
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                if Origin.NEW_MUTABLE in model.origins(value, stmt):
+                    attrs.add(target.attr)
+    return attrs
+
+
+def mutation_roots(stmt: ast.stmt) -> Iterator[ast.Name]:
+    """Root names of in-place mutations performed by ``stmt``: mutating
+    method calls (``n.append(...)``), stores through the name
+    (``n[k] = v``, ``n.attr = v``, ``n += ...`` on a subscript/attribute)
+    and ``del n[k]``."""
+    from repro.lint.astutil import MUTATING_METHODS
+
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets: Sequence[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        else:
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                root = receiver_root(target)
+                if root is not None:
+                    yield root
+            elif isinstance(stmt, ast.AugAssign) and isinstance(target, ast.Name):
+                # n += [...] mutates lists in place; rebinding immutables
+                # is indistinguishable here, so report the root and let
+                # callers gate on the object's mutability
+                yield target
+    if isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                root = receiver_root(target)
+                if root is not None:
+                    yield root
+    for node in walk_expressions(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATING_METHODS
+        ):
+            root = receiver_root(node.func.value)
+            if root is not None:
+                yield root

@@ -1,0 +1,162 @@
+"""Purity analysis on aggregate operations (Layer 3).
+
+Theorem 3 (partial aggregation) and the engine-independence argument
+both require ``⊗``/``⊕`` to be *functions*: the result of ``concat``/
+``merge`` may depend only on the arguments.  Any of the following makes
+an aggregate order- or schedule-sensitive even when sampled algebraic
+laws pass:
+
+* in-place mutation of an argument — a partial value is merged many
+  times along different plan branches, so mutating it corrupts sibling
+  merges;
+* writes to ``self`` or globals — aggregate instances are shared by all
+  vertices and workers;
+* I/O or ambient nondeterminism (``random``, ``time``) — breaks replay
+  and the combiner/receive-side-merge equivalence.
+
+Argument mutation is resolved through each method's reaching
+definitions, so ``tmp = a; tmp.append(...)`` is caught, while rebinding
+a local (``acc = merge(acc, v)``) and building fresh containers are
+recognised as pure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.astutil import (
+    ModuleSource,
+    Rule,
+    class_methods,
+    is_aggregate_class,
+    iter_classes,
+)
+from repro.lint.dataflow.model import (
+    MethodModel,
+    Origin,
+    mutation_roots,
+    walk_expressions,
+)
+from repro.lint.findings import Finding, Severity
+
+#: the operations that must be pure (``__init__`` may mutate self freely)
+AGGREGATE_OPERATIONS = frozenset(
+    {"initial_edge", "concat", "merge", "finalize", "finalize_all"}
+)
+
+_IO_CALLS = frozenset({"print", "open", "input", "exec", "eval"})
+_AMBIENT_MODULES = frozenset(
+    {"os", "sys", "io", "random", "time", "socket", "subprocess", "shutil",
+     "logging", "tempfile"}
+)
+
+
+class AggregatePurityRule(Rule):
+    """Aggregate ``⊗``/``⊕`` implementations must be pure functions."""
+
+    name = "impure-aggregate"
+    description = (
+        "aggregate operations (initial_edge/concat/merge/finalize) must "
+        "not mutate arguments or self, perform I/O, or read ambient state"
+    )
+    severity = Severity.ERROR
+    hint = (
+        "return a new value instead of mutating; hoist randomness/I/O out "
+        "of the aggregate into the caller"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for cls in iter_classes(module.tree):
+            if not is_aggregate_class(cls):
+                continue
+            for name, method in class_methods(cls).items():
+                if name not in AGGREGATE_OPERATIONS:
+                    continue
+                yield from self._check_operation(module, method)
+
+    # ------------------------------------------------------------------
+    def _check_operation(
+        self, module: ModuleSource, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        model = MethodModel(fn, ctx_name=None, known_mutable_attrs=set())
+        param_names = self._param_names(fn)
+        for stmt in model.statements():
+            if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"aggregate operation {fn.name!r} rebinds "
+                    f"{'global' if isinstance(stmt, ast.Global) else 'nonlocal'} "
+                    f"state; operations must be pure functions of their "
+                    f"arguments",
+                )
+                continue
+            yield from self._check_calls(module, fn, stmt)
+            for root in mutation_roots(stmt):
+                if root.id == "self":
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"aggregate operation {fn.name!r} mutates instance "
+                        f"state; aggregate objects are shared across all "
+                        f"vertices and workers",
+                    )
+                    continue
+                origins = model.origins(root, stmt)
+                if root.id in param_names or Origin.PARAM in origins:
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"aggregate operation {fn.name!r} mutates its "
+                        f"argument {root.id!r}; partial values are merged "
+                        f"along multiple plan branches and must stay intact",
+                    )
+                elif Origin.SELF_ATTR in origins:
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"aggregate operation {fn.name!r} mutates shared "
+                        f"instance state through alias {root.id!r}",
+                    )
+
+    def _check_calls(
+        self, module: ModuleSource, fn: ast.FunctionDef, stmt: ast.stmt
+    ) -> Iterator[Finding]:
+        for node in walk_expressions(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _IO_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"aggregate operation {fn.name!r} calls {func.id}(); "
+                    f"operations must not perform I/O",
+                )
+            elif isinstance(func, ast.Attribute):
+                base = func.value
+                if isinstance(base, ast.Name) and base.id in _AMBIENT_MODULES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"aggregate operation {fn.name!r} calls "
+                        f"{base.id}.{func.attr}(); ambient state makes the "
+                        f"operation nondeterministic across schedules",
+                    )
+
+    @staticmethod
+    def _param_names(fn: ast.FunctionDef) -> Set[str]:
+        args = fn.args
+        names = {
+            arg.arg
+            for arg in list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+        }
+        names.discard("self")
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+        return names

@@ -1,0 +1,220 @@
+"""Reaching definitions and def-use chains over a function CFG.
+
+The classic forward may-analysis: a *definition* is any statement that
+binds a name (assignment, augmented assignment, annotated assignment,
+``for`` target, ``with ... as``, ``except ... as``, walrus, import,
+nested ``def``/``class``); function parameters are synthetic definitions
+at the entry block.  The worklist iteration computes, for every basic
+block, the set of definitions that *may* reach its entry; per-statement
+resolution then yields def-use chains — for any ``Name`` load, the set
+of definitions that may have produced its value.
+
+The lattice is the powerset of definition sites ordered by inclusion;
+the transfer function is the standard ``gen ∪ (in − kill)``; termination
+follows from monotonicity and the finite lattice height.  This is a
+*may* analysis: a reported chain means "possibly flows", an absent chain
+means "provably cannot flow" — the polarity all three Layer-3 rules rely
+on (they flag only when a hazardous flow is possible).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.dataflow.cfg import CFG
+
+#: synthetic "statement" marker for parameter definitions
+PARAM = "<param>"
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One binding site of one name.
+
+    ``stmt`` is the defining statement (``None`` for parameters);
+    ``value`` is the bound expression when the binding is a plain
+    ``name = value`` assignment (the aliasing and origin analyses walk
+    these), else ``None``.
+    """
+
+    name: str
+    def_id: int
+    stmt: Optional[ast.stmt]
+    value: Optional[ast.expr]
+    kind: str  # "assign" | "aug" | "for" | "with" | "param" | "other"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        line = getattr(self.stmt, "lineno", "-")
+        return f"<def {self.name}@{line} ({self.kind})>"
+
+
+def _binding_targets(stmt: ast.stmt) -> Iterator[Tuple[str, Optional[ast.expr], str]]:
+    """The ``(name, value-expr-or-None, kind)`` bindings of one statement.
+
+    ``value`` is only propagated for *un-destructured* assignments — a
+    tuple-unpacked element does not alias the right-hand side object.
+    """
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                yield target.id, stmt.value, "assign"
+            else:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name) and isinstance(
+                        node.ctx, ast.Store
+                    ):
+                        yield node.id, None, "assign"
+    elif isinstance(stmt, ast.AnnAssign):
+        if isinstance(stmt.target, ast.Name):
+            yield stmt.target.id, stmt.value, "assign"
+    elif isinstance(stmt, ast.AugAssign):
+        if isinstance(stmt.target, ast.Name):
+            yield stmt.target.id, None, "aug"
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        if isinstance(stmt.target, ast.Name):
+            yield stmt.target.id, stmt.iter, "for"
+        else:
+            for node in ast.walk(stmt.target):
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                    yield node.id, None, "for"
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is None:
+                continue
+            if isinstance(item.optional_vars, ast.Name):
+                yield item.optional_vars.id, item.context_expr, "with"
+            else:
+                for node in ast.walk(item.optional_vars):
+                    if isinstance(node, ast.Name) and isinstance(
+                        node.ctx, ast.Store
+                    ):
+                        yield node.id, None, "with"
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield stmt.name, None, "other"
+    elif isinstance(stmt, ast.Import):
+        for alias in stmt.names:
+            yield (alias.asname or alias.name.split(".")[0]), None, "other"
+    elif isinstance(stmt, ast.ImportFrom):
+        for alias in stmt.names:
+            yield (alias.asname or alias.name), None, "other"
+    # walrus targets anywhere inside the statement's expressions
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            yield node.target.id, node.value, "assign"
+    if isinstance(stmt, ast.Try):
+        for handler in stmt.handlers:
+            if handler.name:
+                yield handler.name, None, "other"
+
+
+class ReachingDefinitions:
+    """Reaching definitions + def-use resolution for one function."""
+
+    def __init__(self, fn: ast.FunctionDef, cfg: Optional[CFG] = None) -> None:
+        self.fn = fn
+        self.cfg = cfg if cfg is not None else CFG(fn)
+        self.definitions: List[Definition] = []
+        #: per statement, the definitions it generates
+        self._gen_by_stmt: Dict[ast.stmt, List[Definition]] = {}
+        self._params: List[Definition] = []
+        self._collect_definitions()
+        #: block id -> definitions reaching the block *entry*
+        self.block_in: Dict[int, FrozenSet[Definition]] = {}
+        self._solve()
+
+    # ------------------------------------------------------------------
+    def _collect_definitions(self) -> None:
+        args = self.fn.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            definition = Definition(
+                name=arg.arg,
+                def_id=len(self.definitions),
+                stmt=None,
+                value=None,
+                kind="param",
+            )
+            self.definitions.append(definition)
+            self._params.append(definition)
+        for stmt in self.cfg.statements():
+            for name, value, kind in _binding_targets(stmt):
+                definition = Definition(
+                    name=name,
+                    def_id=len(self.definitions),
+                    stmt=stmt,
+                    value=value,
+                    kind=kind,
+                )
+                self.definitions.append(definition)
+                self._gen_by_stmt.setdefault(stmt, []).append(definition)
+
+    def _transfer(
+        self, defs: Set[Definition], stmt: ast.stmt
+    ) -> Set[Definition]:
+        generated = self._gen_by_stmt.get(stmt)
+        if not generated:
+            return defs
+        killed = {d.name for d in generated}
+        out = {d for d in defs if d.name not in killed}
+        out.update(generated)
+        return out
+
+    def _solve(self) -> None:
+        blocks = self.cfg.blocks
+        preds = self.cfg.predecessors()
+        block_out: Dict[int, FrozenSet[Definition]] = {
+            bid: frozenset() for bid in blocks
+        }
+        self.block_in = {bid: frozenset() for bid in blocks}
+        entry_defs = frozenset(self._params)
+        worklist = sorted(blocks)
+        while worklist:
+            bid = worklist.pop(0)
+            incoming: Set[Definition] = set()
+            if bid == self.cfg.entry:
+                incoming.update(entry_defs)
+            for pred in preds[bid]:
+                incoming.update(block_out[pred])
+            self.block_in[bid] = frozenset(incoming)
+            out = set(incoming)
+            for stmt in blocks[bid].statements:
+                out = self._transfer(out, stmt)
+            frozen = frozenset(out)
+            if frozen != block_out[bid]:
+                block_out[bid] = frozen
+                for succ in blocks[bid].successors:
+                    if succ not in worklist:
+                        worklist.append(succ)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def reaching_at(self, stmt: ast.stmt, name: str) -> List[Definition]:
+        """Definitions of ``name`` that may reach the *start* of ``stmt``.
+
+        For a statement inside a loop this includes definitions generated
+        later in the loop body (they reach via the back edge).
+        """
+        block_id = self.cfg.block_of.get(stmt)
+        if block_id is None:
+            return []
+        defs = set(self.block_in.get(block_id, frozenset()))
+        for candidate in self.cfg.blocks[block_id].statements:
+            if candidate is stmt:
+                break
+            defs = self._transfer(defs, candidate)
+        return [d for d in defs if d.name == name]
+
+    def defs_in(self, stmt: ast.stmt) -> List[Definition]:
+        """The definitions generated by ``stmt`` itself."""
+        return list(self._gen_by_stmt.get(stmt, ()))
+
+    def params(self) -> List[Definition]:
+        return list(self._params)

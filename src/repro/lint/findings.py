@@ -13,6 +13,12 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict
 
+from repro.errors import ReproError
+
+
+class SeverityError(ReproError, ValueError):
+    """An unknown severity name was given (e.g. on the CLI)."""
+
 
 class Severity(Enum):
     """How bad a finding is; errors gate CI, warnings merely nag."""
@@ -22,6 +28,21 @@ class Severity(Enum):
 
     def __str__(self) -> str:
         return self.value
+
+    @property
+    def rank(self) -> int:
+        """Numeric ordering for threshold comparisons (higher = worse)."""
+        return 2 if self is Severity.ERROR else 1
+
+    @classmethod
+    def from_string(cls, value: str) -> "Severity":
+        try:
+            return cls(value.lower())
+        except ValueError:
+            names = ", ".join(s.value for s in cls)
+            raise SeverityError(
+                f"unknown severity {value!r} (expected one of: {names})"
+            ) from None
 
 
 @dataclass(frozen=True)
@@ -86,4 +107,11 @@ class LintReport:
     def sorted_findings(self) -> list:
         return sorted(
             self.findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )
+
+    def count_at_least(self, threshold: Severity) -> int:
+        """Findings at or above ``threshold`` — what a severity-gated CLI
+        run exits non-zero on."""
+        return sum(
+            1 for f in self.findings if f.severity.rank >= threshold.rank
         )

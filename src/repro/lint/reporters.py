@@ -1,10 +1,28 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters: text, JSON, SARIF 2.1.0 and GitHub annotations.
+
+``render_sarif`` emits a minimal but valid SARIF 2.1.0 log (one run, one
+driver, one result per finding) suitable for
+``github/codeql-action/upload-sarif``; ``render_github`` emits GitHub
+Actions workflow commands (``::error file=...``) that render as inline
+PR annotations without any upload step.
+"""
 
 from __future__ import annotations
 
 import json
+from typing import Any, Dict, List
 
-from repro.lint.findings import LintReport
+from repro.lint.findings import LintReport, Severity
+
+#: SARIF tool metadata
+_TOOL_NAME = "repro-lint"
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
 
 
 def render_text(report: LintReport) -> str:
@@ -34,4 +52,117 @@ def render_json(report: LintReport) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-REPORTERS = {"text": render_text, "json": render_json}
+def _rule_descriptions() -> Dict[str, str]:
+    # imported lazily: the rule registry imports the dataflow package,
+    # which sits above this module in the import graph
+    try:
+        from repro.lint.rules import RULES_BY_NAME
+    except Exception:  # pragma: no cover - registry unavailable mid-bootstrap
+        return {}
+    return {name: rule.description for name, rule in RULES_BY_NAME.items()}
+
+
+def render_sarif(report: LintReport) -> str:
+    """A SARIF 2.1.0 log for PR code-scanning upload."""
+    descriptions = _rule_descriptions()
+    rule_ids: List[str] = []
+    for finding in report.sorted_findings():
+        if finding.rule not in rule_ids:
+            rule_ids.append(finding.rule)
+    rules_meta = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": descriptions.get(rule_id, rule_id)
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    results = []
+    for finding in report.sorted_findings():
+        message = finding.message
+        if finding.hint:
+            message = f"{message} (hint: {finding.hint})"
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        results.append(result)
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+def _escape_property(value: str) -> str:
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        .replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def _escape_data(value: str) -> str:
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(report: LintReport) -> str:
+    """GitHub Actions workflow commands — one ``::error``/``::warning``
+    annotation per finding, plus a trailing ``::notice`` summary."""
+    lines = []
+    for finding in report.sorted_findings():
+        command = (
+            "error" if finding.severity is Severity.ERROR else "warning"
+        )
+        message = finding.message
+        if finding.hint:
+            message = f"{message} (hint: {finding.hint})"
+        lines.append(
+            f"::{command} file={_escape_property(finding.path)},"
+            f"line={finding.line},col={finding.col + 1},"
+            f"title={_escape_property(finding.rule)}::"
+            f"{_escape_data(message)}"
+        )
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_scanned} "
+        f"file(s)"
+    )
+    lines.append(f"::notice title={_TOOL_NAME}::{_escape_data(summary)}")
+    return "\n".join(lines)
+
+
+REPORTERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+    "github": render_github,
+}

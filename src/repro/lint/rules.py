@@ -6,6 +6,9 @@ Every rule implements the :class:`Rule` protocol: a ``name``, a
 objects.  Rules are pure functions of one parsed module
 (:class:`ModuleSource`) — no project-wide state — which keeps them fast,
 order-independent and trivially testable on inline source snippets.
+The shared AST base layer (``ModuleSource``, ``Rule``, the chain-root
+and annotation helpers) lives in :mod:`repro.lint.astutil` and is
+re-exported here for compatibility.
 
 The concrete rules guard repo-specific hazards:
 
@@ -27,34 +30,30 @@ The concrete rules guard repo-specific hazards:
   them freely.
 * ``future-annotations`` — every module opts into postponed annotation
   evaluation so annotations stay cheap and forward references work.
+
+Layer 3 — the dataflow rules ``state-escape``, ``message-aliasing`` and
+``impure-aggregate`` (:mod:`repro.lint.dataflow`) — is registered into
+the same catalogue at the bottom of this module.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
-from repro.lint.findings import Finding, Severity
-
-#: method names that mutate their receiver in place
-MUTATING_METHODS = frozenset(
-    {
-        "append",
-        "extend",
-        "insert",
-        "add",
-        "update",
-        "setdefault",
-        "pop",
-        "popitem",
-        "clear",
-        "remove",
-        "discard",
-        "sort",
-        "reverse",
-    }
+from repro.lint.astutil import (
+    MUTATING_METHODS,
+    ModuleSource,
+    Rule,
+    annotation_type_name,
+    class_methods,
+    is_vertex_program_class,
+    iter_classes,
+    module_level_names,
+    reachable_methods,
+    receiver_root,
 )
+from repro.lint.findings import Finding, Severity
 
 #: builtin exceptions that are legitimate to raise from library code:
 #: abstract-method guards, optional-dependency reporting and interpreter
@@ -86,117 +85,6 @@ FROZEN_TYPES = frozenset(
         "Edge",
     }
 )
-
-
-@dataclass
-class ModuleSource:
-    """One parsed module: path, raw text, AST and split lines."""
-
-    path: str
-    text: str
-    tree: ast.Module
-    lines: List[str]
-
-    @classmethod
-    def from_source(cls, text: str, path: str = "<string>") -> "ModuleSource":
-        return cls(
-            path=path,
-            text=text,
-            tree=ast.parse(text, filename=path),
-            lines=text.splitlines(),
-        )
-
-    @classmethod
-    def from_path(cls, path: str) -> "ModuleSource":
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_source(handle.read(), path=path)
-
-    def line_text(self, lineno: int) -> str:
-        if 1 <= lineno <= len(self.lines):
-            return self.lines[lineno - 1]
-        return ""
-
-
-class Rule:
-    """Base class (and de-facto protocol) for AST lint rules."""
-
-    name: str = "rule"
-    description: str = ""
-    severity: Severity = Severity.ERROR
-    hint: str = ""
-
-    def check(self, module: ModuleSource) -> Iterator[Finding]:  # pragma: no cover
-        raise NotImplementedError
-
-    def finding(
-        self,
-        module: ModuleSource,
-        node: ast.AST,
-        message: str,
-        hint: Optional[str] = None,
-    ) -> Finding:
-        return Finding(
-            rule=self.name,
-            message=message,
-            path=module.path,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-            severity=self.severity,
-            hint=self.hint if hint is None else hint,
-        )
-
-
-# ----------------------------------------------------------------------
-# shared AST helpers
-# ----------------------------------------------------------------------
-def receiver_root(node: ast.AST) -> Optional[ast.AST]:
-    """The root of an attribute/subscript chain: for ``a.b[0].c`` return
-    the ``a`` Name node; ``None`` when the chain roots in a call result
-    or literal (which cannot alias a tracked object by name)."""
-    while isinstance(node, (ast.Attribute, ast.Subscript)):
-        node = node.value
-    return node if isinstance(node, ast.Name) else None
-
-
-def module_level_names(tree: ast.Module) -> Set[str]:
-    """Names bound at module scope (assignments, imports, defs)."""
-    names: Set[str] = set()
-    for stmt in tree.body:
-        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
-            for target in targets:
-                if target is None:
-                    continue
-                for node in ast.walk(target):
-                    if isinstance(node, ast.Name):
-                        names.add(node.id)
-        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            names.add(stmt.name)
-        elif isinstance(stmt, ast.Import):
-            for alias in stmt.names:
-                names.add(alias.asname or alias.name.split(".")[0])
-        elif isinstance(stmt, ast.ImportFrom):
-            for alias in stmt.names:
-                names.add(alias.asname or alias.name)
-    return names
-
-
-def annotation_type_name(annotation: Optional[ast.AST]) -> Optional[str]:
-    """The plain type name of an annotation: handles ``T``, ``"T"`` and
-    ``Optional[T]`` — enough for this package's annotation style."""
-    if annotation is None:
-        return None
-    if isinstance(annotation, ast.Name):
-        return annotation.id
-    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
-        return annotation.value.strip("'\"").split("[")[-1].rstrip("]").split(".")[-1]
-    if isinstance(annotation, ast.Attribute):
-        return annotation.attr
-    if isinstance(annotation, ast.Subscript):
-        base = annotation.value
-        if isinstance(base, ast.Name) and base.id == "Optional":
-            return annotation_type_name(annotation.slice)
-    return None
 
 
 # ----------------------------------------------------------------------
@@ -311,17 +199,6 @@ class ForeignRaiseRule(Rule):
 # ----------------------------------------------------------------------
 # shared-state (vertex-program isolation contract)
 # ----------------------------------------------------------------------
-def _is_vertex_program_class(node: ast.ClassDef) -> bool:
-    names = [node.name]
-    for base in node.bases:
-        names.append(
-            base.id if isinstance(base, ast.Name) else (
-                base.attr if isinstance(base, ast.Attribute) else ""
-            )
-        )
-    return any(name.endswith("Program") for name in names)
-
-
 class SharedStateRule(Rule):
     """Vertex-program ``compute`` bodies must be lock-free: all mutable
     state lives in ``ctx.state()`` (owned by exactly one worker), never
@@ -339,55 +216,21 @@ class SharedStateRule(Rule):
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         globals_ = module_level_names(module.tree)
-        for node in module.tree.body:
-            if isinstance(node, ast.ClassDef) and _is_vertex_program_class(node):
+        for node in iter_classes(module.tree):
+            if is_vertex_program_class(node):
                 yield from self._check_class(module, node, globals_)
-        # also handle program classes nested in functions (test helpers)
-        for node in ast.walk(module.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                for inner in node.body:
-                    if isinstance(inner, ast.ClassDef) and _is_vertex_program_class(
-                        inner
-                    ):
-                        yield from self._check_class(module, inner, globals_)
 
     # -- class-level analysis -------------------------------------------
     def _check_class(
         self, module: ModuleSource, cls: ast.ClassDef, globals_: Set[str]
     ) -> Iterator[Finding]:
-        methods: Dict[str, ast.FunctionDef] = {
-            item.name: item
-            for item in cls.body
-            if isinstance(item, ast.FunctionDef)
-        }
+        methods = class_methods(cls)
         compute = methods.get("compute")
         if compute is None:
             return
-        reachable = self._reachable_methods(methods, "compute")
+        reachable = reachable_methods(methods, "compute")
         for name in sorted(reachable):
             yield from self._check_method(module, cls, methods[name], globals_)
-
-    def _reachable_methods(
-        self, methods: Dict[str, ast.FunctionDef], start: str
-    ) -> Set[str]:
-        """Methods reachable from ``start`` via ``self.<m>(...)`` calls."""
-        seen: Set[str] = set()
-        frontier = [start]
-        while frontier:
-            name = frontier.pop()
-            if name in seen or name not in methods:
-                continue
-            seen.add(name)
-            for node in ast.walk(methods[name]):
-                if (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and isinstance(node.func.value, ast.Name)
-                    and node.func.value.id == "self"
-                    and node.func.attr in methods
-                ):
-                    frontier.append(node.func.attr)
-        return seen
 
     def _check_method(
         self,
@@ -559,6 +402,10 @@ class FrozenMutationRule(Rule):
                     )
 
 
+# the dataflow layer imports from astutil only, so this import cannot
+# cycle back into this module
+from repro.lint.dataflow import DATAFLOW_RULES  # noqa: E402
+
 #: every concrete rule, in reporting order
 ALL_RULES: Sequence[Rule] = (
     SharedStateRule(),
@@ -566,7 +413,7 @@ ALL_RULES: Sequence[Rule] = (
     BareExceptRule(),
     FrozenMutationRule(),
     FutureAnnotationsRule(),
-)
+) + tuple(DATAFLOW_RULES)
 
 RULES_BY_NAME: Dict[str, Rule] = {rule.name: rule for rule in ALL_RULES}
 

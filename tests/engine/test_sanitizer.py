@@ -1,0 +1,289 @@
+"""Tests for the BSP race/determinism sanitizer engine
+(:mod:`repro.engine.sanitizer`): every seeded violation class is caught,
+clean programs and real workloads report zero findings, and the
+``sanitize=True`` delegation works from every engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphExtractor, LinePattern, aggregates
+from repro.datasets import tiny_dblp
+from repro.engine.bsp import BSPEngine, VertexProgram
+from repro.engine.checkpoint import RecoverableBSPEngine
+from repro.engine.parallel import ThreadedBSPEngine
+from repro.engine.sanitizer import (
+    SanitizerBSPEngine,
+    SanitizerError,
+    fingerprint,
+    mutable_parts,
+)
+from repro.errors import EngineError
+
+
+# ----------------------------------------------------------------------
+# programs with seeded violations
+# ----------------------------------------------------------------------
+class CleanProgram(VertexProgram):
+    """Order-insensitive ring sum; owns all its state."""
+
+    def num_supersteps(self):
+        return 2
+
+    def compute(self, ctx):
+        if ctx.superstep == 0:
+            ctx.send((ctx.vid + 1) % 4, (ctx.vid, 1.0))
+        else:
+            ctx.state()["total"] = sum(m[1] for m in ctx.messages)
+
+    def finish(self, states, metrics):
+        return {vid: st.get("total", 0.0) for vid, st in states.items()}
+
+
+class AliasedPayloadProgram(VertexProgram):
+    """One list object shipped to two receivers."""
+
+    def num_supersteps(self):
+        return 2
+
+    def compute(self, ctx):
+        if ctx.superstep == 0:
+            buf = [ctx.vid]
+            ctx.send(0, buf)
+            ctx.send(1, buf)
+
+    def finish(self, states, metrics):
+        return states
+
+
+class MutateAfterSendProgram(VertexProgram):
+    """Payload mutated between send and the superstep barrier."""
+
+    def num_supersteps(self):
+        return 2
+
+    def compute(self, ctx):
+        if ctx.superstep == 0 and ctx.vid == 0:
+            payload = [1, 2]
+            ctx.send(1, payload)
+            payload.append(3)
+
+    def finish(self, states, metrics):
+        return states
+
+
+class ForeignStateProgram(VertexProgram):
+    """Vertex 2 mutates vertex 0's persistent state via ``peek_state``."""
+
+    def num_supersteps(self):
+        return 3
+
+    def compute(self, ctx):
+        state = ctx.state()
+        state.setdefault("x", 0)
+        if ctx.vid == 2 and ctx.superstep == 1:
+            other = ctx.peek_state(0)
+            if other is not None:
+                other["x"] = 99
+
+    def finish(self, states, metrics):
+        return states
+
+
+class OrderSensitiveProgram(VertexProgram):
+    """Folds messages with string concatenation — ⊕ is not commutative."""
+
+    def num_supersteps(self):
+        return 2
+
+    def compute(self, ctx):
+        if ctx.superstep == 0:
+            ctx.send(0, f"<{ctx.vid}>")
+        elif ctx.vid == 0:
+            acc = ""
+            for message in ctx.messages:
+                acc += message
+            ctx.state()["acc"] = acc
+
+    def finish(self, states, metrics):
+        return states.get(0, {}).get("acc", "")
+
+
+# ----------------------------------------------------------------------
+# fingerprint / mutable-parts primitives
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_structural_equality(self):
+        assert fingerprint([1, (2, 3)]) == fingerprint([1, (2, 3)])
+        assert fingerprint([1, 2]) != fingerprint([2, 1])
+
+    def test_set_and_dict_are_order_normalised(self):
+        assert fingerprint({1, 2, 3}) == fingerprint({3, 1, 2})
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_type_distinguished(self):
+        assert fingerprint([1]) != fingerprint((1,))
+        assert fingerprint(1) != fingerprint(1.0)
+
+    def test_mutation_changes_fingerprint(self):
+        payload = {"values": [1, 2]}
+        before = fingerprint(payload)
+        payload["values"].append(3)
+        assert fingerprint(payload) != before
+
+    def test_mutable_parts_finds_nested(self):
+        inner = [1]
+        parts = mutable_parts((0, inner))
+        assert any(part is inner for part in parts)
+
+    def test_immutable_payload_has_no_parts(self):
+        assert mutable_parts((1, "a", (2.0, None))) == []
+
+
+# ----------------------------------------------------------------------
+# violation detection
+# ----------------------------------------------------------------------
+class TestViolationDetection:
+    def test_clean_program_reports_nothing(self):
+        engine = SanitizerBSPEngine(range(4))
+        result = engine.run(CleanProgram())
+        assert engine.last_findings == []
+        assert result[1] == pytest.approx(1.0)
+
+    def test_aliased_payload_is_caught(self):
+        engine = SanitizerBSPEngine(range(4), strict=False)
+        engine.run(AliasedPayloadProgram())
+        assert any(
+            f.rule == "message-aliasing" for f in engine.last_findings
+        )
+
+    def test_mutate_after_send_is_caught(self):
+        engine = SanitizerBSPEngine(range(4), strict=False)
+        engine.run(MutateAfterSendProgram())
+        assert any(
+            "mutated between send" in f.message for f in engine.last_findings
+        )
+
+    def test_foreign_state_mutation_is_caught(self):
+        engine = SanitizerBSPEngine(range(4), strict=False)
+        engine.run(ForeignStateProgram())
+        assert any(f.rule == "state-escape" for f in engine.last_findings)
+
+    def test_order_sensitive_fold_is_caught(self):
+        engine = SanitizerBSPEngine(range(4), strict=False)
+        engine.run(OrderSensitiveProgram())
+        assert any(
+            f.rule == "order-sensitivity" for f in engine.last_findings
+        )
+
+    def test_strict_mode_raises_with_findings(self):
+        engine = SanitizerBSPEngine(range(4))
+        with pytest.raises(SanitizerError) as excinfo:
+            engine.run(AliasedPayloadProgram())
+        assert excinfo.value.findings
+        assert isinstance(excinfo.value, EngineError)
+
+    def test_checks_can_be_disabled(self):
+        engine = SanitizerBSPEngine(
+            range(4),
+            check_payloads=False,
+            check_state=False,
+            order_check_seeds=(),
+        )
+        engine.run(AliasedPayloadProgram())
+        assert engine.last_findings == []
+
+    def test_findings_carry_program_location(self):
+        engine = SanitizerBSPEngine(range(4), strict=False)
+        engine.run(AliasedPayloadProgram())
+        finding = engine.last_findings[0]
+        assert finding.path.endswith("test_sanitizer.py")
+        assert finding.line >= 1
+
+
+# ----------------------------------------------------------------------
+# delegation from the other engines
+# ----------------------------------------------------------------------
+class TestDelegation:
+    @pytest.mark.parametrize(
+        "engine_cls", [BSPEngine, ThreadedBSPEngine, RecoverableBSPEngine]
+    )
+    def test_sanitize_flag_delegates(self, engine_cls):
+        engine = engine_cls(range(4), num_workers=2)
+        with pytest.raises(SanitizerError):
+            engine.run(AliasedPayloadProgram(), sanitize=True)
+
+    @pytest.mark.parametrize(
+        "engine_cls", [BSPEngine, ThreadedBSPEngine, RecoverableBSPEngine]
+    )
+    def test_clean_run_mirrors_artifacts(self, engine_cls):
+        engine = engine_cls(range(4), num_workers=2)
+        result = engine.run(CleanProgram(), sanitize=True)
+        assert engine.last_findings == []
+        assert engine.last_metrics.num_supersteps == 2
+        assert result[1] == pytest.approx(1.0)
+
+    def test_resume_under_sanitize_is_rejected(self):
+        engine = RecoverableBSPEngine(range(4))
+        with pytest.raises(EngineError, match="superstep 0"):
+            engine.run(CleanProgram(), resume=True, sanitize=True)
+
+
+# ----------------------------------------------------------------------
+# real workloads stay clean
+# ----------------------------------------------------------------------
+class TestRealWorkloads:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return tiny_dblp()
+
+    @pytest.fixture(scope="class")
+    def pattern(self):
+        return LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+
+    def test_sanitized_extraction_is_clean(self, graph, pattern):
+        extractor = GraphExtractor(graph, num_workers=4, sanitize=True)
+        result = extractor.extract(pattern, aggregates.path_count())
+        assert extractor.last_sanitizer_findings == []
+        reference = GraphExtractor(graph, num_workers=4).extract(
+            pattern, aggregates.path_count()
+        )
+        assert result.graph.equals(reference.graph)
+
+    def test_float_aggregate_survives_reordering(self, graph, pattern):
+        # weighted sums reassociate under inbox shuffling; the order
+        # check must tolerate ULP drift instead of flagging it
+        extractor = GraphExtractor(graph, num_workers=4, sanitize=True)
+        extractor.extract(pattern, aggregates.weighted_path_count())
+        assert extractor.last_sanitizer_findings == []
+
+    def test_holistic_aggregate_is_clean(self, graph, pattern):
+        extractor = GraphExtractor(graph, num_workers=2, sanitize=True)
+        extractor.extract(pattern, aggregates.median_path_value())
+        assert extractor.last_sanitizer_findings == []
+
+    def test_per_call_override(self, graph, pattern):
+        extractor = GraphExtractor(graph, num_workers=2)
+        extractor.extract(pattern, aggregates.path_count(), sanitize=True)
+        assert extractor.last_sanitizer_findings == []
+
+    def test_downstream_vertex_programs_are_clean(self, graph, pattern):
+        from repro.analysis.vertex_programs import (
+            connected_components_parallel,
+            pagerank_parallel,
+        )
+
+        extracted = (
+            GraphExtractor(graph, num_workers=2)
+            .extract(pattern, aggregates.path_count())
+            .graph
+        )
+        ranks = pagerank_parallel(extracted, num_workers=2, sanitize=True)
+        assert len(ranks) == len(extracted.vertices)
+        components = connected_components_parallel(
+            extracted, num_workers=2, sanitize=True
+        )
+        assert len(components) == len(extracted.vertices)

@@ -1,0 +1,31 @@
+"""Fixture: an aggregate whose operations are impure.
+
+Seeded violations (all ``impure-aggregate``, found by the dataflow
+layer):
+
+* ``concat`` mutates one of its inputs instead of building a new value;
+* ``merge`` records results on ``self`` (hidden cross-call state);
+* ``finalize`` performs I/O.
+"""
+
+from __future__ import annotations
+
+
+class ImpureAggregate:
+    def __init__(self):
+        self.seen = []
+
+    def initial_edge(self, weight):
+        return [weight]
+
+    def concat(self, a, b):
+        a.extend(b)
+        return a
+
+    def merge(self, a, b):
+        self.seen = a
+        return a + b
+
+    def finalize(self, value):
+        print(value)
+        return value

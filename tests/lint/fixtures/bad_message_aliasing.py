@@ -1,0 +1,25 @@
+"""Fixture: one mutable payload object shipped to several receivers.
+
+Seeded violations (all ``message-aliasing``, found by the dataflow
+layer):
+
+* the same list sent to two targets (every receiver aliases one
+  object);
+* a payload mutated after it was sent (the receiver observes the
+  mutation);
+* a received message forwarded whole to another vertex.
+"""
+
+from __future__ import annotations
+
+
+class AliasingProgram:
+    def compute(self, ctx):
+        buffer = [ctx.vid]
+        ctx.send(ctx.vid + 1, buffer)
+        ctx.send(ctx.vid + 2, buffer)
+        payload = [1, 2]
+        ctx.send(ctx.vid + 3, payload)
+        payload.append(3)
+        for message in ctx.messages:
+            ctx.send(ctx.vid + 4, message)

@@ -1,0 +1,23 @@
+"""Fixture: a vertex program leaking owned mutable state into messages.
+
+Seeded violations (all ``state-escape``, found by the dataflow layer):
+
+* persistent vertex state sent as a message payload (the receiver would
+  alias the sender's live state dict);
+* a mutable program attribute sent as a payload;
+* a received message retained on ``self`` past the superstep.
+"""
+
+from __future__ import annotations
+
+
+class EscapingProgram:
+    def __init__(self):
+        self.cache = []
+
+    def compute(self, ctx):
+        state = ctx.state()
+        ctx.send(ctx.vid + 1, state)
+        ctx.send(ctx.vid + 2, self.cache)
+        for message in ctx.messages:
+            self.cache = message

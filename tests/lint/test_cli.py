@@ -45,12 +45,18 @@ def test_fixture_tree_fails_with_locations():
     assert "bad_bare_except.py:9" in out         # bare except
     assert "bad_frozen_mutation.py:7" in out     # frozen attribute write
     assert "bad_future_annotations.py:1" in out  # missing future import
+    assert "bad_state_escape.py:20" in out       # ctx.state() sent as payload
+    assert "bad_message_aliasing.py:19" in out   # one list sent twice
+    assert "bad_impure_aggregate.py:22" in out   # concat mutates its input
     for rule in (
         "shared-state",
         "foreign-raise",
         "bare-except",
         "frozen-mutation",
         "future-annotations",
+        "state-escape",
+        "message-aliasing",
+        "impure-aggregate",
     ):
         assert rule in out
 
@@ -59,9 +65,40 @@ def test_json_format():
     proc = run_cli("--format", "json", str(FIXTURES))
     assert proc.returncode == 1
     payload = json.loads(proc.stdout)
-    assert payload["files_scanned"] == 5
-    assert payload["errors"] >= 4
+    assert payload["files_scanned"] == 8
+    assert payload["errors"] >= 7
     assert all("path" in f and "line" in f for f in payload["findings"])
+
+
+def test_fail_on_never_exits_zero():
+    proc = run_cli("--fail-on", "never", str(FIXTURES))
+    assert proc.returncode == 0
+    assert "finding(s)" in proc.stdout  # findings still reported
+
+
+def test_sarif_format():
+    proc = run_cli("--format", "sarif", str(FIXTURES))
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert run["results"]
+    assert all("ruleId" in result for result in run["results"])
+
+
+def test_github_format():
+    proc = run_cli("--format", "github", str(FIXTURES))
+    assert proc.returncode == 1
+    assert "::error file=" in proc.stdout
+
+
+def test_output_file(tmp_path):
+    out = tmp_path / "report.json"
+    proc = run_cli("--format", "json", "--output", str(out), str(FIXTURES))
+    assert proc.returncode == 1
+    payload = json.loads(out.read_text())
+    assert payload["files_scanned"] == 8
 
 
 def test_rule_selection():

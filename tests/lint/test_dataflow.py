@@ -1,0 +1,440 @@
+"""Unit tests for the dataflow analysis layer (:mod:`repro.lint.dataflow`):
+CFG construction, reaching definitions, origin inference, and the three
+dataflow rules on seeded sources — plus the precision guarantee that the
+shipped evaluator stays clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint.astutil import ModuleSource
+from repro.lint.dataflow import (
+    CFG,
+    AggregatePurityRule,
+    MessageAliasingRule,
+    MethodModel,
+    Origin,
+    ReachingDefinitions,
+    StateEscapeRule,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _fn(source: str) -> ast.FunctionDef:
+    module = ast.parse(textwrap.dedent(source))
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise AssertionError("no function in source")
+
+
+def _module(source: str, path: str = "mod.py") -> ModuleSource:
+    return ModuleSource.from_source(textwrap.dedent(source), path=path)
+
+
+def _findings(rule, source: str):
+    return list(rule.check(_module(source)))
+
+
+def _method_model(source: str, method: str = "compute") -> MethodModel:
+    module = ast.parse(textwrap.dedent(source))
+    cls = next(n for n in module.body if isinstance(n, ast.ClassDef))
+    fn = next(
+        n
+        for n in cls.body
+        if isinstance(n, ast.FunctionDef) and n.name == method
+    )
+    return MethodModel(fn)
+
+
+# ----------------------------------------------------------------------
+# CFG
+# ----------------------------------------------------------------------
+class TestCFG:
+    def test_straight_line_is_one_block(self):
+        cfg = CFG(_fn("def f():\n    a = 1\n    b = 2\n    return b"))
+        stmts = list(cfg.statements())
+        assert len(stmts) == 3
+
+    def test_if_branches_rejoin(self):
+        cfg = CFG(
+            _fn(
+                """
+                def f(x):
+                    if x:
+                        a = 1
+                    else:
+                        a = 2
+                    return a
+                """
+            )
+        )
+        ret = next(
+            s for s in cfg.statements() if isinstance(s, ast.Return)
+        )
+        preds = cfg.predecessors()[cfg.block_of[ret]]
+        assert len(preds) == 2
+
+    def test_loop_back_edge_reaches_own_statement(self):
+        fn = _fn(
+            """
+            def f(items, ctx):
+                for item in items:
+                    ctx.send(0, item)
+            """
+        )
+        cfg = CFG(fn)
+        send = fn.body[0].body[0]
+        # via the loop back edge the send statement reaches itself
+        assert send in cfg.reachable_from(send)
+
+    def test_no_back_edge_without_loop(self):
+        fn = _fn(
+            """
+            def f(ctx):
+                ctx.send(0, 1)
+                ctx.send(0, 2)
+            """
+        )
+        cfg = CFG(fn)
+        first, second = fn.body
+        assert second in cfg.reachable_from(first)
+        assert first not in cfg.reachable_from(second)
+
+
+# ----------------------------------------------------------------------
+# reaching definitions
+# ----------------------------------------------------------------------
+class TestReachingDefinitions:
+    def test_straight_line_kill(self):
+        fn = _fn("def f():\n    a = 1\n    a = 2\n    return a")
+        rd = ReachingDefinitions(fn, CFG(fn))
+        ret = fn.body[-1]
+        defs = rd.reaching_at(ret, "a")
+        assert len(defs) == 1
+        assert defs[0].stmt is fn.body[1]
+
+    def test_branches_merge(self):
+        fn = _fn(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        rd = ReachingDefinitions(fn, CFG(fn))
+        assert len(rd.reaching_at(fn.body[-1], "a")) == 2
+
+    def test_loop_variable_has_for_kind(self):
+        fn = _fn(
+            """
+            def f(items):
+                for item in items:
+                    use(item)
+            """
+        )
+        rd = ReachingDefinitions(fn, CFG(fn))
+        use = fn.body[0].body[0]
+        defs = rd.reaching_at(use, "item")
+        assert [d.kind for d in defs] == ["for"]
+
+    def test_params_reach_entry(self):
+        fn = _fn("def f(ctx, x):\n    return x")
+        rd = ReachingDefinitions(fn, CFG(fn))
+        defs = rd.reaching_at(fn.body[0], "x")
+        assert [d.kind for d in defs] == ["param"]
+
+
+# ----------------------------------------------------------------------
+# origin inference
+# ----------------------------------------------------------------------
+class TestOrigins:
+    def test_list_display_is_new_mutable(self):
+        model = _method_model(
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    buf = [1, 2]
+                    ctx.send(0, buf)
+            """
+        )
+        send = model.send_calls()[0]
+        assert model.origins(send.payload, send.stmt) == {Origin.NEW_MUTABLE}
+
+    def test_ctx_state_is_state(self):
+        model = _method_model(
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    st = ctx.state()
+                    ctx.send(0, st)
+            """
+        )
+        send = model.send_calls()[0]
+        assert model.origins(send.payload, send.stmt) == {Origin.STATE}
+
+    def test_message_loop_variable_is_message(self):
+        model = _method_model(
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    for m in ctx.messages:
+                        ctx.send(0, m)
+            """
+        )
+        send = model.send_calls()[0]
+        assert model.origins(send.payload, send.stmt) == {Origin.MESSAGE}
+
+    def test_copy_launders_to_new_mutable(self):
+        model = _method_model(
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    for m in ctx.messages:
+                        ctx.send(0, list(m))
+            """
+        )
+        send = model.send_calls()[0]
+        assert model.origins(send.payload, send.stmt) == {Origin.NEW_MUTABLE}
+
+    def test_unknown_call_is_unknown(self):
+        model = _method_model(
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    x = mystery()
+                    ctx.send(0, x)
+            """
+        )
+        send = model.send_calls()[0]
+        assert model.origins(send.payload, send.stmt) == {Origin.UNKNOWN}
+
+    def test_send_alias_is_resolved(self):
+        model = _method_model(
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    send = ctx.send
+                    send(0, [1])
+            """
+        )
+        assert len(model.send_calls()) == 1
+
+
+# ----------------------------------------------------------------------
+# the three rules
+# ----------------------------------------------------------------------
+class TestStateEscapeRule:
+    def test_state_payload_flagged(self):
+        findings = _findings(
+            StateEscapeRule(),
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    ctx.send(0, ctx.state())
+            """,
+        )
+        assert [f.rule for f in findings] == ["state-escape"]
+
+    def test_message_retention_flagged(self):
+        findings = _findings(
+            StateEscapeRule(),
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    for m in ctx.messages:
+                        self.last = m
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_fresh_tuple_is_clean(self):
+        findings = _findings(
+            StateEscapeRule(),
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    st = ctx.state()
+                    ctx.send(0, (ctx.vid, len(st)))
+            """,
+        )
+        assert findings == []
+
+    def test_non_program_class_is_skipped(self):
+        findings = _findings(
+            StateEscapeRule(),
+            """
+            class Helper:
+                def compute(self, ctx):
+                    ctx.send(0, ctx.state())
+            """,
+        )
+        assert findings == []
+
+
+class TestMessageAliasingRule:
+    def test_double_send_flagged(self):
+        findings = _findings(
+            MessageAliasingRule(),
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    buf = [1]
+                    ctx.send(0, buf)
+                    ctx.send(1, buf)
+            """,
+        )
+        assert [f.rule for f in findings] == ["message-aliasing"]
+
+    def test_loop_invariant_payload_flagged(self):
+        findings = _findings(
+            MessageAliasingRule(),
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    buf = [1]
+                    for target in range(3):
+                        ctx.send(target, buf)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_fresh_payload_per_iteration_is_clean(self):
+        findings = _findings(
+            MessageAliasingRule(),
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    for target in range(3):
+                        buf = [target]
+                        ctx.send(target, buf)
+            """,
+        )
+        assert findings == []
+
+    def test_mutate_after_send_flagged(self):
+        findings = _findings(
+            MessageAliasingRule(),
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    buf = [1]
+                    ctx.send(0, buf)
+                    buf.append(2)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_immutable_multi_send_is_clean(self):
+        findings = _findings(
+            MessageAliasingRule(),
+            """
+            class DemoProgram:
+                def compute(self, ctx):
+                    value = (1, 2)
+                    ctx.send(0, value)
+                    ctx.send(1, value)
+            """,
+        )
+        assert findings == []
+
+
+class TestAggregatePurityRule:
+    def test_argument_mutation_flagged(self):
+        findings = _findings(
+            AggregatePurityRule(),
+            """
+            class DemoAggregate:
+                def concat(self, a, b):
+                    a.extend(b)
+                    return a
+            """,
+        )
+        assert [f.rule for f in findings] == ["impure-aggregate"]
+
+    def test_self_write_flagged(self):
+        findings = _findings(
+            AggregatePurityRule(),
+            """
+            class DemoAggregate:
+                def merge(self, a, b):
+                    self.seen = a
+                    return a + b
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_io_flagged(self):
+        findings = _findings(
+            AggregatePurityRule(),
+            """
+            class DemoAggregate:
+                def finalize(self, value):
+                    print(value)
+                    return value
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_pure_concat_is_clean(self):
+        findings = _findings(
+            AggregatePurityRule(),
+            """
+            class DemoAggregate:
+                def concat(self, a, b):
+                    return a + b
+
+                def merge(self, a, b):
+                    return min(a, b)
+            """,
+        )
+        assert findings == []
+
+    def test_local_mutation_is_clean(self):
+        findings = _findings(
+            AggregatePurityRule(),
+            """
+            class DemoAggregate:
+                def finalize_all(self, values):
+                    out = []
+                    for value in values:
+                        out.append(value)
+                    return tuple(out)
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# precision on shipped code
+# ----------------------------------------------------------------------
+class TestPrecisionOnShippedSources:
+    def _lint_file(self, relpath: str):
+        path = REPO_ROOT / relpath
+        text = path.read_text(encoding="utf-8")
+        module = ModuleSource.from_source(text, path=str(path))
+        findings = []
+        for rule in (
+            StateEscapeRule(),
+            MessageAliasingRule(),
+            AggregatePurityRule(),
+        ):
+            findings.extend(rule.check(module))
+        return findings
+
+    def test_evaluator_is_clean(self):
+        assert self._lint_file("src/repro/core/evaluator.py") == []
+
+    def test_vertex_programs_are_clean(self):
+        assert self._lint_file("src/repro/analysis/vertex_programs.py") == []
+
+    def test_shipped_aggregates_are_clean(self):
+        assert self._lint_file("src/repro/aggregates/base.py") == []
+        assert self._lint_file("src/repro/aggregates/bounded.py") == []

@@ -1,22 +1,39 @@
-"""The permanent CI gate: linting ``src/repro`` must produce zero
-findings.  Any rule violation introduced anywhere in the library fails
-this test with the exact file:line locations."""
+"""The permanent CI gate: linting ``src/repro``, ``benchmarks`` and
+``examples`` must produce zero findings.  Any rule violation introduced
+anywhere in the library (or its shipped runnable code) fails this test
+with the exact file:line locations."""
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from repro.lint import render_text, run_lint
+from repro.lint import load_config, render_text, run_lint
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 PACKAGE = REPO_ROOT / "src" / "repro"
+BENCHMARKS = REPO_ROOT / "benchmarks"
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def _gate_config():
+    """The repo's own lint configuration (per-path ignores included)."""
+    return load_config(str(REPO_ROOT / "pyproject.toml"))
 
 
 def test_package_is_lint_clean():
-    report = run_lint([str(PACKAGE)])
+    report = run_lint([str(PACKAGE)], config=_gate_config())
     assert report.files_scanned > 50  # the walk actually found the tree
     assert report.ok, (
         "static-analysis findings in src/repro:\n" + render_text(report)
+    )
+
+
+def test_benchmarks_and_examples_are_lint_clean():
+    report = run_lint([str(BENCHMARKS), str(EXAMPLES)], config=_gate_config())
+    assert report.files_scanned > 15  # both trees were actually walked
+    assert report.ok, (
+        "static-analysis findings in benchmarks/examples:\n"
+        + render_text(report)
     )
 
 

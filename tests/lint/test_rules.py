@@ -257,6 +257,9 @@ class TestRunner:
             "bare-except",
             "frozen-mutation",
             "future-annotations",
+            "state-escape",
+            "message-aliasing",
+            "impure-aggregate",
         }
         assert not report.ok
         # every finding carries a real location

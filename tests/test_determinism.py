@@ -1,0 +1,92 @@
+"""Cross-engine determinism property test (the BSP contract, fuzzed).
+
+The BSP model leaves intra-inbox message order undefined, so a correct
+extraction must be invariant under (a) which engine runs it, (b) how many
+workers partition the vertices, and (c) any seeded permutation of each
+inbox (:func:`~repro.engine.messages.shuffle_inbox`).  This test runs the
+same program/pattern on :class:`~repro.engine.bsp.BSPEngine` and
+:class:`~repro.engine.parallel.ThreadedBSPEngine` at 1/2/4 workers with
+shuffled inbox delivery and requires identical results throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.aggregates import library
+from repro.core.evaluator import run_extraction
+from repro.core.planner import iter_opt_plan
+from repro.engine.bsp import BSPEngine
+from repro.engine.parallel import ThreadedBSPEngine
+
+from tests.test_properties import graphs, patterns
+
+WORKER_COUNTS = (1, 2, 4)
+SHUFFLE_SEEDS = (None, 7, 1234)
+
+
+class TestCrossEngineDeterminism:
+    @settings(max_examples=15, deadline=None)
+    @given(graph=graphs(), pattern=patterns(max_length=3))
+    def test_engines_workers_and_shuffles_agree(self, graph, pattern):
+        plan = iter_opt_plan(pattern)
+        aggregate = library.path_count()
+        vertices = list(graph.vertices())
+
+        reference = None
+        for engine_cls in (BSPEngine, ThreadedBSPEngine):
+            for workers in WORKER_COUNTS:
+                for seed in SHUFFLE_SEEDS:
+                    result = run_extraction(
+                        graph,
+                        pattern,
+                        plan,
+                        aggregate,
+                        engine=engine_cls(
+                            vertices,
+                            num_workers=workers,
+                            shuffle_seed=seed,
+                        ),
+                    )
+                    if reference is None:
+                        reference = result
+                        continue
+                    assert result.graph.equals(reference.graph), (
+                        f"{engine_cls.__name__} at {workers} workers with "
+                        f"shuffle seed {seed} diverged from the reference"
+                    )
+                    assert (
+                        result.metrics.num_supersteps
+                        == reference.metrics.num_supersteps
+                    )
+                    assert (
+                        result.metrics.total_messages
+                        == reference.metrics.total_messages
+                    )
+
+    @pytest.mark.parametrize("mode", ["basic", "partial"])
+    def test_shuffle_is_deterministic_per_seed(self, mode):
+        """Two runs with the same shuffle seed are bit-identical — the
+        fuzzer itself must be reproducible."""
+        from repro.datasets import tiny_dblp
+        from repro.graph.pattern import LinePattern
+
+        graph = tiny_dblp()
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        plan = iter_opt_plan(pattern)
+        vertices = list(graph.vertices())
+        runs = [
+            run_extraction(
+                graph,
+                pattern,
+                plan,
+                library.path_count(),
+                mode=mode,
+                engine=BSPEngine(vertices, num_workers=2, shuffle_seed=42),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].graph.edges == runs[1].graph.edges

@@ -130,4 +130,7 @@ class TestLintExports:
             "bare-except",
             "frozen-mutation",
             "future-annotations",
+            "state-escape",
+            "message-aliasing",
+            "impure-aggregate",
         }
