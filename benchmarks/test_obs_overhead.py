@@ -1,0 +1,115 @@
+"""Observability overhead: extraction wall time with tracing off vs on.
+
+The ``repro.obs`` subsystem promises near-zero cost when disabled (the
+``NULL_TRACER`` singleton plus ``if tracer.enabled`` guards at every call
+site) and modest cost when enabled: spans are plain ``__slots__`` objects,
+per-worker timings are two ``perf_counter`` calls, and exporters only run
+once at the end of the extraction.  This benchmark measures three
+configurations on real workloads so EXPERIMENTS.md can report the factor:
+
+* ``disabled`` — ``trace=None`` (the production default);
+* ``jsonl``    — full span tree + instruments, JSONL export to disk;
+* ``chrome``   — the same, exported as chrome trace-event JSON.
+
+Shape checks: tracing changes nothing but the wall clock (identical
+extracted graphs), the disabled configuration stays within noise of the
+seed baseline, and traced runs record the full span hierarchy.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.extractor import GraphExtractor
+from repro.workloads.harness import Row, format_table, reference_graph
+from repro.workloads.patterns import get_workload
+
+from benchmarks.conftest import write_report
+
+#: one light and one heavy workload from Table 1
+PATTERNS = ["dblp-BP1", "dblp-SP1"]
+WORKERS = 10
+MODES = ("disabled", "jsonl", "chrome")
+
+
+def _trace_spec(mode: str, tmp_dir) -> object:
+    if mode == "disabled":
+        return None
+    suffix = ".jsonl" if mode == "jsonl" else ".json"
+    return str(tmp_dir / f"trace_{mode}{suffix}")
+
+
+def _run(name: str, mode: str, tmp_dir):
+    workload = get_workload(name)
+    graph = reference_graph(workload.dataset)
+    extractor = GraphExtractor(
+        graph, num_workers=WORKERS, trace=_trace_spec(mode, tmp_dir)
+    )
+    start = time.perf_counter()
+    result = extractor.extract(workload.pattern, library.path_count())
+    wall = time.perf_counter() - start
+    return result, wall, extractor.last_trace
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("obs_overhead")
+
+
+@pytest.fixture(scope="module")
+def grid(trace_dir):
+    """One (workload, mode) run each, with measured wall time."""
+    results = {}
+    for name in PATTERNS:
+        for mode in MODES:
+            results[(name, mode)] = _run(name, mode, trace_dir)
+    return results
+
+
+@pytest.mark.parametrize("name", PATTERNS)
+@pytest.mark.parametrize("mode", list(MODES))
+def test_benchmark_extraction(benchmark, name, mode, trace_dir):
+    result, _, _ = benchmark.pedantic(
+        _run, args=(name, mode, trace_dir), rounds=3, iterations=1
+    )
+    assert result.graph.num_edges() > 0
+
+
+def test_shapes_and_report(grid, results_dir):
+    """Tracing changes nothing but the wall clock."""
+    rows = []
+    for name in PATTERNS:
+        plain, plain_wall, plain_trace = grid[(name, "disabled")]
+        assert plain_trace is None, name
+        values = {"disabled_wall_s": plain_wall}
+        for mode in ("jsonl", "chrome"):
+            traced, traced_wall, tracer = grid[(name, mode)]
+            assert traced.graph.equals(plain.graph), (name, mode)
+            # the full hierarchy was recorded
+            names = {span.name for span in tracer.spans}
+            assert {"extraction", "superstep", "worker"} <= names, (name, mode)
+            # enabling tracing must stay proportionate (a loose bound:
+            # these runs take milliseconds, so noise dominates tight ones)
+            assert traced_wall < max(plain_wall * 10, plain_wall + 0.25), (
+                name,
+                mode,
+            )
+            values[f"{mode}_wall_s"] = traced_wall
+            values[f"{mode}_overhead"] = traced_wall / max(plain_wall, 1e-9)
+        rows.append(Row(name, values))
+    columns = [
+        "disabled_wall_s",
+        "jsonl_wall_s",
+        "jsonl_overhead",
+        "chrome_wall_s",
+        "chrome_overhead",
+    ]
+    title = (
+        "Observability overhead — extraction wall time, tracing off vs on "
+        f"({WORKERS} workers, path_count, hybrid plan)"
+    )
+    table = format_table(rows, columns, title=title)
+    write_report(results_dir, "obs_overhead", table)

@@ -5,16 +5,26 @@ Shows, for a long citation-chain pattern:
 
 * the plan tree each strategy produces (pivots, NL/QL sides, levels);
 * the cost model's intermediate-path estimate vs the measured count;
-* the iterations-vs-paths trade-off the hybrid strategy resolves (§5.2).
+* the iterations-vs-paths trade-off the hybrid strategy resolves (§5.2);
+* the per-node cost-model drift of the hybrid plan (estimated vs
+  observed paths, from an observability trace — `docs/observability.md`),
+  exported as chrome trace-event JSON for Perfetto.
 
 Run with:  python examples/plan_explorer.py
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 from repro import CostModel, GraphExtractor, GraphStatistics, LinePattern
 from repro.datasets import generate_patent
 from repro.workloads import Row, format_table
+
+# written to the temp dir so repeated runs (and the example smoke tests)
+# never litter the working directory
+TRACE_PATH = os.path.join(tempfile.gettempdir(), "plan_explorer_trace.json")
 
 
 def main() -> None:
@@ -63,6 +73,41 @@ def main() -> None:
         "and picks the cheapest pivots within that constraint — the "
         "paper's recommended default."
     )
+
+    # --- cost-model drift, from an observability trace -----------------
+    # Re-run the hybrid strategy with tracing on: the exported chrome
+    # trace opens in Perfetto, and result.drift holds the per-PCP-node
+    # estimated-vs-observed path counts the report command renders.
+    result = extractor.extract(pattern, strategy="hybrid", tracer=TRACE_PATH)
+    drift = result.drift
+    drift_rows = [
+        Row(
+            f"node {record.node_id}",
+            {
+                "segment": f"[{record.segment[0]}..{record.segment[-1]}]",
+                "superstep": record.superstep,
+                "est_paths": round(record.estimated_paths, 1),
+                "obs_paths": record.observed_paths,
+                "drift": round(record.drift, 3),
+            },
+        )
+        for record in drift.records
+    ]
+    print(
+        "\n"
+        + format_table(
+            drift_rows,
+            ["segment", "superstep", "est_paths", "obs_paths", "drift"],
+            title="hybrid plan: cost-model drift (observed / estimated)",
+            label_header="plan node",
+        )
+    )
+    print(
+        f"\nplan drift: {drift.total_estimated:.0f} estimated vs "
+        f"{drift.total_observed} observed intermediate paths "
+        f"(ratio {drift.plan_drift:.3f})"
+    )
+    print(f"trace written to {TRACE_PATH} — open in https://ui.perfetto.dev")
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ True
 
 from __future__ import annotations
 
-from repro import aggregates, baselines, datasets, workloads
+from repro import aggregates, baselines, datasets, obs, workloads
 from repro.core.cost import CostModel
 from repro.core.extractor import GraphExtractor
 from repro.core.plan import PCP, PCPNode
@@ -39,10 +39,18 @@ from repro.errors import (
     AggregationError,
     DatasetError,
     EngineError,
+    ObservabilityError,
     PatternError,
     PlanError,
     ReproError,
     SchemaError,
+)
+from repro.obs import (
+    NULL_TRACER,
+    DriftReport,
+    NullTracer,
+    Tracer,
+    make_tracer,
 )
 from repro.graph.hetgraph import HeterogeneousGraph
 from repro.graph.filters import VertexFilter
@@ -58,6 +66,7 @@ __all__ = [
     "CostModel",
     "DatasetError",
     "Direction",
+    "DriftReport",
     "EngineError",
     "ExtractedGraph",
     "ExtractionResult",
@@ -66,6 +75,9 @@ __all__ = [
     "GraphStatistics",
     "HeterogeneousGraph",
     "LinePattern",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObservabilityError",
     "PCP",
     "PCPNode",
     "PatternEdge",
@@ -74,6 +86,7 @@ __all__ = [
     "ReproError",
     "STRATEGIES",
     "SchemaError",
+    "Tracer",
     "VertexFilter",
     "VertexProgram",
     "aggregates",
@@ -83,6 +96,8 @@ __all__ = [
     "iter_opt_plan",
     "line_plan",
     "make_plan",
+    "make_tracer",
+    "obs",
     "path_opt_plan",
     "workloads",
     "__version__",

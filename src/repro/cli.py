@@ -8,6 +8,9 @@ Run as ``python -m repro <command>``:
 * ``extract``   — run one extraction and report metrics (optionally
   writing the extracted edge list);
 * ``compare``   — run several methods on one workload and print a table;
+* ``report``    — render the per-superstep table (makespan, imbalance,
+  messages, cost-model drift) from a trace file written with
+  ``--trace-out``;
 * ``lint``      — run the first-party static-analysis rules over source
   files (exit gated by ``--fail-on``; the permanent CI gate);
 * ``sanitize``  — run one extraction on the BSP race/determinism
@@ -23,6 +26,8 @@ Examples
     python -m repro plan --dataset patent --pattern \\
         "Inventor -[invents]-> Patent <-[invents]- Inventor"
     python -m repro extract --dataset dblp --workload dblp-SP1 --workers 8
+    python -m repro extract --workload dblp-BP1 --trace-out trace.json
+    python -m repro report trace.json
     python -m repro compare --dataset dblp --workload dblp-SP2 \\
         --methods pge,rpq,matrix
     python -m repro.cli lint --format json src/repro
@@ -165,6 +170,7 @@ def cmd_extract(args: argparse.Namespace) -> int:
         strategy=args.strategy or "hybrid",
         partial_aggregation=not args.basic,
         estimator=args.estimator,
+        trace=args.trace_out or None,
     )
     result = extractor.extract(pattern, aggregate)
     summary = result.summary()
@@ -182,6 +188,8 @@ def cmd_extract(args: argparse.Namespace) -> int:
             for u, v, value in result.graph.sorted_edges():
                 handle.write(f"{u}\t{v}\t{value}\n")
         print(f"\nwrote {result.graph.num_edges()} edges to {args.out}")
+    if args.trace_out:
+        print(f"wrote trace to {args.trace_out}")
     return 0
 
 
@@ -331,6 +339,15 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     return _report_exit_code(report, args.fail_on)
 
 
+def _method_trace_path(trace_out: str, method: str) -> str:
+    """Per-method trace path: ``trace.json`` -> ``trace.pge.json`` (the
+    format is sniffed from the final extension, which is preserved)."""
+    from pathlib import Path
+
+    path = Path(trace_out)
+    return str(path.with_name(f"{path.stem}.{method}{path.suffix}"))
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     graph = _resolve_graph(args)
     pattern = _resolve_pattern(args)
@@ -338,10 +355,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
     methods = args.methods.split(",")
     rows = []
     reference = None
+    traced_paths = []
     for method in methods:
+        trace = None
+        if args.trace_out and method in ("pge", "pge-basic"):
+            trace = _method_trace_path(args.trace_out, method)
+            traced_paths.append(trace)
         result = run_method(
             method, graph, pattern, aggregate=aggregate_factory(),
-            num_workers=args.workers,
+            num_workers=args.workers, trace=trace,
         )
         if reference is None:
             reference = result.graph
@@ -367,6 +389,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
             label_header="method",
         )
     )
+    if args.trace_out:
+        if traced_paths:
+            print(f"wrote traces: {', '.join(traced_paths)}")
+        else:
+            print(
+                "no traces written: --trace-out only applies to the "
+                "framework methods (pge, pge-basic)",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the per-superstep run report from a trace file (JSONL or
+    chrome-trace JSON, as written by ``--trace-out``)."""
+    from repro.obs.report import render_report
+
+    print(render_report(args.trace))
     return 0
 
 
@@ -407,6 +447,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     extract.add_argument("--top", type=int, default=0, help="print the top-K edges")
     extract.add_argument("--out", help="write extracted edges as TSV")
+    extract.add_argument(
+        "--trace-out", metavar="PATH",
+        help="record an observability trace and write it to PATH "
+        "(.jsonl = JSONL event log, .json = chrome trace-event JSON, "
+        ".prom = Prometheus text); render with `repro report PATH`",
+    )
 
     analyze = sub.add_parser(
         "analyze", help="extract, then analyse the extracted graph"
@@ -445,6 +491,19 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated subset of {','.join(METHODS)}",
     )
     compare.add_argument("--workers", type=int, default=4)
+    compare.add_argument(
+        "--trace-out", metavar="PATH",
+        help="record one observability trace per framework method "
+        "(pge, pge-basic), written to PATH with the method name "
+        "inserted before the extension",
+    )
+
+    report = sub.add_parser(
+        "report", help="render the per-superstep table from a trace file"
+    )
+    report.add_argument(
+        "trace", help="trace file written with --trace-out (.jsonl or .json)"
+    )
 
     from repro.lint.reporters import REPORTERS
 
@@ -514,6 +573,7 @@ COMMANDS = {
     "analyze": cmd_analyze,
     "discover": cmd_discover,
     "compare": cmd_compare,
+    "report": cmd_report,
     "lint": cmd_lint,
     "sanitize": cmd_sanitize,
 }

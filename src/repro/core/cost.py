@@ -145,6 +145,19 @@ class CostModel:
     def node_cost_of(self, node: PCPNode) -> float:
         return self.node_cost(node.i, node.k, node.j)
 
+    def annotate_plan(self, plan: PCP) -> PCP:
+        """Record this model's per-node estimates on ``plan``
+        (``plan.node_estimates``) and set ``plan.estimated_cost`` to their
+        sum (Eq. 3) when the DP has not already done so.  The drift
+        tracker (:mod:`repro.obs.drift`) joins these with the observed
+        counts after a run."""
+        plan.node_estimates = {
+            node.node_id: self.node_cost_of(node) for node in plan.nodes()
+        }
+        if plan.estimated_cost is None:
+            plan.estimated_cost = sum(plan.node_estimates.values())
+        return plan
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "partial" if self.partial_aggregation else "basic"
         return f"<{type(self).__name__} pattern={self.pattern!s} mode={mode}>"

@@ -36,6 +36,8 @@ from repro.graph.pattern import (
     traverse_slot,
     vertices_matching,
 )
+from repro.obs.drift import node_counter_name
+from repro.obs.spans import NULL_TRACER, TracerBase
 
 #: Sentinel node id for the single-edge pseudo-plan (patterns of length 1).
 _DIRECT_ROOT = -1
@@ -105,6 +107,11 @@ class PathConcatenationProgram(VertexProgram):
             self._root_id = _DIRECT_ROOT
             self._placements = {_DIRECT_ROOT: Placement.AT_END}
         self._enumeration_steps = max(len(self._schedule), 1)
+        # Per-node observed-path counter names, precomputed so the hot
+        # loop pays one dict lookup, not an f-string, per evaluation.
+        self._node_counters: Dict[int, str] = {
+            node_id: node_counter_name(node_id) for node_id in self._placements
+        }
         self._traced: Dict[Tuple[VertexId, VertexId], List[Tuple[VertexId, ...]]] = {}
         self._pos_filters = [
             pattern.filter_at(position) for position in range(pattern.length + 1)
@@ -117,6 +124,19 @@ class PathConcatenationProgram(VertexProgram):
         # one superstep per plan level (or one direct scan), plus the
         # pair-wise aggregation superstep
         return self._enumeration_steps + 1
+
+    def span_attrs(self, superstep: int) -> Optional[Dict[str, Any]]:
+        """Expose the PCP level evaluated by each superstep on its span
+        (the "PCP level" tier of the observability span tree)."""
+        if superstep < len(self._schedule):
+            nodes = self._schedule[superstep]
+            return {
+                "plan_level": nodes[0].level,
+                "plan_nodes": [node.node_id for node in nodes],
+            }
+        if superstep == self._enumeration_steps:
+            return {"phase": "pairwise-aggregation"}
+        return None
 
     def combiner(self):
         """Giraph-style in-flight message combining: merge partial values
@@ -291,6 +311,7 @@ class PathConcatenationProgram(VertexProgram):
             produced = len(left) * len(right)
             ctx.add_work(produced)
             ctx.add_counter("intermediate_paths", produced)
+            ctx.add_counter(self._node_counters[node_id], produced)
             if self.trace:
                 for l_far, l_val, l_trail in left:
                     for r_far, r_val, r_trail in right:
@@ -312,6 +333,7 @@ class PathConcatenationProgram(VertexProgram):
             produced = len(left) * len(right)
             ctx.add_work(produced)
             ctx.add_counter("intermediate_paths", produced)
+            ctx.add_counter(self._node_counters[node_id], produced)
             send = ctx.send
             for l_far, l_val in left.items():
                 for r_far, r_val in right.items():
@@ -391,6 +413,7 @@ def run_extraction(
     use_combiner: bool = False,
     engine: Optional[BSPEngine] = None,
     sanitize: bool = False,
+    tracer: Optional[TracerBase] = None,
 ) -> ExtractionResult:
     """Execute one extraction on a fresh BSP engine and package the result.
 
@@ -399,7 +422,10 @@ def run_extraction(
     run executes on the race/determinism sanitizer
     (:class:`~repro.engine.sanitizer.SanitizerBSPEngine`): contract
     violations raise :class:`~repro.engine.sanitizer.SanitizerError` and
-    the findings are available as ``engine.last_findings``.
+    the findings are available as ``engine.last_findings``.  ``tracer``
+    (a :class:`~repro.obs.spans.TracerBase`) records the run's span tree
+    and instruments; ``trace`` is the unrelated legacy flag that carries
+    full path trails through basic-mode messages.
     """
     program = PathConcatenationProgram(
         graph,
@@ -412,10 +438,11 @@ def run_extraction(
     )
     if engine is None:
         engine = BSPEngine(list(graph.vertices()), num_workers=num_workers)
+    obs_tracer = tracer if tracer is not None else NULL_TRACER
     if sanitize:
-        extracted = engine.run(program, sanitize=True)
+        extracted = engine.run(program, sanitize=True, trace=obs_tracer)
     else:
-        extracted = engine.run(program)
+        extracted = engine.run(program, trace=obs_tracer)
     if not isinstance(extracted, ExtractedGraph):  # pragma: no cover
         raise EngineError("program returned an unexpected result type")
     return ExtractionResult(

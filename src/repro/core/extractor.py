@@ -27,6 +27,13 @@ from repro.errors import PatternMismatchError
 from repro.graph.hetgraph import HeterogeneousGraph
 from repro.graph.pattern import LinePattern
 from repro.graph.stats import GraphStatistics
+from repro.obs.drift import attach_drift, compute_drift
+from repro.obs.spans import (
+    TracerBase,
+    TraceSpec,
+    make_tracer,
+    owns_tracer,
+)
 
 
 class GraphExtractor:
@@ -65,6 +72,18 @@ class GraphExtractor:
         the most recent sanitized run (empty on a clean run) are kept on
         ``extractor.last_sanitizer_findings``.  Several times slower —
         a debugging/CI mode, not a production one (see ``EXPERIMENTS.md``).
+    trace:
+        Observability spec (see :func:`repro.obs.spans.make_tracer`):
+        ``None`` (off, the default, near-zero overhead), ``True`` /
+        ``"mem"`` (in-memory, inspect ``extractor.last_trace``),
+        ``"jsonl:PATH"`` / ``"chrome:PATH"`` / ``"prom:PATH"`` or a bare
+        path (exported when each extraction finishes), or a
+        :class:`~repro.obs.spans.Tracer` instance (caller keeps export
+        ownership).  Traced extractions record the full span tree
+        (extraction → plan selection → engine run → superstep → worker),
+        message/combiner instruments and the cost-model drift records.
+        Unrelated to :meth:`extract`'s ``trace`` flag, which carries
+        *path trails* through basic-mode messages.
     """
 
     def __init__(
@@ -77,6 +96,7 @@ class GraphExtractor:
         estimator: str = "uniform",
         verify: bool = True,
         sanitize: bool = False,
+        trace: TraceSpec = None,
     ) -> None:
         self.graph = graph
         self.num_workers = num_workers
@@ -86,8 +106,12 @@ class GraphExtractor:
         self.estimator = estimator
         self.verify = verify
         self.sanitize = sanitize
+        self.trace = trace
         #: findings of the most recent sanitized extraction ([] when clean)
         self.last_sanitizer_findings: list = []
+        #: tracer of the most recent traced extraction (``None`` when
+        #: tracing was off for that call)
+        self.last_trace: Optional[TracerBase] = None
         self._stats: Optional[GraphStatistics] = None
 
     def _verify_inputs(self, aggregate: Aggregate, plan: Optional[PCP]) -> None:
@@ -146,6 +170,7 @@ class GraphExtractor:
         trace: bool = False,
         verify: Optional[bool] = None,
         sanitize: Optional[bool] = None,
+        tracer: TraceSpec = None,
     ) -> ExtractionResult:
         """Run one extraction and return the
         :class:`~repro.core.result.ExtractionResult`.
@@ -154,7 +179,8 @@ class GraphExtractor:
         aggregate).  Any argument left ``None`` falls back to the
         extractor's defaults; an explicit ``plan`` bypasses plan selection.
         ``verify`` and ``sanitize`` override the extractor-level flags for
-        this call.
+        this call; ``tracer`` overrides the extractor's ``trace`` spec
+        (``trace`` itself remains the legacy path-trail flag).
         """
         if aggregate is None:
             aggregate = path_count()
@@ -172,34 +198,92 @@ class GraphExtractor:
         )
         if not aggregate.supports_partial_aggregation or trace:
             use_partial = False
-        if plan is None:
-            plan = self.plan(
-                pattern, strategy=strategy, partial_aggregation=use_partial
+        spec = tracer if tracer is not None else self.trace
+        obs = make_tracer(spec)
+        traced = obs.enabled
+        self.last_trace = obs if traced else None
+        mode = "partial" if use_partial else "basic"
+        root_span = None
+        if traced:
+            root_span = obs.start_span(
+                "extraction",
+                {
+                    "pattern": str(pattern),
+                    "strategy": strategy or self.strategy,
+                    "mode": mode,
+                    "workers": num_workers or self.num_workers,
+                    "aggregate": aggregate.name,
+                    "estimator": self.estimator,
+                },
             )
-        if use_verify:
-            self._verify_inputs(aggregate, plan)
-        use_sanitize = self.sanitize if sanitize is None else sanitize
-        if use_sanitize:
-            return self._extract_sanitized(
-                pattern,
-                plan,
-                aggregate,
-                num_workers=num_workers or self.num_workers,
-                mode="partial" if use_partial else "basic",
-                trace=trace,
+        try:
+            if plan is None:
+                if traced:
+                    with obs.span(
+                        "plan-selection",
+                        {"strategy": strategy or self.strategy},
+                    ) as plan_span:
+                        plan = self.plan(
+                            pattern,
+                            strategy=strategy,
+                            partial_aggregation=use_partial,
+                        )
+                        if plan is not None:
+                            plan_span.set_attrs(
+                                {
+                                    "plan_strategy": plan.strategy,
+                                    "plan_height": plan.height,
+                                    "plan_nodes": plan.num_nodes,
+                                    "estimated_cost": plan.estimated_cost,
+                                }
+                            )
+                else:
+                    plan = self.plan(
+                        pattern, strategy=strategy, partial_aggregation=use_partial
+                    )
+            if use_verify:
+                self._verify_inputs(aggregate, plan)
+            use_sanitize = self.sanitize if sanitize is None else sanitize
+            if use_sanitize:
+                result = self._extract_sanitized(
+                    pattern,
+                    plan,
+                    aggregate,
+                    num_workers=num_workers or self.num_workers,
+                    mode=mode,
+                    trace=trace,
+                    tracer=obs,
+                )
+            else:
+                result = run_extraction(
+                    self.graph,
+                    pattern,
+                    plan,
+                    aggregate,
+                    num_workers=num_workers or self.num_workers,
+                    mode=mode,
+                    trace=trace,
+                    tracer=obs,
+                )
+        finally:
+            if traced:
+                obs.end_span(root_span)
+        result.drift = compute_drift(result.plan, result.metrics)
+        if traced:
+            root_span.set_attrs(
+                {
+                    "supersteps": result.metrics.num_supersteps,
+                    "intermediate_paths": result.intermediate_paths,
+                    "result_edges": result.graph.num_edges(),
+                }
             )
-        return run_extraction(
-            self.graph,
-            pattern,
-            plan,
-            aggregate,
-            num_workers=num_workers or self.num_workers,
-            mode="partial" if use_partial else "basic",
-            trace=trace,
-        )
+            attach_drift(obs, result.drift)
+            if owns_tracer(spec) and obs.sink is not None:
+                obs.export()
+        return result
 
     def _extract_sanitized(
-        self, pattern, plan, aggregate, num_workers, mode, trace
+        self, pattern, plan, aggregate, num_workers, mode, trace, tracer=None
     ) -> ExtractionResult:
         """Run one extraction on the sanitizer engine, keeping its
         findings on ``last_sanitizer_findings`` even when the strict run
@@ -220,6 +304,7 @@ class GraphExtractor:
                 trace=trace,
                 engine=engine,
                 sanitize=True,
+                tracer=tracer,
             )
         finally:
             self.last_sanitizer_findings = engine.last_findings

@@ -103,6 +103,13 @@ class PCP:
         self.pattern = pattern
         self.root = root
         self.strategy = strategy
+        #: per-node estimated path counts (``{node_id: S_pp}``), filled by
+        #: :meth:`repro.core.cost.CostModel.annotate_plan`; the drift
+        #: tracker joins these with observed counts after a run
+        self.node_estimates: Dict[int, float] = {}
+        #: estimated total intermediate paths (Eq. 3); set by the DP
+        #: planners and by :meth:`~repro.core.cost.CostModel.annotate_plan`
+        self.estimated_cost: Optional[float] = None
         self._nodes: List[PCPNode] = []
         self._assign_ids_and_levels()
         self.validate()

@@ -191,10 +191,21 @@ def make_plan(
         raise PlanError(
             f"unknown strategy {strategy!r}; choose one of {STRATEGIES}"
         )
-    if strategy == "line":
-        return line_plan(pattern)
-    if strategy == "iter_opt":
-        return iter_opt_plan(pattern, rng=rng)
+    if strategy in ("line", "iter_opt"):
+        plan = (
+            line_plan(pattern)
+            if strategy == "line"
+            else iter_opt_plan(pattern, rng=rng)
+        )
+        # Cost-blind strategies still get per-node estimates when the
+        # statistics exist, so drift is observable for every plan.
+        if stats is None and graph is not None:
+            stats = GraphStatistics.collect(graph)
+        if stats is not None:
+            CostModel(
+                pattern, stats, partial_aggregation=partial_aggregation
+            ).annotate_plan(plan)
+        return plan
     if estimator == "exact-leaf":
         if graph is None:
             raise PlanError("estimator='exact-leaf' needs graph=")
@@ -226,5 +237,5 @@ def make_plan(
             f"or 'sampling'"
         )
     if strategy == "path_opt":
-        return path_opt_plan(pattern, cost_model)
-    return hybrid_plan(pattern, cost_model)
+        return cost_model.annotate_plan(path_opt_plan(pattern, cost_model))
+    return cost_model.annotate_plan(hybrid_plan(pattern, cost_model))

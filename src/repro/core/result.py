@@ -192,6 +192,7 @@ class ExtractionResult:
     metrics: RunMetrics
     plan: Optional[Any] = None  # PCP, or None for length-1 patterns
     traced_paths: Optional[Dict[EdgeKey, List[Tuple[VertexId, ...]]]] = None
+    drift: Optional[Any] = None  # repro.obs.drift.DriftReport, when computed
 
     @property
     def iterations(self) -> int:
@@ -210,7 +211,13 @@ class ExtractionResult:
         out = self.metrics.summary()
         out["iterations"] = self.iterations
         out["result_edges"] = self.graph.num_edges()
+        # Promote the headline counters back to their bare names (the
+        # engine-level summary namespaces all counters as counter:<name>).
+        out["intermediate_paths"] = self.intermediate_paths
+        out["final_paths"] = self.final_paths
         if self.plan is not None:
             out["plan_strategy"] = self.plan.strategy
             out["plan_height"] = self.plan.height
+        if self.drift is not None:
+            out["plan_drift"] = self.drift.plan_drift
         return out

@@ -27,8 +27,56 @@ from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.errors import EngineError
 from repro.graph.hetgraph import VertexId
 from repro.graph.partition import HashPartitioner
+from repro.obs.instruments import InstrumentRegistry
+from repro.obs.spans import TraceSpec, TracerBase, make_tracer, owns_tracer
 
 _NO_MESSAGES: List[Any] = []
+
+
+class _TraceInstruments:
+    """The engine-level instruments of one traced run (message-size and
+    mailbox-occupancy distributions, combiner hit accounting).  Created
+    only when tracing is enabled, so untraced runs pay nothing."""
+
+    __slots__ = (
+        "message_size",
+        "mailbox_occupancy",
+        "combiner_in",
+        "combiner_out",
+        "combiner_hit_rate",
+    )
+
+    def __init__(self, registry: InstrumentRegistry) -> None:
+        self.message_size = registry.histogram(
+            "bsp_message_batch_size",
+            "messages per destination vertex per superstep",
+        )
+        self.mailbox_occupancy = registry.histogram(
+            "bsp_mailbox_occupancy",
+            "destination mailboxes holding pending messages per superstep",
+        )
+        self.combiner_in = registry.counter(
+            "bsp_combiner_messages_in", "messages entering the combiner"
+        )
+        self.combiner_out = registry.counter(
+            "bsp_combiner_messages_out", "messages surviving the combiner"
+        )
+        self.combiner_hit_rate = registry.gauge(
+            "bsp_combiner_hit_rate",
+            "fraction of messages removed by combining (latest superstep)",
+        )
+
+    def observe_delivery(self, pending_counts: List[int]) -> None:
+        observe = self.message_size.observe
+        for size in pending_counts:
+            observe(size)
+        self.mailbox_occupancy.observe(len(pending_counts))
+
+    def observe_combiner(self, before: int, after: int) -> None:
+        self.combiner_in.inc(before)
+        self.combiner_out.inc(after)
+        if before:
+            self.combiner_hit_rate.set(1.0 - after / before)
 
 
 class ComputeContext:
@@ -141,6 +189,11 @@ class VertexProgram:
     def compute(self, ctx: ComputeContext) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    def span_attrs(self, superstep: int) -> Optional[Dict[str, Any]]:
+        """Extra attributes for the superstep's trace span (consulted on
+        traced runs only — e.g. the PCP level a superstep evaluates)."""
+        return None
+
     def finish(self, states: Dict[VertexId, Any], metrics: RunMetrics) -> Any:
         """Produce the run's result from the final vertex states."""
         return states
@@ -195,6 +248,7 @@ class BSPEngine:
         program: VertexProgram,
         verify: bool = False,
         sanitize: bool = False,
+        trace: TraceSpec = None,
     ) -> Any:
         """Execute ``program`` to completion and return ``program.finish``'s
         result.  The :class:`RunMetrics` are attached as
@@ -210,9 +264,18 @@ class BSPEngine:
         fingerprints message payloads and vertex state to detect aliasing
         and ownership violations at runtime (at a significant wall-time
         cost; see ``EXPERIMENTS.md``).
+
+        ``trace`` accepts any spec :func:`~repro.obs.spans.make_tracer`
+        understands (``True``, ``"jsonl:PATH"``, a tracer instance, ...);
+        the run records an engine-run → superstep → worker span tree plus
+        message/combiner instruments.  When the engine resolved the spec
+        itself and it names a sink, the trace is exported on completion.
         """
+        tracer = make_tracer(trace)
         if sanitize and not self._is_sanitizer:
-            return self._run_sanitized(program, verify)
+            result = self._run_sanitized(program, verify, tracer=tracer)
+            self._finish_trace(trace, tracer)
+            return result
         if verify:
             from repro.lint.contracts import verify_vertex_program
 
@@ -231,6 +294,10 @@ class BSPEngine:
                 f"program plans {planned} supersteps, exceeding the engine "
                 f"bound of {self.max_supersteps}"
             )
+        traced = tracer.enabled
+        run_span = instruments = None
+        if traced:
+            run_span, instruments = self._start_run_trace(tracer, program, planned)
 
         start = time.perf_counter()
         superstep = 0
@@ -249,21 +316,45 @@ class BSPEngine:
             work = [0] * self.num_workers
             ctx.superstep = superstep
             ctx._work = work
+            step_span = (
+                self._start_superstep_span(tracer, program, superstep)
+                if traced
+                else None
+            )
             for worker, owned in enumerate(self._partitions):
                 ctx._worker = worker
+                worker_start = time.perf_counter() if traced else 0.0
                 for vid in owned:
                     work[worker] += 1  # the per-iteration vertex scan
                     ctx.vid = vid
                     ctx.messages = inbox.get(vid, _NO_MESSAGES)
                     program.compute(ctx)
-            metrics.supersteps.append(
-                SuperstepMetrics(
-                    superstep=superstep,
-                    work_per_worker=work,
-                    messages_sent=mailbox.sent_count,
-                )
+                if traced:
+                    tracer.record_span(
+                        "worker",
+                        worker_start,
+                        time.perf_counter(),
+                        {
+                            "worker": worker,
+                            "superstep": superstep,
+                            "vertices": len(owned),
+                            "work": work[worker],
+                        },
+                    )
+            step = SuperstepMetrics(
+                superstep=superstep,
+                work_per_worker=work,
+                messages_sent=mailbox.sent_count,
             )
+            metrics.supersteps.append(step)
+            if traced:
+                self._close_superstep_span(tracer, step_span, step, instruments, mailbox)
+                before = mailbox.sent_count
             inbox = mailbox.deliver(combiner)
+            if traced and combiner is not None:
+                instruments.observe_combiner(
+                    before, sum(len(messages) for messages in inbox.values())
+                )
             if self.shuffle_seed is not None:
                 shuffle_inbox(inbox, superstep, self.shuffle_seed)
             ctx.globals = ctx._pending_globals
@@ -273,9 +364,81 @@ class BSPEngine:
         metrics.wall_time_s = time.perf_counter() - start
         self.last_metrics = metrics
         self.last_globals = ctx.globals
-        return program.finish(states, metrics)
+        result = program.finish(states, metrics)
+        if traced:
+            run_span.set_attrs(
+                {
+                    "supersteps": metrics.num_supersteps,
+                    "total_messages": metrics.total_messages,
+                    "total_work": metrics.total_work,
+                }
+            )
+            tracer.end_span(run_span)
+            self._finish_trace(trace, tracer)
+        return result
 
-    def _run_sanitized(self, program: VertexProgram, verify: bool) -> Any:
+    # ------------------------------------------------------------------
+    # tracing helpers (shared with the subclass engines)
+    # ------------------------------------------------------------------
+    def _start_run_trace(
+        self,
+        tracer: TracerBase,
+        program: VertexProgram,
+        planned: Optional[int],
+    ):
+        """Open the engine-run span and create the run's instruments."""
+        run_span = tracer.start_span(
+            "engine-run",
+            {
+                "engine": type(self).__name__,
+                "workers": self.num_workers,
+                "vertices": len(self._vertices),
+                "program": type(program).__name__,
+                "planned_supersteps": planned,
+            },
+        )
+        return run_span, _TraceInstruments(tracer.registry)
+
+    def _start_superstep_span(
+        self, tracer: TracerBase, program: VertexProgram, superstep: int
+    ):
+        attrs = {"superstep": superstep, "workers": self.num_workers}
+        extra = program.span_attrs(superstep)
+        if extra:
+            attrs.update(extra)
+        return tracer.start_span("superstep", attrs)
+
+    def _close_superstep_span(
+        self,
+        tracer: TracerBase,
+        step_span,
+        step: SuperstepMetrics,
+        instruments: _TraceInstruments,
+        mailbox: Mailbox,
+    ) -> None:
+        step_span.set_attrs(
+            {
+                "makespan": step.makespan,
+                "total_work": step.total_work,
+                "messages_sent": step.messages_sent,
+            }
+        )
+        tracer.end_span(step_span)
+        instruments.observe_delivery(mailbox.pending_counts())
+
+    def _finish_trace(self, trace: TraceSpec, tracer: TracerBase) -> None:
+        """Export the trace when this engine resolved the spec itself and
+        the spec names a sink (callers passing tracer instances keep
+        ownership of export)."""
+        if tracer.enabled and tracer.sink is not None and owns_tracer(trace):
+            tracer.export()
+
+    def _run_sanitized(
+        self,
+        program: VertexProgram,
+        verify: bool,
+        tracer: Optional[TracerBase] = None,
+    ) -> Any:
         """Run ``program`` on a sanitizer engine mirroring this engine's
         configuration, then mirror its run artefacts back onto ``self``."""
         from repro.engine.sanitizer import SanitizerBSPEngine
@@ -286,7 +449,7 @@ class BSPEngine:
             max_supersteps=self.max_supersteps,
             shuffle_seed=self.shuffle_seed,
         )
-        result = sanitizer.run(program, verify=verify)
+        result = sanitizer.run(program, verify=verify, trace=tracer)
         self.last_metrics = sanitizer.last_metrics
         self.last_globals = sanitizer.last_globals
         self.last_findings = sanitizer.last_findings

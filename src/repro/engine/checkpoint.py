@@ -29,6 +29,7 @@ from repro.engine.messages import Mailbox, shuffle_inbox
 from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.errors import EngineError
 from repro.graph.hetgraph import VertexId
+from repro.obs.spans import TraceSpec, make_tracer
 
 #: (vertex states, pending inbox, metrics snapshot, global aggregators)
 Snapshot = Tuple[
@@ -134,9 +135,13 @@ class RecoverableBSPEngine(BSPEngine):
         resume: bool = False,
         verify: bool = False,
         sanitize: bool = False,
+        trace: TraceSpec = None,
     ) -> Any:
         """Execute ``program``; with ``resume=True`` continue from the
-        latest checkpoint instead of superstep 0."""
+        latest checkpoint instead of superstep 0.  Traced runs record
+        checkpoint saves and recovery as span events (``trace`` accepts
+        the same specs as :meth:`BSPEngine.run`)."""
+        tracer = make_tracer(trace)
         if sanitize:
             if resume:
                 raise EngineError(
@@ -144,7 +149,9 @@ class RecoverableBSPEngine(BSPEngine):
                     "sanitizer must observe the run from superstep 0 to "
                     "fingerprint every send"
                 )
-            return self._run_sanitized(program, verify)
+            result = self._run_sanitized(program, verify, tracer=tracer)
+            self._finish_trace(trace, tracer)
+            return result
         if verify:
             from repro.lint.contracts import verify_vertex_program
 
@@ -173,6 +180,16 @@ class RecoverableBSPEngine(BSPEngine):
                 f"program plans {planned} supersteps, exceeding the engine "
                 f"bound of {self.max_supersteps}"
             )
+        traced = tracer.enabled
+        run_span = instruments = None
+        if traced:
+            run_span, instruments = self._start_run_trace(tracer, program, planned)
+            run_span.set_attr("checkpoint_every", self.checkpoint_every)
+            if resume:
+                tracer.event(
+                    "checkpoint-restored",
+                    {"superstep": superstep, "resumed": True},
+                )
 
         start = time.perf_counter()
         while True:
@@ -189,25 +206,58 @@ class RecoverableBSPEngine(BSPEngine):
                     )
             if superstep % self.checkpoint_every == 0:
                 self.store.save(superstep, states, inbox, metrics, ctx.globals)
+                if traced:
+                    tracer.event(
+                        "checkpoint-saved",
+                        {
+                            "superstep": superstep,
+                            "pending_vertices": len(inbox),
+                            "stateful_vertices": len(states),
+                        },
+                    )
 
             work = [0] * self.num_workers
             ctx.superstep = superstep
             ctx._work = work
+            step_span = (
+                self._start_superstep_span(tracer, program, superstep)
+                if traced
+                else None
+            )
             for worker, owned in enumerate(self._partitions):
                 ctx._worker = worker
+                worker_start = time.perf_counter() if traced else 0.0
                 for vid in owned:
                     work[worker] += 1
                     ctx.vid = vid
                     ctx.messages = inbox.get(vid, _NO_MESSAGES)
                     program.compute(ctx)
-            metrics.supersteps.append(
-                SuperstepMetrics(
-                    superstep=superstep,
-                    work_per_worker=work,
-                    messages_sent=mailbox.sent_count,
-                )
+                if traced:
+                    tracer.record_span(
+                        "worker",
+                        worker_start,
+                        time.perf_counter(),
+                        {
+                            "worker": worker,
+                            "superstep": superstep,
+                            "vertices": len(owned),
+                            "work": work[worker],
+                        },
+                    )
+            step = SuperstepMetrics(
+                superstep=superstep,
+                work_per_worker=work,
+                messages_sent=mailbox.sent_count,
             )
+            metrics.supersteps.append(step)
+            if traced:
+                self._close_superstep_span(tracer, step_span, step, instruments, mailbox)
+                before = mailbox.sent_count
             inbox = mailbox.deliver(combiner)
+            if traced and combiner is not None:
+                instruments.observe_combiner(
+                    before, sum(len(messages) for messages in inbox.values())
+                )
             if self.shuffle_seed is not None:
                 shuffle_inbox(inbox, superstep, self.shuffle_seed)
             ctx.globals = ctx._pending_globals
@@ -217,4 +267,15 @@ class RecoverableBSPEngine(BSPEngine):
         metrics.wall_time_s = time.perf_counter() - start
         self.last_metrics = metrics
         self.last_globals = ctx.globals
-        return program.finish(states, metrics)
+        result = program.finish(states, metrics)
+        if traced:
+            run_span.set_attrs(
+                {
+                    "supersteps": metrics.num_supersteps,
+                    "total_messages": metrics.total_messages,
+                    "total_work": metrics.total_work,
+                }
+            )
+            tracer.end_span(run_span)
+            self._finish_trace(trace, tracer)
+        return result

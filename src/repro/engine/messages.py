@@ -80,6 +80,11 @@ class Mailbox:
     def is_empty(self) -> bool:
         return not self._outbox
 
+    def pending_counts(self) -> List[int]:
+        """Per-destination pending message counts (the batch sizes a
+        traced run feeds into the message-size histogram)."""
+        return [len(bucket) for bucket in self._outbox.values()]
+
     def deliver(self, combiner: Optional[Combiner] = None) -> Dict[VertexId, List[Any]]:
         """Return the inbox mapping for the next superstep and reset the
         mailbox.  When ``combiner`` is given it is applied per destination."""

@@ -97,14 +97,21 @@ class RunMetrics:
         return sum(ratios) / len(ratios) if ratios else 1.0
 
     def summary(self) -> Dict[str, float]:
-        """A flat dict convenient for tabular reporting."""
+        """A flat dict convenient for tabular reporting.
+
+        Program counters are namespaced as ``counter:<name>`` so that a
+        counter named like one of the fixed fields (``total_work``,
+        ``wall_time_s``, ...) can never clobber it.
+        """
         out: Dict[str, float] = {
             "workers": self.num_workers,
             "supersteps": self.num_supersteps,
             "total_work": self.total_work,
             "total_messages": self.total_messages,
             "simulated_time": self.simulated_parallel_time(),
+            "worker_imbalance": round(self.worker_imbalance(), 6),
             "wall_time_s": round(self.wall_time_s, 6),
         }
-        out.update(self.counters)
+        for name, value in self.counters.items():
+            out[f"counter:{name}"] = value
         return out

@@ -28,6 +28,7 @@ from repro.engine.messages import Mailbox, shuffle_inbox
 from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.errors import EngineError
 from repro.graph.hetgraph import VertexId
+from repro.obs.spans import TraceSpec, make_tracer
 
 
 class ThreadedBSPEngine(BSPEngine):
@@ -41,13 +42,17 @@ class ThreadedBSPEngine(BSPEngine):
         program: VertexProgram,
         verify: bool = False,
         sanitize: bool = False,
+        trace: TraceSpec = None,
     ) -> Any:
+        tracer = make_tracer(trace)
         if sanitize:
             # instrumentation needs deterministic single-threaded hooks:
             # delegate to the serial sanitizer engine (the threaded path
             # itself is regression-tested by the cross-engine determinism
             # property test)
-            return self._run_sanitized(program, verify)
+            result = self._run_sanitized(program, verify, tracer=tracer)
+            self._finish_trace(trace, tracer)
+            return result
         if verify:
             from repro.lint.contracts import verify_vertex_program
 
@@ -79,15 +84,32 @@ class ThreadedBSPEngine(BSPEngine):
             mailboxes.append(mailbox)
             counter_dicts.append(worker_metrics.counters)
 
+        traced = tracer.enabled
+        run_span = instruments = None
+        if traced:
+            run_span, instruments = self._start_run_trace(tracer, program, planned)
+
+        # per-worker (start, end, vertices) wall times, measured inside the
+        # worker threads and recorded as spans at the barrier
+        worker_times: List[Any] = [None] * self.num_workers
+
         def run_worker(worker: int, superstep: int, work: List[int]) -> None:
             ctx = contexts[worker]
             ctx.superstep = superstep
             ctx._work = work
-            for vid in self._partitions[worker]:
+            worker_start = time.perf_counter() if traced else 0.0
+            owned = self._partitions[worker]
+            for vid in owned:
                 work[worker] += 1
                 ctx.vid = vid
                 ctx.messages = inbox.get(vid, _NO_MESSAGES)
                 program.compute(ctx)
+            if traced:
+                worker_times[worker] = (
+                    worker_start,
+                    time.perf_counter(),
+                    len(owned),
+                )
 
         start = time.perf_counter()
         superstep = 0
@@ -105,6 +127,11 @@ class ThreadedBSPEngine(BSPEngine):
                             f"{self.max_supersteps} supersteps"
                         )
                 work = [0] * self.num_workers
+                step_span = (
+                    self._start_superstep_span(tracer, program, superstep)
+                    if traced
+                    else None
+                )
                 futures = [
                     pool.submit(run_worker, worker, superstep, work)
                     for worker in range(self.num_workers)
@@ -114,6 +141,7 @@ class ThreadedBSPEngine(BSPEngine):
 
                 # barrier: merge outboxes and counters single-threaded
                 messages_sent = 0
+                pending_counts: List[int] = []
                 merged: Dict[VertexId, List[Any]] = {}
                 for mailbox in mailboxes:
                     messages_sent += mailbox.sent_count
@@ -123,10 +151,33 @@ class ThreadedBSPEngine(BSPEngine):
                             merged[vid] = payloads
                         else:
                             bucket.extend(payloads)
+                if traced:
+                    for worker, times in enumerate(worker_times):
+                        if times is None:
+                            continue
+                        worker_start, worker_end, vertices = times
+                        tracer.record_span(
+                            "worker",
+                            worker_start,
+                            worker_end,
+                            {
+                                "worker": worker,
+                                "superstep": superstep,
+                                "vertices": vertices,
+                                "work": work[worker],
+                            },
+                        )
+                        worker_times[worker] = None
+                    pending_counts = [len(m) for m in merged.values()]
                 if combiner is not None:
                     merged = {
                         vid: combiner(vid, msgs) for vid, msgs in merged.items()
                     }
+                    if traced:
+                        instruments.observe_combiner(
+                            messages_sent,
+                            sum(len(messages) for messages in merged.values()),
+                        )
                 if self.shuffle_seed is not None:
                     shuffle_inbox(merged, superstep, self.shuffle_seed)
                 inbox = merged
@@ -141,13 +192,22 @@ class ThreadedBSPEngine(BSPEngine):
                     worker_ctx._pending_globals = {}
                 for worker_ctx in contexts:
                     worker_ctx.globals = reduced
-                metrics.supersteps.append(
-                    SuperstepMetrics(
-                        superstep=superstep,
-                        work_per_worker=work,
-                        messages_sent=messages_sent,
-                    )
+                step = SuperstepMetrics(
+                    superstep=superstep,
+                    work_per_worker=work,
+                    messages_sent=messages_sent,
                 )
+                metrics.supersteps.append(step)
+                if traced:
+                    step_span.set_attrs(
+                        {
+                            "makespan": step.makespan,
+                            "total_work": step.total_work,
+                            "messages_sent": step.messages_sent,
+                        }
+                    )
+                    tracer.end_span(step_span)
+                    instruments.observe_delivery(pending_counts)
                 superstep += 1
 
         for counters in counter_dicts:
@@ -157,4 +217,15 @@ class ThreadedBSPEngine(BSPEngine):
         metrics.wall_time_s = time.perf_counter() - start
         self.last_metrics = metrics
         self.last_globals = contexts[0].globals if contexts else {}
-        return program.finish(states, metrics)
+        result = program.finish(states, metrics)
+        if traced:
+            run_span.set_attrs(
+                {
+                    "supersteps": metrics.num_supersteps,
+                    "total_messages": metrics.total_messages,
+                    "total_work": metrics.total_work,
+                }
+            )
+            tracer.end_span(run_span)
+            self._finish_trace(trace, tracer)
+        return result

@@ -58,6 +58,7 @@ from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.errors import EngineError
 from repro.graph.hetgraph import VertexId
 from repro.lint.findings import Finding, Severity
+from repro.obs.spans import NULL_TRACER, TraceSpec, make_tracer
 
 #: value types that cannot be mutated and need no identity tracking
 _PRIMITIVES = (int, float, complex, bool, str, bytes, type(None))
@@ -291,6 +292,7 @@ class SanitizerBSPEngine(BSPEngine):
         self.strict = strict
         self.last_findings: List[Finding] = []
         self._program_location: Tuple[str, int] = ("<runtime>", 1)
+        self._tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     def _record(self, rule: str, message: str, hint: str = "") -> None:
@@ -306,6 +308,10 @@ class SanitizerBSPEngine(BSPEngine):
                 hint=hint,
             )
         )
+        if self._tracer.enabled:
+            self._tracer.event(
+                "sanitizer-violation", {"rule": rule, "message": message}
+            )
 
     def _locate(self, program: VertexProgram) -> Tuple[str, int]:
         cls = type(program)
@@ -325,16 +331,20 @@ class SanitizerBSPEngine(BSPEngine):
         program: VertexProgram,
         verify: bool = False,
         sanitize: bool = True,
+        trace: TraceSpec = None,
     ) -> Any:
         """Execute ``program`` with full instrumentation (the ``sanitize``
         flag is accepted for signature compatibility and ignored: this
-        engine always sanitizes)."""
+        engine always sanitizes).  Traced runs additionally record every
+        contract violation as a ``sanitizer-violation`` span event."""
+        tracer = make_tracer(trace)
         if verify:
             from repro.lint.contracts import verify_vertex_program
 
             verify_vertex_program(program)
         self.last_findings = []
         self._program_location = self._locate(program)
+        self._tracer = tracer
 
         metrics = RunMetrics(num_workers=self.num_workers)
         states: Dict[VertexId, Any] = {}
@@ -354,6 +364,11 @@ class SanitizerBSPEngine(BSPEngine):
                 f"program plans {planned} supersteps, exceeding the engine "
                 f"bound of {self.max_supersteps}"
             )
+        traced = tracer.enabled
+        run_span = instruments = None
+        if traced:
+            run_span, instruments = self._start_run_trace(tracer, program, planned)
+            run_span.set_attr("sanitizer", True)
 
         start = time.perf_counter()
         superstep = 0
@@ -373,8 +388,14 @@ class SanitizerBSPEngine(BSPEngine):
             ctx.superstep = superstep
             ctx._work = work
             monitor.superstep = superstep
+            step_span = (
+                self._start_superstep_span(tracer, program, superstep)
+                if traced
+                else None
+            )
             for worker, owned in enumerate(self._partitions):
                 ctx._worker = worker
+                worker_start = time.perf_counter() if traced else 0.0
                 for vid in owned:
                     work[worker] += 1
                     if self.check_state:
@@ -385,18 +406,36 @@ class SanitizerBSPEngine(BSPEngine):
                     program.compute(ctx)
                     if self.check_state and vid in states:
                         state_fps[vid] = fingerprint(states[vid])
+                if traced:
+                    tracer.record_span(
+                        "worker",
+                        worker_start,
+                        time.perf_counter(),
+                        {
+                            "worker": worker,
+                            "superstep": superstep,
+                            "vertices": len(owned),
+                            "work": work[worker],
+                        },
+                    )
             if self.check_payloads:
                 monitor.check_barrier()
             if self.check_state:
                 self._check_barrier_states(states, state_fps, superstep)
-            metrics.supersteps.append(
-                SuperstepMetrics(
-                    superstep=superstep,
-                    work_per_worker=work,
-                    messages_sent=mailbox.sent_count,
-                )
+            step = SuperstepMetrics(
+                superstep=superstep,
+                work_per_worker=work,
+                messages_sent=mailbox.sent_count,
             )
+            metrics.supersteps.append(step)
+            if traced:
+                self._close_superstep_span(tracer, step_span, step, instruments, mailbox)
+                before = mailbox.sent_count
             inbox = mailbox.deliver(combiner)
+            if traced and combiner is not None:
+                instruments.observe_combiner(
+                    before, sum(len(messages) for messages in inbox.values())
+                )
             if self.shuffle_seed is not None:
                 shuffle_inbox(inbox, superstep, self.shuffle_seed)
             ctx.globals = ctx._pending_globals
@@ -411,12 +450,25 @@ class SanitizerBSPEngine(BSPEngine):
         if self.order_check_seeds:
             self._check_order_sensitivity(program, result)
 
+        if traced:
+            run_span.set_attrs(
+                {
+                    "supersteps": metrics.num_supersteps,
+                    "total_messages": metrics.total_messages,
+                    "total_work": metrics.total_work,
+                    "findings": len(self.last_findings),
+                }
+            )
+            tracer.end_span(run_span)
+        self._tracer = NULL_TRACER
+
         if self.strict and self.last_findings:
             raise SanitizerError(
                 f"sanitized run reported {len(self.last_findings)} "
                 f"violation(s); first: {self.last_findings[0].message}",
                 findings=self.last_findings,
             )
+        self._finish_trace(trace, tracer)
         return result
 
     # ------------------------------------------------------------------

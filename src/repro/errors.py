@@ -40,6 +40,11 @@ class DatasetError(ReproError):
     """A dataset generator received invalid parameters."""
 
 
+class ObservabilityError(ReproError):
+    """A tracing/metrics request is invalid (unknown trace spec, malformed
+    trace file, unbalanced span nesting)."""
+
+
 class ResultError(ReproError, ValueError):
     """An extraction result cannot be exported as requested.
 

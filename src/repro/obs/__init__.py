@@ -1,0 +1,85 @@
+"""First-class observability for the extraction pipeline (``repro.obs``).
+
+Four pieces, layered bottom-up:
+
+* :mod:`repro.obs.instruments` — process-wide counters, gauges and
+  histograms (message sizes, mailbox occupancy, combiner hit-rate).
+* :mod:`repro.obs.spans` — the hierarchical span tree (extraction →
+  plan selection → PCP level → superstep → per-worker slice) and the
+  :class:`Tracer` / :data:`NULL_TRACER` pair that records it.
+* :mod:`repro.obs.exporters` — JSONL event log, Chrome trace-event JSON
+  (Perfetto-loadable) and Prometheus text exposition.
+* :mod:`repro.obs.drift` — the cost-model drift tracker joining the
+  planner's per-node estimates (Eq. 4/7, summed by Eq. 3) with the
+  engine's observed intermediate-path counts.
+
+Entry points: ``GraphExtractor(trace=...)``, every engine's
+``run(trace=...)``, and ``python -m repro.cli extract --trace-out`` /
+``report``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.drift import (
+    DriftRecord,
+    DriftReport,
+    attach_drift,
+    compute_drift,
+    drift_ratio,
+    node_counter_name,
+)
+from repro.obs.exporters import (
+    chrome_trace,
+    export_trace,
+    jsonl_text,
+    prometheus_text,
+    render_trace,
+)
+from repro.obs.instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    InstrumentRegistry,
+    default_registry,
+)
+from repro.obs.report import load_trace, render_report, superstep_table
+from repro.obs.spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+    TracerBase,
+    make_tracer,
+    owns_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstrumentRegistry",
+    "default_registry",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "TracerBase",
+    "NullTracer",
+    "NULL_TRACER",
+    "make_tracer",
+    "owns_tracer",
+    "DriftRecord",
+    "DriftReport",
+    "drift_ratio",
+    "compute_drift",
+    "attach_drift",
+    "node_counter_name",
+    "chrome_trace",
+    "jsonl_text",
+    "prometheus_text",
+    "render_trace",
+    "export_trace",
+    "load_trace",
+    "render_report",
+    "superstep_table",
+]

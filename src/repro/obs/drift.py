@@ -1,0 +1,185 @@
+"""Cost-model drift: the estimator's predictions vs the run's reality.
+
+The planner chooses plans by the estimated number of intermediate paths
+each PCP node will produce (Eq. 4/7; summed per plan by Eq. 3).  The
+engine *measures* the same quantity per node (the
+``node_paths:<node_id>`` counters the evaluator maintains).  This module
+joins the two into per-node and per-plan **drift ratios**:
+
+.. code-block:: text
+
+    drift = observed_paths / estimated_paths
+
+``drift > 1``: the model underestimated (the paper's hub effect — uniform
+degree assumptions miss degree correlation); ``drift < 1``: overestimated.
+A plan chosen on badly drifting estimates may not be the plan that was
+actually cheapest — the drift report is how that stops being invisible.
+
+Estimates are attached to plans by the planner
+(``PCP.node_estimates``, filled by
+:meth:`repro.core.cost.CostModel.annotate_plan`); observations come from
+:class:`~repro.engine.metrics.RunMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: counter-name prefix the evaluator uses for per-node observed paths
+NODE_COUNTER_PREFIX = "node_paths:"
+
+
+def node_counter_name(node_id: int) -> str:
+    """The metrics counter holding a plan node's observed path count."""
+    return f"{NODE_COUNTER_PREFIX}{node_id}"
+
+
+def drift_ratio(estimated: float, observed: float) -> float:
+    """``observed / estimated`` with a defined value on zero estimates:
+    1.0 when both are zero (a correct prediction of nothing), ``inf``
+    when paths appeared that the model priced at zero."""
+    if estimated > 0:
+        return observed / estimated
+    return 1.0 if observed == 0 else float("inf")
+
+
+@dataclass
+class DriftRecord:
+    """One PCP node's prediction vs observation."""
+
+    node_id: int
+    segment: tuple  # (i, k, j)
+    superstep: int
+    estimated_paths: float
+    observed_paths: int
+
+    @property
+    def drift(self) -> float:
+        return drift_ratio(self.estimated_paths, self.observed_paths)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "segment": list(self.segment),
+            "superstep": self.superstep,
+            "estimated_paths": self.estimated_paths,
+            "observed_paths": self.observed_paths,
+            "drift": self.drift,
+        }
+
+
+@dataclass
+class DriftReport:
+    """All drift records of one extraction, plus plan-level aggregates."""
+
+    strategy: str
+    records: List[DriftRecord] = field(default_factory=list)
+
+    @property
+    def total_estimated(self) -> float:
+        """Eq. 3's ``S_pcp`` as the model predicted it."""
+        return sum(record.estimated_paths for record in self.records)
+
+    @property
+    def total_observed(self) -> int:
+        """Eq. 3's ``S_pcp`` as the engine measured it."""
+        return sum(record.observed_paths for record in self.records)
+
+    @property
+    def plan_drift(self) -> float:
+        return drift_ratio(self.total_estimated, self.total_observed)
+
+    def worst(self) -> Optional[DriftRecord]:
+        """The node whose drift is furthest from 1.0 (``None`` if empty)."""
+        if not self.records:
+            return None
+
+        def badness(record: DriftRecord) -> float:
+            drift = record.drift
+            if drift == float("inf"):
+                return float("inf")
+            if drift <= 0:
+                return float("inf")
+            return max(drift, 1.0 / drift)
+
+        return max(self.records, key=badness)
+
+    def by_superstep(self) -> Dict[int, Dict[str, float]]:
+        """Per-superstep ``{"estimated": ..., "observed": ..., "drift":
+        ...}`` aggregates (plan levels map 1:1 onto supersteps)."""
+        out: Dict[int, Dict[str, float]] = {}
+        for record in self.records:
+            bucket = out.setdefault(
+                record.superstep, {"estimated": 0.0, "observed": 0.0}
+            )
+            bucket["estimated"] += record.estimated_paths
+            bucket["observed"] += record.observed_paths
+        for bucket in out.values():
+            bucket["drift"] = drift_ratio(bucket["estimated"], bucket["observed"])
+        return out
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [record.as_dict() for record in self.records]
+
+
+def compute_drift(plan: Any, metrics: Any) -> Optional[DriftReport]:
+    """Join ``plan.node_estimates`` with the run's ``node_paths:<id>``
+    counters.
+
+    ``plan`` is a :class:`~repro.core.plan.PCP` (typed loosely so this
+    module stays import-free of the core layer), ``metrics`` a
+    :class:`~repro.engine.metrics.RunMetrics`.  Returns ``None`` when the
+    plan is absent (length-1 patterns) or carries no estimates (planner
+    ran without graph statistics).
+    """
+    if plan is None:
+        return None
+    estimates: Dict[int, float] = getattr(plan, "node_estimates", None) or {}
+    if not estimates:
+        return None
+    superstep_of: Dict[int, int] = {}
+    for step, nodes in enumerate(plan.evaluation_schedule()):
+        for node in nodes:
+            superstep_of[node.node_id] = step
+    counters = metrics.counters
+    report = DriftReport(strategy=getattr(plan, "strategy", "custom"))
+    for node in plan.nodes():
+        estimate = estimates.get(node.node_id)
+        if estimate is None:
+            continue
+        observed = counters.get(node_counter_name(node.node_id), 0)
+        report.records.append(
+            DriftRecord(
+                node_id=node.node_id,
+                segment=(node.i, node.k, node.j),
+                superstep=superstep_of.get(node.node_id, 0),
+                estimated_paths=float(estimate),
+                observed_paths=int(observed),
+            )
+        )
+    return report
+
+
+def attach_drift(tracer: Any, report: Optional[DriftReport]) -> None:
+    """Record every drift row on ``tracer`` (no-op for null tracers or
+    empty reports)."""
+    if report is None or not getattr(tracer, "enabled", False):
+        return
+    registry = getattr(tracer, "registry", None)
+    for record in report.records:
+        tracer.record("drift", **record.as_dict())
+        if registry is not None:
+            # cumulative across runs on a caller-owned tracer, like any
+            # Prometheus counter; per-run values live in the drift records
+            registry.counter(
+                node_counter_name(record.node_id),
+                help="observed intermediate paths for this PCP node",
+            ).inc(record.observed_paths)
+    tracer.record(
+        "plan_drift",
+        strategy=report.strategy,
+        estimated_paths=report.total_estimated,
+        observed_paths=report.total_observed,
+        drift=report.plan_drift,
+    )

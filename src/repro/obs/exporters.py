@@ -1,0 +1,225 @@
+"""Trace and metrics exporters.
+
+Three formats, one tracer:
+
+* **JSONL** — one JSON object per line, ``kind`` ∈ ``{"trace", "span",
+  "event", "record", "instrument"}``.  The machine-readable event log;
+  every span/drift field survives round-tripping.
+* **Chrome trace-event JSON** — the ``{"traceEvents": [...]}`` format
+  understood by Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``.  Spans become complete (``"ph": "X"``) events
+  with microsecond timestamps; span events and drift records become
+  instant (``"ph": "i"``) events; attributes ride in ``args``.
+* **Prometheus text exposition** — the tracer's instrument registry
+  rendered as ``# TYPE`` blocks (counters, gauges, histograms with
+  cumulative ``_bucket`` lines).
+
+All exporters are pure functions over a :class:`~repro.obs.spans.Tracer`;
+:func:`export_trace` dispatches on a format name.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.instruments import Counter, Gauge, Histogram, InstrumentRegistry
+from repro.obs.spans import Tracer
+
+#: process id used in chrome trace events (one logical process per run)
+CHROME_PID = 1
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def trace_lines(tracer: Tracer) -> List[Dict[str, Any]]:
+    """The JSONL export as a list of dicts (header, spans, records,
+    instruments)."""
+    lines: List[Dict[str, Any]] = [
+        {
+            "kind": "trace",
+            "format": "repro.obs/v1",
+            "spans": len(tracer.spans),
+            "records": len(tracer.records),
+        }
+    ]
+    for span in tracer.spans:
+        entry = span.as_dict()
+        entry["kind"] = "span"
+        lines.append(entry)
+    lines.extend(tracer.records)
+    for instrument in tracer.registry.as_dicts():
+        entry = dict(instrument)
+        # the instrument's own kind (counter/gauge/histogram) must not
+        # clobber the line kind
+        entry["instrument_kind"] = entry.pop("kind")
+        entry["kind"] = "instrument"
+        lines.append(entry)
+    return lines
+
+
+def jsonl_text(tracer: Tracer) -> str:
+    return "\n".join(
+        json.dumps(line, default=_json_fallback) for line in trace_lines(tracer)
+    )
+
+
+def _json_fallback(value: Any) -> Any:
+    if isinstance(value, float) and (math.isinf(value) or math.isnan(value)):
+        return repr(value)  # pragma: no cover - inf handled before dumping
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def _microseconds(tracer: Tracer, wall: float) -> float:
+    return round((wall - tracer.start_time) * 1e6, 3)
+
+
+def _finite(value: Any) -> Any:
+    """JSON has no inf/nan; chrome args must stay loadable by json.loads."""
+    if isinstance(value, float) and (math.isinf(value) or math.isnan(value)):
+        return repr(value)
+    return value
+
+
+def _chrome_args(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: _finite(value) for key, value in attrs.items()}
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The chrome trace-event document for ``tracer``."""
+    events: List[Dict[str, Any]] = []
+    for span in tracer.spans:
+        tid = int(span.attrs.get("worker", 0)) + 1 if "worker" in span.attrs else 0
+        args = _chrome_args(span.attrs)
+        if span.parent_id is not None:
+            args["parent_span"] = span.parent_id
+        args["span_id"] = span.span_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": _microseconds(tracer, span.start_wall),
+                "dur": round(span.duration_wall * 1e6, 3),
+                "pid": CHROME_PID,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for event in span.events:
+            events.append(
+                {
+                    "name": event.name,
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": _microseconds(tracer, event.ts),
+                    "pid": CHROME_PID,
+                    "tid": tid,
+                    "args": _chrome_args(event.attrs),
+                }
+            )
+    for record in tracer.records:
+        attrs = {key: value for key, value in record.items() if key != "kind"}
+        events.append(
+            {
+                "name": str(record.get("kind", "record")),
+                "cat": "repro",
+                "ph": "i",
+                "s": "t",
+                "ts": _microseconds(tracer, tracer.start_time),
+                "pid": CHROME_PID,
+                "tid": 0,
+                "args": _chrome_args(attrs),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_text(tracer: Tracer) -> str:
+    return json.dumps(chrome_trace(tracer), indent=1)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: InstrumentRegistry, prefix: str = "repro_") -> str:
+    """The registry in Prometheus text exposition format."""
+    out: List[str] = []
+    for instrument in registry.collect():
+        name = prefix + _prom_name(instrument.name)
+        if instrument.help:
+            out.append(f"# HELP {name} {instrument.help}")
+        out.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            out.append(f"{name} {_prom_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            for bound, cumulative in instrument.cumulative():
+                out.append(
+                    f'{name}_bucket{{le="{_prom_value(float(bound))}"}} '
+                    f"{cumulative}"
+                )
+            out.append(f"{name}_sum {_prom_value(instrument.sum)}")
+            out.append(f"{name}_count {instrument.count}")
+        else:  # pragma: no cover - registry only produces the three kinds
+            raise ObservabilityError(
+                f"cannot render instrument kind {type(instrument).__name__!r}"
+            )
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+_RENDERERS = {
+    "jsonl": jsonl_text,
+    "chrome": chrome_text,
+    "prometheus": lambda tracer: prometheus_text(tracer.registry),
+}
+
+
+def render_trace(tracer: Tracer, fmt: str) -> str:
+    """Render ``tracer`` in the named format (``jsonl`` / ``chrome`` /
+    ``prometheus``)."""
+    renderer = _RENDERERS.get(fmt)
+    if renderer is None:
+        raise ObservabilityError(
+            f"unknown trace format {fmt!r}; use one of {sorted(_RENDERERS)}"
+        )
+    return renderer(tracer)
+
+
+def export_trace(tracer: Tracer, path: str, fmt: Optional[str] = None) -> str:
+    """Write ``tracer`` to ``path`` (format inferred from the extension
+    when ``fmt`` is ``None``) and return the path."""
+    if fmt is None:
+        from repro.obs.spans import _format_for_path
+
+        fmt = _format_for_path(path)
+    text = render_trace(tracer, fmt)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    return path

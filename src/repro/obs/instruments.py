@@ -1,0 +1,202 @@
+"""Process-wide metric instruments (counters, gauges, histograms).
+
+The registry mirrors the shape of a Prometheus client: instruments are
+created once, looked up by name, and updated from anywhere in the
+pipeline.  The BSP engines record message-size and mailbox-occupancy
+distributions and the combiner hit-rate here whenever a run is traced;
+:func:`repro.obs.exporters.prometheus_text` renders a registry in the
+Prometheus text exposition format.
+
+Instruments are deliberately dependency-free and synchronous: updates
+happen at superstep barriers (single-threaded in every engine), so only
+registry *creation* is locked.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+#: default histogram bucket upper bounds (powers of two, then +inf)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (e.g. the latest hit-rate)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """A cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an implicit ``+inf`` bucket is always
+    appended, so every observation lands somewhere.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be sorted, got {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.buckets: Tuple[float, ...] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # + the inf bucket
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at ``+inf``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "sum": self.sum,
+            "count": self.count,
+            "buckets": [
+                {"le": bound, "cumulative": cum}
+                for bound, cum in self.cumulative()
+            ],
+        }
+
+
+class InstrumentRegistry:
+    """Named instruments, created on first use and shared thereafter.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking for
+    an existing name returns the existing instrument, asking for it with
+    a *different* kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ObservabilityError(
+                        f"instrument {name!r} already registered as "
+                        f"{existing.kind}, requested {kind}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help, buckets), "histogram"
+        )
+
+    def get(self, name: str):
+        """The named instrument, or ``None``."""
+        return self._instruments.get(name)
+
+    def collect(self) -> Iterable[object]:
+        """All instruments in registration order."""
+        return list(self._instruments.values())
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [instrument.as_dict() for instrument in self.collect()]
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and per-run registries)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+_DEFAULT_REGISTRY = InstrumentRegistry()
+
+
+def default_registry() -> InstrumentRegistry:
+    """The process-wide registry tracers use unless given their own."""
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,193 @@
+"""Post-hoc trace reports: load an exported trace, render run tables.
+
+``python -m repro.cli report <trace>`` uses this module to turn a JSONL
+or chrome trace file back into the per-superstep table the run would
+have printed live: makespan, worker imbalance, messages, and — when the
+run recorded cost-model drift — the estimated vs observed intermediate
+paths per superstep.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ObservabilityError
+
+
+class TraceData:
+    """The report-relevant slice of a loaded trace file."""
+
+    def __init__(self) -> None:
+        self.supersteps: List[Dict[str, Any]] = []
+        self.drift: List[Dict[str, Any]] = []
+        self.plan_drift: Optional[Dict[str, Any]] = None
+        self.extraction: Optional[Dict[str, Any]] = None
+        self.span_names: List[str] = []
+
+    def sorted_supersteps(self) -> List[Dict[str, Any]]:
+        return sorted(self.supersteps, key=lambda attrs: attrs.get("superstep", 0))
+
+    def drift_by_superstep(self) -> Dict[int, Dict[str, float]]:
+        out: Dict[int, Dict[str, float]] = {}
+        for record in self.drift:
+            step = int(record.get("superstep", 0))
+            bucket = out.setdefault(step, {"estimated": 0.0, "observed": 0.0})
+            bucket["estimated"] += float(record.get("estimated_paths", 0.0))
+            bucket["observed"] += float(record.get("observed_paths", 0))
+        for bucket in out.values():
+            estimated, observed = bucket["estimated"], bucket["observed"]
+            if estimated > 0:
+                bucket["drift"] = observed / estimated
+            else:
+                bucket["drift"] = 1.0 if observed == 0 else float("inf")
+        return out
+
+
+def _ingest(data: TraceData, kind: str, name: str, attrs: Dict[str, Any]) -> None:
+    if kind == "span":
+        data.span_names.append(name)
+        if name == "superstep":
+            data.supersteps.append(attrs)
+        elif name == "extraction" and data.extraction is None:
+            data.extraction = attrs
+    elif kind == "drift":
+        data.drift.append(attrs)
+    elif kind == "plan_drift" and data.plan_drift is None:
+        data.plan_drift = attrs
+
+
+def _load_jsonl(lines: List[str], path: str) -> TraceData:
+    data = TraceData()
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{path}:{number}: not valid JSON ({exc})"
+            ) from None
+        kind = entry.get("kind")
+        if kind == "span":
+            _ingest(data, "span", entry.get("name", ""), entry.get("attrs", {}))
+        elif kind in ("drift", "plan_drift"):
+            _ingest(data, kind, kind, entry)
+    return data
+
+
+def _load_chrome(document: Any, path: str) -> TraceData:
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+    elif isinstance(document, list):  # the bare-array chrome variant
+        events = document
+    else:
+        events = None
+    if not isinstance(events, list):
+        raise ObservabilityError(
+            f"{path}: not a chrome trace (no traceEvents array)"
+        )
+    data = TraceData()
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        name = event.get("name", "")
+        args = event.get("args", {})
+        phase = event.get("ph")
+        if phase == "X":
+            _ingest(data, "span", name, args)
+        elif phase == "i" and name in ("drift", "plan_drift"):
+            _ingest(data, name, name, args)
+    return data
+
+
+def load_trace(path: str) -> TraceData:
+    """Load a JSONL or chrome trace file (format sniffed from content)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ObservabilityError(f"{path}: empty trace file")
+    first_line = stripped.splitlines()[0].strip()
+    try:
+        first = json.loads(first_line)
+    except json.JSONDecodeError:
+        first = None
+    if isinstance(first, dict) and "kind" in first:
+        return _load_jsonl(stripped.splitlines(), path)
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(
+            f"{path}: neither JSONL nor chrome trace JSON ({exc})"
+        ) from None
+    return _load_chrome(document, path)
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "inf"
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:,.0f}"
+    return str(value)
+
+
+def superstep_table(data: TraceData) -> str:
+    """The per-superstep report table (makespan, imbalance, messages,
+    drift) rendered as aligned text."""
+    from repro.workloads.harness import Row, format_table
+
+    drift = data.drift_by_superstep()
+    rows: List[Row] = []
+    for attrs in data.sorted_supersteps():
+        step = int(attrs.get("superstep", 0))
+        makespan = attrs.get("makespan", 0)
+        total_work = attrs.get("total_work", 0)
+        workers = max(int(attrs.get("workers", 1)), 1)
+        imbalance = (
+            makespan / (total_work / workers) if total_work else 1.0
+        )
+        values: Dict[str, Any] = {
+            "makespan": makespan,
+            "imbalance": round(imbalance, 3),
+            "messages": attrs.get("messages_sent", 0),
+        }
+        step_drift = drift.get(step)
+        if step_drift is not None:
+            values["est_paths"] = _fmt(step_drift["estimated"])
+            values["obs_paths"] = _fmt(step_drift["observed"])
+            values["drift"] = _fmt(step_drift["drift"])
+        else:
+            values["est_paths"] = "-"
+            values["obs_paths"] = "-"
+            values["drift"] = "-"
+        rows.append(Row(f"superstep {step}", values))
+    if not rows:
+        raise ObservabilityError(
+            "trace contains no superstep spans; was it produced by a "
+            "traced run (extract --trace-out / GraphExtractor(trace=...))?"
+        )
+    columns = ["makespan", "imbalance", "messages", "est_paths", "obs_paths", "drift"]
+    title = "per-superstep run report"
+    if data.extraction is not None and data.extraction.get("pattern"):
+        title += f" — {data.extraction['pattern']}"
+    return format_table(rows, columns, title=title, label_header="phase")
+
+
+def render_report(path: str) -> str:
+    """Everything ``repro.cli report`` prints for one trace file."""
+    data = load_trace(path)
+    parts = [superstep_table(data)]
+    if data.plan_drift is not None:
+        plan = data.plan_drift
+        parts.append(
+            "plan drift [{strategy}]: estimated {est} intermediate paths, "
+            "observed {obs} — drift {drift}".format(
+                strategy=plan.get("strategy", "?"),
+                est=_fmt(float(plan.get("estimated_paths", 0.0))),
+                obs=_fmt(float(plan.get("observed_paths", 0))),
+                drift=_fmt(float(plan.get("drift", 1.0))),
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,438 @@
+"""Hierarchical spans and the tracer that records them.
+
+A **span** is one timed phase of an extraction — ``extraction``,
+``plan-selection``, ``bsp-run``, ``superstep``, ``worker`` — with wall
+*and* CPU timings, free-form attributes, and point-in-time **events**
+(checkpoint saved, sanitizer violation, …).  Spans nest: the tracer keeps
+a stack, so whoever starts a span while another is open becomes its
+child, which is how the extractor, the planner and the engines — none of
+which know about each other's spans — produce one coherent tree.
+
+Tracing must cost (almost) nothing when off.  :data:`NULL_TRACER` is a
+shared no-op tracer whose ``enabled`` flag is ``False``; every
+instrumented call site either calls its no-op methods (constant cost,
+no allocation) or skips heavier recording behind ``if tracer.enabled``.
+
+``make_tracer`` turns the user-facing ``trace=`` argument into a tracer:
+
+======================  ====================================================
+``None`` / ``False``    :data:`NULL_TRACER` (tracing off)
+``True`` / ``"mem"``    in-memory tracer (inspect ``tracer.spans``)
+a tracer instance       used as-is (caller owns export)
+``"jsonl:PATH"``        record + export as a JSONL event log
+``"chrome:PATH"``       record + export as Chrome trace-event JSON
+``"prom:PATH"``         record + export instruments as Prometheus text
+a bare path             format inferred: ``.jsonl`` / ``.json`` / ``.prom``
+======================  ====================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.instruments import InstrumentRegistry, default_registry
+
+Attrs = Dict[str, Any]
+
+
+class SpanEvent:
+    """A point-in-time annotation attached to a span."""
+
+    __slots__ = ("name", "ts", "attrs")
+
+    def __init__(self, name: str, ts: float, attrs: Optional[Attrs] = None) -> None:
+        self.name = name
+        self.ts = ts
+        self.attrs: Attrs = dict(attrs) if attrs else {}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "ts": self.ts, "attrs": self.attrs}
+
+
+class Span:
+    """One timed phase.  Created by :meth:`Tracer.start_span`."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "start_wall",
+        "end_wall",
+        "start_cpu",
+        "end_cpu",
+        "attrs",
+        "events",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start_wall: float,
+        start_cpu: float,
+        attrs: Optional[Attrs] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_wall = start_wall
+        self.end_wall: Optional[float] = None
+        self.start_cpu = start_cpu
+        self.end_cpu: Optional[float] = None
+        self.attrs: Attrs = dict(attrs) if attrs else {}
+        self.events: List[SpanEvent] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def duration_wall(self) -> float:
+        end = self.end_wall if self.end_wall is not None else self.start_wall
+        return end - self.start_wall
+
+    @property
+    def duration_cpu(self) -> float:
+        end = self.end_cpu if self.end_cpu is not None else self.start_cpu
+        return end - self.start_cpu
+
+    def set_attr(self, name: str, value: Any) -> None:
+        self.attrs[name] = value
+
+    def set_attrs(self, attrs: Attrs) -> None:
+        self.attrs.update(attrs)
+
+    def add_event(self, name: str, attrs: Optional[Attrs] = None) -> SpanEvent:
+        event = SpanEvent(name, time.perf_counter(), attrs)
+        self.events.append(event)
+        return event
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_wall": self.start_wall,
+            "end_wall": self.end_wall,
+            "duration_wall": self.duration_wall,
+            "duration_cpu": self.duration_cpu,
+            "attrs": self.attrs,
+            "events": [event.as_dict() for event in self.events],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Span {self.name!r} id={self.span_id} "
+            f"parent={self.parent_id} dur={self.duration_wall:.6f}s>"
+        )
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "TracerBase", name: str, attrs: Optional[Attrs]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> "Span":
+        self._span = self._tracer.start_span(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.end_span(self._span)
+
+
+class TracerBase:
+    """Shared interface of :class:`Tracer` and :class:`NullTracer`."""
+
+    enabled = True
+
+    def span(self, name: str, attrs: Optional[Attrs] = None) -> _SpanContext:
+        """``with tracer.span("phase"):`` — start/end around a block."""
+        return _SpanContext(self, name, attrs)
+
+    # the concrete methods below are overridden by both subclasses
+    def start_span(self, name: str, attrs: Optional[Attrs] = None) -> Span:
+        raise NotImplementedError  # pragma: no cover
+
+    def end_span(self, span: Optional[Span]) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+
+class Tracer(TracerBase):
+    """Records a span tree, loose events, structured records and a view
+    onto an instrument registry.
+
+    Parameters
+    ----------
+    registry:
+        Instrument registry to record into; defaults to the process-wide
+        registry (:func:`repro.obs.instruments.default_registry`).
+    sink:
+        Optional ``(format, path)`` export target, normally set through
+        :func:`make_tracer` specs; :meth:`export` writes it.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[InstrumentRegistry] = None,
+        sink: Optional[Tuple[str, str]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.sink = sink
+        self.spans: List[Span] = []
+        #: structured non-span records (drift rows etc.), exported verbatim
+        self.records: List[Dict[str, Any]] = []
+        self.start_time = time.perf_counter()
+        self._stack: List[Span] = []
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None``."""
+        return self._stack[-1] if self._stack else None
+
+    def start_span(self, name: str, attrs: Optional[Attrs] = None) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=parent,
+            name=name,
+            start_wall=time.perf_counter(),
+            start_cpu=time.process_time(),
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Optional[Span]) -> None:
+        """Close ``span`` (and any dangling children still open under it)."""
+        if span is None:
+            return
+        if span not in self._stack:
+            raise ObservabilityError(
+                f"span {span.name!r} (id {span.span_id}) is not open"
+            )
+        while self._stack:
+            top = self._stack.pop()
+            top.end_wall = time.perf_counter()
+            top.end_cpu = time.process_time()
+            if top is span:
+                break
+
+    def record_span(
+        self,
+        name: str,
+        start_wall: float,
+        end_wall: float,
+        attrs: Optional[Attrs] = None,
+        parent: Optional[Span] = None,
+    ) -> Span:
+        """Append an already-timed span (threaded workers measure their
+        slice inside the thread and record it at the barrier)."""
+        parent_id = (
+            parent.span_id
+            if parent is not None
+            else (self._stack[-1].span_id if self._stack else None)
+        )
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            name=name,
+            start_wall=start_wall,
+            start_cpu=0.0,
+            attrs=attrs,
+        )
+        span.end_wall = end_wall
+        span.end_cpu = 0.0
+        self.spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # events and records
+    # ------------------------------------------------------------------
+    def event(self, name: str, attrs: Optional[Attrs] = None) -> SpanEvent:
+        """Attach an event to the innermost open span (or record it as a
+        detached root-level record when no span is open)."""
+        current = self.current()
+        if current is not None:
+            return current.add_event(name, attrs)
+        event = SpanEvent(name, time.perf_counter(), attrs)
+        self.records.append({"kind": "event", **event.as_dict()})
+        return event
+
+    def record(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Append a structured record (e.g. one drift row)."""
+        entry: Dict[str, Any] = {"kind": kind}
+        entry.update(fields)
+        self.records.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def export(self, path: Optional[str] = None, fmt: Optional[str] = None) -> str:
+        """Write the trace to ``path`` (defaults to the configured sink).
+
+        Returns the path written.  Raises
+        :class:`~repro.errors.ObservabilityError` when neither an explicit
+        target nor a sink is configured.
+        """
+        from repro.obs.exporters import export_trace
+
+        if path is None:
+            if self.sink is None:
+                raise ObservabilityError(
+                    "tracer has no export sink; pass path= (and fmt=) or "
+                    "create it from a 'jsonl:PATH' / 'chrome:PATH' spec"
+                )
+            fmt, path = self.sink
+        return export_trace(self, path, fmt)
+
+    def root_spans(self) -> List[Span]:
+        return [span for span in self.spans if span.parent_id is None]
+
+    def children(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with the given name, in start order."""
+        return [span for span in self.spans if span.name == name]
+
+
+class NullTracer(TracerBase):
+    """A no-op tracer: every method returns immediately.
+
+    All instrumented call sites hold a tracer reference, so "tracing off"
+    is this object rather than ``None``-checks everywhere.  The shared
+    null span/registry mean no allocation happens on the hot path.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.registry = _NULL_REGISTRY
+        self.sink: Optional[Tuple[str, str]] = None
+        self.spans: List[Span] = []
+        self.records: List[Dict[str, Any]] = []
+
+    def current(self) -> Optional[Span]:
+        return None
+
+    def start_span(self, name: str, attrs: Optional[Attrs] = None) -> Span:
+        return _NULL_SPAN
+
+    def end_span(self, span: Optional[Span]) -> None:
+        return None
+
+    def record_span(self, name, start_wall, end_wall, attrs=None, parent=None) -> Span:
+        return _NULL_SPAN
+
+    def event(self, name: str, attrs: Optional[Attrs] = None) -> SpanEvent:
+        return _NULL_EVENT
+
+    def record(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        return {}
+
+    def export(self, path: Optional[str] = None, fmt: Optional[str] = None) -> str:
+        raise ObservabilityError("cannot export from a disabled (null) tracer")
+
+    def root_spans(self) -> List[Span]:
+        return []
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+
+class _NullSpan(Span):
+    """The span handed out by :class:`NullTracer`: attribute writes and
+    events vanish."""
+
+    __slots__ = ()
+
+    def set_attr(self, name: str, value: Any) -> None:
+        return None
+
+    def set_attrs(self, attrs: Attrs) -> None:
+        return None
+
+    def add_event(self, name: str, attrs: Optional[Attrs] = None) -> SpanEvent:
+        return _NULL_EVENT
+
+
+_NULL_SPAN = _NullSpan(span_id=0, parent_id=None, name="null", start_wall=0.0, start_cpu=0.0)
+_NULL_EVENT = SpanEvent("null", 0.0)
+_NULL_REGISTRY = InstrumentRegistry()
+
+#: The shared tracing-off tracer.
+NULL_TRACER = NullTracer()
+
+#: extension → export format for bare-path trace specs
+_EXT_FORMATS = {
+    ".jsonl": "jsonl",
+    ".json": "chrome",
+    ".prom": "prometheus",
+    ".txt": "prometheus",
+}
+
+TraceSpec = Union[None, bool, str, TracerBase]
+
+
+def _format_for_path(path: str) -> str:
+    for ext, fmt in _EXT_FORMATS.items():
+        if path.endswith(ext):
+            return fmt
+    raise ObservabilityError(
+        f"cannot infer a trace format from {path!r}; use an explicit "
+        f"'jsonl:PATH', 'chrome:PATH' or 'prom:PATH' spec, or one of the "
+        f"extensions {sorted(_EXT_FORMATS)}"
+    )
+
+
+def make_tracer(
+    trace: TraceSpec, registry: Optional[InstrumentRegistry] = None
+) -> TracerBase:
+    """Resolve a user-facing ``trace=`` argument into a tracer (see the
+    module docstring for the accepted specs)."""
+    if trace is None or trace is False:
+        return NULL_TRACER
+    if isinstance(trace, TracerBase):
+        return trace
+    if trace is True:
+        return Tracer(registry=registry)
+    if isinstance(trace, str):
+        if trace == "mem":
+            return Tracer(registry=registry)
+        for prefix, fmt in (
+            ("jsonl:", "jsonl"),
+            ("chrome:", "chrome"),
+            ("prom:", "prometheus"),
+            ("prometheus:", "prometheus"),
+        ):
+            if trace.startswith(prefix):
+                path = trace[len(prefix):]
+                if not path:
+                    raise ObservabilityError(f"trace spec {trace!r} has no path")
+                return Tracer(registry=registry, sink=(fmt, path))
+        return Tracer(registry=registry, sink=(_format_for_path(trace), trace))
+    raise ObservabilityError(
+        f"unsupported trace spec {trace!r}; use None/True, a spec string "
+        f"or a Tracer instance"
+    )
+
+
+def owns_tracer(trace: TraceSpec) -> bool:
+    """Whether the component resolving ``trace`` owns the tracer's
+    lifecycle (and should export its sink when the run finishes).  A
+    tracer *instance* stays owned by whoever created it."""
+    return not isinstance(trace, TracerBase)

@@ -61,6 +61,7 @@ def run_method(
     aggregate: Optional[Aggregate] = None,
     num_workers: int = 10,
     strategy: str = "hybrid",
+    trace=None,
 ) -> ExtractionResult:
     """Run one extraction with the named method.
 
@@ -69,6 +70,11 @@ def run_method(
     * ``graphdb`` / ``matrix`` — the standalone baselines (§6.4);
     * ``rpq`` — the RPQ frontier baseline (§6.5); ``rpq-merged`` is its
       partial-merging ablation.
+
+    ``trace`` is an observability spec (see
+    :func:`repro.obs.spans.make_tracer`) honoured by the framework
+    methods; the standalone baselines ignore it (they do not run on the
+    BSP engine).
     """
     aggregate = aggregate or path_count()
     if method in ("pge", "pge-basic"):
@@ -77,6 +83,7 @@ def run_method(
             num_workers=num_workers,
             strategy=strategy,
             partial_aggregation=(method == "pge"),
+            trace=trace,
         )
         return extractor.extract(pattern, aggregate)
     if method == "graphdb":

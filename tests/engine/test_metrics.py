@@ -63,4 +63,49 @@ class TestRunMetrics:
         assert summary["workers"] == 2
         assert summary["supersteps"] == 2
         assert summary["total_work"] == 80
-        assert summary["intermediate_paths"] == 11
+        assert summary["counter:intermediate_paths"] == 11
+
+    def test_summary_counter_cannot_clobber_fixed_field(self):
+        # Regression: a program counter named like a structural field used
+        # to overwrite it in summary(); counters are now namespaced.
+        metrics = make_run()
+        metrics.add_counter("total_work", 999_999)
+        summary = metrics.summary()
+        assert summary["total_work"] == 80
+        assert summary["counter:total_work"] == 999_999
+
+    def test_summary_includes_imbalance(self):
+        summary = make_run().summary()
+        assert abs(summary["worker_imbalance"] - 1.25) < 1e-6
+
+
+class TestEdgeCases:
+    def test_worker_imbalance_all_zero_work(self):
+        metrics = RunMetrics(num_workers=4)
+        for step in range(3):
+            metrics.supersteps.append(
+                SuperstepMetrics(superstep=step, work_per_worker=[0, 0, 0, 0])
+            )
+        assert metrics.worker_imbalance() == 1.0
+
+    def test_worker_imbalance_no_supersteps(self):
+        assert RunMetrics(num_workers=4).worker_imbalance() == 1.0
+
+    def test_makespan_empty_worker_list(self):
+        step = SuperstepMetrics(superstep=0, work_per_worker=[])
+        assert step.makespan == 0
+        assert step.total_work == 0
+
+    def test_simulated_parallel_time_empty_run(self):
+        metrics = RunMetrics(num_workers=2)
+        assert metrics.simulated_parallel_time() == 0
+        assert metrics.simulated_parallel_time(superstep_overhead=10) == 0
+
+    def test_simulated_parallel_time_overhead_per_superstep(self):
+        metrics = make_run()
+        base = metrics.simulated_parallel_time()
+        # the overhead is charged once per superstep, even work-free ones
+        metrics.supersteps.append(
+            SuperstepMetrics(superstep=2, work_per_worker=[0, 0])
+        )
+        assert metrics.simulated_parallel_time(superstep_overhead=5) == base + 15

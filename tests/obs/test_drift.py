@@ -1,0 +1,159 @@
+"""Unit tests for repro.obs.drift (cost-model drift tracking)."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.planner import make_plan
+from repro.engine.metrics import RunMetrics
+from repro.graph.pattern import LinePattern
+from repro.graph.stats import GraphStatistics
+from repro.obs.drift import (
+    DriftRecord,
+    DriftReport,
+    attach_drift,
+    compute_drift,
+    drift_ratio,
+    node_counter_name,
+)
+from repro.obs.instruments import InstrumentRegistry
+from repro.obs.spans import NULL_TRACER, Tracer
+
+from tests.conftest import build_scholarly
+
+
+class TestDriftRatio:
+    def test_plain_ratio(self):
+        assert drift_ratio(10.0, 25) == 2.5
+
+    def test_both_zero_is_perfect(self):
+        assert drift_ratio(0.0, 0) == 1.0
+
+    def test_zero_estimate_with_paths_is_inf(self):
+        assert drift_ratio(0.0, 7) == float("inf")
+
+
+class TestDriftRecord:
+    def test_drift_and_as_dict(self):
+        record = DriftRecord(
+            node_id=3, segment=(0, 1, 2), superstep=1,
+            estimated_paths=4.0, observed_paths=6,
+        )
+        assert record.drift == 1.5
+        payload = record.as_dict()
+        assert payload["segment"] == [0, 1, 2]
+        assert payload["drift"] == 1.5
+
+
+def make_report():
+    return DriftReport(
+        strategy="hybrid",
+        records=[
+            DriftRecord(0, (0, 1, 2), 0, estimated_paths=10.0, observed_paths=5),
+            DriftRecord(1, (2, 3, 4), 0, estimated_paths=10.0, observed_paths=40),
+            DriftRecord(2, (0, 2, 4), 1, estimated_paths=30.0, observed_paths=30),
+        ],
+    )
+
+
+class TestDriftReport:
+    def test_totals_and_plan_drift(self):
+        report = make_report()
+        assert report.total_estimated == 50.0
+        assert report.total_observed == 75
+        assert report.plan_drift == 1.5
+
+    def test_worst_is_furthest_from_one(self):
+        report = make_report()
+        # drifts: 0.5, 4.0, 1.0 — node 1 is worst
+        assert report.worst().node_id == 1
+
+    def test_worst_prefers_inf(self):
+        report = make_report()
+        report.records.append(
+            DriftRecord(3, (0, 1, 2), 1, estimated_paths=0.0, observed_paths=1)
+        )
+        assert report.worst().node_id == 3
+
+    def test_worst_empty_is_none(self):
+        assert DriftReport(strategy="line").worst() is None
+
+    def test_by_superstep_groups(self):
+        buckets = make_report().by_superstep()
+        assert buckets[0]["estimated"] == 20.0
+        assert buckets[0]["observed"] == 45
+        assert buckets[0]["drift"] == 2.25
+        assert buckets[1]["drift"] == 1.0
+
+
+class TestComputeDrift:
+    @pytest.fixture
+    def plan_and_pattern(self):
+        graph = build_scholarly()
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author "
+            "-[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        stats = GraphStatistics.collect(graph)
+        plan = make_plan(pattern, strategy="hybrid", stats=stats)
+        return plan, pattern
+
+    def test_none_plan_returns_none(self):
+        assert compute_drift(None, RunMetrics(num_workers=1)) is None
+
+    def test_plan_without_estimates_returns_none(self, plan_and_pattern):
+        plan, _ = plan_and_pattern
+        plan.node_estimates = {}
+        assert compute_drift(plan, RunMetrics(num_workers=1)) is None
+
+    def test_joins_estimates_to_counters(self, plan_and_pattern):
+        plan, _ = plan_and_pattern
+        assert plan.node_estimates  # the planner annotated it
+        metrics = RunMetrics(num_workers=1)
+        for node in plan.nodes():
+            metrics.add_counter(node_counter_name(node.node_id), 12)
+        report = compute_drift(plan, metrics)
+        assert report.strategy == "hybrid"
+        assert len(report.records) == len(plan.node_estimates)
+        assert all(record.observed_paths == 12 for record in report.records)
+        # superstep mirrors the evaluation schedule (deepest level first)
+        schedule = plan.evaluation_schedule()
+        for record in report.records:
+            assert record.node_id in {
+                node.node_id for node in schedule[record.superstep]
+            }
+
+    def test_missing_counters_observe_zero(self, plan_and_pattern):
+        plan, _ = plan_and_pattern
+        report = compute_drift(plan, RunMetrics(num_workers=1))
+        assert all(record.observed_paths == 0 for record in report.records)
+
+
+class TestAttachDrift:
+    def test_records_rows_and_plan_summary(self):
+        tracer = Tracer(registry=InstrumentRegistry())
+        attach_drift(tracer, make_report())
+        kinds = [record["kind"] for record in tracer.records]
+        assert kinds == ["drift", "drift", "drift", "plan_drift"]
+        summary = tracer.records[-1]
+        assert summary["strategy"] == "hybrid"
+        assert summary["drift"] == 1.5
+
+    def test_mirrors_observed_paths_into_registry(self):
+        tracer = Tracer(registry=InstrumentRegistry())
+        attach_drift(tracer, make_report())
+        assert tracer.registry.get(node_counter_name(0)).value == 5
+        assert tracer.registry.get(node_counter_name(1)).value == 40
+        # cumulative across runs on a caller-owned tracer
+        attach_drift(tracer, make_report())
+        assert tracer.registry.get(node_counter_name(0)).value == 10
+
+    def test_null_tracer_and_none_report_are_noops(self):
+        attach_drift(NULL_TRACER, make_report())
+        assert NULL_TRACER.records == []
+        tracer = Tracer(registry=InstrumentRegistry())
+        attach_drift(tracer, None)
+        assert tracer.records == []
+
+
+def test_node_counter_name():
+    assert node_counter_name(7) == "node_paths:7"

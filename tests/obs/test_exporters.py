@@ -1,0 +1,177 @@
+"""Unit tests for repro.obs.exporters (JSONL, chrome, Prometheus)."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.exporters import (
+    chrome_trace,
+    export_trace,
+    jsonl_text,
+    prometheus_text,
+    render_trace,
+    trace_lines,
+)
+from repro.obs.instruments import InstrumentRegistry
+from repro.obs.spans import Tracer
+
+
+@pytest.fixture
+def tracer():
+    """A small but fully populated trace: nested spans, a worker span,
+    an event, a drift record and every instrument kind."""
+    registry = InstrumentRegistry()
+    tracer = Tracer(registry=registry)
+    registry.counter("msgs", "messages").inc(10)
+    registry.gauge("hit_rate").set(0.25)
+    registry.histogram("batch", buckets=[1, 10]).observe(3)
+    root = tracer.start_span("extraction", {"pattern": "A->B"})
+    step = tracer.start_span("superstep", {"superstep": 0})
+    tracer.record_span("worker", tracer.start_time, tracer.start_time + 0.5,
+                       {"worker": 2, "work": 9})
+    tracer.event("checkpoint-saved", {"superstep": 0})
+    tracer.end_span(step)
+    tracer.end_span(root)
+    tracer.record("drift", node_id=0, estimated_paths=4.0, observed_paths=8,
+                  drift=2.0)
+    return tracer
+
+
+class TestJsonl:
+    def test_every_line_is_json_and_header_counts(self, tracer):
+        lines = jsonl_text(tracer).splitlines()
+        parsed = [json.loads(line) for line in lines]
+        header = parsed[0]
+        assert header["kind"] == "trace"
+        assert header["format"] == "repro.obs/v1"
+        assert header["spans"] == 3
+        assert header["records"] == 1
+
+    def test_span_fields_survive(self, tracer):
+        parsed = [json.loads(line) for line in jsonl_text(tracer).splitlines()]
+        spans = {p["name"]: p for p in parsed if p["kind"] == "span"}
+        assert spans["superstep"]["parent_id"] == spans["extraction"]["span_id"]
+        assert spans["worker"]["attrs"] == {"worker": 2, "work": 9}
+        assert spans["worker"]["duration_wall"] == 0.5
+        assert spans["superstep"]["events"][0]["name"] == "checkpoint-saved"
+
+    def test_records_and_instruments_present(self, tracer):
+        parsed = [json.loads(line) for line in jsonl_text(tracer).splitlines()]
+        kinds = [p["kind"] for p in parsed]
+        assert "drift" in kinds
+        assert kinds.count("instrument") == 3
+        drift = next(p for p in parsed if p["kind"] == "drift")
+        assert drift["observed_paths"] == 8
+
+    def test_trace_lines_inf_drift_round_trips(self):
+        tracer = Tracer(registry=InstrumentRegistry())
+        tracer.record("drift", drift=float("inf"))
+        parsed = [json.loads(line) for line in jsonl_text(tracer).splitlines()]
+        assert parsed[1]["drift"] == float("inf")
+        assert len(trace_lines(tracer)) == 2
+
+
+class TestChrome:
+    def test_document_shape(self, tracer):
+        doc = chrome_trace(tracer)
+        text = json.dumps(doc)
+        assert json.loads(text) == doc  # round-trips
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_complete_events_have_required_fields(self, tracer):
+        doc = chrome_trace(tracer)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 3
+        for event in complete:
+            assert {"name", "ph", "ts", "dur", "pid", "tid", "args"} <= set(event)
+            assert event["pid"] == 1
+
+    def test_worker_attr_maps_to_tid(self, tracer):
+        doc = chrome_trace(tracer)
+        worker = next(e for e in doc["traceEvents"] if e["name"] == "worker")
+        assert worker["tid"] == 3  # worker 2 → tid 3 (0 is the main track)
+        other = next(e for e in doc["traceEvents"] if e["name"] == "extraction")
+        assert other["tid"] == 0
+
+    def test_instant_events_for_span_events_and_records(self, tracer):
+        doc = chrome_trace(tracer)
+        instants = {e["name"] for e in doc["traceEvents"] if e["ph"] == "i"}
+        assert {"checkpoint-saved", "drift"} <= instants
+        for event in doc["traceEvents"]:
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_parent_linkage_in_args(self, tracer):
+        doc = chrome_trace(tracer)
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        root_id = by_name["extraction"]["args"]["span_id"]
+        assert by_name["superstep"]["args"]["parent_span"] == root_id
+
+    def test_inf_values_stay_json_loadable(self):
+        tracer = Tracer(registry=InstrumentRegistry())
+        span = tracer.start_span("x", {"ratio": float("inf")})
+        tracer.end_span(span)
+        text = json.dumps(chrome_trace(tracer), allow_nan=False)  # no Infinity
+        assert json.loads(text)["traceEvents"][0]["args"]["ratio"] == "inf"
+
+
+class TestPrometheus:
+    def test_counter_gauge_blocks(self, tracer):
+        text = prometheus_text(tracer.registry)
+        assert "# TYPE repro_msgs counter" in text
+        assert "repro_msgs 10" in text
+        assert "# HELP repro_msgs messages" in text
+        assert "# TYPE repro_hit_rate gauge" in text
+        assert "repro_hit_rate 0.25" in text
+
+    def test_histogram_cumulative_buckets(self, tracer):
+        text = prometheus_text(tracer.registry)
+        assert 'repro_batch_bucket{le="1.0"} 0' in text
+        assert 'repro_batch_bucket{le="10.0"} 1' in text
+        assert 'repro_batch_bucket{le="+Inf"} 1' in text
+        assert "repro_batch_sum 3" in text
+        assert "repro_batch_count 1" in text
+
+    def test_name_sanitisation(self):
+        registry = InstrumentRegistry()
+        registry.counter("node_paths:0").inc()
+        text = prometheus_text(registry)
+        assert "repro_node_paths_0 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(InstrumentRegistry()) == ""
+
+
+class TestDispatch:
+    def test_render_trace_unknown_format(self, tracer):
+        with pytest.raises(ObservabilityError):
+            render_trace(tracer, "xml")
+
+    def test_export_trace_infers_format_from_extension(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        written = export_trace(tracer, str(path))
+        assert written == str(path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_export_trace_explicit_format(self, tracer, tmp_path):
+        path = tmp_path / "dump.dat"
+        export_trace(tracer, str(path), fmt="jsonl")
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == "trace"
+
+    def test_tracer_export_uses_sink(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        from repro.obs.spans import make_tracer
+
+        tracer = make_tracer(f"jsonl:{path}", registry=InstrumentRegistry())
+        with tracer.span("only"):
+            pass
+        assert tracer.export() == str(path)
+        assert path.exists()
+
+    def test_export_without_sink_raises(self):
+        tracer = Tracer(registry=InstrumentRegistry())
+        with pytest.raises(ObservabilityError):
+            tracer.export()

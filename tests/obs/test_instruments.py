@@ -1,0 +1,104 @@
+"""Unit tests for repro.obs.instruments."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    InstrumentRegistry,
+    default_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            Counter("c").inc(-1)
+
+    def test_as_dict(self):
+        counter = Counter("c")
+        counter.inc(3)
+        assert counter.as_dict() == {"kind": "counter", "name": "c", "value": 3}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("h", buckets=[1, 10, 100])
+        for value in (0.5, 5, 50, 500):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1, 1]  # one per bucket + inf
+        assert histogram.count == 4
+        assert histogram.sum == 555.5
+
+    def test_cumulative_is_monotone_and_ends_at_inf(self):
+        histogram = Histogram("h", buckets=[1, 10])
+        for value in (0.5, 0.7, 5, 500):
+            histogram.observe(value)
+        cumulative = histogram.cumulative()
+        assert cumulative == [(1, 2), (10, 3), (float("inf"), 4)]
+
+    def test_boundary_is_inclusive(self):
+        histogram = Histogram("h", buckets=[10])
+        histogram.observe(10)
+        assert histogram.counts == [1, 0]
+
+    def test_mean(self):
+        histogram = Histogram("h", buckets=[10])
+        assert histogram.mean == 0.0
+        histogram.observe(2)
+        histogram.observe(4)
+        assert histogram.mean == 3.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", buckets=[10, 1])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = InstrumentRegistry()
+        first = registry.counter("c")
+        first.inc(7)
+        again = registry.counter("c")
+        assert again is first
+        assert again.value == 7
+
+    def test_kind_mismatch_raises(self):
+        registry = InstrumentRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x")
+
+    def test_collect_preserves_registration_order(self):
+        registry = InstrumentRegistry()
+        registry.gauge("b")
+        registry.counter("a")
+        assert [i.name for i in registry.collect()] == ["b", "a"]
+
+    def test_reset(self):
+        registry = InstrumentRegistry()
+        registry.counter("c")
+        assert len(registry) == 1
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.get("c") is None
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()

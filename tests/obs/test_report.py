@@ -1,0 +1,144 @@
+"""Unit tests for repro.obs.report (trace loading, superstep tables)."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.exporters import export_trace
+from repro.obs.instruments import InstrumentRegistry
+from repro.obs.report import load_trace, render_report, superstep_table
+from repro.obs.spans import Tracer
+
+
+def record_run(tracer):
+    """Record a two-superstep run with drift, mirroring a real trace."""
+    root = tracer.start_span(
+        "extraction", {"pattern": "A -[e]-> B", "workers": 2}
+    )
+    engine = tracer.start_span("engine-run", {"engine": "BSPEngine"})
+    for step, (makespan, work, messages) in enumerate(
+        [(30, 40, 12), (20, 40, 0)]
+    ):
+        span = tracer.start_span(
+            "superstep",
+            {
+                "superstep": step,
+                "workers": 2,
+                "makespan": makespan,
+                "total_work": work,
+                "messages_sent": messages,
+            },
+        )
+        tracer.end_span(span)
+    tracer.end_span(engine)
+    tracer.end_span(root)
+    tracer.record(
+        "drift", node_id=0, segment=[0, 1, 2], superstep=0,
+        estimated_paths=10.0, observed_paths=12, drift=1.2,
+    )
+    tracer.record(
+        "plan_drift", strategy="hybrid", estimated_paths=10.0,
+        observed_paths=12, drift=1.2,
+    )
+
+
+@pytest.fixture
+def tracer():
+    tracer = Tracer(registry=InstrumentRegistry())
+    record_run(tracer)
+    return tracer
+
+
+class TestLoadTrace:
+    @pytest.mark.parametrize("fmt,ext", [("jsonl", ".jsonl"), ("chrome", ".json")])
+    def test_round_trip_both_formats(self, tracer, tmp_path, fmt, ext):
+        path = str(tmp_path / f"trace{ext}")
+        export_trace(tracer, path, fmt)
+        data = load_trace(path)
+        assert len(data.supersteps) == 2
+        assert data.extraction["pattern"] == "A -[e]-> B"
+        assert data.plan_drift["strategy"] == "hybrid"
+        assert data.drift[0]["observed_paths"] == 12
+        assert "superstep" in data.span_names
+
+    def test_bare_chrome_event_array(self, tracer, tmp_path):
+        from repro.obs.exporters import chrome_trace
+
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps(chrome_trace(tracer)["traceEvents"]))
+        data = load_trace(str(path))
+        assert len(data.supersteps) == 2
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ObservabilityError):
+            load_trace(str(path))
+
+    def test_garbage_raises(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all")
+        with pytest.raises(ObservabilityError):
+            load_trace(str(path))
+
+    def test_json_without_trace_events_raises(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"foo": 1}')
+        with pytest.raises(ObservabilityError):
+            load_trace(str(path))
+
+    def test_jsonl_with_bad_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "trace"}\n{broken\n')
+        with pytest.raises(ObservabilityError, match="bad.jsonl:2"):
+            load_trace(str(path))
+
+
+class TestSuperstepTable:
+    def test_columns_and_values(self, tracer, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        export_trace(tracer, path, "jsonl")
+        table = superstep_table(load_trace(path))
+        header, *rest = table.splitlines()
+        assert "per-superstep run report — A -[e]-> B" in header
+        assert "makespan" in rest[0] and "drift" in rest[0]
+        step0 = next(line for line in rest if line.startswith("superstep 0"))
+        assert "30" in step0  # makespan
+        assert "1.5" in step0  # imbalance: 30 / (40/2)
+        assert "12" in step0  # messages and observed paths
+        assert "1.2" in step0  # drift
+        step1 = next(line for line in rest if line.startswith("superstep 1"))
+        assert "-" in step1  # no drift for the aggregation superstep
+
+    def test_no_supersteps_raises(self, tmp_path):
+        tracer = Tracer(registry=InstrumentRegistry())
+        with tracer.span("extraction"):
+            pass
+        path = str(tmp_path / "t.jsonl")
+        export_trace(tracer, path, "jsonl")
+        with pytest.raises(ObservabilityError, match="no superstep spans"):
+            superstep_table(load_trace(path))
+
+
+class TestRenderReport:
+    def test_includes_plan_drift_line(self, tracer, tmp_path):
+        path = str(tmp_path / "t.json")
+        export_trace(tracer, path, "chrome")
+        report = render_report(path)
+        assert "plan drift [hybrid]" in report
+        assert "drift 1.2" in report
+
+    def test_without_drift_only_table(self, tmp_path):
+        tracer = Tracer(registry=InstrumentRegistry())
+        span = tracer.start_span(
+            "superstep",
+            {"superstep": 0, "workers": 1, "makespan": 5, "total_work": 5,
+             "messages_sent": 0},
+        )
+        tracer.end_span(span)
+        path = str(tmp_path / "t.jsonl")
+        export_trace(tracer, path, "jsonl")
+        report = render_report(path)
+        assert "plan drift" not in report
+        assert "superstep 0" in report

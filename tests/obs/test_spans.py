@@ -1,0 +1,191 @@
+"""Unit tests for repro.obs.spans (tracer, span tree, specs)."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.instruments import InstrumentRegistry
+from repro.obs.spans import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    TracerBase,
+    make_tracer,
+    owns_tracer,
+)
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(registry=InstrumentRegistry())
+
+
+class TestSpanTree:
+    def test_nesting_infers_parents(self, tracer):
+        root = tracer.start_span("root")
+        child = tracer.start_span("child")
+        grandchild = tracer.start_span("grandchild")
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        tracer.end_span(grandchild)
+        tracer.end_span(child)
+        tracer.end_span(root)
+        assert tracer.root_spans() == [root]
+        assert tracer.children(root) == [child]
+
+    def test_end_span_closes_dangling_children(self, tracer):
+        root = tracer.start_span("root")
+        child = tracer.start_span("child")
+        tracer.end_span(root)  # child never explicitly ended
+        assert child.end_wall is not None
+        assert tracer.current() is None
+
+    def test_end_unopened_span_raises(self, tracer):
+        span = tracer.start_span("a")
+        tracer.end_span(span)
+        with pytest.raises(ObservabilityError):
+            tracer.end_span(span)
+
+    def test_context_manager(self, tracer):
+        with tracer.span("phase", {"k": 1}) as span:
+            assert tracer.current() is span
+        assert span.end_wall is not None
+        assert span.attrs == {"k": 1}
+        assert span.duration_wall >= 0
+
+    def test_record_span_keeps_given_timings(self, tracer):
+        parent = tracer.start_span("run")
+        span = tracer.record_span("worker", 10.0, 12.5, {"worker": 0})
+        assert span.parent_id == parent.span_id
+        assert span.duration_wall == 2.5
+
+    def test_record_span_explicit_parent(self, tracer):
+        a = tracer.start_span("a")
+        tracer.end_span(a)
+        span = tracer.record_span("w", 0.0, 1.0, parent=a)
+        assert span.parent_id == a.span_id
+
+    def test_find(self, tracer):
+        tracer.start_span("superstep")
+        tracer.start_span("superstep")
+        assert len(tracer.find("superstep")) == 2
+
+    def test_event_attaches_to_open_span(self, tracer):
+        span = tracer.start_span("run")
+        tracer.event("checkpoint-saved", {"superstep": 3})
+        assert span.events[0].name == "checkpoint-saved"
+        assert span.events[0].attrs == {"superstep": 3}
+
+    def test_event_without_open_span_becomes_record(self, tracer):
+        tracer.event("orphan")
+        assert tracer.records[0]["kind"] == "event"
+        assert tracer.records[0]["name"] == "orphan"
+
+    def test_records(self, tracer):
+        tracer.record("drift", node_id=1, drift=2.0)
+        assert tracer.records == [{"kind": "drift", "node_id": 1, "drift": 2.0}]
+
+    def test_as_dict_round_trip_fields(self, tracer):
+        with tracer.span("x", {"a": 1}) as span:
+            span.add_event("e")
+        payload = span.as_dict()
+        assert payload["name"] == "x"
+        assert payload["attrs"] == {"a": 1}
+        assert payload["events"][0]["name"] == "e"
+        assert payload["duration_wall"] == span.duration_wall
+
+
+class TestNullTracer:
+    def test_shared_singleton_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_all_operations_are_noops(self):
+        span = NULL_TRACER.start_span("x", {"a": 1})
+        span.set_attr("b", 2)
+        span.set_attrs({"c": 3})
+        span.add_event("e")
+        NULL_TRACER.end_span(span)
+        NULL_TRACER.record_span("w", 0.0, 1.0)
+        NULL_TRACER.event("e")
+        NULL_TRACER.record("drift", x=1)
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.records == []
+        assert span.attrs == {}
+        assert span.events == []
+
+    def test_export_raises(self):
+        with pytest.raises(ObservabilityError):
+            NULL_TRACER.export()
+
+    def test_context_manager_is_noop(self):
+        with NULL_TRACER.span("x") as span:
+            assert span.name == "null"
+        assert NULL_TRACER.spans == []
+
+
+class TestMakeTracer:
+    def test_none_and_false_are_off(self):
+        assert make_tracer(None) is NULL_TRACER
+        assert make_tracer(False) is NULL_TRACER
+
+    def test_true_and_mem_are_in_memory(self):
+        for spec in (True, "mem"):
+            tracer = make_tracer(spec)
+            assert isinstance(tracer, Tracer)
+            assert tracer.sink is None
+
+    def test_instance_passes_through(self):
+        tracer = Tracer(registry=InstrumentRegistry())
+        assert make_tracer(tracer) is tracer
+
+    @pytest.mark.parametrize(
+        "spec,fmt,path",
+        [
+            ("jsonl:/tmp/t.log", "jsonl", "/tmp/t.log"),
+            ("chrome:/tmp/t.out", "chrome", "/tmp/t.out"),
+            ("prom:/tmp/m.txt", "prometheus", "/tmp/m.txt"),
+            ("prometheus:/tmp/m", "prometheus", "/tmp/m"),
+        ],
+    )
+    def test_prefixed_specs(self, spec, fmt, path):
+        tracer = make_tracer(spec)
+        assert tracer.sink == (fmt, path)
+
+    @pytest.mark.parametrize(
+        "path,fmt",
+        [
+            ("trace.jsonl", "jsonl"),
+            ("trace.json", "chrome"),
+            ("metrics.prom", "prometheus"),
+            ("metrics.txt", "prometheus"),
+        ],
+    )
+    def test_bare_path_sniffs_extension(self, path, fmt):
+        assert make_tracer(path).sink == (fmt, path)
+
+    def test_unknown_extension_raises(self):
+        with pytest.raises(ObservabilityError):
+            make_tracer("trace.xml")
+
+    def test_empty_path_raises(self):
+        with pytest.raises(ObservabilityError):
+            make_tracer("jsonl:")
+
+    def test_unsupported_spec_raises(self):
+        with pytest.raises(ObservabilityError):
+            make_tracer(123)
+
+    def test_custom_registry_is_used(self):
+        registry = InstrumentRegistry()
+        assert make_tracer(True, registry=registry).registry is registry
+
+
+class TestOwnership:
+    def test_specs_are_owned_instances_are_not(self):
+        assert owns_tracer(None) is True
+        assert owns_tracer(True) is True
+        assert owns_tracer("jsonl:/tmp/x.jsonl") is True
+        assert owns_tracer(Tracer(registry=InstrumentRegistry())) is False
+        assert owns_tracer(NULL_TRACER) is False
+        assert isinstance(NULL_TRACER, TracerBase)

@@ -1,0 +1,271 @@
+"""Integration: the span tree and drift records of real traced runs.
+
+Covers the acceptance shape of the observability subsystem: a traced
+extraction records extraction → plan-selection / engine-run → superstep →
+worker spans, per-node drift, and instruments; every engine honours
+``run(trace=...)``; untraced runs stay untraced but still compute drift.
+"""
+
+import json
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.evaluator import run_extraction
+from repro.core.extractor import GraphExtractor
+from repro.engine.checkpoint import RecoverableBSPEngine
+from repro.engine.parallel import ThreadedBSPEngine
+from repro.graph.pattern import LinePattern
+from repro.obs.instruments import InstrumentRegistry
+from repro.obs.spans import Tracer
+
+from tests.conftest import build_scholarly
+
+CHAIN = (
+    "Author -[authorBy]-> Paper <-[authorBy]- Author "
+    "-[authorBy]-> Paper <-[authorBy]- Author"
+)
+
+
+@pytest.fixture
+def graph():
+    return build_scholarly()
+
+
+@pytest.fixture
+def pattern():
+    return LinePattern.parse(CHAIN)
+
+
+def fresh_tracer():
+    return Tracer(registry=InstrumentRegistry())
+
+
+class TestExtractorTracing:
+    def test_span_hierarchy(self, graph, pattern):
+        extractor = GraphExtractor(graph, num_workers=2, trace=True)
+        extractor.extract(pattern, library.path_count())
+        tracer = extractor.last_trace
+        assert tracer is not None and tracer.enabled
+
+        [root] = tracer.root_spans()
+        assert root.name == "extraction"
+        assert root.attrs["pattern"] == CHAIN
+        assert root.attrs["workers"] == 2
+        assert root.attrs["supersteps"] >= 2
+
+        child_names = {span.name for span in tracer.children(root)}
+        assert child_names == {"plan-selection", "engine-run"}
+
+        [plan_span] = tracer.find("plan-selection")
+        assert plan_span.attrs["plan_strategy"] == "hybrid"
+        assert plan_span.attrs["plan_nodes"] >= 1
+
+        [run_span] = tracer.find("engine-run")
+        supersteps = tracer.find("superstep")
+        assert len(supersteps) == run_span.attrs["supersteps"]
+        for step_span in supersteps:
+            assert step_span.parent_id == run_span.span_id
+            workers = [
+                w for w in tracer.children(step_span) if w.name == "worker"
+            ]
+            assert len(workers) == 2
+            assert {w.attrs["worker"] for w in workers} == {0, 1}
+            assert all(w.duration_wall >= 0 for w in workers)
+
+    def test_superstep_spans_carry_plan_level(self, graph, pattern):
+        extractor = GraphExtractor(graph, num_workers=2, trace=True)
+        extractor.extract(pattern, library.path_count())
+        tracer = extractor.last_trace
+        supersteps = sorted(
+            tracer.find("superstep"), key=lambda s: s.attrs["superstep"]
+        )
+        enumeration, final = supersteps[:-1], supersteps[-1]
+        assert final.attrs["phase"] == "pairwise-aggregation"
+        for span in enumeration:
+            assert span.attrs["plan_level"] >= 1
+            assert span.attrs["plan_nodes"]
+        # deepest level first
+        levels = [span.attrs["plan_level"] for span in enumeration]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_drift_records_on_tracer_and_result(self, graph, pattern):
+        extractor = GraphExtractor(graph, num_workers=2, trace=True)
+        result = extractor.extract(pattern, library.path_count())
+        drift_rows = [
+            r for r in extractor.last_trace.records if r["kind"] == "drift"
+        ]
+        assert len(drift_rows) == len(result.plan.node_estimates)
+        for row in drift_rows:
+            assert {"node_id", "segment", "superstep", "estimated_paths",
+                    "observed_paths", "drift"} <= set(row)
+        [summary] = [
+            r for r in extractor.last_trace.records if r["kind"] == "plan_drift"
+        ]
+        assert summary["drift"] == result.drift.plan_drift
+        assert result.summary()["plan_drift"] == result.drift.plan_drift
+
+    def test_untraced_run_still_computes_drift(self, graph, pattern):
+        extractor = GraphExtractor(graph, num_workers=2)
+        result = extractor.extract(pattern, library.path_count())
+        assert extractor.last_trace is None
+        assert result.drift is not None
+        assert result.drift.total_observed == result.intermediate_paths
+
+    def test_tracing_does_not_change_results(self, graph, pattern):
+        plain = GraphExtractor(graph, num_workers=2).extract(
+            pattern, library.path_count()
+        )
+        traced = GraphExtractor(graph, num_workers=2, trace=True).extract(
+            pattern, library.path_count()
+        )
+        assert traced.graph.equals(plain.graph)
+        assert traced.metrics.total_work == plain.metrics.total_work
+
+    def test_per_call_tracer_overrides_constructor(self, graph, pattern):
+        extractor = GraphExtractor(graph, num_workers=2)
+        tracer = fresh_tracer()
+        extractor.extract(pattern, library.path_count(), tracer=tracer)
+        assert extractor.last_trace is tracer
+        assert tracer.find("extraction")
+
+    def test_caller_owned_tracer_aggregates_two_runs(self, graph, pattern):
+        tracer = fresh_tracer()
+        extractor = GraphExtractor(graph, num_workers=2, trace=tracer)
+        extractor.extract(pattern, library.path_count())
+        extractor.extract(pattern, library.path_count())
+        assert len(tracer.root_spans()) == 2
+
+    def test_trace_spec_exports_file(self, graph, pattern, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        extractor = GraphExtractor(graph, num_workers=2, trace=f"jsonl:{path}")
+        extractor.extract(pattern, library.path_count())
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        names = {e.get("name") for e in lines if e.get("kind") == "span"}
+        assert {"extraction", "superstep", "worker"} <= names
+        kinds = {e["kind"] for e in lines}
+        assert {"trace", "span", "drift", "plan_drift", "instrument"} <= kinds
+
+    def test_instruments_populated(self, graph, pattern):
+        tracer = fresh_tracer()
+        GraphExtractor(graph, num_workers=2, trace=tracer).extract(
+            pattern, library.path_count()
+        )
+        registry = tracer.registry
+        assert registry.get("bsp_message_batch_size").count > 0
+        assert registry.get("bsp_mailbox_occupancy") is not None
+
+    def test_combiner_instruments(self, graph):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        tracer = fresh_tracer()
+        run_extraction(
+            graph,
+            pattern,
+            plan_for(graph, pattern),
+            library.path_count(),
+            num_workers=2,
+            mode="partial",
+            use_combiner=True,
+            tracer=tracer,
+        )
+        registry = tracer.registry
+        assert registry.get("bsp_combiner_messages_in").value > 0
+        out = registry.get("bsp_combiner_messages_out").value
+        assert 0 < out <= registry.get("bsp_combiner_messages_in").value
+        hit_rate = registry.get("bsp_combiner_hit_rate").value
+        assert 0.0 <= hit_rate <= 1.0
+
+
+def plan_for(graph, pattern):
+    from repro.core.planner import make_plan
+    from repro.graph.stats import GraphStatistics
+
+    return make_plan(
+        pattern, strategy="hybrid", stats=GraphStatistics.collect(graph)
+    )
+
+
+class TestEngineTracing:
+    def run_engine(self, engine_cls, graph, pattern, tracer, **engine_kwargs):
+        engine = engine_cls(
+            list(graph.vertices()), num_workers=2, **engine_kwargs
+        )
+        return run_extraction(
+            graph,
+            pattern,
+            plan_for(graph, pattern),
+            library.path_count(),
+            num_workers=2,
+            mode="partial",
+            engine=engine,
+            tracer=tracer,
+        )
+
+    @pytest.fixture
+    def short_pattern(self):
+        return LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+
+    def test_threaded_engine_records_worker_spans(self, graph, short_pattern):
+        tracer = fresh_tracer()
+        plain = self.run_engine(ThreadedBSPEngine, graph, short_pattern, None)
+        traced = self.run_engine(ThreadedBSPEngine, graph, short_pattern, tracer)
+        assert traced.graph.equals(plain.graph)
+        supersteps = tracer.find("superstep")
+        assert supersteps
+        for step_span in supersteps:
+            workers = tracer.children(step_span)
+            assert {w.attrs["worker"] for w in workers} == {0, 1}
+
+    def test_checkpoint_engine_records_save_events(self, graph, short_pattern):
+        tracer = fresh_tracer()
+        self.run_engine(
+            RecoverableBSPEngine, graph, short_pattern, tracer,
+            checkpoint_every=1,
+        )
+        [run_span] = tracer.find("engine-run")
+        assert run_span.attrs["checkpoint_every"] == 1
+        saves = [e for e in run_span.events if e.name == "checkpoint-saved"]
+        assert len(saves) == run_span.attrs["supersteps"]
+        assert all("pending_vertices" in e.attrs for e in saves)
+
+    def test_sanitizer_emits_violation_events(self, graph, short_pattern):
+        from repro.engine.sanitizer import SanitizerBSPEngine
+
+        tracer = fresh_tracer()
+        engine = SanitizerBSPEngine(list(graph.vertices()), num_workers=2)
+        run_extraction(
+            graph,
+            short_pattern,
+            plan_for(graph, short_pattern),
+            library.path_count(),
+            num_workers=2,
+            mode="partial",
+            engine=engine,
+            sanitize=True,
+            tracer=tracer,
+        )
+        [run_span] = tracer.find("engine-run")
+        assert run_span.attrs["sanitizer"] is True
+        assert run_span.attrs["findings"] == 0
+
+    def test_engine_run_accepts_spec_and_exports(self, graph, tmp_path):
+        from repro.core.evaluator import PathConcatenationProgram
+        from repro.engine.bsp import BSPEngine
+
+        path = tmp_path / "engine.json"
+        program = PathConcatenationProgram(
+            graph,
+            LinePattern.parse("Author -[authorBy]-> Paper"),
+            None,
+            library.path_count(),
+            mode="basic",
+        )
+        engine = BSPEngine(list(graph.vertices()), num_workers=2)
+        engine.run(program, trace=f"chrome:{path}")
+        doc = json.loads(path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"engine-run", "superstep", "worker"} <= names

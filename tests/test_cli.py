@@ -105,6 +105,24 @@ class TestExtract:
         lines = out_file.read_text().strip().splitlines()
         assert lines and all(len(line.split("\t")) == 3 for line in lines)
 
+    def test_trace_out_and_report(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, out, _ = run_cli(
+            capsys,
+            "extract", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-BP1", "--workers", "2",
+            "--trace-out", str(trace),
+        )
+        assert code == 0
+        assert f"wrote trace to {trace}" in out
+        assert trace.exists()
+
+        code, out, _ = run_cli(capsys, "report", str(trace))
+        assert code == 0
+        assert "per-superstep run report" in out
+        assert "makespan" in out
+        assert "plan drift" in out
+
     def test_dataset_inferred_from_workload(self, capsys):
         code, out, _ = run_cli(
             capsys,
