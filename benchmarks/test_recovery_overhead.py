@@ -1,0 +1,141 @@
+"""Recovery overhead: what supervision and self-healing cost.
+
+The ``repro.faults`` supervisor promises that resilience is pay-as-you-go:
+a fault-free supervised run adds only the deadline-guard/chaos wrappers
+and per-barrier checkpointing on top of the bare engine, and a crashed
+run pays one re-attempt that *resumes* from the newest intact checkpoint
+instead of recomputing everything.  This benchmark measures four
+configurations on a real workload so EXPERIMENTS.md can report the
+factors (retry backoff is zeroed so the numbers isolate mechanism cost,
+not configured sleep):
+
+* ``baseline``      — plain unsupervised extraction (production default);
+* ``supervised``    — ``resilience=`` policy, no faults injected;
+* ``crash-resume``  — mid-run compute crash, recovered by checkpoint
+  resume on the serial rung;
+* ``crash-restart`` — the same crash on the threaded rung, recovered by
+  restart-from-scratch (the no-checkpoint comparison point).
+
+Shape checks: every configuration extracts the identical graph, the
+crashed runs report exactly one retry, and resume recovers from a
+checkpoint while restart does not.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.extractor import GraphExtractor
+from repro.faults.plan import COMPUTE_CRASH, Fault, FaultPlan
+from repro.faults.supervisor import ResiliencePolicy, RetryPolicy
+from repro.workloads.harness import Row, format_table, reference_graph
+from repro.workloads.patterns import get_workload
+
+from benchmarks.conftest import write_report
+
+WORKLOAD = "dblp-BP1"
+WORKERS = 4
+MODES = ("baseline", "supervised", "crash-resume", "crash-restart")
+
+#: zero backoff so measurements isolate mechanism cost, not sleeps
+FAST_RETRY = RetryPolicy(
+    max_attempts=4, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0, seed=0
+)
+
+
+def _policy(mode: str) -> ResiliencePolicy:
+    ladder = ("threaded",) if mode == "crash-restart" else ("serial",)
+    return ResiliencePolicy(retry=FAST_RETRY, ladder=ladder)
+
+
+def _run(mode: str):
+    workload = get_workload(WORKLOAD)
+    graph = reference_graph(workload.dataset)
+    if mode == "baseline":
+        extractor = GraphExtractor(graph, num_workers=WORKERS)
+        faults = None
+    else:
+        extractor = GraphExtractor(
+            graph, num_workers=WORKERS, resilience=_policy(mode)
+        )
+        faults = None
+        if mode.startswith("crash"):
+            # crash halfway through: resume gets real work to skip
+            probe = GraphExtractor(graph, num_workers=WORKERS)
+            supersteps = probe.extract(
+                workload.pattern, library.path_count()
+            ).metrics.num_supersteps
+            faults = FaultPlan(
+                [Fault(COMPUTE_CRASH, superstep=supersteps // 2)]
+            )
+    start = time.perf_counter()
+    result = extractor.extract(
+        workload.pattern, library.path_count(), faults=faults
+    )
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """One run per configuration, with measured wall time."""
+    return {mode: _run(mode) for mode in MODES}
+
+
+@pytest.mark.parametrize("mode", list(MODES))
+def test_benchmark_recovery(benchmark, mode):
+    result, _ = benchmark.pedantic(_run, args=(mode,), rounds=3, iterations=1)
+    assert result.graph.num_edges() > 0
+
+
+def test_shapes_and_report(grid, results_dir):
+    """Supervision and recovery change nothing but the wall clock."""
+    plain, plain_wall = grid["baseline"]
+    assert plain.failure_report is None
+    rows = [Row("baseline", {"wall_s": plain_wall, "overhead": "1.00x"})]
+    for mode in MODES[1:]:
+        result, wall = grid[mode]
+        assert result.graph.equals(plain.graph), mode
+        report = result.failure_report
+        assert report.succeeded and not report.degraded, mode
+        if mode == "supervised":
+            assert report.num_retries == 0
+        else:
+            assert report.num_retries == 1, mode
+            assert [e["kind"] for e in report.faults_injected] == [
+                COMPUTE_CRASH
+            ]
+        if mode == "crash-resume":
+            assert report.recovery_points, "serial rung should resume"
+        if mode == "crash-restart":
+            assert report.recovery_points == []
+        rows.append(
+            Row(
+                mode,
+                {
+                    "wall_s": wall,
+                    "overhead": f"{wall / plain_wall:.2f}x",
+                },
+            )
+        )
+    # fault-free supervision stays cheap: well under the cost of a
+    # second full run
+    _, supervised_wall = grid["supervised"]
+    assert supervised_wall < plain_wall * 2.0
+
+    write_report(
+        results_dir,
+        "recovery_overhead",
+        format_table(
+            rows,
+            ["wall_s", "overhead"],
+            title=(
+                f"recovery overhead: {WORKLOAD}, {WORKERS} workers "
+                "(zero-backoff retries; crash at mid superstep)"
+            ),
+            label_header="configuration",
+        ),
+    )

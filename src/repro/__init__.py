@@ -21,7 +21,7 @@ True
 
 from __future__ import annotations
 
-from repro import aggregates, baselines, datasets, obs, workloads
+from repro import aggregates, baselines, datasets, faults, obs, workloads
 from repro.core.cost import CostModel
 from repro.core.extractor import GraphExtractor
 from repro.core.plan import PCP, PCPNode
@@ -37,13 +37,26 @@ from repro.core.result import ExtractedGraph, ExtractionResult
 from repro.engine.bsp import BSPEngine, VertexProgram
 from repro.errors import (
     AggregationError,
+    CheckpointCorruptionError,
     DatasetError,
+    DeadlineExceededError,
     EngineError,
     ObservabilityError,
     PatternError,
     PlanError,
     ReproError,
     SchemaError,
+    SupervisorError,
+    TransientEngineError,
+)
+from repro.faults import (
+    Deadline,
+    FailureReport,
+    Fault,
+    FaultPlan,
+    ResiliencePolicy,
+    RetryPolicy,
+    Supervisor,
 )
 from repro.obs import (
     NULL_TRACER,
@@ -63,13 +76,19 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregationError",
     "BSPEngine",
+    "CheckpointCorruptionError",
     "CostModel",
     "DatasetError",
+    "Deadline",
+    "DeadlineExceededError",
     "Direction",
     "DriftReport",
     "EngineError",
     "ExtractedGraph",
     "ExtractionResult",
+    "FailureReport",
+    "Fault",
+    "FaultPlan",
     "GraphExtractor",
     "GraphSchema",
     "GraphStatistics",
@@ -84,14 +103,20 @@ __all__ = [
     "PatternError",
     "PlanError",
     "ReproError",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "STRATEGIES",
     "SchemaError",
+    "Supervisor",
+    "SupervisorError",
     "Tracer",
+    "TransientEngineError",
     "VertexFilter",
     "VertexProgram",
     "aggregates",
     "baselines",
     "datasets",
+    "faults",
     "hybrid_plan",
     "iter_opt_plan",
     "line_plan",

@@ -15,7 +15,11 @@ Run as ``python -m repro <command>``:
   files (exit gated by ``--fail-on``; the permanent CI gate);
 * ``sanitize``  — run one extraction on the BSP race/determinism
   sanitizer engine and report runtime findings through the lint
-  reporters (text/json/sarif/github).
+  reporters (text/json/sarif/github);
+* ``soak``      — seeded chaos soak: N extractions under injected
+  faults (crashes, transient errors, stalls, checkpoint corruption)
+  with supervised recovery, each verified against the fault-free
+  baseline.
 
 Examples
 --------
@@ -401,6 +405,144 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _count_events(tracer, name: str) -> int:
+    """Occurrences of the named span event anywhere in a trace (attached
+    to spans or recorded detached)."""
+    count = sum(
+        1
+        for span in tracer.spans
+        for event in span.events
+        if event.name == name
+    )
+    count += sum(
+        1
+        for record in tracer.records
+        if record.get("kind") == "event" and record.get("name") == name
+    )
+    return count
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Seeded chaos soak: run N extractions under injected faults and
+    supervised recovery, verifying each against the fault-free baseline.
+
+    Each seed deterministically generates a fault scenario (the required
+    fault kind cycles through the taxonomy, so ``--seeds 10`` provably
+    covers compute crashes, transient errors, stalls past the deadline
+    and checkpoint corruption).  A run passes when it recovers (or
+    cleanly degrades down the ladder) to a result equal to the baseline
+    and its FailureReport + trace events account for every injected
+    fault and retry.  Exits non-zero if any seed fails.
+    """
+    from repro.faults.plan import (
+        CHECKPOINT_CORRUPT,
+        CHECKPOINT_IO,
+        COMPUTE_CRASH,
+        LOAD_ERROR,
+        STALL,
+        TRANSIENT_ERROR,
+        FaultPlan,
+    )
+    from repro.faults.supervisor import (
+        Deadline,
+        ResiliencePolicy,
+        RetryPolicy,
+    )
+    from repro.errors import SupervisorError
+    from repro.obs.instruments import InstrumentRegistry
+    from repro.obs.spans import Tracer
+
+    graph = _resolve_graph(args)
+    pattern = _resolve_pattern(args)
+    aggregate_factory = AGGREGATES[args.aggregate]
+
+    baseline_extractor = GraphExtractor(graph, num_workers=args.workers)
+    baseline = baseline_extractor.extract(pattern, aggregate_factory())
+    supersteps = baseline.metrics.num_supersteps
+    # deadlines scale with the measured fault-free run so slow CI boxes
+    # don't trip false timeouts; stalls are sized to clearly exceed them
+    superstep_s = max(
+        args.deadline_s, 10.0 * baseline.metrics.wall_time_s / max(supersteps, 1)
+    )
+    stall_s = 3.0 * superstep_s
+    required = (COMPUTE_CRASH, TRANSIENT_ERROR, STALL, CHECKPOINT_CORRUPT)
+    extra = (CHECKPOINT_IO, LOAD_ERROR)
+
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(
+            max_attempts=4, base_delay_s=0.01, max_delay_s=0.05, seed=0
+        ),
+        deadline=Deadline(superstep_s=superstep_s),
+        ladder=("serial", "line"),
+    )
+    rows = []
+    failures = 0
+    for seed in range(args.seeds):
+        require = required[seed % len(required)]
+        plan = FaultPlan.from_seed(
+            seed,
+            supersteps=supersteps,
+            kinds=required + extra,
+            require_kind=require,
+            stall_s=stall_s,
+        )
+        tracer = Tracer(registry=InstrumentRegistry())
+        extractor = GraphExtractor(
+            graph, num_workers=args.workers, resilience=policy
+        )
+        problems = []
+        try:
+            result = extractor.extract(
+                pattern, aggregate_factory(), faults=plan, tracer=tracer
+            )
+            report = result.failure_report
+            if not result.graph.equals(baseline.graph):
+                problems.append("result diverges from baseline")
+        except SupervisorError as exc:
+            report = exc.report
+            problems.append("unrecovered (every ladder rung failed)")
+        if len(report.faults_injected) != len(plan.injected):
+            problems.append("report is missing injected faults")
+        if _count_events(tracer, "fault-injected") != len(plan.injected):
+            problems.append("trace events miss injected faults")
+        if _count_events(tracer, "supervisor-retry") != sum(
+            1 for a in report.attempts if a.outcome != "ok" and a.backoff_s > 0.0
+        ):
+            problems.append("trace events miss retries")
+        if problems:
+            failures += 1
+        rows.append(
+            Row(
+                f"seed {seed}",
+                {
+                    "faults": ", ".join(f.describe() for f in plan.faults),
+                    "fired": len(plan.injected),
+                    "retries": report.num_retries,
+                    "resumed": ",".join(str(p) for p in report.recovery_points)
+                    or "-",
+                    "rung": report.final_rung or "-",
+                    "status": "ok" if not problems else "; ".join(problems),
+                },
+            )
+        )
+    print(
+        format_table(
+            rows,
+            ["faults", "fired", "retries", "resumed", "rung", "status"],
+            title=(
+                f"chaos soak: {args.seeds} seeded runs of {pattern} "
+                f"(baseline {baseline.graph.num_edges()} edges)"
+            ),
+            label_header="run",
+        )
+    )
+    print(
+        f"\n{args.seeds - failures}/{args.seeds} runs recovered to the "
+        f"baseline result"
+    )
+    return 0 if failures == 0 else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Render the per-superstep run report from a trace file (JSONL or
     chrome-trace JSON, as written by ``--trace-out``)."""
@@ -498,6 +640,25 @@ def build_parser() -> argparse.ArgumentParser:
         "inserted before the extension",
     )
 
+    soak = sub.add_parser(
+        "soak",
+        help="seeded chaos soak: N fault-injected runs with supervised "
+        "recovery, verified against the fault-free baseline",
+    )
+    _add_graph_args(soak)
+    _add_pattern_args(soak)
+    soak.add_argument("--aggregate", choices=sorted(AGGREGATES), default="path_count")
+    soak.add_argument("--workers", type=int, default=2)
+    soak.add_argument(
+        "--seeds", type=int, default=10,
+        help="number of seeded chaos scenarios to run (default 10)",
+    )
+    soak.add_argument(
+        "--deadline-s", type=float, default=0.3,
+        help="minimum per-superstep deadline in seconds (scaled up "
+        "automatically on slow machines; default 0.3)",
+    )
+
     report = sub.add_parser(
         "report", help="render the per-superstep table from a trace file"
     )
@@ -573,6 +734,7 @@ COMMANDS = {
     "analyze": cmd_analyze,
     "discover": cmd_discover,
     "compare": cmd_compare,
+    "soak": cmd_soak,
     "report": cmd_report,
     "lint": cmd_lint,
     "sanitize": cmd_sanitize,

@@ -23,7 +23,7 @@ from repro.core.evaluator import run_extraction
 from repro.core.plan import PCP
 from repro.core.planner import make_plan
 from repro.core.result import ExtractionResult
-from repro.errors import PatternMismatchError
+from repro.errors import EngineError, PatternMismatchError
 from repro.graph.hetgraph import HeterogeneousGraph
 from repro.graph.pattern import LinePattern
 from repro.graph.stats import GraphStatistics
@@ -72,6 +72,15 @@ class GraphExtractor:
         the most recent sanitized run (empty on a clean run) are kept on
         ``extractor.last_sanitizer_findings``.  Several times slower —
         a debugging/CI mode, not a production one (see ``EXPERIMENTS.md``).
+    resilience:
+        A :class:`~repro.faults.ResiliencePolicy` enabling supervised
+        execution: extractions run under
+        :class:`~repro.faults.Supervisor` (retry with backoff,
+        cooperative deadlines, checkpoint-backed resume, fallback
+        ladder) and the returned result carries a structured
+        ``failure_report``.  ``True`` selects the default policy.
+        Mutually exclusive with ``sanitize`` (the sanitizer engine must
+        observe a single uninterrupted run).
     trace:
         Observability spec (see :func:`repro.obs.spans.make_tracer`):
         ``None`` (off, the default, near-zero overhead), ``True`` /
@@ -96,6 +105,7 @@ class GraphExtractor:
         estimator: str = "uniform",
         verify: bool = True,
         sanitize: bool = False,
+        resilience=None,
         trace: TraceSpec = None,
     ) -> None:
         self.graph = graph
@@ -106,9 +116,13 @@ class GraphExtractor:
         self.estimator = estimator
         self.verify = verify
         self.sanitize = sanitize
+        self.resilience = resilience
         self.trace = trace
         #: findings of the most recent sanitized extraction ([] when clean)
         self.last_sanitizer_findings: list = []
+        #: FailureReport of the most recent supervised extraction
+        #: (``None`` when the run was not supervised)
+        self.last_failure_report = None
         #: tracer of the most recent traced extraction (``None`` when
         #: tracing was off for that call)
         self.last_trace: Optional[TracerBase] = None
@@ -170,6 +184,8 @@ class GraphExtractor:
         trace: bool = False,
         verify: Optional[bool] = None,
         sanitize: Optional[bool] = None,
+        resilience=None,
+        faults=None,
         tracer: TraceSpec = None,
     ) -> ExtractionResult:
         """Run one extraction and return the
@@ -181,6 +197,12 @@ class GraphExtractor:
         ``verify`` and ``sanitize`` override the extractor-level flags for
         this call; ``tracer`` overrides the extractor's ``trace`` spec
         (``trace`` itself remains the legacy path-trail flag).
+
+        ``resilience`` overrides the extractor-level policy
+        (``True`` = default :class:`~repro.faults.ResiliencePolicy`);
+        ``faults`` is a :class:`~repro.faults.FaultPlan` injected into
+        the run — passing one implies supervised execution, since an
+        unsupervised chaos run would simply crash.
         """
         if aggregate is None:
             aggregate = path_count()
@@ -244,7 +266,29 @@ class GraphExtractor:
             if use_verify:
                 self._verify_inputs(aggregate, plan)
             use_sanitize = self.sanitize if sanitize is None else sanitize
-            if use_sanitize:
+            use_resilience = self.resilience if resilience is None else resilience
+            if use_resilience or faults is not None:
+                if use_sanitize:
+                    raise EngineError(
+                        "sanitize and resilience are mutually exclusive: "
+                        "the sanitizer must observe one uninterrupted run"
+                    )
+                if trace:
+                    raise EngineError(
+                        "trace=True (path trails) is not supported under "
+                        "supervised execution; run without resilience"
+                    )
+                result = self._extract_supervised(
+                    pattern,
+                    plan,
+                    aggregate,
+                    num_workers=num_workers or self.num_workers,
+                    mode=mode,
+                    resilience=use_resilience,
+                    faults=faults,
+                    tracer=obs,
+                )
+            elif use_sanitize:
                 result = self._extract_sanitized(
                     pattern,
                     plan,
@@ -280,6 +324,34 @@ class GraphExtractor:
             attach_drift(obs, result.drift)
             if owns_tracer(spec) and obs.sink is not None:
                 obs.export()
+        return result
+
+    def _extract_supervised(
+        self, pattern, plan, aggregate, num_workers, mode, resilience,
+        faults=None, tracer=None,
+    ) -> ExtractionResult:
+        """Run one extraction under :class:`~repro.faults.Supervisor`,
+        keeping the failure report on ``last_failure_report`` even when
+        every ladder rung fails (:class:`~repro.errors.SupervisorError`)."""
+        from repro.errors import SupervisorError
+        from repro.faults.supervisor import ResiliencePolicy, Supervisor
+
+        policy = resilience if isinstance(resilience, ResiliencePolicy) else None
+        supervisor = Supervisor(policy=policy, tracer=tracer)
+        try:
+            result = supervisor.run_extraction(
+                self.graph,
+                pattern,
+                plan,
+                aggregate,
+                num_workers=num_workers,
+                mode=mode,
+                faults=faults,
+            )
+        except SupervisorError as exc:
+            self.last_failure_report = exc.report
+            raise
+        self.last_failure_report = result.failure_report
         return result
 
     def _extract_sanitized(

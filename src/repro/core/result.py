@@ -193,6 +193,9 @@ class ExtractionResult:
     plan: Optional[Any] = None  # PCP, or None for length-1 patterns
     traced_paths: Optional[Dict[EdgeKey, List[Tuple[VertexId, ...]]]] = None
     drift: Optional[Any] = None  # repro.obs.drift.DriftReport, when computed
+    #: repro.faults.FailureReport when the run was supervised (retries,
+    #: recovery points, injected faults); None for unsupervised runs
+    failure_report: Optional[Any] = None
 
     @property
     def iterations(self) -> int:
@@ -220,4 +223,9 @@ class ExtractionResult:
             out["plan_height"] = self.plan.height
         if self.drift is not None:
             out["plan_drift"] = self.drift.plan_drift
+        if self.failure_report is not None:
+            out["retries"] = self.failure_report.num_retries
+            out["faults_injected"] = self.failure_report.num_faults
+            out["degraded"] = self.failure_report.degraded
+            out["recovery_points"] = list(self.failure_report.recovery_points)
         return out

@@ -249,10 +249,16 @@ class BSPEngine:
         verify: bool = False,
         sanitize: bool = False,
         trace: TraceSpec = None,
+        faults=None,
     ) -> Any:
         """Execute ``program`` to completion and return ``program.finish``'s
         result.  The :class:`RunMetrics` are attached as
         ``engine.last_metrics``.
+
+        ``faults`` is an optional :class:`repro.faults.FaultPlan`: the
+        program is wrapped in the deterministic chaos injector
+        (:class:`repro.faults.ChaosProgram`), so the run experiences the
+        plan's compute-crashes, transient errors and stalls.
 
         With ``verify=True`` the program's source is first checked against
         the vertex-centric isolation contract (no mutation of shared state
@@ -272,6 +278,10 @@ class BSPEngine:
         itself and it names a sink, the trace is exported on completion.
         """
         tracer = make_tracer(trace)
+        if faults is not None:
+            from repro.faults.chaos import ChaosProgram
+
+            program = ChaosProgram(program, faults)
         if sanitize and not self._is_sanitizer:
             result = self._run_sanitized(program, verify, tracer=tracer)
             self._finish_trace(trace, tracer)

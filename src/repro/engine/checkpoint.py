@@ -19,6 +19,7 @@ pickle-file directory store (restarts across processes).
 from __future__ import annotations
 
 import copy
+import hashlib
 import pickle
 import time
 from pathlib import Path
@@ -27,7 +28,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.engine.bsp import _NO_MESSAGES, BSPEngine, ComputeContext, VertexProgram
 from repro.engine.messages import Mailbox, shuffle_inbox
 from repro.engine.metrics import RunMetrics, SuperstepMetrics
-from repro.errors import EngineError
+from repro.errors import CheckpointCorruptionError, EngineError
 from repro.graph.hetgraph import VertexId
 from repro.obs.spans import TraceSpec, make_tracer
 
@@ -39,33 +40,88 @@ Snapshot = Tuple[
     Dict[str, Any],
 ]
 
+#: header of a checksummed snapshot file: magic + sha256 digest + payload
+_MAGIC = b"RPCK1\n"
+_DIGEST_SIZE = hashlib.sha256().digest_size
+
+#: sentinel stored by :meth:`InMemoryCheckpointStore.corrupt`
+_CORRUPT = object()
+
+
+def _check_shape(snapshot: Any, superstep: int) -> Snapshot:
+    """A snapshot must be the 4-tuple the engine saved; anything else is
+    corruption (e.g. a stray pickle dropped into the directory)."""
+    if not (isinstance(snapshot, tuple) and len(snapshot) == 4):
+        raise CheckpointCorruptionError(
+            f"checkpoint for superstep {superstep} has an unexpected "
+            f"shape ({type(snapshot).__name__}); refusing to resume from it"
+        )
+    return snapshot
+
+
+def newest_intact(store) -> Optional[Tuple[int, Snapshot]]:
+    """Walk the store's snapshots newest-first and return the first one
+    that loads and verifies, as ``(superstep, snapshot)``.
+
+    Corrupt or truncated snapshots are skipped (Giraph semantics: a bad
+    barrier checkpoint costs extra replay, never the whole job).  Returns
+    ``None`` when no intact snapshot exists.
+    """
+    for superstep in store.snapshots(newest_first=True):
+        try:
+            return superstep, store.load(superstep)
+        except CheckpointCorruptionError:
+            continue
+    return None
+
 
 class InMemoryCheckpointStore:
     """Keeps deep-copied snapshots in a dict; the default store."""
 
     def __init__(self) -> None:
-        self._snapshots: Dict[int, Snapshot] = {}
+        self._snapshots: Dict[int, Any] = {}
 
     def save(self, superstep: int, states, inbox, metrics, globals_=None) -> None:
         self._snapshots[superstep] = copy.deepcopy(
             (states, inbox, metrics, globals_ or {})
         )
 
+    def snapshots(self, newest_first: bool = False) -> List[int]:
+        """The supersteps holding a snapshot (intact or not)."""
+        return sorted(self._snapshots, reverse=newest_first)
+
     def latest(self) -> Optional[int]:
         return max(self._snapshots) if self._snapshots else None
 
     def load(self, superstep: int) -> Snapshot:
         try:
-            return copy.deepcopy(self._snapshots[superstep])
+            snapshot = self._snapshots[superstep]
         except KeyError:
             raise EngineError(f"no checkpoint for superstep {superstep}") from None
+        if snapshot is _CORRUPT:
+            raise CheckpointCorruptionError(
+                f"checkpoint for superstep {superstep} is corrupt"
+            )
+        return _check_shape(copy.deepcopy(snapshot), superstep)
+
+    def corrupt(self, superstep: int) -> None:
+        """Damage the named snapshot in place (fault injection)."""
+        if superstep in self._snapshots:
+            self._snapshots[superstep] = _CORRUPT
 
     def clear(self) -> None:
         self._snapshots.clear()
 
 
 class FileCheckpointStore:
-    """Pickles snapshots to ``<directory>/checkpoint_<superstep>.pkl``."""
+    """Pickles snapshots to ``<directory>/checkpoint_<superstep>.pkl``.
+
+    Every snapshot is written with a sha256 checksum header, so ``load``
+    distinguishes a truncated or bit-flipped file from a healthy one and
+    raises :class:`~repro.errors.CheckpointCorruptionError` instead of
+    resuming from garbage.  Headerless files written by older versions
+    are still readable (their integrity is only checked by unpickling).
+    """
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self._directory = Path(directory)
@@ -76,23 +132,58 @@ class FileCheckpointStore:
 
     def save(self, superstep: int, states, inbox, metrics, globals_=None) -> None:
         payload = pickle.dumps((states, inbox, metrics, globals_ or {}))
+        digest = hashlib.sha256(payload).digest()
         path = self._path(superstep)
         tmp = path.with_suffix(".tmp")
-        tmp.write_bytes(payload)
+        tmp.write_bytes(_MAGIC + digest + payload)
         tmp.replace(path)  # atomic on POSIX: a crash never leaves half a file
 
+    def snapshots(self, newest_first: bool = False) -> List[int]:
+        """Supersteps with a snapshot file, ignoring files whose name
+        does not follow the ``checkpoint_<int>.pkl`` convention (a stray
+        ``checkpoint_final.pkl`` must not break recovery)."""
+        supersteps = []
+        for path in self._directory.glob("checkpoint_*.pkl"):
+            suffix = path.stem.partition("_")[2]
+            if suffix.isdigit():
+                supersteps.append(int(suffix))
+        return sorted(supersteps, reverse=newest_first)
+
     def latest(self) -> Optional[int]:
-        supersteps = [
-            int(p.stem.split("_")[1])
-            for p in self._directory.glob("checkpoint_*.pkl")
-        ]
-        return max(supersteps) if supersteps else None
+        supersteps = self.snapshots()
+        return supersteps[-1] if supersteps else None
 
     def load(self, superstep: int) -> Snapshot:
         path = self._path(superstep)
         if not path.exists():
             raise EngineError(f"no checkpoint for superstep {superstep}")
-        return pickle.loads(path.read_bytes())
+        blob = path.read_bytes()
+        if blob.startswith(_MAGIC):
+            header_end = len(_MAGIC) + _DIGEST_SIZE
+            digest, payload = blob[len(_MAGIC):header_end], blob[header_end:]
+            if hashlib.sha256(payload).digest() != digest:
+                raise CheckpointCorruptionError(
+                    f"checkpoint for superstep {superstep} fails its "
+                    f"checksum ({path})"
+                )
+        else:
+            payload = blob  # legacy headerless snapshot
+        try:
+            snapshot = pickle.loads(payload)
+        except Exception as exc:
+            raise CheckpointCorruptionError(
+                f"checkpoint for superstep {superstep} is truncated or "
+                f"corrupt ({path}): {exc}"
+            ) from exc
+        return _check_shape(snapshot, superstep)
+
+    def corrupt(self, superstep: int) -> None:
+        """Damage the named snapshot file in place (fault injection):
+        the payload's tail is cut off, so the checksum no longer holds."""
+        path = self._path(superstep)
+        if path.exists():
+            blob = path.read_bytes()
+            path.write_bytes(blob[: max(len(blob) // 2, len(_MAGIC))])
 
     def clear(self) -> None:
         for path in self._directory.glob("checkpoint_*.pkl"):
@@ -128,6 +219,10 @@ class RecoverableBSPEngine(BSPEngine):
             )
         self.checkpoint_every = checkpoint_every
         self.store = store if store is not None else InMemoryCheckpointStore()
+        #: superstep the most recent ``resume=True`` run restarted from
+        #: (``None`` until a resume happens) — the supervisor records it
+        #: as a recovery point
+        self.last_resume_superstep: Optional[int] = None
 
     def run(
         self,
@@ -136,12 +231,20 @@ class RecoverableBSPEngine(BSPEngine):
         verify: bool = False,
         sanitize: bool = False,
         trace: TraceSpec = None,
+        faults=None,
     ) -> Any:
         """Execute ``program``; with ``resume=True`` continue from the
-        latest checkpoint instead of superstep 0.  Traced runs record
-        checkpoint saves and recovery as span events (``trace`` accepts
-        the same specs as :meth:`BSPEngine.run`)."""
+        newest *intact* checkpoint instead of superstep 0 (corrupt or
+        truncated snapshots are skipped — see :func:`newest_intact`).
+        Traced runs record checkpoint saves and recovery as span events
+        (``trace`` accepts the same specs as :meth:`BSPEngine.run`);
+        ``faults`` is an optional :class:`repro.faults.FaultPlan` whose
+        compute-level faults are injected into this run."""
         tracer = make_tracer(trace)
+        if faults is not None:
+            from repro.faults.chaos import ChaosProgram
+
+            program = ChaosProgram(program, faults)
         if sanitize:
             if resume:
                 raise EngineError(
@@ -157,11 +260,15 @@ class RecoverableBSPEngine(BSPEngine):
 
             verify_vertex_program(program)
         if resume:
-            latest = self.store.latest()
-            if latest is None:
+            if not self.store.snapshots():
                 raise EngineError("resume requested but no checkpoint exists")
-            states, inbox, metrics, saved_globals = self.store.load(latest)
-            superstep = latest
+            intact = newest_intact(self.store)
+            if intact is None:
+                raise CheckpointCorruptionError(
+                    "resume requested but every checkpoint is corrupt"
+                )
+            superstep, (states, inbox, metrics, saved_globals) = intact
+            self.last_resume_superstep = superstep
         else:
             states, inbox = {}, {}
             metrics = RunMetrics(num_workers=self.num_workers)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.engine.bsp import _NO_MESSAGES, BSPEngine, ComputeContext, VertexProgram
 from repro.engine.messages import Mailbox, shuffle_inbox
@@ -35,7 +35,26 @@ class ThreadedBSPEngine(BSPEngine):
     """Drop-in replacement for :class:`BSPEngine` running workers on
     threads.  Results are identical to the serial engine (aggregates'
     ``⊕`` must be commutative/associative, which the two-level model
-    already requires)."""
+    already requires).
+
+    When a worker raises mid-superstep, the other workers of that
+    superstep have already mutated the shared ``states`` dict and their
+    private mailboxes — the barrier never completed, so that state is
+    *not* barrier-consistent.  The engine therefore drains every
+    remaining future (no thread keeps computing into a dead run) and
+    marks itself **poisoned**: further ``run`` calls raise
+    :class:`~repro.errors.EngineError` until :meth:`reset` is called.
+    Retry machinery (e.g. :mod:`repro.faults.supervisor`) must restart
+    on a fresh engine, exactly as a Giraph job restarts on fresh
+    workers.
+    """
+
+    #: non-None after a superstep failed mid-flight; blocks further runs
+    _poisoned: Optional[str] = None
+
+    def reset(self) -> None:
+        """Clear the poisoned flag (the caller accepts a fresh run)."""
+        self._poisoned = None
 
     def run(
         self,
@@ -43,8 +62,18 @@ class ThreadedBSPEngine(BSPEngine):
         verify: bool = False,
         sanitize: bool = False,
         trace: TraceSpec = None,
+        faults=None,
     ) -> Any:
+        if self._poisoned is not None:
+            raise EngineError(
+                f"engine is poisoned by an earlier mid-superstep failure "
+                f"({self._poisoned}); call reset() or use a fresh engine"
+            )
         tracer = make_tracer(trace)
+        if faults is not None:
+            from repro.faults.chaos import ChaosProgram
+
+            program = ChaosProgram(program, faults)
         if sanitize:
             # instrumentation needs deterministic single-threaded hooks:
             # delegate to the serial sanitizer engine (the threaded path
@@ -136,8 +165,23 @@ class ThreadedBSPEngine(BSPEngine):
                     pool.submit(run_worker, worker, superstep, work)
                     for worker in range(self.num_workers)
                 ]
+                # Drain every future before surfacing a failure: the pool
+                # must be quiescent (no worker still mutating states or a
+                # mailbox) and the engine poisoned before the exception
+                # escapes — a caught exception must not allow a silent
+                # continuation over a half-executed superstep.
+                errors = []
                 for future in futures:
-                    future.result()  # re-raise worker exceptions
+                    try:
+                        future.result()
+                    except Exception as exc:
+                        errors.append(exc)
+                if errors:
+                    self._poisoned = (
+                        f"superstep {superstep}: "
+                        f"{type(errors[0]).__name__}: {errors[0]}"
+                    )
+                    raise errors[0]
 
                 # barrier: merge outboxes and counters single-threaded
                 messages_sent = 0

@@ -332,12 +332,19 @@ class SanitizerBSPEngine(BSPEngine):
         verify: bool = False,
         sanitize: bool = True,
         trace: TraceSpec = None,
+        faults=None,
     ) -> Any:
         """Execute ``program`` with full instrumentation (the ``sanitize``
         flag is accepted for signature compatibility and ignored: this
         engine always sanitizes).  Traced runs additionally record every
-        contract violation as a ``sanitizer-violation`` span event."""
+        contract violation as a ``sanitizer-violation`` span event.
+        ``faults`` injects a :class:`repro.faults.FaultPlan` into the
+        instrumented run (chaos under the sanitizer's microscope)."""
         tracer = make_tracer(trace)
+        if faults is not None:
+            from repro.faults.chaos import ChaosProgram
+
+            program = ChaosProgram(program, faults)
         if verify:
             from repro.lint.contracts import verify_vertex_program
 

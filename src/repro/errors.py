@@ -36,6 +36,41 @@ class EngineError(ReproError):
     """The BSP engine reached an inconsistent state."""
 
 
+class TransientEngineError(EngineError):
+    """A failure expected to clear on retry (lost worker, flaky IO).
+
+    The supervisor's error classifier treats this family — together with
+    :class:`OSError` and :class:`TimeoutError` — as retryable; everything
+    else is fatal by default (see :func:`repro.faults.classify_error`).
+    """
+
+
+class CheckpointCorruptionError(EngineError):
+    """A checkpoint snapshot failed its integrity check (bad checksum,
+    truncated pickle, or a payload of the wrong shape)."""
+
+
+class DeadlineExceededError(TransientEngineError):
+    """A per-superstep or whole-run deadline expired.
+
+    Raised cooperatively at compute/barrier boundaries by the
+    supervisor's deadline guard, never asynchronously — a stalled vertex
+    is detected at the next cooperative check, not pre-empted.
+    """
+
+
+class SupervisorError(EngineError):
+    """The supervised run failed on every rung of the fallback ladder.
+
+    The structured outcome is available as ``exc.report``
+    (a :class:`repro.faults.FailureReport`).
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class DatasetError(ReproError):
     """A dataset generator received invalid parameters."""
 

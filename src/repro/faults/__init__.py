@@ -1,0 +1,80 @@
+"""Fault injection and supervised recovery (``repro.faults``).
+
+Two halves, one seed:
+
+* the **chaos** side (:mod:`~repro.faults.plan`,
+  :mod:`~repro.faults.chaos`) deterministically injects worker crashes,
+  transient errors, stalls, checkpoint corruption and loader failures
+  into any BSP run — every engine's ``run(..., faults=plan)`` accepts a
+  plan, and :meth:`FaultPlan.from_seed` makes a whole scenario
+  reproducible from one integer;
+* the **supervisor** side (:mod:`~repro.faults.supervisor`) recovers:
+  retry with exponential backoff, transient/fatal classification,
+  cooperative deadlines, checkpoint-backed resume and a fallback ladder,
+  all documented in a structured :class:`FailureReport`.
+
+See ``docs/fault_tolerance.md`` for the guided tour and
+``python -m repro.cli soak`` for the seeded end-to-end chaos soak.
+"""
+
+from __future__ import annotations
+
+from repro.faults.chaos import (
+    ChaosCheckpointStore,
+    ChaosProgram,
+    FaultyBSPEngine,
+    InjectedCrashError,
+    InjectedIOError,
+    InjectedTransientError,
+    chaos_loader,
+)
+from repro.faults.plan import (
+    CHECKPOINT_CORRUPT,
+    CHECKPOINT_IO,
+    COMPUTE_CRASH,
+    FAULT_KINDS,
+    LOAD_ERROR,
+    STALL,
+    TRANSIENT_ERROR,
+    Fault,
+    FaultPlan,
+)
+from repro.faults.supervisor import (
+    DEFAULT_LADDER,
+    Attempt,
+    Deadline,
+    DeadlineGuardProgram,
+    FailureReport,
+    ResiliencePolicy,
+    RetryPolicy,
+    Supervisor,
+    classify_error,
+)
+
+__all__ = [
+    "CHECKPOINT_CORRUPT",
+    "CHECKPOINT_IO",
+    "COMPUTE_CRASH",
+    "DEFAULT_LADDER",
+    "FAULT_KINDS",
+    "LOAD_ERROR",
+    "STALL",
+    "TRANSIENT_ERROR",
+    "Attempt",
+    "ChaosCheckpointStore",
+    "ChaosProgram",
+    "Deadline",
+    "DeadlineGuardProgram",
+    "Fault",
+    "FaultPlan",
+    "FaultyBSPEngine",
+    "FailureReport",
+    "InjectedCrashError",
+    "InjectedIOError",
+    "InjectedTransientError",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "Supervisor",
+    "chaos_loader",
+    "classify_error",
+]

@@ -1,0 +1,182 @@
+"""Chaos layer: turn a :class:`~repro.faults.plan.FaultPlan` into actual
+failures at the engine's injection sites.
+
+Three shims cover the surfaces a PCP extraction touches:
+
+* :class:`ChaosProgram` wraps any :class:`~repro.engine.bsp.VertexProgram`
+  and consults the plan at each ``compute`` call — the exact site where a
+  lost worker, a flaky message batch or a stalled thread manifests in a
+  BSP run.  Every engine's ``run(..., faults=plan)`` applies it for you.
+* :class:`ChaosCheckpointStore` wraps a checkpoint store and injects IO
+  failures or post-save corruption at the barrier snapshots that
+  :class:`~repro.engine.checkpoint.RecoverableBSPEngine` writes.
+* :func:`chaos_loader` wraps a dataset-loader callable with transient
+  load failures.
+
+All injected errors subclass :class:`~repro.errors.TransientEngineError`
+so the supervisor's default classifier treats them as retryable — which
+is the point: these are the failures a healthy retry/resume loop must
+absorb.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.engine.bsp import ComputeContext, VertexProgram
+from repro.errors import TransientEngineError
+from repro.faults.plan import (
+    CHECKPOINT_CORRUPT,
+    CHECKPOINT_IO,
+    COMPUTE_CRASH,
+    STALL,
+    TRANSIENT_ERROR,
+    FaultPlan,
+)
+
+
+class InjectedCrashError(TransientEngineError):
+    """A planned worker crash (the BSP analogue of a lost worker)."""
+
+
+class InjectedTransientError(TransientEngineError):
+    """A planned transient failure (flaky RPC, dropped message batch)."""
+
+
+class InjectedIOError(TransientEngineError, OSError):
+    """A planned IO failure (checkpoint store or dataset loader)."""
+
+
+class ChaosProgram(VertexProgram):
+    """Wrap ``inner`` so each ``compute`` call first consults ``plan``.
+
+    The wrapper is transparent: supersteps, combiner, global reducers,
+    span attributes and ``finish`` all delegate, so a fault-free plan (or
+    a spent one, e.g. on a resumed re-run) leaves behaviour identical to
+    the bare program.
+    """
+
+    def __init__(self, inner: VertexProgram, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+
+    def num_supersteps(self) -> Optional[int]:
+        return self.inner.num_supersteps()
+
+    def combiner(self):
+        return self.inner.combiner()
+
+    def global_reducers(self) -> Dict[str, Any]:
+        return self.inner.global_reducers()
+
+    def span_attrs(self, superstep: int) -> Optional[Dict[str, Any]]:
+        return self.inner.span_attrs(superstep)
+
+    def compute(self, ctx: ComputeContext) -> None:
+        fault = self.plan.compute_fault(ctx.superstep, ctx.vid)
+        if fault is not None:
+            if fault.kind == COMPUTE_CRASH:
+                raise InjectedCrashError(
+                    f"injected worker crash at superstep {ctx.superstep}, "
+                    f"vertex {ctx.vid}"
+                )
+            if fault.kind == TRANSIENT_ERROR:
+                raise InjectedTransientError(
+                    f"injected transient failure at superstep {ctx.superstep}, "
+                    f"vertex {ctx.vid}"
+                )
+            if fault.kind == STALL:
+                # a stall does not raise — it burns wall-clock so the
+                # supervisor's cooperative deadline check trips at the
+                # next compute call
+                time.sleep(fault.delay_s)
+        self.inner.compute(ctx)
+
+    def finish(self, states, metrics) -> Any:
+        return self.inner.finish(states, metrics)
+
+
+class ChaosCheckpointStore:
+    """Wrap a checkpoint store, injecting faults at ``save`` barriers.
+
+    :data:`~repro.faults.plan.CHECKPOINT_IO` raises *before* delegating
+    (the snapshot is never written); :data:`~repro.faults.plan.
+    CHECKPOINT_CORRUPT` delegates first, then flips bits via the store's
+    own ``corrupt`` hook — the snapshot exists but fails its checksum on
+    load, exercising the newest-intact-fallback recovery path.
+    """
+
+    def __init__(self, store: Any, plan: FaultPlan) -> None:
+        self.store = store
+        self.plan = plan
+        self._save_calls = 0
+
+    def save(self, superstep: int, states, inbox, metrics, globals_=None) -> None:
+        save_index = self._save_calls
+        self._save_calls += 1
+        fault = self.plan.checkpoint_fault(save_index, superstep)
+        if fault is not None and fault.kind == CHECKPOINT_IO:
+            raise InjectedIOError(
+                f"injected checkpoint IO failure at save #{save_index} "
+                f"(superstep {superstep})"
+            )
+        self.store.save(superstep, states, inbox, metrics, globals_)
+        if fault is not None and fault.kind == CHECKPOINT_CORRUPT:
+            self.store.corrupt(superstep)
+
+    def snapshots(self, newest_first: bool = False):
+        return self.store.snapshots(newest_first)
+
+    def latest(self) -> Optional[int]:
+        return self.store.latest()
+
+    def load(self, superstep: int):
+        return self.store.load(superstep)
+
+    def corrupt(self, superstep: int) -> None:
+        self.store.corrupt(superstep)
+
+    def clear(self) -> None:
+        self.store.clear()
+
+
+def chaos_loader(
+    loader: Callable[..., Any], plan: FaultPlan
+) -> Callable[..., Any]:
+    """Wrap a dataset-loader callable with planned transient failures.
+
+    While the plan holds armed :data:`~repro.faults.plan.LOAD_ERROR`
+    faults, calls raise :class:`InjectedIOError`; once spent, calls pass
+    through — modelling a flaky filesystem that heals on retry.
+    """
+
+    def load(*args: Any, **kwargs: Any) -> Any:
+        fault = plan.load_fault()
+        if fault is not None:
+            raise InjectedIOError(
+                f"injected dataset load failure ({fault.describe()})"
+            )
+        return loader(*args, **kwargs)
+
+    return load
+
+
+class FaultyBSPEngine:
+    """An engine wrapper that injects a fault plan into every run.
+
+    Thin by design — ``run`` forwards to ``inner.run(..., faults=plan)``
+    (every engine accepts the hook) and everything else delegates, so a
+    ``FaultyBSPEngine`` drops into any code path expecting an engine.
+    """
+
+    def __init__(self, inner: Any, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+
+    def run(self, program: VertexProgram, **kwargs: Any) -> Any:
+        kwargs.setdefault("faults", self.plan)
+        return self.inner.run(program, **kwargs)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)

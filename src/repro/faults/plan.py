@@ -1,0 +1,311 @@
+"""Deterministic fault plans (the seed of every chaos scenario).
+
+A :class:`FaultPlan` is a small list of :class:`Fault` descriptors plus
+the bookkeeping that arms, fires and logs them.  Determinism is the
+whole point: a plan built by :meth:`FaultPlan.from_seed` always contains
+the same faults for the same seed, each fault fires at an exactly
+reproducible site — a ``(superstep, vertex)`` compute call, the *n*-th
+checkpoint save, the *n*-th dataset-loader call — and every firing is
+logged, so a failure scenario observed once (in CI, in a soak run) is a
+replayable test case forever.
+
+The plan itself only *decides and records*; the raising/sleeping/
+corrupting happens in :mod:`repro.faults.chaos`, which consults the plan
+from the injection sites.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import EngineError
+from repro.graph.hetgraph import VertexId
+
+# ----------------------------------------------------------------------
+# fault taxonomy
+# ----------------------------------------------------------------------
+#: a worker dies mid-compute (Giraph: lost worker; retry + resume heals it)
+COMPUTE_CRASH = "compute-crash"
+#: a transient engine error (flaky RPC, lost message batch); retry heals it
+TRANSIENT_ERROR = "transient-error"
+#: a worker stalls/slows down; the supervisor's cooperative deadline
+#: checks convert the stall into a retryable timeout
+STALL = "stall"
+#: the snapshot written at a barrier is corrupted on disk; recovery must
+#: fall back to the newest intact checkpoint (or restart from scratch)
+CHECKPOINT_CORRUPT = "checkpoint-corrupt"
+#: the checkpoint store's IO fails transiently at a save barrier
+CHECKPOINT_IO = "checkpoint-io"
+#: the dataset loader fails transiently (cold cache, flaky filesystem)
+LOAD_ERROR = "load-error"
+
+#: every fault kind the chaos layer can inject
+FAULT_KINDS: Tuple[str, ...] = (
+    COMPUTE_CRASH,
+    TRANSIENT_ERROR,
+    STALL,
+    CHECKPOINT_CORRUPT,
+    CHECKPOINT_IO,
+    LOAD_ERROR,
+)
+
+#: kinds injected at a (superstep, vertex) compute site
+_COMPUTE_KINDS = (COMPUTE_CRASH, TRANSIENT_ERROR, STALL)
+#: kinds injected at a checkpoint-save barrier
+_CHECKPOINT_KINDS = (CHECKPOINT_CORRUPT, CHECKPOINT_IO)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned fault.
+
+    ``superstep``/``vertex`` pin compute-site faults (``None`` matches
+    any superstep / the first vertex visited); ``save_index`` pins
+    checkpoint faults to the *n*-th save call (``None`` matches every
+    save); ``times`` is how many firings the fault has before it is
+    spent; ``delay_s`` is the stall duration for :data:`STALL` faults.
+    """
+
+    kind: str
+    superstep: Optional[int] = None
+    vertex: Optional[VertexId] = None
+    times: int = 1
+    delay_s: float = 0.0
+    save_index: Optional[int] = None
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise EngineError(
+                f"unknown fault kind {self.kind!r}; use one of {FAULT_KINDS}"
+            )
+        if self.times < 1:
+            raise EngineError(f"fault times must be >= 1, got {self.times}")
+
+    def describe(self) -> str:
+        site = ""
+        if self.kind in _COMPUTE_KINDS:
+            site = f"@s{self.superstep if self.superstep is not None else '*'}"
+            if self.vertex is not None:
+                site += f"/v{self.vertex}"
+        elif self.kind in _CHECKPOINT_KINDS and self.save_index is not None:
+            site = f"@save{self.save_index}"
+        times = f"×{self.times}" if self.times > 1 else ""
+        return f"{self.kind}{site}{times}"
+
+
+class FaultPlan:
+    """An armed, seeded set of faults shared by every injection site.
+
+    One plan instance is threaded through an entire supervised run: the
+    chaos program wrapper asks it at each compute call, the chaos
+    checkpoint store at each save, the loader shim at each load.  Firing
+    decrements the fault's remaining count under a lock (the threaded
+    engine calls in from worker threads) and appends a structured entry
+    to :attr:`injected`; when :attr:`on_fire` is set (the supervisor
+    points it at the tracer), it is called with that entry.
+
+    ``reset()`` re-arms every fault and clears the log, turning the plan
+    back into the scenario its seed describes — replay is free.
+    """
+
+    def __init__(self, faults: Sequence[Fault], seed: Optional[int] = None) -> None:
+        self.faults: List[Fault] = list(faults)
+        self.seed = seed
+        self.on_fire: Optional[Callable[[Dict[str, Any]], None]] = None
+        self._lock = threading.Lock()
+        self._remaining: List[int] = [f.times for f in self.faults]
+        self._load_calls = 0
+        #: structured log of every firing, in order
+        self.injected: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        supersteps: int = 4,
+        vertices: Optional[Sequence[VertexId]] = None,
+        kinds: Sequence[str] = FAULT_KINDS,
+        require_kind: Optional[str] = None,
+        max_faults: int = 2,
+        stall_s: float = 0.4,
+    ) -> "FaultPlan":
+        """Generate a deterministic random fault plan.
+
+        ``supersteps`` bounds the supersteps compute faults may target
+        (use the fault-free run's superstep count so every planned fault
+        actually fires); ``vertices`` optionally pins compute faults to a
+        sampled vertex; ``require_kind`` guarantees the plan contains at
+        least one fault of that kind (soak runs cycle it so ten seeds
+        provably cover the whole taxonomy); ``stall_s`` is the stall
+        duration — pick it above the supervisor's per-superstep deadline
+        so stalls are detectable.
+        """
+        rng = random.Random(seed)
+        chosen: List[str] = []
+        if require_kind is not None:
+            chosen.append(require_kind)
+        while len(chosen) < max_faults and rng.random() < 0.7:
+            chosen.append(rng.choice(list(kinds)))
+        if not chosen:
+            chosen.append(rng.choice(list(kinds)))
+        universe = sorted(vertices) if vertices else None
+        faults: List[Fault] = []
+        for kind in chosen:
+            faults.append(
+                cls._random_fault(kind, rng, supersteps, universe, stall_s)
+            )
+        # a corrupted checkpoint only matters if something later crashes
+        # and recovery has to read it back: pair it with a companion crash
+        if any(f.kind == CHECKPOINT_CORRUPT for f in faults) and not any(
+            f.kind == COMPUTE_CRASH for f in faults
+        ):
+            faults.append(
+                cls._random_fault(
+                    COMPUTE_CRASH, rng, supersteps, universe, stall_s
+                )
+            )
+        return cls(faults, seed=seed)
+
+    @staticmethod
+    def _random_fault(
+        kind: str,
+        rng: random.Random,
+        supersteps: int,
+        universe: Optional[Sequence[VertexId]],
+        stall_s: float,
+    ) -> Fault:
+        superstep = rng.randrange(max(supersteps, 1))
+        vertex = rng.choice(universe) if universe and rng.random() < 0.5 else None
+        if kind == COMPUTE_CRASH:
+            return Fault(COMPUTE_CRASH, superstep=superstep, vertex=vertex)
+        if kind == TRANSIENT_ERROR:
+            return Fault(
+                TRANSIENT_ERROR,
+                superstep=superstep,
+                vertex=vertex,
+                times=rng.choice((1, 1, 2)),
+            )
+        if kind == STALL:
+            return Fault(STALL, superstep=superstep, vertex=vertex, delay_s=stall_s)
+        if kind == CHECKPOINT_CORRUPT:
+            # half the scenarios corrupt one specific save, half corrupt
+            # every save (forcing recovery to restart from scratch)
+            if rng.random() < 0.5:
+                return Fault(CHECKPOINT_CORRUPT, save_index=rng.randrange(3))
+            return Fault(CHECKPOINT_CORRUPT, times=1000)
+        if kind == CHECKPOINT_IO:
+            return Fault(CHECKPOINT_IO, save_index=rng.randrange(3))
+        if kind == LOAD_ERROR:
+            return Fault(LOAD_ERROR, times=rng.choice((1, 2)))
+        raise EngineError(f"unknown fault kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def _fire(self, index: int, site: Dict[str, Any]) -> Optional[Fault]:
+        fault = self.faults[index]
+        with self._lock:
+            if self._remaining[index] <= 0:
+                return None
+            self._remaining[index] -= 1
+            entry = {
+                "fault": fault.describe(),
+                "kind": fault.kind,
+                "remaining": self._remaining[index],
+            }
+            entry.update(site)
+            self.injected.append(entry)
+        callback = self.on_fire
+        if callback is not None:
+            callback(entry)
+        return fault
+
+    def compute_fault(self, superstep: int, vertex: VertexId) -> Optional[Fault]:
+        """The armed compute-site fault matching ``(superstep, vertex)``,
+        fired and logged — or ``None``.  Called per compute invocation,
+        so the miss path is a short loop over a handful of faults."""
+        for index, fault in enumerate(self.faults):
+            if fault.kind not in _COMPUTE_KINDS:
+                continue
+            if self._remaining[index] <= 0:
+                continue
+            if fault.superstep is not None and fault.superstep != superstep:
+                continue
+            if fault.vertex is not None and fault.vertex != vertex:
+                continue
+            fired = self._fire(
+                index, {"site": "compute", "superstep": superstep, "vertex": vertex}
+            )
+            if fired is not None:
+                return fired
+        return None
+
+    def checkpoint_fault(self, save_index: int, superstep: int) -> Optional[Fault]:
+        """The armed checkpoint fault matching the ``save_index``-th save
+        call, fired and logged — or ``None``."""
+        for index, fault in enumerate(self.faults):
+            if fault.kind not in _CHECKPOINT_KINDS:
+                continue
+            if self._remaining[index] <= 0:
+                continue
+            if fault.save_index is not None and fault.save_index != save_index:
+                continue
+            fired = self._fire(
+                index,
+                {"site": "checkpoint", "save_index": save_index, "superstep": superstep},
+            )
+            if fired is not None:
+                return fired
+        return None
+
+    def load_fault(self) -> Optional[Fault]:
+        """The armed loader fault for the next dataset-loader call, fired
+        and logged — or ``None``."""
+        with self._lock:
+            call = self._load_calls
+            self._load_calls += 1
+        for index, fault in enumerate(self.faults):
+            if fault.kind != LOAD_ERROR or self._remaining[index] <= 0:
+                continue
+            fired = self._fire(index, {"site": "loader", "call": call})
+            if fired is not None:
+                return fired
+        return None
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Re-arm every fault and clear the injection log (replay)."""
+        with self._lock:
+            self._remaining = [f.times for f in self.faults]
+            self._load_calls = 0
+            self.injected = []
+
+    def spent(self) -> bool:
+        """Whether every planned fault has fired its full count."""
+        with self._lock:
+            return all(r <= 0 for r in self._remaining)
+
+    def kinds(self) -> List[str]:
+        """The distinct fault kinds this plan contains, in plan order."""
+        seen: List[str] = []
+        for fault in self.faults:
+            if fault.kind not in seen:
+                seen.append(fault.kind)
+        return seen
+
+    def describe(self) -> str:
+        inner = ", ".join(f.describe() for f in self.faults)
+        seed = f"seed={self.seed}, " if self.seed is not None else ""
+        return f"FaultPlan({seed}{inner})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -1,0 +1,535 @@
+"""Supervised recovery: retries, deadlines, checkpoint resume, fallback.
+
+The :class:`Supervisor` runs one extraction the way a cluster scheduler
+runs a Giraph job: an attempt that dies from a *transient* cause (lost
+worker, flaky IO, deadline blown by a straggler) is retried with
+exponential backoff, resuming from the newest intact barrier checkpoint
+when one exists; a *fatal* cause (or an exhausted retry budget)
+escalates down a fallback ladder of progressively simpler execution
+rungs — by default threaded engine → serial checkpointing engine →
+serial engine on the naive ``line`` plan.  Every attempt, classification,
+backoff, recovery point and injected fault ends up in a structured
+:class:`FailureReport` attached to the final
+:class:`~repro.core.result.ExtractionResult` (or carried by the
+:class:`~repro.errors.SupervisorError` when even the last rung fails).
+
+Deadlines are **cooperative**: :class:`DeadlineGuardProgram` checks a
+monotonic clock at each ``compute`` entry, so a stalled worker is
+detected at the next vertex it touches — no thread is ever killed
+pre-emptively, which keeps engine state reasoning simple and matches how
+BSP frameworks actually detect stragglers (missed barrier heartbeats).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.bsp import BSPEngine, ComputeContext, VertexProgram
+from repro.engine.checkpoint import (
+    InMemoryCheckpointStore,
+    RecoverableBSPEngine,
+    newest_intact,
+)
+from repro.engine.parallel import ThreadedBSPEngine
+from repro.errors import (
+    DeadlineExceededError,
+    EngineError,
+    SupervisorError,
+    TransientEngineError,
+)
+from repro.obs.spans import NULL_TRACER, TracerBase
+
+#: default rung sequence of the fallback ladder
+DEFAULT_LADDER: Tuple[str, ...] = ("threaded", "serial", "line")
+
+#: rungs that run on the checkpointing engine (and therefore can resume)
+_CHECKPOINTED_RUNGS = ("serial", "line")
+
+
+# ----------------------------------------------------------------------
+# error classification
+# ----------------------------------------------------------------------
+def classify_error(
+    exc: BaseException,
+    transient_types: Tuple[type, ...] = (),
+) -> str:
+    """``"transient"`` (worth retrying) or ``"fatal"`` (escalate now).
+
+    Transient by default: the :class:`~repro.errors.TransientEngineError`
+    family (which covers every injected chaos fault and deadline expiry),
+    plus :class:`OSError` and :class:`TimeoutError` — the shapes real IO
+    and RPC failures arrive in.  Anything else (a genuine bug in a vertex
+    program, a plan/contract violation) retries identically, so retrying
+    is waste: classify fatal and move down the ladder.
+    """
+    if isinstance(exc, (TransientEngineError, OSError, TimeoutError)):
+        return "transient"
+    if transient_types and isinstance(exc, transient_types):
+        return "transient"
+    return "fatal"
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter.
+
+    ``backoff_s(attempt)`` for attempt ``0, 1, 2, …`` is
+    ``min(base * multiplier**attempt, max) * (1 + U(0, jitter))`` —
+    deterministic for a given ``seed``, so supervised runs replay.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise EngineError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    def backoff_s(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        delay = min(
+            self.base_delay_s * (self.multiplier ** attempt), self.max_delay_s
+        )
+        if self.jitter > 0.0:
+            rng = rng if rng is not None else random.Random(self.seed)
+            delay *= 1.0 + rng.random() * self.jitter
+        return delay
+
+
+# ----------------------------------------------------------------------
+# cooperative deadlines
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Deadline:
+    """Wall-clock budgets for one attempt: the whole run and each
+    superstep.  ``None`` disables a budget."""
+
+    run_s: Optional[float] = None
+    superstep_s: Optional[float] = None
+
+
+class _DeadlineClock:
+    """Monotonic bookkeeping behind :class:`DeadlineGuardProgram`.
+
+    The guard program may be driven from several worker threads, so the
+    superstep rollover is guarded by a lock; the expiry checks themselves
+    read immutable floats.
+    """
+
+    def __init__(self, deadline: Deadline) -> None:
+        self.deadline = deadline
+        self._lock = threading.Lock()
+        self._run_start = time.monotonic()
+        self._step_start = self._run_start
+        self._step = -1
+
+    def check(self, superstep: int) -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` if either
+        budget is blown; also rolls the per-superstep timer forward."""
+        now = time.monotonic()
+        budget = self.deadline
+        if budget.run_s is not None and now - self._run_start > budget.run_s:
+            raise DeadlineExceededError(
+                f"run deadline of {budget.run_s:.3f}s exceeded at "
+                f"superstep {superstep}"
+            )
+        if budget.superstep_s is None:
+            return
+        with self._lock:
+            if superstep != self._step:
+                self._step = superstep
+                self._step_start = now
+            elapsed = now - self._step_start
+        if elapsed > budget.superstep_s:
+            raise DeadlineExceededError(
+                f"superstep {superstep} exceeded its deadline of "
+                f"{budget.superstep_s:.3f}s"
+            )
+
+
+class DeadlineGuardProgram(VertexProgram):
+    """Outermost program wrapper: each ``compute`` entry checks the
+    attempt's deadline clock before delegating.  Wrap *around* the chaos
+    wrapper so injected stalls burn the budget the guard measures."""
+
+    def __init__(self, inner: VertexProgram, clock: _DeadlineClock) -> None:
+        self.inner = inner
+        self._clock = clock
+
+    def num_supersteps(self) -> Optional[int]:
+        return self.inner.num_supersteps()
+
+    def combiner(self):
+        return self.inner.combiner()
+
+    def global_reducers(self) -> Dict[str, Any]:
+        return self.inner.global_reducers()
+
+    def span_attrs(self, superstep: int) -> Optional[Dict[str, Any]]:
+        return self.inner.span_attrs(superstep)
+
+    def compute(self, ctx: ComputeContext) -> None:
+        self._clock.check(ctx.superstep)
+        self.inner.compute(ctx)
+
+    def finish(self, states, metrics) -> Any:
+        return self.inner.finish(states, metrics)
+
+
+# ----------------------------------------------------------------------
+# failure report
+# ----------------------------------------------------------------------
+@dataclass
+class Attempt:
+    """One supervised execution attempt."""
+
+    rung: str
+    attempt: int
+    outcome: str  # "ok" | "transient" | "fatal"
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    backoff_s: float = 0.0
+    resumed_from: Optional[int] = None
+    duration_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rung": self.rung,
+            "attempt": self.attempt,
+            "outcome": self.outcome,
+            "error_type": self.error_type,
+            "error": self.error,
+            "backoff_s": round(self.backoff_s, 4),
+            "resumed_from": self.resumed_from,
+            "duration_s": round(self.duration_s, 4),
+        }
+
+
+@dataclass
+class FailureReport:
+    """The supervised run's structured post-mortem.
+
+    Attached to :attr:`repro.core.result.ExtractionResult.failure_report`
+    on success, or to :attr:`repro.errors.SupervisorError.report` when
+    every rung is exhausted.
+    """
+
+    succeeded: bool = False
+    degraded: bool = False
+    final_rung: Optional[str] = None
+    attempts: List[Attempt] = field(default_factory=list)
+    faults_injected: List[Dict[str, Any]] = field(default_factory=list)
+    recovery_points: List[int] = field(default_factory=list)
+
+    @property
+    def num_retries(self) -> int:
+        """Attempts beyond the first on each rung plus rung escalations —
+        i.e. every attempt after the very first."""
+        return max(len(self.attempts) - 1, 0)
+
+    @property
+    def num_faults(self) -> int:
+        return len(self.faults_injected)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "succeeded": self.succeeded,
+            "degraded": self.degraded,
+            "final_rung": self.final_rung,
+            "num_retries": self.num_retries,
+            "recovery_points": list(self.recovery_points),
+            "attempts": [attempt.as_dict() for attempt in self.attempts],
+            "faults_injected": list(self.faults_injected),
+        }
+
+    def summary(self) -> str:
+        status = "ok" if self.succeeded else "FAILED"
+        if self.succeeded and self.degraded:
+            status = f"ok (degraded to {self.final_rung!r})"
+        parts = [
+            f"supervised run: {status}",
+            f"attempts={len(self.attempts)}",
+            f"retries={self.num_retries}",
+            f"faults={self.num_faults}",
+        ]
+        if self.recovery_points:
+            points = ",".join(str(p) for p in self.recovery_points)
+            parts.append(f"resumed_from=[{points}]")
+        return "  ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# resilience policy + supervisor
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Everything the supervisor needs to know about *how* to recover.
+
+    ``ladder`` names the fallback rungs, tried in order: ``"threaded"``
+    (the parallel engine, restart-only), ``"serial"`` (the checkpointing
+    engine, resumes from barriers) and ``"line"`` (the checkpointing
+    engine on the naive left-deep ``line`` plan — the graceful-degradation
+    floor: slower, but with the least machinery left to fail).
+    ``store_factory`` builds one fresh checkpoint store per checkpointed
+    rung (defaults to in-memory stores).
+    """
+
+    retry: RetryPolicy = RetryPolicy()
+    deadline: Optional[Deadline] = None
+    checkpoint_every: int = 1
+    ladder: Tuple[str, ...] = DEFAULT_LADDER
+    store_factory: Optional[Callable[[], Any]] = None
+    transient_types: Tuple[type, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise EngineError("resilience ladder must name at least one rung")
+        for rung in self.ladder:
+            if rung not in ("threaded", "serial", "line"):
+                raise EngineError(
+                    f"unknown ladder rung {rung!r}; use 'threaded', "
+                    f"'serial' or 'line'"
+                )
+
+
+class Supervisor:
+    """Drives one extraction to completion under a resilience policy.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`ResiliencePolicy` (retry budget, deadlines, ladder).
+    tracer:
+        Observability tracer; retry/recovery/degradation counters and
+        ``fault-injected`` / ``supervisor-retry`` / ``supervisor-degraded``
+        events are recorded through it.
+    sleep:
+        Injection point for the backoff sleep (tests pass a stub so the
+        suite never actually waits).
+    """
+
+    def __init__(
+        self,
+        policy: Optional[ResiliencePolicy] = None,
+        tracer: Optional[TracerBase] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # engine/rung plumbing
+    # ------------------------------------------------------------------
+    def _fresh_store(self, faults: Optional[Any]) -> Any:
+        factory = self.policy.store_factory
+        store = factory() if factory is not None else InMemoryCheckpointStore()
+        if faults is not None:
+            from repro.faults.chaos import ChaosCheckpointStore
+
+            store = ChaosCheckpointStore(store, faults)
+        return store
+
+    def _build_engine(
+        self, rung: str, vertices: List[Any], num_workers: int, store: Any
+    ) -> BSPEngine:
+        """A **fresh** engine per attempt: the threaded engine poisons
+        itself after a mid-superstep failure, and a fresh instance is the
+        honest model of restarting on new workers anyway."""
+        if rung == "threaded":
+            return ThreadedBSPEngine(vertices, num_workers=num_workers)
+        return RecoverableBSPEngine(
+            vertices,
+            num_workers=num_workers,
+            checkpoint_every=self.policy.checkpoint_every,
+            store=store,
+        )
+
+    def _wrap_program(
+        self, program: VertexProgram, faults: Optional[Any]
+    ) -> VertexProgram:
+        """Chaos innermost (so injected stalls are visible to the guard),
+        deadline guard outermost."""
+        wrapped = program
+        if faults is not None:
+            from repro.faults.chaos import ChaosProgram
+
+            wrapped = ChaosProgram(wrapped, faults)
+        if self.policy.deadline is not None:
+            wrapped = DeadlineGuardProgram(
+                wrapped, _DeadlineClock(self.policy.deadline)
+            )
+        return wrapped
+
+    # ------------------------------------------------------------------
+    # the supervised loop
+    # ------------------------------------------------------------------
+    def run_extraction(
+        self,
+        graph: Any,
+        pattern: Any,
+        plan: Any,
+        aggregate: Any,
+        num_workers: int = 1,
+        mode: str = "partial",
+        use_combiner: bool = False,
+        faults: Optional[Any] = None,
+    ) -> Any:
+        """Run the extraction under supervision and return an
+        :class:`~repro.core.result.ExtractionResult` whose
+        ``failure_report`` documents what it took.
+
+        Raises :class:`~repro.errors.SupervisorError` (carrying the
+        report) when every rung of the ladder is exhausted.
+        """
+        from repro.core.evaluator import PathConcatenationProgram
+        from repro.core.planner import line_plan
+        from repro.core.result import ExtractionResult
+
+        tracer = self.tracer
+        registry = tracer.registry
+        report = FailureReport()
+        if faults is not None:
+            def on_fire(entry: Dict[str, Any]) -> None:
+                tracer.event("fault-injected", entry)
+                registry.counter(
+                    "faults_injected_total",
+                    "chaos faults fired into supervised runs",
+                ).inc()
+
+            faults.on_fire = on_fire
+        rng = random.Random(self.policy.retry.seed)
+        vertices = list(graph.vertices())
+        last_error: Optional[BaseException] = None
+
+        for rung_index, rung in enumerate(self.policy.ladder):
+            rung_plan = plan
+            if rung == "line" and pattern.length > 1:
+                rung_plan = line_plan(pattern)
+            store = (
+                self._fresh_store(faults) if rung in _CHECKPOINTED_RUNGS else None
+            )
+            for attempt_index in range(self.policy.retry.max_attempts):
+                engine = self._build_engine(rung, vertices, num_workers, store)
+                program = PathConcatenationProgram(
+                    graph,
+                    pattern,
+                    rung_plan,
+                    aggregate,
+                    mode=mode,
+                    use_combiner=use_combiner,
+                )
+                wrapped = self._wrap_program(program, faults)
+                resume = (
+                    store is not None
+                    and attempt_index > 0
+                    and newest_intact(store) is not None
+                )
+                attempt = Attempt(rung=rung, attempt=attempt_index, outcome="ok")
+                started = time.perf_counter()
+                try:
+                    if isinstance(engine, RecoverableBSPEngine):
+                        extracted = engine.run(
+                            wrapped, resume=resume, trace=tracer
+                        )
+                        attempt.resumed_from = (
+                            engine.last_resume_superstep if resume else None
+                        )
+                    else:
+                        extracted = engine.run(wrapped, trace=tracer)
+                except Exception as exc:
+                    attempt.duration_s = time.perf_counter() - started
+                    outcome = classify_error(exc, self.policy.transient_types)
+                    attempt.outcome = outcome
+                    attempt.error_type = type(exc).__name__
+                    attempt.error = str(exc)
+                    last_error = exc
+                    will_retry = (
+                        outcome == "transient"
+                        and attempt_index + 1 < self.policy.retry.max_attempts
+                    )
+                    if will_retry:
+                        attempt.backoff_s = self.policy.retry.backoff_s(
+                            attempt_index, rng
+                        )
+                    report.attempts.append(attempt)
+                    tracer.event(
+                        "supervisor-retry" if will_retry else "supervisor-escalate",
+                        {
+                            "rung": rung,
+                            "attempt": attempt_index,
+                            "classification": outcome,
+                            "error_type": attempt.error_type,
+                            "backoff_s": attempt.backoff_s,
+                        },
+                    )
+                    if isinstance(exc, DeadlineExceededError):
+                        registry.counter(
+                            "supervisor_deadline_hits_total",
+                            "attempts aborted by a cooperative deadline",
+                        ).inc()
+                    if not will_retry:
+                        break  # escalate to the next rung
+                    registry.counter(
+                        "supervisor_retries_total",
+                        "supervised attempts retried after transient failures",
+                    ).inc()
+                    if attempt.backoff_s > 0.0:
+                        self._sleep(attempt.backoff_s)
+                    continue
+                # ---- success ----
+                attempt.duration_s = time.perf_counter() - started
+                report.attempts.append(attempt)
+                report.succeeded = True
+                report.degraded = rung_index > 0
+                report.final_rung = rung
+                report.recovery_points = [
+                    a.resumed_from
+                    for a in report.attempts
+                    if a.resumed_from is not None
+                ]
+                if attempt.resumed_from is not None:
+                    registry.counter(
+                        "supervisor_recoveries_total",
+                        "successful checkpoint-resumed attempts",
+                    ).inc()
+                if report.degraded:
+                    registry.counter(
+                        "supervisor_degradations_total",
+                        "runs that fell back past the first ladder rung",
+                    ).inc()
+                if faults is not None:
+                    report.faults_injected = list(faults.injected)
+                return ExtractionResult(
+                    graph=extracted,
+                    metrics=engine.last_metrics,
+                    plan=rung_plan,
+                    failure_report=report,
+                )
+            tracer.event(
+                "supervisor-degraded",
+                {"from_rung": rung, "rungs_left": len(self.policy.ladder) - rung_index - 1},
+            )
+        # every rung exhausted
+        report.succeeded = False
+        report.final_rung = self.policy.ladder[-1]
+        if faults is not None:
+            report.faults_injected = list(faults.injected)
+        raise SupervisorError(
+            f"extraction failed on every ladder rung "
+            f"({', '.join(self.policy.ladder)}); last error: "
+            f"{type(last_error).__name__ if last_error else 'none'}: {last_error}",
+            report=report,
+        )

@@ -167,3 +167,132 @@ class TestExtractionRecovery:
             engine.run(program)
         extracted = engine.run(program, resume=True)
         assert extracted.equals(expected.graph)
+
+
+class TestCheckpointIntegrity:
+    """Satellite hardening: checksummed snapshots, corruption detection,
+    newest-intact fallback, stray-file tolerance."""
+
+    def _metrics(self):
+        from repro.engine.metrics import RunMetrics
+
+        return RunMetrics(num_workers=1)
+
+    def test_file_store_detects_bit_flip(self, tmp_path):
+        from repro.errors import CheckpointCorruptionError
+
+        store = FileCheckpointStore(tmp_path)
+        store.save(0, {1: {"x": 1}}, {}, self._metrics())
+        path = tmp_path / "checkpoint_000000.pkl"
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointCorruptionError, match="checksum"):
+            store.load(0)
+
+    def test_file_store_detects_truncation(self, tmp_path):
+        from repro.errors import CheckpointCorruptionError
+
+        store = FileCheckpointStore(tmp_path)
+        store.save(0, {1: {"x": 1}}, {}, self._metrics())
+        store.corrupt(0)  # truncates the file to half
+        with pytest.raises(CheckpointCorruptionError):
+            store.load(0)
+
+    def test_file_store_reads_legacy_headerless_snapshot(self, tmp_path):
+        import pickle
+
+        store = FileCheckpointStore(tmp_path)
+        snapshot = ({1: {"x": 7}}, {}, self._metrics(), {"g": 1})
+        (tmp_path / "checkpoint_000002.pkl").write_bytes(
+            pickle.dumps(snapshot)
+        )
+        states, _, _, globals_ = store.load(2)
+        assert states == {1: {"x": 7}} and globals_ == {"g": 1}
+
+    def test_file_store_rejects_wrong_shaped_pickle(self, tmp_path):
+        import pickle
+
+        from repro.errors import CheckpointCorruptionError
+
+        store = FileCheckpointStore(tmp_path)
+        (tmp_path / "checkpoint_000001.pkl").write_bytes(
+            pickle.dumps({"not": "a snapshot"})
+        )
+        with pytest.raises(CheckpointCorruptionError, match="shape"):
+            store.load(1)
+
+    def test_snapshots_and_latest_ignore_stray_names(self, tmp_path):
+        store = FileCheckpointStore(tmp_path)
+        store.save(1, {}, {}, self._metrics())
+        store.save(4, {}, {}, self._metrics())
+        (tmp_path / "checkpoint_final.pkl").write_bytes(b"junk")
+        (tmp_path / "checkpoint_.pkl").write_bytes(b"junk")
+        assert store.snapshots() == [1, 4]
+        assert store.snapshots(newest_first=True) == [4, 1]
+        assert store.latest() == 4
+
+    def test_in_memory_corrupt_hook(self):
+        from repro.errors import CheckpointCorruptionError
+
+        store = InMemoryCheckpointStore()
+        store.save(0, {}, {}, self._metrics())
+        store.corrupt(0)
+        assert store.snapshots() == [0]  # still listed ...
+        with pytest.raises(CheckpointCorruptionError):
+            store.load(0)  # ... but refuses to load
+
+    def test_newest_intact_walks_past_corruption(self, tmp_path):
+        from repro.engine.checkpoint import newest_intact
+
+        store = FileCheckpointStore(tmp_path)
+        for step in (0, 1, 2):
+            store.save(step, {1: {"step": step}}, {}, self._metrics())
+        store.corrupt(2)
+        superstep, (states, _, _, _) = newest_intact(store)
+        assert superstep == 1
+        assert states == {1: {"step": 1}}
+
+    def test_newest_intact_none_when_all_corrupt(self):
+        from repro.engine.checkpoint import newest_intact
+
+        store = InMemoryCheckpointStore()
+        store.save(0, {}, {}, self._metrics())
+        store.corrupt(0)
+        assert newest_intact(store) is None
+
+
+class TestResumeFallback:
+    def test_resume_falls_back_to_newest_intact(self, tmp_path):
+        """The newest checkpoint is corrupt: resume transparently replays
+        from the newest *intact* one and still matches the fault-free
+        result."""
+        expected = BSPEngine(list(range(4)), num_workers=2).run(Accumulator())
+        store = FileCheckpointStore(tmp_path)
+        engine = RecoverableBSPEngine(
+            list(range(4)), num_workers=2, store=store
+        )
+        with pytest.raises(RuntimeError):
+            engine.run(Accumulator(crash_at=3))
+        store.corrupt(3)  # the barrier snapshot closest to the crash
+        result = engine.run(Accumulator(), resume=True)
+        assert result == expected
+        assert engine.last_resume_superstep == 2
+        # replay from 2: supersteps still counted exactly once
+        assert [s.superstep for s in engine.last_metrics.supersteps] == [
+            0, 1, 2, 3,
+        ]
+
+    def test_resume_with_every_checkpoint_corrupt_raises(self):
+        from repro.errors import CheckpointCorruptionError
+
+        store = InMemoryCheckpointStore()
+        engine = RecoverableBSPEngine(
+            list(range(4)), num_workers=2, store=store
+        )
+        with pytest.raises(RuntimeError):
+            engine.run(Accumulator(crash_at=2))
+        for step in store.snapshots():
+            store.corrupt(step)
+        with pytest.raises(CheckpointCorruptionError, match="every checkpoint"):
+            engine.run(Accumulator(), resume=True)

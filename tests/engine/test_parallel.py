@@ -107,3 +107,79 @@ class TestThreadedExtraction:
             engine=engine,
         )
         assert threaded.graph.equals(serial.graph)
+
+
+class TestPoisoning:
+    """After a mid-superstep failure the engine's shared state is not
+    barrier-consistent: further runs must be refused until reset()."""
+
+    class Boom(VertexProgram):
+        def __init__(self, crash_superstep=1):
+            self.crash_superstep = crash_superstep
+
+        def num_supersteps(self):
+            return 3
+
+        def compute(self, ctx):
+            if ctx.superstep == self.crash_superstep:
+                raise RuntimeError("worker died")
+            ctx.send(ctx.vid, 1)
+
+        def finish(self, states, metrics):
+            return metrics
+
+    def test_failed_superstep_poisons_engine(self):
+        engine = ThreadedBSPEngine(list(range(8)), num_workers=4)
+        with pytest.raises(RuntimeError, match="worker died"):
+            engine.run(self.Boom())
+        # the failure must not be silently continuable: a caught
+        # exception followed by another run() is refused
+        with pytest.raises(EngineError, match="poisoned"):
+            engine.run(AddCounter())
+
+    def test_reset_clears_poisoning(self):
+        engine = ThreadedBSPEngine(list(range(8)), num_workers=4)
+        with pytest.raises(RuntimeError):
+            engine.run(self.Boom())
+        engine.reset()
+        metrics = engine.run(AddCounter())
+        assert metrics.counters["ticks"] == 16
+
+    def test_all_futures_drained_before_raise(self):
+        """Every worker of the failed superstep finishes (or fails)
+        before the exception escapes — no thread keeps computing into a
+        dead run."""
+        import threading
+
+        done = []
+        lock = threading.Lock()
+
+        class SlowBoom(VertexProgram):
+            def num_supersteps(self):
+                return 1
+
+            def compute(self, ctx):
+                import time
+
+                if ctx.vid == 0:
+                    raise RuntimeError("fast failure")
+                time.sleep(0.02)
+                with lock:
+                    done.append(ctx.vid)
+
+            def finish(self, states, metrics):
+                return metrics
+
+        engine = ThreadedBSPEngine(list(range(4)), num_workers=4)
+        with pytest.raises(RuntimeError, match="fast failure"):
+            engine.run(SlowBoom())
+        # the three surviving workers all completed their slice before
+        # the engine surfaced the failure
+        assert sorted(done) == [1, 2, 3]
+
+    def test_fresh_engine_unaffected(self):
+        engine = ThreadedBSPEngine(list(range(8)), num_workers=4)
+        with pytest.raises(RuntimeError):
+            engine.run(self.Boom())
+        fresh = ThreadedBSPEngine(list(range(8)), num_workers=4)
+        assert fresh.run(AddCounter()).counters["ticks"] == 16

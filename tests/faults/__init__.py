@@ -1,0 +1,1 @@
+"""Tests for repro.faults (chaos engine + supervised recovery)."""

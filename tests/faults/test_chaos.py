@@ -1,0 +1,193 @@
+"""Tests for the chaos layer: program wrapper, store wrapper, loader
+shim, engine hooks."""
+
+import time
+
+import pytest
+
+from repro.engine.bsp import BSPEngine, VertexProgram
+from repro.engine.checkpoint import (
+    FileCheckpointStore,
+    InMemoryCheckpointStore,
+    RecoverableBSPEngine,
+)
+from repro.engine.parallel import ThreadedBSPEngine
+from repro.errors import CheckpointCorruptionError, TransientEngineError
+from repro.faults.chaos import (
+    ChaosCheckpointStore,
+    ChaosProgram,
+    FaultyBSPEngine,
+    InjectedCrashError,
+    InjectedIOError,
+    InjectedTransientError,
+    chaos_loader,
+)
+from repro.faults.plan import (
+    CHECKPOINT_CORRUPT,
+    CHECKPOINT_IO,
+    COMPUTE_CRASH,
+    LOAD_ERROR,
+    STALL,
+    TRANSIENT_ERROR,
+    Fault,
+    FaultPlan,
+)
+
+from tests.engine.test_checkpoint import Accumulator
+
+
+class TestChaosProgram:
+    def test_crash_fires_at_exact_site(self):
+        plan = FaultPlan([Fault(COMPUTE_CRASH, superstep=2, vertex=1)])
+        engine = BSPEngine(list(range(4)), num_workers=2)
+        with pytest.raises(InjectedCrashError, match="superstep 2"):
+            engine.run(ChaosProgram(Accumulator(), plan))
+        (entry,) = plan.injected
+        assert entry["superstep"] == 2 and entry["vertex"] == 1
+
+    def test_transparent_when_spent(self):
+        expected = BSPEngine(list(range(4)), num_workers=2).run(Accumulator())
+        plan = FaultPlan([Fault(TRANSIENT_ERROR, superstep=1)])
+        engine = BSPEngine(list(range(4)), num_workers=2)
+        with pytest.raises(InjectedTransientError):
+            engine.run(ChaosProgram(Accumulator(), plan))
+        # second run: plan spent, wrapper is a no-op
+        result = engine.run(ChaosProgram(Accumulator(), plan))
+        assert result == expected
+
+    def test_stall_sleeps_instead_of_raising(self):
+        plan = FaultPlan([Fault(STALL, superstep=0, delay_s=0.05)])
+        engine = BSPEngine(list(range(2)), num_workers=1)
+        start = time.perf_counter()
+        engine.run(ChaosProgram(Accumulator(steps=1), plan))
+        assert time.perf_counter() - start >= 0.05
+        assert plan.injected[0]["kind"] == STALL
+
+    def test_delegates_program_protocol(self):
+        class Custom(VertexProgram):
+            def num_supersteps(self):
+                return 3
+
+            def combiner(self):
+                return lambda vid, msgs: msgs
+
+            def global_reducers(self):
+                return {"m": max}
+
+            def span_attrs(self, superstep):
+                return {"step": superstep}
+
+            def compute(self, ctx):
+                pass
+
+            def finish(self, states, metrics):
+                return "done"
+
+        wrapped = ChaosProgram(Custom(), FaultPlan([]))
+        assert wrapped.num_supersteps() == 3
+        assert wrapped.combiner() is not None
+        assert list(wrapped.global_reducers()) == ["m"]
+        assert wrapped.span_attrs(1) == {"step": 1}
+        assert wrapped.finish({}, None) == "done"
+
+
+class TestEngineFaultsHook:
+    """Every engine's run(..., faults=) injects the plan itself."""
+
+    def test_serial_engine(self):
+        plan = FaultPlan([Fault(COMPUTE_CRASH, superstep=1)])
+        with pytest.raises(InjectedCrashError):
+            BSPEngine(list(range(4))).run(Accumulator(), faults=plan)
+
+    def test_threaded_engine(self):
+        plan = FaultPlan([Fault(COMPUTE_CRASH, superstep=1)])
+        with pytest.raises(InjectedCrashError):
+            ThreadedBSPEngine(list(range(4)), num_workers=2).run(
+                Accumulator(), faults=plan
+            )
+
+    def test_recoverable_engine_crash_then_resume(self):
+        expected = BSPEngine(list(range(4)), num_workers=2).run(Accumulator())
+        plan = FaultPlan([Fault(COMPUTE_CRASH, superstep=2)])
+        engine = RecoverableBSPEngine(list(range(4)), num_workers=2)
+        with pytest.raises(InjectedCrashError):
+            engine.run(Accumulator(), faults=plan)
+        result = engine.run(Accumulator(), resume=True, faults=plan)
+        assert result == expected
+        assert engine.last_resume_superstep == 2
+
+    def test_sanitizer_engine(self):
+        from repro.engine.sanitizer import SanitizerBSPEngine
+
+        plan = FaultPlan([Fault(COMPUTE_CRASH, superstep=0)])
+        with pytest.raises(InjectedCrashError):
+            SanitizerBSPEngine(list(range(4))).run(Accumulator(), faults=plan)
+
+
+class TestFaultyBSPEngine:
+    def test_wraps_any_engine(self):
+        plan = FaultPlan([Fault(TRANSIENT_ERROR, superstep=0)])
+        faulty = FaultyBSPEngine(BSPEngine(list(range(4))), plan)
+        with pytest.raises(InjectedTransientError):
+            faulty.run(Accumulator())
+        # delegation: attributes of the inner engine remain reachable
+        assert faulty.num_workers == 1
+        assert faulty.max_supersteps == faulty.inner.max_supersteps
+
+    def test_clean_plan_matches_bare_engine(self):
+        expected = BSPEngine(list(range(4))).run(Accumulator())
+        faulty = FaultyBSPEngine(BSPEngine(list(range(4))), FaultPlan([]))
+        assert faulty.run(Accumulator()) == expected
+
+
+class TestChaosCheckpointStore:
+    def _snapshot_args(self):
+        from repro.engine.metrics import RunMetrics
+
+        return {0: {"x": 1}}, {}, RunMetrics(num_workers=1)
+
+    def test_io_fault_raised_before_write(self):
+        plan = FaultPlan([Fault(CHECKPOINT_IO, save_index=0)])
+        store = ChaosCheckpointStore(InMemoryCheckpointStore(), plan)
+        states, inbox, metrics = self._snapshot_args()
+        with pytest.raises(InjectedIOError):
+            store.save(0, states, inbox, metrics)
+        assert store.snapshots() == []  # nothing was written
+        # the next save (different index) goes through
+        store.save(1, states, inbox, metrics)
+        assert store.latest() == 1
+
+    def test_corruption_applied_after_write(self, tmp_path):
+        plan = FaultPlan([Fault(CHECKPOINT_CORRUPT, save_index=1)])
+        store = ChaosCheckpointStore(FileCheckpointStore(tmp_path), plan)
+        states, inbox, metrics = self._snapshot_args()
+        store.save(0, states, inbox, metrics)
+        store.save(2, states, inbox, metrics)  # save index 1 -> corrupted
+        assert store.load(0)
+        with pytest.raises(CheckpointCorruptionError):
+            store.load(2)
+
+    def test_injected_errors_are_transient(self):
+        assert issubclass(InjectedIOError, TransientEngineError)
+        assert issubclass(InjectedIOError, OSError)
+        assert issubclass(InjectedCrashError, TransientEngineError)
+        assert issubclass(InjectedTransientError, TransientEngineError)
+
+
+class TestChaosLoader:
+    def test_fails_then_heals(self):
+        plan = FaultPlan([Fault(LOAD_ERROR, times=2)])
+        loads = []
+
+        def loader(name):
+            loads.append(name)
+            return f"graph:{name}"
+
+        load = chaos_loader(loader, plan)
+        with pytest.raises(InjectedIOError):
+            load("dblp")
+        with pytest.raises(InjectedIOError):
+            load("dblp")
+        assert load("dblp") == "graph:dblp"
+        # the real loader only ran once the faults were spent
+        assert loads == ["dblp"]

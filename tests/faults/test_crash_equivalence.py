@@ -1,0 +1,173 @@
+"""Property tests (hypothesis): a crashed-then-recovered run is
+indistinguishable from a fault-free run.
+
+Covers both recovery modes per engine: checkpoint resume on the
+recoverable engine (replayed supersteps must not double-count metrics,
+counters or global aggregators) and restart-from-scratch on the serial /
+threaded engines driven through the supervisor.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import library
+from repro.core.planner import hybrid_plan, iter_opt_plan
+from repro.core.cost import CostModel
+from repro.engine.bsp import BSPEngine, VertexProgram
+from repro.engine.checkpoint import RecoverableBSPEngine
+from repro.faults.chaos import InjectedCrashError
+from repro.faults.plan import COMPUTE_CRASH, Fault, FaultPlan
+from repro.faults.supervisor import ResiliencePolicy, RetryPolicy, Supervisor
+from repro.graph.stats import GraphStatistics
+
+from tests.test_properties import graphs, patterns
+
+FAST_RETRY = RetryPolicy(base_delay_s=0.0, max_delay_s=0.0, jitter=0.0, seed=0)
+
+
+class WaveProgram(VertexProgram):
+    """A quiescing wave with counters and a global aggregator — the
+    surfaces where replayed supersteps could double-count."""
+
+    def __init__(self, steps: int = 4) -> None:
+        self.steps = steps
+
+    def num_supersteps(self):
+        return self.steps
+
+    def global_reducers(self):
+        return {"total_sent": lambda a, b: a + b}
+
+    def compute(self, ctx):
+        state = ctx.state()
+        state["seen"] = state.get("seen", 0) + sum(ctx.messages)
+        ctx.add_counter("computes", 1)
+        ctx.send((ctx.vid + 1) % 4, ctx.superstep + 1)
+        ctx.reduce_global("total_sent", 1)
+
+    def finish(self, states, metrics):
+        return {vid: s.get("seen", 0) for vid, s in states.items()}
+
+
+class TestCheckpointResumeEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        steps=st.integers(min_value=1, max_value=5),
+        crash_step=st.integers(min_value=0, max_value=4),
+        checkpoint_every=st.integers(min_value=1, max_value=3),
+    )
+    def test_wave_resume_matches_fault_free(
+        self, steps, crash_step, checkpoint_every
+    ):
+        crash_step = crash_step % steps
+        reference_engine = BSPEngine(list(range(4)), num_workers=2)
+        expected = reference_engine.run(WaveProgram(steps))
+        expected_counters = dict(reference_engine.last_metrics.counters)
+        expected_globals = dict(reference_engine.last_globals)
+
+        engine = RecoverableBSPEngine(
+            list(range(4)), num_workers=2, checkpoint_every=checkpoint_every
+        )
+        faults = FaultPlan([Fault(COMPUTE_CRASH, superstep=crash_step)])
+        with pytest.raises(InjectedCrashError):
+            engine.run(WaveProgram(steps), faults=faults)
+        result = engine.run(WaveProgram(steps), resume=True, faults=faults)
+
+        assert result == expected
+        # metrics: every superstep counted exactly once, no replay rows
+        assert [
+            s.superstep for s in engine.last_metrics.supersteps
+        ] == list(range(steps))
+        assert dict(engine.last_metrics.counters) == expected_counters
+        # global aggregator contributions of replayed supersteps are not
+        # double-counted either
+        assert dict(engine.last_globals) == expected_globals
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        graph=graphs(),
+        pattern=patterns(min_length=2, max_length=3),
+        crash_step=st.integers(min_value=0, max_value=10),
+    )
+    def test_extraction_resume_matches_fault_free(
+        self, graph, pattern, crash_step
+    ):
+        plan = hybrid_plan(
+            pattern, CostModel(pattern, GraphStatistics.collect(graph))
+        )
+        from repro.core.evaluator import PathConcatenationProgram
+
+        def program():
+            return PathConcatenationProgram(
+                graph, pattern, plan, library.path_count()
+            )
+
+        reference_engine = BSPEngine(list(graph.vertices()), num_workers=3)
+        expected = reference_engine.run(program())
+        expected_counters = dict(reference_engine.last_metrics.counters)
+
+        supersteps = program().num_supersteps()
+        faults = FaultPlan(
+            [Fault(COMPUTE_CRASH, superstep=crash_step % supersteps)]
+        )
+        engine = RecoverableBSPEngine(list(graph.vertices()), num_workers=3)
+        with pytest.raises(InjectedCrashError):
+            engine.run(program(), faults=faults)
+        extracted = engine.run(program(), resume=True, faults=faults)
+
+        assert extracted.equals(expected), extracted.diff(expected)
+        assert dict(engine.last_metrics.counters) == expected_counters
+        assert engine.last_metrics.num_supersteps == supersteps
+
+
+class TestSupervisedRestartEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        graph=graphs(max_edges=10),
+        pattern=patterns(min_length=2, max_length=3),
+        crash_step=st.integers(min_value=0, max_value=10),
+        rung=st.sampled_from(["serial", "threaded"]),
+    )
+    def test_supervised_recovery_matches_fault_free_per_engine(
+        self, graph, pattern, crash_step, rung
+    ):
+        plan = iter_opt_plan(pattern)
+        from repro.core.evaluator import run_extraction
+
+        expected = run_extraction(
+            graph, pattern, plan, library.path_count(), num_workers=2
+        )
+        supersteps = expected.metrics.num_supersteps
+        faults = FaultPlan(
+            [Fault(COMPUTE_CRASH, superstep=crash_step % supersteps)]
+        )
+        supervisor = Supervisor(
+            policy=ResiliencePolicy(retry=FAST_RETRY, ladder=(rung,)),
+            sleep=lambda s: None,
+        )
+        result = supervisor.run_extraction(
+            graph,
+            pattern,
+            plan,
+            library.path_count(),
+            num_workers=2,
+            faults=faults,
+        )
+        assert result.graph.equals(expected.graph), result.graph.diff(
+            expected.graph
+        )
+        report = result.failure_report
+        assert report.succeeded and report.num_retries == 1
+        # the recovered run's own counters match a fault-free run exactly
+        # (resume must not double-count, restart must not leak state)
+        assert dict(result.metrics.counters) == dict(
+            expected.metrics.counters
+        )
+        if rung == "serial":
+            # the checkpointing rung recovered by resuming, not restarting
+            assert report.recovery_points
+        else:
+            assert report.recovery_points == []

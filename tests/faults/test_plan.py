@@ -1,0 +1,150 @@
+"""Tests for FaultPlan: determinism, site matching, firing, replay."""
+
+import threading
+
+import pytest
+
+from repro.errors import EngineError
+from repro.faults.plan import (
+    CHECKPOINT_CORRUPT,
+    CHECKPOINT_IO,
+    COMPUTE_CRASH,
+    FAULT_KINDS,
+    LOAD_ERROR,
+    STALL,
+    TRANSIENT_ERROR,
+    Fault,
+    FaultPlan,
+)
+
+
+class TestFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EngineError, match="unknown fault kind"):
+            Fault("explode")
+
+    def test_zero_times_rejected(self):
+        with pytest.raises(EngineError, match="times"):
+            Fault(COMPUTE_CRASH, times=0)
+
+    def test_describe_names_site(self):
+        assert Fault(COMPUTE_CRASH, superstep=2, vertex=7).describe() == (
+            "compute-crash@s2/v7"
+        )
+        assert Fault(CHECKPOINT_IO, save_index=1).describe() == (
+            "checkpoint-io@save1"
+        )
+        assert "×3" in Fault(TRANSIENT_ERROR, superstep=0, times=3).describe()
+
+
+class TestFiring:
+    def test_compute_fault_matches_superstep_and_vertex(self):
+        plan = FaultPlan([Fault(COMPUTE_CRASH, superstep=1, vertex=5)])
+        assert plan.compute_fault(0, 5) is None
+        assert plan.compute_fault(1, 4) is None
+        fired = plan.compute_fault(1, 5)
+        assert fired is not None and fired.kind == COMPUTE_CRASH
+        # spent after its single firing
+        assert plan.compute_fault(1, 5) is None
+        assert plan.spent()
+
+    def test_wildcard_vertex_fires_on_first_visit(self):
+        plan = FaultPlan([Fault(TRANSIENT_ERROR, superstep=0)])
+        assert plan.compute_fault(0, 42) is not None
+        assert plan.compute_fault(0, 43) is None
+
+    def test_times_budget(self):
+        plan = FaultPlan([Fault(TRANSIENT_ERROR, superstep=0, times=2)])
+        assert plan.compute_fault(0, 1) is not None
+        assert plan.compute_fault(0, 1) is not None
+        assert plan.compute_fault(0, 1) is None
+
+    def test_checkpoint_fault_matches_save_index(self):
+        plan = FaultPlan([Fault(CHECKPOINT_IO, save_index=2)])
+        assert plan.checkpoint_fault(0, 0) is None
+        assert plan.checkpoint_fault(2, 4) is not None
+        assert plan.checkpoint_fault(2, 4) is None
+
+    def test_load_fault_counts_calls(self):
+        plan = FaultPlan([Fault(LOAD_ERROR, times=2)])
+        assert plan.load_fault() is not None
+        assert plan.load_fault() is not None
+        assert plan.load_fault() is None
+        assert [e["call"] for e in plan.injected] == [0, 1]
+
+    def test_injection_log_is_structured(self):
+        plan = FaultPlan([Fault(COMPUTE_CRASH, superstep=1)])
+        plan.compute_fault(1, 9)
+        (entry,) = plan.injected
+        assert entry["kind"] == COMPUTE_CRASH
+        assert entry["site"] == "compute"
+        assert entry["superstep"] == 1 and entry["vertex"] == 9
+
+    def test_on_fire_callback_sees_each_entry(self):
+        seen = []
+        plan = FaultPlan([Fault(TRANSIENT_ERROR, superstep=0, times=2)])
+        plan.on_fire = seen.append
+        plan.compute_fault(0, 1)
+        plan.compute_fault(0, 2)
+        assert [e["vertex"] for e in seen] == [1, 2]
+
+    def test_reset_rearms_and_clears_log(self):
+        plan = FaultPlan([Fault(COMPUTE_CRASH, superstep=0)])
+        plan.compute_fault(0, 1)
+        assert plan.spent() and plan.injected
+        plan.reset()
+        assert not plan.spent() and plan.injected == []
+        assert plan.compute_fault(0, 1) is not None
+
+    def test_firing_is_thread_safe(self):
+        plan = FaultPlan([Fault(TRANSIENT_ERROR, superstep=0, times=50)])
+        hits = []
+
+        def worker():
+            for _ in range(100):
+                if plan.compute_fault(0, 0) is not None:
+                    hits.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(hits) == 50 == len(plan.injected)
+
+
+class TestFromSeed:
+    def test_same_seed_same_plan(self):
+        for seed in range(25):
+            a = FaultPlan.from_seed(seed)
+            b = FaultPlan.from_seed(seed)
+            assert a.describe() == b.describe()
+
+    def test_different_seeds_vary(self):
+        descriptions = {FaultPlan.from_seed(seed).describe() for seed in range(25)}
+        assert len(descriptions) > 5
+
+    def test_require_kind_guaranteed(self):
+        for kind in FAULT_KINDS:
+            plan = FaultPlan.from_seed(3, require_kind=kind)
+            assert kind in plan.kinds()
+
+    def test_compute_faults_land_within_superstep_budget(self):
+        for seed in range(40):
+            plan = FaultPlan.from_seed(seed, supersteps=3)
+            for fault in plan.faults:
+                if fault.superstep is not None:
+                    assert 0 <= fault.superstep < 3
+
+    def test_corruption_paired_with_crash(self):
+        """A corrupted checkpoint only matters when recovery reads it
+        back, so every generated corruption scenario includes a crash."""
+        for seed in range(60):
+            plan = FaultPlan.from_seed(seed, require_kind=CHECKPOINT_CORRUPT)
+            assert CHECKPOINT_CORRUPT in plan.kinds()
+            assert COMPUTE_CRASH in plan.kinds()
+
+    def test_stall_duration_honoured(self):
+        plan = FaultPlan.from_seed(1, require_kind=STALL, stall_s=1.25)
+        (stall,) = [f for f in plan.faults if f.kind == STALL]
+        assert stall.delay_s == 1.25

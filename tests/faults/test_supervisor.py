@@ -1,0 +1,346 @@
+"""Tests for supervised recovery: classification, backoff, deadlines,
+retry/resume, the fallback ladder and extractor wiring."""
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.extractor import GraphExtractor
+from repro.core.planner import iter_opt_plan
+from repro.errors import (
+    DeadlineExceededError,
+    EngineError,
+    SupervisorError,
+    TransientEngineError,
+)
+from repro.faults.plan import (
+    COMPUTE_CRASH,
+    STALL,
+    TRANSIENT_ERROR,
+    Fault,
+    FaultPlan,
+)
+from repro.faults.supervisor import (
+    Deadline,
+    DeadlineGuardProgram,
+    FailureReport,
+    ResiliencePolicy,
+    RetryPolicy,
+    Supervisor,
+    _DeadlineClock,
+    classify_error,
+)
+from repro.graph.pattern import LinePattern
+from repro.obs.instruments import InstrumentRegistry
+from repro.obs.spans import Tracer
+
+from tests.conftest import build_scholarly
+
+COAUTHOR = LinePattern.parse(
+    "Author -[authorBy]-> Paper <-[authorBy]- Author"
+)
+
+#: fast retries so the suite never sleeps for real
+FAST_RETRY = RetryPolicy(base_delay_s=0.0, max_delay_s=0.0, jitter=0.0, seed=0)
+
+
+def make_supervisor(ladder=("serial",), deadline=None, tracer=None, **kw):
+    policy = ResiliencePolicy(
+        retry=kw.pop("retry", FAST_RETRY), deadline=deadline, ladder=ladder, **kw
+    )
+    return Supervisor(policy=policy, tracer=tracer, sleep=lambda s: None)
+
+
+def supervised(supervisor, graph, pattern, faults=None, plan=None):
+    return supervisor.run_extraction(
+        graph,
+        pattern,
+        iter_opt_plan(pattern) if plan is None else plan,
+        library.path_count(),
+        faults=faults,
+    )
+
+
+class TestClassifier:
+    def test_transient_family(self):
+        assert classify_error(TransientEngineError("x")) == "transient"
+        assert classify_error(DeadlineExceededError("x")) == "transient"
+        assert classify_error(OSError("disk")) == "transient"
+        assert classify_error(TimeoutError()) == "transient"
+
+    def test_fatal_by_default(self):
+        assert classify_error(ValueError("bug")) == "fatal"
+        assert classify_error(EngineError("contract")) == "fatal"
+
+    def test_extra_transient_types(self):
+        assert (
+            classify_error(KeyError("k"), transient_types=(KeyError,))
+            == "transient"
+        )
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, multiplier=2.0, max_delay_s=0.5, jitter=0.0
+        )
+        delays = [policy.backoff_s(a) for a in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.5, seed=42)
+        import random
+
+        a = policy.backoff_s(0, random.Random(42))
+        b = policy.backoff_s(0, random.Random(42))
+        assert a == b
+        assert 0.1 <= a <= 0.15
+
+    def test_at_least_one_attempt(self):
+        with pytest.raises(EngineError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestDeadlines:
+    def test_run_deadline_trips(self):
+        clock = _DeadlineClock(Deadline(run_s=0.0))
+        with pytest.raises(DeadlineExceededError, match="run deadline"):
+            clock.check(0)
+
+    def test_superstep_deadline_resets_per_superstep(self):
+        import time
+
+        clock = _DeadlineClock(Deadline(superstep_s=0.05))
+        clock.check(0)
+        time.sleep(0.07)
+        with pytest.raises(DeadlineExceededError, match="superstep 0"):
+            clock.check(0)
+        clock.check(1)  # new superstep: fresh budget
+
+    def test_guard_program_checks_before_compute(self):
+        calls = []
+
+        class Recording:
+            def compute(self, ctx):
+                calls.append(ctx.superstep)
+
+            def num_supersteps(self):
+                return 1
+
+            def combiner(self):
+                return None
+
+            def global_reducers(self):
+                return {}
+
+            def span_attrs(self, superstep):
+                return None
+
+            def finish(self, states, metrics):
+                return states
+
+        guard = DeadlineGuardProgram(Recording(), _DeadlineClock(Deadline(run_s=0.0)))
+
+        class Ctx:
+            superstep = 0
+
+        with pytest.raises(DeadlineExceededError):
+            guard.compute(Ctx())
+        assert calls == []  # inner compute never ran
+
+    def test_stall_fault_is_caught_by_deadline_and_retried(self):
+        graph = build_scholarly()
+        supervisor = make_supervisor(
+            ladder=("serial",), deadline=Deadline(superstep_s=0.05)
+        )
+        faults = FaultPlan([Fault(STALL, superstep=1, delay_s=0.2)])
+        result = supervised(supervisor, graph, COAUTHOR, faults=faults)
+        report = result.failure_report
+        assert report.succeeded
+        assert any(
+            a.error_type == "DeadlineExceededError" for a in report.attempts
+        )
+
+
+class TestSupervisedRecovery:
+    def test_fault_free_run_reports_single_attempt(self):
+        graph = build_scholarly()
+        result = supervised(make_supervisor(), graph, COAUTHOR)
+        report = result.failure_report
+        assert report.succeeded and not report.degraded
+        assert report.num_retries == 0 and len(report.attempts) == 1
+        assert report.final_rung == "serial"
+
+    def test_crash_retries_and_resumes_to_equal_result(self):
+        graph = build_scholarly()
+        baseline = supervised(make_supervisor(), graph, COAUTHOR)
+        faults = FaultPlan([Fault(COMPUTE_CRASH, superstep=1)])
+        result = supervised(make_supervisor(), graph, COAUTHOR, faults=faults)
+        assert result.graph.equals(baseline.graph)
+        report = result.failure_report
+        assert report.num_retries == 1
+        assert report.recovery_points == [1]
+        assert [e["kind"] for e in report.faults_injected] == [COMPUTE_CRASH]
+
+    def test_transient_errors_exhaust_then_escalate_down_ladder(self):
+        graph = build_scholarly()
+        baseline = supervised(make_supervisor(), graph, COAUTHOR)
+        # more failures than the serial rung's retry budget
+        faults = FaultPlan(
+            [Fault(TRANSIENT_ERROR, superstep=0, times=FAST_RETRY.max_attempts)]
+        )
+        supervisor = make_supervisor(ladder=("serial", "line"))
+        result = supervised(supervisor, graph, COAUTHOR, faults=faults)
+        report = result.failure_report
+        assert report.succeeded and report.degraded
+        assert report.final_rung == "line"
+        assert result.graph.equals(baseline.graph)
+
+    def test_fatal_error_escalates_immediately(self):
+        graph = build_scholarly()
+
+        class BuggyAggregate:
+            """Delegates to path_count but raises a genuine bug on every
+            concatenation — a deterministic, non-transient failure."""
+
+            def __init__(self):
+                self.inner = library.path_count()
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+            def concat(self, a, b):
+                raise ValueError("genuine bug")
+
+        supervisor = make_supervisor(ladder=("serial",))
+        with pytest.raises(SupervisorError) as excinfo:
+            supervisor.run_extraction(
+                graph,
+                COAUTHOR,
+                iter_opt_plan(COAUTHOR),
+                BuggyAggregate(),
+                faults=None,
+            )
+        report = excinfo.value.report
+        # fatal: one attempt on the only rung, no retries burned
+        assert len(report.attempts) == 1
+        assert report.attempts[0].outcome == "fatal"
+        assert not report.succeeded
+
+    def test_all_rungs_exhausted_raises_with_report(self):
+        graph = build_scholarly()
+        retry = RetryPolicy(
+            max_attempts=2, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0
+        )
+        # enough armed faults to kill every attempt on both rungs
+        faults = FaultPlan([Fault(TRANSIENT_ERROR, times=100)])
+        supervisor = make_supervisor(ladder=("serial", "line"), retry=retry)
+        with pytest.raises(SupervisorError, match="every ladder rung"):
+            supervised(supervisor, graph, COAUTHOR, faults=faults)
+
+    def test_threaded_rung_restarts_on_fresh_engine(self):
+        graph = build_scholarly()
+        baseline = supervised(make_supervisor(), graph, COAUTHOR)
+        faults = FaultPlan([Fault(COMPUTE_CRASH, superstep=1)])
+        supervisor = make_supervisor(ladder=("threaded",))
+        result = supervised(supervisor, graph, COAUTHOR, faults=faults)
+        report = result.failure_report
+        # the threaded rung cannot resume: recovery is restart-from-scratch
+        assert report.succeeded and report.recovery_points == []
+        assert report.num_retries == 1
+        assert result.graph.equals(baseline.graph)
+
+    def test_obs_counters_and_events_recorded(self):
+        graph = build_scholarly()
+        tracer = Tracer(registry=InstrumentRegistry())
+        faults = FaultPlan([Fault(COMPUTE_CRASH, superstep=1)])
+        supervisor = make_supervisor(tracer=tracer)
+        supervised(supervisor, graph, COAUTHOR, faults=faults)
+        counters = {
+            c.name: c.value
+            for c in tracer.registry.collect()
+            if c.kind == "counter"
+        }
+        assert counters["faults_injected_total"] == 1
+        assert counters["supervisor_retries_total"] == 1
+        assert counters["supervisor_recoveries_total"] == 1
+        events = [
+            event.name for span in tracer.spans for event in span.events
+        ] + [r.get("name") for r in tracer.records if r.get("kind") == "event"]
+        assert "fault-injected" in events
+        assert "supervisor-retry" in events
+        assert "checkpoint-restored" in events
+
+
+class TestResiliencePolicyValidation:
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(EngineError, match="at least one rung"):
+            ResiliencePolicy(ladder=())
+
+    def test_unknown_rung_rejected(self):
+        with pytest.raises(EngineError, match="unknown ladder rung"):
+            ResiliencePolicy(ladder=("quantum",))
+
+
+class TestExtractorWiring:
+    def test_resilience_true_uses_default_policy(self):
+        graph = build_scholarly()
+        extractor = GraphExtractor(graph)
+        baseline = extractor.extract(COAUTHOR, library.path_count())
+        result = extractor.extract(
+            COAUTHOR, library.path_count(), resilience=True
+        )
+        assert result.failure_report is not None
+        assert result.failure_report.succeeded
+        assert result.graph.equals(baseline.graph)
+        assert extractor.last_failure_report is result.failure_report
+
+    def test_faults_imply_supervision(self):
+        graph = build_scholarly()
+        extractor = GraphExtractor(graph)
+        baseline = extractor.extract(COAUTHOR, library.path_count())
+        faults = FaultPlan([Fault(COMPUTE_CRASH, superstep=1)])
+        policy = ResiliencePolicy(retry=FAST_RETRY, ladder=("serial",))
+        extractor_r = GraphExtractor(graph, resilience=policy)
+        result = extractor_r.extract(
+            COAUTHOR, library.path_count(), faults=faults
+        )
+        assert result.graph.equals(baseline.graph)
+        assert result.failure_report.num_retries == 1
+        summary = result.summary()
+        assert summary["retries"] == 1
+        assert summary["faults_injected"] == 1
+
+    def test_sanitize_and_resilience_are_exclusive(self):
+        graph = build_scholarly()
+        extractor = GraphExtractor(graph, sanitize=True)
+        with pytest.raises(EngineError, match="mutually exclusive"):
+            extractor.extract(
+                COAUTHOR, library.path_count(), resilience=True
+            )
+
+    def test_failure_report_kept_when_unrecoverable(self):
+        graph = build_scholarly()
+        retry = RetryPolicy(
+            max_attempts=1, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0
+        )
+        policy = ResiliencePolicy(retry=retry, ladder=("serial",))
+        extractor = GraphExtractor(graph, resilience=policy)
+        faults = FaultPlan([Fault(TRANSIENT_ERROR, times=100)])
+        with pytest.raises(SupervisorError):
+            extractor.extract(COAUTHOR, library.path_count(), faults=faults)
+        assert extractor.last_failure_report is not None
+        assert not extractor.last_failure_report.succeeded
+
+
+class TestFailureReport:
+    def test_as_dict_and_summary(self):
+        report = FailureReport()
+        assert report.num_retries == 0
+        assert "FAILED" in report.summary()
+        report.succeeded = True
+        report.degraded = True
+        report.final_rung = "line"
+        assert "degraded" in report.summary()
+        payload = report.as_dict()
+        assert payload["succeeded"] and payload["degraded"]
+        assert payload["attempts"] == []

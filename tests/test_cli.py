@@ -293,3 +293,45 @@ class TestAggregateDispatch:
         )
         assert code == 0
         assert "result_edges" in out
+
+
+class TestSoak:
+    def test_soak_recovers_all_seeds(self, capsys):
+        # 4 seeds cycle through the full required fault taxonomy:
+        # compute-crash, transient-error, stall, checkpoint-corrupt
+        code, out, _ = run_cli(
+            capsys,
+            "soak",
+            "--workload",
+            "dblp-BP1",
+            "--scale",
+            "0.1",
+            "--seeds",
+            "4",
+            "--deadline-s",
+            "0.1",
+        )
+        assert code == 0
+        assert "4/4 runs recovered" in out
+        assert "chaos soak" in out
+        for kind in ("compute-crash", "transient-error", "stall", "checkpoint-corrupt"):
+            assert kind in out
+
+    def test_soak_rows_show_recovery_details(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "soak",
+            "--workload",
+            "dblp-BP1",
+            "--scale",
+            "0.1",
+            "--seeds",
+            "1",
+            "--deadline-s",
+            "0.1",
+        )
+        assert code == 0
+        # seed 0 requires a compute crash: the run retries and resumes
+        assert "seed 0" in out
+        header = next(line for line in out.splitlines() if "retries" in line)
+        assert "resumed" in header and "rung" in header
