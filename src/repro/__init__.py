@@ -21,7 +21,7 @@ True
 
 from __future__ import annotations
 
-from repro import aggregates, baselines, datasets, faults, obs, workloads
+from repro import accel, aggregates, baselines, datasets, faults, obs, workloads
 from repro.core.cost import CostModel
 from repro.core.extractor import GraphExtractor
 from repro.core.plan import PCP, PCPNode
@@ -113,6 +113,7 @@ __all__ = [
     "TransientEngineError",
     "VertexFilter",
     "VertexProgram",
+    "accel",
     "aggregates",
     "baselines",
     "datasets",

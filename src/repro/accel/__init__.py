@@ -1,0 +1,45 @@
+"""Vectorized semiring backend (the repo's use-the-hardware layer).
+
+The paper's evaluation machinery is vertex-centric, but a primitive
+pattern's concatenation is a *semiring matrix product* over label-filtered
+adjacency (Rodriguez & Neubauer's path algebra): ``⊗`` combines the two
+sides of a pivot, ``⊕`` merges parallel partial paths.  This package
+exploits that:
+
+* :mod:`repro.accel.compact` — compact CSR snapshots of a
+  :class:`~repro.graph.hetgraph.HeterogeneousGraph` (interned label ids,
+  contiguous vertex index, per-``(edge_label, direction)`` sparse
+  adjacency), cached on the graph and invalidated on mutation;
+* :mod:`repro.accel.semiring` — the kernel registry mapping
+  distributive/algebraic aggregates to ``(⊕, ⊗)`` sparse kernels, with a
+  generic fallback built from ``aggregate.concat`` / ``aggregate.merge``;
+* :mod:`repro.accel.evaluator` — :class:`VectorizedEvaluator`, which
+  walks the same PCP ``evaluation_schedule()`` level by level but
+  evaluates each node as one masked sparse matrix product.
+
+Selected through ``GraphExtractor(backend="vectorized")``; holistic
+aggregates, path-trail tracing, the sanitizer and fault injection fall
+back to the BSP evaluator with a logged reason (see
+``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+from repro.accel.compact import CompactGraph
+from repro.accel.evaluator import VectorizedEvaluator, run_vectorized_extraction
+from repro.accel.semiring import (
+    register_op_ufunc,
+    registered_ops,
+    resolve_kernels,
+    semiring_plan,
+)
+
+__all__ = [
+    "CompactGraph",
+    "VectorizedEvaluator",
+    "register_op_ufunc",
+    "registered_ops",
+    "resolve_kernels",
+    "run_vectorized_extraction",
+    "semiring_plan",
+]

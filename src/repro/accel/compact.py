@@ -1,0 +1,229 @@
+"""Compact CSR snapshots of a heterogeneous graph.
+
+A :class:`CompactGraph` freezes one :class:`~repro.graph.hetgraph.
+HeterogeneousGraph` version into array form: vertex ids become a
+contiguous ``0..n-1`` index, vertex/edge labels are interned to small
+integer ids, and every edge label's adjacency is available as a
+``scipy.sparse.csr_matrix`` per direction.  This is the preprocessing
+step every vectorized evaluation shares — build once, mask per pattern.
+
+Snapshots are value objects keyed by the graph's mutation
+:attr:`~repro.graph.hetgraph.HeterogeneousGraph.version`; callers obtain
+them through :meth:`HeterogeneousGraph.to_compact`, which caches the
+snapshot on the graph and rebuilds after any mutation.
+
+Parallel edges are preserved: the raw ``(src, dst, weight)`` triple
+arrays keep one entry per edge instance (each is a distinct path for the
+extraction semantics), while :meth:`adjacency` returns the conventional
+duplicate-summed CSR view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.errors import EngineError
+from repro.graph.filters import VertexFilter
+from repro.graph.hetgraph import ANY_LABEL, HeterogeneousGraph, VertexId
+from repro.graph.pattern import Direction, PatternEdge
+
+#: ``(row_index, col_index, weight)`` arrays, one entry per edge instance.
+TripleArrays = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+_EMPTY_TRIPLES: TripleArrays = (
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.float64),
+)
+
+
+class CompactGraph:
+    """An immutable array-form snapshot of a heterogeneous graph.
+
+    Attributes
+    ----------
+    version:
+        The graph :attr:`~repro.graph.hetgraph.HeterogeneousGraph.version`
+        this snapshot was built from (cache key).
+    vids:
+        ``int64`` array mapping compact index → original vertex id.
+    index:
+        Original vertex id → compact index.
+    vertex_labels / edge_labels:
+        Interned label tables (label id → label string).
+    vertex_label_codes:
+        ``int32`` array of per-vertex label ids, aligned with ``vids``.
+    """
+
+    def __init__(
+        self,
+        graph: HeterogeneousGraph,
+        version: int,
+        vids: np.ndarray,
+        index: Dict[VertexId, int],
+        vertex_labels: List[str],
+        vertex_label_codes: np.ndarray,
+        edge_labels: List[str],
+        triples: Dict[str, TripleArrays],
+    ) -> None:
+        self._graph = graph
+        self.version = version
+        self.vids = vids
+        self.index = index
+        self.vertex_labels = vertex_labels
+        self.vertex_label_codes = vertex_label_codes
+        self.edge_labels = edge_labels
+        self._vertex_label_ids = {
+            label: code for code, label in enumerate(vertex_labels)
+        }
+        self._triples = triples
+        self._adjacency: Dict[Tuple[str, str], csr_matrix] = {}
+        self._label_masks: Dict[str, np.ndarray] = {}
+        self._filter_masks: Dict[VertexFilter, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: HeterogeneousGraph) -> "CompactGraph":
+        """Snapshot ``graph`` at its current version."""
+        version = graph.version
+        vid_list = list(graph.vertices())
+        vids = np.fromiter(vid_list, dtype=np.int64, count=len(vid_list))
+        index = {vid: i for i, vid in enumerate(vid_list)}
+        vertex_labels: List[str] = []
+        label_ids: Dict[str, int] = {}
+        codes = np.empty(len(vid_list), dtype=np.int32)
+        for i, vid in enumerate(vid_list):
+            label = graph.label_of(vid)
+            code = label_ids.get(label)
+            if code is None:
+                code = label_ids[label] = len(vertex_labels)
+                vertex_labels.append(label)
+            codes[i] = code
+        buckets: Dict[str, Tuple[List[int], List[int], List[float]]] = {}
+        for edge in graph.edges():
+            bucket = buckets.get(edge.label)
+            if bucket is None:
+                bucket = buckets[edge.label] = ([], [], [])
+            bucket[0].append(index[edge.src])
+            bucket[1].append(index[edge.dst])
+            bucket[2].append(edge.weight)
+        triples = {
+            label: (
+                np.asarray(srcs, dtype=np.int64),
+                np.asarray(dsts, dtype=np.int64),
+                np.asarray(weights, dtype=np.float64),
+            )
+            for label, (srcs, dsts, weights) in buckets.items()
+        }
+        return cls(
+            graph,
+            version,
+            vids,
+            index,
+            vertex_labels,
+            codes,
+            sorted(buckets),
+            triples,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vids)
+
+    def edge_count(self, label: str) -> int:
+        """Edge instances carrying ``label`` (parallel edges counted)."""
+        triples = self._triples.get(label)
+        return 0 if triples is None else len(triples[0])
+
+    def triples(self, label: str) -> TripleArrays:
+        """Raw ``(src, dst, weight)`` arrays for ``label`` edges, one
+        entry per edge instance (graph orientation)."""
+        return self._triples.get(label, _EMPTY_TRIPLES)
+
+    def slot_triples(self, edge: PatternEdge) -> TripleArrays:
+        """Triples oriented for a pattern slot: rows are the slot's *left*
+        position, columns its *right* position.  Undirected slots
+        concatenate both orientations (each is a distinct match)."""
+        src, dst, weight = self.triples(edge.label)
+        if edge.direction is Direction.FORWARD:
+            return src, dst, weight
+        if edge.direction is Direction.BACKWARD:
+            return dst, src, weight
+        return (
+            np.concatenate((src, dst)),
+            np.concatenate((dst, src)),
+            np.concatenate((weight, weight)),
+        )
+
+    def adjacency(self, label: str, direction: str = "out") -> csr_matrix:
+        """The ``n × n`` CSR adjacency of ``label`` edges.
+
+        ``direction="out"`` gives ``M[src, dst] = Σ weight``;
+        ``direction="in"`` the transpose.  Parallel edge weights are
+        summed (use :meth:`triples` for instance-level data).  Cached per
+        ``(label, direction)``.
+        """
+        if direction not in ("out", "in"):
+            raise EngineError(
+                f"adjacency direction must be 'out' or 'in', got {direction!r}"
+            )
+        key = (label, direction)
+        cached = self._adjacency.get(key)
+        if cached is None:
+            src, dst, weight = self.triples(label)
+            if direction == "in":
+                src, dst = dst, src
+            n = self.num_vertices
+            cached = csr_matrix((weight, (src, dst)), shape=(n, n))
+            self._adjacency[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # masks
+    # ------------------------------------------------------------------
+    def label_mask(self, label: str) -> np.ndarray:
+        """Boolean array over compact indices: vertices matching
+        ``label`` (:data:`~repro.graph.hetgraph.ANY_LABEL` matches all).
+        Cached; treat the result as read-only."""
+        cached = self._label_masks.get(label)
+        if cached is None:
+            if label == ANY_LABEL:
+                cached = np.ones(self.num_vertices, dtype=bool)
+            else:
+                code = self._vertex_label_ids.get(label)
+                if code is None:
+                    cached = np.zeros(self.num_vertices, dtype=bool)
+                else:
+                    cached = self.vertex_label_codes == code
+            self._label_masks[label] = cached
+        return cached
+
+    def filter_mask(self, vertex_filter: VertexFilter) -> np.ndarray:
+        """Boolean array over compact indices: vertices whose attributes
+        satisfy ``vertex_filter``.  Cached per filter; treat the result
+        as read-only."""
+        cached = self._filter_masks.get(vertex_filter)
+        if cached is None:
+            attrs_of = self._graph.vertex_attrs
+            matches = vertex_filter.matches
+            cached = np.fromiter(
+                (matches(attrs_of(vid)) for vid in self.vids.tolist()),
+                dtype=bool,
+                count=self.num_vertices,
+            )
+            self._filter_masks[vertex_filter] = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompactGraph(|V|={self.num_vertices}, "
+            f"edge_labels={self.edge_labels}, version={self.version})"
+        )

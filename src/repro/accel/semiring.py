@@ -1,0 +1,315 @@
+"""Semiring kernels: aggregate ``(⊗, ⊕)`` pairs as sparse matrix algebra.
+
+Algorithm 3 over a distributive aggregate is a closed semiring product:
+if ``M[i, j]`` holds the ⊕-merged value of all partial paths from ``i``
+to ``j``, then concatenating two segments at a pivot is
+
+.. math::  C[i, j] = ⊕_k \\; A[i, k] ⊗ B[k, j]
+
+which this module evaluates in three tiers, best applicable wins:
+
+1. **native** — the sum-product semiring (``⊗ = ×``, ``⊕ = +``, i.e.
+   ``path_count`` / ``weighted_path_count``) is exactly scipy's CSR
+   ``A @ B`` — *when every stored value is strictly positive*.  SciPy
+   prunes entries whose sum cancels to ``0.0``, so zero/negative values
+   would silently drop structural edges; those inputs use tier 2.
+2. **ufunc expansion** — any ``(⊗, ⊕)`` pair whose op names map to numpy
+   ufuncs in the registry (``add``/``mul``/``min``/``max``, plus the
+   boolean ``and``/``or`` encoded as 0/1 ``min``/``max``): the product is
+   expanded to per-pair index arrays with ``repeat``/cumsum gathers,
+   then group-reduced with ``ufunc.reduceat`` after a ``(row, col)``
+   lexsort.  Keeps every structural entry, never prunes.
+3. **generic object fallback** — anything else (custom
+   :class:`~repro.aggregates.base.BinaryOp` names, non-numeric values):
+   dict-of-dicts matrices driven by the aggregate's own ``concat`` /
+   ``merge`` callables.  Correct for every distributive/algebraic
+   aggregate; slower, but still batch-oriented.
+
+Algebraic aggregates resolve to one kernel per distributive component
+(their structural pattern is identical, so counters are charged from the
+first component only).  Holistic aggregates have no kernel — the
+extractor falls back to the BSP evaluator before getting here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.aggregates.base import (
+    Aggregate,
+    AlgebraicAggregate,
+    DistributiveAggregate,
+)
+from repro.errors import AggregationError
+
+#: Registered ⊗/⊕ op-name → ufunc mappings.  ``boolean`` entries only
+#: apply when the aggregate's values are actual booleans (encoded as 0/1
+#: floats); Python's ``and``/``or`` on general numbers is not ``min``/
+#: ``max``, so non-boolean values take the object fallback instead.
+_OP_UFUNCS: Dict[str, Tuple[np.ufunc, bool]] = {
+    "add": (np.add, False),
+    "mul": (np.multiply, False),
+    "min": (np.minimum, False),
+    "max": (np.maximum, False),
+    "and": (np.minimum, True),
+    "or": (np.maximum, True),
+}
+
+
+def register_op_ufunc(name: str, ufunc: np.ufunc, boolean: bool = False) -> None:
+    """Register a vectorized implementation for a custom
+    :class:`~repro.aggregates.base.BinaryOp` name.  ``boolean=True``
+    restricts the mapping to boolean-valued aggregates (values are
+    encoded as 0/1 floats)."""
+    _OP_UFUNCS[name] = (ufunc, boolean)
+
+
+def registered_ops() -> Dict[str, str]:
+    """Op name → ufunc name, for docs and introspection."""
+    return {name: ufunc.__name__ for name, (ufunc, _) in _OP_UFUNCS.items()}
+
+
+class UfuncKernel:
+    """Tiers 1-2: numeric float64 CSR matrices, ufunc ⊗/⊕."""
+
+    name = "ufunc"
+
+    def __init__(
+        self,
+        component: DistributiveAggregate,
+        combine: np.ufunc,
+        merge: np.ufunc,
+        boolean: bool = False,
+    ) -> None:
+        self.component = component
+        self.combine = combine
+        self.merge = merge
+        self.boolean = boolean
+        #: whether tier 1 (native ``A @ B``) applies to positive inputs
+        self.native = combine is np.multiply and merge is np.add
+
+    # -- values ---------------------------------------------------------
+    def edge_values(self, weights: np.ndarray) -> np.ndarray:
+        """Vectorized ``initial_edge`` over an edge-weight array; scalar
+        results broadcast, non-vectorizable callables fall back to a
+        per-element loop."""
+        initial = self.component.initial_edge
+        try:
+            values = np.asarray(initial(weights), dtype=np.float64)
+        except (TypeError, ValueError):
+            return np.fromiter(
+                (float(initial(w)) for w in weights.tolist()),
+                dtype=np.float64,
+                count=len(weights),
+            )
+        if values.ndim == 0:
+            return np.full(weights.shape, float(values), dtype=np.float64)
+        return values
+
+    def to_python(self, value: float) -> Any:
+        return bool(value) if self.boolean else value
+
+    # -- matrices -------------------------------------------------------
+    def build(
+        self, rows: np.ndarray, cols: np.ndarray, values: np.ndarray, n: int
+    ) -> csr_matrix:
+        """A CSR matrix with duplicate ``(row, col)`` entries ⊕-merged
+        (explicit zeros are kept — they are structural paths)."""
+        if len(rows) == 0:
+            return csr_matrix((n, n), dtype=np.float64)
+        order = np.lexsort((cols, rows))
+        rows = rows[order]
+        cols = cols[order]
+        values = values[order]
+        lead = np.empty(len(rows), dtype=bool)
+        lead[0] = True
+        np.logical_or(
+            rows[1:] != rows[:-1], cols[1:] != cols[:-1], out=lead[1:]
+        )
+        starts = np.flatnonzero(lead)
+        merged = self.merge.reduceat(values, starts)
+        return csr_matrix((merged, (rows[lead], cols[lead])), shape=(n, n))
+
+    def matmul(self, a: csr_matrix, b: csr_matrix) -> Tuple[csr_matrix, int]:
+        """``(A ⊗⊕ B, flops)`` where flops is the pair count
+        ``Σ_k nnz(A[:, k]) · nnz(B[k, :])`` — exactly the ``produced``
+        counter of the BSP evaluator's partial mode."""
+        flops = int(np.dot(a.getnnz(axis=0), b.getnnz(axis=1)))
+        n = a.shape[0]
+        if flops == 0:
+            return csr_matrix((n, b.shape[1]), dtype=np.float64), 0
+        if (
+            self.native
+            and a.data.size
+            and b.data.size
+            and a.data.min() > 0.0
+            and b.data.min() > 0.0
+        ):
+            # tier 1: positive values cannot cancel, so scipy's matmul
+            # zero-pruning cannot drop structural entries
+            return (a @ b).tocsr(), flops
+        # tier 2: expand every (a_ik, b_kj) pair, then group-reduce
+        acol = a.indices
+        indptr_b = b.indptr
+        counts = (indptr_b[acol + 1] - indptr_b[acol]).astype(np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            return csr_matrix((n, b.shape[1]), dtype=np.float64), flops
+        arow = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(a.indptr).astype(np.int64)
+        )
+        out_rows = np.repeat(arow, counts)
+        a_expanded = np.repeat(a.data, counts)
+        ends = np.cumsum(counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            ends - counts, counts
+        )
+        gather = np.repeat(indptr_b[acol].astype(np.int64), counts) + offsets
+        out_cols = b.indices[gather].astype(np.int64)
+        values = self.combine(a_expanded, b.data[gather])
+        return self.build(out_rows, out_cols, values, n), flops
+
+    def nnz(self, matrix: csr_matrix) -> int:
+        return int(matrix.nnz)
+
+    def entries(self, matrix: csr_matrix) -> Iterator[Tuple[int, int, Any]]:
+        coo = matrix.tocoo()
+        return zip(coo.row.tolist(), coo.col.tolist(), coo.data.tolist())
+
+
+class ObjectKernel:
+    """Tier 3: dict-of-dicts matrices driven by the aggregate's own
+    ``concat``/``merge`` — the generic fallback for aggregates whose ops
+    have no registered ufunc (or non-numeric value domains)."""
+
+    name = "object"
+    boolean = False
+    native = False
+
+    def __init__(self, component: DistributiveAggregate) -> None:
+        self.component = component
+
+    def edge_values(self, weights: np.ndarray) -> List[Any]:
+        initial = self.component.initial_edge
+        return [initial(w) for w in weights.tolist()]
+
+    def to_python(self, value: Any) -> Any:
+        return value
+
+    def build(
+        self, rows: np.ndarray, cols: np.ndarray, values: List[Any], n: int
+    ) -> Dict[int, Dict[int, Any]]:
+        merge = self.component.merge
+        matrix: Dict[int, Dict[int, Any]] = {}
+        for r, c, v in zip(rows.tolist(), cols.tolist(), values):
+            row = matrix.setdefault(r, {})
+            if c in row:
+                row[c] = merge(row[c], v)
+            else:
+                row[c] = v
+        return matrix
+
+    def matmul(
+        self, a: Dict[int, Dict[int, Any]], b: Dict[int, Dict[int, Any]]
+    ) -> Tuple[Dict[int, Dict[int, Any]], int]:
+        concat = self.component.concat
+        merge = self.component.merge
+        out: Dict[int, Dict[int, Any]] = {}
+        flops = 0
+        for r, arow in a.items():
+            for mid, a_value in arow.items():
+                brow = b.get(mid)
+                if not brow:
+                    continue
+                flops += len(brow)
+                orow = out.setdefault(r, {})
+                for c, b_value in brow.items():
+                    value = concat(a_value, b_value)
+                    if c in orow:
+                        orow[c] = merge(orow[c], value)
+                    else:
+                        orow[c] = value
+        return out, flops
+
+    def nnz(self, matrix: Dict[int, Dict[int, Any]]) -> int:
+        return sum(len(row) for row in matrix.values())
+
+    def entries(
+        self, matrix: Dict[int, Dict[int, Any]]
+    ) -> Iterator[Tuple[int, int, Any]]:
+        for r, row in matrix.items():
+            for c, value in row.items():
+                yield r, c, value
+
+
+#: Either kernel tier — they share the build/matmul/nnz/entries protocol.
+Kernel = Any
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float, np.number)) and not isinstance(
+        value, bool
+    )
+
+
+def resolve_component_kernel(component: DistributiveAggregate) -> Kernel:
+    """The best kernel for one distributive component (see the module
+    docstring for the tier rules)."""
+    combine = _OP_UFUNCS.get(component.combine_op.name)
+    merge = _OP_UFUNCS.get(component.merge_op.name)
+    if combine is None or merge is None:
+        return ObjectKernel(component)
+    probe = component.initial_edge(1.0)
+    boolean = combine[1] or merge[1]
+    if boolean:
+        # and/or only mean min/max over genuine booleans
+        if not isinstance(probe, (bool, np.bool_)):
+            return ObjectKernel(component)
+    elif not _is_numeric(probe):
+        return ObjectKernel(component)
+    return UfuncKernel(component, combine[0], merge[0], boolean=boolean)
+
+
+def resolve_kernels(aggregate: Aggregate) -> List[Kernel]:
+    """One kernel per distributive component of ``aggregate`` (a single
+    kernel for plain distributive aggregates).  Raises
+    :class:`~repro.errors.AggregationError` for holistic aggregates —
+    the extractor routes those to the BSP evaluator instead."""
+    if not aggregate.supports_partial_aggregation:
+        raise AggregationError(
+            f"aggregate {aggregate.name!r} is holistic; the vectorized "
+            f"backend evaluates semiring (distributive/algebraic) "
+            f"aggregates only"
+        )
+    if isinstance(aggregate, AlgebraicAggregate):
+        return [resolve_component_kernel(c) for c in aggregate.components]
+    if isinstance(aggregate, DistributiveAggregate):
+        return [resolve_component_kernel(aggregate)]
+    raise AggregationError(
+        f"aggregate {aggregate.name!r} ({type(aggregate).__name__}) does "
+        f"not expose (⊗, ⊕) operators; the vectorized backend needs a "
+        f"DistributiveAggregate or AlgebraicAggregate"
+    )
+
+
+def semiring_plan(aggregate: Aggregate) -> List[str]:
+    """Human-readable kernel resolution, e.g. for ``path_count``:
+    ``['path_count: native scipy sum-product (mul, add)']`` — used by
+    docs, tests and the CLI to explain backend decisions."""
+    descriptions = []
+    for kernel in resolve_kernels(aggregate):
+        component = kernel.component
+        ops = f"({component.combine_op.name}, {component.merge_op.name})"
+        if getattr(kernel, "native", False):
+            tier = f"native scipy sum-product {ops}"
+        elif isinstance(kernel, UfuncKernel):
+            tier = f"vectorized ufunc expansion {ops}"
+            if kernel.boolean:
+                tier += " [boolean 0/1]"
+        else:
+            tier = f"generic concat/merge fallback {ops}"
+        descriptions.append(f"{component.name}: {tier}")
+    return descriptions

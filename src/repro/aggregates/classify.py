@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import itertools
 import math
+from functools import lru_cache
 from typing import Iterable, Optional, Sequence
 
 from repro.aggregates.base import (
@@ -81,8 +82,32 @@ def check_distributive_pair(
     ``(b ⊕ c) ⊗ a == (b ⊗ a) ⊕ (c ⊗ a)``.
 
     Returns ``True`` when every sampled triple satisfies both identities.
+
+    The check is pure in its inputs (ops are probed on a fixed operand
+    grid), so results are memoised per ``(⊗, ⊕, samples, rel_tol)`` —
+    validating the same operator pair on every extraction costs one
+    dictionary lookup instead of ``O(|samples|³)`` probes.
     """
     values = tuple(samples) if samples is not None else DEFAULT_SAMPLES
+    try:
+        return _check_distributive_pair_cached(
+            combine_op, merge_op, values, rel_tol
+        )
+    except TypeError:
+        # ops with unhashable fields (e.g. a list identity) can't be
+        # cache keys — run the probe grid directly
+        return _check_distributive_pair_cached.__wrapped__(
+            combine_op, merge_op, values, rel_tol
+        )
+
+
+@lru_cache(maxsize=512)
+def _check_distributive_pair_cached(
+    combine_op: BinaryOp,
+    merge_op: BinaryOp,
+    values: Sequence[float],
+    rel_tol: float,
+) -> bool:
     for a, b, c in itertools.product(values, repeat=3):
         left = combine_op(a, merge_op(b, c))
         right = merge_op(combine_op(a, b), combine_op(a, c))

@@ -175,9 +175,17 @@ def cmd_extract(args: argparse.Namespace) -> int:
         partial_aggregation=not args.basic,
         estimator=args.estimator,
         trace=args.trace_out or None,
+        backend=args.backend,
     )
     result = extractor.extract(pattern, aggregate)
+    if extractor.last_fallback_reason is not None:
+        print(
+            f"note: vectorized backend fell back to bsp: "
+            f"{extractor.last_fallback_reason}",
+            file=sys.stderr,
+        )
     summary = result.summary()
+    summary["backend"] = extractor.last_backend
     rows = [Row(key, {"value": value}) for key, value in sorted(summary.items())]
     print(format_table(rows, ["value"], title=f"extract {pattern}", label_header="metric"))
     if args.top:
@@ -367,7 +375,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             traced_paths.append(trace)
         result = run_method(
             method, graph, pattern, aggregate=aggregate_factory(),
-            num_workers=args.workers, trace=trace,
+            num_workers=args.workers, trace=trace, backend=args.backend,
         )
         if reference is None:
             reference = result.graph
@@ -587,6 +595,12 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument(
         "--basic", action="store_true", help="disable partial aggregation"
     )
+    extract.add_argument(
+        "--backend", choices=["bsp", "vectorized"], default="bsp",
+        help="execution backend: the vertex-centric BSP engine or sparse "
+        "semiring kernels (repro.accel); vectorized runs that cannot be "
+        "expressed fall back to bsp with a printed reason",
+    )
     extract.add_argument("--top", type=int, default=0, help="print the top-K edges")
     extract.add_argument("--out", help="write extracted edges as TSV")
     extract.add_argument(
@@ -633,6 +647,11 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated subset of {','.join(METHODS)}",
     )
     compare.add_argument("--workers", type=int, default=4)
+    compare.add_argument(
+        "--backend", choices=["bsp", "vectorized"], default="bsp",
+        help="execution backend for the framework methods (pge, "
+        "pge-basic); baselines ignore it",
+    )
     compare.add_argument(
         "--trace-out", metavar="PATH",
         help="record one observability trace per framework method "

@@ -308,10 +308,11 @@ class PathConcatenationProgram(VertexProgram):
         node_id = node.node_id
         at_end = node.placement is Placement.AT_END
         if self.mode == "basic":
-            produced = len(left) * len(right)
-            ctx.add_work(produced)
-            ctx.add_counter("intermediate_paths", produced)
-            ctx.add_counter(self._node_counters[node_id], produced)
+            # Charge what was actually emitted, counted at the emission
+            # sites, rather than precomputing len(left) * len(right) —
+            # the counters must stay truthful if either loop ever gains a
+            # skip/filter step.
+            produced = 0
             if self.trace:
                 for l_far, l_val, l_trail in left:
                     for r_far, r_val, r_trail in right:
@@ -320,6 +321,7 @@ class PathConcatenationProgram(VertexProgram):
                         target = r_far if at_end else l_far
                         far = l_far if at_end else r_far
                         ctx.send(target, (node_id, far, value, trail))
+                        produced += 1
             else:
                 send = ctx.send
                 for l_far, l_val in left:
@@ -329,6 +331,10 @@ class PathConcatenationProgram(VertexProgram):
                             send(r_far, (node_id, l_far, value))
                         else:
                             send(l_far, (node_id, r_far, value))
+                        produced += 1
+            ctx.add_work(produced)
+            ctx.add_counter("intermediate_paths", produced)
+            ctx.add_counter(self._node_counters[node_id], produced)
         else:
             produced = len(left) * len(right)
             ctx.add_work(produced)

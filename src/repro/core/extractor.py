@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+import logging
 import random
 from typing import Optional
 
@@ -34,6 +35,13 @@ from repro.obs.spans import (
     make_tracer,
     owns_tracer,
 )
+
+#: Engine backends an extraction can run on.
+BACKENDS = ("bsp", "vectorized")
+
+#: Fallback decisions are logged here so backend switches are visible in
+#: operational logs (and assertable in tests via ``caplog``).
+_accel_log = logging.getLogger("repro.accel")
 
 
 class GraphExtractor:
@@ -93,6 +101,15 @@ class GraphExtractor:
         message/combiner instruments and the cost-model drift records.
         Unrelated to :meth:`extract`'s ``trace`` flag, which carries
         *path trails* through basic-mode messages.
+    backend:
+        Default execution backend: ``"bsp"`` (the vertex-centric engine)
+        or ``"vectorized"`` (sparse semiring kernels over the graph's
+        compact CSR snapshot, :mod:`repro.accel`).  The vectorized
+        backend produces the same edges, values and plan counters for
+        distributive/algebraic aggregates; runs it cannot express —
+        holistic aggregates, path-trail tracing (``trace=True``),
+        sanitized and supervised/fault-injected execution — fall back to
+        BSP with a logged reason (``extractor.last_fallback_reason``).
     """
 
     def __init__(
@@ -107,7 +124,12 @@ class GraphExtractor:
         sanitize: bool = False,
         resilience=None,
         trace: TraceSpec = None,
+        backend: str = "bsp",
     ) -> None:
+        if backend not in BACKENDS:
+            raise EngineError(
+                f"unknown backend {backend!r}; choose one of {BACKENDS}"
+            )
         self.graph = graph
         self.num_workers = num_workers
         self.strategy = strategy
@@ -118,6 +140,12 @@ class GraphExtractor:
         self.sanitize = sanitize
         self.resilience = resilience
         self.trace = trace
+        self.backend = backend
+        #: backend the most recent extraction actually ran on
+        self.last_backend: Optional[str] = None
+        #: why the most recent extraction fell back from the vectorized
+        #: backend to BSP (``None`` when no fallback happened)
+        self.last_fallback_reason: Optional[str] = None
         #: findings of the most recent sanitized extraction ([] when clean)
         self.last_sanitizer_findings: list = []
         #: FailureReport of the most recent supervised extraction
@@ -187,6 +215,7 @@ class GraphExtractor:
         resilience=None,
         faults=None,
         tracer: TraceSpec = None,
+        backend: Optional[str] = None,
     ) -> ExtractionResult:
         """Run one extraction and return the
         :class:`~repro.core.result.ExtractionResult`.
@@ -203,6 +232,14 @@ class GraphExtractor:
         ``faults`` is a :class:`~repro.faults.FaultPlan` injected into
         the run — passing one implies supervised execution, since an
         unsupervised chaos run would simply crash.
+
+        ``backend`` overrides the extractor-level backend for this call
+        (``"bsp"`` or ``"vectorized"``).  A vectorized request that the
+        run cannot express (holistic aggregate, ``trace=True``, sanitize,
+        resilience/faults) falls back to BSP — never a silent wrong
+        answer; the decision is logged, recorded on ``last_backend`` /
+        ``last_fallback_reason`` and, when tracing, emitted as a
+        ``backend-fallback`` span event.
         """
         if aggregate is None:
             aggregate = path_count()
@@ -220,6 +257,40 @@ class GraphExtractor:
         )
         if not aggregate.supports_partial_aggregation or trace:
             use_partial = False
+        use_sanitize = self.sanitize if sanitize is None else sanitize
+        use_resilience = self.resilience if resilience is None else resilience
+        use_backend = self.backend if backend is None else backend
+        if use_backend not in BACKENDS:
+            raise EngineError(
+                f"unknown backend {use_backend!r}; choose one of {BACKENDS}"
+            )
+        fallback_reason = None
+        if use_backend == "vectorized":
+            if not aggregate.supports_partial_aggregation:
+                fallback_reason = (
+                    f"holistic aggregate {aggregate.name!r} needs full "
+                    f"path enumeration"
+                )
+            elif trace:
+                fallback_reason = (
+                    "trace=True carries full path trails (basic-mode BSP only)"
+                )
+            elif use_sanitize:
+                fallback_reason = (
+                    "sanitize=True instruments BSP messages and state"
+                )
+            elif use_resilience or faults is not None:
+                fallback_reason = (
+                    "supervised/fault-injected runs execute on the BSP engine"
+                )
+            if fallback_reason is not None:
+                _accel_log.info(
+                    "vectorized backend falling back to bsp: %s",
+                    fallback_reason,
+                )
+                use_backend = "bsp"
+        self.last_backend = use_backend
+        self.last_fallback_reason = fallback_reason
         spec = tracer if tracer is not None else self.trace
         obs = make_tracer(spec)
         traced = obs.enabled
@@ -236,8 +307,11 @@ class GraphExtractor:
                     "workers": num_workers or self.num_workers,
                     "aggregate": aggregate.name,
                     "estimator": self.estimator,
+                    "backend": use_backend,
                 },
             )
+            if fallback_reason is not None:
+                obs.event("backend-fallback", {"reason": fallback_reason})
         try:
             if plan is None:
                 if traced:
@@ -265,8 +339,6 @@ class GraphExtractor:
                     )
             if use_verify:
                 self._verify_inputs(aggregate, plan)
-            use_sanitize = self.sanitize if sanitize is None else sanitize
-            use_resilience = self.resilience if resilience is None else resilience
             if use_resilience or faults is not None:
                 if use_sanitize:
                     raise EngineError(
@@ -297,6 +369,12 @@ class GraphExtractor:
                     mode=mode,
                     trace=trace,
                     tracer=obs,
+                )
+            elif use_backend == "vectorized":
+                from repro.accel.evaluator import run_vectorized_extraction
+
+                result = run_vectorized_extraction(
+                    self.graph, pattern, plan, aggregate, tracer=obs
                 )
             else:
                 result = run_extraction(

@@ -46,6 +46,12 @@ VertexId = int
 #: ``(neighbor, weight)`` adjacency entry.
 AdjEntry = Tuple[VertexId, float]
 
+#: Wildcard vertex label: matches a vertex of any label.  Generalises the
+#: paper's extended-label machinery (Definition 5 already treats vertex
+#: labels as an open set) to user-facing patterns, as metapath tools
+#: commonly allow.  (Re-exported by :mod:`repro.graph.pattern`.)
+ANY_LABEL = "*"
+
 _EMPTY: Tuple[AdjEntry, ...] = ()
 
 
@@ -84,6 +90,21 @@ class HeterogeneousGraph:
         self._by_label: Dict[str, List[VertexId]] = {}
         self._edge_count = 0
         self._edge_label_counts: Counter = Counter()
+        # Mutation counter keying every derived cache below: label-match
+        # tuples, undirected adjacency tuples, and the compact CSR
+        # snapshot (see to_compact).
+        self._version = 0
+        self._match_cache: Dict[str, Tuple[VertexId, ...]] = {}
+        self._any_cache: Dict[Tuple[VertexId, str], Tuple[AdjEntry, ...]] = {}
+        self._compact: Optional[Any] = None
+
+    def _invalidate_caches(self) -> None:
+        self._version += 1
+        if self._match_cache:
+            self._match_cache.clear()
+        if self._any_cache:
+            self._any_cache.clear()
+        self._compact = None
 
     # ------------------------------------------------------------------
     # construction
@@ -105,6 +126,7 @@ class HeterogeneousGraph:
                 )
             if attrs:
                 self._vertex_attrs.setdefault(vid, {}).update(attrs)
+                self._invalidate_caches()
             return
         if self._schema is not None:
             self._schema.validate_vertex(label)
@@ -114,6 +136,7 @@ class HeterogeneousGraph:
         self._by_label.setdefault(label, []).append(vid)
         if attrs:
             self._vertex_attrs[vid] = dict(attrs)
+        self._invalidate_caches()
 
     def add_edge(
         self,
@@ -141,6 +164,7 @@ class HeterogeneousGraph:
         self._in.setdefault(dst, {}).setdefault(label, []).append((src, weight))
         self._edge_count += 1
         self._edge_label_counts[label] += 1
+        self._invalidate_caches()
 
     def remove_edge(
         self,
@@ -163,6 +187,7 @@ class HeterogeneousGraph:
         self._in[dst][label].remove((src, weight))
         self._edge_count -= 1
         self._edge_label_counts[label] -= 1
+        self._invalidate_caches()
 
     # ------------------------------------------------------------------
     # vertex queries
@@ -196,6 +221,22 @@ class HeterogeneousGraph:
         """All vertices carrying ``label`` (insertion order)."""
         return self._by_label.get(label, [])
 
+    def vertices_matching(self, label: str) -> Sequence[VertexId]:
+        """All vertices a pattern position with ``label`` can match
+        (``label`` may be the :data:`ANY_LABEL` wildcard).
+
+        The result is cached per label until the graph mutates, so the
+        evaluator's repeated start/end-label scans cost one pass total.
+        """
+        cached = self._match_cache.get(label)
+        if cached is None:
+            if label == ANY_LABEL:
+                cached = tuple(self._labels)
+            else:
+                cached = tuple(self._by_label.get(label, ()))
+            self._match_cache[label] = cached
+        return cached
+
     def count_label(self, label: str) -> int:
         """Number of vertices with ``label``."""
         return len(self._by_label.get(label, ()))
@@ -219,6 +260,21 @@ class HeterogeneousGraph:
         if adj is None:
             return _EMPTY
         return adj.get(label, _EMPTY)
+
+    def any_edges(self, vid: VertexId, label: str) -> Tuple[AdjEntry, ...]:
+        """Out- and in-entries of ``vid`` under ``label``, concatenated.
+
+        This is what an undirected pattern slot traverses; the tuple is
+        built once per ``(vertex, label)`` and cached until the graph
+        mutates, so hot undirected traversals stop re-concatenating lists
+        on every call.
+        """
+        key = (vid, label)
+        cached = self._any_cache.get(key)
+        if cached is None:
+            cached = (*self.out_edges(vid, label), *self.in_edges(vid, label))
+            self._any_cache[key] = cached
+        return cached
 
     def out_degree(self, vid: VertexId, label: Optional[str] = None) -> int:
         adj = self._out.get(vid)
@@ -249,6 +305,31 @@ class HeterogeneousGraph:
             for label, entries in adj.items():
                 for dst, weight in entries:
                     yield Edge(src, dst, label, weight)
+
+    # ------------------------------------------------------------------
+    # compact snapshot (vectorized backend substrate)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps on every vertex/edge change."""
+        return self._version
+
+    def to_compact(self):
+        """The graph's compact CSR snapshot
+        (:class:`repro.accel.compact.CompactGraph`): interned label ids, a
+        contiguous vertex index, and per-``(edge_label, direction)``
+        ``scipy.sparse.csr_matrix`` adjacency.
+
+        Built lazily, cached on the graph, and invalidated on mutation
+        (the snapshot records the :attr:`version` it was built from).
+        """
+        compact = self._compact
+        if compact is None or compact.version != self._version:
+            from repro.accel.compact import CompactGraph
+
+            compact = CompactGraph.build(self)
+            self._compact = compact
+        return compact
 
     # ------------------------------------------------------------------
     # misc

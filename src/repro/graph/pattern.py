@@ -38,6 +38,7 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.errors import PatternError, PatternMismatchError
 from repro.graph.filters import VertexFilter, normalize_filters
+from repro.graph.hetgraph import ANY_LABEL
 from repro.graph.schema import GraphSchema
 
 
@@ -48,10 +49,12 @@ def label_matches(actual: str, expected: str) -> bool:
 
 
 def vertices_matching(graph, label: str):
-    """The graph vertices a pattern position with ``label`` can match."""
-    if label == ANY_LABEL:
-        return list(graph.vertices())
-    return graph.vertices_with_label(label)
+    """The graph vertices a pattern position with ``label`` can match.
+
+    Delegates to the per-label cache on the graph
+    (:meth:`~repro.graph.hetgraph.HeterogeneousGraph.vertices_matching`).
+    """
+    return graph.vertices_matching(label)
 
 
 def traverse_slot(graph, edge: "PatternEdge", vid, towards_right: bool):
@@ -61,12 +64,11 @@ def traverse_slot(graph, edge: "PatternEdge", vid, towards_right: bool):
     ``towards_right=True`` means ``vid`` occupies the slot's *left*
     position (stepping to the right position); ``False`` the converse.
     Undirected slots traverse both edge orientations — each orientation
-    is a distinct match (a self-loop is walkable twice).
+    is a distinct match (a self-loop is walkable twice); the concatenated
+    entry tuple is cached per ``(vertex, label)`` on the graph.
     """
     if edge.direction is Direction.ANY:
-        entries = list(graph.out_edges(vid, edge.label))
-        entries.extend(graph.in_edges(vid, edge.label))
-        return entries
+        return graph.any_edges(vid, edge.label)
     if towards_right:
         if edge.direction is Direction.FORWARD:
             return graph.out_edges(vid, edge.label)
@@ -117,11 +119,9 @@ class PatternEdge:
         return f"-[{self.label}]-"
 
 
-#: Wildcard vertex label: matches a vertex of any label.  Generalises the
-#: paper's extended-label machinery (Definition 5 already treats vertex
-#: labels as an open set) to user-facing patterns, as metapath tools
-#: commonly allow.
-ANY_LABEL = "*"
+# ANY_LABEL (the "*" wildcard) is defined in repro.graph.hetgraph — the
+# graph's own label-match cache needs it — and re-exported here, its
+# historical home.
 
 # DSL tokens:  Label  -[edge]->  Label  <-[edge]-  Label  -[edge]-  Label
 # (the last form is undirected; a label may be * and may carry an

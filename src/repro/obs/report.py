@@ -135,10 +135,12 @@ def _fmt(value: float) -> str:
 
 def superstep_table(data: TraceData) -> str:
     """The per-superstep report table (makespan, imbalance, messages,
-    drift) rendered as aligned text."""
+    drift — plus the per-level kernel wall time for vectorized-backend
+    traces) rendered as aligned text."""
     from repro.workloads.harness import Row, format_table
 
     drift = data.drift_by_superstep()
+    vectorized = any("kernel_time_s" in attrs for attrs in data.supersteps)
     rows: List[Row] = []
     for attrs in data.sorted_supersteps():
         step = int(attrs.get("superstep", 0))
@@ -153,6 +155,11 @@ def superstep_table(data: TraceData) -> str:
             "imbalance": round(imbalance, 3),
             "messages": attrs.get("messages_sent", 0),
         }
+        if vectorized:
+            kernel_s = attrs.get("kernel_time_s")
+            values["kernel_s"] = (
+                f"{kernel_s:.6f}" if kernel_s is not None else "-"
+            )
         step_drift = drift.get(step)
         if step_drift is not None:
             values["est_paths"] = _fmt(step_drift["estimated"])
@@ -168,10 +175,17 @@ def superstep_table(data: TraceData) -> str:
             "trace contains no superstep spans; was it produced by a "
             "traced run (extract --trace-out / GraphExtractor(trace=...))?"
         )
-    columns = ["makespan", "imbalance", "messages", "est_paths", "obs_paths", "drift"]
+    columns = ["makespan", "imbalance", "messages"]
+    if vectorized:
+        columns.append("kernel_s")
+    columns += ["est_paths", "obs_paths", "drift"]
     title = "per-superstep run report"
-    if data.extraction is not None and data.extraction.get("pattern"):
-        title += f" — {data.extraction['pattern']}"
+    if data.extraction is not None:
+        backend = data.extraction.get("backend")
+        if backend:
+            title += f" [{backend}]"
+        if data.extraction.get("pattern"):
+            title += f" — {data.extraction['pattern']}"
     return format_table(rows, columns, title=title, label_header="phase")
 
 

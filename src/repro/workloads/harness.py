@@ -62,6 +62,7 @@ def run_method(
     num_workers: int = 10,
     strategy: str = "hybrid",
     trace=None,
+    backend: str = "bsp",
 ) -> ExtractionResult:
     """Run one extraction with the named method.
 
@@ -74,7 +75,9 @@ def run_method(
     ``trace`` is an observability spec (see
     :func:`repro.obs.spans.make_tracer`) honoured by the framework
     methods; the standalone baselines ignore it (they do not run on the
-    BSP engine).
+    BSP engine).  ``backend`` selects the framework execution backend
+    (``"bsp"`` or ``"vectorized"``, see :mod:`repro.accel`); the
+    baselines ignore it too.
     """
     aggregate = aggregate or path_count()
     if method in ("pge", "pge-basic"):
@@ -84,6 +87,7 @@ def run_method(
             strategy=strategy,
             partial_aggregation=(method == "pge"),
             trace=trace,
+            backend=backend,
         )
         return extractor.extract(pattern, aggregate)
     if method == "graphdb":
@@ -108,6 +112,7 @@ def run_workload(
     num_workers: int = 10,
     strategy: str = "hybrid",
     aggregate: Optional[Aggregate] = None,
+    backend: str = "bsp",
 ) -> ExtractionResult:
     """Run a named paper workload end to end."""
     workload = get_workload(name)
@@ -119,6 +124,7 @@ def run_workload(
         aggregate=aggregate,
         num_workers=num_workers,
         strategy=strategy,
+        backend=backend,
     )
 
 

@@ -1,0 +1,154 @@
+"""Cross-backend equivalence: the vectorized semiring backend must give
+byte-identical edge sets (and tolerance-equal values) to the BSP
+evaluator — on random graphs, every planner strategy, both BSP modes,
+and every semiring aggregate in the library."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import library
+from repro.core.extractor import GraphExtractor
+from repro.core.planner import STRATEGIES, make_plan
+from repro.graph.pattern import LinePattern
+from repro.workloads.harness import reference_graph, run_method
+from repro.workloads.patterns import WORKLOADS
+
+from tests.conftest import COAUTHOR_EXPECTED
+from tests.test_properties import graphs, patterns
+
+#: Every library aggregate the semiring backend handles natively — all
+#: distributive and algebraic factories (holistic ones fall back to BSP).
+SEMIRING_FACTORIES = [
+    library.path_count,
+    library.weighted_path_count,
+    library.max_min,
+    library.min_max,
+    library.add_max,
+    library.sum_min,
+    library.exists_path,
+    library.avg_path_value,
+    library.std_path_value,
+]
+
+
+def _extract(graph, pattern, aggregate, plan, backend, partial=True):
+    extractor = GraphExtractor(
+        graph,
+        num_workers=2,
+        partial_aggregation=partial,
+        backend=backend,
+    )
+    return extractor.extract(pattern, aggregate, plan=plan)
+
+
+class TestHypothesisEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        graph=graphs(),
+        pattern=patterns(max_length=4),
+        factory_index=st.integers(
+            min_value=0, max_value=len(SEMIRING_FACTORIES) - 1
+        ),
+        strategy=st.sampled_from(STRATEGIES),
+    )
+    def test_vectorized_matches_bsp_partial(
+        self, graph, pattern, factory_index, strategy
+    ):
+        factory = SEMIRING_FACTORIES[factory_index]
+        plan = make_plan(pattern, strategy, graph=graph)
+        bsp = _extract(graph, pattern, factory(), plan, "bsp")
+        vec = _extract(graph, pattern, factory(), plan, "vectorized")
+        assert set(vec.graph.edges) == set(bsp.graph.edges)
+        assert vec.graph.equals(bsp.graph, rel_tol=1e-7), vec.graph.diff(
+            bsp.graph
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        graph=graphs(),
+        pattern=patterns(max_length=3),
+        factory_index=st.integers(
+            min_value=0, max_value=len(SEMIRING_FACTORIES) - 1
+        ),
+    )
+    def test_vectorized_matches_bsp_basic(
+        self, graph, pattern, factory_index
+    ):
+        factory = SEMIRING_FACTORIES[factory_index]
+        plan = make_plan(pattern, "iter_opt", graph=graph)
+        bsp = _extract(graph, pattern, factory(), plan, "bsp", partial=False)
+        vec = _extract(graph, pattern, factory(), plan, "vectorized")
+        assert vec.graph.equals(bsp.graph, rel_tol=1e-7), vec.graph.diff(
+            bsp.graph
+        )
+
+
+class TestCounterEquivalence:
+    """The vectorized run must feed the same RunMetrics the BSP partial
+    mode reports — drift tracking and reports depend on the counters."""
+
+    @pytest.mark.parametrize(
+        "factory", SEMIRING_FACTORIES, ids=lambda f: f.__name__
+    )
+    def test_partial_counters_match(self, scholarly, factory):
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author "
+            "-[authorBy]-> Paper"
+        )
+        plan = make_plan(pattern, "iter_opt", graph=scholarly)
+        bsp = _extract(scholarly, pattern, factory(), plan, "bsp")
+        vec = _extract(scholarly, pattern, factory(), plan, "vectorized")
+        for counter in ("intermediate_paths", "final_paths", "result_edges"):
+            assert vec.metrics.counters.get(counter, 0) == bsp.metrics.counters.get(
+                counter, 0
+            ), counter
+        node_counters = {
+            name: value
+            for name, value in bsp.metrics.counters.items()
+            if name.startswith("node_paths:")
+        }
+        for name, value in node_counters.items():
+            assert vec.metrics.counters.get(name) == value, name
+
+    def test_superstep_count_matches(self, scholarly, coauthor_pattern):
+        plan = make_plan(coauthor_pattern, "iter_opt", graph=scholarly)
+        bsp = _extract(
+            scholarly, coauthor_pattern, library.path_count(), plan, "bsp"
+        )
+        vec = _extract(
+            scholarly, coauthor_pattern, library.path_count(), plan, "vectorized"
+        )
+        assert (
+            vec.metrics.num_supersteps == bsp.metrics.num_supersteps
+        )
+
+
+class TestKnownValues:
+    def test_coauthor_counts_on_scholarly(self, scholarly, coauthor_pattern):
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        result = extractor.extract(coauthor_pattern, library.path_count())
+        assert result.graph.edges == COAUTHOR_EXPECTED
+
+    def test_length_one_pattern(self, scholarly):
+        pattern = LinePattern.parse("Paper -[citeBy]-> Paper")
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        result = extractor.extract(pattern, library.path_count())
+        assert result.graph.edges == {(12, 11): 1.0, (13, 12): 1.0}
+
+
+class TestWorkloadCatalog:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_full_catalog_equivalence(self, name):
+        workload = WORKLOADS[name]
+        graph = reference_graph(workload.dataset, scale=0.05)
+        bsp = run_method("pge", graph, workload.pattern, num_workers=4)
+        vec = run_method(
+            "pge", graph, workload.pattern, backend="vectorized"
+        )
+        assert set(vec.graph.edges) == set(bsp.graph.edges)
+        assert vec.graph.equals(bsp.graph, rel_tol=1e-7), vec.graph.diff(
+            bsp.graph
+        )

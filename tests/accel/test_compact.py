@@ -1,0 +1,160 @@
+"""Tests for the compact CSR snapshot layer (repro.accel.compact)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.compact import CompactGraph
+from repro.errors import EngineError
+from repro.graph.filters import VertexFilter
+from repro.graph.hetgraph import ANY_LABEL, HeterogeneousGraph
+from repro.graph.pattern import Direction, PatternEdge
+
+from tests.conftest import A1, A2, P1, build_scholarly
+
+
+class TestBuild:
+    def test_vertex_index_roundtrip(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        assert compact.num_vertices == scholarly.num_vertices()
+        for i, vid in enumerate(compact.vids.tolist()):
+            assert compact.index[vid] == i
+
+    def test_label_interning_matches_graph(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        for i, vid in enumerate(compact.vids.tolist()):
+            code = int(compact.vertex_label_codes[i])
+            assert compact.vertex_labels[code] == scholarly.label_of(vid)
+
+    def test_triples_per_label(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        for label in ("authorBy", "publishAt", "citeBy"):
+            src, dst, weight = compact.triples(label)
+            assert len(src) == len(dst) == len(weight)
+            assert len(src) == scholarly.count_edge_label(label)
+            assert compact.edge_count(label) == len(src)
+
+    def test_unknown_label_is_empty(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        src, dst, weight = compact.triples("nope")
+        assert len(src) == len(dst) == len(weight) == 0
+        assert compact.edge_count("nope") == 0
+
+    def test_parallel_edges_preserved_in_triples(self):
+        g = HeterogeneousGraph()
+        g.add_vertex(1, "A")
+        g.add_vertex(2, "B")
+        g.add_edge(1, 2, "x", 2.0)
+        g.add_edge(1, 2, "x", 3.0)
+        compact = CompactGraph.build(g)
+        src, dst, weight = compact.triples("x")
+        assert len(src) == 2
+        assert sorted(weight.tolist()) == [2.0, 3.0]
+
+
+class TestSlotTriples:
+    def test_forward_matches_graph_orientation(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        src, dst, _ = compact.slot_triples(PatternEdge("authorBy", Direction.FORWARD))
+        pairs = {
+            (compact.vids[r], compact.vids[c])
+            for r, c in zip(src.tolist(), dst.tolist())
+        }
+        assert (A1, P1) in pairs
+        assert (P1, A1) not in pairs
+
+    def test_backward_swaps_orientation(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        src, dst, _ = compact.slot_triples(PatternEdge("authorBy", Direction.BACKWARD))
+        pairs = {
+            (compact.vids[r], compact.vids[c])
+            for r, c in zip(src.tolist(), dst.tolist())
+        }
+        assert (P1, A1) in pairs
+        assert (A1, P1) not in pairs
+
+    def test_any_concatenates_both_orientations(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        fwd = compact.slot_triples(PatternEdge("citeBy", Direction.FORWARD))
+        both = compact.slot_triples(PatternEdge("citeBy", Direction.ANY))
+        assert len(both[0]) == 2 * len(fwd[0])
+
+
+class TestAdjacency:
+    def test_out_in_are_transposes(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        out = compact.adjacency("citeBy", "out")
+        into = compact.adjacency("citeBy", "in")
+        assert (out.T != into).nnz == 0
+
+    def test_parallel_edge_weights_summed(self):
+        g = HeterogeneousGraph()
+        g.add_vertex(1, "A")
+        g.add_vertex(2, "B")
+        g.add_edge(1, 2, "x", 2.0)
+        g.add_edge(1, 2, "x", 3.0)
+        compact = CompactGraph.build(g)
+        out = compact.adjacency("x")
+        assert out[compact.index[1], compact.index[2]] == 5.0
+
+    def test_cached_per_label_direction(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        assert compact.adjacency("citeBy") is compact.adjacency("citeBy")
+
+    def test_bad_direction_raises(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        with pytest.raises(EngineError):
+            compact.adjacency("citeBy", "sideways")
+
+
+class TestMasks:
+    def test_label_mask_matches_vertices_matching(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        for label in ("Author", "Paper", "Venue"):
+            mask = compact.label_mask(label)
+            matched = {
+                compact.vids[i] for i in np.flatnonzero(mask).tolist()
+            }
+            assert matched == set(scholarly.vertices_matching(label))
+
+    def test_any_label_matches_all(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        assert compact.label_mask(ANY_LABEL).all()
+
+    def test_unknown_label_matches_none(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        assert not compact.label_mask("Ghost").any()
+
+    def test_filter_mask_uses_vertex_attrs(self):
+        g = HeterogeneousGraph()
+        g.add_vertex(1, "Paper", {"year": 2008})
+        g.add_vertex(2, "Paper", {"year": 2014})
+        g.add_vertex(3, "Paper")  # missing attr never matches
+        compact = CompactGraph.build(g)
+        mask = compact.filter_mask(VertexFilter("year", "ge", 2010))
+        matched = {compact.vids[i] for i in np.flatnonzero(mask).tolist()}
+        assert matched == {2}
+
+    def test_masks_are_cached(self, scholarly):
+        compact = CompactGraph.build(scholarly)
+        assert compact.label_mask("Author") is compact.label_mask("Author")
+        recent = VertexFilter("year", "ge", 2010)
+        assert compact.filter_mask(recent) is compact.filter_mask(recent)
+
+
+class TestSnapshotCache:
+    def test_to_compact_reuses_snapshot(self, scholarly):
+        assert scholarly.to_compact() is scholarly.to_compact()
+
+    def test_mutation_invalidates_snapshot(self, scholarly):
+        before = scholarly.to_compact()
+        scholarly.add_edge(A2, P1, "authorBy")
+        after = scholarly.to_compact()
+        assert after is not before
+        assert after.version > before.version
+        assert after.edge_count("authorBy") == before.edge_count("authorBy") + 1
+
+    def test_snapshot_records_graph_version(self, scholarly):
+        compact = scholarly.to_compact()
+        assert compact.version == scholarly.version

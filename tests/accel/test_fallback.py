@@ -1,0 +1,181 @@
+"""Backend selection and fallback: a vectorized request the run cannot
+express must fall back to BSP — logged, recorded, traced, and never a
+silent wrong answer."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.aggregates import library
+from repro.cli import main
+from repro.core.extractor import GraphExtractor
+from repro.errors import EngineError
+from repro.faults import FaultPlan
+from repro.obs.spans import Tracer
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestBackendValidation:
+    def test_unknown_backend_at_init(self, scholarly):
+        with pytest.raises(EngineError, match="unknown backend"):
+            GraphExtractor(scholarly, backend="quantum")
+
+    def test_unknown_backend_at_extract(self, scholarly, coauthor_pattern):
+        extractor = GraphExtractor(scholarly)
+        with pytest.raises(EngineError, match="unknown backend"):
+            extractor.extract(coauthor_pattern, backend="quantum")
+
+    def test_extract_overrides_extractor_backend(
+        self, scholarly, coauthor_pattern
+    ):
+        extractor = GraphExtractor(scholarly, backend="bsp")
+        extractor.extract(
+            coauthor_pattern, library.path_count(), backend="vectorized"
+        )
+        assert extractor.last_backend == "vectorized"
+
+
+class TestFallbackReasons:
+    def _extract(self, scholarly, pattern, caplog, **kwargs):
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        with caplog.at_level(logging.INFO, logger="repro.accel"):
+            result = extractor.extract(pattern, **kwargs)
+        return extractor, result
+
+    def test_semiring_aggregate_stays_vectorized(
+        self, scholarly, coauthor_pattern, caplog
+    ):
+        extractor, _ = self._extract(
+            scholarly, coauthor_pattern, caplog, aggregate=library.path_count()
+        )
+        assert extractor.last_backend == "vectorized"
+        assert extractor.last_fallback_reason is None
+        assert not caplog.records
+
+    def test_holistic_falls_back(self, scholarly, coauthor_pattern, caplog):
+        extractor, result = self._extract(
+            scholarly,
+            coauthor_pattern,
+            caplog,
+            aggregate=library.median_path_value(),
+        )
+        assert extractor.last_backend == "bsp"
+        assert "holistic" in extractor.last_fallback_reason
+        assert any(
+            "falling back to bsp" in record.getMessage()
+            for record in caplog.records
+        )
+        # the fallback still computes the right answer
+        assert result.graph.num_edges() > 0
+
+    def test_trace_falls_back(self, scholarly, coauthor_pattern, caplog):
+        extractor, result = self._extract(
+            scholarly, coauthor_pattern, caplog, trace=True
+        )
+        assert extractor.last_backend == "bsp"
+        assert "trace" in extractor.last_fallback_reason
+        assert result.traced_paths is not None
+
+    def test_sanitize_falls_back(self, scholarly, coauthor_pattern, caplog):
+        extractor, _ = self._extract(
+            scholarly, coauthor_pattern, caplog, sanitize=True
+        )
+        assert extractor.last_backend == "bsp"
+        assert "sanitize" in extractor.last_fallback_reason
+
+    def test_resilience_falls_back(self, scholarly, coauthor_pattern, caplog):
+        extractor, _ = self._extract(
+            scholarly, coauthor_pattern, caplog, resilience=True
+        )
+        assert extractor.last_backend == "bsp"
+        assert "BSP engine" in extractor.last_fallback_reason
+
+    def test_fault_plan_falls_back(self, scholarly, coauthor_pattern, caplog):
+        extractor, _ = self._extract(
+            scholarly, coauthor_pattern, caplog, faults=FaultPlan([])
+        )
+        assert extractor.last_backend == "bsp"
+        assert extractor.last_fallback_reason is not None
+
+    def test_fallback_event_in_trace(self, scholarly, coauthor_pattern):
+        tracer = Tracer()
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        extractor.extract(
+            coauthor_pattern,
+            library.median_path_value(),
+            tracer=tracer,
+        )
+        extraction = next(s for s in tracer.spans if s.name == "extraction")
+        assert extraction.attrs["backend"] == "bsp"
+        assert any(e.name == "backend-fallback" for e in extraction.events)
+
+
+class TestVectorizedTrace:
+    def test_span_shape(self, scholarly, coauthor_pattern):
+        tracer = Tracer()
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        extractor.extract(
+            coauthor_pattern, library.path_count(), tracer=tracer
+        )
+        names = {span.name for span in tracer.spans}
+        assert {"extraction", "engine-run", "superstep", "worker"} <= names
+        supersteps = [s for s in tracer.spans if s.name == "superstep"]
+        assert supersteps
+        for span in supersteps:
+            assert span.attrs["backend"] == "vectorized"
+            assert "kernel_time_s" in span.attrs
+        extraction = next(s for s in tracer.spans if s.name == "extraction")
+        assert extraction.attrs["backend"] == "vectorized"
+
+
+class TestCliBackend:
+    def test_extract_vectorized_summary(self, capsys):
+        code, out, err = run_cli(
+            capsys,
+            "extract", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP1", "--backend", "vectorized",
+        )
+        assert code == 0
+        assert "vectorized" in out
+        assert "fell back" not in err
+
+    def test_extract_fallback_note_on_stderr(self, capsys):
+        code, out, err = run_cli(
+            capsys,
+            "extract", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP1", "--backend", "vectorized",
+            "--aggregate", "median",
+        )
+        assert code == 0
+        assert "fell back to bsp" in err
+        assert "holistic" in err
+
+    def test_compare_accepts_backend(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "compare", "--workload", "dblp-SP1", "--scale", "0.05",
+            "--methods", "pge", "--backend", "vectorized",
+        )
+        assert code == 0
+        assert "pge" in out
+
+    def test_report_renders_kernel_column(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code, _, _ = run_cli(
+            capsys,
+            "extract", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP1", "--backend", "vectorized",
+            "--trace-out", str(trace),
+        )
+        assert code == 0
+        code, out, _ = run_cli(capsys, "report", str(trace))
+        assert code == 0
+        assert "[vectorized]" in out
+        assert "kernel_s" in out

@@ -1,0 +1,225 @@
+"""Tests for the semiring kernel registry (repro.accel.semiring)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+
+from repro.accel.semiring import (
+    ObjectKernel,
+    UfuncKernel,
+    register_op_ufunc,
+    registered_ops,
+    resolve_kernels,
+    semiring_plan,
+)
+from repro.aggregates import library
+from repro.aggregates.base import BinaryOp, DistributiveAggregate
+from repro.errors import AggregationError
+
+
+def _single_kernel(aggregate):
+    kernels = resolve_kernels(aggregate)
+    assert len(kernels) == 1
+    return kernels[0]
+
+
+class TestResolution:
+    def test_path_count_is_native(self):
+        kernel = _single_kernel(library.path_count())
+        assert isinstance(kernel, UfuncKernel)
+        assert kernel.native
+
+    def test_max_min_is_ufunc_but_not_native(self):
+        kernel = _single_kernel(library.max_min())
+        assert isinstance(kernel, UfuncKernel)
+        assert not kernel.native
+
+    def test_exists_path_uses_boolean_encoding(self):
+        kernel = _single_kernel(library.exists_path())
+        assert isinstance(kernel, UfuncKernel)
+        assert kernel.boolean
+
+    def test_algebraic_gets_kernel_per_component(self):
+        aggregate = library.avg_path_value()
+        kernels = resolve_kernels(aggregate)
+        assert len(kernels) == len(aggregate.components)
+
+    def test_custom_op_falls_back_to_object_kernel(self):
+        gcd = BinaryOp("gcd", lambda a, b: a or b, 0.0)
+        aggregate = DistributiveAggregate(gcd, gcd, name="gcd-paths")
+        kernel = _single_kernel(aggregate)
+        assert isinstance(kernel, ObjectKernel)
+
+    def test_boolean_ops_over_numbers_fall_back(self):
+        # Python's `and`/`or` over general numbers is not min/max, so a
+        # boolean-op aggregate with non-bool values must not vectorize.
+        from repro.aggregates.library import OP_AND
+
+        aggregate = DistributiveAggregate(
+            OP_AND, OP_AND, edge_value=lambda w: w, name="and-numbers"
+        )
+        kernel = _single_kernel(aggregate)
+        assert isinstance(kernel, ObjectKernel)
+
+    def test_holistic_raises(self):
+        with pytest.raises(AggregationError, match="holistic"):
+            resolve_kernels(library.median_path_value())
+
+    def test_register_op_ufunc_upgrades_resolution(self):
+        op = BinaryOp("test-hypot", lambda a, b: (a**2 + b**2) ** 0.5, 0.0)
+        aggregate = DistributiveAggregate(op, op, name="hypot-paths")
+        assert isinstance(_single_kernel(aggregate), ObjectKernel)
+        register_op_ufunc("test-hypot", np.hypot)
+        try:
+            kernel = _single_kernel(aggregate)
+            assert isinstance(kernel, UfuncKernel)
+            assert kernel.combine is np.hypot
+        finally:
+            # registry mutation must not leak into other tests
+            from repro.accel import semiring
+
+            semiring._OP_UFUNCS.pop("test-hypot", None)
+
+    def test_registered_ops_lists_defaults(self):
+        ops = registered_ops()
+        assert ops["add"] == "add"
+        assert ops["mul"] == "multiply"
+        assert ops["and"] == "minimum"
+
+
+class TestSemiringPlan:
+    def test_native_described(self):
+        (description,) = semiring_plan(library.path_count())
+        assert "native" in description
+        assert "(mul, add)" in description
+
+    def test_expansion_described(self):
+        (description,) = semiring_plan(library.max_min())
+        assert "ufunc expansion" in description
+
+    def test_boolean_flagged(self):
+        (description,) = semiring_plan(library.exists_path())
+        assert "boolean" in description
+
+    def test_object_fallback_described(self):
+        op = BinaryOp("mystery", lambda a, b: a, 0.0)
+        (description,) = semiring_plan(
+            DistributiveAggregate(op, op, name="mystery-paths")
+        )
+        assert "fallback" in description
+
+
+def _csr(rows, cols, values, n=4):
+    return csr_matrix(
+        (
+            np.asarray(values, dtype=np.float64),
+            (np.asarray(rows), np.asarray(cols)),
+        ),
+        shape=(n, n),
+    )
+
+
+class TestUfuncKernel:
+    def test_matmul_matches_dense_sum_product(self):
+        kernel = _single_kernel(library.path_count())
+        a = _csr([0, 0, 1], [1, 2, 2], [1.0, 1.0, 1.0])
+        b = _csr([1, 2, 2], [3, 3, 0], [1.0, 1.0, 1.0])
+        result, flops = kernel.matmul(a, b)
+        assert np.array_equal(result.toarray(), (a @ b).toarray())
+        # a column 1 (1 entry) × b row 1 (1 entry) + a column 2 (2) × b row 2 (2)
+        assert flops == 5
+
+    def test_flops_counts_index_pairs(self):
+        kernel = _single_kernel(library.path_count())
+        a = _csr([0, 1], [2, 2], [1.0, 1.0])
+        b = _csr([2, 2], [0, 3], [1.0, 1.0])
+        _, flops = kernel.matmul(a, b)
+        # 2 entries in a's column 2, each meeting 2 entries in b's row 2
+        assert flops == 4
+
+    def test_zero_values_are_not_pruned(self):
+        # weighted sums can legitimately be 0.0; the entry is still a path
+        kernel = _single_kernel(library.weighted_path_count())
+        a = _csr([0], [1], [0.0])
+        b = _csr([1], [2], [5.0])
+        result, flops = kernel.matmul(a, b)
+        assert flops == 1
+        assert result.nnz == 1  # explicit structural zero kept
+        assert result[0, 2] == 0.0
+
+    def test_cancelling_negatives_keep_structure(self):
+        kernel = _single_kernel(library.weighted_path_count())
+        a = _csr([0, 0], [1, 2], [1.0, -1.0])
+        b = _csr([1, 2], [3, 3], [1.0, 1.0])
+        result, _ = kernel.matmul(a, b)
+        # 1·1 + (−1)·1 = 0 — scipy's native matmul would prune this entry
+        assert result.nnz == 1
+        assert result[0, 3] == 0.0
+
+    def test_min_max_semiring(self):
+        kernel = _single_kernel(library.max_min())  # ⊗=min along, ⊕=max across
+        a = _csr([0, 0], [1, 2], [3.0, 5.0])
+        b = _csr([1, 2], [3, 3], [4.0, 2.0])
+        result, flops = kernel.matmul(a, b)
+        # paths 0→1→3 (min 3) and 0→2→3 (min 2); max = 3
+        assert flops == 2
+        assert result[0, 3] == 3.0
+
+    def test_build_merges_duplicates(self):
+        kernel = _single_kernel(library.path_count())
+        rows = np.asarray([0, 0, 1])
+        cols = np.asarray([1, 1, 2])
+        values = np.asarray([1.0, 1.0, 1.0])
+        matrix = kernel.build(rows, cols, values, 4)
+        assert matrix[0, 1] == 2.0
+        assert matrix[1, 2] == 1.0
+        assert matrix.nnz == 2
+
+    def test_boolean_to_python(self):
+        kernel = _single_kernel(library.exists_path())
+        assert kernel.to_python(1.0) is True
+        assert kernel.to_python(0.0) is False
+
+    def test_empty_operand_short_circuits(self):
+        kernel = _single_kernel(library.path_count())
+        a = _csr([], [], [])
+        b = _csr([1], [2], [1.0])
+        result, flops = kernel.matmul(a, b)
+        assert flops == 0
+        assert result.nnz == 0
+
+
+class TestObjectKernel:
+    def _kernel(self):
+        from repro.aggregates.base import OP_ADD, OP_MUL
+
+        # force the object tier regardless of op registration
+        return ObjectKernel(
+            DistributiveAggregate(OP_MUL, OP_ADD, name="object-sum")
+        )
+
+    def test_matmul_matches_ufunc_result(self):
+        object_kernel = self._kernel()
+        ufunc_kernel = _single_kernel(library.path_count())
+        rows = np.asarray([0, 0, 1])
+        cols = np.asarray([1, 2, 2])
+        values = [1.0, 1.0, 1.0]
+        a_obj = object_kernel.build(rows, cols, values, 4)
+        b_obj = object_kernel.build(cols, rows, values, 4)
+        a_csr = ufunc_kernel.build(rows, cols, np.asarray(values), 4)
+        b_csr = ufunc_kernel.build(cols, rows, np.asarray(values), 4)
+        result_obj, flops_obj = object_kernel.matmul(a_obj, b_obj)
+        result_csr, flops_csr = ufunc_kernel.matmul(a_csr, b_csr)
+        assert flops_obj == flops_csr
+        assert dict(
+            ((r, c), v) for r, c, v in object_kernel.entries(result_obj)
+        ) == dict(((r, c), v) for r, c, v in ufunc_kernel.entries(result_csr))
+
+    def test_nnz_counts_entries(self):
+        kernel = self._kernel()
+        matrix = kernel.build(
+            np.asarray([0, 1]), np.asarray([1, 2]), [1.0, 2.0], 4
+        )
+        assert kernel.nnz(matrix) == 2

@@ -1,0 +1,62 @@
+"""Basic-mode path accounting: ``produced`` counters are charged at the
+actual emission sites, so they equal the number of materialised path
+messages — not a precomputed product."""
+
+from __future__ import annotations
+
+from repro.aggregates import library
+from repro.core.evaluator import run_extraction
+from repro.core.planner import make_plan
+
+from tests.conftest import COAUTHOR_EXPECTED
+
+
+def _run(graph, pattern, **kwargs):
+    plan = make_plan(pattern, "iter_opt", graph=graph)
+    return run_extraction(
+        graph, pattern, plan, library.path_count(), mode="basic", **kwargs
+    )
+
+
+class TestBasicModeCounters:
+    def test_intermediate_paths_equal_materialised_paths(
+        self, scholarly, coauthor_pattern
+    ):
+        result = _run(scholarly, coauthor_pattern)
+        # every full path is materialised exactly once at the root pivot,
+        # so the counter equals the total path count
+        expected = int(sum(COAUTHOR_EXPECTED.values()))
+        assert result.metrics.counters["intermediate_paths"] == expected
+        root_counter = [
+            value
+            for name, value in result.metrics.counters.items()
+            if name.startswith("node_paths:")
+        ]
+        assert root_counter == [expected]
+
+    def test_traced_run_counts_identically(self, scholarly, coauthor_pattern):
+        plain = _run(scholarly, coauthor_pattern)
+        traced = _run(scholarly, coauthor_pattern, trace=True)
+        assert (
+            traced.metrics.counters["intermediate_paths"]
+            == plain.metrics.counters["intermediate_paths"]
+        )
+        assert traced.metrics.counters["final_paths"] == plain.metrics.counters[
+            "final_paths"
+        ]
+
+    def test_longer_pattern_counts_all_levels(self, scholarly):
+        from repro.graph.pattern import LinePattern
+
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author "
+            "-[authorBy]-> Paper"
+        )
+        basic = _run(scholarly, pattern)
+        # the sum over node counters must equal the aggregate counter
+        node_total = sum(
+            value
+            for name, value in basic.metrics.counters.items()
+            if name.startswith("node_paths:")
+        )
+        assert basic.metrics.counters["intermediate_paths"] == node_total

@@ -1,0 +1,92 @@
+"""Hot-path caches on HeterogeneousGraph: label-match tuples, undirected
+adjacency entries, and the compact snapshot — all invalidated on any
+mutation."""
+
+from __future__ import annotations
+
+from repro.graph.hetgraph import ANY_LABEL, HeterogeneousGraph
+
+from tests.conftest import A1, A2, P1, P2, P3, build_scholarly
+
+
+class TestVerticesMatchingCache:
+    def test_returns_cached_tuple(self):
+        g = build_scholarly()
+        first = g.vertices_matching("Author")
+        assert first is g.vertices_matching("Author")
+        assert isinstance(first, tuple)
+
+    def test_any_label_matches_all_vertices(self):
+        g = build_scholarly()
+        assert set(g.vertices_matching(ANY_LABEL)) == set(g.vertices())
+
+    def test_add_vertex_invalidates(self):
+        g = build_scholarly()
+        before = g.vertices_matching("Author")
+        g.add_vertex(99, "Author")
+        after = g.vertices_matching("Author")
+        assert after is not before
+        assert 99 in after
+
+    def test_unknown_label_is_empty(self):
+        g = build_scholarly()
+        assert g.vertices_matching("Ghost") == ()
+
+
+class TestAnyEdgesCache:
+    def test_concatenates_out_and_in(self):
+        g = build_scholarly()
+        entries = g.any_edges(P2, "citeBy")
+        # P2 -> P1 (out) and P3 -> P2 (in): both traversable undirected
+        assert set(entries) == {(P1, 1.0), (P3, 1.0)}
+
+    def test_returns_cached_tuple(self):
+        g = build_scholarly()
+        assert g.any_edges(A1, "authorBy") is g.any_edges(A1, "authorBy")
+
+    def test_add_edge_invalidates(self):
+        g = build_scholarly()
+        before = g.any_edges(A1, "authorBy")
+        g.add_edge(A1, P2, "authorBy")
+        after = g.any_edges(A1, "authorBy")
+        assert after is not before
+        assert len(after) == len(before) + 1
+
+    def test_remove_edge_invalidates(self):
+        g = build_scholarly()
+        before = g.any_edges(A1, "authorBy")
+        g.remove_edge(A1, P1, "authorBy")
+        assert len(g.any_edges(A1, "authorBy")) == len(before) - 1
+
+
+class TestVersionCounter:
+    def test_bumps_on_every_mutation(self):
+        g = build_scholarly()
+        v0 = g.version
+        g.add_vertex(100, "Author")
+        v1 = g.version
+        g.add_edge(100, P1, "authorBy")
+        v2 = g.version
+        g.remove_edge(100, P1, "authorBy")
+        v3 = g.version
+        assert v0 < v1 < v2 < v3
+
+    def test_attr_update_on_existing_vertex_bumps(self):
+        g = build_scholarly()
+        v0 = g.version
+        g.add_vertex(A2, "Author", {"h_index": 3})
+        assert g.version > v0
+
+    def test_noop_readd_does_not_bump(self):
+        g = build_scholarly()
+        v0 = g.version
+        g.add_vertex(A2, "Author")
+        assert g.version == v0
+
+    def test_queries_do_not_bump(self):
+        g = build_scholarly()
+        v0 = g.version
+        g.vertices_matching("Author")
+        g.any_edges(A1, "authorBy")
+        g.to_compact()
+        assert g.version == v0
