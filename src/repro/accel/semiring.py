@@ -33,7 +33,7 @@ extractor falls back to the BSP evaluator before getting here.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -295,10 +295,17 @@ def resolve_kernels(aggregate: Aggregate) -> List[Kernel]:
     )
 
 
-def semiring_plan(aggregate: Aggregate) -> List[str]:
+def semiring_plan(aggregate: Aggregate, plan: Optional[Any] = None) -> List[str]:
     """Human-readable kernel resolution, e.g. for ``path_count``:
     ``['path_count: native scipy sum-product (mul, add)']`` — used by
-    docs, tests and the CLI to explain backend decisions."""
+    docs, tests and the CLI to explain backend decisions.
+
+    With a ``plan`` (a :class:`~repro.core.plan.PCP`), the kernel lines
+    are followed by one line per plan node carrying the static
+    eligibility verdict of the plan typechecker
+    (:func:`repro.lint.types.static_eligibility`), e.g.
+    ``'node 2 [0,2,4] level 2: vectorized: ...'``.
+    """
     descriptions = []
     for kernel in resolve_kernels(aggregate):
         component = kernel.component
@@ -312,4 +319,15 @@ def semiring_plan(aggregate: Aggregate) -> List[str]:
         else:
             tier = f"generic concat/merge fallback {ops}"
         descriptions.append(f"{component.name}: {tier}")
+    if plan is not None:
+        # imported lazily: repro.lint.types itself resolves kernels
+        # through this module (always with plan=None, so no recursion)
+        from repro.lint.types import static_eligibility
+
+        verdict = static_eligibility(aggregate)
+        for node in plan.nodes():
+            descriptions.append(
+                f"node {node.node_id} [{node.i},{node.k},{node.j}] "
+                f"level {node.level}: {verdict.describe()}"
+            )
     return descriptions

@@ -70,8 +70,27 @@ class BinaryOp:
 
 
 # Common operator instances -------------------------------------------------
-OP_ADD = BinaryOp("add", lambda a, b: a + b, 0.0)
-OP_MUL = BinaryOp("mul", lambda a, b: a * b, 1.0)
+#
+# The operator callables are module-level named functions, never lambdas:
+# aggregates must survive ``pickle`` so the process-safety analysis
+# (:mod:`repro.lint.procsafe`) — and eventually a multiprocess engine —
+# can ship them to worker processes.  A lambda, even at module level,
+# pickles by qualified name ``"<lambda>"`` and fails to round-trip.
+def _add(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def _mul(a: Any, b: Any) -> Any:
+    return a * b
+
+
+def weight_edge_value(w: float) -> float:
+    """The default ``edge_value``: an edge's value is its weight."""
+    return w
+
+
+OP_ADD = BinaryOp("add", _add, 0.0)
+OP_MUL = BinaryOp("mul", _mul, 1.0)
 OP_MIN = BinaryOp("min", min, float("inf"))
 OP_MAX = BinaryOp("max", max, float("-inf"))
 
@@ -149,7 +168,9 @@ class DistributiveAggregate(Aggregate):
     ) -> None:
         self.combine_op = combine_op
         self.merge_op = merge_op
-        self._edge_value = edge_value if edge_value is not None else lambda w: w
+        self._edge_value = (
+            edge_value if edge_value is not None else weight_edge_value
+        )
         self.name = name or f"{combine_op.name}-{merge_op.name}"
 
     def initial_edge(self, weight: float) -> Any:
@@ -219,7 +240,9 @@ class HolisticAggregate(Aggregate):
     ) -> None:
         self.combine_op = combine_op
         self._collect = collect
-        self._edge_value = edge_value if edge_value is not None else lambda w: w
+        self._edge_value = (
+            edge_value if edge_value is not None else weight_edge_value
+        )
         self.name = name
 
     def initial_edge(self, weight: float) -> Any:

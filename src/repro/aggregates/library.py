@@ -21,6 +21,7 @@ Holistic (full path enumeration required):
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Any, List, Sequence, Tuple
 
 from repro.aggregates.base import (
@@ -34,6 +35,31 @@ from repro.aggregates.base import (
     HolisticAggregate,
 )
 
+# Every edge-value map, finaliser and collector below is a module-level
+# named function (or a frozen dataclass for the parameterised ones), not
+# a closure: library aggregates must pickle cleanly for process pools,
+# and the process-safety analysis (repro.lint.procsafe) verifies they do.
+
+
+def _unit_edge(w: float) -> float:
+    return 1.0
+
+
+def _true_edge(w: float) -> bool:
+    return True
+
+
+def _square_edge(w: float) -> float:
+    return w * w
+
+
+def _and(a: Any, b: Any) -> Any:
+    return a and b
+
+
+def _or(a: Any, b: Any) -> Any:
+    return a or b
+
 
 # ----------------------------------------------------------------------
 # distributive aggregates
@@ -45,7 +71,7 @@ def path_count() -> DistributiveAggregate:
     experiments.
     """
     return DistributiveAggregate(
-        OP_MUL, OP_ADD, edge_value=lambda w: 1.0, name="path_count"
+        OP_MUL, OP_ADD, edge_value=_unit_edge, name="path_count"
     )
 
 
@@ -79,8 +105,8 @@ def sum_min() -> DistributiveAggregate:
 
 
 #: boolean operators for reachability-style aggregates
-OP_AND = BinaryOp("and", lambda a, b: a and b, True)
-OP_OR = BinaryOp("or", lambda a, b: a or b, False)
+OP_AND = BinaryOp("and", _and, True)
+OP_OR = BinaryOp("or", _or, False)
 
 
 def exists_path() -> DistributiveAggregate:
@@ -89,13 +115,25 @@ def exists_path() -> DistributiveAggregate:
     OR).  Every extracted edge carries ``True`` — the cheapest possible
     aggregate, useful when only the relation's *structure* matters."""
     return DistributiveAggregate(
-        OP_AND, OP_OR, edge_value=lambda w: True, name="exists_path"
+        OP_AND, OP_OR, edge_value=_true_edge, name="exists_path"
     )
 
 
 # ----------------------------------------------------------------------
 # algebraic aggregates
 # ----------------------------------------------------------------------
+def _avg(values: Tuple[Any, ...]) -> float:
+    sum_value, count_value = values
+    return sum_value / count_value
+
+
+def _std(values: Tuple[Any, ...]) -> float:
+    sum_value, sumsq_value, count_value = values
+    mean = sum_value / count_value
+    variance = max(sumsq_value / count_value - mean * mean, 0.0)
+    return math.sqrt(variance)
+
+
 def avg_path_value() -> AlgebraicAggregate:
     """Average over paths of the product of edge weights.
 
@@ -104,11 +142,6 @@ def avg_path_value() -> AlgebraicAggregate:
     """
     total = weighted_path_count()
     count = path_count()
-
-    def _avg(values: Tuple[Any, ...]) -> float:
-        sum_value, count_value = values
-        return sum_value / count_value
-
     return AlgebraicAggregate([total, count], _avg, name="avg_path_value")
 
 
@@ -120,49 +153,48 @@ def std_path_value() -> AlgebraicAggregate:
     """
     total = weighted_path_count()
     sumsq = DistributiveAggregate(
-        OP_MUL, OP_ADD, edge_value=lambda w: w * w, name="sumsq"
+        OP_MUL, OP_ADD, edge_value=_square_edge, name="sumsq"
     )
     count = path_count()
-
-    def _std(values: Tuple[Any, ...]) -> float:
-        sum_value, sumsq_value, count_value = values
-        mean = sum_value / count_value
-        variance = max(sumsq_value / count_value - mean * mean, 0.0)
-        return math.sqrt(variance)
-
     return AlgebraicAggregate([total, sumsq, count], _std, name="std_path_value")
 
 
 # ----------------------------------------------------------------------
 # holistic aggregates
 # ----------------------------------------------------------------------
+def _median(values: List[float]) -> float:
+    values = sorted(values)
+    n = len(values)
+    mid = n // 2
+    if n % 2:
+        return values[mid]
+    return (values[mid - 1] + values[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class _TopK:
+    """Picklable parameterised collector: the ``k`` largest values."""
+
+    k: int
+
+    def __call__(self, values: List[float]) -> Tuple[float, ...]:
+        return tuple(sorted(values, reverse=True)[: self.k])
+
+
+def _distinct(values: Sequence[float]) -> int:
+    return len(set(values))
+
+
 def median_path_value() -> HolisticAggregate:
     """Median of the per-path products of edge weights."""
-
-    def _median(values: List[float]) -> float:
-        values = sorted(values)
-        n = len(values)
-        mid = n // 2
-        if n % 2:
-            return values[mid]
-        return (values[mid - 1] + values[mid]) / 2.0
-
     return HolisticAggregate(OP_MUL, _median, name="median_path_value")
 
 
 def top_k_path_values(k: int) -> HolisticAggregate:
     """The ``k`` largest per-path products of edge weights (descending)."""
-
-    def _topk(values: List[float]) -> Tuple[float, ...]:
-        return tuple(sorted(values, reverse=True)[:k])
-
-    return HolisticAggregate(OP_MUL, _topk, name=f"top_{k}_path_values")
+    return HolisticAggregate(OP_MUL, _TopK(k), name=f"top_{k}_path_values")
 
 
 def count_distinct_path_values() -> HolisticAggregate:
     """Number of distinct per-path products of edge weights."""
-
-    def _distinct(values: Sequence[float]) -> int:
-        return len(set(values))
-
     return HolisticAggregate(OP_MUL, _distinct, name="count_distinct_path_values")

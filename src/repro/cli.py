@@ -13,6 +13,11 @@ Run as ``python -m repro <command>``:
   ``--trace-out``;
 * ``lint``      — run the first-party static-analysis rules over source
   files (exit gated by ``--fail-on``; the permanent CI gate);
+* ``check``     — static verification: typecheck workload plans against
+  their dataset schemas (slot orientation, filter applicability, the
+  Theorem-3 distributivity precondition, per-node backend verdicts)
+  and/or run the interprocedural process-safety rules over source
+  trees;
 * ``sanitize``  — run one extraction on the BSP race/determinism
   sanitizer engine and report runtime findings through the lint
   reporters (text/json/sarif/github);
@@ -560,6 +565,89 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Static verification: plan typing for workloads and/or
+    process-safety analysis for source trees.
+
+    Workload mode (``--workload`` / ``--all-workloads``) typechecks each
+    workload's compiled plan against its dataset schema — slot
+    orientation, filter applicability, the Theorem-3 distributivity
+    precondition — and prints the per-node static backend verdict.
+    Source mode (positional paths) runs the interprocedural
+    process-safety rules (``procsafe-*``) over the files.  Both modes
+    feed one findings report through the lint reporters.
+    """
+    from repro.lint.findings import LintReport
+    from repro.lint.procsafe import PROCSAFE_RULES
+    from repro.lint.types import PlanTypeChecker
+    from repro.core.planner import make_plan
+
+    findings = []
+    files_scanned = 0
+    workload_names: List[str] = []
+    if args.all_workloads:
+        workload_names = sorted(WORKLOADS)
+    elif args.workload:
+        workload_names = [args.workload]
+
+    graphs: dict = {}
+    rows = []
+    for name in workload_names:
+        workload = get_workload(name)
+        if workload.dataset not in graphs:
+            graphs[workload.dataset] = reference_graph(
+                workload.dataset, args.scale
+            )
+        graph = graphs[workload.dataset]
+        aggregate = AGGREGATES[args.aggregate]()
+        pattern = workload.pattern
+        plan = (
+            make_plan(pattern, strategy=args.strategy, graph=graph)
+            if pattern.length > 1
+            else None
+        )
+        checker = PlanTypeChecker(graph.schema)
+        type_report = checker.check(pattern, plan, aggregate)
+        for node in type_report.nodes:
+            i, k, j = node.segment
+            rows.append(
+                Row(
+                    f"{name} node {node.node_id}",
+                    {
+                        "segment": f"[{i},{k},{j}]",
+                        "type": node.pattern_type,
+                        "ok": "yes" if not node.problems else "NO",
+                        "static_eligibility": node.eligibility.describe(),
+                    },
+                )
+            )
+        findings.extend(type_report.findings(path=f"<workload {name}>"))
+    if rows:
+        print(
+            format_table(
+                rows,
+                ["segment", "type", "ok", "static_eligibility"],
+                title=(
+                    f"plan typing [{args.strategy}] under aggregate "
+                    f"{args.aggregate!r}"
+                ),
+                label_header="plan node",
+            )
+        )
+        print()
+
+    if args.paths:
+        from repro.lint.engine import run_lint
+
+        source_report = run_lint(args.paths, rules=list(PROCSAFE_RULES))
+        findings.extend(source_report.findings)
+        files_scanned = source_report.files_scanned
+
+    report = LintReport(findings=findings, files_scanned=files_scanned)
+    _emit_report(report, args)
+    return _report_exit_code(report, args.fail_on)
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -719,6 +807,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="explicit pyproject.toml with a [tool.repro.lint] section",
     )
 
+    check = sub.add_parser(
+        "check",
+        help="static plan typing (workloads) and process-safety "
+        "analysis (source trees)",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="source files or directories for the process-safety rules",
+    )
+    check.add_argument(
+        "--workload", help="typecheck one named workload's plan"
+    )
+    check.add_argument(
+        "--all-workloads", action="store_true",
+        help="typecheck every named workload's plan",
+    )
+    check.add_argument(
+        "--aggregate", choices=sorted(AGGREGATES), default="path_count",
+        help="aggregate whose value domain is flowed through the plan",
+    )
+    check.add_argument("--strategy", choices=STRATEGIES, default="hybrid")
+    check.add_argument(
+        "--scale", type=float, default=0.05,
+        help="dataset scale for plan statistics (default 0.05; typing "
+        "itself is scale-independent)",
+    )
+    check.add_argument(
+        "--format", choices=formats, default="text",
+        help="findings report format (default text)",
+    )
+    check.add_argument(
+        "--output", metavar="FILE",
+        help="write the findings report to FILE instead of stdout",
+    )
+    check.add_argument(
+        "--fail-on", choices=["error", "warning", "never"], default="warning",
+        help="severity threshold for a non-zero exit (default warning)",
+    )
+
     sanitize = sub.add_parser(
         "sanitize",
         help="run one extraction under the BSP race/determinism sanitizer",
@@ -756,6 +884,7 @@ COMMANDS = {
     "soak": cmd_soak,
     "report": cmd_report,
     "lint": cmd_lint,
+    "check": cmd_check,
     "sanitize": cmd_sanitize,
 }
 

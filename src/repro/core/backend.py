@@ -1,0 +1,51 @@
+"""The backend decision: can a run execute on the vectorized engine?
+
+One function answers it for both worlds.  :class:`~repro.core.extractor.
+GraphExtractor` calls :func:`vectorized_fallback_reason` at runtime to
+decide (and log) a fallback to the BSP engine; the static plan
+typechecker (:mod:`repro.lint.types`) calls the *same* function to
+predict the decision before any evaluation happens.  Because both sides
+share this single predicate, the static kernel-eligibility verdict and
+the runtime ``last_fallback_reason`` agree by construction — the
+cross-check test in ``tests/accel/test_static_eligibility.py`` pins
+that equivalence over the full workload catalog.
+
+The module is deliberately dependency-free (no numpy/scipy): importing
+it must stay possible even where the accelerator stack is absent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+def vectorized_fallback_reason(
+    aggregate: Any,
+    *,
+    trace: bool = False,
+    sanitize: bool = False,
+    resilience: Any = None,
+    faults: Any = None,
+) -> Optional[str]:
+    """Why a vectorized-backend request must fall back to BSP — or
+    ``None`` when the vectorized engine can express the run.
+
+    The checks mirror what the vectorized evaluator cannot do: holistic
+    aggregates need full path enumeration, path-trail tracing and the
+    sanitizer instrument BSP messages, and supervised/fault-injected
+    execution drives the BSP engine's superstep loop.  The returned
+    strings are the exact ``last_fallback_reason`` values the extractor
+    records (and logs on the ``repro.accel`` logger).
+    """
+    if not aggregate.supports_partial_aggregation:
+        return (
+            f"holistic aggregate {aggregate.name!r} needs full "
+            f"path enumeration"
+        )
+    if trace:
+        return "trace=True carries full path trails (basic-mode BSP only)"
+    if sanitize:
+        return "sanitize=True instruments BSP messages and state"
+    if resilience or faults is not None:
+        return "supervised/fault-injected runs execute on the BSP engine"
+    return None

@@ -20,6 +20,7 @@ from typing import Optional
 from repro.aggregates.base import Aggregate
 from repro.aggregates.classify import validate_aggregate
 from repro.aggregates.library import path_count
+from repro.core.backend import vectorized_fallback_reason
 from repro.core.evaluator import run_extraction
 from repro.core.plan import PCP
 from repro.core.planner import make_plan
@@ -68,8 +69,12 @@ class GraphExtractor:
         plan is checked against the Theorem 2 invariants
         (:class:`~repro.lint.contracts.PlanVerifier`) and the aggregate's
         declared kind against sampled algebraic laws
-        (:class:`~repro.lint.contracts.AggregateContractChecker`).
-        Violations raise :class:`~repro.errors.PlanError` /
+        (:class:`~repro.lint.contracts.AggregateContractChecker`), and
+        the pattern/plan/aggregate triple is typechecked against the
+        graph schema (:class:`~repro.lint.types.PlanTypeChecker`):
+        slot orientations, filter attribute domains, the symbolic
+        ``(⊗, ⊕)`` value-domain flow and the static kernel-eligibility
+        verdict.  Violations raise :class:`~repro.errors.PlanError` /
         :class:`~repro.errors.AggregationError` before any superstep runs.
     sanitize:
         When true, extractions run on the race/determinism sanitizer
@@ -156,12 +161,33 @@ class GraphExtractor:
         self.last_trace: Optional[TracerBase] = None
         self._stats: Optional[GraphStatistics] = None
 
-    def _verify_inputs(self, aggregate: Aggregate, plan: Optional[PCP]) -> None:
+    def _verify_inputs(
+        self,
+        aggregate: Aggregate,
+        plan: Optional[PCP],
+        pattern: Optional[LinePattern] = None,
+        **backend_flags,
+    ):
+        """The ``verify=True`` pipeline: contract verifiers (PR 1) plus,
+        when a pattern is supplied, the schema-aware plan typechecker
+        (:class:`~repro.lint.types.PlanTypeChecker`).  Returns the
+        :class:`~repro.lint.types.PlanTypeReport` (``None`` when no
+        pattern was given, as in :meth:`extract_many`)."""
         from repro.lint.contracts import AggregateContractChecker, PlanVerifier
 
         AggregateContractChecker().verify(aggregate)
         if plan is not None:
             PlanVerifier().verify_plan(plan)
+        if pattern is None:
+            return None
+        from repro.lint.types import PlanTypeChecker
+
+        # schema-dependent checks follow the validate_patterns switch
+        # (schema=None degrades the checker to aggregate/eligibility
+        # checks only, matching validate_against's opt-out)
+        schema = self.graph.schema if self.validate_patterns else None
+        checker = PlanTypeChecker(schema)
+        return checker.verify(pattern, plan, aggregate, **backend_flags)
 
     @property
     def stats(self) -> GraphStatistics:
@@ -181,7 +207,12 @@ class GraphExtractor:
         rng: Optional[random.Random] = None,
     ) -> Optional[PCP]:
         """Compile ``pattern`` into a PCP (``None`` for length-1 patterns,
-        which need no concatenation)."""
+        which need no concatenation).
+
+        When the extractor validates patterns, the graph schema is handed
+        to the planner so ill-typed candidates are rejected before any
+        cost ranking (:func:`repro.lint.types.check_pattern_typing`).
+        """
         if pattern.length == 1:
             return None
         return make_plan(
@@ -189,6 +220,7 @@ class GraphExtractor:
             strategy=strategy or self.strategy,
             graph=self.graph,
             stats=self.stats,
+            schema=self.graph.schema if self.validate_patterns else None,
             partial_aggregation=(
                 self.partial_aggregation
                 if partial_aggregation is None
@@ -266,23 +298,13 @@ class GraphExtractor:
             )
         fallback_reason = None
         if use_backend == "vectorized":
-            if not aggregate.supports_partial_aggregation:
-                fallback_reason = (
-                    f"holistic aggregate {aggregate.name!r} needs full "
-                    f"path enumeration"
-                )
-            elif trace:
-                fallback_reason = (
-                    "trace=True carries full path trails (basic-mode BSP only)"
-                )
-            elif use_sanitize:
-                fallback_reason = (
-                    "sanitize=True instruments BSP messages and state"
-                )
-            elif use_resilience or faults is not None:
-                fallback_reason = (
-                    "supervised/fault-injected runs execute on the BSP engine"
-                )
+            fallback_reason = vectorized_fallback_reason(
+                aggregate,
+                trace=trace,
+                sanitize=use_sanitize,
+                resilience=use_resilience,
+                faults=faults,
+            )
             if fallback_reason is not None:
                 _accel_log.info(
                     "vectorized backend falling back to bsp: %s",
@@ -338,7 +360,24 @@ class GraphExtractor:
                         pattern, strategy=strategy, partial_aggregation=use_partial
                     )
             if use_verify:
-                self._verify_inputs(aggregate, plan)
+                type_report = self._verify_inputs(
+                    aggregate,
+                    plan,
+                    pattern=pattern,
+                    trace=trace,
+                    sanitize=use_sanitize,
+                    resilience=use_resilience,
+                    faults=faults,
+                )
+                if traced and type_report is not None:
+                    for node in type_report.nodes:
+                        obs.record(
+                            "plan_typing",
+                            node_id=node.node_id,
+                            segment=list(node.segment),
+                            pattern_type=node.pattern_type,
+                            static_eligibility=node.eligibility.describe(),
+                        )
             if use_resilience or faults is not None:
                 if use_sanitize:
                     raise EngineError(

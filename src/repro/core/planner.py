@@ -27,7 +27,10 @@ structure is otherwise identical.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.schema import GraphSchema
 
 from repro.core.cost import CostModel, ExactLeafCostModel
 from repro.core.plan import PCP
@@ -174,6 +177,7 @@ def make_plan(
     partial_aggregation: bool = False,
     rng: Optional[random.Random] = None,
     estimator: str = "uniform",
+    schema: Optional["GraphSchema"] = None,
 ) -> PCP:
     """Build a plan using the named strategy.
 
@@ -186,11 +190,27 @@ def make_plan(
     (:class:`~repro.core.cost.ExactLeafCostModel`) or ``"sampling"``
     (:class:`~repro.core.sampling.SamplingCostModel`); the latter two
     require ``graph``.
+
+    When a ``schema`` is given the pattern is typechecked against it
+    (edge-label existence, slot orientation, filter applicability —
+    :func:`repro.lint.types.check_pattern_typing`) *before* any cost
+    work, so ill-typed candidates are rejected rather than ranked.
     """
     if strategy not in STRATEGIES:
         raise PlanError(
             f"unknown strategy {strategy!r}; choose one of {STRATEGIES}"
         )
+    if schema is not None:
+        # imported lazily: repro.lint.types sits above the planner in the
+        # layer order and is only needed when typing is requested
+        from repro.lint.types import check_pattern_typing
+
+        problems = check_pattern_typing(pattern, schema)
+        if problems:
+            raise PlanError(
+                f"pattern '{pattern}' is ill-typed under the graph "
+                f"schema: " + "; ".join(problems)
+            )
     if strategy in ("line", "iter_opt"):
         plan = (
             line_plan(pattern)

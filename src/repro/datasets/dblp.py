@@ -26,8 +26,13 @@ from repro.graph.schema import GraphSchema
 
 
 def dblp_schema() -> GraphSchema:
-    """The scholarly-graph schema."""
-    return GraphSchema(
+    """The scholarly-graph schema.
+
+    Conventional filterable attributes are declared so the plan
+    typechecker (:mod:`repro.lint.types`) can validate pattern filters
+    like ``Paper{year >= 2010}`` against this schema.
+    """
+    schema = GraphSchema(
         vertex_labels=["Author", "Paper", "Venue"],
         edge_types=[
             ("authorBy", "Author", "Paper"),
@@ -35,6 +40,10 @@ def dblp_schema() -> GraphSchema:
             ("citeBy", "Paper", "Paper"),
         ],
     )
+    schema.declare_vertex_attribute("Paper", "year", "int")
+    schema.declare_vertex_attribute("Author", "hindex", "int")
+    schema.declare_vertex_attribute("Venue", "name", "str")
+    return schema
 
 
 def generate_dblp(

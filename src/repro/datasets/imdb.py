@@ -28,8 +28,9 @@ from repro.graph.schema import GraphSchema
 
 
 def imdb_schema() -> GraphSchema:
-    """The movie-graph schema."""
-    return GraphSchema(
+    """The movie-graph schema (filterable attributes declared for the
+    plan typechecker)."""
+    schema = GraphSchema(
         vertex_labels=["Actor", "Movie", "Director", "Genre"],
         edge_types=[
             ("actsIn", "Actor", "Movie"),
@@ -37,6 +38,9 @@ def imdb_schema() -> GraphSchema:
             ("hasGenre", "Movie", "Genre"),
         ],
     )
+    schema.declare_vertex_attribute("Movie", "year", "int")
+    schema.declare_vertex_attribute("Movie", "rating", "float")
+    return schema
 
 
 def generate_imdb(

@@ -26,8 +26,9 @@ from repro.graph.schema import GraphSchema
 
 
 def patent_schema() -> GraphSchema:
-    """The patent-graph schema."""
-    return GraphSchema(
+    """The patent-graph schema (filterable attributes declared for the
+    plan typechecker)."""
+    schema = GraphSchema(
         vertex_labels=["Inventor", "Patent", "Location", "Category"],
         edge_types=[
             ("invents", "Inventor", "Patent"),
@@ -36,6 +37,9 @@ def patent_schema() -> GraphSchema:
             ("belongTo", "Patent", "Category"),
         ],
     )
+    schema.declare_vertex_attribute("Patent", "granted", "int")
+    schema.declare_vertex_attribute("Location", "country", "str")
+    return schema
 
 
 def generate_patent(

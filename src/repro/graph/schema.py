@@ -25,6 +25,32 @@ from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 from repro.errors import SchemaError
 
 
+#: Value kinds an attribute domain may declare.
+ATTRIBUTE_KINDS = ("int", "float", "str", "bool")
+
+#: Attribute kinds with a total order (usable with <, <=, >, >=).
+ORDERED_ATTRIBUTE_KINDS = frozenset({"int", "float", "str"})
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """A declared vertex attribute: vertices labelled ``label`` may carry
+    ``attr`` with values of ``kind`` (one of :data:`ATTRIBUTE_KINDS`).
+
+    Declarations are opt-in per label: a label with no declared
+    attributes is open-world (filters on it are not typechecked), while
+    declaring any attribute closes the label's attribute namespace for
+    the plan typechecker (:mod:`repro.lint.types`).
+    """
+
+    label: str
+    attr: str
+    kind: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.label}.{self.attr}: {self.kind}"
+
+
 @dataclass(frozen=True)
 class EdgeType:
     """A typed relation: edges labelled ``label`` go from a ``src`` vertex to
@@ -62,6 +88,7 @@ class GraphSchema:
         self._vertex_labels: Set[str] = set()
         self._edge_types: Set[EdgeType] = set()
         self._by_label: Dict[str, Set[EdgeType]] = {}
+        self._attributes: Dict[str, Dict[str, AttributeSpec]] = {}
         for label in vertex_labels or ():
             self.add_vertex_label(label)
         for et in edge_types or ():
@@ -93,9 +120,51 @@ class GraphSchema:
         self._by_label.setdefault(label, set()).add(et)
         return et
 
+    def declare_vertex_attribute(
+        self, label: str, attr: str, kind: str
+    ) -> AttributeSpec:
+        """Declare that vertices labelled ``label`` may carry ``attr``
+        with values of ``kind`` (see :data:`ATTRIBUTE_KINDS`).
+
+        The vertex label is registered automatically.  Re-declaring the
+        same attribute with a different kind raises.
+        """
+        if not attr or not isinstance(attr, str):
+            raise SchemaError(
+                f"attribute name must be a non-empty string, got {attr!r}"
+            )
+        if kind not in ATTRIBUTE_KINDS:
+            raise SchemaError(
+                f"unknown attribute kind {kind!r}; choose one of "
+                f"{ATTRIBUTE_KINDS}"
+            )
+        self.add_vertex_label(label)
+        existing = self._attributes.get(label, {}).get(attr)
+        if existing is not None and existing.kind != kind:
+            raise SchemaError(
+                f"attribute {label}.{attr} already declared as "
+                f"{existing.kind!r}, cannot re-declare as {kind!r}"
+            )
+        spec = AttributeSpec(label, attr, kind)
+        self._attributes.setdefault(label, {})[attr] = spec
+        return spec
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def vertex_attributes(self, label: str) -> Dict[str, AttributeSpec]:
+        """Declared attributes of ``label`` (empty when the label is
+        open-world, i.e. nothing was declared for it)."""
+        return dict(self._attributes.get(label, {}))
+
+    def vertex_attribute(self, label: str, attr: str) -> Optional[AttributeSpec]:
+        """The declaration of ``label.attr``, or ``None``."""
+        return self._attributes.get(label, {}).get(attr)
+
+    def has_attribute_declarations(self, label: str) -> bool:
+        """Whether ``label`` declares any attributes (closed-world)."""
+        return bool(self._attributes.get(label))
+
     @property
     def vertex_labels(self) -> FrozenSet[str]:
         """The registered vertex labels."""

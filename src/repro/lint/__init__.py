@@ -1,6 +1,6 @@
 """First-party static analysis for the reproduction codebase.
 
-Three layers:
+Five layers:
 
 * **Contract verifiers** (:mod:`repro.lint.contracts`) run on live
   objects — :class:`PlanVerifier` checks PCP node trees against
@@ -17,6 +17,18 @@ Three layers:
   the syntactic rules cannot: state escape, message aliasing and
   aggregate impurity.  The same findings pipeline carries the runtime
   reports of :class:`repro.engine.sanitizer.SanitizerBSPEngine`.
+* **Plan typing** (:mod:`repro.lint.types`) — an abstract interpreter
+  over PCP plan trees: slot orientation against the graph schema,
+  filter applicability against declared attribute domains, symbolic
+  flow of the aggregate value domain through every ``(⊗, ⊕)`` level
+  including the Theorem-3 distributivity precondition, and a static
+  vectorized-vs-BSP eligibility verdict per plan node.
+* **Process safety** (:mod:`repro.lint.procsafe`) — an interprocedural
+  analysis proving vertex programs, aggregates and registered kernels
+  can ship to worker processes: no captured unpicklable state, no
+  module-level mutable globals reachable from compute, no reliance on
+  thread identity.  :func:`check_process_safety` is the object-level
+  twin (structural walk plus a real pickle round-trip).
 """
 
 from __future__ import annotations
@@ -40,6 +52,24 @@ from repro.lint.dataflow import (
 )
 from repro.lint.engine import iter_python_files, lint_module, run_lint
 from repro.lint.findings import Finding, LintReport, Severity
+from repro.lint.procsafe import (
+    PROCSAFE_RULE_METADATA,
+    PROCSAFE_RULES,
+    ProcessSafetyCaptureRule,
+    ProcessSafetyGlobalRule,
+    ProcessSafetyThreadRule,
+    check_process_safety,
+    verify_process_safe,
+)
+from repro.lint.types import (
+    TYPE_RULE_METADATA,
+    NodeTyping,
+    PlanTypeChecker,
+    PlanTypeReport,
+    StaticEligibility,
+    check_pattern_typing,
+    static_eligibility,
+)
 from repro.lint.reporters import (
     REPORTERS,
     render_github,
@@ -76,8 +106,16 @@ __all__ = [
     "MessageAliasingRule",
     "MethodModel",
     "ModuleSource",
+    "NodeTyping",
     "Origin",
+    "PROCSAFE_RULES",
+    "PROCSAFE_RULE_METADATA",
+    "PlanTypeChecker",
+    "PlanTypeReport",
     "PlanVerifier",
+    "ProcessSafetyCaptureRule",
+    "ProcessSafetyGlobalRule",
+    "ProcessSafetyThreadRule",
     "REPORTERS",
     "RULES_BY_NAME",
     "ReachingDefinitions",
@@ -85,6 +123,10 @@ __all__ = [
     "Severity",
     "SharedStateRule",
     "StateEscapeRule",
+    "StaticEligibility",
+    "TYPE_RULE_METADATA",
+    "check_pattern_typing",
+    "check_process_safety",
     "check_vertex_program",
     "get_rules",
     "iter_python_files",
@@ -95,5 +137,7 @@ __all__ = [
     "render_sarif",
     "render_text",
     "run_lint",
+    "static_eligibility",
+    "verify_process_safe",
     "verify_vertex_program",
 ]

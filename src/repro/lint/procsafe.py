@@ -1,0 +1,637 @@
+"""Layer 5 — interprocedural process-safety analysis.
+
+The ROADMAP's multiprocess shared-memory engine needs every vertex
+program, aggregate and registered kernel to survive ``pickle`` and run
+identically in a forked worker.  This module proves that *statically*,
+before a process pool exists to crash:
+
+* **no captured unpicklable state** (``procsafe-capture``) — locks,
+  file handles, generator objects, lambdas and locally-defined
+  functions stored on instances or passed into aggregate constructors /
+  :func:`~repro.accel.semiring.register_op_ufunc`.  A lambda — even at
+  module level — pickles by the qualified name ``"<lambda>"`` and fails
+  the round-trip; a nested function carries ``"<locals>"`` in its
+  qualname and fails the same way.
+* **no module-level mutable globals reachable from compute**
+  (``procsafe-global``) — after ``fork`` every process owns a divergent
+  copy; reads give silently process-dependent answers, writes are lost.
+* **no reliance on thread-shared identity** (``procsafe-thread``) —
+  ``threading.get_ident`` / ``threading.local`` / lock primitives key
+  behaviour to a thread that will not exist in the worker process.
+
+The analysis is interprocedural: per-function summaries (which hazards
+a function touches, which module-level functions and ``self`` methods
+it calls) are propagated over the call graph, so a hazard buried two
+helper calls below ``compute`` is still attributed to the program class
+that reaches it.  The hazard classification reuses PR 2's value-origin
+lattice tables (:mod:`repro.lint.dataflow.model`) — a module-level name
+is "mutable" exactly when the dataflow layer would classify its
+initialiser as ``Origin.NEW_MUTABLE``.
+
+Complementing the AST rules, :func:`check_process_safety` checks a
+*live* object (walks its state for unpicklable values, then runs a real
+``pickle`` round-trip probe), and :func:`verify_process_safe` raises on
+failure — the object-level gate a process-pool engine will call.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.astutil import (
+    Finding,
+    ModuleSource,
+    Rule,
+    Severity,
+    class_methods,
+    is_aggregate_class,
+    is_vertex_program_class,
+    iter_classes,
+    reachable_methods,
+)
+from repro.lint.dataflow.model import (
+    _MUTABLE_CONSTRUCTORS,
+    _NEW_MUTABLE_EXPRS,
+)
+
+#: SARIF metadata for the process-safety rule family.
+PROCSAFE_RULE_METADATA: Dict[str, str] = {
+    "procsafe-capture": (
+        "A vertex program, aggregate or registered kernel captures "
+        "unpicklable state (lambda, local function, generator, lock, "
+        "open file) and cannot be shipped to a worker process."
+    ),
+    "procsafe-global": (
+        "Code reachable from compute reads or writes a module-level "
+        "mutable global; forked processes own divergent copies."
+    ),
+    "procsafe-thread": (
+        "Code reachable from compute relies on thread-shared identity "
+        "(threading.get_ident/local or lock primitives), which does not "
+        "survive process boundaries."
+    ),
+}
+
+#: ``threading`` attributes whose use is a process-safety hazard
+_THREAD_ATTRS = frozenset(
+    {
+        "get_ident",
+        "get_native_id",
+        "current_thread",
+        "local",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Barrier",
+    }
+)
+
+#: call names producing unpicklable values when stored on an instance
+_UNPICKLABLE_FACTORIES = frozenset({"open"})
+
+
+def mutable_module_globals(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to mutable containers — the names whose
+    initialiser the PR 2 origin lattice classifies ``NEW_MUTABLE``."""
+    names: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            value = stmt.value
+            if value is None:
+                continue
+            mutable = isinstance(value, _NEW_MUTABLE_EXPRS) and not isinstance(
+                value, ast.GeneratorExp
+            )
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _MUTABLE_CONSTRUCTORS
+            ):
+                mutable = True
+            if not mutable:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+@dataclass
+class Hazard:
+    """One located process-safety hazard."""
+
+    category: str  # "capture" | "global" | "thread"
+    node: ast.AST
+    message: str
+
+
+@dataclass
+class FunctionSummary:
+    """Per-function summary: the hazards the function touches directly
+    and the edges it contributes to the call graph."""
+
+    name: str
+    hazards: List[Hazard] = field(default_factory=list)
+    calls: Set[str] = field(default_factory=set)  # module-level functions
+    self_calls: Set[str] = field(default_factory=set)  # self.<m>() methods
+
+
+class _FunctionVisitor(ast.NodeVisitor):
+    """Builds one :class:`FunctionSummary` for a function/method body."""
+
+    def __init__(
+        self,
+        fn: ast.FunctionDef,
+        module_functions: Set[str],
+        mutable_globals: Set[str],
+        thread_aliases: Set[str],
+    ) -> None:
+        self.summary = FunctionSummary(name=fn.name)
+        self.module_functions = module_functions
+        self.mutable_globals = mutable_globals
+        self.thread_aliases = thread_aliases
+        self.local_names = self._local_names(fn)
+        self.nested_defs = {
+            node.name
+            for node in ast.walk(fn)
+            if isinstance(node, ast.FunctionDef) and node is not fn
+        }
+        self._fn = fn
+
+    @staticmethod
+    def _local_names(fn: ast.FunctionDef) -> Set[str]:
+        names = {
+            arg.arg
+            for arg in (
+                list(fn.args.posonlyargs)
+                + list(fn.args.args)
+                + list(fn.args.kwonlyargs)
+            )
+        }
+        if fn.args.vararg:
+            names.add(fn.args.vararg.arg)
+        if fn.args.kwarg:
+            names.add(fn.args.kwarg.arg)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                names.add(node.id)
+            elif isinstance(node, ast.FunctionDef) and node is not fn:
+                names.add(node.name)
+        return names
+
+    # -- captures -------------------------------------------------------
+    def _unsafe_value(self, value: ast.AST) -> Optional[str]:
+        """Why storing ``value`` on an instance is unpicklable."""
+        if isinstance(value, ast.Lambda):
+            return "a lambda (pickles by qualname '<lambda>')"
+        if isinstance(value, ast.GeneratorExp):
+            return "a generator expression (generators cannot pickle)"
+        if isinstance(value, ast.Name) and value.id in self.nested_defs:
+            return (
+                f"the locally-defined function {value.id!r} "
+                f"('<locals>' qualname cannot pickle)"
+            )
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Name) and func.id in _UNPICKLABLE_FACTORIES:
+                return f"the result of {func.id}() (an open file handle)"
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                why = self._unsafe_value(node.value)
+                if why is not None:
+                    self.summary.hazards.append(
+                        Hazard(
+                            "capture",
+                            node,
+                            f"stores {why} on self.{target.attr}",
+                        )
+                    )
+        self.generic_visit(node)
+
+    # -- calls, globals, thread identity --------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if (
+                func.id in self.module_functions
+                and func.id not in self.local_names
+            ):
+                self.summary.calls.add(func.id)
+            if func.id in self.thread_aliases:
+                self.summary.hazards.append(
+                    Hazard(
+                        "thread",
+                        node,
+                        f"calls {func.id}() (thread-shared identity does "
+                        f"not survive process boundaries)",
+                    )
+                )
+        elif isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                self.summary.self_calls.add(func.attr)
+            elif (
+                isinstance(func.value, ast.Name)
+                and func.value.id in ("threading", "_thread")
+                and func.attr in _THREAD_ATTRS
+            ):
+                self.summary.hazards.append(
+                    Hazard(
+                        "thread",
+                        node,
+                        f"uses {func.value.id}.{func.attr} (thread-shared "
+                        f"state does not survive process boundaries)",
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if (
+            isinstance(node.ctx, ast.Load)
+            and node.id in self.mutable_globals
+            and node.id not in self.local_names
+        ):
+            self.summary.hazards.append(
+                Hazard(
+                    "global",
+                    node,
+                    f"reads module-level mutable global {node.id!r} "
+                    f"(forked processes own divergent copies)",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self.summary.hazards.append(
+                Hazard(
+                    "global",
+                    node,
+                    f"declares 'global {name}' (writes are lost across "
+                    f"process boundaries)",
+                )
+            )
+
+
+def _thread_aliases(tree: ast.Module) -> Set[str]:
+    """Names bound at module level by ``from threading import ...``."""
+    aliases: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ImportFrom) and stmt.module in (
+            "threading",
+            "_thread",
+        ):
+            for alias in stmt.names:
+                if alias.name in _THREAD_ATTRS:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+@dataclass
+class ModuleSafety:
+    """The whole-module analysis: function summaries, call graph inputs
+    and the hazards attributed to each analyzed subject."""
+
+    module_functions: Dict[str, ast.FunctionDef]
+    summaries: Dict[str, FunctionSummary]
+    mutable_globals: Set[str]
+    thread_aliases: Set[str]
+    #: (subject description, hazard) pairs, attribution resolved
+    hazards: List[Tuple[str, Hazard]] = field(default_factory=list)
+
+
+def _summarize(
+    fn: ast.FunctionDef,
+    module_functions: Set[str],
+    mutable_globals: Set[str],
+    thread_aliases: Set[str],
+) -> FunctionSummary:
+    visitor = _FunctionVisitor(
+        fn, module_functions, mutable_globals, thread_aliases
+    )
+    for stmt in fn.body:
+        visitor.visit(stmt)
+    return visitor.summary
+
+
+def _module_closure(
+    start: Set[str], summaries: Dict[str, FunctionSummary]
+) -> Set[str]:
+    """Module-level functions transitively reachable from ``start``."""
+    seen: Set[str] = set()
+    frontier = list(start)
+    while frontier:
+        name = frontier.pop()
+        if name in seen or name not in summaries:
+            continue
+        seen.add(name)
+        frontier.extend(summaries[name].calls)
+    return seen
+
+
+def analyze_module(module: ModuleSource) -> ModuleSafety:
+    """Run the full interprocedural analysis over one module.
+
+    Subjects are vertex-program classes (entry: ``compute``), aggregate
+    classes (the whole instance ships, so every method is an entry) and
+    module-level ``register_op_ufunc`` / aggregate-constructor call
+    sites.  Hazards found in module-level helper functions are
+    attributed to every subject whose call graph reaches them.
+    """
+    tree = module.tree
+    mutable_globals = mutable_module_globals(tree)
+    thread_aliases = _thread_aliases(tree)
+    module_functions = {
+        stmt.name: stmt
+        for stmt in tree.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+    fn_names = set(module_functions)
+    summaries = {
+        name: _summarize(fn, fn_names, mutable_globals, thread_aliases)
+        for name, fn in module_functions.items()
+    }
+    safety = ModuleSafety(
+        module_functions=module_functions,
+        summaries=summaries,
+        mutable_globals=mutable_globals,
+        thread_aliases=thread_aliases,
+    )
+    for cls in iter_classes(tree):
+        program = is_vertex_program_class(cls)
+        aggregate = is_aggregate_class(cls)
+        if not (program or aggregate):
+            continue
+        methods = class_methods(cls)
+        if program and "compute" in methods:
+            names = reachable_methods(methods, "compute")
+            names |= {"__init__"} & set(methods)
+        else:
+            names = set(methods)
+        method_summaries = {
+            name: _summarize(
+                methods[name], fn_names, mutable_globals, thread_aliases
+            )
+            for name in names
+        }
+        called_fns: Set[str] = set()
+        for summary in method_summaries.values():
+            called_fns |= summary.calls
+        reached = _module_closure(called_fns, summaries)
+        subject = f"{'program' if program else 'aggregate'} {cls.name!r}"
+        for name in sorted(method_summaries):
+            for hazard in method_summaries[name].hazards:
+                safety.hazards.append(
+                    (f"{subject}, method {name!r}", hazard)
+                )
+        for name in sorted(reached):
+            for hazard in summaries[name].hazards:
+                safety.hazards.append(
+                    (
+                        f"{subject}, via helper {name!r} "
+                        f"(reachable from its methods)",
+                        hazard,
+                    )
+                )
+    _analyze_call_sites(module, safety)
+    return safety
+
+
+def _analyze_call_sites(module: ModuleSource, safety: ModuleSafety) -> None:
+    """Aggregate-constructor and ``register_op_ufunc`` call sites: every
+    callable argument must be picklable (no lambdas, no local defs)."""
+    for scope, nested in _scopes(module.tree):
+        for node in scope:
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            is_ctor = name.endswith("Aggregate")
+            is_register = name == "register_op_ufunc"
+            if not (is_ctor or is_register):
+                continue
+            subject = (
+                f"kernel registration {name}()"
+                if is_register
+                else f"aggregate construction {name}()"
+            )
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                why = None
+                if isinstance(arg, ast.Lambda):
+                    why = "a lambda (pickles by qualname '<lambda>')"
+                elif isinstance(arg, ast.GeneratorExp):
+                    why = "a generator expression"
+                elif isinstance(arg, ast.Name) and arg.id in nested:
+                    why = (
+                        f"the locally-defined function {arg.id!r} "
+                        f"('<locals>' qualname cannot pickle)"
+                    )
+                if why is not None:
+                    safety.hazards.append(
+                        (subject, Hazard("capture", arg, f"is passed {why}"))
+                    )
+
+
+def _scopes(
+    tree: ast.Module,
+) -> Iterator[Tuple[List[ast.AST], Set[str]]]:
+    """(expression nodes, locally-defined function names) per scope —
+    module scope has no local defs; each function scope knows its own
+    nested ``def`` names."""
+    module_nodes: List[ast.AST] = []
+    functions: List[ast.FunctionDef] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            functions.append(node)
+    function_spans = set()
+    for fn in functions:
+        for node in ast.walk(fn):
+            function_spans.add(id(node))
+    for node in ast.walk(tree):
+        if id(node) not in function_spans:
+            module_nodes.append(node)
+    yield module_nodes, set()
+    for fn in functions:
+        nested = {
+            node.name
+            for node in ast.walk(fn)
+            if isinstance(node, ast.FunctionDef) and node is not fn
+        }
+        nodes = [n for n in ast.walk(fn) if n is not fn]
+        yield nodes, nested
+
+
+# ----------------------------------------------------------------------
+# the rule family
+# ----------------------------------------------------------------------
+class _ProcSafeRule(Rule):
+    """Base: runs the module analysis, emits one hazard category."""
+
+    category = ""
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for subject, hazard in analyze_module(module).hazards:
+            if hazard.category == self.category:
+                yield self.finding(
+                    module, hazard.node, f"{subject} {hazard.message}"
+                )
+
+
+class ProcessSafetyCaptureRule(_ProcSafeRule):
+    name = "procsafe-capture"
+    category = "capture"
+    description = PROCSAFE_RULE_METADATA["procsafe-capture"]
+    hint = (
+        "move the callable to module level (a named def or a frozen "
+        "dataclass with __call__); parameterise with functools.partial "
+        "of a module-level function"
+    )
+
+
+class ProcessSafetyGlobalRule(_ProcSafeRule):
+    name = "procsafe-global"
+    category = "global"
+    description = PROCSAFE_RULE_METADATA["procsafe-global"]
+    hint = (
+        "pass the value in through __init__ or the compute context; "
+        "module-level state does not survive fork"
+    )
+
+
+class ProcessSafetyThreadRule(_ProcSafeRule):
+    name = "procsafe-thread"
+    category = "thread"
+    description = PROCSAFE_RULE_METADATA["procsafe-thread"]
+    hint = (
+        "key state by vertex/partition id instead of thread identity; "
+        "synchronisation belongs to the engine, not user code"
+    )
+
+
+PROCSAFE_RULES: Tuple[Rule, ...] = (
+    ProcessSafetyCaptureRule(),
+    ProcessSafetyGlobalRule(),
+    ProcessSafetyThreadRule(),
+)
+
+
+# ----------------------------------------------------------------------
+# object-level verification
+# ----------------------------------------------------------------------
+def _value_problems(value: Any, where: str, depth: int, seen: Set[int]) -> List[str]:
+    import io
+    import types
+
+    if id(value) in seen or depth > 4:
+        return []
+    seen.add(id(value))
+    problems: List[str] = []
+    if isinstance(value, types.FunctionType):
+        qualname = getattr(value, "__qualname__", "")
+        if value.__name__ == "<lambda>":
+            problems.append(
+                f"{where} is a lambda (pickles by qualname '<lambda>' "
+                f"and cannot round-trip)"
+            )
+        elif "<locals>" in qualname:
+            problems.append(
+                f"{where} is a locally-defined function "
+                f"({qualname!r} cannot be re-imported by pickle)"
+            )
+        return problems
+    if isinstance(value, types.GeneratorType):
+        problems.append(f"{where} is a generator object (cannot pickle)")
+        return problems
+    if isinstance(value, io.IOBase):
+        problems.append(f"{where} is an open file handle (cannot pickle)")
+        return problems
+    if type(value).__module__ == "_thread":
+        problems.append(
+            f"{where} is a thread lock ({type(value).__name__}; cannot "
+            f"pickle and is meaningless across processes)"
+        )
+        return problems
+    if isinstance(value, dict):
+        for key, item in value.items():
+            problems.extend(
+                _value_problems(item, f"{where}[{key!r}]", depth + 1, seen)
+            )
+    elif isinstance(value, (list, tuple, set, frozenset)):
+        for index, item in enumerate(value):
+            problems.extend(
+                _value_problems(item, f"{where}[{index}]", depth + 1, seen)
+            )
+    elif hasattr(value, "__dict__") and not isinstance(value, type):
+        for attr, item in vars(value).items():
+            problems.extend(
+                _value_problems(item, f"{where}.{attr}", depth + 1, seen)
+            )
+    return problems
+
+
+def check_process_safety(
+    obj: Any, name: Optional[str] = None, probe_pickle: bool = True
+) -> List[str]:
+    """Process-safety problems of a *live* object (vertex program,
+    aggregate, kernel callable): a structural walk for known-unpicklable
+    state, then — the authoritative test — a real ``pickle`` round-trip.
+    Returns ``[]`` for a process-safe object."""
+    import pickle
+
+    label = name or getattr(obj, "name", None) or type(obj).__name__
+    problems = _value_problems(obj, label, 0, set())
+    if probe_pickle and not problems:
+        try:
+            pickle.loads(pickle.dumps(obj))
+        except Exception as exc:  # noqa: BLE001 - any failure is the finding
+            problems.append(
+                f"{label} does not survive a pickle round-trip: "
+                f"{type(exc).__name__}: {exc}"
+            )
+    return problems
+
+
+def verify_process_safe(obj: Any, name: Optional[str] = None) -> None:
+    """Raise :class:`~repro.errors.EngineError` unless ``obj`` is
+    process-safe (see :func:`check_process_safety`)."""
+    problems = check_process_safety(obj, name=name)
+    if problems:
+        from repro.errors import EngineError
+
+        raise EngineError(
+            "not process-safe: " + "; ".join(problems)
+        )
+
+
+def run_procsafe(
+    paths: Sequence[str], config: Optional[Any] = None
+) -> "Any":
+    """Run the process-safety rule family over ``paths`` (files or
+    directories) — the engine behind ``python -m repro.cli check``."""
+    from repro.lint.engine import run_lint
+
+    return run_lint(paths, rules=PROCSAFE_RULES, config=config)

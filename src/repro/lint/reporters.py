@@ -59,7 +59,19 @@ def _rule_descriptions() -> Dict[str, str]:
         from repro.lint.rules import RULES_BY_NAME
     except Exception:  # pragma: no cover - registry unavailable mid-bootstrap
         return {}
-    return {name: rule.description for name, rule in RULES_BY_NAME.items()}
+    descriptions = {
+        name: rule.description for name, rule in RULES_BY_NAME.items()
+    }
+    # plan-typing findings (repro.lint.types) come from the abstract
+    # interpreter, not from Rule instances, so their SARIF metadata is
+    # merged from the module's own table
+    try:
+        from repro.lint.types import TYPE_RULE_METADATA
+
+        descriptions.update(TYPE_RULE_METADATA)
+    except Exception:  # pragma: no cover - registry unavailable mid-bootstrap
+        pass
+    return descriptions
 
 
 def render_sarif(report: LintReport) -> str:

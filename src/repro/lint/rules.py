@@ -32,7 +32,9 @@ The concrete rules guard repo-specific hazards:
   evaluation so annotations stay cheap and forward references work.
 
 Layer 3 — the dataflow rules ``state-escape``, ``message-aliasing`` and
-``impure-aggregate`` (:mod:`repro.lint.dataflow`) — is registered into
+``impure-aggregate`` (:mod:`repro.lint.dataflow`) — and Layer 5 — the
+process-safety rules ``procsafe-capture``, ``procsafe-global`` and
+``procsafe-thread`` (:mod:`repro.lint.procsafe`) — are registered into
 the same catalogue at the bottom of this module.
 """
 
@@ -402,9 +404,10 @@ class FrozenMutationRule(Rule):
                     )
 
 
-# the dataflow layer imports from astutil only, so this import cannot
-# cycle back into this module
+# the dataflow and process-safety layers import from astutil only, so
+# these imports cannot cycle back into this module
 from repro.lint.dataflow import DATAFLOW_RULES  # noqa: E402
+from repro.lint.procsafe import PROCSAFE_RULES  # noqa: E402
 
 #: every concrete rule, in reporting order
 ALL_RULES: Sequence[Rule] = (
@@ -413,7 +416,7 @@ ALL_RULES: Sequence[Rule] = (
     BareExceptRule(),
     FrozenMutationRule(),
     FutureAnnotationsRule(),
-) + tuple(DATAFLOW_RULES)
+) + tuple(DATAFLOW_RULES) + tuple(PROCSAFE_RULES)
 
 RULES_BY_NAME: Dict[str, Rule] = {rule.name: rule for rule in ALL_RULES}
 

@@ -1,0 +1,657 @@
+"""Layer 4 — the schema-aware plan typechecker.
+
+An abstract interpreter over PCP plan trees.  Where the PR 1
+:class:`~repro.lint.contracts.PlanVerifier` proves a plan's *shape*
+(Theorem 2 segment algebra), this module types a plan against a
+:class:`~repro.graph.schema.GraphSchema` and an aggregate:
+
+* **edge typing** — every NL side a concatenation node consumes must
+  reference an edge label that exists in the schema with a satisfiable
+  orientation, and every pivot/endpoint vertex label must be declared
+  (rule family ``plan-type-edge``);
+* **filter typing** — a pattern filter must name an attribute the
+  schema declares for that vertex label, with an operator/value
+  combination its kind supports (rule family ``plan-type-filter``;
+  labels with no declared attributes stay open-world and are skipped);
+* **aggregate value-domain flow** — the aggregate's value domain is
+  sampled at the NL leaves (``initial_edge`` over the weight samples)
+  and flowed symbolically through every ``(⊗, ⊕)`` level of the plan:
+  each level's ``⊗`` must keep the domain's type family stable, and for
+  partial-aggregation aggregates ``⊗`` must distribute over ``⊕`` on
+  the level's domain — the Theorem 3 precondition, checked on the
+  *actual* abstract values that reach that level rather than on generic
+  floats (rule family ``plan-type-aggregate``);
+* **static kernel eligibility** — for every plan node, a verdict on
+  whether the vectorized backend will run it natively or the run falls
+  back to BSP, with the reason.  The fallback decision reuses the exact
+  predicate the extractor evaluates at runtime
+  (:func:`repro.core.backend.vectorized_fallback_reason`), so the
+  static verdict and ``last_fallback_reason`` agree by construction;
+  the kernel tier per aggregate component comes from the semiring
+  registry's own resolution (:func:`repro.accel.semiring.semiring_plan`).
+
+``GraphExtractor(verify=True)`` runs this checker on every extraction
+(violations raise :class:`~repro.errors.PlanError` before any superstep);
+the planner façade rejects ill-typed patterns before ranking candidates;
+``python -m repro.cli check --workload`` exposes it standalone.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError, ReproError
+from repro.lint.astutil import Finding, Severity
+
+#: SARIF metadata for the plan-typing rule families (merged into the
+#: reporters' rule descriptions alongside the AST rules).
+TYPE_RULE_METADATA: Dict[str, str] = {
+    "plan-type-edge": (
+        "A plan node references an edge label or orientation the graph "
+        "schema does not declare, or an undeclared vertex label."
+    ),
+    "plan-type-filter": (
+        "A pattern filter names an undeclared attribute or uses an "
+        "operator/value its declared kind does not support."
+    ),
+    "plan-type-aggregate": (
+        "The aggregate's value domain does not survive the plan's "
+        "(⊗, ⊕) levels: type instability, an operator failure, or a "
+        "Theorem-3 distributivity violation on the level's domain."
+    ),
+}
+
+#: weight samples the abstract value domain is seeded from
+DEFAULT_WEIGHT_SAMPLES: Tuple[float, ...] = (0.5, 1.0, 2.0, 3.0)
+
+#: magnitude bound that keeps the abstract domain finite under ⊗-chains
+_MAX_MAGNITUDE = 1e9
+
+#: operator symbols for messages (mirrors VertexFilter._OPS)
+_ORDER_OPS = frozenset({"lt", "le", "gt", "ge"})
+_FILTER_OPS = frozenset({"eq", "ne", "lt", "le", "gt", "ge", "in"})
+
+
+@dataclass(frozen=True)
+class StaticEligibility:
+    """The static backend verdict for one run (shared by every node of
+    its plan — all fallback triggers are run-level, see
+    :func:`repro.core.backend.vectorized_fallback_reason`).
+
+    ``backend`` is what the extractor will execute on; ``reason`` the
+    fallback reason when it is ``"bsp"`` (identical to the runtime
+    ``last_fallback_reason``); ``kernels`` the per-component kernel-tier
+    descriptions when vectorized; ``error`` a kernel-resolution failure
+    the vectorized run would raise (e.g. a distributive-kind aggregate
+    that exposes no ``(⊗, ⊕)`` operator pair) — advisory, since the BSP
+    backend still runs such aggregates.
+    """
+
+    backend: str
+    reason: Optional[str] = None
+    kernels: Tuple[str, ...] = ()
+    error: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.backend == "bsp":
+            return f"bsp (fallback: {self.reason})"
+        if self.error is not None:
+            return f"vectorized (kernel resolution fails: {self.error})"
+        return "vectorized: " + "; ".join(self.kernels)
+
+
+@dataclass(frozen=True)
+class NodeTyping:
+    """One plan node's typing: its segment, the slot problems of the NL
+    sides it consumes, and its static kernel-eligibility verdict."""
+
+    node_id: int
+    segment: Tuple[int, int, int]
+    pattern_type: str
+    level: int
+    problems: Tuple[str, ...]
+    eligibility: StaticEligibility
+
+
+@dataclass
+class PlanTypeReport:
+    """Everything one :meth:`PlanTypeChecker.check` call established."""
+
+    pattern: str
+    aggregate: str
+    nodes: List[NodeTyping] = field(default_factory=list)
+    pattern_problems: List[str] = field(default_factory=list)
+    filter_problems: List[str] = field(default_factory=list)
+    aggregate_problems: List[str] = field(default_factory=list)
+    eligibility: StaticEligibility = StaticEligibility("bsp")
+
+    @property
+    def problems(self) -> List[str]:
+        node_problems = [p for node in self.nodes for p in node.problems]
+        return (
+            self.pattern_problems
+            + node_problems
+            + self.filter_problems
+            + self.aggregate_problems
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def findings(self, path: str = "<plan>") -> List[Finding]:
+        """The report as lint findings (for the reporters / SARIF)."""
+        out: List[Finding] = []
+        for problem in self.pattern_problems:
+            out.append(self._finding("plan-type-edge", problem, path))
+        for node in self.nodes:
+            for problem in node.problems:
+                out.append(
+                    self._finding(
+                        "plan-type-edge",
+                        f"node {node.node_id} "
+                        f"[{node.segment[0]},{node.segment[1]},"
+                        f"{node.segment[2]}]: {problem}",
+                        path,
+                    )
+                )
+        for problem in self.filter_problems:
+            out.append(self._finding("plan-type-filter", problem, path))
+        for problem in self.aggregate_problems:
+            out.append(self._finding("plan-type-aggregate", problem, path))
+        return out
+
+    @staticmethod
+    def _finding(rule: str, message: str, path: str) -> Finding:
+        return Finding(
+            rule=rule,
+            message=message,
+            path=path,
+            line=1,
+            col=0,
+            severity=Severity.ERROR,
+        )
+
+
+def static_eligibility(
+    aggregate: Any,
+    *,
+    trace: bool = False,
+    sanitize: bool = False,
+    resilience: Any = None,
+    faults: Any = None,
+) -> StaticEligibility:
+    """Predict — without evaluating anything — which backend a
+    ``backend="vectorized"`` request for ``aggregate`` executes on.
+
+    The fallback half is the extractor's own runtime predicate
+    (:func:`~repro.core.backend.vectorized_fallback_reason`); the kernel
+    half is the semiring registry's own resolution, so the verdict names
+    the exact tier (native scipy / ufunc expansion / object fallback)
+    each aggregate component will run on.
+    """
+    from repro.core.backend import vectorized_fallback_reason
+
+    reason = vectorized_fallback_reason(
+        aggregate,
+        trace=trace,
+        sanitize=sanitize,
+        resilience=resilience,
+        faults=faults,
+    )
+    if reason is not None:
+        return StaticEligibility(backend="bsp", reason=reason)
+    try:
+        from repro.accel.semiring import semiring_plan
+    except ImportError as exc:  # pragma: no cover - scipy/numpy present in CI
+        return StaticEligibility(
+            backend="vectorized",
+            error=f"vectorized backend unavailable ({exc})",
+        )
+    from repro.errors import AggregationError
+
+    try:
+        kernels = tuple(semiring_plan(aggregate))
+    except AggregationError as exc:
+        return StaticEligibility(backend="vectorized", error=str(exc))
+    return StaticEligibility(backend="vectorized", kernels=kernels)
+
+
+# ----------------------------------------------------------------------
+# pattern-level typing (shared with the planner's candidate rejection)
+# ----------------------------------------------------------------------
+def _slot_problem(pattern: Any, schema: Any, slot: int) -> Optional[str]:
+    """The schema problem of one pattern slot, or ``None``.
+
+    Mirrors :meth:`LinePattern.validate_against`'s orientation logic but
+    reports instead of raising, so a node can carry every violation."""
+    from repro.graph.hetgraph import ANY_LABEL
+    from repro.graph.pattern import Direction
+
+    edge = pattern.edge_slot(slot)
+    left = pattern.vertex_labels[slot - 1]
+    right = pattern.vertex_labels[slot]
+    if edge.direction is Direction.FORWARD:
+        orientations = [(left, right)]
+    elif edge.direction is Direction.BACKWARD:
+        orientations = [(right, left)]
+    else:
+        orientations = [(left, right), (right, left)]
+    for src, dst in orientations:
+        src_query = None if src == ANY_LABEL else src
+        dst_query = None if dst == ANY_LABEL else dst
+        if schema.has_edge_type(edge.label, src_query, dst_query):
+            return None
+    src, dst = orientations[0]
+    either = " (either orientation)" if len(orientations) > 1 else ""
+    return (
+        f"slot {slot} requires edge type {src} -[{edge.label}]-> "
+        f"{dst}{either}, absent from the schema"
+    )
+
+
+def _kind_accepts(kind: str, value: Any) -> bool:
+    if kind == "bool":
+        return isinstance(value, bool)
+    if isinstance(value, bool):
+        return False
+    if kind == "int":
+        return isinstance(value, int)
+    if kind == "float":
+        return isinstance(value, (int, float))
+    if kind == "str":
+        return isinstance(value, str)
+    return True
+
+
+def _filter_problems(pattern: Any, schema: Any) -> List[str]:
+    """Filter-typing problems of every filtered position (open-world
+    labels — no declared attributes — are skipped)."""
+    from repro.graph.hetgraph import ANY_LABEL
+    from repro.graph.schema import ORDERED_ATTRIBUTE_KINDS
+
+    problems: List[str] = []
+    for position in range(pattern.length + 1):
+        vf = pattern.filter_at(position)
+        if vf is None:
+            continue
+        label = pattern.vertex_labels[position]
+        if label == ANY_LABEL or not schema.has_attribute_declarations(label):
+            continue
+        spec = schema.vertex_attribute(label, vf.attr)
+        where = f"filter at position {position} ({label})"
+        if spec is None:
+            declared = sorted(schema.vertex_attributes(label))
+            problems.append(
+                f"{where}: attribute {vf.attr!r} is not declared for "
+                f"{label!r} (declared: {declared})"
+            )
+            continue
+        if vf.op not in _FILTER_OPS:
+            problems.append(f"{where}: unknown operator {vf.op!r}")
+            continue
+        if vf.op in _ORDER_OPS and spec.kind not in ORDERED_ATTRIBUTE_KINDS:
+            problems.append(
+                f"{where}: operator {vf.op!r} needs an ordered kind, but "
+                f"{label}.{vf.attr} is {spec.kind!r}"
+            )
+            continue
+        values = vf.value if vf.op == "in" else (vf.value,)
+        try:
+            candidates = list(values)
+        except TypeError:
+            problems.append(
+                f"{where}: operator 'in' needs an iterable value, got "
+                f"{vf.value!r}"
+            )
+            continue
+        for value in candidates:
+            if not _kind_accepts(spec.kind, value):
+                problems.append(
+                    f"{where}: value {value!r} is not a {spec.kind!r} "
+                    f"({label}.{vf.attr} is declared {spec.kind!r})"
+                )
+    return problems
+
+
+def check_pattern_typing(pattern: Any, schema: Any) -> List[str]:
+    """All schema-typing problems of ``pattern`` (labels, slots,
+    filters) — the check the planner runs before ranking candidates."""
+    from repro.graph.hetgraph import ANY_LABEL
+
+    problems: List[str] = []
+    for label in dict.fromkeys(pattern.vertex_labels):
+        if label != ANY_LABEL and not schema.has_vertex_label(label):
+            problems.append(
+                f"vertex label {label!r} is absent from the schema"
+            )
+    for slot in range(1, pattern.length + 1):
+        problem = _slot_problem(pattern, schema, slot)
+        if problem is not None:
+            problems.append(problem)
+    problems.extend(_filter_problems(pattern, schema))
+    return problems
+
+
+# ----------------------------------------------------------------------
+# aggregate value-domain flow
+# ----------------------------------------------------------------------
+def _value_key(value: Any) -> Tuple[str, str]:
+    return (type(value).__name__, repr(value))
+
+
+def _type_family(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "numeric"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, tuple):
+        # no arity: bounded aggregates carry *truncated* value lists
+        # whose length legitimately grows under ⊕ up to k
+        return "tuple"
+    return type(value).__name__
+
+
+def _in_range(value: Any) -> bool:
+    if isinstance(value, bool):
+        return True
+    if isinstance(value, (int, float)):
+        return abs(value) <= _MAX_MAGNITUDE
+    if isinstance(value, tuple):
+        return all(_in_range(v) for v in value)
+    return True
+
+
+class _DomainFlow:
+    """Flows an aggregate's abstract value domain level by level."""
+
+    def __init__(
+        self,
+        aggregate: Any,
+        weight_samples: Sequence[float],
+        rel_tol: float,
+        max_domain: int,
+    ) -> None:
+        self.aggregate = aggregate
+        self.weight_samples = tuple(weight_samples)
+        self.rel_tol = rel_tol
+        self.max_domain = max_domain
+        self.problems: List[str] = []
+
+    def run(self, levels: int) -> List[str]:
+        domain = self._leaf_domain()
+        if not domain:
+            return self.problems
+        family = _type_family(domain[0])
+        for level in range(1, levels + 1):
+            domain = self._flow_level(domain, level, family)
+            if not domain:
+                break
+        return self.problems
+
+    def _leaf_domain(self) -> List[Any]:
+        domain: List[Any] = []
+        seen = set()
+        for weight in self.weight_samples:
+            try:
+                value = self.aggregate.initial_edge(weight)
+            except ReproError:
+                continue  # aggregate restricts its weight domain
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                self.problems.append(
+                    f"initial_edge({weight}) raised "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            key = _value_key(value)
+            if key not in seen:
+                seen.add(key)
+                domain.append(value)
+        if not domain:
+            self.problems.append(
+                "no edge value could be computed from the weight samples "
+                f"{self.weight_samples}"
+            )
+        else:
+            families = {_type_family(v) for v in domain}
+            if len(families) > 1:
+                self.problems.append(
+                    f"initial_edge produces mixed value types "
+                    f"{sorted(families)}"
+                )
+        return domain
+
+    def _apply(self, op_name: str, fn: Any, a: Any, b: Any, level: int):
+        try:
+            return fn(a, b)
+        except ReproError:
+            return None
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            self.problems.append(
+                f"level {level}: {op_name}({a!r}, {b!r}) raised "
+                f"{type(exc).__name__}: {exc}"
+            )
+            return None
+
+    def _flow_level(
+        self, domain: List[Any], level: int, family: str
+    ) -> List[Any]:
+        aggregate = self.aggregate
+        produced: List[Any] = []
+        sample = domain[: self.max_domain]
+        for a, b in itertools.product(sample, sample):
+            value = self._apply("⊗", aggregate.concat, a, b, level)
+            if value is None:
+                continue
+            got = _type_family(value)
+            if got != family:
+                self.problems.append(
+                    f"level {level}: ⊗ is not closed over the value "
+                    f"domain — {a!r} ⊗ {b!r} produced {got}, expected "
+                    f"{family}"
+                )
+                return []
+            produced.append(value)
+        if aggregate.supports_partial_aggregation:
+            for a, b in itertools.product(sample, sample):
+                value = self._apply("⊕", aggregate.merge, a, b, level)
+                if value is None:
+                    continue
+                got = _type_family(value)
+                if got != family:
+                    self.problems.append(
+                        f"level {level}: ⊕ is not closed over the value "
+                        f"domain — {a!r} ⊕ {b!r} produced {got}, "
+                        f"expected {family}"
+                    )
+                    return []
+                produced.append(value)
+            self._check_distributivity(sample, level)
+        merged: List[Any] = []
+        seen = set()
+        for value in domain + produced:
+            if not _in_range(value):
+                continue
+            key = _value_key(value)
+            if key not in seen:
+                seen.add(key)
+                merged.append(value)
+            if len(merged) >= self.max_domain:
+                break
+        return merged
+
+    def _check_distributivity(self, sample: List[Any], level: int) -> None:
+        """Theorem 3 on this level's domain: a ⊗ (b ⊕ c) must equal
+        (a ⊗ b) ⊕ (a ⊗ c) for the values actually reaching the level."""
+        from repro.aggregates.classify import values_close
+
+        aggregate = self.aggregate
+        triples = itertools.product(sample[:4], sample[:4], sample[:4])
+        for a, b, c in triples:
+            try:
+                lhs = aggregate.concat(a, aggregate.merge(b, c))
+                rhs = aggregate.merge(
+                    aggregate.concat(a, b), aggregate.concat(a, c)
+                )
+            except ReproError:
+                continue
+            except Exception:  # noqa: BLE001 - ⊗/⊕ failures reported above
+                continue
+            if not values_close(lhs, rhs, rel_tol=self.rel_tol):
+                self.problems.append(
+                    f"level {level}: ⊗ does not distribute over ⊕ on the "
+                    f"level's value domain (Theorem 3 precondition): "
+                    f"{a!r} ⊗ ({b!r} ⊕ {c!r}) = {lhs!r} but "
+                    f"({a!r} ⊗ {b!r}) ⊕ ({a!r} ⊗ {c!r}) = {rhs!r}"
+                )
+                return
+        return
+
+
+# ----------------------------------------------------------------------
+# the checker
+# ----------------------------------------------------------------------
+class PlanTypeChecker:
+    """Typechecks a (pattern, plan, aggregate) triple against a schema.
+
+    ``schema=None`` skips the schema-dependent checks (slot orientation,
+    filters) and still runs the aggregate value-domain flow and the
+    static kernel-eligibility verdict — matching the extractor's
+    ``validate_patterns=False`` opt-out.
+    """
+
+    def __init__(
+        self,
+        schema: Any = None,
+        weight_samples: Sequence[float] = DEFAULT_WEIGHT_SAMPLES,
+        rel_tol: float = 1e-9,
+        max_domain: int = 12,
+    ) -> None:
+        self.schema = schema
+        self.weight_samples = tuple(weight_samples)
+        self.rel_tol = rel_tol
+        self.max_domain = max_domain
+
+    # -- public API -----------------------------------------------------
+    def check(
+        self,
+        pattern: Any,
+        plan: Any = None,
+        aggregate: Any = None,
+        *,
+        trace: bool = False,
+        sanitize: bool = False,
+        resilience: Any = None,
+        faults: Any = None,
+    ) -> PlanTypeReport:
+        """Type ``pattern``/``plan`` under ``aggregate`` (defaults to
+        ``path_count``) and return the full report."""
+        if aggregate is None:
+            from repro.aggregates.library import path_count
+
+            aggregate = path_count()
+        eligibility = static_eligibility(
+            aggregate,
+            trace=trace,
+            sanitize=sanitize,
+            resilience=resilience,
+            faults=faults,
+        )
+        report = PlanTypeReport(
+            pattern=str(pattern),
+            aggregate=aggregate.name,
+            eligibility=eligibility,
+        )
+        self._check_pattern(pattern, report)
+        self._check_nodes(pattern, plan, report, eligibility)
+        levels = max(plan.height, 1) if plan is not None else 1
+        flow = _DomainFlow(
+            aggregate, self.weight_samples, self.rel_tol, self.max_domain
+        )
+        report.aggregate_problems.extend(flow.run(levels))
+        return report
+
+    def verify(self, pattern, plan=None, aggregate=None, **flags) -> PlanTypeReport:
+        """:meth:`check`, raising :class:`~repro.errors.PlanError` when
+        the triple is ill-typed (the ``verify=True`` pipeline's entry)."""
+        report = self.check(pattern, plan, aggregate, **flags)
+        if not report.ok:
+            problems = "; ".join(report.problems)
+            raise PlanError(
+                f"plan typecheck failed for pattern '{report.pattern}' "
+                f"under aggregate {report.aggregate!r}: {problems}"
+            )
+        return report
+
+    # -- internals ------------------------------------------------------
+    def _check_pattern(self, pattern: Any, report: PlanTypeReport) -> None:
+        if self.schema is None:
+            return
+        from repro.graph.hetgraph import ANY_LABEL
+
+        for label in dict.fromkeys(pattern.vertex_labels):
+            if label != ANY_LABEL and not self.schema.has_vertex_label(label):
+                report.pattern_problems.append(
+                    f"vertex label {label!r} is absent from the schema"
+                )
+        report.filter_problems.extend(
+            _filter_problems(pattern, self.schema)
+        )
+
+    def _node_slots(self, node: Any) -> List[int]:
+        """The pattern slots this node consumes as NL sides (slot ``s``
+        spans positions ``s-1 → s``; a length-1 side [a, b] is slot
+        ``b``)."""
+        slots = []
+        if node.k - node.i == 1:
+            slots.append(node.k)
+        if node.j - node.k == 1:
+            slots.append(node.j)
+        return slots
+
+    def _check_nodes(
+        self,
+        pattern: Any,
+        plan: Any,
+        report: PlanTypeReport,
+        eligibility: StaticEligibility,
+    ) -> None:
+        if plan is None:
+            # length-1 patterns: one direct scan over slot 1
+            problems: List[str] = []
+            if self.schema is not None and pattern.length >= 1:
+                problem = _slot_problem(pattern, self.schema, 1)
+                if problem is not None:
+                    problems.append(problem)
+            report.nodes.append(
+                NodeTyping(
+                    node_id=0,
+                    segment=(0, 0, pattern.length),
+                    pattern_type="direct",
+                    level=0,
+                    problems=tuple(problems),
+                    eligibility=eligibility,
+                )
+            )
+            return
+        for node in plan.nodes():
+            problems = []
+            if self.schema is not None:
+                for slot in self._node_slots(node):
+                    problem = _slot_problem(pattern, self.schema, slot)
+                    if problem is not None:
+                        problems.append(problem)
+            report.nodes.append(
+                NodeTyping(
+                    node_id=node.node_id,
+                    segment=(node.i, node.k, node.j),
+                    pattern_type=node.pattern_type,
+                    level=node.level,
+                    problems=tuple(problems),
+                    eligibility=eligibility,
+                )
+            )

@@ -22,6 +22,7 @@ class TraceData:
         self.supersteps: List[Dict[str, Any]] = []
         self.drift: List[Dict[str, Any]] = []
         self.plan_drift: Optional[Dict[str, Any]] = None
+        self.plan_typing: List[Dict[str, Any]] = []
         self.extraction: Optional[Dict[str, Any]] = None
         self.span_names: List[str] = []
 
@@ -55,6 +56,8 @@ def _ingest(data: TraceData, kind: str, name: str, attrs: Dict[str, Any]) -> Non
         data.drift.append(attrs)
     elif kind == "plan_drift" and data.plan_drift is None:
         data.plan_drift = attrs
+    elif kind == "plan_typing":
+        data.plan_typing.append(attrs)
 
 
 def _load_jsonl(lines: List[str], path: str) -> TraceData:
@@ -72,7 +75,7 @@ def _load_jsonl(lines: List[str], path: str) -> TraceData:
         kind = entry.get("kind")
         if kind == "span":
             _ingest(data, "span", entry.get("name", ""), entry.get("attrs", {}))
-        elif kind in ("drift", "plan_drift"):
+        elif kind in ("drift", "plan_drift", "plan_typing"):
             _ingest(data, kind, kind, entry)
     return data
 
@@ -97,7 +100,7 @@ def _load_chrome(document: Any, path: str) -> TraceData:
         phase = event.get("ph")
         if phase == "X":
             _ingest(data, "span", name, args)
-        elif phase == "i" and name in ("drift", "plan_drift"):
+        elif phase == "i" and name in ("drift", "plan_drift", "plan_typing"):
             _ingest(data, name, name, args)
     return data
 
@@ -189,10 +192,42 @@ def superstep_table(data: TraceData) -> str:
     return format_table(rows, columns, title=title, label_header="phase")
 
 
+def plan_typing_table(data: TraceData) -> str:
+    """Per-plan-node static eligibility, recorded by the plan typechecker
+    during traced ``verify=True`` runs (kind ``plan_typing``)."""
+    from repro.workloads.harness import Row, format_table
+
+    rows: List[Row] = []
+    for attrs in sorted(
+        data.plan_typing, key=lambda a: int(a.get("node_id", 0))
+    ):
+        segment = attrs.get("segment") or []
+        rows.append(
+            Row(
+                f"node {attrs.get('node_id', '?')}",
+                {
+                    "segment": "[" + ",".join(str(s) for s in segment) + "]",
+                    "type": attrs.get("pattern_type", "?"),
+                    "static_eligibility": attrs.get(
+                        "static_eligibility", "?"
+                    ),
+                },
+            )
+        )
+    return format_table(
+        rows,
+        ["segment", "type", "static_eligibility"],
+        title="plan typing (static backend verdicts)",
+        label_header="plan node",
+    )
+
+
 def render_report(path: str) -> str:
     """Everything ``repro.cli report`` prints for one trace file."""
     data = load_trace(path)
     parts = [superstep_table(data)]
+    if data.plan_typing:
+        parts.append(plan_typing_table(data))
     if data.plan_drift is not None:
         plan = data.plan_drift
         parts.append(

@@ -1,0 +1,128 @@
+"""The static kernel-eligibility verdict must agree with the runtime
+backend decision — zero disagreements, by construction: both sides call
+:func:`repro.core.backend.vectorized_fallback_reason`.  This suite
+proves the agreement empirically across the full workload catalog and
+every fallback trigger, then smoke-tests the ``cli check`` command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.library import (
+    avg_path_value,
+    max_min,
+    median_path_value,
+    path_count,
+)
+from repro.core.extractor import GraphExtractor
+from repro.lint import static_eligibility
+from repro.workloads.harness import reference_graph
+from repro.workloads.patterns import WORKLOADS
+
+AGGREGATE_FACTORIES = {
+    "path_count": path_count,       # distributive, native scipy kernel
+    "max_min": max_min,             # distributive, ufunc expansion
+    "avg": avg_path_value,          # algebraic, component-wise kernels
+    "median": median_path_value,    # holistic, must fall back
+}
+
+_GRAPHS = {
+    dataset: reference_graph(dataset, 0.05)
+    for dataset in sorted({w.dataset for w in WORKLOADS.values()})
+}
+
+
+def assert_agreement(extractor, aggregate, **flags):
+    """The core acceptance property: the static verdict equals what the
+    extractor actually decided, backend and reason both."""
+    verdict = static_eligibility(aggregate, **flags)
+    assert verdict.backend == extractor.last_backend
+    assert verdict.reason == extractor.last_fallback_reason
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+@pytest.mark.parametrize("agg_name", sorted(AGGREGATE_FACTORIES))
+def test_catalog_static_verdicts_match_runtime(name, agg_name):
+    workload = WORKLOADS[name]
+    graph = _GRAPHS[workload.dataset]
+    aggregate = AGGREGATE_FACTORIES[agg_name]()
+    extractor = GraphExtractor(graph, backend="vectorized")
+    extractor.extract(workload.pattern, aggregate)
+    assert_agreement(extractor, AGGREGATE_FACTORIES[agg_name]())
+
+
+class TestFallbackTriggers:
+    """Every run-level fallback trigger, cross-checked on one workload."""
+
+    @pytest.fixture()
+    def graph(self):
+        return _GRAPHS["dblp"]
+
+    @pytest.fixture()
+    def pattern(self):
+        return WORKLOADS["dblp-BP1"].pattern
+
+    def test_trace_trigger(self, graph, pattern):
+        extractor = GraphExtractor(graph, backend="vectorized")
+        extractor.extract(pattern, path_count(), trace=True)
+        assert extractor.last_backend == "bsp"
+        assert_agreement(extractor, path_count(), trace=True)
+
+    def test_sanitize_trigger(self, graph, pattern):
+        extractor = GraphExtractor(
+            graph, backend="vectorized", sanitize=True
+        )
+        extractor.extract(pattern, path_count())
+        assert extractor.last_backend == "bsp"
+        assert_agreement(extractor, path_count(), sanitize=True)
+
+    def test_resilience_trigger(self, graph, pattern):
+        from repro.faults.supervisor import ResiliencePolicy
+
+        policy = ResiliencePolicy()
+        extractor = GraphExtractor(
+            graph, backend="vectorized", resilience=policy
+        )
+        extractor.extract(pattern, path_count())
+        assert extractor.last_backend == "bsp"
+        assert_agreement(extractor, path_count(), resilience=policy)
+
+    def test_holistic_trigger(self, graph, pattern):
+        extractor = GraphExtractor(graph, backend="vectorized")
+        extractor.extract(pattern, median_path_value())
+        assert extractor.last_backend == "bsp"
+        assert_agreement(extractor, median_path_value())
+
+    def test_clean_vectorized_run(self, graph, pattern):
+        extractor = GraphExtractor(graph, backend="vectorized")
+        extractor.extract(pattern, path_count())
+        assert extractor.last_backend == "vectorized"
+        assert extractor.last_fallback_reason is None
+        assert_agreement(extractor, path_count())
+
+
+class TestCliCheck:
+    def test_all_workloads_clean(self, capsys):
+        from repro.cli import main
+
+        code = main(["check", "--all-workloads", "--scale", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "static_eligibility" in out
+        assert "NO" not in out
+
+    def test_source_mode_flags_fixture(self, capsys, tmp_path):
+        from pathlib import Path
+
+        from repro.cli import main
+
+        fixture = (
+            Path(__file__).resolve().parents[1]
+            / "lint"
+            / "fixtures"
+            / "bad_procsafe_program.py"
+        )
+        code = main(["check", str(fixture)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "procsafe-capture" in out

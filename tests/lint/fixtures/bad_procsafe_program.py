@@ -1,0 +1,63 @@
+"""Fixture: a vertex program and aggregate that are NOT process-safe.
+
+Every construct here is a hazard the interprocedural process-safety
+analysis (repro.lint.procsafe) must flag: captured unpicklable state
+(lambda, local function, generator, lock, open file), module-level
+mutable globals reachable from compute (directly and through a helper
+function), and reliance on thread identity.
+"""
+
+from __future__ import annotations
+
+import threading
+from threading import get_ident
+
+from repro.errors import ReproError
+
+_SEEN_VERTICES = set()
+_EDGE_CACHE = {}
+
+
+def _bump_cache(key):
+    # hazard: module-level mutable global touched by a compute helper
+    _EDGE_CACHE[key] = _EDGE_CACHE.get(key, 0) + 1
+
+
+def make_unsafe_aggregate():
+    from repro.aggregates.base import DistributiveAggregate
+
+    def local_combine(a, b):
+        return a + b
+
+    # hazards: local function and lambda passed into an aggregate
+    # constructor — neither survives pickling
+    return DistributiveAggregate(local_combine, lambda a, b: a + b)
+
+
+class UnsafeCountingProgram:
+    """Captures locks, files, lambdas and generators on ``self``."""
+
+    def __init__(self, path):
+        # hazard: thread lock (meaningless in a forked worker)
+        self.lock = threading.Lock()
+        # hazard: open file handle stored on the instance
+        self.sink = open(path, "w")
+        # hazard: lambda stored on the instance
+        self.scale = lambda value: value * 2
+        # hazard: generator object stored on the instance
+        self.stream = (i * i for i in range(16))
+
+    def compute(self, ctx):
+        if ctx.vertex is None:
+            raise ReproError("fixture program needs a vertex")
+        # hazard: reads a module-level mutable global from compute
+        if ctx.vertex in _SEEN_VERTICES:
+            return 0
+        # hazard: thread identity does not survive process boundaries
+        owner = get_ident()
+        self._note(ctx.vertex)
+        return owner
+
+    def _note(self, vertex):
+        # hazard reached interprocedurally: compute -> _note -> _bump_cache
+        _bump_cache(vertex)

@@ -65,7 +65,7 @@ def test_json_format():
     proc = run_cli("--format", "json", str(FIXTURES))
     assert proc.returncode == 1
     payload = json.loads(proc.stdout)
-    assert payload["files_scanned"] == 8
+    assert payload["files_scanned"] == 9
     assert payload["errors"] >= 7
     assert all("path" in f and "line" in f for f in payload["findings"])
 
@@ -98,7 +98,7 @@ def test_output_file(tmp_path):
     proc = run_cli("--format", "json", "--output", str(out), str(FIXTURES))
     assert proc.returncode == 1
     payload = json.loads(out.read_text())
-    assert payload["files_scanned"] == 8
+    assert payload["files_scanned"] == 9
 
 
 def test_rule_selection():

@@ -1,0 +1,310 @@
+"""Process-safety analysis (repro.lint.procsafe): the AST rule families
+on inline snippets and the seeded unsafe fixture, interprocedural
+attribution, and the object-level checker on every shipped aggregate."""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.aggregates import library
+from repro.aggregates.bounded import bounded_k_shortest, bounded_top_k
+from repro.errors import EngineError
+from repro.lint import (
+    PROCSAFE_RULES,
+    check_process_safety,
+    run_lint,
+    verify_process_safe,
+)
+from repro.lint.astutil import ModuleSource
+
+FIXTURE = Path(__file__).parent / "fixtures" / "bad_procsafe_program.py"
+
+
+def check(source: str):
+    module = ModuleSource.from_source(source, path="<snippet>")
+    return [f for rule in PROCSAFE_RULES for f in rule.check(module)]
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# procsafe-capture
+# ----------------------------------------------------------------------
+class TestCaptureRule:
+    def test_lambda_on_self_flagged(self):
+        findings = check(
+            "class P:\n"
+            "    def compute(self, ctx):\n"
+            "        self.fn = lambda x: x\n"
+        )
+        # class name does not end Program/Aggregate: not a subject
+        assert findings == []
+        findings = check(
+            "class CountProgram:\n"
+            "    def __init__(self):\n"
+            "        self.fn = lambda x: x\n"
+        )
+        assert rules_of(findings) == {"procsafe-capture"}
+
+    def test_generator_and_open_flagged(self):
+        findings = check(
+            "class CountProgram:\n"
+            "    def __init__(self, path):\n"
+            "        self.gen = (i for i in range(3))\n"
+            "        self.log = open(path)\n"
+        )
+        assert len(findings) == 2
+
+    def test_local_def_stored_on_self_flagged(self):
+        findings = check(
+            "class SumAggregate:\n"
+            "    def __init__(self):\n"
+            "        def helper(a, b):\n"
+            "            return a + b\n"
+            "        self.op = helper\n"
+        )
+        assert rules_of(findings) == {"procsafe-capture"}
+
+    def test_lambda_into_aggregate_ctor_flagged(self):
+        findings = check(
+            "def build():\n"
+            "    return DistributiveAggregate(lambda a, b: a + b, OP_ADD)\n"
+        )
+        assert rules_of(findings) == {"procsafe-capture"}
+
+    def test_local_def_into_register_op_ufunc_flagged(self):
+        findings = check(
+            "def setup():\n"
+            "    def mul(a, b):\n"
+            "        return a * b\n"
+            "    register_op_ufunc('mul', mul)\n"
+        )
+        assert rules_of(findings) == {"procsafe-capture"}
+
+    def test_module_level_named_fn_into_ctor_ok(self):
+        findings = check(
+            "def _add(a, b):\n"
+            "    return a + b\n"
+            "def build():\n"
+            "    return DistributiveAggregate(_add, _add)\n"
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# procsafe-global
+# ----------------------------------------------------------------------
+class TestGlobalRule:
+    def test_mutable_global_read_from_compute_flagged(self):
+        findings = check(
+            "_CACHE = {}\n"
+            "class CountProgram:\n"
+            "    def compute(self, ctx):\n"
+            "        return _CACHE.get(ctx.vertex)\n"
+        )
+        assert rules_of(findings) == {"procsafe-global"}
+
+    def test_interprocedural_reach_through_helper(self):
+        findings = check(
+            "_SEEN = set()\n"
+            "def remember(v):\n"
+            "    _SEEN.add(v)\n"
+            "class CountProgram:\n"
+            "    def compute(self, ctx):\n"
+            "        self._note(ctx)\n"
+            "    def _note(self, ctx):\n"
+            "        remember(ctx.vertex)\n"
+        )
+        assert rules_of(findings) == {"procsafe-global"}
+        assert any("via helper 'remember'" in f.message for f in findings)
+
+    def test_immutable_global_ok(self):
+        findings = check(
+            "LIMIT = 10\n"
+            "NAMES = ('a', 'b')\n"
+            "class CountProgram:\n"
+            "    def compute(self, ctx):\n"
+            "        return LIMIT + len(NAMES)\n"
+        )
+        assert findings == []
+
+    def test_locally_shadowed_name_ok(self):
+        findings = check(
+            "_CACHE = {}\n"
+            "class CountProgram:\n"
+            "    def compute(self, ctx):\n"
+            "        _CACHE = {}\n"
+            "        return _CACHE\n"
+        )
+        assert findings == []
+
+    def test_unreachable_helper_not_flagged(self):
+        # the helper touches a mutable global but nothing calls it
+        findings = check(
+            "_CACHE = {}\n"
+            "def unused():\n"
+            "    return _CACHE\n"
+            "class CountProgram:\n"
+            "    def compute(self, ctx):\n"
+            "        return 1\n"
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# procsafe-thread
+# ----------------------------------------------------------------------
+class TestThreadRule:
+    def test_get_ident_attribute_flagged(self):
+        findings = check(
+            "import threading\n"
+            "class CountProgram:\n"
+            "    def compute(self, ctx):\n"
+            "        return threading.get_ident()\n"
+        )
+        assert rules_of(findings) == {"procsafe-thread"}
+
+    def test_imported_get_ident_flagged(self):
+        findings = check(
+            "from threading import get_ident\n"
+            "class CountProgram:\n"
+            "    def compute(self, ctx):\n"
+            "        return get_ident()\n"
+        )
+        assert rules_of(findings) == {"procsafe-thread"}
+
+    def test_lock_in_init_flagged(self):
+        findings = check(
+            "import threading\n"
+            "class CountProgram:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+            "    def compute(self, ctx):\n"
+            "        return 1\n"
+        )
+        assert "procsafe-thread" in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# fixture + shipped tree
+# ----------------------------------------------------------------------
+class TestTrees:
+    def test_fixture_trips_every_family(self):
+        report = run_lint([str(FIXTURE)], rules=list(PROCSAFE_RULES))
+        assert rules_of(report.findings) == {
+            "procsafe-capture",
+            "procsafe-global",
+            "procsafe-thread",
+        }
+        assert report.errors >= 8
+
+    def test_shipped_tree_is_clean(self):
+        root = Path(__file__).resolve().parents[2]
+        paths = [str(root / "src" / "repro")]
+        for extra in ("benchmarks", "examples"):
+            if (root / extra).is_dir():
+                paths.append(str(root / extra))
+        report = run_lint(paths, rules=list(PROCSAFE_RULES))
+        assert report.findings == [], [
+            f"{f.path}:{f.line}: {f.message}" for f in report.findings
+        ]
+
+
+# ----------------------------------------------------------------------
+# object-level verification
+# ----------------------------------------------------------------------
+SHIPPED_FACTORIES = [
+    library.path_count,
+    library.weighted_path_count,
+    library.max_min,
+    library.min_max,
+    library.add_max,
+    library.sum_min,
+    library.exists_path,
+    library.avg_path_value,
+    library.std_path_value,
+    library.median_path_value,
+    library.count_distinct_path_values,
+    lambda: library.top_k_path_values(3),
+    lambda: bounded_top_k(3),
+    lambda: bounded_k_shortest(2),
+]
+
+
+class TestObjectLevel:
+    @pytest.mark.parametrize(
+        "factory", SHIPPED_FACTORIES,
+        ids=lambda f: getattr(f, "__name__", "<parameterised>"),
+    )
+    def test_every_shipped_aggregate_is_process_safe(self, factory):
+        aggregate = factory()
+        assert check_process_safety(aggregate) == []
+        verify_process_safe(aggregate)  # must not raise
+
+    def test_lambda_attribute_detected(self):
+        class Holder:
+            def __init__(self):
+                self.fn = lambda x: x
+
+        problems = check_process_safety(Holder())
+        assert any("lambda" in p for p in problems)
+
+    def test_lock_detected(self):
+        class Holder:
+            def __init__(self):
+                self.lock = threading.Lock()
+
+        problems = check_process_safety(Holder())
+        assert any("lock" in p for p in problems)
+
+    def test_local_function_detected(self):
+        def make():
+            def local(x):
+                return x
+
+            return local
+
+        class Holder:
+            def __init__(self):
+                self.fn = make()
+
+        problems = check_process_safety(Holder())
+        assert any("locally-defined" in p for p in problems)
+
+    def test_generator_detected(self):
+        class Holder:
+            def __init__(self):
+                self.gen = (i for i in range(3))
+
+        problems = check_process_safety(Holder())
+        assert any("generator" in p for p in problems)
+
+    def test_pickle_probe_catches_structural_misses(self):
+        # a locally-defined class instance passes the structural walk but
+        # fails the authoritative pickle round-trip
+        class Local:
+            pass
+
+        problems = check_process_safety(Local())
+        assert problems
+
+    def test_verify_raises_engine_error(self):
+        class Holder:
+            def __init__(self):
+                self.fn = lambda x: x
+
+        with pytest.raises(EngineError, match="not process-safe"):
+            verify_process_safe(Holder())
+
+    def test_nested_containers_walked(self):
+        class Holder:
+            def __init__(self):
+                self.table = {"ops": [min, max, lambda x: x]}
+
+        problems = check_process_safety(Holder())
+        assert any("lambda" in p for p in problems)

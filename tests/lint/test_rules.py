@@ -260,6 +260,9 @@ class TestRunner:
             "state-escape",
             "message-aliasing",
             "impure-aggregate",
+            "procsafe-capture",
+            "procsafe-global",
+            "procsafe-thread",
         }
         assert not report.ok
         # every finding carries a real location

@@ -1,0 +1,106 @@
+"""Property: every plan any planner strategy emits for a schema-valid
+pattern typechecks clean — over random schema walks (scholarly) and the
+full workload catalog (dblp/patent schemas), for representative
+aggregates of all three taxonomy classes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.library import (
+    avg_path_value,
+    max_min,
+    median_path_value,
+    path_count,
+)
+from repro.core.planner import STRATEGIES, make_plan
+from repro.graph.pattern import LinePattern
+from repro.lint import PlanTypeChecker
+from repro.workloads.harness import reference_graph
+from repro.workloads.patterns import WORKLOADS
+
+from tests.conftest import build_scholarly
+
+_GRAPH = build_scholarly()
+
+#: label -> [(edge label, arrow, next label)] walk steps in both directions
+_STEPS = {
+    "Author": [("authorBy", "->", "Paper")],
+    "Venue": [("publishAt", "<-", "Paper")],
+    "Paper": [
+        ("authorBy", "<-", "Author"),
+        ("publishAt", "->", "Venue"),
+        ("citeBy", "->", "Paper"),
+        ("citeBy", "<-", "Paper"),
+    ],
+}
+
+
+@st.composite
+def schema_walk_patterns(draw):
+    """A random valid line pattern of length 2-8 over the scholarly schema."""
+    length = draw(st.integers(min_value=2, max_value=8))
+    label = draw(st.sampled_from(sorted(_STEPS)))
+    parts = [label]
+    for _ in range(length):
+        edge, arrow, nxt = draw(st.sampled_from(_STEPS[label]))
+        parts.append(
+            f"-[{edge}]-> {nxt}" if arrow == "->" else f"<-[{edge}]- {nxt}"
+        )
+        label = nxt
+    return LinePattern.parse(" ".join(parts))
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=schema_walk_patterns(), strategy=st.sampled_from(STRATEGIES))
+def test_every_strategy_emits_type_clean_plans(pattern, strategy):
+    plan = make_plan(
+        pattern, strategy=strategy, graph=_GRAPH, schema=_GRAPH.schema
+    )
+    report = PlanTypeChecker(_GRAPH.schema).check(
+        pattern, plan, path_count()
+    )
+    assert report.ok, report.problems
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pattern=schema_walk_patterns(),
+    factory=st.sampled_from(
+        [path_count, max_min, avg_path_value, median_path_value]
+    ),
+)
+def test_taxonomy_classes_flow_clean_through_any_walk(pattern, factory):
+    plan = make_plan(pattern, strategy="line", schema=_GRAPH.schema)
+    report = PlanTypeChecker(_GRAPH.schema).check(pattern, plan, factory())
+    assert report.ok, report.problems
+
+
+# ----------------------------------------------------------------------
+# the workload catalog typechecks clean under every strategy
+# ----------------------------------------------------------------------
+_CATALOG_GRAPHS = {
+    dataset: reference_graph(dataset, 0.05)
+    for dataset in sorted({w.dataset for w in WORKLOADS.values()})
+}
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_catalog_workloads_typecheck_clean(name, strategy):
+    workload = WORKLOADS[name]
+    graph = _CATALOG_GRAPHS[workload.dataset]
+    pattern = workload.pattern
+    plan = (
+        make_plan(
+            pattern, strategy=strategy, graph=graph, schema=graph.schema
+        )
+        if pattern.length > 1
+        else None
+    )
+    report = PlanTypeChecker(graph.schema).check(
+        pattern, plan, path_count()
+    )
+    assert report.ok, f"{name}/{strategy}: {report.problems}"

@@ -133,4 +133,7 @@ class TestLintExports:
             "state-escape",
             "message-aliasing",
             "impure-aggregate",
+            "procsafe-capture",
+            "procsafe-global",
+            "procsafe-thread",
         }
