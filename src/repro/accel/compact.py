@@ -20,7 +20,8 @@ duplicate-summed CSR view.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -38,6 +39,28 @@ _EMPTY_TRIPLES: TripleArrays = (
     np.empty(0, dtype=np.int64),
     np.empty(0, dtype=np.float64),
 )
+
+
+@dataclass(frozen=True)
+class SlotStatistics:
+    """Exact measured statistics of one pattern slot on one snapshot:
+    total match count (endpoint labels/filters applied), per-vertex
+    max/min matches at the slot's left position (``fanout``) and right
+    position (``fanin``), and the matching endpoint populations.
+
+    These seed the certified-bounds interval domain
+    (:class:`repro.lint.bounds.PatternBounds`); the min degrees run over
+    *every* vertex matching the endpoint position — a matching vertex
+    with zero slot matches makes the minimum 0.
+    """
+
+    count: int
+    fanout_max: int
+    fanout_min: int
+    fanin_max: int
+    fanin_min: int
+    left_vertices: int
+    right_vertices: int
 
 
 class CompactGraph:
@@ -83,6 +106,8 @@ class CompactGraph:
         self._adjacency: Dict[Tuple[str, str], csr_matrix] = {}
         self._label_masks: Dict[str, np.ndarray] = {}
         self._filter_masks: Dict[VertexFilter, np.ndarray] = {}
+        self._slot_stats: Dict[Tuple, SlotStatistics] = {}
+        self._cardinality: Dict[Tuple, int] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -220,6 +245,91 @@ class CompactGraph:
                 count=self.num_vertices,
             )
             self._filter_masks[vertex_filter] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # measured bounds statistics (repro.lint.bounds seed data)
+    # ------------------------------------------------------------------
+    def _position_mask(
+        self, label: str, vertex_filter: Optional[VertexFilter]
+    ) -> np.ndarray:
+        mask = self.label_mask(label)
+        if vertex_filter is not None:
+            mask = mask & self.filter_mask(vertex_filter)
+        return mask
+
+    def label_cardinality(
+        self, label: str, vertex_filter: Optional[VertexFilter] = None
+    ) -> int:
+        """Exact number of vertices a pattern position with ``label``
+        (and optional attribute filter) can match on this snapshot.
+        Cached per ``(label, filter)``; invalidation is free — caches
+        live on the snapshot, and any graph mutation makes
+        ``to_compact()`` hand out a fresh snapshot."""
+        key = (label, vertex_filter)
+        cached = self._cardinality.get(key)
+        if cached is None:
+            cached = int(
+                np.count_nonzero(self._position_mask(label, vertex_filter))
+            )
+            self._cardinality[key] = cached
+        return cached
+
+    def slot_statistics(
+        self,
+        edge: PatternEdge,
+        left_label: str,
+        right_label: str,
+        left_filter: Optional[VertexFilter] = None,
+        right_filter: Optional[VertexFilter] = None,
+    ) -> SlotStatistics:
+        """Exact :class:`SlotStatistics` for one pattern slot.
+
+        Matches are the slot-oriented edge instances
+        (:meth:`slot_triples` — undirected slots count both
+        orientations) whose endpoints satisfy the position labels and
+        filters; fan-out/fan-in minima and maxima run over every vertex
+        matching the corresponding endpoint position.  Cached per
+        ``(edge, labels, filters)``.
+        """
+        key = (edge, left_label, right_label, left_filter, right_filter)
+        cached = self._slot_stats.get(key)
+        if cached is not None:
+            return cached
+        left_mask = self._position_mask(left_label, left_filter)
+        right_mask = self._position_mask(right_label, right_filter)
+        rows, cols, _ = self.slot_triples(edge)
+        if len(rows):
+            keep = left_mask[rows] & right_mask[cols]
+            rows, cols = rows[keep], cols[keep]
+        left_vertices = int(np.count_nonzero(left_mask))
+        right_vertices = int(np.count_nonzero(right_mask))
+
+        def degree_extrema(
+            endpoints: np.ndarray, mask: np.ndarray, population: int
+        ) -> Tuple[int, int]:
+            if population == 0:
+                return 0, 0
+            degrees = np.bincount(endpoints, minlength=self.num_vertices)
+            member = degrees[mask]
+            return int(member.max()), int(member.min())
+
+        fanout_max, fanout_min = degree_extrema(
+            rows, left_mask, left_vertices
+        )
+        fanin_max, fanin_min = degree_extrema(
+            cols, right_mask, right_vertices
+        )
+        cached = SlotStatistics(
+            count=int(len(rows)),
+            fanout_max=fanout_max,
+            fanout_min=fanout_min,
+            fanin_max=fanin_max,
+            fanin_min=fanin_min,
+            left_vertices=left_vertices,
+            right_vertices=right_vertices,
+        )
+        self._slot_stats[key] = cached
         return cached
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

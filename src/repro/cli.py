@@ -15,9 +15,10 @@ Run as ``python -m repro <command>``:
   files (exit gated by ``--fail-on``; the permanent CI gate);
 * ``check``     — static verification: typecheck workload plans against
   their dataset schemas (slot orientation, filter applicability, the
-  Theorem-3 distributivity precondition, per-node backend verdicts)
-  and/or run the interprocedural process-safety rules over source
-  trees;
+  Theorem-3 distributivity precondition, per-node backend verdicts),
+  certify resource bounds and check counter containment
+  (``--bounds [--budget BYTES]``), and/or run the interprocedural
+  process-safety rules over source trees;
 * ``sanitize``  — run one extraction on the BSP race/determinism
   sanitizer engine and report runtime findings through the lint
   reporters (text/json/sarif/github);
@@ -63,6 +64,18 @@ from repro.workloads.harness import (
     run_method,
 )
 from repro.workloads.patterns import WORKLOADS, get_workload
+
+# ----------------------------------------------------------------------
+# exit-code convention (uniform across every finding-producing command)
+# ----------------------------------------------------------------------
+#: clean run: no findings at or above the ``--fail-on`` threshold
+EXIT_OK = 0
+#: the command ran to completion and produced gating findings
+EXIT_FINDINGS = 1
+#: the command itself failed (bad arguments, missing files, engine
+#: errors) — distinct from findings so CI can tell "code has problems"
+#: from "the checker broke"
+EXIT_INTERNAL_ERROR = 2
 
 #: aggregate factories addressable from the command line
 AGGREGATES = {
@@ -285,11 +298,21 @@ def cmd_discover(args: argparse.Namespace) -> int:
     return 0
 
 
-def _emit_report(report, args: argparse.Namespace) -> None:
-    """Render ``report`` in the requested format, to stdout or ``--output``."""
-    from repro.lint import REPORTERS
+def _emit_report(
+    report, args: argparse.Namespace, surface: Optional[str] = None
+) -> None:
+    """Render ``report`` in the requested format, to stdout or ``--output``.
 
-    rendered = REPORTERS[args.format](report)
+    ``surface`` names the finding-producing command for SARIF category
+    purposes (:func:`repro.lint.reporters.sarif_category`); SARIF logs
+    then carry the matching ``automationDetails.id``."""
+    from repro.lint import REPORTERS
+    from repro.lint.reporters import render_sarif, sarif_category
+
+    if args.format == "sarif" and surface is not None:
+        rendered = render_sarif(report, category=sarif_category(surface))
+    else:
+        rendered = REPORTERS[args.format](report)
     if getattr(args, "output", None):
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
@@ -299,13 +322,18 @@ def _emit_report(report, args: argparse.Namespace) -> None:
 
 
 def _report_exit_code(report, fail_on: str) -> int:
-    """0/1 depending on the findings at or above the ``fail_on`` threshold."""
+    """:data:`EXIT_OK` / :data:`EXIT_FINDINGS` depending on the findings
+    at or above the ``fail_on`` threshold (``"never"`` always passes).
+    Internal failures never reach here — they raise and ``main`` maps
+    them to :data:`EXIT_INTERNAL_ERROR`."""
     from repro.lint.findings import Severity
 
     if fail_on == "never":
-        return 0
+        return EXIT_OK
     threshold = Severity.from_string(fail_on)
-    return 0 if report.count_at_least(threshold) == 0 else 1
+    return (
+        EXIT_OK if report.count_at_least(threshold) == 0 else EXIT_FINDINGS
+    )
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -325,7 +353,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
         paths = [str(Path(__file__).resolve().parent)]
     report = run_lint(paths, rules=rules, config=config)
-    _emit_report(report, args)
+    _emit_report(report, args, surface="lint")
     return _report_exit_code(report, args.fail_on or config.fail_on)
 
 
@@ -346,7 +374,7 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     except SanitizerError:
         result = None
     report = LintReport(findings=list(extractor.last_sanitizer_findings))
-    _emit_report(report, args)
+    _emit_report(report, args, surface="sanitize")
     if result is not None:
         print(
             f"sanitized extraction: {result.graph.num_edges()} edges, "
@@ -565,17 +593,134 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_workload_bounds(
+    name: str,
+    graph: HeterogeneousGraph,
+    pattern: LinePattern,
+    strategy: str,
+    budget: Optional[int],
+    findings: list,
+    rows: list,
+) -> None:
+    """The ``check --bounds`` body for one workload: certify the plan
+    with measured statistics, run it on both backends and compare every
+    observed ``node_paths:<id>`` counter (and the result edge count)
+    against its certified interval.
+
+    A containment miss is a **soundness bug** in :mod:`repro.lint.
+    bounds` and becomes a ``plan-bounds-violation`` ERROR; a certified
+    peak above ``budget`` on every backend becomes a
+    ``plan-bounds-budget`` WARNING (static admission control would
+    degrade or reject the run)."""
+    from repro.errors import BoundsViolationError
+    from repro.lint.bounds import BoundsAnalyzer, PatternBounds
+    from repro.lint.findings import Finding, Severity
+    from repro.core.planner import make_plan
+
+    where = f"<workload {name}>"
+    analyzer = BoundsAnalyzer(
+        pattern, PatternBounds.from_compact(graph.to_compact(), pattern)
+    )
+    plan = (
+        make_plan(pattern, strategy=strategy, graph=graph, bounds=analyzer)
+        if pattern.length > 1
+        else None
+    )
+    budget_fits = []
+    for backend in ("bsp", "vectorized"):
+        certified = analyzer.analyze(plan, backend=backend)
+        if budget is not None:
+            budget_fits.append(certified.fits(budget))
+        extractor = GraphExtractor(graph, backend=backend)
+        try:
+            result = extractor.extract(pattern, plan=plan)
+        except BoundsViolationError as exc:
+            findings.append(
+                Finding(
+                    rule="plan-bounds-violation",
+                    message=f"[{backend}] {exc}",
+                    path=where,
+                    line=1,
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        drift_records = result.drift.records if result.drift else []
+        for record in drift_records:
+            if record.bound is None:
+                continue
+            rows.append(
+                Row(
+                    f"{name} [{backend}] node {record.node_id}",
+                    {
+                        "bound": f"{record.bound:g}",
+                        "observed": record.observed_paths,
+                        "contained": "yes" if record.contained else "NO",
+                    },
+                )
+            )
+        observed_edges = result.graph.num_edges()
+        edges = analyzer.result_edges()
+        contained = edges.contains(observed_edges)
+        rows.append(
+            Row(
+                f"{name} [{backend}] result edges",
+                {
+                    "bound": edges.describe(),
+                    "observed": observed_edges,
+                    "contained": "yes" if contained else "NO",
+                },
+            )
+        )
+        if not contained:
+            findings.append(
+                Finding(
+                    rule="plan-bounds-violation",
+                    message=(
+                        f"[{backend}] observed result edge count "
+                        f"{observed_edges} outside certified "
+                        f"{edges.describe()}"
+                    ),
+                    path=where,
+                    line=1,
+                    severity=Severity.ERROR,
+                )
+            )
+    if budget is not None and budget_fits and not any(budget_fits):
+        findings.append(
+            Finding(
+                rule="plan-bounds-budget",
+                message=(
+                    f"certified peak memory exceeds budget {budget} B on "
+                    f"every backend; admission control would degrade or "
+                    f"reject this run"
+                ),
+                path=where,
+                line=1,
+                severity=Severity.WARNING,
+            )
+        )
+
+
 def cmd_check(args: argparse.Namespace) -> int:
-    """Static verification: plan typing for workloads and/or
-    process-safety analysis for source trees.
+    """Static verification: plan typing and certified resource bounds
+    for workloads, and/or process-safety analysis for source trees.
 
     Workload mode (``--workload`` / ``--all-workloads``) typechecks each
     workload's compiled plan against its dataset schema — slot
     orientation, filter applicability, the Theorem-3 distributivity
     precondition — and prints the per-node static backend verdict.
+    With ``--bounds``, each workload's plan is additionally certified in
+    the interval domain (:mod:`repro.lint.bounds`), run on both
+    backends, and every observed counter is checked for *containment*
+    in its certified interval (``plan-bounds-violation`` findings are
+    soundness bugs); ``--budget BYTES`` also reports plans whose
+    certified peak cannot fit the budget (``plan-bounds-budget``).
     Source mode (positional paths) runs the interprocedural
-    process-safety rules (``procsafe-*``) over the files.  Both modes
-    feed one findings report through the lint reporters.
+    process-safety rules (``procsafe-*``) over the files.  All modes
+    feed one findings report through the lint reporters and respect
+    ``--fail-on`` uniformly (exit :data:`EXIT_FINDINGS` on gating
+    findings, :data:`EXIT_INTERNAL_ERROR` on checker failures).
     """
     from repro.lint.findings import LintReport
     from repro.lint.procsafe import PROCSAFE_RULES
@@ -589,9 +734,15 @@ def cmd_check(args: argparse.Namespace) -> int:
         workload_names = sorted(WORKLOADS)
     elif args.workload:
         workload_names = [args.workload]
+    if args.bounds and not workload_names:
+        raise ReproError(
+            "--bounds needs a workload: pass --workload NAME or "
+            "--all-workloads"
+        )
 
     graphs: dict = {}
     rows = []
+    bounds_rows = []
     for name in workload_names:
         workload = get_workload(name)
         if workload.dataset not in graphs:
@@ -622,6 +773,16 @@ def cmd_check(args: argparse.Namespace) -> int:
                 )
             )
         findings.extend(type_report.findings(path=f"<workload {name}>"))
+        if args.bounds:
+            _check_workload_bounds(
+                name,
+                graph,
+                pattern,
+                args.strategy,
+                args.budget,
+                findings,
+                bounds_rows,
+            )
     if rows:
         print(
             format_table(
@@ -635,6 +796,19 @@ def cmd_check(args: argparse.Namespace) -> int:
             )
         )
         print()
+    if bounds_rows:
+        title = f"certified bounds [{args.strategy}] (containment check)"
+        if args.budget is not None:
+            title += f" — budget {args.budget} B"
+        print(
+            format_table(
+                bounds_rows,
+                ["bound", "observed", "contained"],
+                title=title,
+                label_header="workload / plan node",
+            )
+        )
+        print()
 
     if args.paths:
         from repro.lint.engine import run_lint
@@ -644,7 +818,9 @@ def cmd_check(args: argparse.Namespace) -> int:
         files_scanned = source_report.files_scanned
 
     report = LintReport(findings=findings, files_scanned=files_scanned)
-    _emit_report(report, args)
+    _emit_report(
+        report, args, surface="bounds" if args.bounds else "check"
+    )
     return _report_exit_code(report, args.fail_on)
 
 
@@ -833,6 +1009,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.05,
         help="dataset scale for plan statistics (default 0.05; typing "
         "itself is scale-independent)",
+    )
+    check.add_argument(
+        "--bounds", action="store_true",
+        help="certify each workload plan in the interval domain "
+        "(repro.lint.bounds), run it on both backends and check every "
+        "observed counter for containment in its certified interval",
+    )
+    check.add_argument(
+        "--budget", type=int, metavar="BYTES", default=None,
+        help="with --bounds: also report plans whose certified peak "
+        "memory exceeds BYTES on every backend (plan-bounds-budget)",
     )
     check.add_argument(
         "--format", choices=formats, default="text",

@@ -1,0 +1,183 @@
+"""Static admission control over certified memory bounds.
+
+Before a run starts, :class:`AdmissionController` compares the plan's
+*certified* peak-byte interval (:meth:`repro.lint.bounds.BoundsAnalyzer.
+analyze`) against a byte budget and decides whether the run may proceed
+as requested, must **degrade**, or is **rejected** outright.  The
+degradation ladder mirrors the fault supervisor's fallback ladder
+(:mod:`repro.faults`): each rung trades throughput for a provably
+smaller resident set —
+
+1. the requested ``(backend, plan)`` pair as-is;
+2. the BSP backend with the same plan (the mailbox model streams
+   messages instead of holding CSR buffers resident);
+3. the BSP backend with the degenerate ``line`` plan (height ``l - 1``:
+   at most one stored partial table plus one in-flight frontier at a
+   time, the smallest certified peak any plan shape can promise).
+
+A rung is taken iff its certified upper bound fits the budget — the
+decision is *sound*: an admitted run can exceed the budget only if the
+bounds analyzer itself is unsound (which the containment checker would
+flag as ``plan-bounds-violation``).  When no rung fits,
+:class:`~repro.errors.AdmissionError` carries the full
+:class:`AdmissionDecision` with every attempted rung and its certified
+peak, so callers can report *why* nothing fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.errors import AdmissionError
+
+#: Decision kinds an admission check can reach.
+ADMISSION_ACTIONS = ("admit", "degrade", "reject")
+
+
+@dataclass(frozen=True)
+class AdmissionAttempt:
+    """One ladder rung that was considered: the backend/strategy pair,
+    its certified peak-byte upper bound and whether it fit."""
+
+    backend: str
+    strategy: str
+    peak_bytes_hi: float
+    fits: bool
+
+    def describe(self) -> str:
+        verdict = "fits" if self.fits else "exceeds budget"
+        peak = (
+            "unbounded"
+            if self.peak_bytes_hi == float("inf")
+            else f"{self.peak_bytes_hi:g} B"
+        )
+        return (
+            f"{self.backend}/{self.strategy}: certified peak {peak} "
+            f"({verdict})"
+        )
+
+
+@dataclass
+class AdmissionDecision:
+    """The outcome of one admission check.
+
+    ``action`` is ``"admit"`` (first rung fit), ``"degrade"`` (a later
+    rung fit — run with ``backend`` / ``plan`` instead of what was
+    requested) or ``"reject"`` (no rung fit; the controller raises
+    :class:`~repro.errors.AdmissionError` carrying this decision).
+    """
+
+    budget: float
+    requested_backend: str
+    action: str
+    backend: Optional[str] = None
+    plan: Any = None
+    peak_bytes_hi: Optional[float] = None
+    attempts: List[AdmissionAttempt] = field(default_factory=list)
+
+    def describe(self) -> str:
+        rungs = "; ".join(a.describe() for a in self.attempts)
+        if self.action == "reject":
+            return (
+                f"rejected: no rung fits budget {self.budget:g} B "
+                f"({rungs})"
+            )
+        taken = f"{self.backend}"
+        if self.action == "degrade":
+            taken += f" (degraded from {self.requested_backend})"
+        return (
+            f"{self.action}: {taken}, certified peak "
+            f"{self.peak_bytes_hi:g} <= budget {self.budget:g} B "
+            f"({rungs})"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "budget": self.budget,
+            "requested_backend": self.requested_backend,
+            "action": self.action,
+            "backend": self.backend,
+            "peak_bytes_hi": self.peak_bytes_hi,
+            "attempts": [
+                {
+                    "backend": a.backend,
+                    "strategy": a.strategy,
+                    "peak_bytes_hi": a.peak_bytes_hi,
+                    "fits": a.fits,
+                }
+                for a in self.attempts
+            ],
+        }
+
+
+class AdmissionController:
+    """Decides admit/degrade/reject for one run against a byte budget.
+
+    Parameters
+    ----------
+    budget:
+        Maximum certified peak resident bytes an admitted run may have.
+    analyzer:
+        The :class:`~repro.lint.bounds.BoundsAnalyzer` for the pattern
+        being run (carries the statistics the certificates derive from).
+    """
+
+    def __init__(self, budget: float, analyzer: Any) -> None:
+        if budget <= 0:
+            raise AdmissionError(
+                f"memory budget must be positive, got {budget!r}"
+            )
+        self.budget = float(budget)
+        self.analyzer = analyzer
+
+    def _ladder(self, plan: Any, backend: str):
+        """The degradation rungs, most- to least-preferred.  ``plan`` may
+        be ``None`` (length-1 direct scan: nothing to replan)."""
+        rungs = [(backend, plan)]
+        if backend != "bsp":
+            rungs.append(("bsp", plan))
+        if plan is not None and plan.strategy != "line":
+            from repro.core.planner import line_plan
+
+            rungs.append(("bsp", line_plan(self.analyzer.pattern)))
+        return rungs
+
+    def decide(self, plan: Any, backend: str) -> AdmissionDecision:
+        """Walk the ladder; return the decision of the first rung whose
+        certified peak fits, or raise :class:`~repro.errors.
+        AdmissionError` (carrying the reject decision) when none does."""
+        attempts: List[AdmissionAttempt] = []
+        for rung_index, (rung_backend, rung_plan) in enumerate(
+            self._ladder(plan, backend)
+        ):
+            bounds = self.analyzer.analyze(rung_plan, backend=rung_backend)
+            fits = bounds.fits(self.budget)
+            attempts.append(
+                AdmissionAttempt(
+                    backend=rung_backend,
+                    strategy=bounds.strategy,
+                    peak_bytes_hi=bounds.peak_bytes.hi,
+                    fits=fits,
+                )
+            )
+            if fits:
+                return AdmissionDecision(
+                    budget=self.budget,
+                    requested_backend=backend,
+                    action="admit" if rung_index == 0 else "degrade",
+                    backend=rung_backend,
+                    plan=rung_plan,
+                    peak_bytes_hi=bounds.peak_bytes.hi,
+                    attempts=attempts,
+                )
+        decision = AdmissionDecision(
+            budget=self.budget,
+            requested_backend=backend,
+            action="reject",
+            attempts=attempts,
+        )
+        raise AdmissionError(
+            f"admission control rejected the run: {decision.describe()}",
+            decision=decision,
+        )

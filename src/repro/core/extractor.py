@@ -21,11 +21,17 @@ from repro.aggregates.base import Aggregate
 from repro.aggregates.classify import validate_aggregate
 from repro.aggregates.library import path_count
 from repro.core.backend import vectorized_fallback_reason
+from repro.core.cost import CostModel
 from repro.core.evaluator import run_extraction
 from repro.core.plan import PCP
 from repro.core.planner import make_plan
 from repro.core.result import ExtractionResult
-from repro.errors import EngineError, PatternMismatchError
+from repro.errors import (
+    AdmissionError,
+    BoundsViolationError,
+    EngineError,
+    PatternMismatchError,
+)
 from repro.graph.hetgraph import HeterogeneousGraph
 from repro.graph.pattern import LinePattern
 from repro.graph.stats import GraphStatistics
@@ -115,6 +121,23 @@ class GraphExtractor:
         holistic aggregates, path-trail tracing (``trace=True``),
         sanitized and supervised/fault-injected execution — fall back to
         BSP with a logged reason (``extractor.last_fallback_reason``).
+    memory_budget:
+        Optional byte budget enabling **static admission control**
+        (:class:`~repro.core.admission.AdmissionController`): before a
+        run starts, the plan's *certified* peak memory
+        (:mod:`repro.lint.bounds`, seeded from the graph's measured
+        statistics) is compared against the budget.  Runs whose
+        certified peak fits are admitted as-is; otherwise the
+        degradation ladder is walked (vectorized → BSP → BSP with the
+        ``line`` plan) and the first fitting rung runs instead; when no
+        rung fits, :class:`~repro.errors.AdmissionError` is raised
+        before any superstep.  The decision is kept on
+        ``extractor.last_admission`` and counted in the run metrics
+        (``admission_checked`` / ``admission_admitted`` /
+        ``admission_degraded``).  Admitted plans are annotated with
+        their certified per-node bounds, so the drift report also
+        checks *containment* — an observed counter above its certified
+        bound raises :class:`~repro.errors.BoundsViolationError`.
     """
 
     def __init__(
@@ -130,10 +153,16 @@ class GraphExtractor:
         resilience=None,
         trace: TraceSpec = None,
         backend: str = "bsp",
+        memory_budget: Optional[int] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise EngineError(
                 f"unknown backend {backend!r}; choose one of {BACKENDS}"
+            )
+        if memory_budget is not None and memory_budget <= 0:
+            raise EngineError(
+                f"memory_budget must be a positive byte count, got "
+                f"{memory_budget!r}"
             )
         self.graph = graph
         self.num_workers = num_workers
@@ -146,6 +175,11 @@ class GraphExtractor:
         self.resilience = resilience
         self.trace = trace
         self.backend = backend
+        self.memory_budget = memory_budget
+        #: :class:`~repro.core.admission.AdmissionDecision` of the most
+        #: recent budgeted extraction (``None`` when no budget is set;
+        #: kept even when the decision was a reject)
+        self.last_admission = None
         #: backend the most recent extraction actually ran on
         self.last_backend: Optional[str] = None
         #: why the most recent extraction fell back from the vectorized
@@ -359,6 +393,14 @@ class GraphExtractor:
                     plan = self.plan(
                         pattern, strategy=strategy, partial_aggregation=use_partial
                     )
+            admission = None
+            if self.memory_budget is not None:
+                admission = self._admit(
+                    pattern, plan, use_backend, obs if traced else None
+                )
+                plan = admission.plan
+                use_backend = admission.backend
+                self.last_backend = use_backend
             if use_verify:
                 type_report = self._verify_inputs(
                     aggregate,
@@ -429,7 +471,25 @@ class GraphExtractor:
         finally:
             if traced:
                 obs.end_span(root_span)
+        if admission is not None:
+            result.metrics.add_counter("admission_checked")
+            result.metrics.add_counter(
+                "admission_admitted"
+                if admission.action == "admit"
+                else "admission_degraded"
+            )
         result.drift = compute_drift(result.plan, result.metrics)
+        if result.drift is not None:
+            violations = result.drift.containment_violations()
+            if violations:
+                worst = violations[0]
+                raise BoundsViolationError(
+                    f"observed node_paths:{worst.node_id} = "
+                    f"{worst.observed_paths} exceeds its certified upper "
+                    f"bound {worst.bound:g} ({len(violations)} node(s) "
+                    f"violated) — this is a soundness bug in "
+                    f"repro.lint.bounds, not a data problem"
+                )
         if traced:
             root_span.set_attrs(
                 {
@@ -442,6 +502,50 @@ class GraphExtractor:
             if owns_tracer(spec) and obs.sink is not None:
                 obs.export()
         return result
+
+    def _admit(self, pattern, plan, backend, tracer=None):
+        """Run static admission control for one extraction: build the
+        measured-bounds analyzer, walk the degradation ladder, annotate
+        the admitted plan with its certified bounds (arming the
+        containment check) and keep the decision on
+        ``last_admission``.  Raises :class:`~repro.errors.
+        AdmissionError` when no ladder rung fits the budget."""
+        from repro.core.admission import AdmissionController
+        from repro.lint.bounds import BoundsAnalyzer, PatternBounds
+
+        analyzer = BoundsAnalyzer(
+            pattern,
+            PatternBounds.from_compact(self.graph.to_compact(), pattern),
+        )
+        controller = AdmissionController(self.memory_budget, analyzer)
+        try:
+            decision = controller.decide(plan, backend)
+        except AdmissionError as exc:
+            self.last_admission = exc.decision
+            _accel_log.info(
+                "admission control rejected run: %s",
+                exc.decision.describe() if exc.decision else exc,
+            )
+            if tracer is not None:
+                tracer.event(
+                    "admission",
+                    exc.decision.as_dict() if exc.decision else {},
+                )
+            raise
+        self.last_admission = decision
+        if decision.action == "degrade":
+            _accel_log.info(
+                "admission control degraded run: %s", decision.describe()
+            )
+        if decision.plan is not None:
+            analyzer.annotate_plan(decision.plan)
+            if not decision.plan.node_estimates:
+                # a degraded line plan fresh from the ladder has no cost
+                # annotations yet; add them so drift stays observable
+                CostModel(pattern, self.stats).annotate_plan(decision.plan)
+        if tracer is not None:
+            tracer.event("admission", decision.as_dict())
+        return decision
 
     def _extract_supervised(
         self, pattern, plan, aggregate, num_workers, mode, resilience,

@@ -110,6 +110,19 @@ class PCP:
         #: estimated total intermediate paths (Eq. 3); set by the DP
         #: planners and by :meth:`~repro.core.cost.CostModel.annotate_plan`
         self.estimated_cost: Optional[float] = None
+        #: certified per-node upper bounds (``{node_id: hi}``), filled by
+        #: :meth:`repro.lint.bounds.BoundsAnalyzer.annotate_plan`; the
+        #: drift tracker checks observed counters for containment
+        #: against these and a violation fails loudly
+        self.node_bounds: Dict[int, float] = {}
+        #: certified interval on the Eq. 3 total
+        #: (:class:`repro.lint.bounds.Interval`; ``None`` until annotated)
+        self.certified_cost = None
+        #: where the certified bounds came from ("measured"/"declared")
+        self.bounds_source: Optional[str] = None
+        #: :class:`repro.lint.bounds.PruneRecord` proof objects of every
+        #: branch-and-bound prune the DP planner performed for this plan
+        self.prune_trace: List = []
         self._nodes: List[PCPNode] = []
         self._assign_ids_and_levels()
         self.validate()

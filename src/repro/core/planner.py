@@ -27,7 +27,7 @@ structure is otherwise identical.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.schema import GraphSchema
@@ -98,19 +98,68 @@ def _solve_dp(
     cost_model: CostModel,
     pivot_range: Callable[[int, int], range],
     strategy: str,
+    analyzer=None,
 ) -> PCP:
     """Shared DP: ``best[i,j] = min over allowed k of best[i,k] + best[k,j]
-    + node_cost(i,k,j)``; then materialise the argmin tree."""
+    + node_cost(i,k,j)``; then materialise the argmin tree.
+
+    With a :class:`~repro.lint.bounds.BoundsAnalyzer`, each candidate
+    pivot additionally carries the certified interval of its subplan's
+    intermediate paths, and **sound branch-and-bound pruning** runs
+    before the Eq. 3 ranking: a pivot whose certified *lower* bound
+    exceeds the incumbent pivot's certified *upper* bound cannot be
+    cheapest on any graph consistent with the statistics, so it is
+    discarded — with a :class:`~repro.lint.bounds.PruneRecord` proving
+    the comparison (kept on ``plan.prune_trace``).  The surviving
+    candidates are still ranked by the cost model's estimates, so
+    pruning never changes which *result* is extracted (results are
+    plan-independent), only which provably-dominated subplans get
+    estimated at all.
+    """
     length = pattern.length
     best: Dict[Tuple[int, int], float] = {}
     choice: Dict[Tuple[int, int], int] = {}
+    certified: Dict[Tuple[int, int], object] = {}
+    prune_trace: List = []
 
     for span in range(2, length + 1):
         for i in range(0, length - span + 1):
             j = i + span
+            pivots = list(pivot_range(i, j))
+            if not pivots:
+                raise PlanError(f"no admissible pivot for segment [{i},{j}]")
+            if analyzer is not None:
+                from repro.lint.bounds import Interval, PruneRecord
+
+                zero = Interval.zero()
+                intervals = {
+                    k: (
+                        certified.get((i, k), zero)
+                        + certified.get((k, j), zero)
+                        + analyzer.node_paths(i, k, j)
+                    )
+                    for k in pivots
+                }
+                incumbent = min(pivots, key=lambda k: intervals[k].hi)
+                incumbent_hi = intervals[incumbent].hi
+                survivors = []
+                for k in pivots:
+                    if intervals[k].lo > incumbent_hi:
+                        prune_trace.append(
+                            PruneRecord(
+                                segment=(i, j),
+                                pivot=k,
+                                incumbent_pivot=incumbent,
+                                certified_lower=intervals[k].lo,
+                                incumbent_upper=incumbent_hi,
+                            )
+                        )
+                    else:
+                        survivors.append(k)
+                pivots = survivors  # the incumbent always survives
             best_cost = float("inf")
             best_pivot = -1
-            for k in pivot_range(i, j):
+            for k in pivots:
                 cost = (
                     best.get((i, k), 0.0)
                     + best.get((k, j), 0.0)
@@ -123,15 +172,20 @@ def _solve_dp(
                 raise PlanError(f"no admissible pivot for segment [{i},{j}]")
             best[(i, j)] = best_cost
             choice[(i, j)] = best_pivot
+            if analyzer is not None:
+                certified[(i, j)] = intervals[best_pivot]
 
     plan = PCP.from_pivot_chooser(
         pattern, lambda i, j: choice[(i, j)], strategy=strategy
     )
     plan.estimated_cost = best[(0, length)]
+    plan.prune_trace = prune_trace
     return plan
 
 
-def path_opt_plan(pattern: LinePattern, cost_model: CostModel) -> PCP:
+def path_opt_plan(
+    pattern: LinePattern, cost_model: CostModel, analyzer=None
+) -> PCP:
     """Minimise estimated intermediate paths over *all* plans
     (Definition 8 / Eq. 8); height unconstrained."""
     return _solve_dp(
@@ -139,10 +193,13 @@ def path_opt_plan(pattern: LinePattern, cost_model: CostModel) -> PCP:
         cost_model,
         pivot_range=lambda i, j: range(i + 1, j),
         strategy="path_opt",
+        analyzer=analyzer,
     )
 
 
-def hybrid_plan(pattern: LinePattern, cost_model: CostModel) -> PCP:
+def hybrid_plan(
+    pattern: LinePattern, cost_model: CostModel, analyzer=None
+) -> PCP:
     """Minimise estimated intermediate paths among minimal-height plans
     (Eq. 9): pivots are restricted to splits whose two sides both fit in
     one fewer level than the segment's own minimal height."""
@@ -157,7 +214,9 @@ def hybrid_plan(pattern: LinePattern, cost_model: CostModel) -> PCP:
         # admissible pivots form a contiguous run around the middle
         return range(admissible[0], admissible[-1] + 1)
 
-    plan = _solve_dp(pattern, cost_model, pivots, strategy="hybrid")
+    plan = _solve_dp(
+        pattern, cost_model, pivots, strategy="hybrid", analyzer=analyzer
+    )
     expected = _ceil_log2(pattern.length)
     if plan.height != max(expected, 1):
         raise PlanError(
@@ -169,6 +228,35 @@ def hybrid_plan(pattern: LinePattern, cost_model: CostModel) -> PCP:
 # ----------------------------------------------------------------------
 # façade
 # ----------------------------------------------------------------------
+def _resolve_bounds_analyzer(
+    bounds,
+    pattern: LinePattern,
+    graph: Optional[HeterogeneousGraph],
+    schema: Optional["GraphSchema"],
+):
+    """Normalise ``make_plan``'s ``bounds=`` argument into a
+    :class:`~repro.lint.bounds.BoundsAnalyzer` (or ``None``)."""
+    if bounds is None:
+        return None
+    # imported lazily: repro.lint.bounds sits above the planner in the
+    # layer order and is only needed when certified bounds are requested
+    from repro.lint.bounds import (
+        BoundsAnalyzer,
+        PatternBounds,
+        pattern_bounds,
+    )
+
+    if isinstance(bounds, BoundsAnalyzer):
+        return bounds
+    if isinstance(bounds, PatternBounds):
+        return BoundsAnalyzer(pattern, bounds)
+    source = "measured" if bounds is True else bounds
+    return BoundsAnalyzer(
+        pattern,
+        pattern_bounds(pattern, graph=graph, schema=schema, source=source),
+    )
+
+
 def make_plan(
     pattern: LinePattern,
     strategy: str = "hybrid",
@@ -178,6 +266,7 @@ def make_plan(
     rng: Optional[random.Random] = None,
     estimator: str = "uniform",
     schema: Optional["GraphSchema"] = None,
+    bounds=None,
 ) -> PCP:
     """Build a plan using the named strategy.
 
@@ -195,6 +284,19 @@ def make_plan(
     (edge-label existence, slot orientation, filter applicability —
     :func:`repro.lint.types.check_pattern_typing`) *before* any cost
     work, so ill-typed candidates are rejected rather than ranked.
+
+    ``bounds`` turns on certified interval analysis
+    (:mod:`repro.lint.bounds`): ``"measured"`` / ``True`` seeds from the
+    graph's compact snapshot, ``"declared"`` from the schema's declared
+    bounds, or pass a prebuilt
+    :class:`~repro.lint.bounds.PatternBounds` /
+    :class:`~repro.lint.bounds.BoundsAnalyzer`.  The DP strategies then
+    run sound branch-and-bound pruning (provably-dominated pivots are
+    discarded before the Eq. 3 ranking, each with a
+    :class:`~repro.lint.bounds.PruneRecord` on ``plan.prune_trace``) and
+    every returned plan is annotated with ``plan.node_bounds`` /
+    ``plan.certified_cost`` so runs check observed counters for
+    containment.
     """
     if strategy not in STRATEGIES:
         raise PlanError(
@@ -211,6 +313,7 @@ def make_plan(
                 f"pattern '{pattern}' is ill-typed under the graph "
                 f"schema: " + "; ".join(problems)
             )
+    analyzer = _resolve_bounds_analyzer(bounds, pattern, graph, schema)
     if strategy in ("line", "iter_opt"):
         plan = (
             line_plan(pattern)
@@ -225,6 +328,8 @@ def make_plan(
             CostModel(
                 pattern, stats, partial_aggregation=partial_aggregation
             ).annotate_plan(plan)
+        if analyzer is not None:
+            analyzer.annotate_plan(plan)
         return plan
     if estimator == "exact-leaf":
         if graph is None:
@@ -257,5 +362,10 @@ def make_plan(
             f"or 'sampling'"
         )
     if strategy == "path_opt":
-        return cost_model.annotate_plan(path_opt_plan(pattern, cost_model))
-    return cost_model.annotate_plan(hybrid_plan(pattern, cost_model))
+        plan = path_opt_plan(pattern, cost_model, analyzer=analyzer)
+    else:
+        plan = hybrid_plan(pattern, cost_model, analyzer=analyzer)
+    cost_model.annotate_plan(plan)
+    if analyzer is not None:
+        analyzer.annotate_plan(plan)
+    return plan

@@ -71,6 +71,27 @@ class SupervisorError(EngineError):
         self.report = report
 
 
+class AdmissionError(EngineError):
+    """Static admission control rejected a run: the certified peak
+    memory of every rung of the degradation ladder
+    (vectorized → BSP → ``line``) exceeds the extractor's
+    ``memory_budget``.
+
+    The structured decision is available as ``exc.decision``
+    (an :class:`repro.core.admission.AdmissionDecision`).
+    """
+
+    def __init__(self, message: str, decision=None) -> None:
+        super().__init__(message)
+        self.decision = decision
+
+
+class BoundsViolationError(ReproError):
+    """An observed per-node path count exceeded its certified upper
+    bound — a soundness bug in :mod:`repro.lint.bounds`, never a data
+    problem.  Raised loudly instead of being absorbed into drift."""
+
+
 class DatasetError(ReproError):
     """A dataset generator received invalid parameters."""
 

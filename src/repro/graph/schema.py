@@ -52,6 +52,36 @@ class AttributeSpec:
 
 
 @dataclass(frozen=True)
+class DegreeBound:
+    """Declared upper bounds for one edge type: at most ``max_count``
+    edge instances overall, at most ``max_out_degree`` of them leaving
+    any single ``src`` vertex and at most ``max_in_degree`` entering any
+    single ``dst`` vertex.  ``None`` components are unbounded.
+
+    These seed the *declared* flavour of the certified-bounds interval
+    domain (:meth:`repro.lint.bounds.PatternBounds.from_schema`) —
+    available before any data is materialised, unlike the exact measured
+    statistics a :class:`~repro.accel.compact.CompactGraph` provides.
+    """
+
+    edge_type: "EdgeType"
+    max_count: Optional[int] = None
+    max_out_degree: Optional[int] = None
+    max_in_degree: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_count", "max_out_degree", "max_in_degree"):
+            value = getattr(self, name)
+            if value is not None and (
+                not isinstance(value, int) or value < 0
+            ):
+                raise SchemaError(
+                    f"{name} must be a non-negative int or None, got "
+                    f"{value!r}"
+                )
+
+
+@dataclass(frozen=True)
 class EdgeType:
     """A typed relation: edges labelled ``label`` go from a ``src`` vertex to
     a ``dst`` vertex.
@@ -89,6 +119,8 @@ class GraphSchema:
         self._edge_types: Set[EdgeType] = set()
         self._by_label: Dict[str, Set[EdgeType]] = {}
         self._attributes: Dict[str, Dict[str, AttributeSpec]] = {}
+        self._cardinalities: Dict[str, int] = {}
+        self._edge_bounds: Dict[EdgeType, DegreeBound] = {}
         for label in vertex_labels or ():
             self.add_vertex_label(label)
         for et in edge_types or ():
@@ -149,9 +181,90 @@ class GraphSchema:
         self._attributes.setdefault(label, {})[attr] = spec
         return spec
 
+    def declare_label_cardinality(self, label: str, max_count: int) -> None:
+        """Declare that at most ``max_count`` vertices carry ``label``.
+
+        The vertex label is registered automatically.  Re-declaring
+        tightens monotonically: the smaller of the old and new bound is
+        kept (both were promised, so both must hold).
+        """
+        if not isinstance(max_count, int) or max_count < 0:
+            raise SchemaError(
+                f"label cardinality must be a non-negative int, got "
+                f"{max_count!r}"
+            )
+        self.add_vertex_label(label)
+        existing = self._cardinalities.get(label)
+        if existing is not None:
+            max_count = min(existing, max_count)
+        self._cardinalities[label] = max_count
+
+    def declare_edge_bounds(
+        self,
+        label: str,
+        src: str,
+        dst: str,
+        *,
+        max_count: Optional[int] = None,
+        max_out_degree: Optional[int] = None,
+        max_in_degree: Optional[int] = None,
+    ) -> DegreeBound:
+        """Declare count/degree upper bounds for the edge type
+        ``src -[label]-> dst`` (registered automatically).
+
+        Re-declaring merges componentwise with ``min`` — every declared
+        bound was a promise, so the tightest one wins; ``None``
+        components stay unbounded until some declaration bounds them.
+        """
+        et = self.add_edge_type(label, src, dst)
+        merged = DegreeBound(
+            et,
+            max_count=max_count,
+            max_out_degree=max_out_degree,
+            max_in_degree=max_in_degree,
+        )
+        existing = self._edge_bounds.get(et)
+        if existing is not None:
+
+            def tighter(a: Optional[int], b: Optional[int]) -> Optional[int]:
+                if a is None:
+                    return b
+                if b is None:
+                    return a
+                return min(a, b)
+
+            merged = DegreeBound(
+                et,
+                max_count=tighter(existing.max_count, max_count),
+                max_out_degree=tighter(
+                    existing.max_out_degree, max_out_degree
+                ),
+                max_in_degree=tighter(
+                    existing.max_in_degree, max_in_degree
+                ),
+            )
+        self._edge_bounds[et] = merged
+        return merged
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def label_cardinality(self, label: str) -> Optional[int]:
+        """The declared cardinality bound of ``label`` (``None`` when
+        undeclared — unbounded)."""
+        return self._cardinalities.get(label)
+
+    def edge_bounds(
+        self, label: str, src: str, dst: str
+    ) -> Optional[DegreeBound]:
+        """The declared :class:`DegreeBound` of ``src -[label]-> dst``
+        (``None`` when undeclared — unbounded)."""
+        return self._edge_bounds.get(EdgeType(label, src, dst))
+
+    def has_bound_declarations(self) -> bool:
+        """Whether any cardinality or degree bound was declared."""
+        return bool(self._cardinalities or self._edge_bounds)
+
     def vertex_attributes(self, label: str) -> Dict[str, AttributeSpec]:
         """Declared attributes of ``label`` (empty when the label is
         open-world, i.e. nothing was declared for it)."""

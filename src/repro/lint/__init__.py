@@ -1,6 +1,6 @@
 """First-party static analysis for the reproduction codebase.
 
-Five layers:
+Six layers:
 
 * **Contract verifiers** (:mod:`repro.lint.contracts`) run on live
   objects — :class:`PlanVerifier` checks PCP node trees against
@@ -29,10 +29,30 @@ Five layers:
   module-level mutable globals reachable from compute, no reliance on
   thread identity.  :func:`check_process_safety` is the object-level
   twin (structural walk plus a real pickle round-trip).
+* **Certified resource bounds** (:mod:`repro.lint.bounds`) — an
+  abstract interpreter over PCP plan trees in an interval domain,
+  seeded from measured (:class:`~repro.accel.compact.CompactGraph`) or
+  declared (:class:`~repro.graph.schema.GraphSchema`) statistics:
+  certified ``[lo, hi]`` intervals on per-node path counts, result
+  edges and peak bytes under both backends' byte models.  Drives sound
+  branch-and-bound pruning in the planner, static admission control in
+  the extractor (``memory_budget=``) and the containment check the
+  drift tracker enforces.
 """
 
 from __future__ import annotations
 
+from repro.lint.bounds import (
+    BOUNDS_RULE_METADATA,
+    BoundsAnalyzer,
+    Interval,
+    NodeBounds,
+    PatternBounds,
+    PlanBounds,
+    PruneRecord,
+    SlotBounds,
+    pattern_bounds,
+)
 from repro.lint.config import LintConfig, load_config
 from repro.lint.contracts import (
     AggregateContractChecker,
@@ -72,10 +92,12 @@ from repro.lint.types import (
 )
 from repro.lint.reporters import (
     REPORTERS,
+    SARIF_CATEGORIES,
     render_github,
     render_json,
     render_sarif,
     render_text,
+    sarif_category,
 )
 from repro.lint.rules import (
     ALL_RULES,
@@ -94,34 +116,43 @@ __all__ = [
     "ALL_RULES",
     "AggregateContractChecker",
     "AggregatePurityRule",
+    "BOUNDS_RULE_METADATA",
     "BareExceptRule",
+    "BoundsAnalyzer",
     "CFG",
     "DATAFLOW_RULES",
     "Finding",
     "ForeignRaiseRule",
     "FrozenMutationRule",
     "FutureAnnotationsRule",
+    "Interval",
     "LintConfig",
     "LintReport",
     "MessageAliasingRule",
     "MethodModel",
     "ModuleSource",
+    "NodeBounds",
     "NodeTyping",
     "Origin",
     "PROCSAFE_RULES",
     "PROCSAFE_RULE_METADATA",
+    "PatternBounds",
+    "PlanBounds",
     "PlanTypeChecker",
     "PlanTypeReport",
     "PlanVerifier",
     "ProcessSafetyCaptureRule",
     "ProcessSafetyGlobalRule",
     "ProcessSafetyThreadRule",
+    "PruneRecord",
     "REPORTERS",
     "RULES_BY_NAME",
     "ReachingDefinitions",
     "Rule",
+    "SARIF_CATEGORIES",
     "Severity",
     "SharedStateRule",
+    "SlotBounds",
     "StateEscapeRule",
     "StaticEligibility",
     "TYPE_RULE_METADATA",
@@ -132,11 +163,13 @@ __all__ = [
     "iter_python_files",
     "lint_module",
     "load_config",
+    "pattern_bounds",
     "render_github",
     "render_json",
     "render_sarif",
     "render_text",
     "run_lint",
+    "sarif_category",
     "static_eligibility",
     "verify_process_safe",
     "verify_vertex_program",

@@ -1,0 +1,784 @@
+"""Layer 6 — certified resource bounds for PCP plans.
+
+An abstract interpreter over plan trees in an **interval domain**.  Where
+the cost model (:mod:`repro.core.cost`, Eq. 3/4/7) produces *estimates*
+— uniform-degree averages that can be arbitrarily wrong on skewed graphs
+— this module derives **certified intervals** ``[lo, hi]`` that are
+guaranteed to contain the run's observed quantities:
+
+* per-node intermediate path counts (the ``node_paths:<id>`` counters);
+* the result edge count of the extracted graph;
+* peak resident bytes, under a backend-specific byte model (the BSP
+  mailbox model vs the vectorized CSR buffer model).
+
+The intervals are seeded from per-slot statistics
+(:class:`PatternBounds`), from one of two sources:
+
+* **measured** — exact per-label cardinalities and per-vertex max/min
+  slot degrees from a :class:`~repro.accel.compact.CompactGraph`
+  snapshot (:meth:`CompactGraph.slot_statistics`); tight, but graphs
+  must be materialised;
+* **declared** — upper bounds the :class:`~repro.graph.schema.
+  GraphSchema` declares (``declare_edge_bounds`` /
+  ``declare_label_cardinality``); available before any data is loaded,
+  with ``lo = 0`` everywhere.
+
+Soundness argument (upper bounds)
+---------------------------------
+Every path matching segment ``[i, j]`` contains exactly one match of
+each slot ``t ∈ (i..j]``.  Anchoring at slot ``s``: the path restricted
+to slot ``s`` is one of the slot's ``count[s]`` matches; extending that
+match leftward through slot ``t`` multiplies the possibilities by at
+most ``fanin[t]`` (matches per fixed right-endpoint vertex), rightward
+by at most ``fanout[t]``.  Hence, for any anchor ``s``::
+
+    paths[i, j]  <=  count[s] · Π_{t=i+1..s-1} fanin[t]
+                              · Π_{t=s+1..j}   fanout[t]
+
+and the certified upper bound takes the **min over anchors**.  The same
+decomposition with minimum degrees yields the lower bound (each slot
+match extends in *at least* that many distinct ways, and distinct
+``(match, left extension, right extension)`` triples are distinct
+paths), with the **max over anchors**.
+
+Per plan node ``(i, k, j)``: in basic mode the node's concatenation
+count is exactly the segment path count (every (left partial, right
+partial) pair agreeing at the pivot is a distinct segment path), so the
+segment interval is the node interval.  Partial aggregation and the
+vectorized backend merge partials per endpoint first, which only
+*shrinks* the observed count — so the basic ("any"-mode) upper bound is
+sound for **every** execution mode and both backends; ``mode="partial"``
+additionally caps it by ``pop[k] · min(Π fanin, pop[i]) ·
+min(Π fanout, pop[j])`` (merged sides hold at most one entry per
+distinct far endpoint).
+
+Byte models
+-----------
+Counts are certified; bytes are a *model* over those counts with fixed
+per-entry constants (documented below).  The BSP **mailbox model**
+charges every in-flight concatenation one message and every stored
+partial one table entry, per superstep of the evaluation schedule.  The
+vectorized **CSR buffer model** keeps every slot matrix resident for the
+whole run plus the live node-output matrices of the schedule front
+(children stay live while their parent's product is computed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import PlanError
+
+#: ``float("inf")``, the unbounded end of an interval.
+INF = float("inf")
+
+#: SARIF metadata for the bounds rule family (merged into the
+#: reporters' rule descriptions alongside the AST and typing rules).
+BOUNDS_RULE_METADATA: Dict[str, str] = {
+    "plan-bounds-violation": (
+        "An observed per-node path or result-edge count exceeded its "
+        "certified upper bound — a soundness bug in the bounds "
+        "analyzer, never a data problem."
+    ),
+    "plan-bounds-budget": (
+        "A plan's certified peak memory exceeds the requested byte "
+        "budget on every backend; static admission control would "
+        "degrade or reject this run."
+    ),
+}
+
+# ---------------------------------------------------------------------
+# byte-model constants (a model, not a measurement — see module docs)
+# ---------------------------------------------------------------------
+#: one in-flight BSP path message (CPython tuple + endpoint refs + value)
+BSP_MESSAGE_BYTES = 112
+#: one stored partial-path table entry at its placement vertex
+BSP_STORED_BYTES = 112
+#: one CSR stored pair: float64 value + int32 column index
+CSR_ENTRY_BYTES = 12
+#: one CSR indptr entry (int32); each matrix carries ``n + 1`` of them
+CSR_POINTER_BYTES = 4
+
+#: execution modes a node interval can be certified for; ``"any"`` is
+#: the mode-independent bound (valid for basic, partial and vectorized)
+MODES = ("any", "basic", "partial")
+
+
+# ---------------------------------------------------------------------
+# the interval domain
+# ---------------------------------------------------------------------
+def _imul(a: float, b: float) -> float:
+    """Interval-domain multiplication: ``0 · inf = 0`` (zero slot
+    matches mean zero paths, regardless of how unbounded the other
+    factor is)."""
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A certified ``[lo, hi]`` interval over non-negative counts."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.lo <= self.hi):
+            raise PlanError(
+                f"invalid interval [{self.lo}, {self.hi}]: need "
+                f"0 <= lo <= hi"
+            )
+
+    @staticmethod
+    def zero() -> "Interval":
+        return Interval(0.0, 0.0)
+
+    @staticmethod
+    def point(value: float) -> "Interval":
+        """An exact value (measured statistics)."""
+        return Interval(float(value), float(value))
+
+    @staticmethod
+    def upper(hi: float) -> "Interval":
+        """``[0, hi]`` (declared statistics know no lower bounds)."""
+        return Interval(0.0, float(hi))
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(0.0, INF)
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        return Interval(
+            _imul(self.lo, other.lo), _imul(self.hi, other.hi)
+        )
+
+    def cap(self, hi: float) -> "Interval":
+        """Tighten the upper end to ``min(self.hi, hi)`` (the lower end
+        is clipped only when the cap drops below it)."""
+        new_hi = min(self.hi, hi)
+        return Interval(min(self.lo, new_hi), new_hi)
+
+    def scale(self, factor: float) -> "Interval":
+        """Both ends multiplied by a non-negative constant (byte
+        models)."""
+        return Interval(_imul(self.lo, factor), _imul(self.hi, factor))
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    @property
+    def bounded(self) -> bool:
+        return self.hi < INF
+
+    def describe(self) -> str:
+        lo = f"{self.lo:g}"
+        hi = "inf" if self.hi == INF else f"{self.hi:g}"
+        return f"[{lo}, {hi}]"
+
+
+def interval_max(a: Interval, b: Interval) -> Interval:
+    """Componentwise max (peak tracking in the byte models)."""
+    return Interval(max(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def interval_sum(intervals) -> Interval:
+    total = Interval.zero()
+    for interval in intervals:
+        total = total + interval
+    return total
+
+
+# ---------------------------------------------------------------------
+# per-slot statistics
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class SlotBounds:
+    """Certified statistics of one pattern slot ``t`` (between
+    positions ``t-1`` and ``t``):
+
+    * ``count`` — total slot matches (endpoint labels and filters
+      applied);
+    * ``fanout`` — matches per single vertex at the slot's *left*
+      position (min/max over all vertices matching that position);
+    * ``fanin`` — matches per single vertex at the slot's *right*
+      position.
+    """
+
+    count: Interval
+    fanout: Interval
+    fanin: Interval
+
+
+class PatternBounds:
+    """Per-slot :class:`SlotBounds` and per-position populations for one
+    line pattern — the seed data of :class:`BoundsAnalyzer`.
+
+    Build through :meth:`from_compact` (exact measured statistics) or
+    :meth:`from_schema` (declared upper bounds); ``source`` records
+    which ("measured" / "declared").
+    """
+
+    def __init__(
+        self,
+        pattern: Any,
+        slots: Dict[int, SlotBounds],
+        populations: Dict[int, Interval],
+        total_vertices: Interval,
+        source: str,
+    ) -> None:
+        if set(slots) != set(range(1, pattern.length + 1)):
+            raise PlanError(
+                f"slot bounds must cover slots 1..{pattern.length}, got "
+                f"{sorted(slots)}"
+            )
+        if set(populations) != set(range(pattern.length + 1)):
+            raise PlanError(
+                f"populations must cover positions 0..{pattern.length}, "
+                f"got {sorted(populations)}"
+            )
+        self.pattern = pattern
+        self.slots = dict(slots)
+        self.populations = dict(populations)
+        self.total_vertices = total_vertices
+        self.source = source
+
+    # -- measured ------------------------------------------------------
+    @classmethod
+    def from_compact(cls, compact: Any, pattern: Any) -> "PatternBounds":
+        """Exact statistics from a
+        :class:`~repro.accel.compact.CompactGraph` snapshot
+        (:meth:`~repro.accel.compact.CompactGraph.slot_statistics`)."""
+        slots: Dict[int, SlotBounds] = {}
+        for slot in range(1, pattern.length + 1):
+            stats = compact.slot_statistics(
+                pattern.edge_slot(slot),
+                pattern.label_at(slot - 1),
+                pattern.label_at(slot),
+                left_filter=pattern.filter_at(slot - 1),
+                right_filter=pattern.filter_at(slot),
+            )
+            slots[slot] = SlotBounds(
+                count=Interval.point(stats.count),
+                fanout=Interval(
+                    float(stats.fanout_min), float(stats.fanout_max)
+                ),
+                fanin=Interval(
+                    float(stats.fanin_min), float(stats.fanin_max)
+                ),
+            )
+        populations = {
+            position: Interval.point(
+                compact.label_cardinality(
+                    pattern.label_at(position),
+                    vertex_filter=pattern.filter_at(position),
+                )
+            )
+            for position in range(pattern.length + 1)
+        }
+        return cls(
+            pattern,
+            slots,
+            populations,
+            Interval.point(compact.num_vertices),
+            source="measured",
+        )
+
+    # -- declared ------------------------------------------------------
+    @classmethod
+    def from_schema(cls, schema: Any, pattern: Any) -> "PatternBounds":
+        """Declared upper bounds from a
+        :class:`~repro.graph.schema.GraphSchema`
+        (``declare_edge_bounds`` / ``declare_label_cardinality``);
+        undeclared quantities are unbounded, all lower ends are 0."""
+        from repro.graph.hetgraph import ANY_LABEL
+        from repro.graph.pattern import Direction
+
+        def label_pop(label: str) -> Interval:
+            if label == ANY_LABEL:
+                total = 0
+                for known in schema.vertex_labels:
+                    declared = schema.label_cardinality(known)
+                    if declared is None:
+                        return Interval.top()
+                    total += declared
+                return Interval.upper(total)
+            declared = schema.label_cardinality(label)
+            return (
+                Interval.top()
+                if declared is None
+                else Interval.upper(declared)
+            )
+
+        def oriented(edge: Any, left: str, right: str):
+            """``(src, dst, forward)`` orientations a slot admits."""
+            if edge.direction is Direction.FORWARD:
+                return [(left, right, True)]
+            if edge.direction is Direction.BACKWARD:
+                return [(right, left, False)]
+            return [(left, right, True), (right, left, False)]
+
+        def declared_slot(slot: int) -> SlotBounds:
+            edge = pattern.edge_slot(slot)
+            left = pattern.label_at(slot - 1)
+            right = pattern.label_at(slot)
+            count_hi = 0.0
+            fanout_hi = 0.0
+            fanin_hi = 0.0
+            for src, dst, forward in oriented(edge, left, right):
+                for et in schema.edge_types_for_label(edge.label):
+                    if src != ANY_LABEL and et.src != src:
+                        continue
+                    if dst != ANY_LABEL and et.dst != dst:
+                        continue
+                    bound = schema.edge_bounds(et.label, et.src, et.dst)
+                    count_hi += (
+                        INF
+                        if bound is None or bound.max_count is None
+                        else bound.max_count
+                    )
+                    # stepping rightward along a FORWARD orientation
+                    # leaves via out-edges; along a BACKWARD one via
+                    # in-edges (and symmetrically for fanin)
+                    out_deg = (
+                        None if bound is None else bound.max_out_degree
+                    )
+                    in_deg = (
+                        None if bound is None else bound.max_in_degree
+                    )
+                    fanout_hi += (
+                        (INF if out_deg is None else out_deg)
+                        if forward
+                        else (INF if in_deg is None else in_deg)
+                    )
+                    fanin_hi += (
+                        (INF if in_deg is None else in_deg)
+                        if forward
+                        else (INF if out_deg is None else out_deg)
+                    )
+            return SlotBounds(
+                count=Interval.upper(count_hi),
+                fanout=Interval.upper(fanout_hi),
+                fanin=Interval.upper(fanin_hi),
+            )
+
+        slots = {
+            slot: declared_slot(slot)
+            for slot in range(1, pattern.length + 1)
+        }
+        populations = {
+            position: label_pop(pattern.label_at(position))
+            for position in range(pattern.length + 1)
+        }
+        total = 0.0
+        for label in schema.vertex_labels:
+            declared = schema.label_cardinality(label)
+            if declared is None:
+                total = INF
+                break
+            total += declared
+        if not schema.vertex_labels:
+            total = INF
+        return cls(
+            pattern,
+            slots,
+            populations,
+            Interval.upper(total),
+            source="declared",
+        )
+
+
+def pattern_bounds(
+    pattern: Any,
+    graph: Any = None,
+    schema: Any = None,
+    source: str = "measured",
+) -> PatternBounds:
+    """Build :class:`PatternBounds` from the requested ``source``:
+    ``"measured"`` snapshots ``graph`` (via ``graph.to_compact()``),
+    ``"declared"`` reads ``schema`` (defaulting to ``graph.schema``)."""
+    if source == "measured":
+        if graph is None:
+            raise PlanError("source='measured' needs graph=")
+        return PatternBounds.from_compact(graph.to_compact(), pattern)
+    if source == "declared":
+        if schema is None:
+            schema = getattr(graph, "schema", None)
+        if schema is None:
+            raise PlanError("source='declared' needs schema= (or graph=)")
+        return PatternBounds.from_schema(schema, pattern)
+    raise PlanError(
+        f"unknown bounds source {source!r}; use 'measured' or 'declared'"
+    )
+
+
+# ---------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class NodeBounds:
+    """One plan node's certified intervals under one ``(backend, mode)``
+    pair.  ``paths`` is what must contain the node's observed
+    ``node_paths:<id>`` counter; ``stored_entries`` feeds the byte
+    model."""
+
+    node_id: int
+    segment: Tuple[int, int, int]
+    level: int
+    paths: Interval
+    stored_entries: Interval
+
+
+@dataclass
+class PlanBounds:
+    """Everything one :meth:`BoundsAnalyzer.analyze` call certified:
+    per-node path intervals, the Eq. 3 total's certified counterpart,
+    the result edge count and the peak resident bytes under the
+    backend's byte model."""
+
+    pattern: str
+    strategy: str
+    backend: str
+    mode: str
+    source: str
+    nodes: List[NodeBounds] = field(default_factory=list)
+    intermediate_paths: Interval = field(default_factory=Interval.zero)
+    result_edges: Interval = field(default_factory=Interval.zero)
+    peak_bytes: Interval = field(default_factory=Interval.zero)
+
+    def node_bound(self, node_id: int) -> float:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node.paths.hi
+        raise PlanError(f"no certified bounds for node {node_id}")
+
+    def fits(self, budget: float) -> bool:
+        """Whether the certified peak provably fits ``budget`` bytes."""
+        return self.peak_bytes.hi <= budget
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "pattern": self.pattern,
+            "strategy": self.strategy,
+            "backend": self.backend,
+            "mode": self.mode,
+            "source": self.source,
+            "intermediate_paths": [
+                self.intermediate_paths.lo,
+                self.intermediate_paths.hi,
+            ],
+            "result_edges": [self.result_edges.lo, self.result_edges.hi],
+            "peak_bytes": [self.peak_bytes.lo, self.peak_bytes.hi],
+            "nodes": [
+                {
+                    "node_id": node.node_id,
+                    "segment": list(node.segment),
+                    "level": node.level,
+                    "paths": [node.paths.lo, node.paths.hi],
+                }
+                for node in self.nodes
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class PruneRecord:
+    """Proof object of one branch-and-bound prune: for ``segment``, the
+    subplan pivoting at ``pivot`` has a certified lower bound that
+    exceeds the certified upper bound of the incumbent pivot — no graph
+    consistent with the statistics can make the pruned pivot cheaper."""
+
+    segment: Tuple[int, int]
+    pivot: int
+    incumbent_pivot: int
+    certified_lower: float
+    incumbent_upper: float
+
+    def describe(self) -> str:
+        i, j = self.segment
+        return (
+            f"segment [{i},{j}]: pruned pivot {self.pivot} "
+            f"(certified lower {self.certified_lower:g} > incumbent "
+            f"pivot {self.incumbent_pivot}'s certified upper "
+            f"{self.incumbent_upper:g})"
+        )
+
+
+# ---------------------------------------------------------------------
+# the analyzer
+# ---------------------------------------------------------------------
+class BoundsAnalyzer:
+    """Certified interval analysis over one pattern's segments and
+    plans, seeded from :class:`PatternBounds`."""
+
+    def __init__(self, pattern: Any, bounds: PatternBounds) -> None:
+        if bounds.pattern.length != pattern.length:
+            raise PlanError(
+                "PatternBounds were built for a pattern of length "
+                f"{bounds.pattern.length}, analyzing length "
+                f"{pattern.length}"
+            )
+        self.pattern = pattern
+        self.bounds = bounds
+        self._segment_cache: Dict[Tuple[int, int], Interval] = {}
+
+    # -- segment algebra ----------------------------------------------
+    def population(self, position: int) -> Interval:
+        return self.bounds.populations[position]
+
+    def segment_paths(self, i: int, j: int) -> Interval:
+        """Certified interval on the number of (unmerged) paths
+        matching segment ``[i, j]`` — the anchor-slot decomposition
+        described in the module docs."""
+        if not 0 <= i < j <= self.pattern.length:
+            raise PlanError(
+                f"invalid segment [{i},{j}] for pattern of length "
+                f"{self.pattern.length}"
+            )
+        cached = self._segment_cache.get((i, j))
+        if cached is not None:
+            return cached
+        slots = self.bounds.slots
+        best_hi = INF
+        best_lo = 0.0
+        for anchor in range(i + 1, j + 1):
+            hi = slots[anchor].count.hi
+            lo = slots[anchor].count.lo
+            for t in range(i + 1, anchor):
+                hi = _imul(hi, slots[t].fanin.hi)
+                lo = _imul(lo, slots[t].fanin.lo)
+            for t in range(anchor + 1, j + 1):
+                hi = _imul(hi, slots[t].fanout.hi)
+                lo = _imul(lo, slots[t].fanout.lo)
+            best_hi = min(best_hi, hi)
+            best_lo = max(best_lo, lo)
+        interval = Interval(min(best_lo, best_hi), best_hi)
+        self._segment_cache[(i, j)] = interval
+        return interval
+
+    def node_paths(self, i: int, k: int, j: int, mode: str = "any") -> Interval:
+        """Certified interval on the ``node_paths`` counter of a plan
+        node ``(i, k, j)``.
+
+        ``mode="any"`` (= ``"basic"``) is the mode-independent bound —
+        sound for basic, partial *and* vectorized runs.  ``"partial"``
+        additionally caps by the merged-side populations and weakens the
+        lower end to reachability (merging collapses counts).
+        """
+        if mode not in MODES:
+            raise PlanError(f"unknown mode {mode!r}; choose one of {MODES}")
+        base = self.segment_paths(i, j)
+        if mode in ("any", "basic"):
+            return base
+        slots = self.bounds.slots
+        merged_left = 1.0
+        for t in range(i + 1, k + 1):
+            merged_left = _imul(merged_left, slots[t].fanin.hi)
+        merged_right = 1.0
+        for t in range(k + 1, j + 1):
+            merged_right = _imul(merged_right, slots[t].fanout.hi)
+        cap = _imul(
+            self.population(k).hi,
+            _imul(
+                min(merged_left, self.population(i).hi),
+                min(merged_right, self.population(j).hi),
+            ),
+        )
+        lo = 1.0 if base.lo >= 1.0 else 0.0
+        hi = min(base.hi, cap)
+        return Interval(min(lo, hi), hi)
+
+    def result_edges(self) -> Interval:
+        """Certified interval on the extracted graph's edge count:
+        distinct ``(start, end)`` endpoint pairs of full-pattern
+        paths."""
+        length = self.pattern.length
+        full = self.segment_paths(0, length)
+        endpoint_cap = _imul(
+            self.population(0).hi, self.population(length).hi
+        )
+        lo = 1.0 if full.lo >= 1.0 else 0.0
+        hi = min(full.hi, endpoint_cap)
+        return Interval(min(lo, hi), hi)
+
+    # -- plan analysis -------------------------------------------------
+    def analyze(
+        self,
+        plan: Any,
+        backend: str = "bsp",
+        mode: Optional[str] = None,
+    ) -> PlanBounds:
+        """Certify ``plan`` (or a plan-less length-1 direct scan when
+        ``plan is None``) under ``backend``'s byte model.
+
+        ``mode`` defaults to ``"partial"`` for the vectorized backend
+        (its counters are merged by construction) and ``"basic"`` for
+        BSP (the conservative mode-independent choice).
+        """
+        if backend not in ("bsp", "vectorized"):
+            raise PlanError(
+                f"unknown backend {backend!r}; choose 'bsp' or "
+                f"'vectorized'"
+            )
+        if mode is None:
+            mode = "partial" if backend == "vectorized" else "basic"
+        result = PlanBounds(
+            pattern=str(self.pattern),
+            strategy=getattr(plan, "strategy", "direct"),
+            backend=backend,
+            mode=mode,
+            source=self.bounds.source,
+        )
+        result.result_edges = self.result_edges()
+        if plan is None:
+            # length-1 direct scan: one pseudo node over the whole slot
+            paths = self.segment_paths(0, self.pattern.length)
+            result.nodes = [
+                NodeBounds(
+                    node_id=0,
+                    segment=(0, 0, self.pattern.length),
+                    level=0,
+                    paths=paths,
+                    stored_entries=result.result_edges,
+                )
+            ]
+            result.intermediate_paths = paths
+            if backend == "vectorized":
+                result.peak_bytes = (
+                    self._slot_matrix_bytes()
+                    + self._csr_bytes(result.result_edges)
+                )
+            else:
+                result.peak_bytes = paths.scale(
+                    BSP_MESSAGE_BYTES
+                ) + result.result_edges.scale(BSP_STORED_BYTES)
+            return result
+        for node in plan.nodes():
+            paths = self.node_paths(node.i, node.k, node.j, mode=mode)
+            stored = paths
+            if backend == "vectorized":
+                # node outputs are CSR matrices over (start, end) pairs
+                stored = paths.cap(
+                    _imul(
+                        self.population(node.i).hi,
+                        self.population(node.j).hi,
+                    )
+                )
+            result.nodes.append(
+                NodeBounds(
+                    node_id=node.node_id,
+                    segment=(node.i, node.k, node.j),
+                    level=node.level,
+                    paths=paths,
+                    stored_entries=stored,
+                )
+            )
+        result.intermediate_paths = interval_sum(
+            node.paths for node in result.nodes
+        )
+        if backend == "vectorized":
+            result.peak_bytes = self._vectorized_peak(plan, result)
+        else:
+            result.peak_bytes = self._bsp_peak(plan, result)
+        return result
+
+    def annotate_plan(self, plan: Any) -> Dict[int, float]:
+        """Attach mode-independent certified upper bounds to ``plan``:
+        ``plan.node_bounds`` (``{node_id: hi}``, the containment
+        reference the drift tracker checks against),
+        ``plan.certified_cost`` (the Eq. 3 total's certified interval)
+        and ``plan.bounds_source``.  Returns ``plan.node_bounds``."""
+        intervals = {
+            node.node_id: self.node_paths(node.i, node.k, node.j)
+            for node in plan.nodes()
+        }
+        plan.node_bounds = {
+            node_id: interval.hi for node_id, interval in intervals.items()
+        }
+        plan.certified_cost = interval_sum(intervals.values())
+        plan.bounds_source = self.bounds.source
+        return plan.node_bounds
+
+    # -- byte models ---------------------------------------------------
+    def _csr_bytes(self, entries: Interval) -> Interval:
+        """Bytes of one CSR matrix holding ``entries`` stored pairs."""
+        vertices = self.bounds.total_vertices
+        indptr_lo = (vertices.lo + 1.0) * CSR_POINTER_BYTES
+        indptr_hi = (vertices.hi + 1.0) * CSR_POINTER_BYTES
+        return Interval(
+            entries.lo * CSR_ENTRY_BYTES + indptr_lo,
+            INF
+            if entries.hi == INF or indptr_hi == INF
+            else entries.hi * CSR_ENTRY_BYTES + indptr_hi,
+        )
+
+    def _slot_matrix_bytes(self) -> Interval:
+        """The resident slot-matrix cache (one masked CSR per slot,
+        kept for the whole vectorized run)."""
+        total = Interval.zero()
+        for slot in range(1, self.pattern.length + 1):
+            count = self.bounds.slots[slot].count
+            pair_cap = _imul(
+                self.population(slot - 1).hi, self.population(slot).hi
+            )
+            merged = count.cap(pair_cap)
+            # duplicate-summed CSR: at least one stored pair per
+            # nonempty slot, at most min(count, |left|·|right|)
+            merged = Interval(
+                1.0 if count.lo >= 1.0 else 0.0, merged.hi
+            )
+            total = total + self._csr_bytes(merged)
+        return total
+
+    def _vectorized_peak(self, plan: Any, result: PlanBounds) -> Interval:
+        """CSR buffer model: slot cache + live node outputs; a node's
+        children stay live while its product is computed, and are
+        released after the schedule step."""
+        by_id = {node.node_id: node for node in result.nodes}
+        base = self._slot_matrix_bytes()
+        live: Dict[int, Interval] = {}
+        peak = base + self._csr_bytes(result.result_edges)
+        for level_nodes in plan.evaluation_schedule():
+            step = base
+            for interval in live.values():
+                step = step + interval
+            for node in level_nodes:
+                step = step + self._csr_bytes(
+                    by_id[node.node_id].stored_entries
+                )
+            peak = interval_max(peak, step)
+            for node in level_nodes:
+                live[node.node_id] = self._csr_bytes(
+                    by_id[node.node_id].stored_entries
+                )
+                for child in (node.left, node.right):
+                    if child is not None:
+                        live.pop(child.node_id, None)
+        return peak
+
+    def _bsp_peak(self, plan: Any, result: PlanBounds) -> Interval:
+        """Mailbox model: per superstep, the stored partials of every
+        evaluated-but-unconsumed node plus the in-flight messages of
+        the step's nodes; the final step materialises the result."""
+        by_id = {node.node_id: node for node in result.nodes}
+        stored: Dict[int, Interval] = {}
+        peak = result.result_edges.scale(BSP_STORED_BYTES)
+        for level_nodes in plan.evaluation_schedule():
+            step = Interval.zero()
+            for interval in stored.values():
+                step = step + interval.scale(BSP_STORED_BYTES)
+            for node in level_nodes:
+                step = step + by_id[node.node_id].paths.scale(
+                    BSP_MESSAGE_BYTES
+                )
+            peak = interval_max(peak, step)
+            for node in level_nodes:
+                stored[node.node_id] = by_id[node.node_id].stored_entries
+                for child in (node.left, node.right):
+                    if child is not None:
+                        stored.pop(child.node_id, None)
+        return peak

@@ -10,8 +10,9 @@ PR annotations without any upload step.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
+from repro.errors import ReproError
 from repro.lint.findings import LintReport, Severity
 
 #: SARIF tool metadata
@@ -23,6 +24,36 @@ _SARIF_SCHEMA = (
 )
 
 _SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+#: the SARIF upload category of each finding-producing CLI surface —
+#: the single source of truth the CLI and the CI workflow both read
+#: (``github/codeql-action/upload-sarif``'s ``category:`` input must
+#: match the ``automationDetails.id`` the log declares)
+SARIF_CATEGORIES: Dict[str, str] = {
+    "lint": "repro-lint",
+    "check": "repro-check",
+    "bounds": "repro-bounds",
+    "sanitize": "repro-sanitize",
+}
+
+
+class SarifCategoryError(ReproError, ValueError):
+    """An unknown SARIF surface name (doubles as ValueError for callers
+    treating it as a plain lookup failure)."""
+
+
+def sarif_category(surface: str) -> str:
+    """The SARIF category of a finding-producing surface (``"lint"``,
+    ``"check"``, ``"bounds"``, ``"sanitize"``).  One helper instead of
+    per-command string literals, so the log's ``automationDetails.id``
+    and CI's ``category:`` input cannot drift apart."""
+    try:
+        return SARIF_CATEGORIES[surface]
+    except KeyError:
+        raise SarifCategoryError(
+            f"unknown SARIF surface {surface!r}; known: "
+            f"{sorted(SARIF_CATEGORIES)}"
+        ) from None
 
 
 def render_text(report: LintReport) -> str:
@@ -62,20 +93,32 @@ def _rule_descriptions() -> Dict[str, str]:
     descriptions = {
         name: rule.description for name, rule in RULES_BY_NAME.items()
     }
-    # plan-typing findings (repro.lint.types) come from the abstract
-    # interpreter, not from Rule instances, so their SARIF metadata is
-    # merged from the module's own table
+    # plan-typing and certified-bounds findings (repro.lint.types /
+    # repro.lint.bounds) come from abstract interpreters, not from Rule
+    # instances, so their SARIF metadata is merged from each module's
+    # own table
     try:
         from repro.lint.types import TYPE_RULE_METADATA
 
         descriptions.update(TYPE_RULE_METADATA)
     except Exception:  # pragma: no cover - registry unavailable mid-bootstrap
         pass
+    try:
+        from repro.lint.bounds import BOUNDS_RULE_METADATA
+
+        descriptions.update(BOUNDS_RULE_METADATA)
+    except Exception:  # pragma: no cover - registry unavailable mid-bootstrap
+        pass
     return descriptions
 
 
-def render_sarif(report: LintReport) -> str:
-    """A SARIF 2.1.0 log for PR code-scanning upload."""
+def render_sarif(report: LintReport, category: Optional[str] = None) -> str:
+    """A SARIF 2.1.0 log for PR code-scanning upload.
+
+    ``category`` (a :data:`SARIF_CATEGORIES` value, via
+    :func:`sarif_category`) is emitted as the run's
+    ``automationDetails.id`` so uploads from different surfaces (lint /
+    check / bounds) don't overwrite each other's alerts."""
     descriptions = _rule_descriptions()
     rule_ids: List[str] = []
     for finding in report.sorted_findings():
@@ -115,23 +158,24 @@ def render_sarif(report: LintReport) -> str:
             ],
         }
         results.append(result)
+    run: Dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": _TOOL_NAME,
+                "informationUri": (
+                    "https://example.invalid/repro-lint"
+                ),
+                "rules": rules_meta,
+            }
+        },
+        "results": results,
+    }
+    if category is not None:
+        run["automationDetails"] = {"id": f"{category}/"}
     log = {
         "$schema": _SARIF_SCHEMA,
         "version": _SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": _TOOL_NAME,
-                        "informationUri": (
-                            "https://example.invalid/repro-lint"
-                        ),
-                        "rules": rules_meta,
-                    }
-                },
-                "results": results,
-            }
-        ],
+        "runs": [run],
     }
     return json.dumps(log, indent=2, sort_keys=True)
 

@@ -46,20 +46,40 @@ def drift_ratio(estimated: float, observed: float) -> float:
 
 @dataclass
 class DriftRecord:
-    """One PCP node's prediction vs observation."""
+    """One PCP node's prediction vs observation.
+
+    When the plan carries certified bounds (``plan.node_bounds``, from
+    :meth:`repro.lint.bounds.BoundsAnalyzer.annotate_plan`), ``bound``
+    holds the node's certified upper bound and :attr:`contained` checks
+    the *soundness* of the certificate: unlike drift — where estimates
+    are allowed to be wrong — an observation above its certified bound
+    is a bug in the bounds analyzer and fails loudly
+    (:class:`~repro.errors.BoundsViolationError`).
+    """
 
     node_id: int
     segment: tuple  # (i, k, j)
     superstep: int
     estimated_paths: float
     observed_paths: int
+    #: certified upper bound on ``observed_paths`` (``None`` when the
+    #: plan was not annotated with bounds)
+    bound: Optional[float] = None
 
     @property
     def drift(self) -> float:
         return drift_ratio(self.estimated_paths, self.observed_paths)
 
+    @property
+    def contained(self) -> Optional[bool]:
+        """Whether the observation respects its certified bound
+        (``None`` when no bound is attached)."""
+        if self.bound is None:
+            return None
+        return self.observed_paths <= self.bound
+
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "node_id": self.node_id,
             "segment": list(self.segment),
             "superstep": self.superstep,
@@ -67,6 +87,10 @@ class DriftRecord:
             "observed_paths": self.observed_paths,
             "drift": self.drift,
         }
+        if self.bound is not None:
+            out["bound"] = self.bound
+            out["contained"] = self.contained
+        return out
 
 
 @dataclass
@@ -119,6 +143,14 @@ class DriftReport:
             bucket["drift"] = drift_ratio(bucket["estimated"], bucket["observed"])
         return out
 
+    def containment_violations(self) -> List[DriftRecord]:
+        """Records whose observation exceeds its certified bound —
+        soundness bugs in :mod:`repro.lint.bounds`, never data problems.
+        Empty when clean or when no bounds were attached."""
+        return [
+            record for record in self.records if record.contained is False
+        ]
+
     def as_dicts(self) -> List[Dict[str, Any]]:
         return [record.as_dict() for record in self.records]
 
@@ -136,7 +168,8 @@ def compute_drift(plan: Any, metrics: Any) -> Optional[DriftReport]:
     if plan is None:
         return None
     estimates: Dict[int, float] = getattr(plan, "node_estimates", None) or {}
-    if not estimates:
+    bounds: Dict[int, float] = getattr(plan, "node_bounds", None) or {}
+    if not estimates and not bounds:
         return None
     superstep_of: Dict[int, int] = {}
     for step, nodes in enumerate(plan.evaluation_schedule()):
@@ -146,7 +179,7 @@ def compute_drift(plan: Any, metrics: Any) -> Optional[DriftReport]:
     report = DriftReport(strategy=getattr(plan, "strategy", "custom"))
     for node in plan.nodes():
         estimate = estimates.get(node.node_id)
-        if estimate is None:
+        if estimate is None and node.node_id not in bounds:
             continue
         observed = counters.get(node_counter_name(node.node_id), 0)
         report.records.append(
@@ -154,8 +187,9 @@ def compute_drift(plan: Any, metrics: Any) -> Optional[DriftReport]:
                 node_id=node.node_id,
                 segment=(node.i, node.k, node.j),
                 superstep=superstep_of.get(node.node_id, 0),
-                estimated_paths=float(estimate),
+                estimated_paths=0.0 if estimate is None else float(estimate),
                 observed_paths=int(observed),
+                bound=bounds.get(node.node_id),
             )
         )
     return report

@@ -192,6 +192,42 @@ def superstep_table(data: TraceData) -> str:
     return format_table(rows, columns, title=title, label_header="phase")
 
 
+def bounds_table(data: TraceData) -> str:
+    """Per-plan-node certified-bound containment (``bound`` /
+    ``observed`` / ``contained`` columns), rendered when the traced run
+    carried certified bounds on its drift records
+    (:meth:`repro.lint.bounds.BoundsAnalyzer.annotate_plan`).  A ``NO``
+    in ``contained`` is a soundness bug in the bounds analyzer."""
+    from repro.workloads.harness import Row, format_table
+
+    rows: List[Row] = []
+    for attrs in sorted(data.drift, key=lambda a: int(a.get("node_id", 0))):
+        if "bound" not in attrs:
+            continue
+        segment = attrs.get("segment") or []
+        contained = attrs.get("contained")
+        rows.append(
+            Row(
+                f"node {attrs.get('node_id', '?')}",
+                {
+                    "segment": "[" + ",".join(str(s) for s in segment) + "]",
+                    "bound": _fmt(float(attrs["bound"])),
+                    "observed": _fmt(float(attrs.get("observed_paths", 0))),
+                    "contained": (
+                        "?" if contained is None
+                        else ("yes" if contained else "NO")
+                    ),
+                },
+            )
+        )
+    return format_table(
+        rows,
+        ["segment", "bound", "observed", "contained"],
+        title="certified bounds (containment check)",
+        label_header="plan node",
+    )
+
+
 def plan_typing_table(data: TraceData) -> str:
     """Per-plan-node static eligibility, recorded by the plan typechecker
     during traced ``verify=True`` runs (kind ``plan_typing``)."""
@@ -226,6 +262,8 @@ def render_report(path: str) -> str:
     """Everything ``repro.cli report`` prints for one trace file."""
     data = load_trace(path)
     parts = [superstep_table(data)]
+    if any("bound" in attrs for attrs in data.drift):
+        parts.append(bounds_table(data))
     if data.plan_typing:
         parts.append(plan_typing_table(data))
     if data.plan_drift is not None:

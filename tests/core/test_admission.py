@@ -1,0 +1,194 @@
+"""Static admission control (:mod:`repro.core.admission`): the
+admit/degrade/reject ladder over certified peak-byte bounds, and its
+wiring into ``GraphExtractor(memory_budget=...)``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import (
+    ADMISSION_ACTIONS,
+    AdmissionController,
+)
+from repro.core.extractor import GraphExtractor
+from repro.core.planner import line_plan, make_plan
+from repro.errors import AdmissionError, EngineError
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import LinePattern
+from repro.graph.schema import GraphSchema
+from repro.lint.bounds import BoundsAnalyzer, PatternBounds
+
+#: A -> B -> C -> D -> E chain where the balanced plan's right leaf
+#: concatenates a 21-path funnel the line plan never materialises, so
+#: the certified BSP peak of hybrid is far above the line plan's.
+FUNNEL_PATTERN = LinePattern.parse(
+    "A -[a]-> B -[b]-> C -[c]-> D -[d]-> E"
+)
+
+
+def build_funnel() -> HeterogeneousGraph:
+    schema = GraphSchema(
+        edge_types=[
+            ("a", "A", "B"),
+            ("b", "B", "C"),
+            ("c", "C", "D"),
+            ("d", "D", "E"),
+        ]
+    )
+    g = HeterogeneousGraph(schema)
+    g.add_vertex(0, "A")
+    g.add_vertex(1, "B")
+    g.add_vertex(300, "D")
+    g.add_vertex(400, "E")
+    for i in range(21):
+        g.add_vertex(100 + i, "C")
+    g.add_edge(0, 1, "a")
+    g.add_edge(1, 100, "b")
+    for i in range(21):
+        g.add_edge(100 + i, 300, "c")
+    g.add_edge(300, 400, "d")
+    return g
+
+
+def funnel_setup():
+    graph = build_funnel()
+    analyzer = BoundsAnalyzer(
+        FUNNEL_PATTERN,
+        PatternBounds.from_compact(graph.to_compact(), FUNNEL_PATTERN),
+    )
+    plan = make_plan(
+        FUNNEL_PATTERN, strategy="hybrid", graph=graph, bounds=analyzer
+    )
+    return graph, analyzer, plan
+
+
+def peak(analyzer, plan, backend="bsp") -> float:
+    return analyzer.analyze(plan, backend=backend).peak_bytes.hi
+
+
+class TestAdmissionController:
+    def test_budget_must_be_positive(self):
+        _, analyzer, _ = funnel_setup()
+        for bad in (0, -100):
+            with pytest.raises(AdmissionError):
+                AdmissionController(bad, analyzer)
+
+    def test_admit_on_first_rung(self):
+        _, analyzer, plan = funnel_setup()
+        budget = peak(analyzer, plan) + 1
+        decision = AdmissionController(budget, analyzer).decide(plan, "bsp")
+        assert decision.action == "admit"
+        assert decision.action in ADMISSION_ACTIONS
+        assert decision.backend == "bsp"
+        assert decision.plan is plan
+        assert len(decision.attempts) == 1
+        assert decision.attempts[0].fits
+        assert "admit" in decision.describe()
+
+    def test_degrade_to_line_plan(self):
+        _, analyzer, plan = funnel_setup()
+        hybrid_peak = peak(analyzer, plan)
+        line_peak = peak(analyzer, line_plan(FUNNEL_PATTERN))
+        assert line_peak < hybrid_peak  # the scenario this graph engineers
+        budget = (line_peak + hybrid_peak) / 2
+        decision = AdmissionController(budget, analyzer).decide(plan, "bsp")
+        assert decision.action == "degrade"
+        assert decision.backend == "bsp"
+        assert decision.plan.strategy == "line"
+        assert [a.fits for a in decision.attempts] == [False, True]
+        assert decision.peak_bytes_hi <= budget
+        assert "degraded" in decision.describe()
+
+    def test_vectorized_ladder_walks_through_bsp(self):
+        _, analyzer, plan = funnel_setup()
+        with pytest.raises(AdmissionError) as excinfo:
+            AdmissionController(1, analyzer).decide(plan, "vectorized")
+        attempts = excinfo.value.decision.attempts
+        assert [a.backend for a in attempts] == ["vectorized", "bsp", "bsp"]
+        assert attempts[-1].strategy == "line"
+
+    def test_reject_carries_full_decision(self):
+        _, analyzer, plan = funnel_setup()
+        with pytest.raises(AdmissionError) as excinfo:
+            AdmissionController(1, analyzer).decide(plan, "bsp")
+        decision = excinfo.value.decision
+        assert decision.action == "reject"
+        assert decision.backend is None
+        assert all(not a.fits for a in decision.attempts)
+        assert len(decision.attempts) == 2  # hybrid, then line
+        assert "rejected" in decision.describe()
+        assert "exceeds budget" in decision.attempts[0].describe()
+
+    def test_planless_run_has_single_rung(self):
+        graph = build_funnel()
+        pattern = LinePattern.parse("A -[a]-> B")
+        analyzer = BoundsAnalyzer(
+            pattern, PatternBounds.from_compact(graph.to_compact(), pattern)
+        )
+        decision = AdmissionController(10**9, analyzer).decide(None, "bsp")
+        assert decision.action == "admit"
+        assert decision.plan is None
+        assert len(decision.attempts) == 1
+
+    def test_decision_as_dict_is_structured(self):
+        _, analyzer, plan = funnel_setup()
+        budget = peak(analyzer, plan) + 1
+        decision = AdmissionController(budget, analyzer).decide(plan, "bsp")
+        payload = decision.as_dict()
+        assert payload["action"] == "admit"
+        assert payload["requested_backend"] == "bsp"
+        assert payload["attempts"][0]["strategy"] == "hybrid"
+        assert payload["attempts"][0]["fits"] is True
+
+
+class TestExtractorAdmission:
+    def test_invalid_budget_rejected_at_construction(self):
+        graph = build_funnel()
+        for bad in (0, -1):
+            with pytest.raises(EngineError):
+                GraphExtractor(graph, memory_budget=bad)
+
+    def test_no_budget_means_no_admission(self):
+        graph = build_funnel()
+        extractor = GraphExtractor(graph)
+        result = extractor.extract(FUNNEL_PATTERN)
+        assert extractor.last_admission is None
+        assert "admission_checked" not in result.metrics.counters
+
+    def test_admitted_run_counts_and_extracts(self):
+        graph = build_funnel()
+        extractor = GraphExtractor(graph, memory_budget=10**9)
+        result = extractor.extract(FUNNEL_PATTERN)
+        assert extractor.last_admission.action == "admit"
+        assert result.metrics.counters["admission_checked"] == 1
+        assert result.metrics.counters["admission_admitted"] == 1
+        baseline = GraphExtractor(graph).extract(FUNNEL_PATTERN)
+        assert result.graph.equals(baseline.graph)
+
+    def test_degraded_run_swaps_plan_and_preserves_result(self):
+        graph, analyzer, plan = funnel_setup()
+        hybrid_peak = peak(analyzer, plan)
+        line_peak = peak(analyzer, line_plan(FUNNEL_PATTERN))
+        budget = int((line_peak + hybrid_peak) / 2)
+        extractor = GraphExtractor(graph, backend="bsp", memory_budget=budget)
+        result = extractor.extract(FUNNEL_PATTERN)
+        assert extractor.last_admission.action == "degrade"
+        assert extractor.last_admission.plan.strategy == "line"
+        assert extractor.last_backend == "bsp"
+        assert result.metrics.counters["admission_degraded"] == 1
+        # the degraded plan still carries bounds, and they still hold
+        assert result.drift is not None
+        assert result.drift.containment_violations() == []
+        baseline = GraphExtractor(graph).extract(FUNNEL_PATTERN)
+        assert result.graph.equals(baseline.graph)
+
+    def test_rejected_run_raises_and_records_decision(self):
+        graph = build_funnel()
+        extractor = GraphExtractor(graph, memory_budget=1)
+        with pytest.raises(AdmissionError) as excinfo:
+            extractor.extract(FUNNEL_PATTERN)
+        assert excinfo.value.decision.action == "reject"
+        assert extractor.last_admission is excinfo.value.decision
+
+    def test_admission_error_is_an_engine_error(self):
+        assert issubclass(AdmissionError, EngineError)

@@ -1,0 +1,161 @@
+"""Sound branch-and-bound pruning in the DP planners
+(:func:`repro.core.planner._solve_dp` with a ``BoundsAnalyzer``): prune
+records are real proofs, and pruning never changes extraction results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.library import path_count
+from repro.core.evaluator import run_extraction
+from repro.core.extractor import GraphExtractor
+from repro.core.planner import STRATEGIES, make_plan
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import LinePattern
+from repro.graph.schema import GraphSchema
+from repro.lint.bounds import Interval
+
+from tests.conftest import build_scholarly
+
+#: A -> B -> C -> D chain: twenty A->B edges funnel into a single B, so
+#: segment [0,2] certifies 20 paths while [1,3] certifies exactly 1 —
+#: pivoting the root at 2 is provably dominated by pivoting at 1.
+SKEW_PATTERN = LinePattern.parse("A -[x]-> B -[y]-> C -[z]-> D")
+
+SAME_VENUE = LinePattern.parse(
+    "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+    "<-[publishAt]- Paper <-[authorBy]- Author",
+)
+
+
+def build_skewed() -> HeterogeneousGraph:
+    schema = GraphSchema(
+        edge_types=[("x", "A", "B"), ("y", "B", "C"), ("z", "C", "D")]
+    )
+    g = HeterogeneousGraph(schema)
+    for i in range(20):
+        g.add_vertex(i, "A")
+    g.add_vertex(100, "B")
+    g.add_vertex(200, "C")
+    g.add_vertex(300, "D")
+    for i in range(20):
+        g.add_edge(i, 100, "x")
+    g.add_edge(100, 200, "y")
+    g.add_edge(200, 300, "z")
+    return g
+
+
+class TestPruneRecords:
+    def test_dominated_pivot_is_pruned_with_proof(self):
+        graph = build_skewed()
+        plan = make_plan(
+            SKEW_PATTERN, strategy="path_opt", graph=graph, bounds="measured"
+        )
+        assert len(plan.prune_trace) == 1
+        record = plan.prune_trace[0]
+        assert record.segment == (0, 3)
+        assert record.pivot == 2
+        assert record.incumbent_pivot == 1
+        # the proof obligation: certified lower strictly dominates
+        assert record.certified_lower > record.incumbent_upper
+        # and the planner actually avoided the dominated pivot
+        assert plan.root.k == 1
+
+    def test_no_bounds_means_no_trace(self):
+        graph = build_skewed()
+        plan = make_plan(SKEW_PATTERN, strategy="path_opt", graph=graph)
+        assert plan.prune_trace == []
+        assert plan.node_bounds == {}
+
+    def test_incumbent_always_survives(self):
+        """Pruning can never empty the pivot set (lo <= hi on the
+        incumbent's own interval), so plans always materialise."""
+        graph = build_skewed()
+        for strategy in ("path_opt", "hybrid"):
+            plan = make_plan(
+                SKEW_PATTERN,
+                strategy=strategy,
+                graph=graph,
+                bounds="measured",
+            )
+            assert plan.num_nodes == SKEW_PATTERN.length - 1
+
+    def test_uniform_graph_prunes_nothing(self):
+        """On the scholarly graph the same-venue segments are too close
+        for any pivot to be *provably* dominated — pruning stays
+        conservative."""
+        graph = build_scholarly()
+        plan = make_plan(
+            SAME_VENUE, strategy="hybrid", graph=graph, bounds="measured"
+        )
+        assert plan.prune_trace == []
+
+
+class TestPruningPreservesResults:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_extraction_equivalence_on_skewed_graph(self, strategy):
+        graph = build_skewed()
+        plain = make_plan(SKEW_PATTERN, strategy=strategy, graph=graph)
+        pruned = make_plan(
+            SKEW_PATTERN, strategy=strategy, graph=graph, bounds="measured"
+        )
+        # sound pruning only skips provably-dominated candidates, so the
+        # chosen plan and the extracted graph are identical
+        assert pruned.signature() == plain.signature()
+        a = run_extraction(graph, SKEW_PATTERN, plain, path_count())
+        b = run_extraction(graph, SKEW_PATTERN, pruned, path_count())
+        assert a.graph.equals(b.graph)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_extraction_equivalence_on_scholarly(self, strategy):
+        graph = build_scholarly()
+        plain = make_plan(SAME_VENUE, strategy=strategy, graph=graph)
+        pruned = make_plan(
+            SAME_VENUE, strategy=strategy, graph=graph, bounds="measured"
+        )
+        a = run_extraction(graph, SAME_VENUE, plain, path_count())
+        b = run_extraction(graph, SAME_VENUE, pruned, path_count())
+        assert a.graph.equals(b.graph)
+
+
+class TestPlanAnnotations:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_every_strategy_gets_certified_annotations(self, strategy):
+        graph = build_skewed()
+        plan = make_plan(
+            SKEW_PATTERN, strategy=strategy, graph=graph, bounds="measured"
+        )
+        assert plan.bounds_source == "measured"
+        assert isinstance(plan.certified_cost, Interval)
+        assert set(plan.node_bounds) == {n.node_id for n in plan.nodes()}
+        assert all(hi >= 0 for hi in plan.node_bounds.values())
+
+    def test_certified_cost_contains_observed_basic_total(self):
+        """Eq. 3's certified counterpart: in basic BSP mode the summed
+        ``node_paths`` counters land inside ``plan.certified_cost``."""
+        graph = build_skewed()
+        plan = make_plan(
+            SKEW_PATTERN, strategy="hybrid", graph=graph, bounds="measured"
+        )
+        result = GraphExtractor(graph, partial_aggregation=False).extract(
+            SKEW_PATTERN, plan=plan
+        )
+        assert plan.certified_cost.contains(result.intermediate_paths)
+
+    def test_declared_bounds_also_annotate(self):
+        graph = build_skewed()
+        schema = graph.schema
+        schema.declare_label_cardinality("A", 20)
+        schema.declare_label_cardinality("B", 1)
+        schema.declare_edge_bounds(
+            "x", "A", "B", max_count=20, max_out_degree=1, max_in_degree=20
+        )
+        plan = make_plan(
+            SKEW_PATTERN,
+            strategy="hybrid",
+            graph=graph,
+            schema=schema,
+            bounds="declared",
+        )
+        assert plan.bounds_source == "declared"
+        assert plan.certified_cost.lo == 0.0

@@ -1,12 +1,18 @@
 """Hot-path caches on HeterogeneousGraph: label-match tuples, undirected
 adjacency entries, and the compact snapshot — all invalidated on any
-mutation."""
+mutation.  The compact snapshot's measured statistics
+(``slot_statistics`` / ``label_cardinality``, the seeds of the
+certified-bounds interval domain) are cached per snapshot, so a stale
+snapshot would mean stale certificates."""
 
 from __future__ import annotations
 
 from repro.graph.hetgraph import ANY_LABEL, HeterogeneousGraph
+from repro.graph.pattern import Direction, PatternEdge
 
 from tests.conftest import A1, A2, P1, P2, P3, build_scholarly
+
+AUTHOR_BY = PatternEdge("authorBy", Direction.FORWARD)
 
 
 class TestVerticesMatchingCache:
@@ -90,3 +96,71 @@ class TestVersionCounter:
         g.any_edges(A1, "authorBy")
         g.to_compact()
         assert g.version == v0
+
+
+class TestCompactStatisticsCache:
+    """The measured statistics behind :class:`repro.lint.bounds.
+    PatternBounds` live on the compact snapshot; any graph mutation must
+    hand out a fresh snapshot with fresh statistics."""
+
+    def test_snapshot_is_cached_until_mutation(self):
+        g = build_scholarly()
+        stale = g.to_compact()
+        assert g.to_compact() is stale
+        g.add_vertex(99, "Author")
+        fresh = g.to_compact()
+        assert fresh is not stale
+        assert g.to_compact() is fresh
+
+    def test_slot_statistics_cached_per_snapshot(self):
+        compact = build_scholarly().to_compact()
+        first = compact.slot_statistics(AUTHOR_BY, "Author", "Paper")
+        assert compact.slot_statistics(AUTHOR_BY, "Author", "Paper") is first
+        # exact values on the scholarly graph: 6 authorBy edges,
+        # authors write 1-2 papers, every paper has exactly 2 authors
+        assert first.count == 6
+        assert (first.fanout_min, first.fanout_max) == (1, 2)
+        assert (first.fanin_min, first.fanin_max) == (2, 2)
+        assert (first.left_vertices, first.right_vertices) == (4, 3)
+
+    def test_label_cardinality_cached_per_snapshot(self):
+        compact = build_scholarly().to_compact()
+        assert compact.label_cardinality("Author") == 4
+        assert compact.label_cardinality("Author") == 4  # cached path
+        assert compact.label_cardinality("Paper") == 3
+
+    def test_edge_mutation_refreshes_slot_statistics(self):
+        g = build_scholarly()
+        stale = g.to_compact()
+        before = stale.slot_statistics(AUTHOR_BY, "Author", "Paper")
+        g.add_edge(A1, P2, "authorBy")
+        fresh = g.to_compact()
+        assert fresh is not stale
+        assert fresh.version > stale.version
+        after = fresh.slot_statistics(AUTHOR_BY, "Author", "Paper")
+        assert after.count == before.count + 1
+        assert after.fanin_max == 3  # P2 now has three authors
+        # the stale snapshot keeps its (now outdated) cached answer
+        assert (
+            stale.slot_statistics(AUTHOR_BY, "Author", "Paper") is before
+        )
+
+    def test_vertex_mutation_refreshes_cardinality(self):
+        g = build_scholarly()
+        stale = g.to_compact()
+        assert stale.label_cardinality("Author") == 4
+        g.add_vertex(99, "Author")
+        fresh = g.to_compact()
+        assert fresh.label_cardinality("Author") == 5
+        assert stale.label_cardinality("Author") == 4
+
+    def test_remove_edge_refreshes_statistics(self):
+        g = build_scholarly()
+        assert g.to_compact().slot_statistics(
+            AUTHOR_BY, "Author", "Paper"
+        ).count == 6
+        g.remove_edge(A1, P1, "authorBy")
+        after = g.to_compact().slot_statistics(AUTHOR_BY, "Author", "Paper")
+        assert after.count == 5
+        # A1 now authors nothing, so the fan-out minimum drops to zero
+        assert after.fanout_min == 0

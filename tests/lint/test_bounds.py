@@ -1,0 +1,362 @@
+"""Unit tests for the certified-bounds interval domain
+(:mod:`repro.lint.bounds`): interval arithmetic, measured and declared
+statistic seeding, the anchor-slot segment decomposition, plan analysis
+under both byte models, and plan annotation."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.extractor import GraphExtractor
+from repro.core.planner import iter_opt_plan, line_plan
+from repro.errors import PlanError
+from repro.graph.pattern import LinePattern
+from repro.graph.schema import GraphSchema
+from repro.lint.bounds import (
+    INF,
+    BoundsAnalyzer,
+    Interval,
+    PatternBounds,
+    PruneRecord,
+    interval_max,
+    interval_sum,
+    pattern_bounds,
+)
+
+from tests.conftest import build_scholarly
+
+COAUTHOR = LinePattern.parse(
+    "Author -[authorBy]-> Paper <-[authorBy]- Author", name="coauthor"
+)
+SAME_VENUE = LinePattern.parse(
+    "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+    "<-[publishAt]- Paper <-[authorBy]- Author",
+    name="same-venue",
+)
+SINGLE_HOP = LinePattern.parse("Author -[authorBy]-> Paper")
+
+
+def measured_analyzer(pattern: LinePattern) -> BoundsAnalyzer:
+    graph = build_scholarly()
+    return BoundsAnalyzer(
+        pattern, PatternBounds.from_compact(graph.to_compact(), pattern)
+    )
+
+
+# ----------------------------------------------------------------------
+# the interval domain
+# ----------------------------------------------------------------------
+class TestInterval:
+    def test_invalid_interval_raises(self):
+        with pytest.raises(PlanError):
+            Interval(3.0, 2.0)
+        with pytest.raises(PlanError):
+            Interval(-1.0, 2.0)
+
+    def test_zero_times_infinity_is_zero(self):
+        assert (Interval.zero() * Interval.top()).hi == 0.0
+        assert (Interval.top() * Interval.zero()).lo == 0.0
+
+    def test_add_and_mul_are_componentwise(self):
+        a = Interval(1.0, 3.0)
+        b = Interval(2.0, 5.0)
+        assert (a + b) == Interval(3.0, 8.0)
+        assert (a * b) == Interval(2.0, 15.0)
+
+    def test_cap_tightens_upper_and_clips_lower(self):
+        assert Interval(2.0, 10.0).cap(6.0) == Interval(2.0, 6.0)
+        assert Interval(5.0, 10.0).cap(3.0) == Interval(3.0, 3.0)
+
+    def test_scale(self):
+        assert Interval(1.0, 2.0).scale(112.0) == Interval(112.0, 224.0)
+        assert Interval(0.0, INF).scale(112.0) == Interval(0.0, INF)
+
+    def test_contains_and_bounded(self):
+        assert Interval(1.0, 4.0).contains(4.0)
+        assert not Interval(1.0, 4.0).contains(4.5)
+        assert Interval(1.0, 4.0).bounded
+        assert not Interval.top().bounded
+
+    def test_describe(self):
+        assert Interval(1.0, 4.0).describe() == "[1, 4]"
+        assert Interval.top().describe() == "[0, inf]"
+
+    def test_interval_max_and_sum(self):
+        a = Interval(1.0, 3.0)
+        b = Interval(2.0, 2.0)
+        assert interval_max(a, b) == Interval(2.0, 3.0)
+        assert interval_sum([a, b, Interval.zero()]) == Interval(3.0, 5.0)
+
+
+# ----------------------------------------------------------------------
+# measured seeding (exact statistics from a compact snapshot)
+# ----------------------------------------------------------------------
+class TestMeasuredBounds:
+    def test_slot_statistics_are_exact_points(self):
+        bounds = measured_analyzer(COAUTHOR).bounds
+        assert bounds.source == "measured"
+        slot1 = bounds.slots[1]
+        # six authorBy edges; authors write 1-2 papers, papers have 2 authors
+        assert slot1.count == Interval.point(6)
+        assert slot1.fanout == Interval(1.0, 2.0)
+        assert slot1.fanin == Interval(2.0, 2.0)
+        assert bounds.populations[0] == Interval.point(4)  # authors
+        assert bounds.populations[1] == Interval.point(3)  # papers
+
+    def test_segment_paths_exact_on_scholarly(self):
+        analyzer = measured_analyzer(COAUTHOR)
+        # 12 coauthor walks on the scholarly graph (see COAUTHOR_EXPECTED)
+        assert analyzer.segment_paths(0, 2) == Interval(12.0, 12.0)
+        assert analyzer.segment_paths(0, 1) == Interval(6.0, 6.0)
+
+    def test_segment_paths_rejects_bad_segments(self):
+        analyzer = measured_analyzer(COAUTHOR)
+        with pytest.raises(PlanError):
+            analyzer.segment_paths(1, 1)
+        with pytest.raises(PlanError):
+            analyzer.segment_paths(0, 3)
+
+    def test_partial_mode_caps_by_populations(self):
+        analyzer = measured_analyzer(COAUTHOR)
+        basic = analyzer.node_paths(0, 1, 2, mode="basic")
+        partial = analyzer.node_paths(0, 1, 2, mode="partial")
+        assert partial.hi <= basic.hi
+        # merging can collapse counts, so the lower end weakens to 0/1
+        assert partial.lo <= basic.lo
+
+    def test_unknown_mode_raises(self):
+        analyzer = measured_analyzer(COAUTHOR)
+        with pytest.raises(PlanError):
+            analyzer.node_paths(0, 1, 2, mode="mystery")
+
+    def test_result_edges_contains_observed(self):
+        graph = build_scholarly()
+        analyzer = BoundsAnalyzer(
+            COAUTHOR, PatternBounds.from_compact(graph.to_compact(), COAUTHOR)
+        )
+        result = GraphExtractor(graph).extract(COAUTHOR)
+        edges = analyzer.result_edges()
+        assert edges.contains(result.graph.num_edges())
+        # endpoint-pair cap: at most |Author|^2 = 16 distinct edges
+        assert edges.hi <= 16.0
+
+    def test_pattern_length_mismatch_raises(self):
+        graph = build_scholarly()
+        venue_bounds = PatternBounds.from_compact(
+            graph.to_compact(), SAME_VENUE
+        )
+        with pytest.raises(PlanError):
+            BoundsAnalyzer(COAUTHOR, venue_bounds)
+
+
+# ----------------------------------------------------------------------
+# declared seeding (schema-level upper bounds)
+# ----------------------------------------------------------------------
+class TestDeclaredBounds:
+    def declared_schema(self) -> GraphSchema:
+        schema = GraphSchema(
+            vertex_labels=["Author", "Paper", "Venue"],
+            edge_types=[
+                ("authorBy", "Author", "Paper"),
+                ("publishAt", "Paper", "Venue"),
+            ],
+        )
+        schema.declare_label_cardinality("Author", 4)
+        schema.declare_label_cardinality("Paper", 3)
+        schema.declare_edge_bounds(
+            "authorBy",
+            "Author",
+            "Paper",
+            max_count=6,
+            max_out_degree=2,
+            max_in_degree=2,
+        )
+        return schema
+
+    def test_declared_slots_have_zero_lower_ends(self):
+        bounds = PatternBounds.from_schema(self.declared_schema(), COAUTHOR)
+        assert bounds.source == "declared"
+        slot1 = bounds.slots[1]
+        assert slot1.count == Interval(0.0, 6.0)
+        assert slot1.fanout == Interval(0.0, 2.0)
+        assert slot1.fanin == Interval(0.0, 2.0)
+        # the backward slot swaps in/out degrees
+        assert bounds.slots[2].fanout == Interval(0.0, 2.0)
+        assert bounds.populations[0] == Interval(0.0, 4.0)
+
+    def test_declared_segment_bound_contains_measured_truth(self):
+        schema = self.declared_schema()
+        analyzer = BoundsAnalyzer(
+            COAUTHOR, PatternBounds.from_schema(schema, COAUTHOR)
+        )
+        interval = analyzer.segment_paths(0, 2)
+        assert interval.lo == 0.0
+        assert interval.contains(12.0)  # the scholarly graph's truth
+
+    def test_undeclared_quantities_are_top(self):
+        schema = GraphSchema(
+            edge_types=[("authorBy", "Author", "Paper")]
+        )
+        bounds = PatternBounds.from_schema(schema, SINGLE_HOP)
+        assert bounds.slots[1].count == Interval.top()
+        assert bounds.populations[0] == Interval.top()
+        analyzer = BoundsAnalyzer(SINGLE_HOP, bounds)
+        assert not analyzer.segment_paths(0, 1).bounded
+
+    def test_declared_peak_bytes_can_be_unbounded(self):
+        schema = GraphSchema(edge_types=[("authorBy", "Author", "Paper")])
+        analyzer = BoundsAnalyzer(
+            SINGLE_HOP, PatternBounds.from_schema(schema, SINGLE_HOP)
+        )
+        certified = analyzer.analyze(None, backend="bsp")
+        assert certified.peak_bytes.hi == INF
+        assert not certified.fits(10**12)
+
+
+# ----------------------------------------------------------------------
+# the façade
+# ----------------------------------------------------------------------
+class TestPatternBoundsFacade:
+    def test_measured_needs_graph(self):
+        with pytest.raises(PlanError):
+            pattern_bounds(COAUTHOR, source="measured")
+
+    def test_declared_needs_schema_or_graph(self):
+        with pytest.raises(PlanError):
+            pattern_bounds(COAUTHOR, source="declared")
+        graph = build_scholarly()
+        bounds = pattern_bounds(COAUTHOR, graph=graph, source="declared")
+        assert bounds.source == "declared"
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(PlanError):
+            pattern_bounds(
+                COAUTHOR, graph=build_scholarly(), source="estimated"
+            )
+
+
+# ----------------------------------------------------------------------
+# plan analysis (both byte models) and annotation
+# ----------------------------------------------------------------------
+class TestPlanAnalysis:
+    def test_unknown_backend_raises(self):
+        analyzer = measured_analyzer(SAME_VENUE)
+        with pytest.raises(PlanError):
+            analyzer.analyze(iter_opt_plan(SAME_VENUE), backend="gpu")
+
+    def test_analyze_covers_every_plan_node(self):
+        analyzer = measured_analyzer(SAME_VENUE)
+        plan = iter_opt_plan(SAME_VENUE)
+        for backend in ("bsp", "vectorized"):
+            certified = analyzer.analyze(plan, backend=backend)
+            assert certified.backend == backend
+            assert certified.source == "measured"
+            assert {n.node_id for n in certified.nodes} == {
+                n.node_id for n in plan.nodes()
+            }
+            for node in certified.nodes:
+                assert node.paths.lo <= node.paths.hi
+            assert certified.peak_bytes.lo <= certified.peak_bytes.hi
+            assert certified.peak_bytes.lo > 0.0
+
+    def test_mode_defaults_per_backend(self):
+        analyzer = measured_analyzer(SAME_VENUE)
+        plan = iter_opt_plan(SAME_VENUE)
+        assert analyzer.analyze(plan, backend="bsp").mode == "basic"
+        assert (
+            analyzer.analyze(plan, backend="vectorized").mode == "partial"
+        )
+
+    def test_planless_direct_scan_gets_pseudo_node(self):
+        analyzer = measured_analyzer(SINGLE_HOP)
+        certified = analyzer.analyze(None, backend="bsp")
+        assert certified.strategy == "direct"
+        assert len(certified.nodes) == 1
+        assert certified.nodes[0].segment == (0, 0, 1)
+        assert certified.nodes[0].paths == Interval(6.0, 6.0)
+
+    def test_line_vs_balanced_peaks_differ(self):
+        analyzer = measured_analyzer(SAME_VENUE)
+        balanced = analyzer.analyze(iter_opt_plan(SAME_VENUE), backend="bsp")
+        line = analyzer.analyze(line_plan(SAME_VENUE), backend="bsp")
+        # the models must at least distinguish the two schedule shapes
+        assert balanced.peak_bytes != line.peak_bytes
+
+    def test_node_bound_lookup(self):
+        analyzer = measured_analyzer(SAME_VENUE)
+        certified = analyzer.analyze(iter_opt_plan(SAME_VENUE))
+        for node in certified.nodes:
+            assert certified.node_bound(node.node_id) == node.paths.hi
+        with pytest.raises(PlanError):
+            certified.node_bound(999)
+
+    def test_fits(self):
+        analyzer = measured_analyzer(SAME_VENUE)
+        certified = analyzer.analyze(iter_opt_plan(SAME_VENUE))
+        assert certified.fits(certified.peak_bytes.hi)
+        assert not certified.fits(certified.peak_bytes.hi - 1.0)
+
+    def test_as_dict_round_trips_through_json(self):
+        analyzer = measured_analyzer(SAME_VENUE)
+        payload = analyzer.analyze(iter_opt_plan(SAME_VENUE)).as_dict()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["backend"] == "bsp"
+        assert decoded["source"] == "measured"
+        assert len(decoded["nodes"]) == SAME_VENUE.length - 1
+        for node in decoded["nodes"]:
+            lo, hi = node["paths"]
+            assert 0.0 <= lo <= hi
+
+    def test_annotate_plan_attaches_any_mode_bounds(self):
+        analyzer = measured_analyzer(SAME_VENUE)
+        plan = iter_opt_plan(SAME_VENUE)
+        returned = analyzer.annotate_plan(plan)
+        assert returned is plan.node_bounds
+        assert plan.bounds_source == "measured"
+        assert set(plan.node_bounds) == {n.node_id for n in plan.nodes()}
+        for node in plan.nodes():
+            expected = analyzer.node_paths(node.i, node.k, node.j)
+            assert plan.node_bounds[node.node_id] == expected.hi
+        total_hi = sum(
+            analyzer.node_paths(n.i, n.k, n.j).hi for n in plan.nodes()
+        )
+        assert math.isclose(plan.certified_cost.hi, total_hi)
+
+    def test_prune_record_describe(self):
+        record = PruneRecord(
+            segment=(0, 3),
+            pivot=2,
+            incumbent_pivot=1,
+            certified_lower=40.0,
+            incumbent_upper=21.0,
+        )
+        text = record.describe()
+        assert "pruned pivot 2" in text
+        assert "40" in text and "21" in text
+
+
+# ----------------------------------------------------------------------
+# end-to-end containment on the scholarly graph
+# ----------------------------------------------------------------------
+class TestContainment:
+    @pytest.mark.parametrize("backend", ["bsp", "vectorized"])
+    def test_observed_counters_stay_inside_bounds(self, backend):
+        graph = build_scholarly()
+        analyzer = BoundsAnalyzer(
+            SAME_VENUE,
+            PatternBounds.from_compact(graph.to_compact(), SAME_VENUE),
+        )
+        extractor = GraphExtractor(graph, backend=backend)
+        plan = extractor.plan(SAME_VENUE)
+        analyzer.annotate_plan(plan)
+        result = extractor.extract(SAME_VENUE, plan=plan)
+        assert result.drift is not None
+        assert result.drift.containment_violations() == []
+        checked = [r for r in result.drift.records if r.bound is not None]
+        assert checked, "bounds were annotated but never checked"
+        for record in checked:
+            assert record.contained is True
+            assert record.observed_paths <= record.bound

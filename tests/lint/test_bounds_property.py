@@ -1,0 +1,111 @@
+"""Property-based soundness tests for the certified-bounds analyzer:
+on random graphs, for every plan strategy and both backends, certified
+intervals must contain the observed ``node_paths`` counters, result
+edge counts and full-pattern path totals — with zero containment
+violations.  A failure here is a soundness bug in
+:mod:`repro.lint.bounds` (the extractor raises
+:class:`~repro.errors.BoundsViolationError` loudly by design)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.aggregates import library
+from repro.baselines.bruteforce import extract_bruteforce
+from repro.core.extractor import GraphExtractor
+from repro.core.planner import STRATEGIES, make_plan
+from repro.lint.bounds import BoundsAnalyzer, PatternBounds
+
+from tests.test_properties import graphs, patterns
+
+BACKENDS = ("bsp", "vectorized")
+
+
+def measured(graph, pattern) -> BoundsAnalyzer:
+    return BoundsAnalyzer(
+        pattern, PatternBounds.from_compact(graph.to_compact(), pattern)
+    )
+
+
+class TestCertifiedContainment:
+    @settings(max_examples=20, deadline=None)
+    @given(graph=graphs(), pattern=patterns())
+    def test_all_strategies_and_backends_stay_contained(
+        self, graph, pattern
+    ):
+        """The soundness gate: observed node_paths:<id> counters never
+        exceed their certified bounds, on any strategy × backend."""
+        analyzer = measured(graph, pattern)
+        for strategy in STRATEGIES:
+            plan = make_plan(
+                pattern, strategy=strategy, graph=graph, bounds=analyzer
+            )
+            for backend in BACKENDS:
+                # a containment miss raises BoundsViolationError here
+                result = GraphExtractor(
+                    graph, backend=backend, verify=False
+                ).extract(pattern, plan=plan)
+                assert result.drift is not None
+                assert result.drift.containment_violations() == []
+                checked = [
+                    r for r in result.drift.records if r.bound is not None
+                ]
+                assert len(checked) == plan.num_nodes
+                assert analyzer.result_edges().contains(
+                    result.graph.num_edges()
+                )
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=graphs(), pattern=patterns())
+    def test_full_segment_interval_contains_true_path_count(
+        self, graph, pattern
+    ):
+        """The anchor-slot decomposition vs ground truth: the brute-force
+        total number of full-pattern walks lies inside the certified
+        segment interval [0, l]."""
+        analyzer = measured(graph, pattern)
+        oracle = extract_bruteforce(graph, pattern, library.path_count())
+        total_paths = sum(oracle.graph.edges.values())
+        assert analyzer.segment_paths(0, pattern.length).contains(
+            total_paths
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=graphs(), pattern=patterns())
+    def test_partial_mode_never_exceeds_any_mode(self, graph, pattern):
+        """Mode monotonicity: the partial-mode cap only ever tightens the
+        mode-independent bound."""
+        analyzer = measured(graph, pattern)
+        length = pattern.length
+        for i in range(length):
+            for j in range(i + 1, length + 1):
+                for k in range(i + 1, j):
+                    any_mode = analyzer.node_paths(i, k, j, mode="any")
+                    partial = analyzer.node_paths(i, k, j, mode="partial")
+                    assert partial.hi <= any_mode.hi
+                    assert partial.lo <= any_mode.lo or partial.lo <= 1.0
+
+
+class TestWorkloadCatalogContainment:
+    def test_check_bounds_is_clean_across_the_catalog(self):
+        """``repro.cli check --bounds --all-workloads`` is the CI
+        soundness gate: every workload, both backends, zero violations
+        (exit 0)."""
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "check",
+                    "--bounds",
+                    "--all-workloads",
+                    "--scale",
+                    "0.05",
+                    "--format",
+                    "json",
+                    "--output",
+                    "/dev/null",
+                ]
+            )
+            == 0
+        )

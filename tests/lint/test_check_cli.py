@@ -1,0 +1,162 @@
+"""Exit-code consistency of ``python -m repro.cli check`` across its
+three surfaces (workload typing, ``--bounds`` certification, source-mode
+process safety): :data:`repro.cli.EXIT_OK` for clean runs,
+:data:`~repro.cli.EXIT_FINDINGS` for gating findings (uniformly governed
+by ``--fail-on``), :data:`~repro.cli.EXIT_INTERNAL_ERROR` for checker
+failures — and the SARIF ``automationDetails.id`` each surface stamps."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import (
+    EXIT_FINDINGS,
+    EXIT_INTERNAL_ERROR,
+    EXIT_OK,
+    lint_main,
+    main,
+)
+from repro.lint.reporters import SARIF_CATEGORIES, sarif_category
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PROCSAFE_FIXTURE = str(FIXTURES / "bad_procsafe_program.py")
+
+
+class TestWorkloadModeExitCodes:
+    def test_clean_workload_exits_ok(self, tmp_path):
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "check",
+                "--workload",
+                "dblp-SP1",
+                "--scale",
+                "0.05",
+                "--format",
+                "json",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == EXIT_OK
+        assert json.loads(out.read_text())["findings"] == []
+
+    def test_budget_warning_gates_by_fail_on(self, tmp_path):
+        base = [
+            "check",
+            "--bounds",
+            "--workload",
+            "dblp-SP1",
+            "--scale",
+            "0.05",
+            "--budget",
+            "1",  # 1 byte: no backend can certify a fit
+            "--format",
+            "json",
+            "--output",
+            str(tmp_path / "report.json"),
+        ]
+        # default --fail-on warning: the plan-bounds-budget WARNING gates
+        assert main(base) == EXIT_FINDINGS
+        assert main(base + ["--fail-on", "error"]) == EXIT_OK
+        assert main(base + ["--fail-on", "never"]) == EXIT_OK
+        payload = json.loads((tmp_path / "report.json").read_text())
+        assert [f["rule"] for f in payload["findings"]] == [
+            "plan-bounds-budget"
+        ]
+
+    def test_unknown_workload_is_internal_error(self, capsys):
+        code = main(["check", "--workload", "no-such-workload"])
+        assert code == EXIT_INTERNAL_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_bounds_without_workload_is_internal_error(self, capsys):
+        code = main(["check", "--bounds"])
+        assert code == EXIT_INTERNAL_ERROR
+        assert "--bounds needs a workload" in capsys.readouterr().err
+
+
+class TestSourceModeExitCodes:
+    def test_findings_gate_by_fail_on(self, tmp_path):
+        out = tmp_path / "report.json"
+        base = [
+            "check",
+            "--format",
+            "json",
+            "--output",
+            str(out),
+            PROCSAFE_FIXTURE,
+        ]
+        assert main(base) == EXIT_FINDINGS
+        assert main(base + ["--fail-on", "never"]) == EXIT_OK
+        payload = json.loads(out.read_text())
+        assert payload["findings"], "fixture should produce findings"
+        assert all(
+            f["rule"].startswith("procsafe-") for f in payload["findings"]
+        )
+
+    def test_clean_source_exits_ok(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text(
+            '"""Nothing process-unsafe here."""\n'
+            "from __future__ import annotations\n\n\n"
+            "def add(a: int, b: int) -> int:\n"
+            "    return a + b\n"
+        )
+        assert main(["check", str(clean)]) == EXIT_OK
+
+
+class TestSarifCategories:
+    def sarif_automation_id(self, tmp_path, argv) -> str:
+        out = tmp_path / "report.sarif"
+        code = main(argv + ["--format", "sarif", "--output", str(out)])
+        assert code in (EXIT_OK, EXIT_FINDINGS)
+        payload = json.loads(out.read_text())
+        return payload["runs"][0]["automationDetails"]["id"]
+
+    def test_check_surface(self, tmp_path):
+        assert (
+            self.sarif_automation_id(
+                tmp_path,
+                ["check", "--workload", "dblp-SP1", "--scale", "0.05"],
+            )
+            == "repro-check/"
+        )
+
+    def test_bounds_surface(self, tmp_path):
+        assert (
+            self.sarif_automation_id(
+                tmp_path,
+                [
+                    "check",
+                    "--bounds",
+                    "--workload",
+                    "dblp-SP1",
+                    "--scale",
+                    "0.05",
+                ],
+            )
+            == "repro-bounds/"
+        )
+
+    def test_lint_surface(self, tmp_path):
+        out = tmp_path / "lint.sarif"
+        errors_py = Path(__file__).resolve().parents[2] / "src/repro/errors.py"
+        code = lint_main(
+            ["--format", "sarif", "--output", str(out), str(errors_py)]
+        )
+        assert code == EXIT_OK
+        payload = json.loads(out.read_text())
+        assert payload["runs"][0]["automationDetails"]["id"] == "repro-lint/"
+
+    def test_category_helper_is_the_single_source_of_truth(self):
+        assert sarif_category("bounds") == SARIF_CATEGORIES["bounds"]
+        for surface in ("lint", "check", "bounds", "sanitize"):
+            assert sarif_category(surface) == SARIF_CATEGORIES[surface]
+        try:
+            sarif_category("mystery")
+        except ValueError as exc:
+            assert "unknown SARIF surface" in str(exc)
+        else:  # pragma: no cover - the assertion above must fire
+            raise AssertionError("unknown surface must raise ValueError")
