@@ -5,13 +5,26 @@ the experiment grid once (module-scoped fixtures), benchmarks the key
 extraction calls with pytest-benchmark, asserts the paper's qualitative
 claims (who wins, where crossovers fall), and writes the paper-style table
 to ``benchmarks/results/<experiment>.txt``.
+
+Passing the table's ``rows`` to :func:`write_report` additionally appends
+a machine-readable :class:`~repro.obs.bench.BenchRecord` to the
+benchmark's ledger (``benchmarks/results/BENCH_<experiment>.json``):
+numeric row values whose key ends in ``_s`` become gated timings,
+everything else numeric becomes informational metrics.  ``python -m
+repro.cli perf`` compares those ledgers against history and fails on
+regressions beyond the noise threshold.
 """
 
 from __future__ import annotations
 
+from datetime import datetime, timezone
 from pathlib import Path
+from typing import Optional, Sequence
 
 import pytest
+
+from repro.obs.bench import BenchRecord, append_run
+from repro.workloads.harness import Row
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -22,8 +35,32 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-def write_report(results_dir: Path, name: str, text: str) -> None:
-    """Persist a rendered experiment table and echo it to stdout."""
+def write_report(
+    results_dir: Path,
+    name: str,
+    text: str,
+    rows: Optional[Sequence[Row]] = None,
+    workload: Optional[str] = None,
+    backend: Optional[str] = None,
+    peak_bytes: Optional[int] = None,
+) -> None:
+    """Persist a rendered experiment table and echo it to stdout.
+
+    With ``rows``, also append this run to the benchmark's JSON ledger
+    (``BENCH_<name>.json``) for ``python -m repro.cli perf``.
+    """
     path = results_dir / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
-    print(f"\n{text}\n[written to {path}]")
+    message = f"\n{text}\n[written to {path}]"
+    if rows is not None:
+        record = BenchRecord.from_rows(
+            name,
+            [(row.label, row.values) for row in rows],
+            workload=workload,
+            backend=backend,
+            peak_bytes=peak_bytes,
+            created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        )
+        ledger = append_run(str(results_dir), record)
+        message += f"\n[ledger {ledger}]"
+    print(message)

@@ -118,4 +118,4 @@ def test_shapes_and_report(runs, results_dir, benchmark):
         ),
         label_header="mode",
     )
-    write_report(results_dir, "ablation_batching", table)
+    write_report(results_dir, "ablation_batching", table, rows=rows)

@@ -101,4 +101,4 @@ def test_shapes_and_report(grid, results_dir, benchmark):
         ),
         label_header="k/mode",
     )
-    write_report(results_dir, "ablation_bounded_topk", table)
+    write_report(results_dir, "ablation_bounded_topk", table, rows=rows)

@@ -88,4 +88,4 @@ def test_shapes_and_report(grid, results_dir, benchmark):
             f"aggregation (hybrid plan, {WORKERS} workers)"
         ),
     )
-    write_report(results_dir, "ablation_combiner", table)
+    write_report(results_dir, "ablation_combiner", table, rows=rows)

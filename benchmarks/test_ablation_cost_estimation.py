@@ -110,4 +110,4 @@ def test_shapes_and_report(measurements, results_dir, benchmark):
             "(hybrid plan, basic mode; ratio = estimate / measured)"
         ),
     )
-    write_report(results_dir, "ablation_cost_estimation", table)
+    write_report(results_dir, "ablation_cost_estimation", table, rows=rows)

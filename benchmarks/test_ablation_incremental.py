@@ -124,4 +124,4 @@ def test_shapes_and_report(setup, results_dir, benchmark):
         ),
         label_header="mode",
     )
-    write_report(results_dir, "ablation_incremental", table)
+    write_report(results_dir, "ablation_incremental", table, rows=rows)

@@ -87,4 +87,4 @@ def test_shapes_and_report(grid, results_dir, benchmark):
         ),
         label_header="workload/method",
     )
-    write_report(results_dir, "ablation_rpq_merge", table)
+    write_report(results_dir, "ablation_rpq_merge", table, rows=rows)

@@ -97,4 +97,4 @@ def test_shapes_and_report(grid, results_dir, benchmark):
         title="Figure 10(a) — dblp-SP2 scalability with workers (simulated makespan)",
         label_header="config",
     )
-    write_report(results_dir, "fig10a_workers", table)
+    write_report(results_dir, "fig10a_workers", table, rows=rows)

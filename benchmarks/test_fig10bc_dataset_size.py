@@ -123,4 +123,4 @@ def test_shapes_and_report(grid, scaled_graphs, results_dir, benchmark):
         ),
         label_header="scale",
     )
-    write_report(results_dir, "fig10bc_dataset_size", table)
+    write_report(results_dir, "fig10bc_dataset_size", table, rows=rows, workload="dblp-SP2")

@@ -111,4 +111,4 @@ def test_shapes_and_report(grid, results_dir, benchmark):
         ),
         label_header="pattern",
     )
-    write_report(results_dir, "fig10d_pattern_length", table)
+    write_report(results_dir, "fig10d_pattern_length", table, rows=rows, workload="fig10d", backend="bsp")

@@ -105,4 +105,4 @@ def test_shapes_and_report(grid, results_dir, benchmark):
         f"(Alg.3), hybrid plan, {WORKERS} workers"
     )
     table = benchmark(format_table, rows, columns, title=title)
-    write_report(results_dir, "fig8_partial_aggregation", table)
+    write_report(results_dir, "fig8_partial_aggregation", table, rows=rows)

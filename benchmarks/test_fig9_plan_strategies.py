@@ -132,4 +132,4 @@ def test_shapes_and_report(grid, results_dir, benchmark):
         title=title,
         label_header="workload/strategy",
     )
-    write_report(results_dir, "fig9_plan_strategies", table)
+    write_report(results_dir, "fig9_plan_strategies", table, rows=rows)

@@ -112,4 +112,4 @@ def test_shapes_and_report(grid, results_dir):
         f"({WORKERS} workers, path_count, hybrid plan)"
     )
     table = format_table(rows, columns, title=title)
-    write_report(results_dir, "obs_overhead", table)
+    write_report(results_dir, "obs_overhead", table, rows=rows)

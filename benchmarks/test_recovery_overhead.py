@@ -138,4 +138,5 @@ def test_shapes_and_report(grid, results_dir):
             ),
             label_header="configuration",
         ),
+        rows=rows,
     )

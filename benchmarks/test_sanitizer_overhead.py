@@ -91,4 +91,4 @@ def test_shapes_and_report(grid, results_dir):
         f"({WORKERS} workers, path_count, hybrid plan)"
     )
     table = format_table(rows, columns, title=title)
-    write_report(results_dir, "sanitizer_overhead", table)
+    write_report(results_dir, "sanitizer_overhead", table, rows=rows)

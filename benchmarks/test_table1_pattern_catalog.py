@@ -81,4 +81,4 @@ def test_shapes_and_report(catalog, results_dir, benchmark):
             f"(heavy = final paths >= {HEAVY_THRESHOLD})"
         ),
     )
-    write_report(results_dir, "table1_pattern_catalog", table)
+    write_report(results_dir, "table1_pattern_catalog", table, rows=rows)

@@ -93,4 +93,4 @@ def test_shapes_and_report(grid, results_dir, benchmark):
         title="Table 2 — standalone: PGE (1 worker) vs graph-DB vs matrix",
         label_header="workload/method",
     )
-    write_report(results_dir, "table2_standalone", table)
+    write_report(results_dir, "table2_standalone", table, rows=rows)

@@ -92,4 +92,4 @@ def test_shapes_and_report(grid, results_dir, benchmark):
         title=f"Table 3 — PGE vs RPQ-based solution ({WORKERS} workers)",
         label_header="workload/method",
     )
-    write_report(results_dir, "table3_rpq", table)
+    write_report(results_dir, "table3_rpq", table, rows=rows)

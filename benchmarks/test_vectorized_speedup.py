@@ -165,7 +165,7 @@ def test_report(grid, results_dir):
         ),
         label_header="pattern",
     )
-    write_report(results_dir, "vectorized_speedup", table)
+    write_report(results_dir, "vectorized_speedup", table, rows=rows, backend="vectorized")
     artifact_path = results_dir / "vectorized_speedup.json"
     artifact_path.write_text(
         json.dumps(artifact, indent=2) + "\n", encoding="utf-8"

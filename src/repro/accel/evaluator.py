@@ -46,7 +46,8 @@ from repro.errors import EngineError, PlanError
 from repro.graph.hetgraph import HeterogeneousGraph
 from repro.graph.pattern import ANY_LABEL, LinePattern
 from repro.obs.drift import node_counter_name
-from repro.obs.spans import NULL_TRACER, TracerBase
+from repro.obs.profile import ProfileSpec, make_profiler, owns_profiler
+from repro.obs.spans import NULL_TRACER, TracerBase, make_tracer
 
 #: ``(node_id, component)`` → matrix storage key.
 _StoreKey = Tuple[int, int]
@@ -65,6 +66,13 @@ class VectorizedEvaluator:
         aggregates (the extractor falls back to BSP before this point).
     tracer:
         Observability tracer; defaults to the no-op tracer.
+    profile:
+        Runtime-profiling spec (:func:`repro.obs.profile.make_profiler`).
+        The session is attributed per kernel level through the
+        ``superstep`` spans (each carries its ``kernel_time_s`` and,
+        with memory profiling, its ``mem_peak_bytes`` watermark) and
+        lands on ``evaluator.last_profile``.  Profiling implies tracing:
+        a missing tracer is upgraded to an in-memory one.
     """
 
     def __init__(
@@ -74,6 +82,7 @@ class VectorizedEvaluator:
         plan: Optional[PCP],
         aggregate: Aggregate,
         tracer: Optional[TracerBase] = None,
+        profile: ProfileSpec = None,
     ) -> None:
         if plan is None and pattern.length != 1:
             raise PlanError(
@@ -84,6 +93,8 @@ class VectorizedEvaluator:
         self.plan = plan
         self.aggregate = aggregate
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profile = profile
+        self.last_profile = None
         self._kernels: List[Kernel] = resolve_kernels(aggregate)
         self._schedule: List[List[PCPNode]] = (
             plan.evaluation_schedule() if plan is not None else []
@@ -181,6 +192,27 @@ class VectorizedEvaluator:
     def run(self) -> ExtractionResult:
         """Execute the plan and package the result (same shape as
         :func:`~repro.core.evaluator.run_extraction`)."""
+        profiler = make_profiler(self.profile)
+        owns_profile = profiler.enabled and owns_profiler(self.profile)
+        if profiler.enabled:
+            if not self.tracer.enabled:
+                self.tracer = make_tracer(True)
+            profiler.attach(self.tracer)
+            if owns_profile:
+                profiler.start()
+        self.last_profile = profiler if profiler.enabled else None
+        try:
+            result = self._run_kernels()
+        finally:
+            if owns_profile:
+                profiler.stop()
+        if owns_profile:
+            profiler.emit(self.tracer)
+        return result
+
+    def _run_kernels(self) -> ExtractionResult:
+        """The body of :meth:`run` (split out so the profile session is
+        stopped on every exit path)."""
         compact = self.graph.to_compact()
         self._slot_cache = {}
         self._mask_cache = {}
@@ -459,6 +491,7 @@ def run_vectorized_extraction(
     plan: Optional[PCP],
     aggregate: Aggregate,
     tracer: Optional[TracerBase] = None,
+    profile: ProfileSpec = None,
 ) -> ExtractionResult:
     """Execute one extraction on the vectorized backend and package the
     result — the sparse-kernel counterpart of
@@ -469,7 +502,9 @@ def run_vectorized_extraction(
     distributive/algebraic aggregate (either mode — by Theorem 3 basic
     and partial evaluation agree for these aggregates).
     """
-    evaluator = VectorizedEvaluator(graph, pattern, plan, aggregate, tracer=tracer)
+    evaluator = VectorizedEvaluator(
+        graph, pattern, plan, aggregate, tracer=tracer, profile=profile
+    )
     return evaluator.run()
 
 

@@ -9,8 +9,14 @@ Run as ``python -m repro <command>``:
   writing the extracted edge list);
 * ``compare``   — run several methods on one workload and print a table;
 * ``report``    — render the per-superstep table (makespan, imbalance,
-  messages, cost-model drift) from a trace file written with
-  ``--trace-out``;
+  messages, cost-model drift — plus profile and memory-watermark
+  sections for profiled runs) from a trace file written with
+  ``--trace-out``; ``--format json`` emits the machine-readable
+  document instead;
+* ``perf``      — compare the newest run of every benchmark ledger
+  (``BENCH_*.json`` written by ``benchmarks/test_*``) against its
+  stored history and report timing regressions beyond a noise
+  threshold (``--check`` gates the exit code);
 * ``lint``      — run the first-party static-analysis rules over source
   files (exit gated by ``--fail-on``; the permanent CI gate);
 * ``check``     — static verification: typecheck workload plans against
@@ -186,6 +192,9 @@ def cmd_extract(args: argparse.Namespace) -> int:
     graph = _resolve_graph(args)
     pattern = _resolve_pattern(args)
     aggregate = AGGREGATES[args.aggregate]()
+    profile = args.profile
+    if profile and args.profile_out:
+        profile = f"{profile}:{args.profile_out}"
     extractor = GraphExtractor(
         graph,
         num_workers=args.workers,
@@ -194,6 +203,7 @@ def cmd_extract(args: argparse.Namespace) -> int:
         estimator=args.estimator,
         trace=args.trace_out or None,
         backend=args.backend,
+        profile=profile or None,
     )
     result = extractor.extract(pattern, aggregate)
     if extractor.last_fallback_reason is not None:
@@ -220,6 +230,20 @@ def cmd_extract(args: argparse.Namespace) -> int:
         print(f"\nwrote {result.graph.num_edges()} edges to {args.out}")
     if args.trace_out:
         print(f"wrote trace to {args.trace_out}")
+    session = extractor.last_profile
+    if session is not None:
+        containment = extractor.last_memory_containment
+        if containment is not None:
+            print(
+                "memory containment [{backend}]: observed peak {obs} B "
+                "<= allowed {allowed} B".format(
+                    backend=containment["backend"],
+                    obs=containment["observed_peak_bytes"],
+                    allowed=int(containment["allowed_peak_bytes"]),
+                )
+            )
+        if args.profile_out:
+            print(f"wrote collapsed profile to {args.profile_out}")
     return 0
 
 
@@ -586,11 +610,71 @@ def cmd_soak(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Render the per-superstep run report from a trace file (JSONL or
-    chrome-trace JSON, as written by ``--trace-out``)."""
-    from repro.obs.report import render_report
+    chrome-trace JSON, as written by ``--trace-out``).  ``--format
+    json`` emits the machine-readable report document instead of the
+    text tables."""
+    import json
 
-    print(render_report(args.trace))
+    from repro.obs.report import render_report, report_data
+
+    if args.format == "json":
+        print(json.dumps(report_data(args.trace), indent=1, sort_keys=True))
+    else:
+        print(render_report(args.trace))
     return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Compare the newest run of every benchmark ledger against its
+    stored history; with ``--check`` exit :data:`EXIT_FINDINGS` when any
+    timing regressed beyond the noise threshold."""
+    from repro.obs.bench import DEFAULT_THRESHOLD, compare_directory
+
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    comparisons = compare_directory(args.dir, threshold=threshold)
+    rows = []
+    regressions = 0
+    for comparison in comparisons:
+        if comparison.regressed:
+            regressions += 1
+        ratio = comparison.ratio
+        rows.append(
+            Row(
+                f"{comparison.benchmark}: {comparison.metric}",
+                {
+                    "baseline_s": (
+                        f"{comparison.baseline_s:.6f}"
+                        if comparison.baseline_s is not None
+                        else "-"
+                    ),
+                    "observed_s": f"{comparison.observed_s:.6f}",
+                    "ratio": f"{ratio:.3f}" if ratio is not None else "-",
+                    "status": comparison.status,
+                },
+            )
+        )
+    print(
+        format_table(
+            rows,
+            ["baseline_s", "observed_s", "ratio", "status"],
+            title=(
+                f"perf ledger: {args.dir} "
+                f"(threshold +{threshold:.0%})"
+            ),
+            label_header="benchmark timing",
+        )
+    )
+    if regressions:
+        print(
+            f"\n{regressions} timing(s) regressed beyond "
+            f"+{threshold:.0%} of the best compatible baseline",
+            file=sys.stderr,
+        )
+        return EXIT_FINDINGS if args.check else EXIT_OK
+    print(f"\nno regressions across {len(rows)} gated timings")
+    return EXIT_OK
 
 
 def _check_workload_bounds(
@@ -873,6 +957,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(.jsonl = JSONL event log, .json = chrome trace-event JSON, "
         ".prom = Prometheus text); render with `repro report PATH`",
     )
+    extract.add_argument(
+        "--profile", metavar="SPEC", default=None,
+        help="profile the run: 'cprofile', 'sampling', 'memory', or "
+        "combinations like 'cprofile+memory' (see repro.obs.profile); "
+        "implies tracing and checks observed peak memory against the "
+        "certified byte model",
+    )
+    extract.add_argument(
+        "--profile-out", metavar="PATH",
+        help="with --profile: write the collapsed-stack profile "
+        "(flamegraph/speedscope loadable) to PATH",
+    )
 
     analyze = sub.add_parser(
         "analyze", help="extract, then analyse the extracted graph"
@@ -947,6 +1043,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "trace", help="trace file written with --trace-out (.jsonl or .json)"
+    )
+    report.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="text tables (default) or the machine-readable JSON "
+        "report document",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="compare benchmark ledgers (BENCH_*.json) against history "
+        "and report timing regressions",
+    )
+    perf.add_argument(
+        "--dir", default="benchmarks/results", metavar="DIR",
+        help="directory holding BENCH_*.json ledgers "
+        "(default benchmarks/results)",
+    )
+    perf.add_argument(
+        "--threshold", type=float, default=None, metavar="FRACTION",
+        help="regression threshold as a fraction over the best "
+        "compatible baseline (default 0.25 = +25%%)",
+    )
+    perf.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when any timing regressed (the CI gate)",
     )
 
     from repro.lint.reporters import REPORTERS
@@ -1070,6 +1191,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "soak": cmd_soak,
     "report": cmd_report,
+    "perf": cmd_perf,
     "lint": cmd_lint,
     "check": cmd_check,
     "sanitize": cmd_sanitize,

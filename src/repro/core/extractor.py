@@ -30,12 +30,19 @@ from repro.errors import (
     AdmissionError,
     BoundsViolationError,
     EngineError,
+    MemoryBoundsViolationError,
     PatternMismatchError,
 )
 from repro.graph.hetgraph import HeterogeneousGraph
 from repro.graph.pattern import LinePattern
 from repro.graph.stats import GraphStatistics
 from repro.obs.drift import attach_drift, compute_drift
+from repro.obs.profile import (
+    ProfileSessionBase,
+    ProfileSpec,
+    make_profiler,
+    owns_profiler,
+)
 from repro.obs.spans import (
     TracerBase,
     TraceSpec,
@@ -112,6 +119,21 @@ class GraphExtractor:
         message/combiner instruments and the cost-model drift records.
         Unrelated to :meth:`extract`'s ``trace`` flag, which carries
         *path trails* through basic-mode messages.
+    profile:
+        Runtime-profiling spec (see
+        :func:`repro.obs.profile.make_profiler`): ``None`` (off, the
+        default), ``True`` (sampling CPU profile + memory watermarks),
+        ``"cprofile"`` / ``"sampling"`` / ``"memory"`` (modes combine
+        with ``+``; an optional ``:PATH`` suffix writes collapsed
+        stacks), or a :class:`~repro.obs.profile.ProfileSession`
+        instance.  Profiling implies tracing: when the trace spec is
+        off, an in-memory tracer is created so frames and watermarks
+        have a span tree to attach to.  The session of the most recent
+        profiled run is kept on ``extractor.last_profile``; with memory
+        profiling on, the observed run peak is checked against the
+        certified per-backend byte model (:mod:`repro.lint.bounds`) and
+        an observed peak above the certified upper bound raises
+        :class:`~repro.errors.MemoryBoundsViolationError`.
     backend:
         Default execution backend: ``"bsp"`` (the vertex-centric engine)
         or ``"vectorized"`` (sparse semiring kernels over the graph's
@@ -152,6 +174,7 @@ class GraphExtractor:
         sanitize: bool = False,
         resilience=None,
         trace: TraceSpec = None,
+        profile: ProfileSpec = None,
         backend: str = "bsp",
         memory_budget: Optional[int] = None,
     ) -> None:
@@ -174,6 +197,7 @@ class GraphExtractor:
         self.sanitize = sanitize
         self.resilience = resilience
         self.trace = trace
+        self.profile = profile
         self.backend = backend
         self.memory_budget = memory_budget
         #: :class:`~repro.core.admission.AdmissionDecision` of the most
@@ -193,6 +217,12 @@ class GraphExtractor:
         #: tracer of the most recent traced extraction (``None`` when
         #: tracing was off for that call)
         self.last_trace: Optional[TracerBase] = None
+        #: profile session of the most recent profiled extraction
+        #: (``None`` when profiling was off for that call)
+        self.last_profile: Optional[ProfileSessionBase] = None
+        #: observed-vs-certified memory record of the most recent
+        #: memory-profiled extraction (``None`` otherwise)
+        self.last_memory_containment: Optional[dict] = None
         self._stats: Optional[GraphStatistics] = None
 
     def _verify_inputs(
@@ -281,6 +311,7 @@ class GraphExtractor:
         resilience=None,
         faults=None,
         tracer: TraceSpec = None,
+        profile: ProfileSpec = None,
         backend: Optional[str] = None,
     ) -> ExtractionResult:
         """Run one extraction and return the
@@ -306,6 +337,11 @@ class GraphExtractor:
         answer; the decision is logged, recorded on ``last_backend`` /
         ``last_fallback_reason`` and, when tracing, emitted as a
         ``backend-fallback`` span event.
+
+        ``profile`` overrides the extractor-level profiling spec for
+        this call (see :func:`repro.obs.profile.make_profiler`); the
+        session lands on ``last_profile`` and, with memory profiling,
+        the observed peak is checked against the certified byte model.
         """
         if aggregate is None:
             aggregate = path_count()
@@ -349,8 +385,21 @@ class GraphExtractor:
         self.last_fallback_reason = fallback_reason
         spec = tracer if tracer is not None else self.trace
         obs = make_tracer(spec)
+        profile_spec = profile if profile is not None else self.profile
+        session = make_profiler(profile_spec)
+        owns_profile = owns_profiler(profile_spec)
+        if session.enabled and not obs.enabled:
+            # profiling implies tracing: frames and watermarks need a
+            # span tree, so spin up an in-memory tracer
+            obs = make_tracer(True)
         traced = obs.enabled
         self.last_trace = obs if traced else None
+        self.last_profile = session if session.enabled else None
+        self.last_memory_containment = None
+        if session.enabled:
+            session.attach(obs)
+            if owns_profile:
+                session.start()
         mode = "partial" if use_partial else "basic"
         root_span = None
         if traced:
@@ -471,6 +520,8 @@ class GraphExtractor:
         finally:
             if traced:
                 obs.end_span(root_span)
+            if session.enabled and owns_profile:
+                session.stop()
         if admission is not None:
             result.metrics.add_counter("admission_checked")
             result.metrics.add_counter(
@@ -499,9 +550,68 @@ class GraphExtractor:
                 }
             )
             attach_drift(obs, result.drift)
+            if session.enabled:
+                if owns_profile:
+                    session.emit(obs)
+                self._check_memory_containment(
+                    session, pattern, plan, use_backend, obs
+                )
             if owns_tracer(spec) and obs.sink is not None:
                 obs.export()
         return result
+
+    def _check_memory_containment(
+        self, session, pattern, plan, backend, tracer
+    ) -> None:
+        """Join the observed tracemalloc run peak against the certified
+        per-backend byte model (:mod:`repro.lint.bounds`), mirroring the
+        drift tracker's containment check for path counts: the record is
+        kept on ``last_memory_containment`` and emitted onto the tracer,
+        and an observed peak above the certified upper bound raises
+        :class:`~repro.errors.MemoryBoundsViolationError`."""
+        observed = session.run_peak_bytes
+        if observed is None:
+            return
+        from repro.lint.bounds import BoundsAnalyzer, PatternBounds
+        from repro.obs.profile import (
+            MEMORY_BASELINE_SLACK_BYTES,
+            MEMORY_OVERHEAD_FACTOR,
+        )
+
+        analyzer = BoundsAnalyzer(
+            pattern,
+            PatternBounds.from_compact(self.graph.to_compact(), pattern),
+        )
+        bounds = analyzer.analyze(plan, backend=backend)
+        hi = bounds.peak_bytes.hi
+        # the certified model counts logical payload bytes; the observed
+        # watermark sees CPython object/workspace overhead on top (see
+        # MEMORY_OVERHEAD_FACTOR) — contain against the allowed envelope
+        allowed = hi * MEMORY_OVERHEAD_FACTOR + MEMORY_BASELINE_SLACK_BYTES
+        contained = observed <= allowed
+        record = {
+            "backend": backend,
+            "observed_peak_bytes": int(observed),
+            "certified_lo_bytes": bounds.peak_bytes.lo,
+            "certified_hi_bytes": hi,
+            "allowed_peak_bytes": allowed,
+            "rss_bytes": session.rss_bytes,
+            "contained": contained,
+        }
+        self.last_memory_containment = record
+        tracer.record("memory_containment", **record)
+        if not contained:
+            raise MemoryBoundsViolationError(
+                f"observed memory watermark {int(observed)} B exceeds the "
+                f"certified {backend} peak {hi:g} B (allowed envelope "
+                f"{allowed:g} B = certified × {MEMORY_OVERHEAD_FACTOR:g} "
+                f"object-overhead allowance + slack) — either the byte "
+                f"model in repro.lint.bounds is unsound or the engine "
+                f"allocates outside its modelled working set",
+                observed_bytes=int(observed),
+                certified_hi=hi,
+                backend=backend,
+            )
 
     def _admit(self, pattern, plan, backend, tracer=None):
         """Run static admission control for one extraction: build the

@@ -28,6 +28,7 @@ from repro.errors import EngineError
 from repro.graph.hetgraph import VertexId
 from repro.graph.partition import HashPartitioner
 from repro.obs.instruments import InstrumentRegistry
+from repro.obs.profile import ProfileSpec, make_profiler, owns_profiler
 from repro.obs.spans import TraceSpec, TracerBase, make_tracer, owns_tracer
 
 _NO_MESSAGES: List[Any] = []
@@ -250,6 +251,7 @@ class BSPEngine:
         sanitize: bool = False,
         trace: TraceSpec = None,
         faults=None,
+        profile: ProfileSpec = None,
     ) -> Any:
         """Execute ``program`` to completion and return ``program.finish``'s
         result.  The :class:`RunMetrics` are attached as
@@ -276,14 +278,53 @@ class BSPEngine:
         the run records an engine-run → superstep → worker span tree plus
         message/combiner instruments.  When the engine resolved the spec
         itself and it names a sink, the trace is exported on completion.
+
+        ``profile`` accepts any spec
+        :func:`~repro.obs.profile.make_profiler` understands
+        (``"cprofile"``, ``"sampling+memory"``, a session instance, ...);
+        frames and per-superstep memory watermarks are attributed to the
+        run's span tree and the session lands on ``engine.last_profile``.
+        Profiling implies tracing: a disabled trace spec is upgraded to
+        an in-memory tracer.
         """
         tracer = make_tracer(trace)
+        profiler = make_profiler(profile)
+        owns_profile = profiler.enabled and owns_profiler(profile)
+        if profiler.enabled:
+            if not tracer.enabled:
+                tracer = make_tracer(True)
+            profiler.attach(tracer)
+            if owns_profile:
+                profiler.start()
+        self.last_profile = profiler if profiler.enabled else None
+        try:
+            return self._run_profiled(
+                program, verify, sanitize, trace, faults, tracer,
+                profiler, owns_profile,
+            )
+        finally:
+            if owns_profile:
+                profiler.stop()
+
+    def _run_profiled(
+        self, program, verify, sanitize, trace, faults, tracer,
+        profiler, owns_profile,
+    ) -> Any:
+        """The body of :meth:`run` (split out so the profile session is
+        stopped on every exit path)."""
+
+        def finish_profile() -> None:
+            if owns_profile:
+                profiler.stop()
+                profiler.emit(tracer)
+
         if faults is not None:
             from repro.faults.chaos import ChaosProgram
 
             program = ChaosProgram(program, faults)
         if sanitize and not self._is_sanitizer:
             result = self._run_sanitized(program, verify, tracer=tracer)
+            finish_profile()
             self._finish_trace(trace, tracer)
             return result
         if verify:
@@ -384,7 +425,10 @@ class BSPEngine:
                 }
             )
             tracer.end_span(run_span)
+            finish_profile()
             self._finish_trace(trace, tracer)
+        else:
+            finish_profile()
         return result
 
     # ------------------------------------------------------------------

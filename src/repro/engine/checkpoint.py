@@ -30,6 +30,7 @@ from repro.engine.messages import Mailbox, shuffle_inbox
 from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.errors import CheckpointCorruptionError, EngineError
 from repro.graph.hetgraph import VertexId
+from repro.obs.profile import ProfileSpec, make_profiler, owns_profiler
 from repro.obs.spans import TraceSpec, make_tracer
 
 #: (vertex states, pending inbox, metrics snapshot, global aggregators)
@@ -232,15 +233,47 @@ class RecoverableBSPEngine(BSPEngine):
         sanitize: bool = False,
         trace: TraceSpec = None,
         faults=None,
+        profile: ProfileSpec = None,
     ) -> Any:
         """Execute ``program``; with ``resume=True`` continue from the
         newest *intact* checkpoint instead of superstep 0 (corrupt or
         truncated snapshots are skipped — see :func:`newest_intact`).
         Traced runs record checkpoint saves and recovery as span events
-        (``trace`` accepts the same specs as :meth:`BSPEngine.run`);
+        (``trace`` accepts the same specs as :meth:`BSPEngine.run`,
+        ``profile`` the same specs as its ``profile``);
         ``faults`` is an optional :class:`repro.faults.FaultPlan` whose
         compute-level faults are injected into this run."""
         tracer = make_tracer(trace)
+        profiler = make_profiler(profile)
+        owns_profile = profiler.enabled and owns_profiler(profile)
+        if profiler.enabled:
+            if not tracer.enabled:
+                tracer = make_tracer(True)
+            profiler.attach(tracer)
+            if owns_profile:
+                profiler.start()
+        self.last_profile = profiler if profiler.enabled else None
+        try:
+            return self._run_checkpointed(
+                program, resume, verify, sanitize, trace, faults, tracer,
+                profiler, owns_profile,
+            )
+        finally:
+            if owns_profile:
+                profiler.stop()
+
+    def _run_checkpointed(
+        self, program, resume, verify, sanitize, trace, faults, tracer,
+        profiler, owns_profile,
+    ) -> Any:
+        """The body of :meth:`run` (split out so the profile session is
+        stopped on every exit path)."""
+
+        def finish_profile() -> None:
+            if owns_profile:
+                profiler.stop()
+                profiler.emit(tracer)
+
         if faults is not None:
             from repro.faults.chaos import ChaosProgram
 
@@ -253,6 +286,7 @@ class RecoverableBSPEngine(BSPEngine):
                     "fingerprint every send"
                 )
             result = self._run_sanitized(program, verify, tracer=tracer)
+            finish_profile()
             self._finish_trace(trace, tracer)
             return result
         if verify:
@@ -384,5 +418,8 @@ class RecoverableBSPEngine(BSPEngine):
                 }
             )
             tracer.end_span(run_span)
+            finish_profile()
             self._finish_trace(trace, tracer)
+        else:
+            finish_profile()
         return result

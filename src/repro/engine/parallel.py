@@ -28,6 +28,7 @@ from repro.engine.messages import Mailbox, shuffle_inbox
 from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.errors import EngineError
 from repro.graph.hetgraph import VertexId
+from repro.obs.profile import ProfileSpec, make_profiler, owns_profiler
 from repro.obs.spans import TraceSpec, make_tracer
 
 
@@ -63,6 +64,7 @@ class ThreadedBSPEngine(BSPEngine):
         sanitize: bool = False,
         trace: TraceSpec = None,
         faults=None,
+        profile: ProfileSpec = None,
     ) -> Any:
         if self._poisoned is not None:
             raise EngineError(
@@ -70,6 +72,36 @@ class ThreadedBSPEngine(BSPEngine):
                 f"({self._poisoned}); call reset() or use a fresh engine"
             )
         tracer = make_tracer(trace)
+        profiler = make_profiler(profile)
+        owns_profile = profiler.enabled and owns_profiler(profile)
+        if profiler.enabled:
+            if not tracer.enabled:
+                tracer = make_tracer(True)
+            profiler.attach(tracer)
+            if owns_profile:
+                profiler.start()
+        self.last_profile = profiler if profiler.enabled else None
+        try:
+            return self._run_profiled(
+                program, verify, sanitize, trace, faults, tracer,
+                profiler, owns_profile,
+            )
+        finally:
+            if owns_profile:
+                profiler.stop()
+
+    def _run_profiled(
+        self, program, verify, sanitize, trace, faults, tracer,
+        profiler, owns_profile,
+    ) -> Any:
+        """The body of :meth:`run` (split out so the profile session is
+        stopped on every exit path)."""
+
+        def finish_profile() -> None:
+            if owns_profile:
+                profiler.stop()
+                profiler.emit(tracer)
+
         if faults is not None:
             from repro.faults.chaos import ChaosProgram
 
@@ -80,6 +112,7 @@ class ThreadedBSPEngine(BSPEngine):
             # itself is regression-tested by the cross-engine determinism
             # property test)
             result = self._run_sanitized(program, verify, tracer=tracer)
+            finish_profile()
             self._finish_trace(trace, tracer)
             return result
         if verify:
@@ -271,5 +304,8 @@ class ThreadedBSPEngine(BSPEngine):
                 }
             )
             tracer.end_span(run_span)
+            finish_profile()
             self._finish_trace(trace, tracer)
+        else:
+            finish_profile()
         return result

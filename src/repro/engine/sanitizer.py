@@ -58,6 +58,7 @@ from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.errors import EngineError
 from repro.graph.hetgraph import VertexId
 from repro.lint.findings import Finding, Severity
+from repro.obs.profile import ProfileSpec, make_profiler, owns_profiler
 from repro.obs.spans import NULL_TRACER, TraceSpec, make_tracer
 
 #: value types that cannot be mutated and need no identity tracking
@@ -333,14 +334,39 @@ class SanitizerBSPEngine(BSPEngine):
         sanitize: bool = True,
         trace: TraceSpec = None,
         faults=None,
+        profile: ProfileSpec = None,
     ) -> Any:
         """Execute ``program`` with full instrumentation (the ``sanitize``
         flag is accepted for signature compatibility and ignored: this
         engine always sanitizes).  Traced runs additionally record every
         contract violation as a ``sanitizer-violation`` span event.
         ``faults`` injects a :class:`repro.faults.FaultPlan` into the
-        instrumented run (chaos under the sanitizer's microscope)."""
+        instrumented run (chaos under the sanitizer's microscope);
+        ``profile`` attaches a profile session exactly as on the base
+        engine (see :meth:`repro.engine.bsp.BSPEngine.run`)."""
         tracer = make_tracer(trace)
+        profiler = make_profiler(profile)
+        owns_profile = profiler.enabled and owns_profiler(profile)
+        if profiler.enabled:
+            if not tracer.enabled:
+                tracer = make_tracer(True)
+            profiler.attach(tracer)
+            if owns_profile:
+                profiler.start()
+        self.last_profile = profiler if profiler.enabled else None
+        try:
+            return self._run_instrumented(
+                program, verify, trace, faults, tracer, profiler, owns_profile
+            )
+        finally:
+            if owns_profile:
+                profiler.stop()
+
+    def _run_instrumented(
+        self, program, verify, trace, faults, tracer, profiler, owns_profile
+    ) -> Any:
+        """The body of :meth:`run` (split out so the profile session is
+        stopped on every exit path)."""
         if faults is not None:
             from repro.faults.chaos import ChaosProgram
 
@@ -468,6 +494,9 @@ class SanitizerBSPEngine(BSPEngine):
             )
             tracer.end_span(run_span)
         self._tracer = NULL_TRACER
+        if owns_profile:
+            profiler.stop()
+            profiler.emit(tracer)
 
         if self.strict and self.last_findings:
             raise SanitizerError(

@@ -92,6 +92,25 @@ class BoundsViolationError(ReproError):
     problem.  Raised loudly instead of being absorbed into drift."""
 
 
+class MemoryBoundsViolationError(BoundsViolationError):
+    """An observed memory watermark exceeded the certified peak-byte
+    interval from :mod:`repro.lint.bounds` — either the byte model is
+    unsound or the engine allocates outside its modelled working set.
+    Raised loudly, mirroring :class:`BoundsViolationError` for paths."""
+
+    def __init__(
+        self,
+        message: str,
+        observed_bytes: int = 0,
+        certified_hi: float = 0.0,
+        backend: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.observed_bytes = observed_bytes
+        self.certified_hi = certified_hi
+        self.backend = backend
+
+
 class DatasetError(ReproError):
     """A dataset generator received invalid parameters."""
 
@@ -99,6 +118,16 @@ class DatasetError(ReproError):
 class ObservabilityError(ReproError):
     """A tracing/metrics request is invalid (unknown trace spec, malformed
     trace file, unbalanced span nesting)."""
+
+
+class ProfileError(ObservabilityError):
+    """A profiling request is invalid (unknown profile spec, profiler
+    started twice, export without any collected data)."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark ledger file is malformed or a perf comparison cannot
+    be carried out as requested."""
 
 
 class ResultError(ReproError, ValueError):

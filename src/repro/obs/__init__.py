@@ -12,10 +12,17 @@ Four pieces, layered bottom-up:
 * :mod:`repro.obs.drift` — the cost-model drift tracker joining the
   planner's per-node estimates (Eq. 4/7, summed by Eq. 3) with the
   engine's observed intermediate-path counts.
+* :mod:`repro.obs.profile` — span-attributed CPU profiling (cProfile /
+  sampling) with collapsed-stack export, plus tracemalloc memory
+  watermarks per superstep joined against the certified byte models of
+  :mod:`repro.lint.bounds`.
+* :mod:`repro.obs.bench` — the schema-versioned benchmark ledger
+  (``BENCH_<name>.json``) and the regression comparison behind
+  ``python -m repro.cli perf``.
 
-Entry points: ``GraphExtractor(trace=...)``, every engine's
-``run(trace=...)``, and ``python -m repro.cli extract --trace-out`` /
-``report``.
+Entry points: ``GraphExtractor(trace=..., profile=...)``, every
+engine's ``run(trace=..., profile=...)``, and ``python -m repro.cli
+extract --trace-out`` / ``report`` / ``perf``.
 """
 
 from __future__ import annotations
@@ -28,12 +35,27 @@ from repro.obs.drift import (
     drift_ratio,
     node_counter_name,
 )
+from repro.obs.bench import (
+    BenchRecord,
+    append_run,
+    compare_ledger,
+    env_fingerprint,
+    load_ledger,
+)
 from repro.obs.exporters import (
     chrome_trace,
+    collapsed_text,
     export_trace,
     jsonl_text,
     prometheus_text,
     render_trace,
+)
+from repro.obs.profile import (
+    NULL_PROFILE,
+    MemoryWatermark,
+    ProfileSession,
+    make_profiler,
+    owns_profiler,
 )
 from repro.obs.instruments import (
     Counter,
@@ -77,9 +99,20 @@ __all__ = [
     "chrome_trace",
     "jsonl_text",
     "prometheus_text",
+    "collapsed_text",
     "render_trace",
     "export_trace",
     "load_trace",
     "render_report",
     "superstep_table",
+    "ProfileSession",
+    "MemoryWatermark",
+    "NULL_PROFILE",
+    "make_profiler",
+    "owns_profiler",
+    "BenchRecord",
+    "env_fingerprint",
+    "load_ledger",
+    "append_run",
+    "compare_ledger",
 ]

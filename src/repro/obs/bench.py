@@ -1,0 +1,298 @@
+"""The benchmark ledger (``BENCH_<name>.json``) and perf-regression
+comparison.
+
+Every ``benchmarks/test_*`` run appends one :class:`BenchRecord` — its
+timings, informational metrics, observed peak bytes and an environment
+fingerprint — to a schema-versioned per-benchmark ledger file next to
+the human-readable ``.txt`` report.  ``python -m repro.cli perf`` then
+compares the newest run of each ledger against the stored history and
+fails (exit 1 with ``--check``) when any timing regressed beyond a
+noise threshold.
+
+Ledger shape (``repro.obs.bench/v1``)::
+
+    {
+      "schema": "repro.obs.bench/v1",
+      "name": "vectorized_speedup",
+      "runs": [
+        {
+          "created": "2026-08-08T12:00:00+00:00",
+          "workload": "fig10d",
+          "backend": "vectorized",
+          "timings": {"length 4/vectorized_s": 0.012, ...},
+          "metrics": {"length 4/speedup": 4.9, ...},
+          "peak_bytes": null,
+          "env": {"python": "3.12", "platform": "Linux", ...}
+        }
+      ]
+    }
+
+Timings are **lower-is-better seconds**; metrics are informational and
+never gated.  Runs are only compared against history recorded on a
+*compatible* environment (same platform / machine / python
+major.minor) so a laptop run never fails against CI history — when no
+compatible baseline exists the benchmark is reported as ``new`` and
+passes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import BenchmarkError
+
+#: ledger schema version; bump on incompatible shape changes
+BENCH_SCHEMA = "repro.obs.bench/v1"
+
+#: default regression threshold: fail when a timing is > 25% slower
+#: than the best compatible baseline
+DEFAULT_THRESHOLD = 0.25
+
+#: keep at most this many historical runs per ledger
+MAX_HISTORY = 50
+
+#: env-fingerprint keys that must match for runs to be comparable
+_COMPAT_KEYS = ("platform", "machine", "python")
+
+
+def env_fingerprint() -> Dict[str, Any]:
+    """The environment fingerprint stored with every run."""
+    fingerprint: Dict[str, Any] = {
+        "python": f"{sys.version_info.major}.{sys.version_info.minor}",
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+    }
+    try:
+        import numpy
+
+        fingerprint["numpy"] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    try:
+        import scipy
+
+        fingerprint["scipy"] = scipy.__version__
+    except ImportError:
+        pass
+    return fingerprint
+
+
+def env_compatible(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """Whether two fingerprints are close enough to compare timings."""
+    return all(a.get(key) == b.get(key) for key in _COMPAT_KEYS)
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark run: what ran, where, and how fast."""
+
+    name: str
+    timings: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    workload: Optional[str] = None
+    backend: Optional[str] = None
+    peak_bytes: Optional[int] = None
+    created: Optional[str] = None
+    env: Dict[str, Any] = field(default_factory=env_fingerprint)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "created": self.created,
+            "workload": self.workload,
+            "backend": self.backend,
+            "timings": dict(self.timings),
+            "metrics": dict(self.metrics),
+            "peak_bytes": self.peak_bytes,
+            "env": dict(self.env),
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, raw: Dict[str, Any]) -> "BenchRecord":
+        if not isinstance(raw, dict):
+            raise BenchmarkError(f"ledger run for {name!r} is not an object")
+        return cls(
+            name=name,
+            timings={k: float(v) for k, v in (raw.get("timings") or {}).items()},
+            metrics={k: float(v) for k, v in (raw.get("metrics") or {}).items()},
+            workload=raw.get("workload"),
+            backend=raw.get("backend"),
+            peak_bytes=raw.get("peak_bytes"),
+            created=raw.get("created"),
+            env=dict(raw.get("env") or {}),
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        rows: Iterable[Tuple[str, Dict[str, Any]]],
+        workload: Optional[str] = None,
+        backend: Optional[str] = None,
+        peak_bytes: Optional[int] = None,
+        created: Optional[str] = None,
+    ) -> "BenchRecord":
+        """Build a record from benchmark-table rows: ``(label, values)``
+        pairs.  Numeric values whose key ends in ``_s`` (seconds) become
+        gated timings; every other numeric value becomes an
+        informational metric; non-numeric values are dropped."""
+        record = cls(
+            name=name,
+            timings={},
+            metrics={},
+            workload=workload,
+            backend=backend,
+            peak_bytes=peak_bytes,
+            created=created,
+        )
+        for label, values in rows:
+            for key, value in values.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                metric = f"{label}/{key}"
+                if key.endswith("_s"):
+                    record.timings[metric] = float(value)
+                else:
+                    record.metrics[metric] = float(value)
+        return record
+
+
+def ledger_path(directory: str, name: str) -> str:
+    return os.path.join(directory, f"BENCH_{name}.json")
+
+
+def load_ledger(path: str) -> Tuple[str, List[BenchRecord]]:
+    """Read a ledger file; returns ``(benchmark name, runs)`` (oldest
+    first).  Raises :class:`~repro.errors.BenchmarkError` on malformed
+    content."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise BenchmarkError(f"cannot read benchmark ledger {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchmarkError(
+            f"benchmark ledger {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BENCH_SCHEMA:
+        raise BenchmarkError(
+            f"benchmark ledger {path} has schema "
+            f"{doc.get('schema') if isinstance(doc, dict) else type(doc).__name__!r}; "
+            f"expected {BENCH_SCHEMA!r}"
+        )
+    name = doc.get("name") or os.path.basename(path)
+    runs = [BenchRecord.from_dict(name, raw) for raw in doc.get("runs", [])]
+    return name, runs
+
+
+def append_run(
+    directory: str, record: BenchRecord, max_history: int = MAX_HISTORY
+) -> str:
+    """Append ``record`` to its ledger under ``directory`` (creating the
+    ledger on first use), trimming history to ``max_history`` runs.
+    Returns the ledger path."""
+    os.makedirs(directory, exist_ok=True)
+    path = ledger_path(directory, record.name)
+    runs: List[Dict[str, Any]] = []
+    if os.path.exists(path):
+        _, history = load_ledger(path)
+        runs = [run.as_dict() for run in history]
+    runs.append(record.as_dict())
+    runs = runs[-max_history:]
+    doc = {"schema": BENCH_SCHEMA, "name": record.name, "runs": runs}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+@dataclass
+class MetricComparison:
+    """One timing compared against its best compatible baseline."""
+
+    benchmark: str
+    metric: str
+    baseline_s: Optional[float]
+    observed_s: float
+    threshold: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.baseline_s is None or self.baseline_s <= 0.0:
+            return None
+        return self.observed_s / self.baseline_s
+
+    @property
+    def regressed(self) -> bool:
+        ratio = self.ratio
+        return ratio is not None and ratio > 1.0 + self.threshold
+
+    @property
+    def status(self) -> str:
+        if self.baseline_s is None:
+            return "new"
+        return "REGRESSED" if self.regressed else "ok"
+
+
+def compare_ledger(
+    runs: List[BenchRecord],
+    threshold: float = DEFAULT_THRESHOLD,
+    new_run: Optional[BenchRecord] = None,
+) -> List[MetricComparison]:
+    """Compare ``new_run`` (default: the newest run) against the best —
+    i.e. fastest — compatible earlier run, per timing.  Metrics never
+    gate; timings without a compatible baseline report as ``new``."""
+    if new_run is None:
+        if not runs:
+            return []
+        new_run, history = runs[-1], runs[:-1]
+    else:
+        history = runs
+    baselines: Dict[str, float] = {}
+    for run in history:
+        if not env_compatible(run.env, new_run.env):
+            continue
+        for metric, seconds in run.timings.items():
+            best = baselines.get(metric)
+            if best is None or seconds < best:
+                baselines[metric] = seconds
+    return [
+        MetricComparison(
+            benchmark=new_run.name,
+            metric=metric,
+            baseline_s=baselines.get(metric),
+            observed_s=seconds,
+            threshold=threshold,
+        )
+        for metric, seconds in sorted(new_run.timings.items())
+    ]
+
+
+def compare_directory(
+    directory: str, threshold: float = DEFAULT_THRESHOLD
+) -> List[MetricComparison]:
+    """Compare the newest run of every ``BENCH_*.json`` ledger under
+    ``directory``.  Raises :class:`~repro.errors.BenchmarkError` when
+    the directory holds no ledgers."""
+    if not os.path.isdir(directory):
+        raise BenchmarkError(f"benchmark results directory {directory} not found")
+    ledgers = sorted(
+        entry
+        for entry in os.listdir(directory)
+        if entry.startswith("BENCH_") and entry.endswith(".json")
+    )
+    if not ledgers:
+        raise BenchmarkError(
+            f"no BENCH_*.json ledgers under {directory}; run the benchmarks "
+            f"(PYTHONPATH=src python -m pytest benchmarks/ -q) first"
+        )
+    comparisons: List[MetricComparison] = []
+    for entry in ledgers:
+        _name, runs = load_ledger(os.path.join(directory, entry))
+        comparisons.extend(compare_ledger(runs, threshold=threshold))
+    return comparisons

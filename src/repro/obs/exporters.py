@@ -12,7 +12,11 @@ Three formats, one tracer:
   instant (``"ph": "i"``) events; attributes ride in ``args``.
 * **Prometheus text exposition** — the tracer's instrument registry
   rendered as ``# TYPE`` blocks (counters, gauges, histograms with
-  cumulative ``_bucket`` lines).
+  cumulative ``_bucket`` lines), HELP/label values escaped per the
+  exposition format.
+* **Collapsed stacks** — ``profile_stack`` records from a profiled run
+  (:mod:`repro.obs.profile`) as ``stack weight`` lines for
+  speedscope / ``flamegraph.pl``.
 
 All exporters are pure functions over a :class:`~repro.obs.spans.Tracer`;
 :func:`export_trace` dispatches on a format name.
@@ -164,20 +168,34 @@ def _prom_value(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def _prom_help(text: str) -> str:
+    """HELP text escaping per the exposition format: backslash and
+    newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_label_value(text: str) -> str:
+    """Label-value escaping per the exposition format: backslash,
+    double-quote and newline."""
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def prometheus_text(registry: InstrumentRegistry, prefix: str = "repro_") -> str:
     """The registry in Prometheus text exposition format."""
     out: List[str] = []
     for instrument in registry.collect():
         name = prefix + _prom_name(instrument.name)
         if instrument.help:
-            out.append(f"# HELP {name} {instrument.help}")
+            out.append(f"# HELP {name} {_prom_help(instrument.help)}")
         out.append(f"# TYPE {name} {instrument.kind}")
         if isinstance(instrument, (Counter, Gauge)):
             out.append(f"{name} {_prom_value(instrument.value)}")
         elif isinstance(instrument, Histogram):
             for bound, cumulative in instrument.cumulative():
                 out.append(
-                    f'{name}_bucket{{le="{_prom_value(float(bound))}"}} '
+                    f'{name}_bucket{{le="{_prom_label_value(_prom_value(float(bound)))}"}} '
                     f"{cumulative}"
                 )
             out.append(f"{name}_sum {_prom_value(instrument.sum)}")
@@ -190,18 +208,41 @@ def prometheus_text(registry: InstrumentRegistry, prefix: str = "repro_") -> str
 
 
 # ----------------------------------------------------------------------
+# collapsed stacks (profiling)
+# ----------------------------------------------------------------------
+def collapsed_text(tracer: Tracer) -> str:
+    """The tracer's ``profile_stack`` records as collapsed-stack
+    (folded) text: one ``stack weight`` line per record, loadable by
+    speedscope / ``flamegraph.pl``.  Requires a profiled run (see
+    :mod:`repro.obs.profile`)."""
+    lines: List[str] = []
+    for record in tracer.records:
+        if record.get("kind") != "profile_stack":
+            continue
+        weight = record.get("weight", 0)
+        lines.append(f"{record.get('stack', '')} {weight:g}")
+    if not lines:
+        raise ObservabilityError(
+            "trace holds no profile_stack records; run with profile= "
+            "(e.g. profile='cprofile') to export collapsed stacks"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
 # dispatch
 # ----------------------------------------------------------------------
 _RENDERERS = {
     "jsonl": jsonl_text,
     "chrome": chrome_text,
     "prometheus": lambda tracer: prometheus_text(tracer.registry),
+    "collapsed": collapsed_text,
 }
 
 
 def render_trace(tracer: Tracer, fmt: str) -> str:
     """Render ``tracer`` in the named format (``jsonl`` / ``chrome`` /
-    ``prometheus``)."""
+    ``prometheus`` / ``collapsed``)."""
     renderer = _RENDERERS.get(fmt)
     if renderer is None:
         raise ObservabilityError(

@@ -1,0 +1,656 @@
+"""Span-attributed runtime profiling and memory watermarks (``profile=``).
+
+The span tree (:mod:`repro.obs.spans`) says *which phase* time went to;
+this module says *which code*.  A :class:`ProfileSession` rides on an
+enabled tracer: the tracer calls back on every span start/end, the
+session keeps the path of *attributed* spans (``extraction`` →
+``plan-selection`` / ``engine-run`` → ``superstep N``), and one of two
+CPU profilers charges frames to that path:
+
+``cprofile``
+    Deterministic.  One :class:`cProfile.Profile` per attributed span
+    path; profiles are switched at span boundaries so each function's
+    self-time lands under the superstep (or kernel level) that ran it.
+
+``sampling``
+    Statistical.  A daemon thread samples the profiled thread's stack
+    via :func:`sys._current_frames` every few milliseconds and tags
+    each sample with the currently-open attributed span path.  Cheap
+    enough for production runs; thread-safe reads only.
+
+Either way the result renders as **collapsed-stack** text
+(``frame;frame;frame weight`` per line) loadable by speedscope,
+``flamegraph.pl`` and friends, and is also emitted onto the tracer as
+``profile_stack`` records so JSONL traces carry the profile.
+
+The **memory watermark** tracker (``memory`` mode) wraps
+:mod:`tracemalloc`: the traced high-water mark is reset at every
+``superstep`` span start and read back at span end, giving a
+per-superstep (and, on the vectorized backend, per-kernel-level)
+watermark plus a run-level peak, alongside an RSS gauge.  The run peak
+is what :meth:`repro.core.extractor.GraphExtractor.extract` joins
+against the certified per-backend byte models of
+:mod:`repro.lint.bounds` — observed > certified raises
+:class:`~repro.errors.MemoryBoundsViolationError`, exactly the way the
+drift tracker escalates path-count containment violations.
+
+``make_profiler`` turns the user-facing ``profile=`` argument into a
+session:
+
+======================  ====================================================
+``None`` / ``False``    :data:`NULL_PROFILE` (profiling off, zero cost)
+``True``                sampling CPU profile + memory watermarks
+``"cprofile"``          deterministic CPU profile
+``"sampling"``          statistical CPU profile
+``"memory"``            memory watermarks only
+``"cprofile+memory"``   modes combine with ``+`` (or ``,``)
+``"MODES:PATH"``        additionally write collapsed stacks to ``PATH``
+a session instance      used as-is (caller owns start/stop)
+======================  ====================================================
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import sys
+import threading
+import time
+import tracemalloc
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ProfileError
+from repro.obs.spans import Span, TracerBase
+
+#: Span names that contribute a component to the attributed span path.
+#: Everything else (worker slices, checkpoint spans, …) inherits the
+#: innermost attributed ancestor.
+ATTRIBUTED_SPANS = ("extraction", "plan-selection", "engine-run", "superstep")
+
+#: Span names that get a tracemalloc watermark (BSP supersteps and
+#: vectorized kernel levels share the ``superstep`` span name).
+WATERMARK_SPANS = ("superstep",)
+
+_SAMPLING_INTERVAL_S = 0.004
+_MAX_STACK_DEPTH = 64
+
+#: Allowance applied when joining an observed tracemalloc watermark
+#: against a certified byte bound (:mod:`repro.lint.bounds`).  The
+#: certified models count *logical* payload bytes (112 B per BSP
+#: message/stored value, 12 B per CSR entry); the observed watermark
+#: additionally sees CPython object headers (a 3-tuple alone is 64 B),
+#: dict-entry overhead (~100 B per result edge vs the model's 12 B) and
+#: sparse-kernel workspace temporaries.  Measured across the workload
+#: catalog the observed/certified ratio stays under ~8 on both
+#: backends, so a 16× factor plus interpreter slack keeps the check
+#: loud for genuine unsoundness (leaks, order-of-magnitude model bugs)
+#: without false-positives from constant-factor object overhead.
+MEMORY_OVERHEAD_FACTOR = 16.0
+
+#: Additive slack for interpreter noise on tiny runs (dict resizes,
+#: logging, span bookkeeping) where the certified bound is a few KB.
+MEMORY_BASELINE_SLACK_BYTES = 1 << 20
+
+
+def _span_key(span: Span) -> str:
+    """The collapsed-stack path component for an attributed span."""
+    if span.name == "superstep":
+        step = span.attrs.get("superstep")
+        return f"superstep {step}" if step is not None else "superstep"
+    return span.name
+
+
+def _frame_label(code: Any, globals_: Optional[Dict[str, Any]] = None) -> str:
+    module = None
+    if globals_ is not None:
+        module = globals_.get("__name__")
+    if not module:
+        module = os.path.splitext(os.path.basename(code.co_filename))[0]
+    return f"{module}:{code.co_name}"
+
+
+def read_rss_bytes() -> Optional[int]:
+    """Resident set size of this process, or ``None`` when unreadable.
+
+    Prefers ``/proc/self/statm`` (current RSS, Linux); falls back to
+    ``resource.getrusage`` (lifetime peak RSS, portable).
+    """
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * (os.sysconf("SC_PAGE_SIZE") or 4096)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is kilobytes on Linux, bytes on macOS
+        return peak_kb if sys.platform == "darwin" else peak_kb * 1024
+    except (ImportError, OSError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# CPU profilers
+# ----------------------------------------------------------------------
+class CProfileProfiler:
+    """Deterministic profiler: one ``cProfile.Profile`` per attributed
+    span path, switched at span boundaries.
+
+    Only one C profiler can be active per thread, so the parent path's
+    profile is disabled while a child span runs and re-enabled when the
+    child closes; each profile therefore accumulates exactly the frames
+    executed while its span path was innermost.
+    """
+
+    mode = "cprofile"
+
+    def __init__(self) -> None:
+        self._profiles: Dict[Tuple[str, ...], cProfile.Profile] = {}
+        self._active: Optional[cProfile.Profile] = None
+        self._running = False
+
+    def start(self, path: Tuple[str, ...]) -> None:
+        self._running = True
+        self._switch_to(path)
+
+    def stop(self) -> None:
+        if self._active is not None:
+            self._active.disable()
+            self._active = None
+        self._running = False
+
+    def on_path_change(self, path: Tuple[str, ...]) -> None:
+        if self._running:
+            self._switch_to(path)
+
+    def _switch_to(self, path: Tuple[str, ...]) -> None:
+        if self._active is not None:
+            self._active.disable()
+        profile = self._profiles.get(path)
+        if profile is None:
+            profile = cProfile.Profile()
+            self._profiles[path] = profile
+        self._active = profile
+        profile.enable()
+
+    def collapsed(self) -> Dict[str, float]:
+        """``span;path;module:func`` → self-time in microseconds."""
+        stacks: Dict[str, float] = {}
+        for path, profile in self._profiles.items():
+            profile.create_stats()
+            stats = getattr(profile, "stats", None) or {}
+            for (filename, _lineno, funcname), row in stats.items():
+                tottime = row[2]
+                if tottime <= 0.0:
+                    continue
+                module = os.path.splitext(os.path.basename(filename))[0]
+                if filename.startswith("<"):
+                    module = filename.strip("<>")
+                frame = f"{module}:{funcname}"
+                key = ";".join((*path, frame)) if path else frame
+                stacks[key] = stacks.get(key, 0.0) + tottime * 1e6
+        return {key: round(weight) for key, weight in stacks.items() if weight >= 1}
+
+    def summary(self) -> Dict[str, Any]:
+        return {"mode": self.mode, "profiles": len(self._profiles)}
+
+
+class SamplingProfiler:
+    """Statistical profiler: a daemon thread periodically snapshots the
+    profiled thread's stack and charges one sample to the attributed
+    span path that was open at snapshot time."""
+
+    mode = "sampling"
+
+    def __init__(self, interval_s: float = _SAMPLING_INTERVAL_S) -> None:
+        self.interval_s = interval_s
+        self.samples = 0
+        self._counts: Dict[Tuple[str, ...], int] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._target_ident: Optional[int] = None
+        self._path: Tuple[str, ...] = ()
+
+    def start(self, path: Tuple[str, ...]) -> None:
+        if self._thread is not None:
+            raise ProfileError("sampling profiler already started")
+        self._path = path
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-profile-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+
+    def on_path_change(self, path: Tuple[str, ...]) -> None:
+        # plain attribute store: atomic under the GIL, read by the sampler
+        self._path = path
+
+    def _loop(self) -> None:
+        own_file = __file__
+        while not self._stop.wait(self.interval_s):
+            frames = sys._current_frames()
+            frame = frames.get(self._target_ident)
+            if frame is None:
+                continue
+            path = self._path
+            stack: List[str] = []
+            depth = 0
+            while frame is not None and depth < _MAX_STACK_DEPTH:
+                code = frame.f_code
+                if code.co_filename != own_file:
+                    stack.append(_frame_label(code, frame.f_globals))
+                frame = frame.f_back
+                depth += 1
+            if not stack:
+                continue
+            stack.reverse()
+            key = (*path, *stack)
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self.samples += 1
+
+    def collapsed(self) -> Dict[str, float]:
+        """``span;path;module:func;…`` → sample count."""
+        return {";".join(parts): count for parts, count in self._counts.items()}
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "samples": self.samples,
+            "interval_s": self.interval_s,
+        }
+
+
+# ----------------------------------------------------------------------
+# memory watermarks
+# ----------------------------------------------------------------------
+class MemoryWatermark:
+    """Per-superstep tracemalloc high-water marks plus a run peak.
+
+    The traced peak is reset at every watermark span start; at span end
+    the segment peak minus the traced size at span start is the span's
+    own allocation watermark, recorded as the ``mem_peak_bytes`` span
+    attribute.  The run-level peak — what gets checked against the
+    certified byte model — is the maximum absolute traced peak over all
+    supersteps, relative to the traced size when the first superstep
+    opened (so pre-existing graph/snapshot allocations made before
+    profiling began never count against the engine's certificate).
+    """
+
+    def __init__(self) -> None:
+        self.watermarks: List[Dict[str, Any]] = []
+        self.rss_bytes: Optional[int] = None
+        self._owns_tracing = False
+        self._engine_baseline: Optional[int] = None
+        self._span_current: Dict[int, int] = {}
+        self._run_peak_abs = 0
+        self._running = False
+
+    def start(self) -> None:
+        self._owns_tracing = not tracemalloc.is_tracing()
+        if self._owns_tracing:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        self._running = True
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        _current, peak = tracemalloc.get_traced_memory()
+        self._run_peak_abs = max(self._run_peak_abs, peak)
+        self.rss_bytes = read_rss_bytes()
+        if self._owns_tracing:
+            tracemalloc.stop()
+        self._running = False
+
+    def on_span_start(self, span: Span) -> None:
+        if not self._running or span.name not in WATERMARK_SPANS:
+            return
+        current, _peak = tracemalloc.get_traced_memory()
+        if self._engine_baseline is None:
+            self._engine_baseline = current
+        self._span_current[span.span_id] = current
+        tracemalloc.reset_peak()
+
+    def on_span_end(self, span: Span) -> None:
+        if not self._running or span.name not in WATERMARK_SPANS:
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        start_current = self._span_current.pop(span.span_id, current)
+        delta = max(0, peak - start_current)
+        span.set_attr("mem_peak_bytes", delta)
+        self._run_peak_abs = max(self._run_peak_abs, peak)
+        entry: Dict[str, Any] = {
+            "superstep": span.attrs.get("superstep"),
+            "peak_bytes": delta,
+            "current_bytes": max(0, current - start_current),
+        }
+        if "kernel" in span.attrs:
+            entry["kernel"] = span.attrs["kernel"]
+        if "backend" in span.attrs:
+            entry["backend"] = span.attrs["backend"]
+        self.watermarks.append(entry)
+
+    @property
+    def run_peak_bytes(self) -> Optional[int]:
+        """Peak traced bytes attributable to the engine run, or ``None``
+        when no watermark span ever opened."""
+        if self._engine_baseline is None:
+            return None
+        return max(0, self._run_peak_abs - self._engine_baseline)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "supersteps": len(self.watermarks),
+            "run_peak_bytes": self.run_peak_bytes,
+            "rss_bytes": self.rss_bytes,
+        }
+
+
+# ----------------------------------------------------------------------
+# the session
+# ----------------------------------------------------------------------
+class ProfileSessionBase:
+    """Shared interface of :class:`ProfileSession` and
+    :class:`NullProfileSession`."""
+
+    enabled = True
+
+    def attach(self, tracer: TracerBase) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+    def start(self) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+    def stop(self) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+
+class ProfileSession(ProfileSessionBase):
+    """One profiled run: a CPU profiler and/or a memory watermark
+    tracker, attributed to the span tree of the tracer it is attached
+    to.
+
+    Lifecycle: ``attach(tracer)`` → ``start()`` → (run) → ``stop()`` →
+    ``emit()`` / ``collapsed_text()`` / ``export_collapsed(path)``.
+    ``GraphExtractor`` and the engines drive this automatically from
+    their ``profile=`` arguments.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        cpu: Optional[str] = "sampling",
+        memory: bool = True,
+        out: Optional[str] = None,
+        interval_s: float = _SAMPLING_INTERVAL_S,
+    ) -> None:
+        if cpu == "cprofile":
+            self.cpu: Optional[Any] = CProfileProfiler()
+        elif cpu == "sampling":
+            self.cpu = SamplingProfiler(interval_s=interval_s)
+        elif cpu is None:
+            self.cpu = None
+        else:
+            raise ProfileError(
+                f"unknown CPU profile mode {cpu!r}; use 'cprofile', "
+                f"'sampling' or None"
+            )
+        self.memory: Optional[MemoryWatermark] = MemoryWatermark() if memory else None
+        self.out = out
+        self.started_at: Optional[float] = None
+        self.duration_s: Optional[float] = None
+        self._path: List[str] = []
+        self._pushed: Dict[int, bool] = {}
+        self._tracer: Optional[TracerBase] = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, tracer: TracerBase) -> None:
+        """Register with ``tracer`` so span starts/ends reach this
+        session.  The tracer must be enabled — a null tracer has no span
+        tree to attribute frames to."""
+        if not tracer.enabled:
+            raise ProfileError(
+                "cannot attach a profile session to a disabled tracer; "
+                "profiling implies tracing (pass trace=True or a spec)"
+            )
+        tracer.profiler = self
+        self._tracer = tracer
+
+    def detach(self) -> None:
+        if self._tracer is not None and getattr(self._tracer, "profiler", None) is self:
+            self._tracer.profiler = None
+
+    def start(self) -> None:
+        if self._running:
+            raise ProfileError("profile session already started")
+        self._running = True
+        self.started_at = time.perf_counter()
+        if self.memory is not None:
+            self.memory.start()
+        if self.cpu is not None:
+            self.cpu.start(tuple(self._path))
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        if self.cpu is not None:
+            self.cpu.stop()
+        if self.memory is not None:
+            self.memory.stop()
+        if self.started_at is not None:
+            self.duration_s = time.perf_counter() - self.started_at
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # tracer callbacks (hot path: one dict/tuple op per attributed span)
+    # ------------------------------------------------------------------
+    def on_span_start(self, span: Span) -> None:
+        if span.name in ATTRIBUTED_SPANS:
+            self._path.append(_span_key(span))
+            self._pushed[span.span_id] = True
+            if self.cpu is not None and self._running:
+                self.cpu.on_path_change(tuple(self._path))
+        if self.memory is not None:
+            self.memory.on_span_start(span)
+
+    def on_span_end(self, span: Span) -> None:
+        if self.memory is not None:
+            self.memory.on_span_end(span)
+        if self._pushed.pop(span.span_id, False):
+            if self._path:
+                self._path.pop()
+            if self.cpu is not None and self._running:
+                self.cpu.on_path_change(tuple(self._path))
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def run_peak_bytes(self) -> Optional[int]:
+        return self.memory.run_peak_bytes if self.memory is not None else None
+
+    @property
+    def rss_bytes(self) -> Optional[int]:
+        return self.memory.rss_bytes if self.memory is not None else None
+
+    def collapsed(self) -> Dict[str, float]:
+        """Collapsed stacks: ``frame;frame;frame`` → weight (µs for
+        cprofile, samples for sampling)."""
+        return self.cpu.collapsed() if self.cpu is not None else {}
+
+    def collapsed_text(self) -> str:
+        """The collapsed-stack (folded) text format: one
+        ``stack weight`` line per unique stack, heaviest first —
+        loadable by speedscope and ``flamegraph.pl``."""
+        stacks = self.collapsed()
+        lines = [
+            f"{stack} {weight:g}"
+            for stack, weight in sorted(
+                stacks.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export_collapsed(self, path: str) -> str:
+        """Write :meth:`collapsed_text` to ``path``; returns the path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.collapsed_text())
+        return path
+
+    def weight_unit(self) -> str:
+        if self.cpu is None:
+            return "none"
+        return "us" if self.cpu.mode == "cprofile" else "samples"
+
+    def summary(self) -> Dict[str, Any]:
+        info: Dict[str, Any] = {"duration_s": self.duration_s}
+        if self.cpu is not None:
+            info["cpu"] = self.cpu.summary()
+        if self.memory is not None:
+            info["memory"] = self.memory.summary()
+        return info
+
+    def emit(self, tracer: Optional[TracerBase] = None) -> None:
+        """Write the session's results onto ``tracer`` (default: the
+        attached one) as structured records — ``profile_stack`` rows,
+        ``memory_watermark`` rows, one ``profile_summary`` — and set the
+        RSS gauge.  Call after :meth:`stop`; the records ride along in
+        JSONL/chrome exports."""
+        tracer = tracer if tracer is not None else self._tracer
+        if tracer is None or not tracer.enabled:
+            return
+        if self.cpu is not None:
+            unit = self.weight_unit()
+            mode = self.cpu.mode
+            for stack, weight in sorted(
+                self.collapsed().items(), key=lambda item: (-item[1], item[0])
+            ):
+                tracer.record(
+                    "profile_stack", stack=stack, weight=weight, unit=unit, mode=mode
+                )
+        if self.memory is not None:
+            for entry in self.memory.watermarks:
+                tracer.record("memory_watermark", **entry)
+            if self.rss_bytes is not None:
+                tracer.registry.gauge(
+                    "process_rss_bytes", "resident set size at profile stop"
+                ).set(float(self.rss_bytes))
+        tracer.record("profile_summary", **self.summary())
+        if self.out:
+            self.export_collapsed(self.out)
+
+
+class NullProfileSession(ProfileSessionBase):
+    """Profiling off: every method returns immediately (the
+    :data:`NULL_TRACER` of profiling)."""
+
+    enabled = False
+    cpu = None
+    memory = None
+    out = None
+    run_peak_bytes: Optional[int] = None
+    rss_bytes: Optional[int] = None
+
+    def attach(self, tracer: TracerBase) -> None:
+        return None
+
+    def detach(self) -> None:
+        return None
+
+    def start(self) -> None:
+        return None
+
+    def stop(self) -> None:
+        return None
+
+    def on_span_start(self, span: Span) -> None:
+        return None
+
+    def on_span_end(self, span: Span) -> None:
+        return None
+
+    def collapsed(self) -> Dict[str, float]:
+        return {}
+
+    def collapsed_text(self) -> str:
+        return ""
+
+    def export_collapsed(self, path: str) -> str:
+        raise ProfileError("cannot export from a disabled (null) profile session")
+
+    def summary(self) -> Dict[str, Any]:
+        return {}
+
+    def emit(self, tracer: Optional[TracerBase] = None) -> None:
+        return None
+
+
+#: The shared profiling-off session.
+NULL_PROFILE = NullProfileSession()
+
+ProfileSpec = Union[None, bool, str, ProfileSessionBase]
+
+_CPU_TOKENS = {"cprofile": "cprofile", "sampling": "sampling", "cpu": "sampling"}
+_MEMORY_TOKENS = {"memory", "mem"}
+
+
+def make_profiler(profile: ProfileSpec) -> ProfileSessionBase:
+    """Resolve a user-facing ``profile=`` argument into a session (see
+    the module docstring for the accepted specs)."""
+    if profile is None or profile is False:
+        return NULL_PROFILE
+    if isinstance(profile, ProfileSessionBase):
+        return profile
+    if profile is True:
+        return ProfileSession(cpu="sampling", memory=True)
+    if isinstance(profile, str):
+        modes, _, out = profile.partition(":")
+        cpu: Optional[str] = None
+        memory = False
+        tokens = [
+            token.strip()
+            for token in modes.replace(",", "+").split("+")
+            if token.strip()
+        ]
+        if not tokens:
+            raise ProfileError(f"profile spec {profile!r} names no modes")
+        for token in tokens:
+            if token in _CPU_TOKENS:
+                if cpu is not None and _CPU_TOKENS[token] != cpu:
+                    raise ProfileError(
+                        f"profile spec {profile!r} names two CPU modes"
+                    )
+                cpu = _CPU_TOKENS[token]
+            elif token in _MEMORY_TOKENS:
+                memory = True
+            else:
+                raise ProfileError(
+                    f"unknown profile mode {token!r} in spec {profile!r}; "
+                    f"use 'cprofile', 'sampling' and/or 'memory'"
+                )
+        return ProfileSession(cpu=cpu, memory=memory, out=out or None)
+    raise ProfileError(
+        f"unsupported profile spec {profile!r}; use None/True, a mode "
+        f"string or a ProfileSession instance"
+    )
+
+
+def owns_profiler(profile: ProfileSpec) -> bool:
+    """Whether the component resolving ``profile`` owns the session's
+    lifecycle (start/stop/emit).  A session *instance* stays owned by
+    whoever created it, mirroring :func:`repro.obs.spans.owns_tracer`."""
+    return not isinstance(profile, ProfileSessionBase)

@@ -25,6 +25,10 @@ class TraceData:
         self.plan_typing: List[Dict[str, Any]] = []
         self.extraction: Optional[Dict[str, Any]] = None
         self.span_names: List[str] = []
+        self.profile_stacks: List[Dict[str, Any]] = []
+        self.memory_watermarks: List[Dict[str, Any]] = []
+        self.memory_containment: Optional[Dict[str, Any]] = None
+        self.profile_summary: Optional[Dict[str, Any]] = None
 
     def sorted_supersteps(self) -> List[Dict[str, Any]]:
         return sorted(self.supersteps, key=lambda attrs: attrs.get("superstep", 0))
@@ -58,6 +62,26 @@ def _ingest(data: TraceData, kind: str, name: str, attrs: Dict[str, Any]) -> Non
         data.plan_drift = attrs
     elif kind == "plan_typing":
         data.plan_typing.append(attrs)
+    elif kind == "profile_stack":
+        data.profile_stacks.append(attrs)
+    elif kind == "memory_watermark":
+        data.memory_watermarks.append(attrs)
+    elif kind == "memory_containment" and data.memory_containment is None:
+        data.memory_containment = attrs
+    elif kind == "profile_summary" and data.profile_summary is None:
+        data.profile_summary = attrs
+
+
+#: structured-record kinds the report ingests (beyond spans)
+_RECORD_KINDS = (
+    "drift",
+    "plan_drift",
+    "plan_typing",
+    "profile_stack",
+    "memory_watermark",
+    "memory_containment",
+    "profile_summary",
+)
 
 
 def _load_jsonl(lines: List[str], path: str) -> TraceData:
@@ -75,7 +99,7 @@ def _load_jsonl(lines: List[str], path: str) -> TraceData:
         kind = entry.get("kind")
         if kind == "span":
             _ingest(data, "span", entry.get("name", ""), entry.get("attrs", {}))
-        elif kind in ("drift", "plan_drift", "plan_typing"):
+        elif kind in _RECORD_KINDS:
             _ingest(data, kind, kind, entry)
     return data
 
@@ -100,19 +124,50 @@ def _load_chrome(document: Any, path: str) -> TraceData:
         phase = event.get("ph")
         if phase == "X":
             _ingest(data, "span", name, args)
-        elif phase == "i" and name in ("drift", "plan_drift", "plan_typing"):
+        elif phase == "i" and name in _RECORD_KINDS:
             _ingest(data, name, name, args)
     return data
 
 
+def _sniff_non_trace(first_line: str) -> Optional[str]:
+    """Recognise common *non*-trace export formats so ``load_trace`` can
+    name them in its error instead of reporting a JSON parse failure.
+
+    Returns a human-readable file-kind label, or ``None`` when the file
+    does not match a known non-trace format.
+    """
+    if first_line.startswith("#") and (
+        "HELP" in first_line or "TYPE" in first_line
+    ):
+        return "a Prometheus text exposition (.prom metrics export)"
+    head = first_line.split(" ")[0]
+    if ";" in head and not first_line.startswith(("{", "[")):
+        parts = first_line.rsplit(" ", 1)
+        if len(parts) == 2 and parts[1].isdigit():
+            return "a collapsed-stack profile (.folded flamegraph export)"
+    return None
+
+
 def load_trace(path: str) -> TraceData:
-    """Load a JSONL or chrome trace file (format sniffed from content)."""
+    """Load a JSONL or chrome trace file (format sniffed from content).
+
+    Raises :class:`~repro.errors.ObservabilityError` naming the detected
+    file kind when handed a non-trace export (for example a Prometheus
+    ``.prom`` metrics file or a collapsed-stack ``.folded`` profile).
+    """
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
     stripped = text.lstrip()
     if not stripped:
         raise ObservabilityError(f"{path}: empty trace file")
     first_line = stripped.splitlines()[0].strip()
+    kind = _sniff_non_trace(first_line)
+    if kind is not None:
+        raise ObservabilityError(
+            f"{path}: this is {kind}, not a trace; "
+            "report needs a JSONL or chrome trace "
+            "(extract --trace-out trace.jsonl)"
+        )
     try:
         first = json.loads(first_line)
     except json.JSONDecodeError:
@@ -136,6 +191,17 @@ def _fmt(value: float) -> str:
     return str(value)
 
 
+def _fmt_bytes(value: int) -> str:
+    size = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(size) < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return f"{int(size)}{unit}"
+            return f"{size:.1f}{unit}"
+        size /= 1024.0
+    return f"{int(value)}B"
+
+
 def superstep_table(data: TraceData) -> str:
     """The per-superstep report table (makespan, imbalance, messages,
     drift — plus the per-level kernel wall time for vectorized-backend
@@ -144,6 +210,7 @@ def superstep_table(data: TraceData) -> str:
 
     drift = data.drift_by_superstep()
     vectorized = any("kernel_time_s" in attrs for attrs in data.supersteps)
+    profiled = any("mem_peak_bytes" in attrs for attrs in data.supersteps)
     rows: List[Row] = []
     for attrs in data.sorted_supersteps():
         step = int(attrs.get("superstep", 0))
@@ -163,6 +230,11 @@ def superstep_table(data: TraceData) -> str:
             values["kernel_s"] = (
                 f"{kernel_s:.6f}" if kernel_s is not None else "-"
             )
+        if profiled:
+            mem_peak = attrs.get("mem_peak_bytes")
+            values["mem_peak"] = (
+                _fmt_bytes(int(mem_peak)) if mem_peak is not None else "-"
+            )
         step_drift = drift.get(step)
         if step_drift is not None:
             values["est_paths"] = _fmt(step_drift["estimated"])
@@ -181,6 +253,8 @@ def superstep_table(data: TraceData) -> str:
     columns = ["makespan", "imbalance", "messages"]
     if vectorized:
         columns.append("kernel_s")
+    if profiled:
+        columns.append("mem_peak")
     columns += ["est_paths", "obs_paths", "drift"]
     title = "per-superstep run report"
     if data.extraction is not None:
@@ -258,6 +332,125 @@ def plan_typing_table(data: TraceData) -> str:
     )
 
 
+def profile_table(data: TraceData, top: int = 10) -> str:
+    """The ``top`` hottest attributed stacks from the run's profiler
+    (kind ``profile_stack``), heaviest first."""
+    from repro.workloads.harness import Row, format_table
+
+    stacks = sorted(
+        data.profile_stacks,
+        key=lambda a: float(a.get("weight", 0)),
+        reverse=True,
+    )[:top]
+    unit = stacks[0].get("unit", "") if stacks else ""
+    rows: List[Row] = []
+    weight_col = f"weight_{unit}" if unit else "weight"
+    for attrs in stacks:
+        stack = attrs.get("stack", "")
+        frames = stack.split(";")
+        rows.append(
+            Row(
+                frames[-1],
+                {
+                    "span": ";".join(frames[:-1]) or "-",
+                    weight_col: _fmt(float(attrs.get("weight", 0))),
+                },
+            )
+        )
+    mode = stacks[0].get("mode", "") if stacks else ""
+    title = "hottest profiled stacks"
+    if mode:
+        title += f" [{mode}]"
+    return format_table(
+        rows,
+        [weight_col, "span"],
+        title=title,
+        label_header="frame",
+    )
+
+
+def memory_table(data: TraceData) -> str:
+    """Per-superstep tracemalloc watermarks (kind ``memory_watermark``)
+    plus the observed-vs-certified containment line when the run joined
+    its peaks against the certified byte model."""
+    from repro.workloads.harness import Row, format_table
+
+    rows: List[Row] = []
+    for attrs in sorted(
+        data.memory_watermarks, key=lambda a: int(a.get("superstep", 0))
+    ):
+        values: Dict[str, Any] = {
+            "peak": _fmt_bytes(int(attrs.get("peak_bytes", 0))),
+            "current": _fmt_bytes(int(attrs.get("current_bytes", 0))),
+        }
+        if attrs.get("kernel") is not None:
+            values["kernel"] = attrs["kernel"]
+        rows.append(Row(f"superstep {attrs.get('superstep', '?')}", values))
+    columns = ["peak", "current"]
+    if any("kernel" in r.values for r in rows):
+        columns.append("kernel")
+    table = format_table(
+        rows,
+        columns,
+        title="memory watermarks (tracemalloc)",
+        label_header="phase",
+    )
+    containment = data.memory_containment
+    if containment is not None:
+        verdict = (
+            "contained" if containment.get("contained") else "VIOLATED"
+        )
+        table += (
+            "\nobserved vs certified [{backend}]: peak {obs} <= allowed "
+            "{allowed} (certified hi {hi}) — {verdict}".format(
+                backend=containment.get("backend", "?"),
+                obs=_fmt_bytes(
+                    int(containment.get("observed_peak_bytes", 0))
+                ),
+                allowed=_fmt_bytes(
+                    int(containment.get("allowed_peak_bytes", 0))
+                ),
+                hi=_fmt_bytes(
+                    int(containment.get("certified_hi_bytes", 0))
+                ),
+                verdict=verdict,
+            )
+        )
+    return table
+
+
+def report_data(path: str) -> Dict[str, Any]:
+    """The machine-readable counterpart of :func:`render_report`, used
+    by ``repro.cli report --format json``."""
+    data = load_trace(path)
+    drift = data.drift_by_superstep()
+    supersteps = []
+    for attrs in data.sorted_supersteps():
+        step = int(attrs.get("superstep", 0))
+        row: Dict[str, Any] = dict(attrs)
+        step_drift = drift.get(step)
+        if step_drift is not None:
+            row["drift"] = step_drift["drift"]
+        supersteps.append(row)
+    document: Dict[str, Any] = {
+        "schema": "repro.obs.report/v1",
+        "extraction": data.extraction,
+        "supersteps": supersteps,
+        "plan_drift": data.plan_drift,
+        "plan_typing": data.plan_typing,
+        "bounds": [a for a in data.drift if "bound" in a],
+    }
+    if data.profile_stacks:
+        document["profile_stacks"] = data.profile_stacks
+    if data.profile_summary is not None:
+        document["profile_summary"] = data.profile_summary
+    if data.memory_watermarks:
+        document["memory_watermarks"] = data.memory_watermarks
+    if data.memory_containment is not None:
+        document["memory_containment"] = data.memory_containment
+    return document
+
+
 def render_report(path: str) -> str:
     """Everything ``repro.cli report`` prints for one trace file."""
     data = load_trace(path)
@@ -266,6 +459,10 @@ def render_report(path: str) -> str:
         parts.append(bounds_table(data))
     if data.plan_typing:
         parts.append(plan_typing_table(data))
+    if data.profile_stacks:
+        parts.append(profile_table(data))
+    if data.memory_watermarks or data.memory_containment is not None:
+        parts.append(memory_table(data))
     if data.plan_drift is not None:
         plan = data.plan_drift
         parts.append(

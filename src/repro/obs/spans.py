@@ -190,6 +190,10 @@ class Tracer(TracerBase):
         self.spans: List[Span] = []
         #: structured non-span records (drift rows etc.), exported verbatim
         self.records: List[Dict[str, Any]] = []
+        #: attached :class:`repro.obs.profile.ProfileSession` (or ``None``);
+        #: notified on every span start/end so frames and memory watermarks
+        #: can be attributed to the span tree
+        self.profiler: Optional[Any] = None
         self.start_time = time.perf_counter()
         self._stack: List[Span] = []
         self._ids = itertools.count(1)
@@ -213,6 +217,8 @@ class Tracer(TracerBase):
         )
         self.spans.append(span)
         self._stack.append(span)
+        if self.profiler is not None:
+            self.profiler.on_span_start(span)
         return span
 
     def end_span(self, span: Optional[Span]) -> None:
@@ -227,6 +233,8 @@ class Tracer(TracerBase):
             top = self._stack.pop()
             top.end_wall = time.perf_counter()
             top.end_cpu = time.process_time()
+            if self.profiler is not None:
+                self.profiler.on_span_end(top)
             if top is span:
                 break
 
@@ -325,6 +333,7 @@ class NullTracer(TracerBase):
         self.sink: Optional[Tuple[str, str]] = None
         self.spans: List[Span] = []
         self.records: List[Dict[str, Any]] = []
+        self.profiler: Optional[Any] = None
 
     def current(self) -> Optional[Span]:
         return None
@@ -383,6 +392,8 @@ _EXT_FORMATS = {
     ".json": "chrome",
     ".prom": "prometheus",
     ".txt": "prometheus",
+    ".folded": "collapsed",
+    ".collapsed": "collapsed",
 }
 
 TraceSpec = Union[None, bool, str, TracerBase]

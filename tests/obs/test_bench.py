@@ -1,0 +1,190 @@
+"""Unit tests for repro.obs.bench (benchmark ledgers and the perf
+regression gate), including the CLI's ``perf`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import BenchmarkError
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchRecord,
+    append_run,
+    compare_directory,
+    compare_ledger,
+    env_compatible,
+    env_fingerprint,
+    ledger_path,
+    load_ledger,
+)
+from repro.workloads.harness import Row
+
+
+def make_record(name="speed", wall=0.1, env=None, **kwargs):
+    return BenchRecord(
+        name=name,
+        timings={"run/wall_s": wall},
+        env=env if env is not None else env_fingerprint(),
+        **kwargs,
+    )
+
+
+class TestEnvFingerprint:
+    def test_has_compat_keys(self):
+        env = env_fingerprint()
+        assert {"python", "platform", "machine", "cpus"} <= set(env)
+
+    def test_compatibility_ignores_cpu_count(self):
+        a = env_fingerprint()
+        b = dict(a, cpus=999)
+        assert env_compatible(a, b)
+
+    def test_incompatible_on_platform(self):
+        a = env_fingerprint()
+        b = dict(a, platform="Plan9")
+        assert not env_compatible(a, b)
+
+
+class TestFromRows:
+    def test_splits_timings_from_metrics(self):
+        record = BenchRecord.from_rows(
+            "bench",
+            [
+                (
+                    "length 3",
+                    {"wall_s": 0.5, "speedup": 4.0, "note": "text", "ok": True},
+                )
+            ],
+        )
+        assert record.timings == {"length 3/wall_s": 0.5}
+        assert record.metrics == {"length 3/speedup": 4.0}
+
+    def test_accepts_harness_rows_via_conftest_shape(self):
+        rows = [Row("a", {"wall_s": 1.0}), Row("b", {"wall_s": 2.0})]
+        record = BenchRecord.from_rows(
+            "bench", [(r.label, r.values) for r in rows], backend="bsp"
+        )
+        assert set(record.timings) == {"a/wall_s", "b/wall_s"}
+        assert record.backend == "bsp"
+
+
+class TestLedgerIO:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = append_run(str(tmp_path), make_record(wall=0.2, workload="w1"))
+        assert path == ledger_path(str(tmp_path), "speed")
+        name, runs = load_ledger(path)
+        assert name == "speed"
+        assert len(runs) == 1
+        assert runs[0].timings == {"run/wall_s": 0.2}
+        assert runs[0].workload == "w1"
+
+    def test_history_is_trimmed(self, tmp_path):
+        for i in range(7):
+            append_run(str(tmp_path), make_record(wall=float(i)), max_history=5)
+        _, runs = load_ledger(ledger_path(str(tmp_path), "speed"))
+        assert [r.timings["run/wall_s"] for r in runs] == [2.0, 3.0, 4.0, 5.0, 6.0]
+
+    def test_ledger_is_schema_versioned(self, tmp_path):
+        path = append_run(str(tmp_path), make_record())
+        doc = json.loads(open(path).read())
+        assert doc["schema"] == BENCH_SCHEMA
+
+    def test_bad_schema_raises(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": "other/v9", "runs": []}))
+        with pytest.raises(BenchmarkError, match="schema"):
+            load_ledger(str(path))
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{nope")
+        with pytest.raises(BenchmarkError, match="not valid JSON"):
+            load_ledger(str(path))
+
+
+class TestCompare:
+    def test_no_baseline_reports_new(self):
+        (comparison,) = compare_ledger([make_record(wall=0.1)])
+        assert comparison.status == "new"
+        assert not comparison.regressed
+
+    def test_within_threshold_is_ok(self):
+        runs = [make_record(wall=0.10), make_record(wall=0.11)]
+        (comparison,) = compare_ledger(runs, threshold=0.25)
+        assert comparison.status == "ok"
+        assert comparison.baseline_s == 0.10
+
+    def test_regression_beyond_threshold(self):
+        runs = [make_record(wall=0.10), make_record(wall=0.20)]
+        (comparison,) = compare_ledger(runs, threshold=0.25)
+        assert comparison.status == "REGRESSED"
+        assert comparison.ratio == pytest.approx(2.0)
+
+    def test_baseline_is_fastest_compatible_run(self):
+        runs = [
+            make_record(wall=0.30),
+            make_record(wall=0.10),
+            make_record(wall=0.05, env=dict(env_fingerprint(), platform="Plan9")),
+            make_record(wall=0.12),
+        ]
+        (comparison,) = compare_ledger(runs, threshold=0.25)
+        # the foreign-platform 0.05 run is ignored; best baseline is 0.10
+        assert comparison.baseline_s == 0.10
+        assert comparison.status == "ok"
+
+    def test_metrics_never_gate(self):
+        record = make_record(wall=0.1)
+        record.metrics = {"run/speedup": 1.0}
+        slow = make_record(wall=0.1)
+        slow.metrics = {"run/speedup": 100.0}
+        comparisons = compare_ledger([record, slow], threshold=0.0)
+        assert [c.metric for c in comparisons] == ["run/wall_s"]
+
+    def test_compare_directory_requires_ledgers(self, tmp_path):
+        with pytest.raises(BenchmarkError, match="no BENCH_"):
+            compare_directory(str(tmp_path))
+        with pytest.raises(BenchmarkError, match="not found"):
+            compare_directory(str(tmp_path / "missing"))
+
+
+class TestPerfCli:
+    """The acceptance criterion: ``python -m repro.cli perf`` detects an
+    injected synthetic regression."""
+
+    def test_detects_injected_regression(self, tmp_path, capsys):
+        append_run(str(tmp_path), make_record(wall=0.10))
+        append_run(str(tmp_path), make_record(wall=0.50))  # 5x slower
+        code = main(["perf", "--dir", str(tmp_path), "--check"])
+        out = capsys.readouterr()
+        assert code == 1
+        assert "REGRESSED" in out.out
+        assert "regressed beyond" in out.err
+
+    def test_without_check_reports_but_passes(self, tmp_path, capsys):
+        append_run(str(tmp_path), make_record(wall=0.10))
+        append_run(str(tmp_path), make_record(wall=0.50))
+        code = main(["perf", "--dir", str(tmp_path)])
+        assert code == 0
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_clean_history_passes_check(self, tmp_path, capsys):
+        append_run(str(tmp_path), make_record(wall=0.10))
+        append_run(str(tmp_path), make_record(wall=0.10))
+        code = main(["perf", "--dir", str(tmp_path), "--check"])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_threshold_flag_loosens_the_gate(self, tmp_path, capsys):
+        append_run(str(tmp_path), make_record(wall=0.10))
+        append_run(str(tmp_path), make_record(wall=0.50))
+        code = main(
+            ["perf", "--dir", str(tmp_path), "--check", "--threshold", "10.0"]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_missing_directory_is_internal_error(self, tmp_path, capsys):
+        code = main(["perf", "--dir", str(tmp_path / "void"), "--check"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -175,3 +175,94 @@ class TestDispatch:
         tracer = Tracer(registry=InstrumentRegistry())
         with pytest.raises(ObservabilityError):
             tracer.export()
+
+
+class TestPrometheusRoundTrip:
+    """Text-exposition details: the +Inf bucket, HELP and label-value
+    escaping — checked by parsing the rendered output back."""
+
+    def test_histogram_inf_bucket_round_trips(self):
+        registry = InstrumentRegistry()
+        histogram = registry.histogram("lat", "latency", buckets=[1, 10])
+        for value in (0.5, 5, 500):
+            histogram.observe(value)
+        text = prometheus_text(registry)
+        buckets = {}
+        for line in text.splitlines():
+            if line.startswith("repro_lat_bucket"):
+                label, _, count = line.partition('"} ')
+                le = label.split('le="')[1]
+                buckets[le] = int(count)
+        assert buckets == {"1.0": 1, "10.0": 2, "+Inf": 3}
+        assert "repro_lat_count 3" in text
+        # cumulative: every bucket count <= the +Inf (total) count
+        assert all(c <= buckets["+Inf"] for c in buckets.values())
+
+    def test_help_escaping(self):
+        registry = InstrumentRegistry()
+        registry.counter("c", 'multi\nline \\ "help"').inc()
+        text = prometheus_text(registry)
+        help_line = next(
+            line for line in text.splitlines() if line.startswith("# HELP")
+        )
+        assert "\n" not in help_line
+        assert "multi\\nline" in help_line
+        assert "\\\\" in help_line
+
+    def test_label_value_escaping_keeps_one_line_per_sample(self):
+        registry = InstrumentRegistry()
+        registry.histogram("h", "x", buckets=[1]).observe(0)
+        text = prometheus_text(registry)
+        # every sample is exactly one line; labels stay quoted/balanced
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert line.count('"') % 2 == 0
+
+
+class TestCollapsedRenderer:
+    def _profiled_tracer(self):
+        tracer = Tracer(registry=InstrumentRegistry())
+        span = tracer.start_span("extraction", {})
+        tracer.end_span(span)
+        tracer.record(
+            "profile_stack", stack="extraction;mod:f", weight=40,
+            unit="us", mode="cprofile",
+        )
+        tracer.record(
+            "profile_stack", stack="extraction;mod:g", weight=2,
+            unit="us", mode="cprofile",
+        )
+        return tracer
+
+    def test_folded_lines(self):
+        from repro.obs.exporters import collapsed_text
+
+        text = collapsed_text(self._profiled_tracer())
+        assert text.splitlines() == [
+            "extraction;mod:f 40",
+            "extraction;mod:g 2",
+        ]
+
+    def test_unprofiled_trace_raises_with_hint(self, tracer):
+        from repro.obs.exporters import collapsed_text
+
+        with pytest.raises(ObservabilityError, match="profile_stack"):
+            collapsed_text(tracer)
+
+    def test_export_infers_folded_extension(self, tmp_path):
+        path = tmp_path / "stacks.folded"
+        export_trace(self._profiled_tracer(), str(path))
+        assert path.read_text().startswith("extraction;mod:f 40")
+
+    def test_chrome_export_carries_profile_records(self, tmp_path):
+        """Chrome traces ingest profile records as instant events."""
+        from repro.obs.report import load_trace
+
+        path = tmp_path / "trace.json"
+        export_trace(self._profiled_tracer(), str(path), "chrome")
+        document = json.loads(path.read_text())
+        names = [e.get("name") for e in document["traceEvents"]]
+        assert names.count("profile_stack") == 2
+        data = load_trace(str(path))
+        assert [s["weight"] for s in data.profile_stacks] == [40, 2]

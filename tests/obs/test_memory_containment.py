@@ -1,0 +1,44 @@
+"""Observed-vs-certified memory containment across the workload catalog.
+
+The acceptance bar for the profiling layer: every named paper workload,
+on both backends, runs with memory watermarks enabled and its observed
+tracemalloc peak stays inside the certified byte-model allowance
+(``certified hi × MEMORY_OVERHEAD_FACTOR + slack``) — zero
+``MemoryBoundsViolationError`` escalations.  A violation here means
+either the certified model of :mod:`repro.lint.bounds` lost soundness
+or the engines started allocating far outside their byte budget.
+"""
+
+import pytest
+
+from repro.core.extractor import GraphExtractor
+from repro.workloads.harness import reference_graph
+from repro.workloads.patterns import WORKLOADS
+
+SCALE = 0.2
+
+_GRAPHS = {}
+
+
+def _graph(dataset):
+    if dataset not in _GRAPHS:
+        _GRAPHS[dataset] = reference_graph(dataset, SCALE)
+    return _GRAPHS[dataset]
+
+
+@pytest.mark.parametrize("backend", ["bsp", "vectorized"])
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_catalog_contained(name, backend):
+    workload = WORKLOADS[name]
+    extractor = GraphExtractor(
+        _graph(workload.dataset), backend=backend, profile="memory"
+    )
+    result = extractor.extract(workload.pattern)
+    assert result.graph.num_edges() >= 0
+    containment = extractor.last_memory_containment
+    assert containment is not None, (name, backend)
+    assert containment["contained"] is True, (name, backend, containment)
+    assert containment["observed_peak_bytes"] >= 0
+    # the record names the backend that actually ran (vectorized may
+    # have fallen back for ineligible patterns)
+    assert containment["backend"] == extractor.last_backend

@@ -1,0 +1,318 @@
+"""Unit tests for repro.obs.profile (span-attributed profiling,
+memory watermarks, and the observed-vs-certified memory join)."""
+
+import json
+
+import pytest
+
+from repro.core.extractor import GraphExtractor
+from repro.datasets.dblp import generate_dblp
+from repro.errors import MemoryBoundsViolationError, ProfileError
+from repro.graph.pattern import LinePattern
+from repro.obs.instruments import InstrumentRegistry
+from repro.obs.profile import (
+    MEMORY_OVERHEAD_FACTOR,
+    NULL_PROFILE,
+    MemoryWatermark,
+    ProfileSession,
+    make_profiler,
+    owns_profiler,
+)
+from repro.obs.spans import NULL_TRACER, Tracer
+
+
+@pytest.fixture
+def graph():
+    return generate_dblp(n_authors=30, n_papers=40, n_venues=4, seed=3)
+
+
+@pytest.fixture
+def pattern():
+    return LinePattern.parse("Author -[authorBy]-> Paper <-[authorBy]- Author")
+
+
+class TestMakeProfiler:
+    def test_none_and_false_return_the_shared_null_session(self):
+        assert make_profiler(None) is NULL_PROFILE
+        assert make_profiler(False) is NULL_PROFILE
+        assert not NULL_PROFILE.enabled
+
+    def test_true_means_sampling_plus_memory(self):
+        session = make_profiler(True)
+        assert session.enabled
+        assert session.cpu is not None and session.cpu.mode == "sampling"
+        assert session.memory is not None
+
+    @pytest.mark.parametrize(
+        "spec,cpu_mode,has_memory",
+        [
+            ("cprofile", "cprofile", False),
+            ("sampling", "sampling", False),
+            ("cpu", "sampling", False),
+            ("memory", None, True),
+            ("mem", None, True),
+            ("cprofile+memory", "cprofile", True),
+            ("sampling,mem", "sampling", True),
+        ],
+    )
+    def test_mode_strings(self, spec, cpu_mode, has_memory):
+        session = make_profiler(spec)
+        if cpu_mode is None:
+            assert session.cpu is None
+        else:
+            assert session.cpu.mode == cpu_mode
+        assert (session.memory is not None) == has_memory
+
+    def test_out_path_suffix(self):
+        session = make_profiler("cprofile:/tmp/stacks.folded")
+        assert session.out == "/tmp/stacks.folded"
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ProfileError, match="unknown profile mode"):
+            make_profiler("perf")
+
+    def test_two_cpu_modes_raise(self):
+        with pytest.raises(ProfileError, match="two CPU modes"):
+            make_profiler("cprofile+sampling")
+
+    def test_instance_passes_through_and_stays_caller_owned(self):
+        session = ProfileSession(cpu=None, memory=True)
+        assert make_profiler(session) is session
+        assert not owns_profiler(session)
+        assert owns_profiler("cprofile")
+        assert owns_profiler(True)
+
+
+class TestAttachment:
+    def test_attach_to_disabled_tracer_raises(self):
+        session = ProfileSession(cpu=None, memory=True)
+        with pytest.raises(ProfileError, match="profiling implies tracing"):
+            session.attach(NULL_TRACER)
+
+    def test_attach_registers_and_detach_unregisters(self):
+        tracer = Tracer(registry=InstrumentRegistry())
+        session = ProfileSession(cpu=None, memory=True)
+        session.attach(tracer)
+        assert tracer.profiler is session
+        session.detach()
+        assert tracer.profiler is None
+
+
+class TestCProfileAttribution:
+    def _traced_run(self):
+        tracer = Tracer(registry=InstrumentRegistry())
+        session = ProfileSession(cpu="cprofile", memory=False)
+        session.attach(tracer)
+        session.start()
+        root = tracer.start_span("extraction", {})
+        run = tracer.start_span("engine-run", {})
+        for step in range(2):
+            span = tracer.start_span("superstep", {"superstep": step})
+            sum(i * i for i in range(40_000))  # visible self-time
+            tracer.end_span(span)
+        tracer.end_span(run)
+        tracer.end_span(root)
+        session.stop()
+        return session
+
+    def test_frames_attributed_to_superstep_paths(self):
+        session = self._traced_run()
+        stacks = session.collapsed()
+        assert stacks
+        step_keys = [
+            key for key in stacks if key.startswith("extraction;engine-run;superstep ")
+        ]
+        assert step_keys, sorted(stacks)
+        # the genexpr self-time lands under the superstep that ran it
+        assert any("genexpr" in key for key in step_keys)
+
+    def test_collapsed_text_is_folded_format_heaviest_first(self):
+        session = self._traced_run()
+        text = session.collapsed_text()
+        lines = text.strip().splitlines()
+        weights = []
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack and ";" not in weight
+            weights.append(float(weight))
+        assert weights == sorted(weights, reverse=True)
+        assert text.endswith("\n")
+
+    def test_export_collapsed_writes_the_file(self, tmp_path):
+        session = self._traced_run()
+        path = tmp_path / "stacks.folded"
+        assert session.export_collapsed(str(path)) == str(path)
+        assert path.read_text() == session.collapsed_text()
+
+
+class TestMemoryWatermark:
+    def test_superstep_watermarks_and_span_attr(self):
+        tracer = Tracer(registry=InstrumentRegistry())
+        session = ProfileSession(cpu=None, memory=True)
+        session.attach(tracer)
+        session.start()
+        root = tracer.start_span("extraction", {})
+        span = tracer.start_span("superstep", {"superstep": 0})
+        blob = [bytes(1000) for _ in range(200)]  # ~200 KB held
+        tracer.end_span(span)
+        tracer.end_span(root)
+        session.stop()
+        del blob
+        assert span.attrs["mem_peak_bytes"] > 100_000
+        (entry,) = session.memory.watermarks
+        assert entry["superstep"] == 0
+        assert entry["peak_bytes"] == span.attrs["mem_peak_bytes"]
+        assert session.run_peak_bytes > 100_000
+        assert session.rss_bytes is None or session.rss_bytes > 0
+
+    def test_run_peak_none_without_watermark_spans(self):
+        watermark = MemoryWatermark()
+        watermark.start()
+        watermark.stop()
+        assert watermark.run_peak_bytes is None
+
+
+class TestEmit:
+    def test_records_land_on_the_tracer(self):
+        tracer = Tracer(registry=InstrumentRegistry())
+        session = ProfileSession(cpu="cprofile", memory=True)
+        session.attach(tracer)
+        session.start()
+        root = tracer.start_span("extraction", {})
+        span = tracer.start_span("superstep", {"superstep": 0})
+        sum(i * i for i in range(40_000))
+        tracer.end_span(span)
+        tracer.end_span(root)
+        session.stop()
+        session.emit()
+        kinds = [record["kind"] for record in tracer.records]
+        assert "profile_stack" in kinds
+        assert "memory_watermark" in kinds
+        assert kinds[-1] == "profile_summary"
+        stack_records = [
+            r for r in tracer.records if r["kind"] == "profile_stack"
+        ]
+        assert all(r["unit"] == "us" for r in stack_records)
+
+    def test_emit_writes_out_path(self, tmp_path):
+        out = tmp_path / "run.collapsed"
+        tracer = Tracer(registry=InstrumentRegistry())
+        session = ProfileSession(cpu="cprofile", memory=False, out=str(out))
+        session.attach(tracer)
+        session.start()
+        root = tracer.start_span("extraction", {})
+        sum(i * i for i in range(40_000))
+        tracer.end_span(root)
+        session.stop()
+        session.emit()
+        assert out.read_text() == session.collapsed_text()
+
+
+class TestExtractorIntegration:
+    def test_profile_disabled_is_free(self, graph, pattern):
+        extractor = GraphExtractor(graph)
+        extractor.extract(pattern)
+        assert extractor.last_profile is None
+        assert extractor.last_memory_containment is None
+
+    def test_profile_enabled_produces_everything(self, graph, pattern):
+        extractor = GraphExtractor(graph, profile="cprofile+memory")
+        result = extractor.extract(pattern)
+        assert result.graph.num_edges() > 0
+        session = extractor.last_profile
+        assert session is not None
+        assert session.collapsed()
+        assert session.memory.watermarks
+        # profiling implies tracing: the trace is retained and carries
+        # the profile records plus per-superstep mem_peak_bytes attrs
+        tracer = extractor.last_trace
+        assert tracer is not None
+        kinds = {record["kind"] for record in tracer.records}
+        assert {"profile_stack", "memory_watermark", "memory_containment"} <= kinds
+        steps = [s for s in tracer.spans if s.name == "superstep"]
+        assert steps and all("mem_peak_bytes" in s.attrs for s in steps)
+
+    def test_memory_containment_record_is_contained(self, graph, pattern):
+        extractor = GraphExtractor(graph, profile="memory")
+        extractor.extract(pattern)
+        containment = extractor.last_memory_containment
+        assert containment is not None
+        assert containment["contained"] is True
+        assert containment["backend"] == "bsp"
+        assert 0 < containment["observed_peak_bytes"] <= containment[
+            "allowed_peak_bytes"
+        ]
+        assert containment["allowed_peak_bytes"] >= (
+            containment["certified_hi_bytes"] * MEMORY_OVERHEAD_FACTOR
+        )
+
+    def test_violation_raises_loudly(self, graph, pattern, monkeypatch):
+        # shrink the allowance to force observed > allowed
+        monkeypatch.setattr(
+            "repro.obs.profile.MEMORY_OVERHEAD_FACTOR", 0.0
+        )
+        monkeypatch.setattr(
+            "repro.obs.profile.MEMORY_BASELINE_SLACK_BYTES", 0
+        )
+        extractor = GraphExtractor(graph, profile="memory")
+        with pytest.raises(MemoryBoundsViolationError, match="certified"):
+            extractor.extract(pattern)
+        containment = extractor.last_memory_containment
+        assert containment is not None and containment["contained"] is False
+
+    def test_per_call_profile_overrides_constructor(self, graph, pattern):
+        extractor = GraphExtractor(graph)
+        extractor.extract(pattern, profile="memory")
+        assert extractor.last_profile is not None
+        extractor.extract(pattern)
+        assert extractor.last_profile is None
+
+    def test_caller_owned_session_not_auto_stopped(self, graph, pattern):
+        session = ProfileSession(cpu=None, memory=True)
+        extractor = GraphExtractor(graph, profile=session)
+        session.start()
+        extractor.extract(pattern)
+        extractor.extract(pattern)  # accumulates across runs
+        session.stop()
+        assert extractor.last_profile is session
+        assert len(session.memory.watermarks) >= 2
+
+    def test_vectorized_backend_watermarks_kernel_levels(self, graph, pattern):
+        extractor = GraphExtractor(graph, backend="vectorized", profile="memory")
+        extractor.extract(pattern)
+        containment = extractor.last_memory_containment
+        assert containment is not None
+        assert containment["backend"] == extractor.last_backend
+
+    def test_profile_out_spec_exports(self, graph, pattern, tmp_path):
+        out = tmp_path / "profile.folded"
+        extractor = GraphExtractor(graph, profile=f"cprofile:{out}")
+        extractor.extract(pattern)
+        text = out.read_text()
+        assert text and "extraction" in text
+
+
+class TestJsonlRegression:
+    def test_memory_containment_record_survives_jsonl_export(
+        self, graph, pattern, tmp_path
+    ):
+        """Regression: observed-vs-certified containment records must
+        appear in exported JSONL traces."""
+        trace = tmp_path / "trace.jsonl"
+        extractor = GraphExtractor(
+            graph, trace=str(trace), profile="memory"
+        )
+        extractor.extract(pattern)
+        entries = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        containments = [
+            e for e in entries if e.get("kind") == "memory_containment"
+        ]
+        assert len(containments) == 1
+        assert containments[0]["contained"] is True
+        assert containments[0]["observed_peak_bytes"] > 0
+        watermarks = [
+            e for e in entries if e.get("kind") == "memory_watermark"
+        ]
+        assert watermarks

@@ -142,3 +142,142 @@ class TestRenderReport:
         report = render_report(path)
         assert "plan drift" not in report
         assert "superstep 0" in report
+
+
+def record_profiled_run(tracer):
+    """A profiled run: mem_peak_bytes span attrs plus profile records,
+    as ProfileSession.emit leaves them on the tracer."""
+    root = tracer.start_span("extraction", {"pattern": "A -[e]-> B",
+                                            "backend": "bsp"})
+    engine = tracer.start_span("engine-run", {"engine": "BSPEngine"})
+    for step in range(2):
+        span = tracer.start_span(
+            "superstep",
+            {"superstep": step, "workers": 2, "makespan": 10,
+             "total_work": 20, "messages_sent": 4,
+             "mem_peak_bytes": 4096 * (step + 1)},
+        )
+        tracer.end_span(span)
+    tracer.end_span(engine)
+    tracer.end_span(root)
+    tracer.record("profile_stack",
+                  stack="extraction;engine-run;superstep 0;mod:hot",
+                  weight=900, unit="us", mode="cprofile")
+    tracer.record("profile_stack",
+                  stack="extraction;engine-run;superstep 1;mod:cold",
+                  weight=100, unit="us", mode="cprofile")
+    tracer.record("memory_watermark", superstep=0, peak_bytes=4096,
+                  current_bytes=1024)
+    tracer.record("memory_watermark", superstep=1, peak_bytes=8192,
+                  current_bytes=2048)
+    tracer.record("memory_containment", backend="bsp",
+                  observed_peak_bytes=8192, certified_lo_bytes=512.0,
+                  certified_hi_bytes=1024.0, allowed_peak_bytes=17408.0,
+                  rss_bytes=1 << 24, contained=True)
+    tracer.record("profile_summary", duration_s=0.5,
+                  cpu={"mode": "cprofile", "profiles": 3})
+
+
+@pytest.fixture
+def profiled_tracer():
+    tracer = Tracer(registry=InstrumentRegistry())
+    record_profiled_run(tracer)
+    return tracer
+
+
+class TestNonTraceSniffing:
+    def test_prometheus_export_names_the_kind_and_path(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        path.write_text(
+            "# HELP repro_msgs messages\n# TYPE repro_msgs counter\n"
+            "repro_msgs 10\n"
+        )
+        with pytest.raises(ObservabilityError) as err:
+            load_trace(str(path))
+        assert "Prometheus text exposition" in str(err.value)
+        assert "metrics.prom" in str(err.value)
+
+    def test_collapsed_stacks_name_the_kind(self, tmp_path):
+        path = tmp_path / "profile.folded"
+        path.write_text("extraction;superstep 0;mod:f 120\n")
+        with pytest.raises(ObservabilityError, match="collapsed-stack"):
+            load_trace(str(path))
+
+    def test_real_prom_export_is_rejected(self, tmp_path):
+        from repro.obs.exporters import export_trace as export
+
+        tracer = Tracer(registry=InstrumentRegistry())
+        tracer.registry.counter("msgs", "messages sent").inc(3)
+        span = tracer.start_span("extraction", {})
+        tracer.end_span(span)
+        path = str(tmp_path / "run.prom")
+        export(tracer, path, "prometheus")
+        with pytest.raises(ObservabilityError, match="not a trace"):
+            load_trace(path)
+
+
+class TestProfiledReport:
+    @pytest.mark.parametrize("fmt,ext", [("jsonl", ".jsonl"), ("chrome", ".json")])
+    def test_profile_records_round_trip(self, profiled_tracer, tmp_path,
+                                        fmt, ext):
+        path = str(tmp_path / f"trace{ext}")
+        export_trace(profiled_tracer, path, fmt)
+        data = load_trace(path)
+        assert len(data.profile_stacks) == 2
+        assert len(data.memory_watermarks) == 2
+        assert data.memory_containment["contained"] is True
+        assert data.profile_summary["cpu"]["mode"] == "cprofile"
+
+    def test_superstep_table_gains_mem_peak_column(self, profiled_tracer,
+                                                   tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        export_trace(profiled_tracer, path, "jsonl")
+        table = superstep_table(load_trace(path))
+        header = table.splitlines()[1]
+        assert "mem_peak" in header
+        assert "4.0KiB" in table and "8.0KiB" in table
+
+    def test_render_report_includes_profile_and_memory_sections(
+        self, profiled_tracer, tmp_path
+    ):
+        path = str(tmp_path / "t.jsonl")
+        export_trace(profiled_tracer, path, "jsonl")
+        report = render_report(path)
+        assert "hottest profiled stacks [cprofile]" in report
+        assert "mod:hot" in report
+        assert "memory watermarks (tracemalloc)" in report
+        assert "observed vs certified [bsp]" in report
+        assert "contained" in report
+
+    def test_unprofiled_report_has_no_profile_sections(self, tracer,
+                                                       tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        export_trace(tracer, path, "jsonl")
+        report = render_report(path)
+        assert "hottest profiled stacks" not in report
+        assert "memory watermarks" not in report
+        assert "mem_peak" not in report
+
+
+class TestReportData:
+    def test_document_shape(self, profiled_tracer, tmp_path):
+        from repro.obs.report import report_data
+
+        path = str(tmp_path / "t.jsonl")
+        export_trace(profiled_tracer, path, "jsonl")
+        document = report_data(path)
+        assert document["schema"] == "repro.obs.report/v1"
+        assert len(document["supersteps"]) == 2
+        assert document["memory_containment"]["observed_peak_bytes"] == 8192
+        assert len(document["profile_stacks"]) == 2
+        assert json.dumps(document)  # JSON-serialisable end to end
+
+    def test_unprofiled_document_omits_profile_keys(self, tracer, tmp_path):
+        from repro.obs.report import report_data
+
+        path = str(tmp_path / "t.jsonl")
+        export_trace(tracer, path, "jsonl")
+        document = report_data(path)
+        assert "profile_stacks" not in document
+        assert "memory_containment" not in document
+        assert document["supersteps"][0]["drift"] == pytest.approx(1.2)

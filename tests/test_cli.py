@@ -335,3 +335,73 @@ class TestSoak:
         assert "seed 0" in out
         header = next(line for line in out.splitlines() if "retries" in line)
         assert "resumed" in header and "rung" in header
+
+
+class TestReportJsonFormat:
+    def _trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code, _, _ = run_cli(
+            capsys,
+            "extract", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-BP1", "--workers", "2",
+            "--trace-out", str(trace),
+        )
+        assert code == 0
+        return trace
+
+    def test_json_format_is_machine_readable(self, capsys, tmp_path):
+        import json
+
+        trace = self._trace(capsys, tmp_path)
+        code, out, _ = run_cli(capsys, "report", str(trace), "--format", "json")
+        assert code == 0
+        document = json.loads(out)
+        assert document["schema"] == "repro.obs.report/v1"
+        assert document["supersteps"]
+        assert all("makespan" in step for step in document["supersteps"])
+
+    def test_text_stays_the_default(self, capsys, tmp_path):
+        trace = self._trace(capsys, tmp_path)
+        code, out, _ = run_cli(capsys, "report", str(trace))
+        assert code == 0
+        assert "per-superstep run report" in out
+
+    def test_prom_file_rejected_with_kind(self, capsys, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        prom.write_text("# HELP repro_msgs messages\nrepro_msgs 1\n")
+        code, _, err = run_cli(capsys, "report", str(prom))
+        assert code == 2
+        assert "Prometheus text exposition" in err
+
+
+class TestExtractProfile:
+    def test_profile_flag_reports_containment_and_exports(
+        self, capsys, tmp_path
+    ):
+        folded = tmp_path / "stacks.folded"
+        code, out, _ = run_cli(
+            capsys,
+            "extract", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-BP1", "--workers", "2",
+            "--profile", "cprofile+memory", "--profile-out", str(folded),
+        )
+        assert code == 0
+        assert "memory containment [bsp]" in out
+        assert f"wrote collapsed profile to {folded}" in out
+        text = folded.read_text()
+        assert text and "extraction" in text.splitlines()[0]
+
+    def test_profiled_trace_feeds_profiled_report(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code, _, _ = run_cli(
+            capsys,
+            "extract", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-BP1", "--workers", "2",
+            "--profile", "cprofile+memory", "--trace-out", str(trace),
+        )
+        assert code == 0
+        code, out, _ = run_cli(capsys, "report", str(trace))
+        assert code == 0
+        assert "mem_peak" in out
+        assert "hottest profiled stacks [cprofile]" in out
+        assert "observed vs certified [bsp]" in out
