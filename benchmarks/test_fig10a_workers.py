@@ -6,9 +6,20 @@ CPython GIL, real thread speedups are unobservable, so this experiment
 uses the engine's simulated parallel makespan — the sum over supersteps of
 the busiest worker's work — which is precisely the quantity Giraph's
 wall-clock follows (DESIGN.md, substitution table).
+
+The second half measures the *real* thing: the multiprocess engine
+(:mod:`repro.engine.procpool`) runs the same workload on 1/2/4 OS
+processes over a shared-memory graph snapshot and reports actual wall
+clock.  The ≥1.5x speedup assertion at 4 processes is gated on the box
+actually having 4 cores (CI does; a 1-core laptop only records the
+numbers).  Rows land in the ``BENCH_procpool_scaling`` ledger, gated by
+``python -m repro.cli perf --check``.
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 import pytest
 
@@ -19,6 +30,7 @@ from repro.workloads.patterns import get_workload
 from benchmarks.conftest import write_report
 
 WORKER_COUNTS = [5, 10, 20, 40]
+PROCESS_COUNTS = [1, 2, 4]
 
 
 @pytest.fixture(scope="module")
@@ -98,3 +110,71 @@ def test_shapes_and_report(grid, results_dir, benchmark):
         label_header="config",
     )
     write_report(results_dir, "fig10a_workers", table, rows=rows)
+
+
+def test_real_process_scaling(graph, results_dir):
+    """Real wall-clock scaling on 1/2/4 OS processes (no simulation).
+
+    Each worker process attaches the shared-memory CSR snapshot and
+    computes its partitions in true parallel; the recorded wall time is
+    the parent's barrier-to-barrier clock.  Results must stay identical
+    to the serial engine at every process count.
+    """
+    from repro.aggregates import library
+    from repro.core.evaluator import run_extraction
+    from repro.core.planner import make_plan
+    from repro.engine.procpool import ProcessBSPEngine
+
+    workload = get_workload("dblp-SP2")
+    plan = make_plan(workload.pattern, graph=graph)
+    baseline = run_extraction(
+        graph, workload.pattern, plan, library.path_count(), num_workers=1
+    )
+
+    walls = {}
+    rows = []
+    for procs in PROCESS_COUNTS:
+        best = float("inf")
+        for _ in range(3):
+            engine = ProcessBSPEngine.for_graph(
+                graph, num_workers=procs, start_method="fork"
+            )
+            started = time.perf_counter()
+            result = run_extraction(
+                graph, workload.pattern, plan, library.path_count(),
+                engine=engine,
+            )
+            elapsed = time.perf_counter() - started
+            best = min(best, elapsed)
+            assert result.graph.equals(baseline.graph)
+            assert engine.last_workers_lost == 0
+        walls[procs] = best
+        rows.append(
+            Row(
+                f"{procs} processes",
+                {
+                    "wall_s": best,
+                    "speedup_vs_1": walls[PROCESS_COUNTS[0]] / best,
+                    "cores": os.cpu_count() or 1,
+                },
+            )
+        )
+
+    table = format_table(
+        rows,
+        ["wall_s", "speedup_vs_1", "cores"],
+        title=(
+            "Figure 10(a) companion — dblp-SP2 real multiprocess wall "
+            "clock (shared-memory graph)"
+        ),
+        label_header="config",
+    )
+    write_report(results_dir, "procpool_scaling", table, rows=rows)
+
+    if (os.cpu_count() or 1) >= 4:
+        # with real cores behind the processes, 4 workers must beat 1
+        # by a wide margin — the zero-copy graph means no serialization
+        # tax on the scaling curve
+        assert walls[1] / walls[4] >= 1.5, (
+            f"4-process speedup {walls[1] / walls[4]:.2f}x < 1.5x"
+        )

@@ -506,9 +506,12 @@ def cmd_soak(args: argparse.Namespace) -> int:
         LOAD_ERROR,
         STALL,
         TRANSIENT_ERROR,
+        WORKER_KILL,
+        WORKER_STALL,
         FaultPlan,
     )
     from repro.faults.supervisor import (
+        PROCESS_LADDER,
         Deadline,
         ResiliencePolicy,
         RetryPolicy,
@@ -530,15 +533,37 @@ def cmd_soak(args: argparse.Namespace) -> int:
         args.deadline_s, 10.0 * baseline.metrics.wall_time_s / max(supersteps, 1)
     )
     stall_s = 3.0 * superstep_s
-    required = (COMPUTE_CRASH, TRANSIENT_ERROR, STALL, CHECKPOINT_CORRUPT)
-    extra = (CHECKPOINT_IO, LOAD_ERROR)
+    if args.engine == "process":
+        # process-rung soak: real OS workers, SIGKILLed or stalled
+        # mid-superstep.  Liveness comes from heartbeats, so the
+        # heartbeat timeout is sized from the measured superstep and
+        # stalls are sized to clearly exceed it.
+        required = (WORKER_KILL, WORKER_STALL)
+        extra = ()
+        heartbeat_timeout = max(0.2, 0.5 * superstep_s)
+        stall_s = 3.0 * max(heartbeat_timeout, superstep_s)
+        ladder = PROCESS_LADDER
+        process_options = {
+            "heartbeat_interval_s": min(0.05, heartbeat_timeout / 4.0),
+            "heartbeat_timeout_s": heartbeat_timeout,
+            "respawn_limit": 2,
+            # stalled workers are caught by missed heartbeats, not by
+            # the cooperative deadline (which would abort the rung)
+            "deadline": None,
+        }
+    else:
+        required = (COMPUTE_CRASH, TRANSIENT_ERROR, STALL, CHECKPOINT_CORRUPT)
+        extra = (CHECKPOINT_IO, LOAD_ERROR)
+        ladder = ("serial", "line")
+        process_options = None
 
     policy = ResiliencePolicy(
         retry=RetryPolicy(
             max_attempts=4, base_delay_s=0.01, max_delay_s=0.05, seed=0
         ),
         deadline=Deadline(superstep_s=superstep_s),
-        ladder=("serial", "line"),
+        ladder=ladder,
+        process_options=process_options,
     )
     rows = []
     failures = 0
@@ -1036,6 +1061,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline-s", type=float, default=0.3,
         help="minimum per-superstep deadline in seconds (scaled up "
         "automatically on slow machines; default 0.3)",
+    )
+    soak.add_argument(
+        "--engine", choices=("threaded", "process"), default="threaded",
+        help="which engine the soak targets: 'threaded' cycles the "
+        "simulated chaos taxonomy; 'process' runs real OS workers on "
+        "the process rung and cycles worker-kill/worker-stall faults "
+        "(default threaded)",
     )
 
     report = sub.add_parser(

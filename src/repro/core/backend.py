@@ -49,3 +49,31 @@ def vectorized_fallback_reason(
     if resilience or faults is not None:
         return "supervised/fault-injected runs execute on the BSP engine"
     return None
+
+
+def process_fallback_reason(
+    aggregate: Any,
+    *,
+    sanitize: bool = False,
+    resilience: Any = None,
+    faults: Any = None,
+) -> Optional[str]:
+    """Why a process-backend request must fall back to BSP — or ``None``
+    when the multiprocess engine can express the run.
+
+    The process engine shares the BSP engine's semantics (it *is* a BSP
+    engine whose workers are OS processes), so aggregates and path
+    tracing carry over unchanged.  What it cannot express: the sanitizer
+    must observe one uninterrupted in-process run, and supervised
+    execution picks engines from the resilience ladder — request the
+    process rung there (``ladder=PROCESS_LADDER``) instead of via
+    ``backend=``.
+    """
+    if sanitize:
+        return "sanitize=True instruments one in-process run"
+    if resilience or faults is not None:
+        return (
+            "supervised runs pick engines from the resilience ladder; "
+            "use ladder=('process', ...) for multiprocess rungs"
+        )
+    return None

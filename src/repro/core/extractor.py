@@ -20,7 +20,7 @@ from typing import Optional
 from repro.aggregates.base import Aggregate
 from repro.aggregates.classify import validate_aggregate
 from repro.aggregates.library import path_count
-from repro.core.backend import vectorized_fallback_reason
+from repro.core.backend import process_fallback_reason, vectorized_fallback_reason
 from repro.core.cost import CostModel
 from repro.core.evaluator import run_extraction
 from repro.core.plan import PCP
@@ -51,7 +51,7 @@ from repro.obs.spans import (
 )
 
 #: Engine backends an extraction can run on.
-BACKENDS = ("bsp", "vectorized")
+BACKENDS = ("bsp", "vectorized", "process")
 
 #: Fallback decisions are logged here so backend switches are visible in
 #: operational logs (and assertable in tests via ``caplog``).
@@ -177,6 +177,7 @@ class GraphExtractor:
         profile: ProfileSpec = None,
         backend: str = "bsp",
         memory_budget: Optional[int] = None,
+        process_options: Optional[dict] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise EngineError(
@@ -200,6 +201,10 @@ class GraphExtractor:
         self.profile = profile
         self.backend = backend
         self.memory_budget = memory_budget
+        #: keyword overrides for the ``"process"`` backend's
+        #: :class:`~repro.engine.procpool.ProcessBSPEngine`
+        #: (``start_method``, ``heartbeat_timeout_s``, ``respawn_limit``, …)
+        self.process_options = process_options
         #: :class:`~repro.core.admission.AdmissionDecision` of the most
         #: recent budgeted extraction (``None`` when no budget is set;
         #: kept even when the decision was a reject)
@@ -381,6 +386,19 @@ class GraphExtractor:
                     fallback_reason,
                 )
                 use_backend = "bsp"
+        elif use_backend == "process":
+            fallback_reason = process_fallback_reason(
+                aggregate,
+                sanitize=use_sanitize,
+                resilience=use_resilience,
+                faults=faults,
+            )
+            if fallback_reason is not None:
+                _accel_log.info(
+                    "process backend falling back to bsp: %s",
+                    fallback_reason,
+                )
+                use_backend = "bsp"
         self.last_backend = use_backend
         self.last_fallback_reason = fallback_reason
         spec = tracer if tracer is not None else self.trace
@@ -505,6 +523,24 @@ class GraphExtractor:
 
                 result = run_vectorized_extraction(
                     self.graph, pattern, plan, aggregate, tracer=obs
+                )
+            elif use_backend == "process":
+                from repro.engine.procpool import ProcessBSPEngine
+
+                engine = ProcessBSPEngine.for_graph(
+                    self.graph,
+                    num_workers=num_workers or self.num_workers,
+                    **(self.process_options or {}),
+                )
+                result = run_extraction(
+                    self.graph,
+                    pattern,
+                    plan,
+                    aggregate,
+                    mode=mode,
+                    trace=trace,
+                    engine=engine,
+                    tracer=obs,
                 )
             else:
                 result = run_extraction(

@@ -12,6 +12,12 @@ from repro.engine.checkpoint import (
 from repro.engine.messages import Mailbox, shuffle_inbox, stable_vertex_seed
 from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.engine.parallel import ThreadedBSPEngine
+from repro.engine.procpool import (
+    ProcessBSPEngine,
+    SharedGraphView,
+    SharedSegmentRegistry,
+    publish_shared_graph,
+)
 from repro.engine.sanitizer import SanitizerBSPEngine, SanitizerError
 
 __all__ = [
@@ -20,13 +26,17 @@ __all__ = [
     "FileCheckpointStore",
     "InMemoryCheckpointStore",
     "Mailbox",
+    "ProcessBSPEngine",
     "RecoverableBSPEngine",
     "RunMetrics",
     "SanitizerBSPEngine",
     "SanitizerError",
+    "SharedGraphView",
+    "SharedSegmentRegistry",
     "SuperstepMetrics",
     "ThreadedBSPEngine",
     "VertexProgram",
+    "publish_shared_graph",
     "shuffle_inbox",
     "stable_vertex_seed",
 ]

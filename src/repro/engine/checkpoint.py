@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import os
 import pickle
 import time
+import uuid
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -135,9 +137,24 @@ class FileCheckpointStore:
         payload = pickle.dumps((states, inbox, metrics, globals_ or {}))
         digest = hashlib.sha256(payload).digest()
         path = self._path(superstep)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_bytes(_MAGIC + digest + payload)
-        tmp.replace(path)  # atomic on POSIX: a crash never leaves half a file
+        # the tmp name must be unique per writer: with a shared fixed
+        # name, two concurrent writers (or a writer SIGKILLed mid-write
+        # and its respawned successor) interleave write/replace and can
+        # publish a truncated file under the final name.  A per-writer
+        # name keeps the torn file invisible; os.replace stays atomic.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        )
+        try:
+            tmp.write_bytes(_MAGIC + digest + payload)
+            os.replace(tmp, path)  # atomic on POSIX: never half a file
+        finally:
+            # a failure between write and replace must not leak the tmp
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
 
     def snapshots(self, newest_first: bool = False) -> List[int]:
         """Supersteps with a snapshot file, ignoring files whose name
@@ -188,6 +205,9 @@ class FileCheckpointStore:
 
     def clear(self) -> None:
         for path in self._directory.glob("checkpoint_*.pkl"):
+            path.unlink()
+        # stale per-writer tmp files from writers killed mid-checkpoint
+        for path in self._directory.glob("checkpoint_*.tmp"):
             path.unlink()
 
 

@@ -1,0 +1,1283 @@
+"""Crash-tolerant multiprocess BSP execution over shared-memory snapshots.
+
+:class:`ProcessBSPEngine` is the "real workers" counterpart of
+:class:`~repro.engine.parallel.ThreadedBSPEngine`: each logical worker
+is an OS process, so pure-Python compute scales past the GIL — and a
+worker can *actually die* (SIGKILL, OOM-kill, hang) without taking the
+run down.  The paper's Fig. 10(a) scaling model assumes exactly this
+Pregel/Giraph worker-failure regime.
+
+Architecture
+------------
+* **Zero-copy graph.**  The parent publishes the graph's
+  :class:`~repro.accel.compact.CompactGraph` arrays (vertex ids, label
+  codes, one CSR adjacency per ``(edge label, direction)``) into named
+  ``multiprocessing.shared_memory`` segments.  Children attach by name
+  and wrap the arrays in a :class:`SharedGraphView` that speaks the
+  read protocol of :class:`~repro.graph.hetgraph.HeterogeneousGraph`
+  (``label_of`` / ``out_edges`` / ``vertices_matching`` …), so an
+  unmodified vertex program evaluates against shared pages instead of a
+  per-process graph copy.
+* **Parent-owned authoritative state.**  Every superstep, each vertex
+  partition is dispatched as an idempotent task envelope keyed by
+  ``(superstep, partition, attempt)``.  Workers cache their partition's
+  vertex states between supersteps; the parent keeps the authoritative
+  copy (refreshed from every accepted result), so a partition can be
+  replayed on any worker after a crash.  Results for an already
+  completed ``(superstep, partition)`` — or for a stale ``attempt`` —
+  are discarded deterministically.
+* **Heartbeats and liveness.**  Workers ping over their result pipe
+  from *inside* the compute loop, so a genuine stall (or an injected
+  ``worker-stall`` fault) suppresses pings naturally.  A worker is
+  declared lost when its heartbeat deadline passes, its
+  ``Process.exitcode`` turns non-``None``, or its pipe hits EOF.
+* **Reassignment and bounded respawn.**  A lost worker's in-flight
+  partitions are reassigned within the same superstep — to a freshly
+  respawned worker while the respawn budget lasts, else to survivors.
+  Only when no worker remains does the run raise
+  :class:`~repro.errors.WorkerLostError` (transient: the supervisor
+  ladder retries or escalates, e.g. process → threaded → serial → line).
+* **Leak-proof shared memory.**  Every segment is tracked by a
+  :class:`SharedSegmentRegistry` whose ``close()`` runs on every exit
+  path (plus an ``atexit`` backstop), so ``/dev/shm`` holds zero
+  ``repro_*`` residue after any run — including kill/stall scenarios.
+  The procpool CI job greps for exactly that.
+
+Fault injection: ``run(..., faults=plan)`` honours the plan entirely at
+the coordinator.  ``worker-kill`` SIGKILLs a live worker right after
+dispatch; ``worker-stall`` makes one envelope sleep without heartbeats;
+the exception-style chaos kinds (compute crash / transient / stall) are
+fired parent-side at the superstep barrier so their supervisor-visible
+semantics match the single-process engines without shipping a
+lock-bearing :class:`~repro.faults.FaultPlan` across the pickle
+boundary.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import signal
+import time
+import uuid
+import weakref
+import multiprocessing as mp
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from multiprocessing.connection import wait as _wait_ready
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.bsp import _NO_MESSAGES, BSPEngine, ComputeContext, VertexProgram
+from repro.engine.messages import Mailbox, shuffle_inbox
+from repro.engine.metrics import RunMetrics, SuperstepMetrics
+from repro.errors import (
+    DeadlineExceededError,
+    EngineError,
+    WorkerLostError,
+)
+from repro.graph.hetgraph import ANY_LABEL
+from repro.obs.profile import ProfileSpec, make_profiler, owns_profiler
+from repro.obs.spans import TraceSpec, make_tracer
+
+#: every segment this module creates carries this prefix — the leak
+#: scrape (tests + the CI procpool job) greps /dev/shm for it
+SHM_PREFIX = "repro_"
+
+_EMPTY_EDGES: Tuple[Tuple[Any, float], ...] = ()
+
+
+# ----------------------------------------------------------------------
+# shared-memory lifecycle
+# ----------------------------------------------------------------------
+#: registries with segments still open, torn down by the atexit backstop
+_LIVE_REGISTRIES: "weakref.WeakSet[SharedSegmentRegistry]" = weakref.WeakSet()
+
+
+def _atexit_teardown() -> None:  # pragma: no cover - interpreter exit
+    for registry in list(_LIVE_REGISTRIES):
+        registry.close()
+
+
+atexit.register(_atexit_teardown)
+
+
+class SharedSegmentRegistry:
+    """Tracks every shared-memory segment one process created or
+    attached, guaranteeing ``close()`` (and ``unlink()`` for owned
+    segments) on every exit path.
+
+    ``close()`` is idempotent and never raises: a numpy view still
+    referencing a buffer only skips the ``mmap`` close (the OS reclaims
+    the mapping at process exit), while ``unlink`` — the call that
+    actually removes ``/dev/shm`` residue — always runs for segments
+    this registry created.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._owned: set = set()
+        _LIVE_REGISTRIES.add(self)
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        """Create (and own) a fresh uniquely named segment."""
+        name = f"{SHM_PREFIX}{os.getpid()}_{uuid.uuid4().hex[:12]}"
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(int(nbytes), 1)
+        )
+        self._segments[segment.name] = segment
+        self._owned.add(segment.name)
+        return segment
+
+    def attach(self, name: str) -> shared_memory.SharedMemory:
+        """Attach to a segment by name without taking ownership.
+
+        The per-process ``resource_tracker`` would register attached
+        segments too and *unlink* them when this process exits —
+        destroying the parent's data mid-run (and, since the tracker
+        process is shared across fork children, un-registering after the
+        fact corrupts the parent's own registration).  Suppress
+        registration for the duration of the attach instead: only the
+        creating process ever tracks, and only it unlinks.
+        """
+        cached = self._segments.get(name)
+        if cached is not None:
+            return cached
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        self._segments[name] = segment
+        return segment
+
+    def segment_names(self) -> List[str]:
+        return sorted(self._segments)
+
+    def close(self) -> None:
+        """Close every tracked segment and unlink the owned ones."""
+        for name, segment in list(self._segments.items()):
+            try:
+                segment.close()
+            except BufferError:  # a live numpy view; OS reclaims at exit
+                pass
+            if name in self._owned:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+        self._segments.clear()
+        self._owned.clear()
+        _LIVE_REGISTRIES.discard(self)
+
+    def __enter__(self) -> "SharedSegmentRegistry":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# shared graph publication
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Attach-by-name coordinates of one published numpy array."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedGraphDescriptor:
+    """Everything a child needs to rebuild a :class:`SharedGraphView`:
+    segment names/shapes/dtypes plus the (small) interned label tables.
+    Picklable by construction — it crosses the spawn boundary."""
+
+    version: int
+    vids: SharedArraySpec
+    label_codes: SharedArraySpec
+    vertex_labels: Tuple[str, ...]
+    edge_labels: Tuple[str, ...]
+    #: ``(edge label, "out"|"in") -> (indptr, targets, weights)`` specs
+    adjacency: Dict[Tuple[str, str], Tuple[SharedArraySpec, ...]]
+
+
+def _share_array(registry: SharedSegmentRegistry, array: np.ndarray) -> SharedArraySpec:
+    segment = registry.create(array.nbytes)
+    if array.size:
+        view = np.frombuffer(segment.buf, dtype=array.dtype, count=array.size)
+        view[:] = array.ravel()
+        del view  # release the buffer export so close() stays clean
+    return SharedArraySpec(segment.name, tuple(array.shape), array.dtype.str)
+
+
+def _attach_array(
+    registry: SharedSegmentRegistry, spec: SharedArraySpec
+) -> np.ndarray:
+    segment = registry.attach(spec.name)
+    count = int(np.prod(spec.shape)) if spec.shape else 1
+    array = np.frombuffer(segment.buf, dtype=np.dtype(spec.dtype), count=count)
+    return array.reshape(spec.shape)
+
+
+def _csr_arrays(
+    rows: np.ndarray, cols: np.ndarray, weights: np.ndarray, n: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort one triple list into CSR form over ``n`` vertices."""
+    order = np.argsort(rows, kind="stable")
+    counts = np.bincount(rows, minlength=n) if len(rows) else np.zeros(n, dtype=np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, cols[order].astype(np.int64), weights[order].astype(np.float64)
+
+
+def publish_shared_graph(
+    graph: Any, registry: SharedSegmentRegistry
+) -> SharedGraphDescriptor:
+    """Publish ``graph``'s compact snapshot into shared memory.
+
+    One CSR per ``(edge label, direction)`` is precomputed here, once,
+    so every child performs pure array reads — no per-process adjacency
+    rebuild, no graph copy.
+    """
+    compact = graph.to_compact()
+    n = compact.num_vertices
+    adjacency: Dict[Tuple[str, str], Tuple[SharedArraySpec, ...]] = {}
+    for label in compact.edge_labels:
+        src, dst, weight = compact.triples(label)
+        for direction, rows, cols in (("out", src, dst), ("in", dst, src)):
+            indptr, targets, values = _csr_arrays(rows, cols, weight, n)
+            adjacency[(label, direction)] = (
+                _share_array(registry, indptr),
+                _share_array(registry, targets),
+                _share_array(registry, values),
+            )
+    return SharedGraphDescriptor(
+        version=compact.version,
+        vids=_share_array(registry, compact.vids),
+        label_codes=_share_array(registry, compact.vertex_label_codes),
+        vertex_labels=tuple(compact.vertex_labels),
+        edge_labels=tuple(compact.edge_labels),
+        adjacency=adjacency,
+    )
+
+
+def collect_vertex_attrs(graph: Any) -> Dict[Any, Dict[str, Any]]:
+    """The non-empty vertex attribute maps (pattern filters read these);
+    shipped pickled in the worker init payload — tiny next to the edge
+    arrays, which travel via shared memory."""
+    attrs: Dict[Any, Dict[str, Any]] = {}
+    for vid in graph.vertices():
+        vertex_attrs = graph.vertex_attrs(vid)
+        if vertex_attrs:
+            attrs[vid] = dict(vertex_attrs)
+    return attrs
+
+
+class SharedGraphView:
+    """A read-only heterogeneous-graph view over shared-memory arrays.
+
+    Implements the slice of the :class:`~repro.graph.hetgraph.
+    HeterogeneousGraph` protocol the evaluator's compute path uses:
+    ``label_of``, ``vertex_attrs``, ``vertices``, ``vertices_matching``,
+    ``out_edges`` / ``in_edges`` / ``any_edges``, ``num_vertices`` and
+    ``version``.  All adjacency reads are CSR slices of the parent's
+    pages — zero copies per process.
+    """
+
+    def __init__(
+        self,
+        descriptor: SharedGraphDescriptor,
+        registry: SharedSegmentRegistry,
+        vertex_attrs: Optional[Dict[Any, Dict[str, Any]]] = None,
+    ) -> None:
+        self._descriptor = descriptor
+        self._registry = registry
+        self._vertex_labels = list(descriptor.vertex_labels)
+        self._attrs = vertex_attrs or {}
+        self._vids: List[Any] = _attach_array(registry, descriptor.vids).tolist()
+        self._codes: List[int] = _attach_array(
+            registry, descriptor.label_codes
+        ).tolist()
+        self._index: Dict[Any, int] = {vid: i for i, vid in enumerate(self._vids)}
+        self._adjacency: Dict[Tuple[str, str], Tuple[np.ndarray, ...]] = {
+            key: tuple(_attach_array(registry, spec) for spec in specs)
+            for key, specs in descriptor.adjacency.items()
+        }
+        self._match_cache: Dict[str, Tuple[Any, ...]] = {}
+        self._any_cache: Dict[Tuple[Any, str], Tuple[Tuple[Any, float], ...]] = {}
+
+    # -- vertex protocol ------------------------------------------------
+    @property
+    def version(self) -> int:
+        return self._descriptor.version
+
+    def num_vertices(self) -> int:
+        return len(self._vids)
+
+    def label_of(self, vid: Any) -> str:
+        return self._vertex_labels[self._codes[self._index[vid]]]
+
+    def vertex_attrs(self, vid: Any) -> Dict[str, Any]:
+        return self._attrs.get(vid, {})
+
+    def vertices(self):
+        return iter(self._vids)
+
+    def vertices_matching(self, label: str) -> Tuple[Any, ...]:
+        cached = self._match_cache.get(label)
+        if cached is None:
+            if label == ANY_LABEL:
+                cached = tuple(self._vids)
+            else:
+                try:
+                    code = self._vertex_labels.index(label)
+                except ValueError:
+                    cached = ()
+                else:
+                    cached = tuple(
+                        vid
+                        for vid, vid_code in zip(self._vids, self._codes)
+                        if vid_code == code
+                    )
+            self._match_cache[label] = cached
+        return cached
+
+    # -- edge protocol --------------------------------------------------
+    def _edges(self, vid: Any, label: str, direction: str):
+        arrays = self._adjacency.get((label, direction))
+        if arrays is None:
+            return _EMPTY_EDGES
+        i = self._index.get(vid)
+        if i is None:
+            return _EMPTY_EDGES
+        indptr, targets, weights = arrays
+        start, end = int(indptr[i]), int(indptr[i + 1])
+        if start == end:
+            return _EMPTY_EDGES
+        vids = self._vids
+        return [
+            (vids[j], w)
+            for j, w in zip(targets[start:end].tolist(), weights[start:end].tolist())
+        ]
+
+    def out_edges(self, vid: Any, label: str):
+        return self._edges(vid, label, "out")
+
+    def in_edges(self, vid: Any, label: str):
+        return self._edges(vid, label, "in")
+
+    def any_edges(self, vid: Any, label: str):
+        key = (vid, label)
+        cached = self._any_cache.get(key)
+        if cached is None:
+            cached = (
+                *self._edges(vid, label, "out"),
+                *self._edges(vid, label, "in"),
+            )
+            self._any_cache[key] = cached
+        return cached
+
+    def release(self) -> None:
+        """Drop every numpy view over the shared buffers so the
+        registry's ``close()`` can release the mappings cleanly (a live
+        view would raise ``BufferError`` and leave noisy finalizers)."""
+        self._adjacency.clear()
+        self._any_cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._vids)
+
+    def __contains__(self, vid: Any) -> bool:
+        return vid in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedGraphView(|V|={len(self._vids)}, "
+            f"edge_labels={list(self._descriptor.edge_labels)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# program transport
+# ----------------------------------------------------------------------
+class _SharedGraphToken:
+    """Placeholder standing in for ``program.graph`` while the program
+    crosses the pickle boundary; the child swaps its
+    :class:`SharedGraphView` back in."""
+
+
+def dumps_program(program: VertexProgram) -> Tuple[bytes, bool]:
+    """Pickle ``program`` for worker transport.
+
+    A program holding the (unpicklable-at-scale) graph on a ``graph``
+    attribute — the evaluator's :class:`~repro.core.evaluator.
+    PathConcatenationProgram` — is serialised with the graph swapped for
+    a token; the parent's instance is restored before returning.
+    Returns ``(payload, uses_graph)``.
+    """
+    graph = getattr(program, "graph", None)
+    if graph is None:
+        return pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL), False
+    try:
+        program.graph = _SharedGraphToken()
+        return pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL), True
+    finally:
+        program.graph = graph
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _describe_exception(exc: BaseException) -> Tuple[Optional[bytes], str]:
+    try:
+        return (
+            pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL),
+            repr(exc),
+        )
+    except Exception:
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def _worker_main(slot: int, conn: Any, init_bytes: bytes) -> None:
+    """Entry point of one worker process (module-level: spawn-safe).
+
+    Serves task envelopes until ``stop`` / pipe EOF.  Heartbeats are
+    emitted from within the vertex loop — a stalled or wedged compute
+    stops pinging by construction, which is precisely the liveness
+    signal the parent watches.
+    """
+    registry = SharedSegmentRegistry()
+    view: Optional[SharedGraphView] = None
+    try:
+        init = pickle.loads(init_bytes)
+        program: VertexProgram = pickle.loads(init["program"])
+        if init["uses_graph"]:
+            view = SharedGraphView(
+                init["descriptor"], registry, init.get("attrs") or {}
+            )
+            program.graph = view
+        partitions: List[List[Any]] = init["partitions"]
+        hb_interval: float = init["heartbeat_interval_s"]
+        reducers = program.global_reducers()
+        states: Dict[Any, Any] = {}
+        num_partitions = len(partitions)
+
+        # readiness ping: interpreter boot (imports, unpickling) can
+        # legitimately exceed the heartbeat deadline under the spawn
+        # start method, so the parent arms the deadline only after this
+        # first sign of life
+        try:
+            conn.send(("hb", slot, time.monotonic()))
+        except (BrokenPipeError, OSError):
+            return
+
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] == "stop":
+                break
+            (_, superstep, partition, attempt, inbox, globals_, state_slice,
+             stall_s) = message
+            owned = partitions[partition]
+            if state_slice is not None:
+                # authoritative refresh after (re)assignment: drop any
+                # stale cache for the partition, adopt the parent's copy
+                for vid in owned:
+                    states.pop(vid, None)
+                states.update(state_slice)
+            if stall_s:
+                # injected worker-stall: a hang, not a crash — sleep
+                # without heartbeats so the parent's liveness deadline
+                # is what detects it
+                time.sleep(stall_s)
+
+            metrics = RunMetrics(num_workers=num_partitions)
+            ctx = ComputeContext(states, metrics)
+            mailbox = Mailbox()
+            ctx._mailbox = mailbox
+            ctx._global_reducers = reducers
+            ctx.globals = globals_
+            ctx.superstep = superstep
+            work = [0] * num_partitions
+            ctx._work = work
+            ctx._worker = partition
+            wall_start = time.perf_counter()
+            last_beat = time.monotonic()
+            try:
+                for vid in owned:
+                    work[partition] += 1
+                    ctx.vid = vid
+                    ctx.messages = inbox.get(vid, _NO_MESSAGES)
+                    program.compute(ctx)
+                    now = time.monotonic()
+                    if now - last_beat >= hb_interval:
+                        conn.send(("hb", slot, now))
+                        last_beat = now
+            except BaseException as exc:
+                payload, text = _describe_exception(exc)
+                for vid in owned:  # the half-computed slice is garbage
+                    states.pop(vid, None)
+                try:
+                    conn.send(
+                        ("err", superstep, partition, attempt, payload, text)
+                    )
+                except (BrokenPipeError, OSError):
+                    break
+                continue
+            sent = mailbox.sent_count
+            result = {
+                "outbox": mailbox.deliver(),
+                "states": {vid: states[vid] for vid in owned if vid in states},
+                "sent": sent,
+                "counters": dict(metrics.counters),
+                "work": work[partition],
+                "globals": dict(ctx._pending_globals),
+                "wall": (wall_start, time.perf_counter()),
+                "vertices": len(owned),
+                "pid": os.getpid(),
+            }
+            try:
+                conn.send(("result", superstep, partition, attempt, result))
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        if view is not None:
+            view.release()
+        registry.close()
+
+
+# ----------------------------------------------------------------------
+# the parent-side engine
+# ----------------------------------------------------------------------
+class _Worker:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = (
+        "slot",
+        "generation",
+        "process",
+        "conn",
+        "cached",
+        "inflight",
+        "last_beat",
+        "booted",
+        "alive",
+    )
+
+    def __init__(self, slot: int, generation: int, process: Any, conn: Any) -> None:
+        self.slot = slot
+        self.generation = generation
+        self.process = process
+        self.conn = conn
+        #: partitions whose vertex-state cache in this worker is current
+        self.cached: set = set()
+        #: partition -> attempt currently dispatched to this worker
+        self.inflight: Dict[int, int] = {}
+        self.last_beat = time.monotonic()
+        #: the heartbeat deadline arms only after the worker's first
+        #: message — spawn-boot time must not count against it
+        self.booted = False
+        self.alive = True
+
+
+class ProcessBSPEngine(BSPEngine):
+    """A BSP engine running workers as real OS processes.
+
+    Parameters beyond :class:`~repro.engine.bsp.BSPEngine`'s:
+
+    ``graph``
+        When given, its compact snapshot is published into shared
+        memory and programs carrying a ``graph`` attribute evaluate
+        against a :class:`SharedGraphView` in every child.
+    ``start_method``
+        ``"fork"`` / ``"spawn"`` / ``None`` (the platform default).
+        Spawn requires every program, aggregate and message payload to
+        cross the pickle boundary — the portability suite pins that
+        this agrees with :func:`repro.lint.procsafe.verify_process_safe`.
+    ``heartbeat_interval_s`` / ``heartbeat_timeout_s``
+        Worker ping cadence and the parent-side liveness deadline.  A
+        busy worker pings between vertices; missing the deadline marks
+        it lost (and SIGKILLed, since a stalled-but-alive worker must
+        not race its replacement).
+    ``respawn_limit``
+        Total worker respawns allowed per run.  Past the budget, lost
+        partitions fold onto survivors; with no survivor left the run
+        raises :class:`~repro.errors.WorkerLostError` (transient — the
+        supervisor ladder takes over).
+    ``deadline``
+        Optional object with ``run_s`` / ``superstep_s`` attributes
+        (:class:`repro.faults.Deadline` duck type), enforced at the
+        coordinator — the process engine does not need cooperative
+        in-compute checks to notice a blown budget.
+    """
+
+    _poisoned: Optional[str] = None
+
+    def __init__(
+        self,
+        vertices: Sequence[Any],
+        num_workers: int = 1,
+        max_supersteps: int = 10_000,
+        shuffle_seed: Optional[int] = None,
+        graph: Any = None,
+        start_method: Optional[str] = None,
+        heartbeat_interval_s: float = 0.05,
+        heartbeat_timeout_s: float = 5.0,
+        respawn_limit: int = 2,
+        deadline: Any = None,
+    ) -> None:
+        super().__init__(
+            vertices, num_workers, max_supersteps, shuffle_seed=shuffle_seed
+        )
+        if heartbeat_interval_s <= 0.0:
+            raise EngineError(
+                f"heartbeat_interval_s must be > 0, got {heartbeat_interval_s}"
+            )
+        if heartbeat_timeout_s <= heartbeat_interval_s:
+            raise EngineError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s "
+                f"({heartbeat_timeout_s} <= {heartbeat_interval_s})"
+            )
+        if respawn_limit < 0:
+            raise EngineError(f"respawn_limit must be >= 0, got {respawn_limit}")
+        if start_method not in (None, "fork", "spawn", "forkserver"):
+            raise EngineError(
+                f"unknown start_method {start_method!r}; expected "
+                "'fork', 'spawn' or 'forkserver'"
+            )
+        self._graph = graph
+        self.start_method = start_method
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.respawn_limit = respawn_limit
+        self.deadline = deadline
+        #: liveness statistics of the most recent run
+        self.last_workers_lost = 0
+        self.last_respawns = 0
+        self.last_heartbeats = 0
+        self.last_duplicates = 0
+
+    @classmethod
+    def for_graph(cls, graph: Any, **kwargs: Any) -> "ProcessBSPEngine":
+        """Build an engine over ``graph``'s full vertex universe with
+        the shared-memory snapshot enabled."""
+        return cls(list(graph.vertices()), graph=graph, **kwargs)
+
+    def reset(self) -> None:
+        """Clear the poisoned flag (the caller accepts a fresh run)."""
+        self._poisoned = None
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: VertexProgram,
+        verify: bool = False,
+        sanitize: bool = False,
+        trace: TraceSpec = None,
+        faults=None,
+        profile: ProfileSpec = None,
+    ) -> Any:
+        if self._poisoned is not None:
+            raise EngineError(
+                f"engine is poisoned by an earlier failure "
+                f"({self._poisoned}); call reset() or use a fresh engine"
+            )
+        tracer = make_tracer(trace)
+        profiler = make_profiler(profile)
+        owns_profile = profiler.enabled and owns_profiler(profile)
+        if profiler.enabled:
+            if not tracer.enabled:
+                tracer = make_tracer(True)
+            profiler.attach(tracer)
+            if owns_profile:
+                profiler.start()
+        self.last_profile = profiler if profiler.enabled else None
+        try:
+            return self._run_profiled(
+                program, verify, sanitize, trace, faults, tracer,
+                profiler, owns_profile,
+            )
+        finally:
+            if owns_profile:
+                profiler.stop()
+
+    def _run_profiled(
+        self, program, verify, sanitize, trace, faults, tracer,
+        profiler, owns_profile,
+    ) -> Any:
+        def finish_profile() -> None:
+            if owns_profile:
+                profiler.stop()
+                profiler.emit(tracer)
+
+        # faults are deliberately NOT wrapped into a ChaosProgram: the
+        # plan holds a lock and must stay parent-side — see module docs
+        if sanitize:
+            result = self._run_sanitized(program, verify, tracer=tracer)
+            finish_profile()
+            self._finish_trace(trace, tracer)
+            return result
+        if verify:
+            from repro.lint.contracts import verify_vertex_program
+
+            verify_vertex_program(program)
+        try:
+            result = self._run_pool(program, faults, tracer)
+        except Exception:
+            finish_profile()
+            self._finish_trace(trace, tracer)
+            raise
+        finish_profile()
+        self._finish_trace(trace, tracer)
+        return result
+
+    # ------------------------------------------------------------------
+    # pool orchestration
+    # ------------------------------------------------------------------
+    def _spawn_worker(
+        self, ctx: Any, slot: int, generation: int, init_bytes: bytes
+    ) -> _Worker:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(slot, child_conn, init_bytes),
+            daemon=True,
+            name=f"repro-procpool-{slot}",
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(slot, generation, process, parent_conn)
+
+    def _retire(self, worker: _Worker) -> None:
+        """Close a worker's pipe and make sure the process is gone."""
+        worker.alive = False
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        process = worker.process
+        if process.pid is not None and process.exitcode is None:
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+        process.join(timeout=2.0)
+
+    def _run_pool(self, program, faults, tracer) -> Any:
+        metrics = RunMetrics(num_workers=self.num_workers)
+        states: Dict[Any, Any] = {}
+        combiner = program.combiner()
+        reducers = program.global_reducers()
+        inbox: Dict[Any, List[Any]] = {}
+        globals_: Dict[str, Any] = {}
+        planned = program.num_supersteps()
+        if planned is not None and planned > self.max_supersteps:
+            raise EngineError(
+                f"program plans {planned} supersteps, exceeding the engine "
+                f"bound of {self.max_supersteps}"
+            )
+        traced = tracer.enabled
+        run_span = instruments = None
+        if traced:
+            run_span, instruments = self._start_run_trace(tracer, program, planned)
+            run_span.set_attrs(
+                {
+                    "start_method": self.start_method or mp.get_start_method(),
+                    "real_processes": True,
+                }
+            )
+        registry_obs = tracer.registry
+        lost_counter = registry_obs.counter(
+            "procpool_workers_lost_total",
+            "worker processes declared lost (death or missed heartbeats)",
+        )
+        respawn_counter = registry_obs.counter(
+            "procpool_respawns_total", "replacement workers spawned"
+        )
+        duplicate_counter = registry_obs.counter(
+            "procpool_duplicate_results_total",
+            "stale/duplicate task results discarded at the barrier",
+        )
+        hb_latency = registry_obs.histogram(
+            "procpool_heartbeat_latency_s",
+            "pipe latency of worker heartbeats (send to receive)",
+        )
+        self.last_workers_lost = 0
+        self.last_respawns = 0
+        self.last_heartbeats = 0
+        self.last_duplicates = 0
+
+        ctx = mp.get_context(self.start_method)
+        shm_registry = SharedSegmentRegistry()
+        workers: List[_Worker] = []
+        deadline = self.deadline
+        run_budget = getattr(deadline, "run_s", None) if deadline else None
+        step_budget = getattr(deadline, "superstep_s", None) if deadline else None
+        run_started = time.monotonic()
+        start = time.perf_counter()
+        try:
+            descriptor = attrs = None
+            if self._graph is not None:
+                descriptor = publish_shared_graph(self._graph, shm_registry)
+                attrs = collect_vertex_attrs(self._graph)
+            program_bytes, uses_graph = dumps_program(program)
+            init_bytes = pickle.dumps(
+                {
+                    "program": program_bytes,
+                    "uses_graph": uses_graph,
+                    "descriptor": descriptor,
+                    "attrs": attrs,
+                    "partitions": self._partitions,
+                    "heartbeat_interval_s": self.heartbeat_interval_s,
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            workers = [
+                self._spawn_worker(ctx, slot, 0, init_bytes)
+                for slot in range(self.num_workers)
+            ]
+            vid_to_partition: Dict[Any, int] = {}
+            for index, owned in enumerate(self._partitions):
+                for vid in owned:
+                    vid_to_partition[vid] = index
+
+            superstep = 0
+            while True:
+                if planned is not None:
+                    if superstep >= planned:
+                        break
+                else:
+                    if superstep > 0 and not inbox:
+                        break
+                    if superstep >= self.max_supersteps:
+                        raise EngineError(
+                            f"program did not quiesce within "
+                            f"{self.max_supersteps} supersteps"
+                        )
+                if run_budget is not None and (
+                    time.monotonic() - run_started > run_budget
+                ):
+                    raise DeadlineExceededError(
+                        f"run deadline of {run_budget:.3f}s exceeded at "
+                        f"superstep {superstep}"
+                    )
+                step_span = (
+                    self._start_superstep_span(tracer, program, superstep)
+                    if traced
+                    else None
+                )
+                completed = self._run_superstep(
+                    ctx,
+                    workers,
+                    init_bytes,
+                    superstep,
+                    inbox,
+                    globals_,
+                    states,
+                    vid_to_partition,
+                    faults,
+                    tracer,
+                    lost_counter,
+                    respawn_counter,
+                    duplicate_counter,
+                    hb_latency,
+                    step_budget,
+                )
+                # ---- deterministic barrier (partition-index order) ----
+                messages_sent = 0
+                merged: Dict[Any, List[Any]] = {}
+                reduced: Dict[str, Any] = {}
+                work = [0] * self.num_workers
+                for partition in range(self.num_workers):
+                    payload = completed[partition]
+                    messages_sent += payload["sent"]
+                    work[partition] = payload["work"]
+                    for vid, payloads in payload["outbox"].items():
+                        bucket = merged.get(vid)
+                        if bucket is None:
+                            merged[vid] = payloads
+                        else:
+                            bucket.extend(payloads)
+                    for name, amount in payload["counters"].items():
+                        metrics.add_counter(name, amount)
+                    for name, value in payload["globals"].items():
+                        if name in reduced:
+                            reduced[name] = reducers[name](reduced[name], value)
+                        else:
+                            reduced[name] = value
+                    for vid in self._partitions[partition]:
+                        states.pop(vid, None)
+                    states.update(payload["states"])
+                    if traced:
+                        wall_start, wall_end = payload["wall"]
+                        tracer.record_span(
+                            "worker",
+                            wall_start,
+                            wall_end,
+                            {
+                                "worker": partition,
+                                "superstep": superstep,
+                                "vertices": payload["vertices"],
+                                "work": payload["work"],
+                                "pid": payload["pid"],
+                            },
+                        )
+                if traced:
+                    pending_counts = [len(m) for m in merged.values()]
+                if combiner is not None:
+                    merged = {
+                        vid: combiner(vid, msgs) for vid, msgs in merged.items()
+                    }
+                    if traced:
+                        instruments.observe_combiner(
+                            messages_sent,
+                            sum(len(messages) for messages in merged.values()),
+                        )
+                if self.shuffle_seed is not None:
+                    shuffle_inbox(merged, superstep, self.shuffle_seed)
+                inbox = merged
+                globals_ = reduced
+                step = SuperstepMetrics(
+                    superstep=superstep,
+                    work_per_worker=work,
+                    messages_sent=messages_sent,
+                )
+                metrics.supersteps.append(step)
+                if traced:
+                    step_span.set_attrs(
+                        {
+                            "makespan": step.makespan,
+                            "total_work": step.total_work,
+                            "messages_sent": step.messages_sent,
+                        }
+                    )
+                    tracer.end_span(step_span)
+                    instruments.observe_delivery(pending_counts)
+                superstep += 1
+        finally:
+            for worker in workers:
+                if worker.alive:
+                    try:
+                        worker.conn.send(("stop",))
+                    except OSError:
+                        pass
+            for worker in workers:
+                self._retire(worker)
+            shm_registry.close()
+
+        metrics.add_counter("procpool_workers_lost", self.last_workers_lost)
+        metrics.add_counter("procpool_respawns", self.last_respawns)
+        metrics.wall_time_s = time.perf_counter() - start
+        self.last_metrics = metrics
+        self.last_globals = globals_
+        result = program.finish(states, metrics)
+        if traced:
+            run_span.set_attrs(
+                {
+                    "supersteps": metrics.num_supersteps,
+                    "total_messages": metrics.total_messages,
+                    "total_work": metrics.total_work,
+                    "workers_lost": self.last_workers_lost,
+                    "respawns": self.last_respawns,
+                }
+            )
+            tracer.end_span(run_span)
+            tracer.record(
+                "procpool",
+                workers=self.num_workers,
+                start_method=self.start_method or mp.get_start_method(),
+                workers_lost=self.last_workers_lost,
+                respawns=self.last_respawns,
+                heartbeats=self.last_heartbeats,
+                duplicates_discarded=self.last_duplicates,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # one superstep under the liveness protocol
+    # ------------------------------------------------------------------
+    def _fire_barrier_faults(self, faults, superstep: int) -> Tuple[Optional[int], float]:
+        """Consult the fault plan at the superstep barrier.
+
+        Exception-style chaos kinds (compute crash / transient / stall)
+        fire here at the coordinator; the process kinds return an
+        injection decision: ``(kill, stall_s)`` where ``kill`` is the
+        slot seed to SIGKILL after dispatch (or ``None``) and
+        ``stall_s`` the sleep an envelope must carry (0.0 for none).
+        """
+        kill_slot: Optional[int] = None
+        stall_s = 0.0
+        if faults is None:
+            return kill_slot, stall_s
+        from repro.faults.chaos import manifest_compute_fault
+        from repro.faults.plan import (
+            WORKER_KILL,
+            WORKER_STALL,
+            _COMPUTE_KINDS,
+        )
+
+        process_fault = getattr(faults, "process_fault", None)
+        if process_fault is not None:
+            fault = process_fault(superstep)
+            if fault is not None:
+                if fault.kind == WORKER_KILL:
+                    seed = (
+                        fault.superstep
+                        if fault.superstep is not None
+                        else superstep
+                    )
+                    kill_slot = seed % self.num_workers
+                elif fault.kind == WORKER_STALL:
+                    stall_s = fault.delay_s
+        if not faults.spent() and any(
+            kind in _COMPUTE_KINDS for kind in faults.kinds()
+        ):
+            for vid in self._vertices:
+                fault = faults.compute_fault(superstep, vid)
+                if fault is None:
+                    continue
+                manifest_compute_fault(fault, superstep, vid)
+        return kill_slot, stall_s
+
+    def _run_superstep(
+        self,
+        ctx,
+        workers: List[_Worker],
+        init_bytes: bytes,
+        superstep: int,
+        inbox: Dict[Any, List[Any]],
+        globals_: Dict[str, Any],
+        states: Dict[Any, Any],
+        vid_to_partition: Dict[Any, int],
+        faults,
+        tracer,
+        lost_counter,
+        respawn_counter,
+        duplicate_counter,
+        hb_latency,
+        step_budget: Optional[float],
+    ) -> Dict[int, Dict[str, Any]]:
+        """Dispatch every partition, supervise liveness, return the
+        accepted result payload per partition."""
+        num_partitions = self.num_workers
+        # slice the merged inbox per partition in one pass
+        inbox_slices: List[Dict[Any, List[Any]]] = [
+            {} for _ in range(num_partitions)
+        ]
+        for vid, messages in inbox.items():
+            partition = vid_to_partition.get(vid)
+            if partition is not None:
+                inbox_slices[partition][vid] = messages
+
+        kill_slot, stall_s = self._fire_barrier_faults(faults, superstep)
+        stall_partition = superstep % num_partitions if stall_s else None
+
+        attempts: Dict[int, int] = {p: 0 for p in range(num_partitions)}
+        completed: Dict[int, Dict[str, Any]] = {}
+        to_dispatch = deque(range(num_partitions))
+        step_started = time.monotonic()
+        poll_s = min(self.heartbeat_interval_s, 0.05)
+
+        def alive_workers() -> List[_Worker]:
+            return [w for w in workers if w.alive]
+
+        def owner_for(partition: int) -> _Worker:
+            preferred = partition % len(workers)
+            for offset in range(len(workers)):
+                worker = workers[(preferred + offset) % len(workers)]
+                if worker.alive:
+                    return worker
+            raise WorkerLostError(
+                f"no live worker left for partition {partition} at "
+                f"superstep {superstep} (respawn budget "
+                f"{self.respawn_limit} exhausted)"
+            )
+
+        def handle_lost(worker: _Worker, reason: str) -> None:
+            if not worker.alive:
+                return
+            self.last_workers_lost += 1
+            lost_counter.inc()
+            tracer.event(
+                "worker-lost",
+                {
+                    "slot": worker.slot,
+                    "generation": worker.generation,
+                    "superstep": superstep,
+                    "reason": reason,
+                    "inflight": sorted(worker.inflight),
+                },
+            )
+            pending = dict(worker.inflight)
+            worker.inflight.clear()
+            worker.cached.clear()
+            self._retire(worker)
+            if self.last_respawns < self.respawn_limit:
+                replacement = self._spawn_worker(
+                    ctx, worker.slot, worker.generation + 1, init_bytes
+                )
+                workers[worker.slot] = replacement
+                self.last_respawns += 1
+                respawn_counter.inc()
+                tracer.event(
+                    "worker-respawn",
+                    {
+                        "slot": worker.slot,
+                        "generation": replacement.generation,
+                        "superstep": superstep,
+                    },
+                )
+            for partition in sorted(pending):
+                attempts[partition] += 1
+                to_dispatch.append(partition)
+
+        def dispatch(partition: int) -> None:
+            worker = owner_for(partition)
+            attempt = attempts[partition]
+            needs_state = partition not in worker.cached
+            state_slice = (
+                {
+                    vid: states[vid]
+                    for vid in self._partitions[partition]
+                    if vid in states
+                }
+                if needs_state
+                else None
+            )
+            envelope_stall = (
+                stall_s
+                if stall_partition == partition and attempt == 0
+                else 0.0
+            )
+            try:
+                worker.conn.send(
+                    (
+                        "task",
+                        superstep,
+                        partition,
+                        attempt,
+                        inbox_slices[partition],
+                        globals_,
+                        state_slice,
+                        envelope_stall,
+                    )
+                )
+            except (BrokenPipeError, OSError):
+                handle_lost(worker, "pipe closed at dispatch")
+                to_dispatch.append(partition)
+                return
+            worker.inflight[partition] = attempt
+            worker.last_beat = time.monotonic()
+            # a worker holding fresh state for a partition someone else
+            # now owns must not be trusted for it again
+            for other in workers:
+                if other is not worker:
+                    other.cached.discard(partition)
+
+        while len(completed) < num_partitions:
+            while to_dispatch:
+                dispatch(to_dispatch.popleft())
+            if kill_slot is not None:
+                victim = None
+                for offset in range(len(workers)):
+                    candidate = workers[(kill_slot + offset) % len(workers)]
+                    if candidate.alive and candidate.process.pid is not None:
+                        victim = candidate
+                        break
+                kill_slot = None
+                if victim is not None:
+                    try:
+                        os.kill(victim.process.pid, signal.SIGKILL)
+                    except (ProcessLookupError, PermissionError):
+                        pass
+            if step_budget is not None and (
+                time.monotonic() - step_started > step_budget
+            ):
+                raise DeadlineExceededError(
+                    f"superstep {superstep} exceeded its deadline of "
+                    f"{step_budget:.3f}s"
+                )
+            connections = [w.conn for w in alive_workers()]
+            if not connections:
+                # force the ladder: every worker gone mid-superstep
+                owner_for(next(iter(set(range(num_partitions)) - set(completed))))
+            ready = _wait_ready(connections, timeout=poll_s)
+            now = time.monotonic()
+            for conn in ready:
+                worker = next(
+                    (w for w in alive_workers() if w.conn is conn), None
+                )
+                if worker is None:
+                    continue
+                while True:
+                    try:
+                        if not conn.poll(0):
+                            break
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        handle_lost(worker, "pipe EOF")
+                        break
+                    worker.last_beat = time.monotonic()
+                    worker.booted = True
+                    kind = message[0]
+                    if kind == "hb":
+                        self.last_heartbeats += 1
+                        hb_latency.observe(
+                            max(time.monotonic() - message[2], 0.0)
+                        )
+                    elif kind == "result":
+                        _, msg_step, partition, attempt, payload = message
+                        if (
+                            msg_step != superstep
+                            or partition in completed
+                            or attempts.get(partition) != attempt
+                            or worker.inflight.get(partition) != attempt
+                        ):
+                            self.last_duplicates += 1
+                            duplicate_counter.inc()
+                            continue
+                        worker.inflight.pop(partition, None)
+                        worker.cached.add(partition)
+                        completed[partition] = payload
+                    elif kind == "err":
+                        _, msg_step, partition, attempt, payload, text = message
+                        worker.inflight.pop(partition, None)
+                        worker.cached.discard(partition)
+                        error: BaseException
+                        if payload is not None:
+                            try:
+                                error = pickle.loads(payload)
+                            except Exception:
+                                error = EngineError(text)
+                        else:
+                            error = EngineError(text)
+                        self._poisoned = (
+                            f"superstep {superstep}: "
+                            f"{type(error).__name__}: {error}"
+                        )
+                        raise error
+            # liveness scan: death and missed heartbeats
+            for worker in alive_workers():
+                if worker.process.exitcode is not None:
+                    handle_lost(
+                        worker,
+                        f"process exited with code {worker.process.exitcode}",
+                    )
+                elif worker.booted and worker.inflight and (
+                    now - worker.last_beat > self.heartbeat_timeout_s
+                ):
+                    handle_lost(worker, "heartbeat deadline missed")
+        return completed

@@ -45,6 +45,17 @@ class TransientEngineError(EngineError):
     """
 
 
+class WorkerLostError(TransientEngineError):
+    """A real worker process died (or stopped heartbeating) and the
+    process pool could not absorb the loss within its respawn budget.
+
+    Raised by :class:`repro.engine.procpool.ProcessBSPEngine` only after
+    in-superstep partition reassignment and bounded respawn both failed;
+    transient by construction — a retry restarts on a fresh pool, which
+    is exactly how Pregel-lineage systems recover a lost worker.
+    """
+
+
 class CheckpointCorruptionError(EngineError):
     """A checkpoint snapshot failed its integrity check (bad checksum,
     truncated pickle, or a payload of the wrong shape)."""

@@ -36,11 +36,14 @@ from repro.faults.plan import (
     LOAD_ERROR,
     STALL,
     TRANSIENT_ERROR,
+    WORKER_KILL,
+    WORKER_STALL,
     Fault,
     FaultPlan,
 )
 from repro.faults.supervisor import (
     DEFAULT_LADDER,
+    PROCESS_LADDER,
     Attempt,
     Deadline,
     DeadlineGuardProgram,
@@ -58,8 +61,11 @@ __all__ = [
     "DEFAULT_LADDER",
     "FAULT_KINDS",
     "LOAD_ERROR",
+    "PROCESS_LADDER",
     "STALL",
     "TRANSIENT_ERROR",
+    "WORKER_KILL",
+    "WORKER_STALL",
     "Attempt",
     "ChaosCheckpointStore",
     "ChaosProgram",

@@ -48,6 +48,26 @@ class InjectedIOError(TransientEngineError, OSError):
     """A planned IO failure (checkpoint store or dataset loader)."""
 
 
+def manifest_compute_fault(fault: Any, superstep: int, vid: Any) -> None:
+    """Turn a fired compute fault into its failure: raise for crashes and
+    transient errors, sleep for stalls (a stall never raises — it burns
+    wall-clock so a cooperative deadline check trips at the next compute
+    call).  Shared by :class:`ChaosProgram` and the multiprocess engine's
+    coordinator-side injection site."""
+    if fault.kind == COMPUTE_CRASH:
+        raise InjectedCrashError(
+            f"injected worker crash at superstep {superstep}, "
+            f"vertex {vid}"
+        )
+    if fault.kind == TRANSIENT_ERROR:
+        raise InjectedTransientError(
+            f"injected transient failure at superstep {superstep}, "
+            f"vertex {vid}"
+        )
+    if fault.kind == STALL:
+        time.sleep(fault.delay_s)
+
+
 class ChaosProgram(VertexProgram):
     """Wrap ``inner`` so each ``compute`` call first consults ``plan``.
 
@@ -76,21 +96,7 @@ class ChaosProgram(VertexProgram):
     def compute(self, ctx: ComputeContext) -> None:
         fault = self.plan.compute_fault(ctx.superstep, ctx.vid)
         if fault is not None:
-            if fault.kind == COMPUTE_CRASH:
-                raise InjectedCrashError(
-                    f"injected worker crash at superstep {ctx.superstep}, "
-                    f"vertex {ctx.vid}"
-                )
-            if fault.kind == TRANSIENT_ERROR:
-                raise InjectedTransientError(
-                    f"injected transient failure at superstep {ctx.superstep}, "
-                    f"vertex {ctx.vid}"
-                )
-            if fault.kind == STALL:
-                # a stall does not raise — it burns wall-clock so the
-                # supervisor's cooperative deadline check trips at the
-                # next compute call
-                time.sleep(fault.delay_s)
+            manifest_compute_fault(fault, ctx.superstep, ctx.vid)
         self.inner.compute(ctx)
 
     def finish(self, states, metrics) -> Any:

@@ -41,6 +41,12 @@ CHECKPOINT_CORRUPT = "checkpoint-corrupt"
 CHECKPOINT_IO = "checkpoint-io"
 #: the dataset loader fails transiently (cold cache, flaky filesystem)
 LOAD_ERROR = "load-error"
+#: a real worker process is SIGKILLed mid-superstep (process engine only;
+#: the coordinator's liveness protocol must reassign/respawn)
+WORKER_KILL = "worker-kill"
+#: a real worker process hangs without heartbeating (process engine only;
+#: detected by the coordinator's heartbeat deadline, not by exceptions)
+WORKER_STALL = "worker-stall"
 
 #: every fault kind the chaos layer can inject
 FAULT_KINDS: Tuple[str, ...] = (
@@ -50,12 +56,17 @@ FAULT_KINDS: Tuple[str, ...] = (
     CHECKPOINT_CORRUPT,
     CHECKPOINT_IO,
     LOAD_ERROR,
+    WORKER_KILL,
+    WORKER_STALL,
 )
 
 #: kinds injected at a (superstep, vertex) compute site
 _COMPUTE_KINDS = (COMPUTE_CRASH, TRANSIENT_ERROR, STALL)
 #: kinds injected at a checkpoint-save barrier
 _CHECKPOINT_KINDS = (CHECKPOINT_CORRUPT, CHECKPOINT_IO)
+#: kinds injected against real worker processes, consulted once per
+#: superstep by :class:`repro.engine.procpool.ProcessBSPEngine`
+_PROCESS_KINDS = (WORKER_KILL, WORKER_STALL)
 
 
 @dataclass(frozen=True)
@@ -93,6 +104,8 @@ class Fault:
                 site += f"/v{self.vertex}"
         elif self.kind in _CHECKPOINT_KINDS and self.save_index is not None:
             site = f"@save{self.save_index}"
+        elif self.kind in _PROCESS_KINDS:
+            site = f"@s{self.superstep if self.superstep is not None else '*'}"
         times = f"×{self.times}" if self.times > 1 else ""
         return f"{self.kind}{site}{times}"
 
@@ -204,6 +217,13 @@ class FaultPlan:
             return Fault(CHECKPOINT_IO, save_index=rng.randrange(3))
         if kind == LOAD_ERROR:
             return Fault(LOAD_ERROR, times=rng.choice((1, 2)))
+        if kind == WORKER_KILL:
+            return Fault(WORKER_KILL, superstep=superstep)
+        if kind == WORKER_STALL:
+            # duration is the caller's stall_s — pick it above the
+            # process engine's heartbeat timeout so the stall is
+            # detectable as a lost worker
+            return Fault(WORKER_STALL, superstep=superstep, delay_s=stall_s)
         raise EngineError(f"unknown fault kind {kind!r}")
 
     # ------------------------------------------------------------------
@@ -242,6 +262,25 @@ class FaultPlan:
                 continue
             fired = self._fire(
                 index, {"site": "compute", "superstep": superstep, "vertex": vertex}
+            )
+            if fired is not None:
+                return fired
+        return None
+
+    def process_fault(self, superstep: int) -> Optional[Fault]:
+        """The armed process-level fault (worker kill/stall) matching
+        ``superstep``, fired and logged — or ``None``.  Consulted once
+        per superstep by the process engine's coordinator; ``superstep``
+        of ``None`` matches the first superstep that asks."""
+        for index, fault in enumerate(self.faults):
+            if fault.kind not in _PROCESS_KINDS:
+                continue
+            if self._remaining[index] <= 0:
+                continue
+            if fault.superstep is not None and fault.superstep != superstep:
+                continue
+            fired = self._fire(
+                index, {"site": "process", "superstep": superstep}
             )
             if fired is not None:
                 return fired

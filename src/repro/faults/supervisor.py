@@ -46,6 +46,15 @@ from repro.obs.spans import NULL_TRACER, TracerBase
 #: default rung sequence of the fallback ladder
 DEFAULT_LADDER: Tuple[str, ...] = ("threaded", "serial", "line")
 
+#: the full ladder with real multiprocess workers at the top: a lost
+#: worker process is first absorbed by the process engine's own
+#: reassign/respawn protocol, then — when the whole pool is lost — the
+#: run restarts on threads, then on the checkpointing engines
+PROCESS_LADDER: Tuple[str, ...] = ("process", "threaded", "serial", "line")
+
+#: every rung a ladder may name, in decreasing order of machinery
+_ALL_RUNGS = ("process", "threaded", "serial", "line")
+
 #: rungs that run on the checkpointing engine (and therefore can resume)
 _CHECKPOINTED_RUNGS = ("serial", "line")
 
@@ -292,15 +301,19 @@ class ResiliencePolicy:
     ladder: Tuple[str, ...] = DEFAULT_LADDER
     store_factory: Optional[Callable[[], Any]] = None
     transient_types: Tuple[type, ...] = ()
+    #: keyword overrides for the ``"process"`` rung's
+    #: :class:`~repro.engine.procpool.ProcessBSPEngine` (``start_method``,
+    #: ``heartbeat_interval_s``, ``heartbeat_timeout_s``, ``respawn_limit``)
+    process_options: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not self.ladder:
             raise EngineError("resilience ladder must name at least one rung")
         for rung in self.ladder:
-            if rung not in ("threaded", "serial", "line"):
+            if rung not in _ALL_RUNGS:
                 raise EngineError(
-                    f"unknown ladder rung {rung!r}; use 'threaded', "
-                    f"'serial' or 'line'"
+                    f"unknown ladder rung {rung!r}; use 'process', "
+                    f"'threaded', 'serial' or 'line'"
                 )
 
 
@@ -343,11 +356,25 @@ class Supervisor:
         return store
 
     def _build_engine(
-        self, rung: str, vertices: List[Any], num_workers: int, store: Any
+        self,
+        rung: str,
+        vertices: List[Any],
+        num_workers: int,
+        store: Any,
+        graph: Any = None,
     ) -> BSPEngine:
         """A **fresh** engine per attempt: the threaded engine poisons
         itself after a mid-superstep failure, and a fresh instance is the
-        honest model of restarting on new workers anyway."""
+        honest model of restarting on new workers anyway (the process
+        engine literally starts a new pool)."""
+        if rung == "process":
+            from repro.engine.procpool import ProcessBSPEngine
+
+            options = dict(self.policy.process_options or {})
+            options.setdefault("deadline", self.policy.deadline)
+            return ProcessBSPEngine(
+                vertices, num_workers=num_workers, graph=graph, **options
+            )
         if rung == "threaded":
             return ThreadedBSPEngine(vertices, num_workers=num_workers)
         return RecoverableBSPEngine(
@@ -422,7 +449,9 @@ class Supervisor:
                 self._fresh_store(faults) if rung in _CHECKPOINTED_RUNGS else None
             )
             for attempt_index in range(self.policy.retry.max_attempts):
-                engine = self._build_engine(rung, vertices, num_workers, store)
+                engine = self._build_engine(
+                    rung, vertices, num_workers, store, graph=graph
+                )
                 program = PathConcatenationProgram(
                     graph,
                     pattern,
@@ -431,7 +460,14 @@ class Supervisor:
                     mode=mode,
                     use_combiner=use_combiner,
                 )
-                wrapped = self._wrap_program(program, faults)
+                # the process rung keeps the (lock-bearing, unpicklable)
+                # chaos/deadline wrappers at the coordinator: the engine
+                # itself fires the plan's faults and enforces deadlines
+                wrapped = (
+                    program
+                    if rung == "process"
+                    else self._wrap_program(program, faults)
+                )
                 resume = (
                     store is not None
                     and attempt_index > 0
@@ -446,6 +482,10 @@ class Supervisor:
                         )
                         attempt.resumed_from = (
                             engine.last_resume_superstep if resume else None
+                        )
+                    elif rung == "process":
+                        extracted = engine.run(
+                            wrapped, trace=tracer, faults=faults
                         )
                     else:
                         extracted = engine.run(wrapped, trace=tracer)

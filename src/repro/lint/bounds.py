@@ -99,6 +99,15 @@ BSP_STORED_BYTES = 112
 CSR_ENTRY_BYTES = 12
 #: one CSR indptr entry (int32); each matrix carries ``n + 1`` of them
 CSR_POINTER_BYTES = 4
+#: shared-memory per-vertex bytes of the process engine's published
+#: graph snapshot: int64 vertex id + int32 label code
+SHM_VERTEX_BYTES = 12
+#: shared-memory per-edge-per-direction bytes of one published CSR
+#: adjacency: int64 target + float64 weight (each label is published in
+#: both directions, so multiply by two per stored edge)
+SHM_EDGE_BYTES = 16
+#: one shared CSR indptr entry (int64); ``n + 1`` per (label, direction)
+SHM_POINTER_BYTES = 8
 
 #: execution modes a node interval can be certified for; ``"any"`` is
 #: the mode-independent bound (valid for basic, partial and vectorized)
@@ -617,12 +626,16 @@ class BoundsAnalyzer:
 
         ``mode`` defaults to ``"partial"`` for the vectorized backend
         (its counters are merged by construction) and ``"basic"`` for
-        BSP (the conservative mode-independent choice).
+        BSP and the process engine (the conservative mode-independent
+        choice).  The ``"process"`` backend certifies the BSP mailbox
+        model **plus** the shared-memory graph snapshot the coordinator
+        publishes for its worker processes (the workers' own views are
+        mappings of the same pages, so the segments count once).
         """
-        if backend not in ("bsp", "vectorized"):
+        if backend not in ("bsp", "vectorized", "process"):
             raise PlanError(
-                f"unknown backend {backend!r}; choose 'bsp' or "
-                f"'vectorized'"
+                f"unknown backend {backend!r}; choose 'bsp', "
+                f"'vectorized' or 'process'"
             )
         if mode is None:
             mode = "partial" if backend == "vectorized" else "basic"
@@ -656,6 +669,10 @@ class BoundsAnalyzer:
                 result.peak_bytes = paths.scale(
                     BSP_MESSAGE_BYTES
                 ) + result.result_edges.scale(BSP_STORED_BYTES)
+                if backend == "process":
+                    result.peak_bytes = (
+                        result.peak_bytes + self._shared_graph_bytes()
+                    )
             return result
         for node in plan.nodes():
             paths = self.node_paths(node.i, node.k, node.j, mode=mode)
@@ -684,6 +701,10 @@ class BoundsAnalyzer:
             result.peak_bytes = self._vectorized_peak(plan, result)
         else:
             result.peak_bytes = self._bsp_peak(plan, result)
+            if backend == "process":
+                result.peak_bytes = (
+                    result.peak_bytes + self._shared_graph_bytes()
+                )
         return result
 
     def annotate_plan(self, plan: Any) -> Dict[int, float]:
@@ -732,6 +753,32 @@ class BoundsAnalyzer:
                 1.0 if count.lo >= 1.0 else 0.0, merged.hi
             )
             total = total + self._csr_bytes(merged)
+        return total
+
+    def _shared_graph_bytes(self) -> Interval:
+        """Bytes of the process engine's shared-memory graph snapshot:
+        the vertex-id/label-code tables plus, per pattern slot, a
+        both-directions CSR adjacency (the published snapshot covers the
+        whole graph, but the pattern's slots are the only labels this
+        analyzer has certified counts for — a sound floor, and exact
+        whenever the pattern touches every edge label, as the paper's
+        workloads do)."""
+        vertices = self.bounds.total_vertices
+        total = vertices.scale(SHM_VERTEX_BYTES)
+        indptr = Interval(
+            (vertices.lo + 1.0) * SHM_POINTER_BYTES * 2.0,
+            INF
+            if vertices.hi == INF
+            else (vertices.hi + 1.0) * SHM_POINTER_BYTES * 2.0,
+        )
+        seen_labels = set()
+        for slot in range(1, self.pattern.length + 1):
+            label = self.pattern.edge_slot(slot).label
+            if label in seen_labels:
+                continue
+            seen_labels.add(label)
+            count = self.bounds.slots[slot].count
+            total = total + count.scale(SHM_EDGE_BYTES * 2.0) + indptr
         return total
 
     def _vectorized_peak(self, plan: Any, result: PlanBounds) -> Interval:

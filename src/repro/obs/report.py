@@ -29,6 +29,8 @@ class TraceData:
         self.memory_watermarks: List[Dict[str, Any]] = []
         self.memory_containment: Optional[Dict[str, Any]] = None
         self.profile_summary: Optional[Dict[str, Any]] = None
+        self.procpool: Optional[Dict[str, Any]] = None
+        self.worker_spans: List[Dict[str, Any]] = []
 
     def sorted_supersteps(self) -> List[Dict[str, Any]]:
         return sorted(self.supersteps, key=lambda attrs: attrs.get("superstep", 0))
@@ -56,6 +58,8 @@ def _ingest(data: TraceData, kind: str, name: str, attrs: Dict[str, Any]) -> Non
             data.supersteps.append(attrs)
         elif name == "extraction" and data.extraction is None:
             data.extraction = attrs
+        elif name == "worker":
+            data.worker_spans.append(attrs)
     elif kind == "drift":
         data.drift.append(attrs)
     elif kind == "plan_drift" and data.plan_drift is None:
@@ -70,6 +74,8 @@ def _ingest(data: TraceData, kind: str, name: str, attrs: Dict[str, Any]) -> Non
         data.memory_containment = attrs
     elif kind == "profile_summary" and data.profile_summary is None:
         data.profile_summary = attrs
+    elif kind == "procpool" and data.procpool is None:
+        data.procpool = attrs
 
 
 #: structured-record kinds the report ingests (beyond spans)
@@ -81,6 +87,7 @@ _RECORD_KINDS = (
     "memory_watermark",
     "memory_containment",
     "profile_summary",
+    "procpool",
 )
 
 
@@ -98,7 +105,13 @@ def _load_jsonl(lines: List[str], path: str) -> TraceData:
             ) from None
         kind = entry.get("kind")
         if kind == "span":
-            _ingest(data, "span", entry.get("name", ""), entry.get("attrs", {}))
+            name = entry.get("name", "")
+            attrs = entry.get("attrs", {})
+            if name == "worker" and "duration_wall" in entry:
+                # worker spans carry the child's measured slice; the
+                # report needs the wall clock, not just the attrs
+                attrs = {**attrs, "duration_wall": entry["duration_wall"]}
+            _ingest(data, "span", name, attrs)
         elif kind in _RECORD_KINDS:
             _ingest(data, kind, kind, entry)
     return data
@@ -419,6 +432,68 @@ def memory_table(data: TraceData) -> str:
     return table
 
 
+def worker_table(data: TraceData) -> str:
+    """Real per-worker wall clock from multiprocess (procpool) runs.
+
+    Each ``worker`` span carries the slice a worker process measured
+    inside itself (``perf_counter`` start/end shipped over the result
+    pipe), so the table shows genuinely parallel wall time — unlike the
+    simulated per-worker makespan of the in-process engines."""
+    from repro.workloads.harness import Row, format_table
+
+    per_worker: Dict[int, Dict[str, Any]] = {}
+    for attrs in data.worker_spans:
+        worker = int(attrs.get("worker", 0))
+        bucket = per_worker.setdefault(
+            worker,
+            {"supersteps": 0, "wall_s": 0.0, "vertices": 0, "work": 0,
+             "pids": set()},
+        )
+        bucket["supersteps"] += 1
+        bucket["wall_s"] += float(attrs.get("duration_wall", 0.0))
+        bucket["vertices"] += int(attrs.get("vertices", 0))
+        bucket["work"] += int(attrs.get("work", 0))
+        if attrs.get("pid") is not None:
+            bucket["pids"].add(int(attrs["pid"]))
+    rows: List[Row] = []
+    for worker in sorted(per_worker):
+        bucket = per_worker[worker]
+        rows.append(
+            Row(
+                f"partition {worker}",
+                {
+                    "supersteps": bucket["supersteps"],
+                    "wall_s": f"{bucket['wall_s']:.6f}",
+                    "vertices": bucket["vertices"],
+                    "work": bucket["work"],
+                    "pids": ",".join(str(p) for p in sorted(bucket["pids"]))
+                    or "-",
+                },
+            )
+        )
+    table = format_table(
+        rows,
+        ["supersteps", "wall_s", "vertices", "work", "pids"],
+        title="per-worker wall clock (real processes)",
+        label_header="worker",
+    )
+    pool = data.procpool
+    if pool is not None:
+        table += (
+            "\nprocpool [{method}]: {workers} workers, "
+            "{lost} lost, {respawns} respawned, {hb} heartbeats, "
+            "{dups} duplicate results discarded".format(
+                method=pool.get("start_method", "?"),
+                workers=pool.get("workers", "?"),
+                lost=pool.get("workers_lost", 0),
+                respawns=pool.get("respawns", 0),
+                hb=pool.get("heartbeats", 0),
+                dups=pool.get("duplicates_discarded", 0),
+            )
+        )
+    return table
+
+
 def report_data(path: str) -> Dict[str, Any]:
     """The machine-readable counterpart of :func:`render_report`, used
     by ``repro.cli report --format json``."""
@@ -448,6 +523,10 @@ def report_data(path: str) -> Dict[str, Any]:
         document["memory_watermarks"] = data.memory_watermarks
     if data.memory_containment is not None:
         document["memory_containment"] = data.memory_containment
+    if data.worker_spans:
+        document["worker_spans"] = data.worker_spans
+    if data.procpool is not None:
+        document["procpool"] = data.procpool
     return document
 
 
@@ -463,6 +542,8 @@ def render_report(path: str) -> str:
         parts.append(profile_table(data))
     if data.memory_watermarks or data.memory_containment is not None:
         parts.append(memory_table(data))
+    if data.worker_spans or data.procpool is not None:
+        parts.append(worker_table(data))
     if data.plan_drift is not None:
         plan = data.plan_drift
         parts.append(

@@ -1,0 +1,33 @@
+"""Shared fixtures for the engine suites.
+
+The procpool tests create real ``/dev/shm`` segments; the autouse
+fixture below scrapes the shm filesystem after *every* engine test and
+fails on any ``repro_*`` residue, so a leaked segment is caught by the
+test that leaked it, not by a later unrelated failure.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_SHM_DIR = "/dev/shm"
+
+
+def shm_residue() -> list:
+    """Names of leaked ``repro_*`` shared-memory segments."""
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:  # platform without a POSIX shm filesystem
+        return []
+    return [name for name in names if name.startswith("repro_")]
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_residue():
+    yield
+    residue = shm_residue()
+    assert not residue, (
+        f"leaked shared-memory segments in {_SHM_DIR}: {residue}"
+    )

@@ -1,0 +1,459 @@
+"""The multiprocess BSP engine (:mod:`repro.engine.procpool`).
+
+Covers the four tentpole guarantees:
+
+* **parity** — fork and spawn pools produce byte-identical results,
+  metrics and globals to the serial engine, on message-passing programs
+  and on real extractions over the shared-memory graph;
+* **liveness** — a worker SIGKILLed or stalled mid-superstep is
+  detected (pipe EOF / missed heartbeats), its partitions are
+  reassigned or its process respawned, and the run completes equal to
+  the fault-free run;
+* **idempotence** — reassignment uses ``(superstep, partition,
+  attempt)`` envelopes, so late duplicate results are discarded rather
+  than double-merged;
+* **leak-proof shm** — every test is followed by a ``/dev/shm`` scrape
+  (autouse fixture in ``conftest.py``); crashes and injected kills must
+  not leave ``repro_*`` segments behind.
+
+Vertex programs are module-level classes: the spawn start method
+re-imports them in the child, so locals/lambdas would not transport.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.evaluator import run_extraction
+from repro.core.planner import make_plan
+from repro.datasets.dblp import generate_dblp
+from repro.engine.bsp import BSPEngine, VertexProgram
+from repro.engine.procpool import (
+    ProcessBSPEngine,
+    SharedGraphView,
+    SharedSegmentRegistry,
+    dumps_program,
+    publish_shared_graph,
+)
+from repro.errors import EngineError, WorkerLostError
+from repro.faults.plan import WORKER_KILL, WORKER_STALL, Fault, FaultPlan
+from repro.graph.hetgraph import ANY_LABEL
+from repro.workloads.patterns import get_workload
+
+# liveness knobs tuned for the test suite: fast heartbeats, a timeout
+# short enough that stall detection does not dominate the suite's wall
+# clock but long enough that a busy CI box never false-positives
+FAST_HB = dict(heartbeat_interval_s=0.02, heartbeat_timeout_s=0.6)
+
+
+class Ring(VertexProgram):
+    """Message-passing ring with per-vertex state and counters — the
+    surfaces where a lost-then-reassigned partition could double-count."""
+
+    def __init__(self, n, steps=4, pause_s=0.0):
+        self.n = n
+        self.steps = steps
+        self.pause_s = pause_s
+
+    def num_supersteps(self):
+        return self.steps
+
+    def global_reducers(self):
+        return {"total_sent": lambda a, b: a + b}
+
+    def compute(self, ctx):
+        state = ctx.state(lambda: {"total": 0})
+        state["total"] += sum(ctx.messages) if ctx.messages else ctx.vid
+        if self.pause_s:
+            time.sleep(self.pause_s)
+        ctx.send((ctx.vid + 1) % self.n, state["total"])
+        ctx.add_counter("computes")
+        ctx.reduce_global("total_sent", 1)
+
+    def finish(self, states, metrics):
+        return {vid: s["total"] for vid, s in sorted(states.items())}
+
+
+class Quiescing(VertexProgram):
+    """Stops sending after two rounds — exercises the quiescence exit."""
+
+    def compute(self, ctx):
+        state = ctx.state(lambda: {"rounds": 0})
+        state["rounds"] += 1
+        if ctx.superstep < 2:
+            ctx.send(ctx.vid, 1)
+
+    def finish(self, states, metrics):
+        return {vid: s["rounds"] for vid, s in states.items()}
+
+
+class Exploding(VertexProgram):
+    """Raises a real (non-injected) error inside a worker process."""
+
+    def compute(self, ctx):
+        if ctx.superstep == 1 and ctx.vid == 0:
+            raise ValueError("boom from a worker process")
+        ctx.send(ctx.vid, 1)
+
+    def finish(self, states, metrics):
+        return dict(states)
+
+
+def _serial(program, n):
+    engine = BSPEngine(list(range(n)), num_workers=1)
+    result = engine.run(program)
+    return result, engine
+
+
+# ----------------------------------------------------------------------
+# shared-memory plumbing
+# ----------------------------------------------------------------------
+class TestSharedSegments:
+    def test_registry_create_close_unlinks(self):
+        registry = SharedSegmentRegistry()
+        segment = registry.create(64)
+        name = segment.name
+        assert name.startswith("repro_")
+        registry.close()
+        # closed registries are idempotent and the segment is gone
+        registry.close()
+        with pytest.raises(FileNotFoundError):
+            SharedSegmentRegistry().attach(name)
+
+    def test_attach_does_not_unlink_creators_segment(self):
+        owner = SharedSegmentRegistry()
+        segment = owner.create(64)
+        segment.buf[:4] = b"abcd"
+        reader = SharedSegmentRegistry()
+        attached = reader.attach(segment.name)
+        assert bytes(attached.buf[:4]) == b"abcd"
+        reader.close()  # non-creator close must not unlink
+        again = SharedSegmentRegistry()
+        assert bytes(again.attach(segment.name).buf[:4]) == b"abcd"
+        again.close()
+        owner.close()
+
+    def test_shared_graph_view_matches_source_graph(self):
+        graph = generate_dblp(n_authors=40, n_papers=60, n_venues=6, seed=3)
+        registry = SharedSegmentRegistry()
+        try:
+            descriptor = publish_shared_graph(graph, registry)
+            view = SharedGraphView(descriptor, registry)
+            assert view.num_vertices() == graph.num_vertices()
+            assert set(view.vertices()) == set(graph.vertices())
+            for vid in list(graph.vertices())[:50]:
+                assert view.label_of(vid) == graph.label_of(vid)
+                for label in ("authorBy", "publishAt", "cite"):
+                    assert sorted(view.out_edges(vid, label)) == sorted(
+                        graph.out_edges(vid, label)
+                    )
+                    assert sorted(view.in_edges(vid, label)) == sorted(
+                        graph.in_edges(vid, label)
+                    )
+            assert len(view.vertices_matching(ANY_LABEL)) == graph.num_vertices()
+            assert set(view.vertices_matching("Author")) == set(
+                graph.vertices_matching("Author")
+            )
+            view.release()
+        finally:
+            registry.close()
+
+    def test_dumps_program_strips_graph_and_roundtrips(self):
+        graph = generate_dblp(n_authors=20, n_papers=30, n_venues=4, seed=5)
+        workload = get_workload("dblp-BP1")
+        plan = make_plan(workload.pattern, graph=graph)
+        from repro.core.evaluator import PathConcatenationProgram
+
+        program = PathConcatenationProgram(
+            graph, workload.pattern, plan, library.path_count()
+        )
+        payload, uses_graph = dumps_program(program)
+        assert uses_graph
+        assert program.graph is graph  # restored after the swap
+        clone = pickle.loads(payload)
+        assert not isinstance(clone.graph, type(graph))
+
+
+# ----------------------------------------------------------------------
+# parity with the serial engine
+# ----------------------------------------------------------------------
+class TestParity:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_ring_matches_serial(self, start_method):
+        n = 20
+        expected, serial = _serial(Ring(n), n)
+        engine = ProcessBSPEngine(
+            list(range(n)), num_workers=2, start_method=start_method, **FAST_HB
+        )
+        got = engine.run(Ring(n))
+        assert got == expected
+        assert dict(engine.last_metrics.counters)["computes"] == dict(
+            serial.last_metrics.counters
+        )["computes"]
+        assert engine.last_globals == serial.last_globals
+        assert engine.last_metrics.num_supersteps == 4
+        assert engine.last_workers_lost == 0
+        assert engine.last_respawns == 0
+
+    def test_quiescence(self):
+        n = 8
+        expected, _ = _serial(Quiescing(), n)
+        engine = ProcessBSPEngine(
+            list(range(n)), num_workers=2, start_method="fork", **FAST_HB
+        )
+        assert engine.run(Quiescing()) == expected
+        assert engine.last_metrics.num_supersteps == 3
+
+    def test_shuffle_seed_preserves_result(self):
+        n = 16
+        expected, _ = _serial(Ring(n), n)
+        engine = ProcessBSPEngine(
+            list(range(n)),
+            num_workers=3,
+            start_method="fork",
+            shuffle_seed=7,
+            **FAST_HB,
+        )
+        assert engine.run(Ring(n)) == expected
+
+    def test_worker_error_propagates_and_cleans_up(self):
+        engine = ProcessBSPEngine(
+            list(range(8)), num_workers=2, start_method="fork", **FAST_HB
+        )
+        with pytest.raises(ValueError, match="boom from a worker"):
+            engine.run(Exploding())
+        # the conftest fixture asserts /dev/shm is clean afterwards
+
+    def test_engine_reuse_requires_reset_after_poison(self):
+        engine = ProcessBSPEngine(
+            list(range(8)), num_workers=2, start_method="fork", **FAST_HB
+        )
+        with pytest.raises(ValueError):
+            engine.run(Exploding())
+        with pytest.raises(EngineError):
+            engine.run(Ring(8))
+        engine.reset()
+        expected, _ = _serial(Ring(8), 8)
+        assert engine.run(Ring(8)) == expected
+
+
+# ----------------------------------------------------------------------
+# liveness: kills, stalls, respawn budget, idempotent reassignment
+# ----------------------------------------------------------------------
+class TestLiveness:
+    def test_worker_kill_is_absorbed(self):
+        n = 60
+        expected, serial = _serial(Ring(n, pause_s=0.002), n)
+        plan = FaultPlan([Fault(WORKER_KILL, superstep=1)])
+        engine = ProcessBSPEngine(
+            list(range(n)), num_workers=3, start_method="fork", **FAST_HB
+        )
+        got = engine.run(Ring(n, pause_s=0.002), faults=plan)
+        assert got == expected
+        assert plan.injected and plan.injected[0]["kind"] == WORKER_KILL
+        assert engine.last_workers_lost >= 1
+        assert engine.last_respawns >= 1
+        counters = dict(engine.last_metrics.counters)
+        assert counters["procpool_workers_lost"] == engine.last_workers_lost
+        assert counters["procpool_respawns"] == engine.last_respawns
+        # reassignment is idempotent: counters and globals match exactly
+        assert counters["computes"] == dict(serial.last_metrics.counters)[
+            "computes"
+        ]
+        assert engine.last_globals == serial.last_globals
+
+    def test_worker_stall_detected_by_heartbeats(self):
+        n = 40
+        expected, _ = _serial(Ring(n), n)
+        plan = FaultPlan([Fault(WORKER_STALL, superstep=1, delay_s=5.0)])
+        engine = ProcessBSPEngine(
+            list(range(n)),
+            num_workers=3,
+            start_method="fork",
+            heartbeat_interval_s=0.02,
+            heartbeat_timeout_s=0.35,
+        )
+        started = time.monotonic()
+        got = engine.run(Ring(n), faults=plan)
+        elapsed = time.monotonic() - started
+        assert got == expected
+        assert engine.last_workers_lost >= 1
+        # the stall (5s) was detected at the heartbeat deadline, not
+        # waited out
+        assert elapsed < 4.0
+        assert engine.last_heartbeats > 0
+
+    def test_respawn_budget_exhausted_survivors_absorb(self):
+        n = 60
+        expected, _ = _serial(Ring(n, pause_s=0.002), n)
+        plan = FaultPlan(
+            [Fault(WORKER_KILL, superstep=0), Fault(WORKER_KILL, superstep=1)]
+        )
+        engine = ProcessBSPEngine(
+            list(range(n)),
+            num_workers=3,
+            start_method="fork",
+            respawn_limit=1,
+            **FAST_HB,
+        )
+        got = engine.run(Ring(n, pause_s=0.002), faults=plan)
+        assert got == expected
+        assert engine.last_workers_lost == 2
+        assert engine.last_respawns == 1
+
+    def test_total_pool_loss_raises_transient_worker_lost(self):
+        n = 30
+        plan = FaultPlan([Fault(WORKER_KILL, superstep=0, times=3)])
+        engine = ProcessBSPEngine(
+            list(range(n)),
+            num_workers=1,
+            start_method="fork",
+            respawn_limit=0,
+            **FAST_HB,
+        )
+        with pytest.raises(WorkerLostError):
+            engine.run(Ring(n, pause_s=0.002), faults=plan)
+        from repro.faults.supervisor import classify_error
+
+        assert classify_error(WorkerLostError("gone")) == "transient"
+
+    def test_no_duplicates_in_fault_free_run(self):
+        n = 20
+        engine = ProcessBSPEngine(
+            list(range(n)), num_workers=2, start_method="fork", **FAST_HB
+        )
+        engine.run(Ring(n))
+        assert engine.last_duplicates == 0
+
+
+# ----------------------------------------------------------------------
+# real extraction over the shared graph
+# ----------------------------------------------------------------------
+class TestExtraction:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = generate_dblp(n_authors=120, n_papers=200, n_venues=10, seed=7)
+        workload = get_workload("dblp-BP1")
+        plan = make_plan(workload.pattern, graph=graph)
+        baseline = run_extraction(
+            graph, workload.pattern, plan, library.path_count(), num_workers=1
+        )
+        return graph, workload.pattern, plan, baseline
+
+    def test_extraction_parity_fork(self, setup):
+        graph, pattern, plan, baseline = setup
+        engine = ProcessBSPEngine.for_graph(
+            graph, num_workers=2, start_method="fork", **FAST_HB
+        )
+        result = run_extraction(
+            graph, pattern, plan, library.path_count(), engine=engine
+        )
+        assert result.graph.equals(baseline.graph)
+
+    def test_extraction_survives_worker_kill(self, setup):
+        from repro.core.evaluator import PathConcatenationProgram
+
+        graph, pattern, plan, baseline = setup
+        faults = FaultPlan([Fault(WORKER_KILL, superstep=1)])
+        engine = ProcessBSPEngine.for_graph(
+            graph, num_workers=3, start_method="fork", **FAST_HB
+        )
+        extracted = engine.run(
+            PathConcatenationProgram(graph, pattern, plan, library.path_count()),
+            faults=faults,
+        )
+        assert extracted.equals(baseline.graph)
+        assert engine.last_workers_lost >= 1
+        assert faults.injected
+
+    def test_traced_run_records_worker_spans(self, setup, tmp_path):
+        from repro.obs.instruments import InstrumentRegistry
+        from repro.obs.report import load_trace, report_data, worker_table
+        from repro.obs.spans import Tracer
+
+        graph, pattern, plan, baseline = setup
+        tracer = Tracer(registry=InstrumentRegistry())
+        engine = ProcessBSPEngine.for_graph(
+            graph, num_workers=2, start_method="fork", **FAST_HB
+        )
+        result = run_extraction(
+            graph, pattern, plan, library.path_count(), engine=engine,
+            tracer=tracer,
+        )
+        assert result.graph.equals(baseline.graph)
+        trace_path = tmp_path / "trace.jsonl"
+        tracer.export(str(trace_path), fmt="jsonl")
+        data = load_trace(str(trace_path))
+        assert data.worker_spans, "no per-worker wall-clock spans recorded"
+        assert data.procpool is not None
+        assert data.procpool["workers"] == 2
+        # every worker span carries a real measured slice and a real pid
+        for attrs in data.worker_spans:
+            assert attrs["duration_wall"] >= 0.0
+            assert attrs["pid"] > 0
+        table = worker_table(data)
+        assert "per-worker wall clock" in table
+        assert "procpool [fork]" in table
+        document = report_data(str(trace_path))
+        assert document["procpool"]["workers"] == 2
+        assert document["worker_spans"]
+
+    def test_extractor_backend_process(self, setup):
+        from repro import GraphExtractor
+
+        graph, pattern, _, baseline = setup
+        extractor = GraphExtractor(
+            graph,
+            num_workers=2,
+            backend="process",
+            process_options=dict(start_method="fork", **FAST_HB),
+        )
+        result = extractor.extract(pattern, library.path_count())
+        assert result.graph.equals(baseline.graph)
+        assert extractor.last_backend == "process"
+        assert extractor.last_fallback_reason is None
+        # the sanitizer needs one instrumented in-process run: fall back
+        sanitized = extractor.extract(
+            pattern, library.path_count(), sanitize=True
+        )
+        assert sanitized.graph.equals(baseline.graph)
+        assert extractor.last_backend == "bsp"
+        assert "sanitize" in extractor.last_fallback_reason
+
+    def test_admission_certifies_process_byte_model(self, setup):
+        from repro import GraphExtractor
+
+        graph, pattern, _, baseline = setup
+        extractor = GraphExtractor(
+            graph,
+            num_workers=2,
+            backend="process",
+            memory_budget=10**9,
+            process_options=dict(start_method="fork", **FAST_HB),
+        )
+        result = extractor.extract(pattern, library.path_count())
+        assert result.graph.equals(baseline.graph)
+        assert extractor.last_admission is not None
+        assert extractor.last_admission.action == "admit"
+
+
+# ----------------------------------------------------------------------
+# engine construction validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_rejects_bad_heartbeat_config(self):
+        with pytest.raises(EngineError):
+            ProcessBSPEngine([1], heartbeat_interval_s=0.0)
+        with pytest.raises(EngineError):
+            ProcessBSPEngine([1], heartbeat_timeout_s=0.01,
+                             heartbeat_interval_s=0.05)
+        with pytest.raises(EngineError):
+            ProcessBSPEngine([1], respawn_limit=-1)
+
+    def test_rejects_bad_start_method(self):
+        with pytest.raises(EngineError):
+            ProcessBSPEngine([1], start_method="threads")

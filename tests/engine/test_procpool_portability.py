@@ -1,0 +1,147 @@
+"""Fork + spawn portability of everything the repo ships.
+
+The spawn start method is the strictest transport: programs, plans,
+aggregates and message payloads must all survive a pickle round-trip
+into a fresh interpreter.  This suite pins two facts:
+
+* the static checker (:func:`repro.lint.procsafe.verify_process_safe`)
+  accepts exactly the payloads the process engine actually ships —
+  every shipped workload program (graph swapped for the shared-memory
+  token, as :func:`~repro.engine.procpool.dumps_program` transports it)
+  and every library aggregate;
+* the dynamic behaviour matches: every catalog workload extracts to the
+  same result on a fork pool as on the serial engine, and spawn pools
+  (interpreter cold-start and all) agree on representative workloads of
+  both datasets, including a holistic aggregate whose full path values
+  cross the pipe.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.aggregates import library
+from repro.core.evaluator import PathConcatenationProgram, run_extraction
+from repro.core.planner import make_plan
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.patent import generate_patent
+from repro.engine.procpool import ProcessBSPEngine, dumps_program
+from repro.lint.procsafe import verify_process_safe
+from repro.workloads.patterns import WORKLOADS, get_workload
+
+FAST_HB = dict(heartbeat_interval_s=0.02, heartbeat_timeout_s=2.0)
+
+#: one workload per dataset family for the (slow) spawn cold-start runs
+SPAWN_WORKLOADS = ("dblp-BP1", "patent-SP3")
+
+AGGREGATE_FACTORIES = {
+    "add_max": library.add_max,
+    "avg_path_value": library.avg_path_value,
+    "count_distinct_path_values": library.count_distinct_path_values,
+    "exists_path": library.exists_path,
+    "max_min": library.max_min,
+    "median_path_value": library.median_path_value,
+    "min_max": library.min_max,
+    "path_count": library.path_count,
+    "std_path_value": library.std_path_value,
+    "sum_min": library.sum_min,
+    "top_k_path_values": lambda: library.top_k_path_values(3),
+    "weighted_path_count": library.weighted_path_count,
+}
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "dblp": generate_dblp(
+            n_authors=80, n_papers=140, n_venues=8, seed=11
+        ),
+        "patent": generate_patent(
+            n_inventors=80, n_patents=140, n_locations=8, n_categories=6,
+            seed=11,
+        ),
+    }
+
+
+def _program(graphs, name, aggregate=None):
+    workload = get_workload(name)
+    graph = graphs[workload.dataset]
+    plan = make_plan(workload.pattern, graph=graph)
+    return graph, workload.pattern, plan, PathConcatenationProgram(
+        graph, workload.pattern, plan, aggregate or library.path_count()
+    )
+
+
+# ----------------------------------------------------------------------
+# static process-safety of the shipped payloads
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_program_payload_is_process_safe(graphs, name):
+    graph, _, _, program = _program(graphs, name)
+    payload, uses_graph = dumps_program(program)
+    assert uses_graph
+    # verify the object as shipped: graph replaced by the shm token
+    verify_process_safe(pickle.loads(payload), name=f"program[{name}]")
+    # the swap must not have mutated the caller's program
+    assert program.graph is graph
+
+
+@pytest.mark.parametrize("name", sorted(AGGREGATE_FACTORIES))
+def test_library_aggregate_is_process_safe(name):
+    verify_process_safe(AGGREGATE_FACTORIES[name](), name=f"aggregate[{name}]")
+
+
+# ----------------------------------------------------------------------
+# dynamic parity: fork everywhere, spawn on representatives
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_fork_extraction_matches_serial(graphs, name):
+    graph, pattern, plan, _ = _program(graphs, name)
+    baseline = run_extraction(
+        graph, pattern, plan, library.path_count(), num_workers=1
+    )
+    engine = ProcessBSPEngine.for_graph(
+        graph, num_workers=2, start_method="fork", **FAST_HB
+    )
+    result = run_extraction(
+        graph, pattern, plan, library.path_count(), engine=engine
+    )
+    assert result.graph.equals(baseline.graph), result.graph.diff(
+        baseline.graph
+    )
+
+
+@pytest.mark.parametrize("name", SPAWN_WORKLOADS)
+def test_spawn_extraction_matches_serial(graphs, name):
+    graph, pattern, plan, _ = _program(graphs, name)
+    baseline = run_extraction(
+        graph, pattern, plan, library.path_count(), num_workers=1
+    )
+    engine = ProcessBSPEngine.for_graph(
+        graph, num_workers=2, start_method="spawn", **FAST_HB
+    )
+    result = run_extraction(
+        graph, pattern, plan, library.path_count(), engine=engine
+    )
+    assert result.graph.equals(baseline.graph), result.graph.diff(
+        baseline.graph
+    )
+
+
+def test_spawn_holistic_aggregate_round_trips(graphs):
+    """Holistic aggregates ship full path-value lists through the result
+    pipe — the heaviest payload the transport carries."""
+    aggregate = library.median_path_value
+    graph, pattern, plan, _ = _program(graphs, "dblp-BP1")
+    baseline = run_extraction(
+        graph, pattern, plan, aggregate(), num_workers=1, mode="basic"
+    )
+    engine = ProcessBSPEngine.for_graph(
+        graph, num_workers=2, start_method="spawn", **FAST_HB
+    )
+    result = run_extraction(
+        graph, pattern, plan, aggregate(), engine=engine, mode="basic"
+    )
+    assert result.graph.equals(baseline.graph)

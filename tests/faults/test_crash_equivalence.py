@@ -171,3 +171,112 @@ class TestSupervisedRestartEquivalence:
             assert report.recovery_points
         else:
             assert report.recovery_points == []
+
+
+class TestProcessRungEquivalence:
+    """The process rung: real OS workers SIGKILLed / stalled
+    mid-superstep must recover to the fault-free result — in-rung via
+    reassignment + respawn when the budget allows, via the ladder when
+    the whole pool is lost.  Deterministic (no hypothesis): each case
+    spawns real processes.
+    """
+
+    POOL = dict(
+        start_method="fork",
+        heartbeat_interval_s=0.02,
+        heartbeat_timeout_s=0.6,
+        respawn_limit=2,
+    )
+
+    @pytest.fixture(autouse=True)
+    def _no_shm_residue(self):
+        import os
+
+        yield
+        residue = [
+            name for name in os.listdir("/dev/shm")
+            if name.startswith("repro_")
+        ]
+        assert not residue, f"leaked shared-memory segments: {residue}"
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.datasets.dblp import generate_dblp
+        from repro.workloads.patterns import get_workload
+
+        graph = generate_dblp(
+            n_authors=100, n_papers=160, n_venues=8, seed=13
+        )
+        pattern = get_workload("dblp-BP1").pattern
+        plan = iter_opt_plan(pattern)
+        from repro.core.evaluator import run_extraction
+
+        baseline = run_extraction(
+            graph, pattern, plan, library.path_count(), num_workers=1
+        )
+        return graph, pattern, plan, baseline
+
+    def _policy(self, **overrides):
+        from repro.faults.supervisor import PROCESS_LADDER
+
+        options = dict(self.POOL, **overrides.pop("process_options", {}))
+        return ResiliencePolicy(
+            retry=FAST_RETRY,
+            ladder=PROCESS_LADDER,
+            process_options=options,
+            **overrides,
+        )
+
+    def test_worker_kill_recovers_in_rung(self, workload):
+        from repro.faults.plan import WORKER_KILL
+
+        graph, pattern, plan, baseline = workload
+        faults = FaultPlan([Fault(WORKER_KILL, superstep=1)])
+        supervisor = Supervisor(policy=self._policy(), sleep=lambda s: None)
+        result = supervisor.run_extraction(
+            graph, pattern, plan, library.path_count(), num_workers=3,
+            faults=faults,
+        )
+        assert result.graph.equals(baseline.graph)
+        report = result.failure_report
+        assert report.succeeded
+        assert report.final_rung == "process"
+        assert not report.degraded
+        assert len(report.faults_injected) == len(faults.injected) == 1
+        # the crashed run's counters equal the fault-free run's exactly
+        # (reassignment must not double-count the killed worker's slice)
+        crashed = dict(result.metrics.counters)
+        clean = dict(baseline.metrics.counters)
+        for counter in ("intermediate_paths", "final_paths"):
+            assert crashed[counter] == clean[counter]
+
+    def test_worker_stall_recovers_in_rung(self, workload):
+        from repro.faults.plan import WORKER_STALL
+
+        graph, pattern, plan, baseline = workload
+        faults = FaultPlan([Fault(WORKER_STALL, superstep=1, delay_s=3.0)])
+        supervisor = Supervisor(policy=self._policy(), sleep=lambda s: None)
+        result = supervisor.run_extraction(
+            graph, pattern, plan, library.path_count(), num_workers=3,
+            faults=faults,
+        )
+        assert result.graph.equals(baseline.graph)
+        assert result.failure_report.final_rung == "process"
+
+    def test_total_pool_loss_degrades_down_the_ladder(self, workload):
+        from repro.faults.plan import WORKER_KILL
+
+        graph, pattern, plan, baseline = workload
+        # a kill on every superstep with no respawn budget and a single
+        # worker: the process rung cannot make progress
+        faults = FaultPlan([Fault(WORKER_KILL, superstep=0, times=20)])
+        policy = self._policy(process_options={"respawn_limit": 0})
+        supervisor = Supervisor(policy=policy, sleep=lambda s: None)
+        result = supervisor.run_extraction(
+            graph, pattern, plan, library.path_count(), num_workers=1,
+            faults=faults,
+        )
+        assert result.graph.equals(baseline.graph)
+        report = result.failure_report
+        assert report.degraded
+        assert report.final_rung in ("threaded", "serial", "line")
