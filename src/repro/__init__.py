@@ -25,6 +25,7 @@ from repro import accel, aggregates, baselines, datasets, faults, obs, workloads
 from repro.core.cost import CostModel
 from repro.core.extractor import GraphExtractor
 from repro.core.plan import PCP, PCPNode
+from repro.core.plancache import PlanCache, subplan_fingerprint
 from repro.core.planner import (
     STRATEGIES,
     hybrid_plan,
@@ -101,6 +102,7 @@ __all__ = [
     "PCPNode",
     "PatternEdge",
     "PatternError",
+    "PlanCache",
     "PlanError",
     "ReproError",
     "ResiliencePolicy",
@@ -125,6 +127,7 @@ __all__ = [
     "make_tracer",
     "obs",
     "path_opt_plan",
+    "subplan_fingerprint",
     "workloads",
     "__version__",
 ]

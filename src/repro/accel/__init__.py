@@ -15,7 +15,11 @@ exploits that:
   generic fallback built from ``aggregate.concat`` / ``aggregate.merge``;
 * :mod:`repro.accel.evaluator` — :class:`VectorizedEvaluator`, which
   walks the same PCP ``evaluation_schedule()`` level by level but
-  evaluates each node as one masked sparse matrix product.
+  evaluates each node as one masked sparse matrix product;
+* :mod:`repro.accel.multi` — :class:`MultiQueryEvaluator`, which merges
+  a batch of requests into one shared DAG keyed by canonical subplan
+  fingerprints (:mod:`repro.core.plancache`) so overlapping
+  intermediates are computed once per snapshot.
 
 Selected through ``GraphExtractor(backend="vectorized")``; holistic
 aggregates, path-trail tracing, the sanitizer and fault injection fall
@@ -27,6 +31,11 @@ from __future__ import annotations
 
 from repro.accel.compact import CompactGraph
 from repro.accel.evaluator import VectorizedEvaluator, run_vectorized_extraction
+from repro.accel.multi import (
+    MultiQueryEvaluator,
+    MultiQueryStats,
+    run_multiquery_extraction,
+)
 from repro.accel.semiring import (
     register_op_ufunc,
     registered_ops,
@@ -36,10 +45,13 @@ from repro.accel.semiring import (
 
 __all__ = [
     "CompactGraph",
+    "MultiQueryEvaluator",
+    "MultiQueryStats",
     "VectorizedEvaluator",
     "register_op_ufunc",
     "registered_ops",
     "resolve_kernels",
+    "run_multiquery_extraction",
     "run_vectorized_extraction",
     "semiring_plan",
 ]

@@ -104,6 +104,13 @@ class CompactGraph:
         }
         self._triples = triples
         self._adjacency: Dict[Tuple[str, str], csr_matrix] = {}
+        #: per-``(label, direction)`` CSR build counts, incremented on
+        #: every :meth:`adjacency` miss and every evaluator slot-matrix
+        #: materialisation against this snapshot (surfaced by
+        #: :meth:`HeterogeneousGraph.compact_cache_stats`).  Sequential
+        #: runs of overlapping queries grow one key per run; a batched
+        #: multi-query run builds each distinct slot once.
+        self.csr_builds: Dict[Tuple[str, str], int] = {}
         self._label_masks: Dict[str, np.ndarray] = {}
         self._filter_masks: Dict[VertexFilter, np.ndarray] = {}
         self._slot_stats: Dict[Tuple, SlotStatistics] = {}
@@ -209,6 +216,7 @@ class CompactGraph:
             n = self.num_vertices
             cached = csr_matrix((weight, (src, dst)), shape=(n, n))
             self._adjacency[key] = cached
+            self.csr_builds[key] = self.csr_builds.get(key, 0) + 1
         return cached
 
     # ------------------------------------------------------------------

@@ -53,6 +53,68 @@ from repro.obs.spans import NULL_TRACER, TracerBase, make_tracer
 _StoreKey = Tuple[int, int]
 
 
+def finalize_roots(
+    compact: CompactGraph,
+    aggregate: Aggregate,
+    kernels: List[Kernel],
+    roots: List[Any],
+) -> Tuple[Dict[Tuple[int, int], Any], int]:
+    """Finalize per-component root matrices into the extracted edge map.
+
+    Returns ``(edges, final_paths)`` where ``final_paths`` is the root
+    matrix's nnz.  Shared by :class:`VectorizedEvaluator` and the
+    multi-query scheduler (:mod:`repro.accel.multi`) so batched and
+    sequential runs assemble results through the same code path.
+    """
+    final_paths = kernels[0].nnz(roots[0])
+    vids = compact.vids.tolist()
+    finalize = aggregate.finalize
+    edges: Dict[Tuple[int, int], Any] = {}
+    if len(kernels) == 1:
+        kernel = kernels[0]
+        if (
+            isinstance(kernel, UfuncKernel)
+            and not kernel.boolean
+            and type(aggregate).finalize is Aggregate.finalize
+        ):
+            # identity finalize over plain floats: build the edge map
+            # with array indexing instead of a per-entry Python loop
+            coo = roots[0].tocoo()
+            edges = dict(
+                zip(
+                    zip(
+                        compact.vids[coo.row].tolist(),
+                        compact.vids[coo.col].tolist(),
+                    ),
+                    coo.data.tolist(),
+                )
+            )
+        else:
+            to_python = kernel.to_python
+            for r, c, value in kernel.entries(roots[0]):
+                edges[(vids[r], vids[c])] = finalize(to_python(value))
+    else:
+        per_component: List[Dict[Tuple[int, int], Any]] = []
+        for kernel, matrix in zip(kernels, roots):
+            to_python = kernel.to_python
+            per_component.append(
+                {(r, c): to_python(v) for r, c, v in kernel.entries(matrix)}
+            )
+        keys = set(per_component[0])
+        for ci, component_entries in enumerate(per_component[1:], start=1):
+            if set(component_entries) != keys:
+                raise EngineError(
+                    f"vectorized backend invariant violated: algebraic "
+                    f"component {ci} of {aggregate.name!r} produced "
+                    f"a different path structure than component 0"
+                )
+        for r, c in keys:
+            edges[(vids[r], vids[c])] = finalize(
+                tuple(entries[(r, c)] for entries in per_component)
+            )
+    return edges, final_paths
+
+
 class VectorizedEvaluator:
     """Evaluate one PCP with semiring sparse kernels.
 
@@ -150,7 +212,8 @@ class VectorizedEvaluator:
         if cached is not None:
             return cached
         kernel = self._kernels[component]
-        rows, cols, weights = compact.slot_triples(self.pattern.edge_slot(slot))
+        edge = self.pattern.edge_slot(slot)
+        rows, cols, weights = compact.slot_triples(edge)
         row_mask = self._position_mask(compact, slot - 1)
         col_mask = self._position_mask(compact, slot)
         if row_mask is not None or col_mask is not None:
@@ -166,6 +229,8 @@ class VectorizedEvaluator:
             len(rows),
         )
         self._slot_cache[key] = built
+        build_key = (edge.label, edge.direction.value)
+        compact.csr_builds[build_key] = compact.csr_builds.get(build_key, 0) + 1
         return built
 
     def _side_matrix(
@@ -406,54 +471,10 @@ class VectorizedEvaluator:
                 },
             )
         kernel_start = time.perf_counter()
-        kernels = self._kernels
-        final_paths = kernels[0].nnz(roots[0])
+        edges, final_paths = finalize_roots(
+            compact, self.aggregate, self._kernels, roots
+        )
         metrics.add_counter("final_paths", final_paths)
-        vids = compact.vids.tolist()
-        finalize = self.aggregate.finalize
-        edges: Dict[Tuple[int, int], Any] = {}
-        if len(kernels) == 1:
-            kernel = kernels[0]
-            if (
-                isinstance(kernel, UfuncKernel)
-                and not kernel.boolean
-                and type(self.aggregate).finalize is Aggregate.finalize
-            ):
-                # identity finalize over plain floats: build the edge map
-                # with array indexing instead of a per-entry Python loop
-                coo = roots[0].tocoo()
-                edges = dict(
-                    zip(
-                        zip(
-                            compact.vids[coo.row].tolist(),
-                            compact.vids[coo.col].tolist(),
-                        ),
-                        coo.data.tolist(),
-                    )
-                )
-            else:
-                to_python = kernel.to_python
-                for r, c, value in kernel.entries(roots[0]):
-                    edges[(vids[r], vids[c])] = finalize(to_python(value))
-        else:
-            per_component: List[Dict[Tuple[int, int], Any]] = []
-            for kernel, matrix in zip(kernels, roots):
-                to_python = kernel.to_python
-                per_component.append(
-                    {(r, c): to_python(v) for r, c, v in kernel.entries(matrix)}
-                )
-            keys = set(per_component[0])
-            for ci, component_entries in enumerate(per_component[1:], start=1):
-                if set(component_entries) != keys:
-                    raise EngineError(
-                        f"vectorized backend invariant violated: algebraic "
-                        f"component {ci} of {self.aggregate.name!r} produced "
-                        f"a different path structure than component 0"
-                    )
-            for r, c in keys:
-                edges[(vids[r], vids[c])] = finalize(
-                    tuple(entries[(r, c)] for entries in per_component)
-                )
         kernel_end = time.perf_counter()
         metrics.counters["result_edges"] = len(edges)
         metrics.supersteps.append(
@@ -508,4 +529,4 @@ def run_vectorized_extraction(
     return evaluator.run()
 
 
-__all__ = ["VectorizedEvaluator", "run_vectorized_extraction"]
+__all__ = ["VectorizedEvaluator", "finalize_roots", "run_vectorized_extraction"]

@@ -1,0 +1,487 @@
+"""Multi-query scheduler: cross-query sharing of PCP sparse products.
+
+Concurrent extraction requests against one :class:`CompactGraph`
+snapshot overwhelmingly share PCP subtrees — catalog patterns extend
+each other, dashboards re-issue the same pattern under several
+aggregates, and even a *single* chain pattern repeats subtree content
+internally (slots of a homogeneous chain are content-equal, so ``[0..2]``
+and ``[2..4]`` of a length-4 chain are the same product).  The
+sequential evaluator recomputes every one of those products per query.
+
+:class:`MultiQueryEvaluator` merges the evaluation schedules of N
+``(pattern, plan, aggregate)`` requests into a single shared DAG keyed
+by the canonical subplan fingerprint
+(:func:`repro.core.plancache.subplan_fingerprint`): fingerprint-equal
+subtrees evaluate to *identical* sparse matrices (slots are determined
+by their content key; products of identical inputs are identical), so
+each canonical node is computed exactly once per snapshot version and
+its matrix fanned out to every use site.  Reference counts free
+intermediate matrices as soon as their last canonical consumer has run.
+
+Per-request results stay **byte-identical** to sequential runs of the
+same plans:
+
+* the kernel pair count ``Σ_k nnz(A[:,k])·nnz(B[k,:])`` is a pure
+  function of the input matrices, so the shared product's ``flops`` is
+  exactly what each sharing query would have measured on its own —
+  ``intermediate_paths`` and per-node ``node_paths:<id>`` counters (and
+  therefore PR-3 drift tracking) are unchanged;
+* per-request :class:`~repro.engine.metrics.SuperstepMetrics` replay the
+  request's own ``evaluation_schedule()`` levels, charging each node its
+  shared flops;
+* assembly goes through the same
+  :func:`~repro.accel.evaluator.finalize_roots` code path, computed once
+  per distinct ``(root fingerprints, aggregate kind)`` group and copied
+  per request.
+
+Only batch wall time differs: every result carries the batch's
+``wall_time_s`` (the per-query cost of a shared product is not
+attributable to one query).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.accel.evaluator import VectorizedEvaluator, finalize_roots
+from repro.aggregates.base import Aggregate
+from repro.core.plan import PCP, PCPNode
+from repro.core.plancache import (
+    aggregate_kind,
+    kernel_signature,
+    slot_fingerprint,
+    subplan_fingerprint,
+)
+from repro.core.result import ExtractedGraph, ExtractionResult
+from repro.engine.metrics import RunMetrics, SuperstepMetrics
+from repro.graph.hetgraph import HeterogeneousGraph
+from repro.graph.pattern import LinePattern
+from repro.obs.spans import NULL_TRACER, TracerBase
+
+#: one batched request: pattern, selected plan (``None`` only for
+#: length-1 patterns) and a distributive/algebraic aggregate
+MultiJob = Tuple[LinePattern, Optional[PCP], Aggregate]
+
+#: assembly identity: the per-component root fingerprints plus the
+#: aggregate kind (which fixes the finalize behaviour)
+_GroupKey = Tuple[Tuple[str, ...], str]
+
+
+@dataclass
+class _CanonicalNode:
+    """One node of the shared DAG — a slot matrix or a sparse product,
+    identified by its content fingerprint."""
+
+    fingerprint: str
+    kind: str  # "slot" | "product"
+    order: int  # registration order; fixes deterministic evaluation
+    height: int  # 0 for slots, 1 + max(children) for products
+    request: int  # representative request (whose kernels/pattern build it)
+    component: int  # representative component index
+    slot: int = 0  # representative slot index (slots only)
+    left: Optional[str] = None
+    right: Optional[str] = None
+    refcount: int = 0  # distinct canonical consumers still to run
+    use_sites: int = 0  # request-side references (sequential-cost sites)
+    users: Set[int] = field(default_factory=set)
+    flops: int = 0  # kernel pair count (products; set at evaluation)
+    raw_count: int = 0  # pre-merge masked edge count (slots)
+
+
+@dataclass
+class MultiQueryStats:
+    """Sharing outcome of one batch (the ``multiquery_*`` obs counters)."""
+
+    requests: int = 0
+    distinct_products: int = 0
+    total_products: int = 0
+    distinct_slots: int = 0
+    total_slots: int = 0
+    assemblies: int = 0
+    nodes_shared: int = 0
+
+    @property
+    def products_saved(self) -> int:
+        """Per-component product evaluations a sequential run would have
+        done minus what the shared DAG actually computed."""
+        return self.total_products - self.distinct_products
+
+    @property
+    def slots_saved(self) -> int:
+        return self.total_slots - self.distinct_slots
+
+    @property
+    def assemblies_saved(self) -> int:
+        return self.requests - self.assemblies
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "multiquery_requests": self.requests,
+            "multiquery_nodes_shared": self.nodes_shared,
+            "multiquery_products_saved": self.products_saved,
+            "multiquery_products_total": self.total_products,
+            "multiquery_products_distinct": self.distinct_products,
+            "multiquery_slots_saved": self.slots_saved,
+            "multiquery_slots_total": self.total_slots,
+            "multiquery_slots_distinct": self.distinct_slots,
+            "multiquery_assemblies": self.assemblies,
+            "multiquery_assemblies_saved": self.assemblies_saved,
+        }
+
+
+class MultiQueryEvaluator:
+    """Evaluate N vectorized extraction requests as one shared DAG.
+
+    Parameters
+    ----------
+    graph:
+        The graph; all requests run against its current compact snapshot.
+    jobs:
+        ``(pattern, plan, aggregate)`` triples.  Plans must already be
+        selected (the extractor's plan cache does that); aggregates must
+        be vectorized-eligible — kernel resolution raises
+        :class:`~repro.errors.AggregationError` on holistic aggregates.
+    tracer:
+        Observability tracer.  Traced batches get a ``multiquery`` root
+        span with one ``shared-level`` child per DAG height plus a
+        ``shared-assemble`` child, and a ``multiquery`` record carrying
+        the sharing counters.
+    """
+
+    def __init__(
+        self,
+        graph: HeterogeneousGraph,
+        jobs: Sequence[MultiJob],
+        tracer: Optional[TracerBase] = None,
+    ) -> None:
+        self.graph = graph
+        self.jobs: List[MultiJob] = list(jobs)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._evaluators = [
+            VectorizedEvaluator(graph, pattern, plan, aggregate)
+            for pattern, plan, aggregate in self.jobs
+        ]
+        self._registry: "OrderedDict[str, _CanonicalNode]" = OrderedDict()
+        # per request: (node_id, component) → fingerprint
+        self._fp_maps: List[Dict[Tuple[int, int], str]] = []
+        self._roots: List[Tuple[str, ...]] = []
+        self._group_keys: List[_GroupKey] = []
+        self._groups: "OrderedDict[_GroupKey, List[int]]" = OrderedDict()
+        self.last_stats: Optional[MultiQueryStats] = None
+
+    # ------------------------------------------------------------------
+    # registration: merge schedules into the shared DAG
+    # ------------------------------------------------------------------
+    def _register_slot(
+        self, request: int, pattern: LinePattern, slot: int, ci: int, sig: Tuple
+    ) -> str:
+        fp = slot_fingerprint(pattern, slot, sig)
+        cnode = self._registry.get(fp)
+        if cnode is None:
+            cnode = _CanonicalNode(
+                fingerprint=fp,
+                kind="slot",
+                order=len(self._registry),
+                height=0,
+                request=request,
+                component=ci,
+                slot=slot,
+            )
+            self._registry[fp] = cnode
+        cnode.use_sites += 1
+        cnode.users.add(request)
+        return fp
+
+    def _register_product(
+        self,
+        request: int,
+        pattern: LinePattern,
+        node: PCPNode,
+        ci: int,
+        sig: Tuple,
+        fp_map: Dict[Tuple[int, int], str],
+    ) -> str:
+        key = (node.node_id, ci)
+        known = fp_map.get(key)
+        if known is not None:
+            return known
+        if node.left is None:
+            left_fp = self._register_slot(request, pattern, node.k, ci, sig)
+        else:
+            left_fp = self._register_product(
+                request, pattern, node.left, ci, sig, fp_map
+            )
+        if node.right is None:
+            right_fp = self._register_slot(request, pattern, node.k + 1, ci, sig)
+        else:
+            right_fp = self._register_product(
+                request, pattern, node.right, ci, sig, fp_map
+            )
+        fp = subplan_fingerprint(pattern, node, sig)
+        cnode = self._registry.get(fp)
+        if cnode is None:
+            height = 1 + max(
+                self._registry[left_fp].height, self._registry[right_fp].height
+            )
+            cnode = _CanonicalNode(
+                fingerprint=fp,
+                kind="product",
+                order=len(self._registry),
+                height=height,
+                request=request,
+                component=ci,
+                left=left_fp,
+                right=right_fp,
+            )
+            self._registry[fp] = cnode
+            # a canonical parent reads each side's matrix exactly once
+            self._registry[left_fp].refcount += 1
+            self._registry[right_fp].refcount += 1
+        cnode.use_sites += 1
+        cnode.users.add(request)
+        fp_map[key] = fp
+        return fp
+
+    def _register(self, stats: MultiQueryStats) -> None:
+        for request, (pattern, plan, aggregate) in enumerate(self.jobs):
+            evaluator = self._evaluators[request]
+            kernels = evaluator._kernels
+            sigs = [kernel_signature(kernel) for kernel in kernels]
+            fp_map: Dict[Tuple[int, int], str] = {}
+            roots: List[str] = []
+            if plan is not None:
+                for ci, sig in enumerate(sigs):
+                    roots.append(
+                        self._register_product(
+                            request, pattern, plan.root, ci, sig, fp_map
+                        )
+                    )
+                stats.total_products += len(list(plan.nodes())) * len(kernels)
+                nl_slots = {
+                    node.k
+                    for node in plan.nodes()
+                    if node.left is None
+                } | {
+                    node.k + 1
+                    for node in plan.nodes()
+                    if node.right is None
+                }
+                stats.total_slots += len(nl_slots) * len(kernels)
+            else:
+                for ci, sig in enumerate(sigs):
+                    roots.append(self._register_slot(request, pattern, 1, ci, sig))
+                stats.total_slots += len(kernels)
+            self._fp_maps.append(fp_map)
+            root_key = tuple(roots)
+            group_key: _GroupKey = (root_key, aggregate_kind(aggregate))
+            self._roots.append(root_key)
+            self._group_keys.append(group_key)
+            members = self._groups.get(group_key)
+            if members is None:
+                self._groups[group_key] = [request]
+                # one assembly per distinct group reads each root once
+                for fp in root_key:
+                    self._registry[fp].refcount += 1
+            else:
+                members.append(request)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _release(self, fingerprint: str, matrices: Dict[str, Any]) -> None:
+        cnode = self._registry[fingerprint]
+        cnode.refcount -= 1
+        if cnode.refcount <= 0:
+            matrices.pop(fingerprint, None)
+
+    def run(self) -> List[ExtractionResult]:
+        """Evaluate the batch; per-request results in request order."""
+        tracer = self.tracer
+        traced = tracer.enabled
+        stats = MultiQueryStats(requests=len(self.jobs))
+        if not self.jobs:
+            self.last_stats = stats
+            return []
+        start = time.perf_counter()
+        compact = self.graph.to_compact()
+        root_span = None
+        if traced:
+            root_span = tracer.start_span(
+                "multiquery",
+                {
+                    "requests": len(self.jobs),
+                    "backend": "vectorized",
+                    "snapshot_version": compact.version,
+                },
+            )
+        self._register(stats)
+        for cnode in self._registry.values():
+            if cnode.kind == "product":
+                stats.distinct_products += 1
+                if cnode.use_sites >= 2:
+                    stats.nodes_shared += 1
+            else:
+                stats.distinct_slots += 1
+        stats.assemblies = len(self._groups)
+
+        by_height: Dict[int, List[_CanonicalNode]] = {}
+        for cnode in self._registry.values():
+            by_height.setdefault(cnode.height, []).append(cnode)
+
+        matrices: Dict[str, Any] = {}
+        for height in sorted(by_height):
+            level = sorted(by_height[height], key=lambda c: c.order)
+            level_span = None
+            if traced:
+                level_span = tracer.start_span(
+                    "shared-level",
+                    {
+                        "height": height,
+                        "nodes": len(level),
+                        "backend": "vectorized",
+                    },
+                )
+            kernel_start = time.perf_counter()
+            level_work = 0
+            for cnode in level:
+                if cnode.kind == "slot":
+                    evaluator = self._evaluators[cnode.request]
+                    matrix, raw = evaluator._slot_matrix(
+                        compact, cnode.slot, cnode.component
+                    )
+                    cnode.raw_count = raw
+                    matrices[cnode.fingerprint] = matrix
+                else:
+                    kernel = self._evaluators[cnode.request]._kernels[
+                        cnode.component
+                    ]
+                    left = matrices[cnode.left]
+                    right = matrices[cnode.right]
+                    product, flops = kernel.matmul(left, right)
+                    cnode.flops = flops
+                    matrices[cnode.fingerprint] = product
+                    level_work += flops
+                    self._release(cnode.left, matrices)
+                    self._release(cnode.right, matrices)
+            kernel_end = time.perf_counter()
+            if traced:
+                level_span.set_attrs(
+                    {
+                        "total_work": level_work,
+                        "kernel_time_s": kernel_end - kernel_start,
+                    }
+                )
+                tracer.end_span(level_span)
+
+        shared_edges: Dict[_GroupKey, Tuple[Dict[Tuple[int, int], Any], int]] = {}
+        assemble_span = None
+        if traced:
+            assemble_span = tracer.start_span(
+                "shared-assemble",
+                {"groups": len(self._groups), "requests": len(self.jobs)},
+            )
+        for group_key, members in self._groups.items():
+            representative = members[0]
+            _, _, aggregate = self.jobs[representative]
+            kernels = self._evaluators[representative]._kernels
+            roots = [matrices[fp] for fp in group_key[0]]
+            shared_edges[group_key] = finalize_roots(
+                compact, aggregate, kernels, roots
+            )
+            for fp in group_key[0]:
+                self._release(fp, matrices)
+        if traced:
+            tracer.end_span(assemble_span)
+
+        wall = time.perf_counter() - start
+        results = [
+            self._fanout(request, shared_edges, wall)
+            for request in range(len(self.jobs))
+        ]
+        self.last_stats = stats
+        if traced:
+            root_span.set_attrs(stats.as_dict())
+            tracer.end_span(root_span)
+            tracer.record("multiquery", **stats.as_dict())
+        return results
+
+    # ------------------------------------------------------------------
+    # fan-out: per-request metrics replaying the sequential accounting
+    # ------------------------------------------------------------------
+    def _fanout(
+        self,
+        request: int,
+        shared_edges: Dict[_GroupKey, Tuple[Dict[Tuple[int, int], Any], int]],
+        wall: float,
+    ) -> ExtractionResult:
+        pattern, plan, _ = self.jobs[request]
+        evaluator = self._evaluators[request]
+        fp_map = self._fp_maps[request]
+        metrics = RunMetrics(num_workers=1)
+        if plan is not None:
+            for step, nodes in enumerate(evaluator._schedule):
+                step_flops = 0
+                for node in nodes:
+                    node_flops = self._registry[fp_map[(node.node_id, 0)]].flops
+                    metrics.add_counter("intermediate_paths", node_flops)
+                    metrics.add_counter(
+                        evaluator._node_counters[node.node_id], node_flops
+                    )
+                    step_flops += node_flops
+                metrics.supersteps.append(
+                    SuperstepMetrics(
+                        superstep=step,
+                        work_per_worker=[step_flops],
+                        messages_sent=0,
+                    )
+                )
+        else:
+            raw = self._registry[self._roots[request][0]].raw_count
+            metrics.add_counter("intermediate_paths", raw)
+            metrics.supersteps.append(
+                SuperstepMetrics(
+                    superstep=0, work_per_worker=[raw], messages_sent=0
+                )
+            )
+        edges_shared, final_paths = shared_edges[self._group_keys[request]]
+        metrics.add_counter("final_paths", final_paths)
+        edges = dict(edges_shared)
+        metrics.counters["result_edges"] = len(edges)
+        metrics.supersteps.append(
+            SuperstepMetrics(
+                superstep=evaluator._enumeration_steps,
+                work_per_worker=[final_paths],
+                messages_sent=0,
+            )
+        )
+        metrics.wall_time_s = wall
+        vertices = set(self.graph.vertices_matching(pattern.start_label))
+        vertices.update(self.graph.vertices_matching(pattern.end_label))
+        extracted = ExtractedGraph(
+            pattern.start_label, pattern.end_label, vertices, edges
+        )
+        return ExtractionResult(graph=extracted, metrics=metrics, plan=plan)
+
+
+def run_multiquery_extraction(
+    graph: HeterogeneousGraph,
+    jobs: Sequence[MultiJob],
+    tracer: Optional[TracerBase] = None,
+) -> Tuple[List[ExtractionResult], MultiQueryStats]:
+    """Evaluate a batch of requests through the shared DAG and return
+    ``(results, stats)`` — the batched counterpart of
+    :func:`repro.accel.evaluator.run_vectorized_extraction`."""
+    evaluator = MultiQueryEvaluator(graph, jobs, tracer=tracer)
+    results = evaluator.run()
+    return results, evaluator.last_stats
+
+
+__all__ = [
+    "MultiJob",
+    "MultiQueryEvaluator",
+    "MultiQueryStats",
+    "run_multiquery_extraction",
+]

@@ -114,6 +114,8 @@ def run_batch_extraction(
     jobs: Sequence[Tuple[LinePattern, Optional[PCP], Aggregate]],
     num_workers: int = 1,
     mode: str = "partial",
+    backend: str = "bsp",
+    tracer=None,
 ) -> List[ExtractionResult]:
     """Extract several patterns in one shared BSP run.
 
@@ -122,7 +124,20 @@ def run_batch_extraction(
     :class:`~repro.core.result.ExtractionResult` per job, all sharing the
     batch's :class:`~repro.engine.metrics.RunMetrics`; per-job counters
     appear under ``job<i>.<name>``.
+
+    ``backend="vectorized"`` routes the batch through the multi-query
+    scheduler (:mod:`repro.accel.multi`): schedules are merged into one
+    shared DAG, each fingerprint-identical sparse product is computed
+    once, and each job gets its *own* :class:`~repro.engine.metrics.
+    RunMetrics` with sequential-identical counters (no ``job<i>.``
+    prefixing).  Jobs must be vectorized-eligible; ``num_workers`` is
+    ignored on that path (kernels are single-process).
     """
+    if backend == "vectorized":
+        from repro.accel.multi import run_multiquery_extraction
+
+        results, _ = run_multiquery_extraction(graph, jobs, tracer=tracer)
+        return results
     programs = [
         PathConcatenationProgram(graph, pattern, plan, aggregate, mode=mode)
         for pattern, plan, aggregate in jobs

@@ -24,6 +24,7 @@ from repro.core.backend import process_fallback_reason, vectorized_fallback_reas
 from repro.core.cost import CostModel
 from repro.core.evaluator import run_extraction
 from repro.core.plan import PCP
+from repro.core.plancache import PlanCache, PlanCacheKey
 from repro.core.planner import make_plan
 from repro.core.result import ExtractionResult
 from repro.errors import (
@@ -160,6 +161,20 @@ class GraphExtractor:
         their certified per-node bounds, so the drift report also
         checks *containment* — an observed counter above its certified
         bound raises :class:`~repro.errors.BoundsViolationError`.
+    plan_cache:
+        Optional keyed plan cache (:class:`~repro.core.plancache.
+        PlanCache`).  ``True`` creates a private cache; an instance may
+        be shared across extractors of the same graph.  When enabled,
+        plan selection is memoised by ``(pattern canon, schema version,
+        snapshot stats version, aggregate kind, strategy, mode,
+        estimator)``; each entry carries the PR-7
+        :class:`~repro.lint.bounds.PatternBounds` certificate and the
+        cached plan is annotated with its certified per-node bounds
+        (arming the drift containment check).  Entries are invalidated
+        by graph version bumps and by observed cost-model drift beyond
+        the cache's threshold.  Hit/miss counters land on the tracer as
+        ``cache`` records (surfaced by ``repro report``), never in
+        per-run :class:`~repro.engine.metrics.RunMetrics` counters.
     """
 
     def __init__(
@@ -178,6 +193,7 @@ class GraphExtractor:
         backend: str = "bsp",
         memory_budget: Optional[int] = None,
         process_options: Optional[dict] = None,
+        plan_cache=None,
     ) -> None:
         if backend not in BACKENDS:
             raise EngineError(
@@ -228,7 +244,16 @@ class GraphExtractor:
         #: observed-vs-certified memory record of the most recent
         #: memory-profiled extraction (``None`` otherwise)
         self.last_memory_containment: Optional[dict] = None
-        self._stats: Optional[GraphStatistics] = None
+        #: keyed plan cache (``None`` when caching is off)
+        if plan_cache is True:
+            self.plan_cache: Optional[PlanCache] = PlanCache()
+        elif plan_cache:
+            self.plan_cache = plan_cache
+        else:
+            self.plan_cache = None
+        #: :class:`~repro.accel.multi.MultiQueryStats` of the most recent
+        #: vectorized :meth:`extract_many` batch (``None`` otherwise)
+        self.last_batch_stats = None
 
     def _verify_inputs(
         self,
@@ -260,10 +285,10 @@ class GraphExtractor:
 
     @property
     def stats(self) -> GraphStatistics:
-        """Graph statistics, collected once and cached."""
-        if self._stats is None:
-            self._stats = GraphStatistics.collect(self.graph)
-        return self._stats
+        """Graph statistics, collected once per graph version and shared
+        across every extractor of the same graph (they key plan costs,
+        so per-extractor copies would recollect per method run)."""
+        return self.graph.statistics()
 
     # ------------------------------------------------------------------
     # planning
@@ -298,6 +323,72 @@ class GraphExtractor:
             rng=rng,
             estimator=self.estimator,
         )
+
+    def _plan_cached(
+        self,
+        pattern: LinePattern,
+        aggregate: Aggregate,
+        strategy: Optional[str],
+        use_partial: bool,
+    ):
+        """Plan selection through the keyed cache.  Returns
+        ``(plan, key, hit)``; on a miss the selected plan is annotated
+        with its certified bounds and stored together with the
+        :class:`~repro.lint.bounds.PatternBounds` certificate."""
+        cache = self.plan_cache
+        cache.evict_stale(self.graph.version)
+        key = cache.key_for(
+            self.graph,
+            pattern,
+            aggregate,
+            strategy=strategy or self.strategy,
+            mode="partial" if use_partial else "basic",
+            estimator=self.estimator,
+        )
+        entry = cache.lookup(key)
+        if entry is not None:
+            return entry.plan, key, True
+        plan = self.plan(
+            pattern, strategy=strategy, partial_aggregation=use_partial
+        )
+        certificate = None
+        if plan is not None:
+            from repro.lint.bounds import BoundsAnalyzer, PatternBounds
+
+            certificate = PatternBounds.from_compact(
+                self.graph.to_compact(), pattern
+            )
+            BoundsAnalyzer(pattern, certificate).annotate_plan(plan)
+        cache.store(key, plan, certificate)
+        return plan, key, False
+
+    def _select_plan(
+        self,
+        pattern: LinePattern,
+        aggregate: Aggregate,
+        strategy: Optional[str],
+        use_partial: bool,
+    ):
+        """One plan selection, cache-aware: ``(plan, key, hit)`` with
+        ``key`` ``None`` when the cache is off."""
+        if self.plan_cache is not None:
+            return self._plan_cached(pattern, aggregate, strategy, use_partial)
+        plan = self.plan(
+            pattern, strategy=strategy, partial_aggregation=use_partial
+        )
+        return plan, None, False
+
+    def cache_stats(self) -> dict:
+        """Plan-cache plus :class:`CompactGraph` cache effectiveness
+        counters of this extractor's graph (the payload of the ``cache``
+        obs record)."""
+        stats = dict(
+            self.plan_cache.stats()
+            if self.plan_cache is not None
+            else PlanCache().stats()
+        )
+        stats.update(self.graph.compact_cache_stats())
+        return stats
 
     # ------------------------------------------------------------------
     # extraction
@@ -435,6 +526,7 @@ class GraphExtractor:
             )
             if fallback_reason is not None:
                 obs.event("backend-fallback", {"reason": fallback_reason})
+        cache_key: Optional[PlanCacheKey] = None
         try:
             if plan is None:
                 if traced:
@@ -442,11 +534,13 @@ class GraphExtractor:
                         "plan-selection",
                         {"strategy": strategy or self.strategy},
                     ) as plan_span:
-                        plan = self.plan(
-                            pattern,
-                            strategy=strategy,
-                            partial_aggregation=use_partial,
+                        plan, cache_key, cache_hit = self._select_plan(
+                            pattern, aggregate, strategy, use_partial
                         )
+                        if cache_key is not None:
+                            plan_span.set_attrs(
+                                {"plan_cache": "hit" if cache_hit else "miss"}
+                            )
                         if plan is not None:
                             plan_span.set_attrs(
                                 {
@@ -457,8 +551,8 @@ class GraphExtractor:
                                 }
                             )
                 else:
-                    plan = self.plan(
-                        pattern, strategy=strategy, partial_aggregation=use_partial
+                    plan, cache_key, _ = self._select_plan(
+                        pattern, aggregate, strategy, use_partial
                     )
             admission = None
             if self.memory_budget is not None:
@@ -577,6 +671,10 @@ class GraphExtractor:
                     f"violated) — this is a soundness bug in "
                     f"repro.lint.bounds, not a data problem"
                 )
+        if cache_key is not None and self.plan_cache is not None:
+            # feed observed drift back: a breach evicts the entry so the
+            # next request for this key replans
+            self.plan_cache.observe_drift(cache_key, result.drift)
         if traced:
             root_span.set_attrs(
                 {
@@ -586,6 +684,7 @@ class GraphExtractor:
                 }
             )
             attach_drift(obs, result.drift)
+            obs.record("cache", **self.cache_stats())
             if session.enabled:
                 if owns_profile:
                     session.emit(obs)
@@ -755,32 +854,143 @@ class GraphExtractor:
         strategy: Optional[str] = None,
         num_workers: Optional[int] = None,
         verify: Optional[bool] = None,
+        aggregates=None,
+        backend: Optional[str] = None,
+        tracer: TraceSpec = None,
     ):
-        """Extract several patterns in one shared BSP run.
+        """Extract several requests in one batched run.
 
-        All plans are aligned so their roots complete together; the run
-        costs ``max(height) + 1`` supersteps instead of one run per
-        pattern (the per-iteration vertex-scan term is shared).  Returns
-        one :class:`~repro.core.result.ExtractionResult` per pattern, in
-        order.  Holistic aggregates are not supported in batches (they
-        force basic mode per job; run them individually).
+        ``patterns`` is a sequence of :class:`LinePattern` (all sharing
+        ``aggregate``) or of ``(pattern, aggregate)`` pairs; a parallel
+        ``aggregates`` list is also accepted.  Returns one
+        :class:`~repro.core.result.ExtractionResult` per request, in
+        order.
+
+        On the ``"vectorized"`` backend the batch runs through the
+        multi-query scheduler (:mod:`repro.accel.multi`): per-request
+        evaluation schedules are merged into one shared DAG keyed by the
+        canonical subplan fingerprint and every fingerprint-identical
+        sparse product is computed once per snapshot version.  Each
+        result's edges, values and plan counters are byte-identical to a
+        sequential :meth:`extract` of the same plan (only
+        ``wall_time_s``, which carries the batch wall time, differs);
+        the sharing outcome is kept on ``last_batch_stats``.  A request
+        mix the kernels cannot express (holistic aggregates; a
+        sanitizing or supervised extractor) falls back to the shared
+        BSP batch with a logged reason, exactly like :meth:`extract`.
+
+        On ``"bsp"`` all plans are aligned so their roots complete
+        together; the run costs ``max(height) + 1`` supersteps instead
+        of one run per pattern and the jobs share one
+        :class:`~repro.engine.metrics.RunMetrics` with ``job<i>.``
+        prefixed counters.  Holistic aggregates are not supported in
+        batches (they need basic mode per job; run them individually).
         """
         from repro.core.batch import run_batch_extraction
 
-        aggregate = aggregate if aggregate is not None else path_count()
+        default_aggregate = aggregate if aggregate is not None else path_count()
         use_verify = self.verify if verify is None else verify
-        validate_aggregate(aggregate)
+        requests = []
+        for index, item in enumerate(patterns):
+            if isinstance(item, tuple):
+                pattern, job_aggregate = item
+            else:
+                pattern = item
+                job_aggregate = (
+                    aggregates[index] if aggregates is not None
+                    else default_aggregate
+                )
+            requests.append((pattern, job_aggregate))
+        use_backend = self.backend if backend is None else backend
+        if use_backend not in BACKENDS:
+            raise EngineError(
+                f"unknown backend {use_backend!r}; choose one of {BACKENDS}"
+            )
+        if use_backend == "process":
+            # the process pool runs one program per pool; batches stay
+            # on the in-process engines
+            use_backend = "bsp"
+        fallback_reason = None
+        if use_backend == "vectorized":
+            for pattern, job_aggregate in requests:
+                fallback_reason = vectorized_fallback_reason(
+                    job_aggregate,
+                    trace=False,
+                    sanitize=self.sanitize,
+                    resilience=self.resilience,
+                    faults=None,
+                )
+                if fallback_reason is not None:
+                    _accel_log.info(
+                        "vectorized batch falling back to bsp: %s",
+                        fallback_reason,
+                    )
+                    use_backend = "bsp"
+                    break
+        self.last_backend = use_backend
+        self.last_fallback_reason = fallback_reason
         jobs = []
-        for pattern in patterns:
+        cache_keys = []
+        for pattern, job_aggregate in requests:
+            validate_aggregate(job_aggregate)
             if self.validate_patterns:
                 pattern.validate_against(self.graph.schema)
-            jobs.append((pattern, self.plan(pattern, strategy=strategy), aggregate))
+            use_partial = (
+                self.partial_aggregation
+                and job_aggregate.supports_partial_aggregation
+            )
+            plan, key, _ = self._select_plan(
+                pattern, job_aggregate, strategy, use_partial
+            )
+            jobs.append((pattern, plan, job_aggregate))
+            cache_keys.append(key)
         if use_verify:
             for _, job_plan, job_aggregate in jobs:
                 self._verify_inputs(job_aggregate, job_plan)
-        return run_batch_extraction(
-            self.graph,
-            jobs,
-            num_workers=num_workers or self.num_workers,
-            mode="partial" if aggregate.supports_partial_aggregation else "basic",
-        )
+        spec = tracer if tracer is not None else self.trace
+        obs = make_tracer(spec)
+        traced = obs.enabled
+        self.last_trace = obs if traced else None
+        if use_backend == "vectorized":
+            from repro.accel.multi import run_multiquery_extraction
+
+            results, stats = run_multiquery_extraction(
+                self.graph, jobs, tracer=obs
+            )
+            self.last_batch_stats = stats
+            for result, key in zip(results, cache_keys):
+                result.drift = compute_drift(result.plan, result.metrics)
+                if result.drift is not None:
+                    violations = result.drift.containment_violations()
+                    if violations:
+                        worst = violations[0]
+                        raise BoundsViolationError(
+                            f"observed node_paths:{worst.node_id} = "
+                            f"{worst.observed_paths} exceeds its certified "
+                            f"upper bound {worst.bound:g} in a batched run "
+                            f"— this is a soundness bug in "
+                            f"repro.lint.bounds, not a data problem"
+                        )
+                if key is not None and self.plan_cache is not None:
+                    self.plan_cache.observe_drift(key, result.drift)
+        else:
+            self.last_batch_stats = None
+            mode = (
+                "partial"
+                if all(
+                    job_aggregate.supports_partial_aggregation
+                    for _, _, job_aggregate in jobs
+                )
+                else "basic"
+            )
+            results = run_batch_extraction(
+                self.graph,
+                jobs,
+                num_workers=num_workers or self.num_workers,
+                mode=mode,
+            )
+        if traced:
+            obs.record("cache", **self.cache_stats())
+            if owns_tracer(spec) and obs.sink is not None:
+                obs.export()
+        return results

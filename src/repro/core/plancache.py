@@ -1,0 +1,345 @@
+"""Canonical subplan fingerprints and the certificate-carrying plan cache.
+
+Two PCP nodes — possibly belonging to *different* plans compiled for
+*different* requests — produce the same intermediate sparse product
+whenever the pattern content they cover is identical: per edge slot the
+edge label, traversal direction and the endpoint position labels/filters,
+plus the internal split structure and the ``(⊗, ⊕)`` kernel the product
+runs under.  :func:`subplan_fingerprint` hashes exactly that content, so
+the fingerprint is stable across plan objects, plan strategies that pick
+the same subtree, and extractor instances.  The multi-query scheduler
+(:mod:`repro.accel.multi`) merges evaluation schedules into one DAG keyed
+by these fingerprints and computes every shared product exactly once per
+snapshot version.
+
+:class:`PlanCache` memoises *whole* selected plans, keyed by
+``(pattern canon, schema version, snapshot stats version, aggregate
+kind)`` plus the planning knobs (strategy / mode / estimator) a plan
+depends on.  Each entry carries its PR-7 certificate — the measured
+:class:`~repro.lint.bounds.PatternBounds` seed plus the per-node bounds
+annotated onto the plan — so admission control and the drift tracker's
+containment check keep working on cache hits.  Entries are invalidated
+two ways:
+
+* **version bumps** — the snapshot stats version is part of the key, so
+  any graph mutation makes every old entry unreachable
+  (:meth:`PlanCache.evict_stale` reclaims them);
+* **cost-model drift** — :meth:`PlanCache.observe_drift` drops an entry
+  whose observed :attr:`~repro.obs.drift.DriftReport.plan_drift` ratio
+  leaves ``[1/threshold, threshold]``; the next request replans against
+  reality instead of reusing a plan chosen on estimates the run just
+  disproved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.plan import PCP, PCPNode
+from repro.errors import PlanError
+from repro.graph.pattern import LinePattern
+
+#: drift ratios outside ``[1/threshold, threshold]`` invalidate a cached
+#: plan (the estimates it was ranked on are off by that factor)
+DEFAULT_DRIFT_THRESHOLD = 8.0
+
+#: default LRU capacity of a :class:`PlanCache`
+DEFAULT_CAPACITY = 256
+
+
+# ----------------------------------------------------------------------
+# canonical content keys
+# ----------------------------------------------------------------------
+def filter_key(vertex_filter: Any) -> Optional[Tuple]:
+    """Canonical content of a position filter (``None`` when absent)."""
+    if vertex_filter is None:
+        return None
+    return (vertex_filter.attr, vertex_filter.op, repr(vertex_filter.value))
+
+
+def position_key(pattern: LinePattern, position: int) -> Tuple:
+    """Canonical content of one pattern position: label plus filter."""
+    return (pattern.label_at(position), filter_key(pattern.filter_at(position)))
+
+
+def slot_key(pattern: LinePattern, slot: int) -> Tuple:
+    """Canonical content of one edge slot: edge label, direction, and
+    both endpoint positions (whose masks the slot matrix applies)."""
+    edge = pattern.edge_slot(slot)
+    return (
+        edge.label,
+        edge.direction.value,
+        position_key(pattern, slot - 1),
+        position_key(pattern, slot),
+    )
+
+
+def pattern_key(pattern: LinePattern) -> Tuple:
+    """Canonical content of a whole pattern — every slot key (consecutive
+    slot keys overlap on the shared position, so all positions are
+    covered).  Content-equal patterns get equal keys even when built
+    through different constructors."""
+    return tuple(slot_key(pattern, slot) for slot in range(1, pattern.length + 1))
+
+
+def aggregate_kind(aggregate: Any) -> str:
+    """The cache-key identity of an aggregate: class, registered name,
+    algebraic kind and the ``(⊗, ⊕)`` op names of every component.  Two
+    aggregates with equal kinds plan and evaluate identically."""
+    parts = [type(aggregate).__name__, aggregate.name, aggregate.kind.value]
+    components = getattr(aggregate, "components", None)
+    if components:
+        for component in components:
+            parts.append(
+                f"{component.name}"
+                f"({component.combine_op.name},{component.merge_op.name})"
+            )
+    else:
+        combine = getattr(aggregate, "combine_op", None)
+        merge = getattr(aggregate, "merge_op", None)
+        if combine is not None:
+            parts.append(combine.name)
+        if merge is not None:
+            parts.append(merge.name)
+    return ":".join(parts)
+
+
+def kernel_signature(kernel: Any) -> Tuple:
+    """The product-relevant identity of a resolved semiring kernel: the
+    kernel tier, the component name (which fixes ``initial_edge``, i.e.
+    the stored edge values) and the ``(⊗, ⊕)`` op pair."""
+    component = kernel.component
+    return (
+        type(kernel).__name__,
+        component.name,
+        component.combine_op.name,
+        component.merge_op.name,
+        bool(getattr(kernel, "boolean", False)),
+    )
+
+
+def _digest(payload: Tuple) -> str:
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+def subplan_canon(pattern: LinePattern, node: PCPNode) -> Tuple:
+    """The canonical structure of the subtree rooted at ``node``: slots by
+    content (not index), splits by shape.  Equal canons ⇒ the two
+    subtrees compute identical sparse products under equal kernels."""
+    if node.left is None:
+        left: Tuple = ("slot", slot_key(pattern, node.k))
+    else:
+        left = ("node", subplan_canon(pattern, node.left))
+    if node.right is None:
+        right: Tuple = ("slot", slot_key(pattern, node.k + 1))
+    else:
+        right = ("node", subplan_canon(pattern, node.right))
+    return ("concat", left, right)
+
+
+def subplan_fingerprint(
+    pattern: LinePattern, node: PCPNode, kernel_sig: Tuple = ()
+) -> str:
+    """Structural hash of one PCP node's product: the canonical subtree
+    content plus the kernel signature it is evaluated under.  Stable
+    across plan objects and processes (pure content hash)."""
+    return _digest(("subplan", subplan_canon(pattern, node), kernel_sig))
+
+
+def slot_fingerprint(
+    pattern: LinePattern, slot: int, kernel_sig: Tuple = ()
+) -> str:
+    """Structural hash of one NL slot matrix (single-edge products and
+    the leaves of the shared DAG)."""
+    return _digest(("slot", slot_key(pattern, slot), kernel_sig))
+
+
+# ----------------------------------------------------------------------
+# the keyed plan cache
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanCacheKey:
+    """Identity of one planning decision.
+
+    ``pattern`` is the canonical pattern content (:func:`pattern_key`),
+    ``schema_version`` / ``stats_version`` pin the schema and snapshot
+    the plan was ranked against, ``aggregate`` the
+    :func:`aggregate_kind`, and strategy / mode / estimator the planner
+    knobs that change which plan wins.
+    """
+
+    pattern: Tuple
+    schema_version: int
+    stats_version: int
+    aggregate: str
+    strategy: str
+    mode: str
+    estimator: str
+
+
+@dataclass
+class CachedPlan:
+    """One cache entry: the selected plan plus its PR-7 certificate.
+
+    ``certificate`` is the measured
+    :class:`~repro.lint.bounds.PatternBounds` the plan's per-node bounds
+    (``plan.node_bounds``) were derived from; admission control can
+    reuse it without re-snapshotting the graph.
+    """
+
+    plan: Optional[PCP]
+    certificate: Any = None
+    stats_version: int = 0
+    hits: int = 0
+
+
+class PlanCache:
+    """LRU cache of selected plans with certificate-preserving entries.
+
+    Thread-compatible (single-writer, as the extractor uses it); see the
+    module docstring for the invalidation rules.
+    """
+
+    def __init__(
+        self,
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if drift_threshold <= 1.0:
+            raise PlanError(
+                f"drift_threshold must exceed 1.0, got {drift_threshold!r}"
+            )
+        if capacity < 1:
+            raise PlanError(f"capacity must be positive, got {capacity!r}")
+        self.drift_threshold = float(drift_threshold)
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[PlanCacheKey, CachedPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evicted_version = 0
+        self.evicted_drift = 0
+        self.evicted_capacity = 0
+
+    # -- keys -----------------------------------------------------------
+    def key_for(
+        self,
+        graph: Any,
+        pattern: LinePattern,
+        aggregate: Any,
+        strategy: str,
+        mode: str = "partial",
+        estimator: str = "uniform",
+    ) -> PlanCacheKey:
+        """The cache key of one request against ``graph``'s current
+        schema and snapshot stats versions."""
+        return PlanCacheKey(
+            pattern=pattern_key(pattern),
+            schema_version=int(getattr(graph.schema, "version", 0)),
+            stats_version=int(graph.version),
+            aggregate=aggregate_kind(aggregate),
+            strategy=strategy,
+            mode=mode,
+            estimator=estimator,
+        )
+
+    # -- lookup / store ---------------------------------------------------
+    def lookup(self, key: PlanCacheKey) -> Optional[CachedPlan]:
+        """The entry for ``key``, or ``None`` — counted as hit/miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self.hits += 1
+        return entry
+
+    def store(
+        self, key: PlanCacheKey, plan: Optional[PCP], certificate: Any = None
+    ) -> CachedPlan:
+        """Insert (or replace) the entry for ``key``."""
+        entry = CachedPlan(
+            plan=plan, certificate=certificate, stats_version=key.stats_version
+        )
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evicted_capacity += 1
+        return entry
+
+    def invalidate(self, key: PlanCacheKey) -> bool:
+        """Drop one entry (no-op when absent)."""
+        return self._entries.pop(key, None) is not None
+
+    # -- invalidation ------------------------------------------------------
+    def evict_stale(self, current_version: int) -> int:
+        """Reclaim entries keyed to snapshot versions other than
+        ``current_version`` (already unreachable — their key can never
+        be produced again)."""
+        stale = [
+            key
+            for key in self._entries
+            if key.stats_version != current_version
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.evicted_version += len(stale)
+        return len(stale)
+
+    def observe_drift(self, key: PlanCacheKey, report: Any) -> bool:
+        """Feed a run's :class:`~repro.obs.drift.DriftReport` back into
+        the cache.  Returns ``True`` when the entry was invalidated
+        (drift ratio outside ``[1/threshold, threshold]`` — the next
+        request for this key replans)."""
+        if report is None or key not in self._entries:
+            return False
+        ratio = report.plan_drift
+        threshold = self.drift_threshold
+        if ratio == float("inf") or ratio > threshold or (
+            ratio > 0 and ratio < 1.0 / threshold
+        ):
+            del self._entries[key]
+            self.evicted_drift += 1
+            return True
+        return False
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PlanCacheKey) -> bool:
+        return key in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (the ``plan_cache_hits`` / ``plan_cache_misses``
+        obs counters plus eviction breakdowns)."""
+        return {
+            "plan_cache_hits": self.hits,
+            "plan_cache_misses": self.misses,
+            "plan_cache_entries": len(self._entries),
+            "plan_cache_evicted_version": self.evicted_version,
+            "plan_cache_evicted_drift": self.evicted_drift,
+            "plan_cache_evicted_capacity": self.evicted_capacity,
+        }
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_DRIFT_THRESHOLD",
+    "CachedPlan",
+    "PlanCache",
+    "PlanCacheKey",
+    "aggregate_kind",
+    "filter_key",
+    "kernel_signature",
+    "pattern_key",
+    "position_key",
+    "slot_fingerprint",
+    "slot_key",
+    "subplan_canon",
+    "subplan_fingerprint",
+]

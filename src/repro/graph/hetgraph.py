@@ -97,6 +97,14 @@ class HeterogeneousGraph:
         self._match_cache: Dict[str, Tuple[VertexId, ...]] = {}
         self._any_cache: Dict[Tuple[VertexId, str], Tuple[AdjEntry, ...]] = {}
         self._compact: Optional[Any] = None
+        self._compact_hits = 0
+        self._compact_misses = 0
+        # per-(label, direction) CSR build counts accumulated across
+        # every snapshot this graph has ever built (retired snapshots
+        # fold their counts in on invalidation)
+        self._csr_builds: Counter = Counter()
+        self._statistics: Optional[Any] = None
+        self._statistics_version = -1
 
     def _invalidate_caches(self) -> None:
         self._version += 1
@@ -104,7 +112,10 @@ class HeterogeneousGraph:
             self._match_cache.clear()
         if self._any_cache:
             self._any_cache.clear()
+        if self._compact is not None:
+            self._csr_builds.update(self._compact.csr_builds)
         self._compact = None
+        self._statistics = None
 
     # ------------------------------------------------------------------
     # construction
@@ -329,7 +340,41 @@ class HeterogeneousGraph:
 
             compact = CompactGraph.build(self)
             self._compact = compact
+            self._compact_misses += 1
+        else:
+            self._compact_hits += 1
         return compact
+
+    def compact_cache_stats(self) -> Dict[str, int]:
+        """Effectiveness counters of the compact-snapshot cache: hit and
+        miss counts of :meth:`to_compact` plus the total and
+        per-``(label, direction)`` CSR build counts accumulated across
+        every snapshot.  A workload that keeps ``compact_cache_misses``
+        at 1 per graph version is reusing its snapshot; growing build
+        counts for one key mean the snapshot cache is being bypassed."""
+        builds: Counter = Counter(self._csr_builds)
+        if self._compact is not None:
+            builds.update(self._compact.csr_builds)
+        return {
+            "compact_cache_hits": self._compact_hits,
+            "compact_cache_misses": self._compact_misses,
+            "compact_csr_builds": sum(builds.values()),
+            **{
+                f"compact_csr_builds:{label}:{direction}": count
+                for (label, direction), count in sorted(builds.items())
+            },
+        }
+
+    def statistics(self):
+        """The graph's :class:`~repro.graph.stats.GraphStatistics`,
+        collected once per :attr:`version` and cached (mutations
+        invalidate the cache together with the compact snapshot)."""
+        if self._statistics is None or self._statistics_version != self._version:
+            from repro.graph.stats import GraphStatistics
+
+            self._statistics = GraphStatistics.collect(self)
+            self._statistics_version = self._version
+        return self._statistics
 
     # ------------------------------------------------------------------
     # misc

@@ -121,6 +121,9 @@ class GraphSchema:
         self._attributes: Dict[str, Dict[str, AttributeSpec]] = {}
         self._cardinalities: Dict[str, int] = {}
         self._edge_bounds: Dict[EdgeType, DegreeBound] = {}
+        # Mutation counter: every declaration bumps it, so derived
+        # caches (the plan cache keys on it) can detect schema changes.
+        self._version = 0
         for label in vertex_labels or ():
             self.add_vertex_label(label)
         for et in edge_types or ():
@@ -136,7 +139,9 @@ class GraphSchema:
         """Register a vertex label. Idempotent."""
         if not label or not isinstance(label, str):
             raise SchemaError(f"vertex label must be a non-empty string, got {label!r}")
-        self._vertex_labels.add(label)
+        if label not in self._vertex_labels:
+            self._vertex_labels.add(label)
+            self._version += 1
 
     def add_edge_type(self, label: str, src: str, dst: str) -> EdgeType:
         """Register an edge type ``src -[label]-> dst``.
@@ -148,8 +153,10 @@ class GraphSchema:
         self.add_vertex_label(src)
         self.add_vertex_label(dst)
         et = EdgeType(label, src, dst)
-        self._edge_types.add(et)
-        self._by_label.setdefault(label, set()).add(et)
+        if et not in self._edge_types:
+            self._edge_types.add(et)
+            self._by_label.setdefault(label, set()).add(et)
+            self._version += 1
         return et
 
     def declare_vertex_attribute(
@@ -178,6 +185,8 @@ class GraphSchema:
                 f"{existing.kind!r}, cannot re-declare as {kind!r}"
             )
         spec = AttributeSpec(label, attr, kind)
+        if existing is None:
+            self._version += 1
         self._attributes.setdefault(label, {})[attr] = spec
         return spec
 
@@ -197,6 +206,8 @@ class GraphSchema:
         existing = self._cardinalities.get(label)
         if existing is not None:
             max_count = min(existing, max_count)
+        if existing != max_count:
+            self._version += 1
         self._cardinalities[label] = max_count
 
     def declare_edge_bounds(
@@ -243,12 +254,21 @@ class GraphSchema:
                     existing.max_in_degree, max_in_degree
                 ),
             )
+        if existing != merged:
+            self._version += 1
         self._edge_bounds[et] = merged
         return merged
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic declaration counter; bumps whenever a label, edge
+        type, attribute or bound declaration actually changes the
+        schema (idempotent re-declarations do not bump)."""
+        return self._version
+
     def label_cardinality(self, label: str) -> Optional[int]:
         """The declared cardinality bound of ``label`` (``None`` when
         undeclared — unbounded)."""

@@ -31,6 +31,9 @@ class TraceData:
         self.profile_summary: Optional[Dict[str, Any]] = None
         self.procpool: Optional[Dict[str, Any]] = None
         self.worker_spans: List[Dict[str, Any]] = []
+        self.cache: Optional[Dict[str, Any]] = None
+        self.multiquery: Optional[Dict[str, Any]] = None
+        self.shared_levels: List[Dict[str, Any]] = []
 
     def sorted_supersteps(self) -> List[Dict[str, Any]]:
         return sorted(self.supersteps, key=lambda attrs: attrs.get("superstep", 0))
@@ -60,6 +63,10 @@ def _ingest(data: TraceData, kind: str, name: str, attrs: Dict[str, Any]) -> Non
             data.extraction = attrs
         elif name == "worker":
             data.worker_spans.append(attrs)
+        elif name == "shared-level":
+            data.shared_levels.append(attrs)
+        elif name == "multiquery" and data.multiquery is None:
+            data.multiquery = attrs
     elif kind == "drift":
         data.drift.append(attrs)
     elif kind == "plan_drift" and data.plan_drift is None:
@@ -76,6 +83,12 @@ def _ingest(data: TraceData, kind: str, name: str, attrs: Dict[str, Any]) -> Non
         data.profile_summary = attrs
     elif kind == "procpool" and data.procpool is None:
         data.procpool = attrs
+    elif kind == "cache":
+        # last-wins: the final record of a run/batch carries the
+        # cumulative hit/miss counters
+        data.cache = attrs
+    elif kind == "multiquery" and data.multiquery is None:
+        data.multiquery = attrs
 
 
 #: structured-record kinds the report ingests (beyond spans)
@@ -88,6 +101,8 @@ _RECORD_KINDS = (
     "memory_containment",
     "profile_summary",
     "procpool",
+    "cache",
+    "multiquery",
 )
 
 
@@ -494,6 +509,72 @@ def worker_table(data: TraceData) -> str:
     return table
 
 
+def multiquery_table(data: TraceData) -> str:
+    """The shared-DAG view of a batched run: one row per DAG height
+    (``shared-level`` spans) plus the sharing-counter summary line from
+    the ``multiquery`` record/span."""
+    from repro.workloads.harness import Row, format_table
+
+    rows: List[Row] = []
+    for attrs in sorted(
+        data.shared_levels, key=lambda a: int(a.get("height", 0))
+    ):
+        kernel_s = attrs.get("kernel_time_s")
+        rows.append(
+            Row(
+                f"height {attrs.get('height', '?')}",
+                {
+                    "nodes": attrs.get("nodes", 0),
+                    "total_work": attrs.get("total_work", 0),
+                    "kernel_s": (
+                        f"{kernel_s:.6f}" if kernel_s is not None else "-"
+                    ),
+                },
+            )
+        )
+    table = format_table(
+        rows,
+        ["nodes", "total_work", "kernel_s"],
+        title="shared DAG (multi-query batch)",
+        label_header="level",
+    )
+    stats = data.multiquery
+    if stats is not None:
+        table += (
+            "\nmultiquery: {requests} requests, {shared} shared nodes, "
+            "{saved}/{total} products saved, {slots_saved}/{slots_total} "
+            "slot builds saved, {assemblies} assemblies".format(
+                requests=stats.get("multiquery_requests", "?"),
+                shared=stats.get("multiquery_nodes_shared", 0),
+                saved=stats.get("multiquery_products_saved", 0),
+                total=stats.get("multiquery_products_total", 0),
+                slots_saved=stats.get("multiquery_slots_saved", 0),
+                slots_total=stats.get("multiquery_slots_total", 0),
+                assemblies=stats.get("multiquery_assemblies", 0),
+            )
+        )
+    return table
+
+
+def cache_table(data: TraceData) -> str:
+    """Plan-cache and compact-snapshot cache effectiveness counters
+    (kind ``cache``, last record wins — the counters are cumulative)."""
+    from repro.workloads.harness import Row, format_table
+
+    cache = data.cache or {}
+    rows = [
+        Row(key, {"value": cache[key]})
+        for key in sorted(cache)
+        if key != "kind"
+    ]
+    return format_table(
+        rows,
+        ["value"],
+        title="cache effectiveness (plan cache + compact snapshot)",
+        label_header="counter",
+    )
+
+
 def report_data(path: str) -> Dict[str, Any]:
     """The machine-readable counterpart of :func:`render_report`, used
     by ``repro.cli report --format json``."""
@@ -527,13 +608,29 @@ def report_data(path: str) -> Dict[str, Any]:
         document["worker_spans"] = data.worker_spans
     if data.procpool is not None:
         document["procpool"] = data.procpool
+    if data.cache is not None:
+        document["cache"] = data.cache
+    if data.multiquery is not None:
+        document["multiquery"] = data.multiquery
+    if data.shared_levels:
+        document["shared_levels"] = data.shared_levels
     return document
 
 
 def render_report(path: str) -> str:
     """Everything ``repro.cli report`` prints for one trace file."""
     data = load_trace(path)
-    parts = [superstep_table(data)]
+    batched = bool(data.shared_levels or data.multiquery)
+    if data.supersteps or not batched:
+        # keep the no-superstep error for genuinely empty traces; a
+        # pure batch trace has shared-level spans instead
+        parts = [superstep_table(data)]
+    else:
+        parts = []
+    if batched:
+        parts.append(multiquery_table(data))
+    if data.cache is not None:
+        parts.append(cache_table(data))
     if any("bound" in attrs for attrs in data.drift):
         parts.append(bounds_table(data))
     if data.plan_typing:

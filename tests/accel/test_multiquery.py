@@ -1,0 +1,219 @@
+"""Multi-query scheduler (repro.accel.multi): per-request results must be
+byte-identical to sequential vectorized runs of the same plans, sharing
+counters must reflect the merged DAG, and ineligible mixes must fall
+back to the shared BSP batch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.multi import MultiQueryEvaluator, run_multiquery_extraction
+from repro.aggregates import library
+from repro.core.extractor import GraphExtractor
+from repro.graph.pattern import LinePattern
+from repro.obs.instruments import InstrumentRegistry
+from repro.obs.spans import Tracer
+
+CITE1 = "Paper -[citeBy]-> Paper"
+CITE2 = "Paper -[citeBy]-> Paper -[citeBy]-> Paper"
+SAME_VENUE = (
+    "Author -[authorBy]-> Paper -[publishAt]-> Venue "
+    "<-[publishAt]- Paper <-[authorBy]- Author"
+)
+
+
+def _steps(metrics):
+    return [
+        (s.superstep, list(s.work_per_worker), s.messages_sent)
+        for s in metrics.supersteps
+    ]
+
+
+def _assert_identical(batched, sequential):
+    """Byte-identical per-request results: edges, every counter, and the
+    full superstep ledger (only wall time may differ)."""
+    assert batched.graph.edges == sequential.graph.edges
+    assert batched.graph.vertices == sequential.graph.vertices
+    assert batched.metrics.counters == sequential.metrics.counters
+    assert _steps(batched.metrics) == _steps(sequential.metrics)
+
+
+class TestSequentialEquivalence:
+    def test_mixed_patterns_and_aggregates(self, scholarly, coauthor_pattern):
+        requests = [
+            (coauthor_pattern, library.path_count),
+            (LinePattern.parse(SAME_VENUE), library.path_count),
+            (coauthor_pattern, library.max_min),
+            (LinePattern.parse(CITE2), library.avg_path_value),
+            (coauthor_pattern, library.path_count),  # exact duplicate
+        ]
+        extractor = GraphExtractor(
+            scholarly, backend="vectorized", plan_cache=True
+        )
+        sequential = [
+            extractor.extract(pattern, factory())
+            for pattern, factory in requests
+        ]
+        batched = extractor.extract_many(
+            [(pattern, factory()) for pattern, factory in requests]
+        )
+        assert extractor.last_backend == "vectorized"
+        assert len(batched) == len(sequential)
+        for got, want in zip(batched, sequential):
+            _assert_identical(got, want)
+        stats = extractor.last_batch_stats
+        assert stats is not None and stats.requests == 5
+        assert stats.nodes_shared >= 1
+        assert stats.products_saved >= 1
+
+    def test_length_one_pattern(self, scholarly):
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        single = LinePattern.parse(CITE1)
+        sequential = extractor.extract(single, library.path_count())
+        batched = extractor.extract_many(
+            [single, LinePattern.parse(CITE2)],
+            aggregate=library.path_count(),
+        )
+        _assert_identical(batched[0], sequential)
+        assert batched[0].graph.edges == {(12, 11): 1.0, (13, 12): 1.0}
+
+    def test_parallel_aggregates_list(self, scholarly, coauthor_pattern):
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        results = extractor.extract_many(
+            [coauthor_pattern, coauthor_pattern],
+            aggregates=[library.path_count(), library.exists_path()],
+        )
+        assert results[0].graph.edges[(3, 4)] == 2.0
+        assert results[1].graph.edges[(3, 4)] == 1.0  # existence, not count
+
+    def test_wall_time_is_batch_wall(self, scholarly, coauthor_pattern):
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        results = extractor.extract_many([coauthor_pattern, coauthor_pattern])
+        assert (
+            results[0].metrics.wall_time_s == results[1].metrics.wall_time_s
+        )
+
+
+class TestSharingStats:
+    def test_duplicate_requests_share_everything(
+        self, scholarly, coauthor_pattern
+    ):
+        jobs = []
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        plan = extractor.plan(coauthor_pattern)
+        for _ in range(3):
+            jobs.append((coauthor_pattern, plan, library.path_count()))
+        results, stats = run_multiquery_extraction(scholarly, jobs)
+        assert len(results) == 3
+        assert stats.distinct_products == 1
+        assert stats.total_products == 3
+        assert stats.products_saved == 2
+        assert stats.assemblies == 1
+        assert stats.assemblies_saved == 2
+        assert stats.nodes_shared == 1
+        as_dict = stats.as_dict()
+        assert as_dict["multiquery_requests"] == 3
+        assert as_dict["multiquery_products_saved"] == 2
+
+    def test_disjoint_requests_share_nothing(self, scholarly):
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        a = LinePattern.parse("Author -[authorBy]-> Paper")
+        b = LinePattern.parse("Paper -[publishAt]-> Venue")
+        extractor.extract_many([a, b], aggregate=library.path_count())
+        stats = extractor.last_batch_stats
+        assert stats.nodes_shared == 0
+        assert stats.products_saved == 0
+        assert stats.slots_saved == 0
+        assert stats.assemblies == 2
+
+    def test_empty_batch(self, scholarly):
+        results, stats = run_multiquery_extraction(scholarly, [])
+        assert results == []
+        assert stats.requests == 0
+
+
+class TestFallback:
+    def test_holistic_aggregate_falls_back_to_bsp(
+        self, scholarly, coauthor_pattern
+    ):
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        sequential = extractor.extract(
+            coauthor_pattern, library.median_path_value()
+        )
+        results = extractor.extract_many(
+            [coauthor_pattern], aggregate=library.median_path_value()
+        )
+        assert extractor.last_backend == "bsp"
+        assert extractor.last_fallback_reason is not None
+        assert extractor.last_batch_stats is None
+        assert results[0].graph.edges == sequential.graph.edges
+
+    def test_bsp_backend_matches_vectorized_edges(
+        self, scholarly, coauthor_pattern
+    ):
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        requests = [coauthor_pattern, LinePattern.parse(CITE2)]
+        vec = extractor.extract_many(requests, aggregate=library.path_count())
+        bsp = extractor.extract_many(
+            requests, aggregate=library.path_count(), backend="bsp"
+        )
+        for got, want in zip(bsp, vec):
+            assert got.graph.edges == want.graph.edges
+
+
+class TestTracing:
+    def test_span_subtree_and_records(self, scholarly, coauthor_pattern):
+        tracer = Tracer(registry=InstrumentRegistry())
+        extractor = GraphExtractor(
+            scholarly, backend="vectorized", plan_cache=True
+        )
+        extractor.extract_many(
+            [coauthor_pattern, coauthor_pattern, LinePattern.parse(CITE2)],
+            aggregate=library.path_count(),
+            tracer=tracer,
+        )
+        roots = [s for s in tracer.root_spans() if s.name == "multiquery"]
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.attrs["requests"] == 3
+        assert root.attrs["multiquery_products_saved"] >= 1
+        children = [s.name for s in tracer.children(root)]
+        assert "shared-level" in children
+        assert "shared-assemble" in children
+        levels = [s for s in tracer.children(root) if s.name == "shared-level"]
+        assert all("total_work" in s.attrs for s in levels)
+        kinds = {record.get("kind") for record in tracer.records}
+        assert {"multiquery", "cache"} <= kinds
+        cache_record = next(
+            r for r in tracer.records if r.get("kind") == "cache"
+        )
+        assert cache_record["plan_cache_misses"] >= 1
+
+    def test_untraced_run_records_nothing(self, scholarly, coauthor_pattern):
+        evaluator = MultiQueryEvaluator(
+            scholarly,
+            [
+                (
+                    coauthor_pattern,
+                    GraphExtractor(scholarly).plan(coauthor_pattern),
+                    library.path_count(),
+                )
+            ],
+        )
+        results = evaluator.run()
+        assert len(results) == 1
+        assert evaluator.last_stats.requests == 1
+
+
+class TestDriftIntegration:
+    def test_batched_drift_matches_sequential(
+        self, scholarly, coauthor_pattern
+    ):
+        extractor = GraphExtractor(scholarly, backend="vectorized")
+        sequential = extractor.extract(coauthor_pattern, library.path_count())
+        batched = extractor.extract_many([coauthor_pattern])[0]
+        assert batched.drift is not None
+        assert sequential.drift is not None
+        assert batched.drift.plan_drift == pytest.approx(
+            sequential.drift.plan_drift
+        )

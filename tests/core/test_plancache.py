@@ -1,0 +1,292 @@
+"""Canonical subplan fingerprints and the certificate-carrying plan
+cache (repro.core.plancache): fingerprint stability across plan objects,
+the fingerprint ⇒ identical-sparse-product law, keyed lookup, and the
+two invalidation paths (version bumps and cost-model drift)."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.evaluator import VectorizedEvaluator
+from repro.accel.semiring import resolve_kernels
+from repro.aggregates import library
+from repro.core.extractor import GraphExtractor
+from repro.core.plancache import (
+    PlanCache,
+    aggregate_kind,
+    kernel_signature,
+    pattern_key,
+    slot_fingerprint,
+    subplan_fingerprint,
+)
+from repro.core.planner import STRATEGIES, make_plan
+from repro.errors import PlanError
+from repro.graph.pattern import LinePattern
+
+from tests.conftest import build_scholarly
+from tests.test_properties import graphs, patterns
+
+CITE2 = "Paper -[citeBy]-> Paper -[citeBy]-> Paper"
+CITE4 = (
+    "Paper -[citeBy]-> Paper -[citeBy]-> Paper "
+    "-[citeBy]-> Paper -[citeBy]-> Paper"
+)
+
+
+def _sig():
+    return kernel_signature(resolve_kernels(library.path_count())[0])
+
+
+class TestFingerprints:
+    def test_stable_across_plan_objects(self, scholarly):
+        pattern_a = LinePattern.parse(CITE2)
+        pattern_b = LinePattern.parse(CITE2)
+        plan_a = make_plan(pattern_a, "line", graph=scholarly)
+        plan_b = make_plan(pattern_b, "line", graph=scholarly)
+        sig = _sig()
+        assert subplan_fingerprint(
+            pattern_a, plan_a.root, sig
+        ) == subplan_fingerprint(pattern_b, plan_b.root, sig)
+        assert pattern_key(pattern_a) == pattern_key(pattern_b)
+
+    def test_homogeneous_chain_shares_prefix_subtree(self, scholarly):
+        """A left-deep length-4 citeBy chain contains the length-2 chain
+        as its innermost subtree — content-equal, so fingerprint-equal
+        even though the plans belong to different patterns."""
+        p2 = LinePattern.parse(CITE2)
+        p4 = LinePattern.parse(CITE4)
+        plan2 = make_plan(p2, "line", graph=scholarly)
+        plan4 = make_plan(p4, "line", graph=scholarly)
+        inner = plan4.root
+        while inner.left is not None:
+            inner = inner.left
+        sig = _sig()
+        assert subplan_fingerprint(p4, inner, sig) == subplan_fingerprint(
+            p2, plan2.root, sig
+        )
+        # all four slots of the homogeneous chain are content-equal
+        fps = {slot_fingerprint(p4, slot, sig) for slot in range(1, 5)}
+        assert len(fps) == 1
+
+    def test_direction_and_label_change_fingerprint(self):
+        fwd = LinePattern.parse("Author -[authorBy]-> Paper")
+        bwd = LinePattern.parse("Paper <-[authorBy]- Author")
+        other = LinePattern.parse("Paper -[publishAt]-> Venue")
+        sig = _sig()
+        fps = {
+            slot_fingerprint(fwd, 1, sig),
+            slot_fingerprint(bwd, 1, sig),
+            slot_fingerprint(other, 1, sig),
+        }
+        assert len(fps) == 3
+
+    def test_filters_change_pattern_key(self):
+        plain = LinePattern.parse("Author -[authorBy]-> Paper")
+        filtered = LinePattern.parse(
+            "Author{h_index >= 2} -[authorBy]-> Paper"
+        )
+        assert pattern_key(plain) != pattern_key(filtered)
+
+    def test_kernel_signature_distinguishes_aggregates(self):
+        count_sig = kernel_signature(
+            resolve_kernels(library.path_count())[0]
+        )
+        exists_sig = kernel_signature(
+            resolve_kernels(library.exists_path())[0]
+        )
+        assert count_sig != exists_sig
+        pattern = LinePattern.parse(CITE2)
+        assert slot_fingerprint(pattern, 1, count_sig) != slot_fingerprint(
+            pattern, 1, exists_sig
+        )
+
+    def test_aggregate_kind_identity(self):
+        assert aggregate_kind(library.path_count()) == aggregate_kind(
+            library.path_count()
+        )
+        kinds = {
+            aggregate_kind(library.path_count()),
+            aggregate_kind(library.max_min()),
+            aggregate_kind(library.avg_path_value()),
+        }
+        assert len(kinds) == 3
+
+
+def _node_matrix(evaluator, compact, node, ci=0):
+    """Recursively evaluate one PCP node's sparse product the way the
+    vectorized evaluator would (masked slot matrices, kernel matmul)."""
+    kernel = evaluator._kernels[ci]
+    if node.left is None:
+        left = evaluator._slot_matrix(compact, node.k, ci)[0]
+    else:
+        left = _node_matrix(evaluator, compact, node.left, ci)
+    if node.right is None:
+        right = evaluator._slot_matrix(compact, node.k + 1, ci)[0]
+    else:
+        right = _node_matrix(evaluator, compact, node.right, ci)
+    return kernel.matmul(left, right)[0]
+
+
+class TestFingerprintProductLaw:
+    """The sharing soundness law: fingerprint-equal subplans evaluate to
+    *identical* sparse products (this is what lets the multi-query DAG
+    compute each canonical node once and fan the matrix out)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        graph=graphs(),
+        pattern=patterns(max_length=4),
+        strategy_a=st.sampled_from(STRATEGIES),
+        strategy_b=st.sampled_from(STRATEGIES),
+    )
+    def test_equal_fingerprints_mean_equal_products(
+        self, graph, pattern, strategy_a, strategy_b
+    ):
+        plan_a = make_plan(pattern, strategy_a, graph=graph)
+        plan_b = make_plan(pattern, strategy_b, graph=graph)
+        aggregate = library.path_count()
+        eval_a = VectorizedEvaluator(graph, pattern, plan_a, aggregate)
+        eval_b = VectorizedEvaluator(graph, pattern, plan_b, aggregate)
+        sig = kernel_signature(eval_a._kernels[0])
+        compact = graph.to_compact()
+        products_by_fp = {}
+        for evaluator, plan in ((eval_a, plan_a), (eval_b, plan_b)):
+            for node in plan.nodes():
+                fp = subplan_fingerprint(pattern, node, sig)
+                matrix = _node_matrix(evaluator, compact, node)
+                seen = products_by_fp.get(fp)
+                if seen is None:
+                    products_by_fp[fp] = matrix
+                else:
+                    assert (seen - matrix).count_nonzero() == 0
+                    assert seen.shape == matrix.shape
+
+    def test_cross_pattern_shared_subtree_products_match(self):
+        graph = build_scholarly()
+        p2 = LinePattern.parse(CITE2)
+        p4 = LinePattern.parse(CITE4)
+        plan2 = make_plan(p2, "line", graph=graph)
+        plan4 = make_plan(p4, "line", graph=graph)
+        aggregate = library.path_count()
+        eval2 = VectorizedEvaluator(graph, p2, plan2, aggregate)
+        eval4 = VectorizedEvaluator(graph, p4, plan4, aggregate)
+        compact = graph.to_compact()
+        inner = plan4.root
+        while inner.left is not None:
+            inner = inner.left
+        m2 = _node_matrix(eval2, compact, plan2.root)
+        m4 = _node_matrix(eval4, compact, inner)
+        assert (m2 - m4).count_nonzero() == 0
+
+
+class TestPlanCache:
+    def _key(self, cache, graph, pattern):
+        return cache.key_for(
+            graph, pattern, library.path_count(), strategy="iter_opt"
+        )
+
+    def test_miss_then_hit(self, scholarly, coauthor_pattern):
+        cache = PlanCache()
+        key = self._key(cache, scholarly, coauthor_pattern)
+        assert cache.lookup(key) is None
+        plan = make_plan(coauthor_pattern, "iter_opt", graph=scholarly)
+        cache.store(key, plan)
+        entry = cache.lookup(key)
+        assert entry is not None and entry.plan is plan
+        assert cache.stats()["plan_cache_hits"] == 1
+        assert cache.stats()["plan_cache_misses"] == 1
+        assert entry.hits == 1
+
+    def test_version_bump_changes_key_and_evicts(
+        self, scholarly, coauthor_pattern
+    ):
+        cache = PlanCache()
+        key = self._key(cache, scholarly, coauthor_pattern)
+        cache.store(key, make_plan(coauthor_pattern, "iter_opt", graph=scholarly))
+        scholarly.add_edge(1, 12, "authorBy")
+        fresh_key = self._key(cache, scholarly, coauthor_pattern)
+        assert fresh_key != key
+        assert cache.evict_stale(scholarly.version) == 1
+        assert len(cache) == 0
+        assert cache.stats()["plan_cache_evicted_version"] == 1
+
+    def test_drift_breach_evicts_within_band_keeps(
+        self, scholarly, coauthor_pattern
+    ):
+        cache = PlanCache(drift_threshold=4.0)
+        key = self._key(cache, scholarly, coauthor_pattern)
+        cache.store(key, make_plan(coauthor_pattern, "iter_opt", graph=scholarly))
+        assert not cache.observe_drift(key, SimpleNamespace(plan_drift=2.0))
+        assert key in cache
+        assert cache.observe_drift(key, SimpleNamespace(plan_drift=9.0))
+        assert key not in cache
+        assert cache.stats()["plan_cache_evicted_drift"] == 1
+        # under-estimates breach the symmetric band too
+        cache.store(key, None)
+        assert cache.observe_drift(key, SimpleNamespace(plan_drift=0.1))
+
+    def test_capacity_lru_eviction(self, scholarly):
+        cache = PlanCache(capacity=2)
+        specs = [
+            "Author -[authorBy]-> Paper",
+            "Paper -[publishAt]-> Venue",
+            "Paper -[citeBy]-> Paper",
+        ]
+        keys = []
+        for spec in specs:
+            pattern = LinePattern.parse(spec)
+            key = self._key(cache, scholarly, pattern)
+            cache.store(key, None)
+            keys.append(key)
+        assert len(cache) == 2
+        assert keys[0] not in cache  # oldest evicted
+        assert cache.stats()["plan_cache_evicted_capacity"] == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(PlanError):
+            PlanCache(drift_threshold=1.0)
+        with pytest.raises(PlanError):
+            PlanCache(capacity=0)
+
+
+class TestExtractorIntegration:
+    def test_repeat_extracts_hit_and_store_certificate(
+        self, scholarly, coauthor_pattern
+    ):
+        extractor = GraphExtractor(
+            scholarly, backend="vectorized", plan_cache=True
+        )
+        first = extractor.extract(coauthor_pattern, library.path_count())
+        second = extractor.extract(coauthor_pattern, library.path_count())
+        assert first.graph.edges == second.graph.edges
+        stats = extractor.cache_stats()
+        assert stats["plan_cache_misses"] == 1
+        assert stats["plan_cache_hits"] >= 1
+        entry = next(iter(extractor.plan_cache._entries.values()))
+        assert entry.certificate is not None
+        assert entry.plan is not None and entry.plan.node_bounds
+
+    def test_mutation_invalidates_cached_plan(
+        self, scholarly, coauthor_pattern
+    ):
+        extractor = GraphExtractor(
+            scholarly, backend="vectorized", plan_cache=True
+        )
+        extractor.extract(coauthor_pattern, library.path_count())
+        scholarly.add_edge(2, 12, "authorBy")
+        result = extractor.extract(coauthor_pattern, library.path_count())
+        stats = extractor.cache_stats()
+        assert stats["plan_cache_evicted_version"] >= 1
+        assert stats["plan_cache_misses"] == 2
+        # the replanned extraction sees the new edge
+        assert result.graph.edges[(1, 2)] >= 1.0
+
+    def test_cache_off_by_default(self, scholarly, coauthor_pattern):
+        extractor = GraphExtractor(scholarly)
+        assert extractor.plan_cache is None
+        extractor.extract(coauthor_pattern, library.path_count())
+        assert extractor.cache_stats()["plan_cache_hits"] == 0

@@ -164,3 +164,89 @@ class TestCompactStatisticsCache:
         assert after.count == 5
         # A1 now authors nothing, so the fan-out minimum drops to zero
         assert after.fanout_min == 0
+
+
+class TestCompactCacheCounters:
+    """``compact_cache_stats()`` — the effectiveness counters the
+    ``cache`` obs record and ``repro report`` surface."""
+
+    def test_hits_and_misses(self):
+        g = build_scholarly()
+        stats = g.compact_cache_stats()
+        assert stats["compact_cache_hits"] == 0
+        assert stats["compact_cache_misses"] == 0
+        g.to_compact()
+        g.to_compact()
+        g.to_compact()
+        stats = g.compact_cache_stats()
+        assert stats["compact_cache_misses"] == 1
+        assert stats["compact_cache_hits"] == 2
+
+    def test_mutation_costs_one_more_miss(self):
+        g = build_scholarly()
+        g.to_compact()
+        g.add_vertex(99, "Author")
+        g.to_compact()
+        stats = g.compact_cache_stats()
+        assert stats["compact_cache_misses"] == 2
+
+    def test_adjacency_builds_counted_per_label_direction(self):
+        g = build_scholarly()
+        compact = g.to_compact()
+        compact.adjacency("authorBy")
+        compact.adjacency("authorBy")  # cached — no second build
+        compact.adjacency("authorBy", "in")
+        stats = g.compact_cache_stats()
+        assert stats["compact_csr_builds"] == 2
+        assert stats["compact_csr_builds:authorBy:out"] == 1
+        assert stats["compact_csr_builds:authorBy:in"] == 1
+
+    def test_builds_survive_snapshot_invalidation(self):
+        g = build_scholarly()
+        g.to_compact().adjacency("citeBy")
+        g.add_vertex(99, "Author")  # retires the snapshot
+        g.to_compact().adjacency("citeBy")
+        stats = g.compact_cache_stats()
+        # one build per snapshot: both accumulate into the graph total
+        assert stats["compact_csr_builds:citeBy:out"] == 2
+
+    def test_slot_matrix_builds_counted(self):
+        from repro.aggregates.library import path_count
+        from repro.core.extractor import GraphExtractor
+        from repro.graph.pattern import LinePattern
+
+        g = build_scholarly()
+        extractor = GraphExtractor(g, backend="vectorized")
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        extractor.extract(pattern, path_count())
+        stats = g.compact_cache_stats()
+        # both slots of the coauthor pattern materialise one CSR each
+        assert stats["compact_csr_builds"] == 2
+        extractor.extract(pattern, path_count())
+        # sequential re-runs rebuild (per-evaluator slot cache) — the
+        # growth is exactly what batched multi-query runs avoid
+        assert g.compact_cache_stats()["compact_csr_builds"] == 4
+
+
+class TestStatisticsCache:
+    """``HeterogeneousGraph.statistics()`` — one GraphStatistics
+    collection per graph version, shared by every extractor."""
+
+    def test_cached_until_mutation(self):
+        g = build_scholarly()
+        first = g.statistics()
+        assert g.statistics() is first
+        g.add_vertex(99, "Author")
+        fresh = g.statistics()
+        assert fresh is not first
+        assert g.statistics() is fresh
+
+    def test_extractors_share_the_graph_cache(self):
+        from repro.core.extractor import GraphExtractor
+
+        g = build_scholarly()
+        a = GraphExtractor(g)
+        b = GraphExtractor(g)
+        assert a.stats is b.stats

@@ -281,3 +281,103 @@ class TestReportData:
         assert "profile_stacks" not in document
         assert "memory_containment" not in document
         assert document["supersteps"][0]["drift"] == pytest.approx(1.2)
+
+
+def record_batch_run(tracer):
+    """Record a multi-query batch trace, mirroring what the multi-query
+    scheduler and the extractor's cache record emit."""
+    root = tracer.start_span(
+        "multiquery", {"requests": 3, "backend": "vectorized"}
+    )
+    for height, (nodes, work, kernel_s) in enumerate(
+        [(4, 0, 0.001), (2, 800, 0.0005)]
+    ):
+        span = tracer.start_span(
+            "shared-level",
+            {
+                "height": height,
+                "nodes": nodes,
+                "total_work": work,
+                "kernel_time_s": kernel_s,
+            },
+        )
+        tracer.end_span(span)
+    assemble = tracer.start_span("shared-assemble", {"groups": 2})
+    tracer.end_span(assemble)
+    counters = dict(
+        multiquery_requests=3, multiquery_nodes_shared=2,
+        multiquery_products_saved=4, multiquery_products_total=6,
+        multiquery_slots_saved=4, multiquery_slots_total=8,
+        multiquery_assemblies=2,
+    )
+    root.set_attrs(counters)
+    tracer.end_span(root)
+    tracer.record("multiquery", **counters)
+    tracer.record(
+        "cache", plan_cache_hits=2, plan_cache_misses=1,
+        compact_cache_hits=1, compact_cache_misses=1,
+    )
+
+
+@pytest.fixture
+def batch_tracer():
+    tracer = Tracer(registry=InstrumentRegistry())
+    record_batch_run(tracer)
+    return tracer
+
+
+class TestBatchReport:
+    def test_batch_trace_renders_shared_dag_and_cache(
+        self, batch_tracer, tmp_path
+    ):
+        path = str(tmp_path / "batch.jsonl")
+        export_trace(batch_tracer, path, "jsonl")
+        report = render_report(path)
+        assert "shared DAG (multi-query batch)" in report
+        assert "height 0" in report and "height 1" in report
+        assert "3 requests" in report
+        assert "cache effectiveness" in report
+        assert "plan_cache_hits" in report
+
+    def test_batch_document_keys(self, batch_tracer, tmp_path):
+        from repro.obs.report import report_data
+
+        path = str(tmp_path / "batch.jsonl")
+        export_trace(batch_tracer, path, "jsonl")
+        document = report_data(path)
+        assert document["multiquery"]["multiquery_requests"] == 3
+        assert document["cache"]["plan_cache_misses"] == 1
+        assert len(document["shared_levels"]) == 2
+        assert json.dumps(document)
+
+    def test_empty_trace_still_raises(self, tmp_path):
+        tracer = Tracer(registry=InstrumentRegistry())
+        span = tracer.start_span("extraction", {})
+        tracer.end_span(span)
+        path = str(tmp_path / "empty.jsonl")
+        export_trace(tracer, path, "jsonl")
+        with pytest.raises(ObservabilityError):
+            render_report(path)
+
+    def test_real_batch_trace_round_trips(self, tmp_path):
+        from repro.aggregates.library import path_count
+        from repro.core.extractor import GraphExtractor
+        from repro.graph.pattern import LinePattern
+
+        from tests.conftest import build_scholarly
+
+        graph = build_scholarly()
+        tracer = Tracer(registry=InstrumentRegistry())
+        extractor = GraphExtractor(
+            graph, backend="vectorized", plan_cache=True
+        )
+        pattern = LinePattern.parse(
+            "Author -[authorBy]-> Paper <-[authorBy]- Author"
+        )
+        extractor.extract_many([pattern, pattern], tracer=tracer)
+        path = str(tmp_path / "real.jsonl")
+        export_trace(tracer, path, "jsonl")
+        report = render_report(path)
+        assert "shared DAG (multi-query batch)" in report
+        assert "cache effectiveness" in report
+        assert "2 requests" in report

@@ -172,6 +172,101 @@ class TestCompare:
         assert code == 2
         assert "error" in err
 
+    def test_multi_method_run_builds_one_snapshot(self, capsys, monkeypatch):
+        """Regression: per-graph derived state (statistics collection,
+        CSR snapshot) is hoisted out of the method loop — comparing N
+        methods must not rebuild it N times."""
+        from repro.accel.compact import CompactGraph
+        from repro.graph.stats import GraphStatistics
+        from repro.workloads.harness import reference_graph
+
+        # a fresh graph object: the memoised reference graph may carry
+        # caches already populated by earlier tests
+        reference_graph.cache_clear()
+        build_calls = []
+        collect_calls = []
+        real_build = CompactGraph.build.__func__
+        real_collect = GraphStatistics.collect.__func__
+
+        def spy_build(cls, graph):
+            build_calls.append(1)
+            return real_build(cls, graph)
+
+        def spy_collect(cls, graph):
+            collect_calls.append(1)
+            return real_collect(cls, graph)
+
+        monkeypatch.setattr(CompactGraph, "build", classmethod(spy_build))
+        monkeypatch.setattr(
+            GraphStatistics, "collect", classmethod(spy_collect)
+        )
+        code, _, _ = run_cli(
+            capsys,
+            "compare", "--dataset", "dblp", "--scale", "0.05",
+            "--workload", "dblp-SP1", "--methods", "pge,matrix,graphdb",
+            "--backend", "vectorized",
+        )
+        assert code == 0
+        assert len(build_calls) == 1
+        assert len(collect_calls) == 1
+
+
+class TestBatch:
+    def test_batched_run_prints_summary(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "batch", "--dataset", "dblp", "--scale", "0.05",
+            "--workloads", "dblp-SP1,dblp-SP2,dblp-BP1", "--repeat", "2",
+        )
+        assert code == 0
+        assert "batch summary" in out
+        assert "multiquery_products_saved" in out
+        assert "plan_cache_hits" in out
+        assert "compact_cache_misses" in out
+
+    def test_compare_sequential_agrees(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "batch", "--dataset", "dblp", "--scale", "0.05",
+            "--workloads", "dblp-SP1,dblp-BP1", "--repeat", "2",
+            "--compare-sequential",
+        )
+        assert code == 0
+        assert "speedup" in out
+        assert "agrees" in out and "True" in out
+
+    def test_custom_patterns(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "batch", "--dataset", "dblp", "--scale", "0.05",
+            "--patterns",
+            "Paper -[citeBy]-> Paper; Paper -[citeBy]-> Paper "
+            "-[citeBy]-> Paper",
+        )
+        assert code == 0
+        assert "batch of 2 requests" in out
+
+    def test_trace_out_feeds_report(self, capsys, tmp_path):
+        trace = tmp_path / "batch.jsonl"
+        code, out, _ = run_cli(
+            capsys,
+            "batch", "--dataset", "dblp", "--scale", "0.05",
+            "--workloads", "dblp-SP1,dblp-SP1", "--trace-out", str(trace),
+        )
+        assert code == 0
+        assert trace.exists()
+        code, out, _ = run_cli(capsys, "report", str(trace))
+        assert code == 0
+        assert "shared DAG (multi-query batch)" in out
+        assert "cache effectiveness" in out
+
+    def test_no_requests_is_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "batch", "--dataset", "dblp", "--scale", "0.05",
+        )
+        assert code == 2
+        assert "error" in err
+
 
 class TestParser:
     def test_requires_command(self):
